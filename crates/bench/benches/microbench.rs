@@ -1,0 +1,141 @@
+//! Criterion microbenchmarks for the EPIM kernels: sampling-plan
+//! generation, weight reconstruction, the functional data path, the
+//! quantizers, the analytic cost model and one evolutionary-search
+//! generation.
+//!
+//! `cargo bench -p epim-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use epim::core::{ConvShape, Epitome, EpitomeDesigner, EpitomeShape, EpitomeSpec, SamplingPlan};
+use epim::models::network::Network;
+use epim::models::resnet::resnet50;
+use epim::pim::datapath::DataPath;
+use epim::pim::{AcceleratorConfig, CostModel, Precision};
+use epim::quant::{quantize_epitome, QuantGranularity, RangeEstimator};
+use epim::search::{EvoSearch, SearchConfig, SearchLayer};
+use epim::tensor::ops::Conv2dCfg;
+use epim::tensor::{init, rng};
+
+fn paper_spec() -> EpitomeSpec {
+    EpitomeDesigner::new(128, 128)
+        .design(ConvShape::new(512, 256, 3, 3), 1024, 256)
+        .expect("legal design")
+}
+
+fn random_epitome(spec: EpitomeSpec, seed: u64) -> Epitome {
+    let mut r = rng::seeded(seed);
+    let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
+    Epitome::from_tensor(spec, data).expect("shape matches")
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    c.bench_function("sampling_plan_build_512x256x3x3_from_1024x256", |b| {
+        let conv = ConvShape::new(512, 256, 3, 3);
+        let epi = EpitomeShape::new(256, 256, 2, 2);
+        b.iter(|| SamplingPlan::build(conv, epi).expect("legal plan"))
+    });
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    c.bench_function("epitome_reconstruct_512x256x3x3", |b| {
+        let e = random_epitome(paper_spec(), 1);
+        b.iter(|| e.reconstruct().expect("reconstruction succeeds"))
+    });
+}
+
+fn bench_repetition_map(c: &mut Criterion) {
+    c.bench_function("epitome_repetition_map_512x256x3x3", |b| {
+        let e = random_epitome(paper_spec(), 2);
+        b.iter(|| e.repetition_map())
+    });
+}
+
+fn bench_datapath_execute(c: &mut Criterion) {
+    c.bench_function("datapath_execute_32x16x3x3_on_8x8", |b| {
+        let spec = EpitomeSpec::new(
+            ConvShape::new(32, 16, 3, 3),
+            EpitomeShape::new(16, 8, 2, 2),
+        )
+        .expect("legal spec");
+        let e = random_epitome(spec, 3);
+        let dp = DataPath::new(&e, Conv2dCfg { stride: 1, padding: 1 }, true)
+            .expect("data path builds");
+        let mut r = rng::seeded(4);
+        let x = init::uniform(&[1, 16, 8, 8], -1.0, 1.0, &mut r);
+        b.iter(|| dp.execute(&x).expect("execution succeeds"))
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let e = random_epitome(paper_spec(), 5);
+    c.bench_function("quantize_epitome_3bit_per_tensor", |b| {
+        b.iter(|| {
+            quantize_epitome(&e, 3, QuantGranularity::PerTensor, &RangeEstimator::MinMax)
+                .expect("quantization succeeds")
+        })
+    });
+    c.bench_function("quantize_epitome_3bit_per_crossbar_overlap", |b| {
+        b.iter(|| {
+            quantize_epitome(
+                &e,
+                3,
+                QuantGranularity::PerCrossbar { rows: 128, cols: 128 },
+                &RangeEstimator::overlap_default(),
+            )
+            .expect("quantization succeeds")
+        })
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    c.bench_function("cost_model_resnet50_w9a9", |b| {
+        let model = CostModel::new(AcceleratorConfig::default().with_channel_wrapping(true));
+        let net = Network::uniform_epitome(resnet50(), &EpitomeDesigner::new(128, 128), 1024, 256)
+            .expect("legal design");
+        b.iter(|| net.simulate(&model, Precision::new(9, 9)))
+    });
+}
+
+fn bench_search_generation(c: &mut Criterion) {
+    c.bench_function("evo_search_5_generations_8_layers", |b| {
+        let d = EpitomeDesigner::new(128, 128);
+        let layers: Vec<SearchLayer> = resnet50()
+            .layers
+            .iter()
+            .filter(|l| l.conv.kh == 3 && l.conv.cin >= 256)
+            .take(8)
+            .map(|l| SearchLayer {
+                conv: l.conv,
+                out_pixels: l.out_pixels(),
+                candidates: d.candidates(l.conv).expect("candidates"),
+            })
+            .collect();
+        let cfg = SearchConfig { population: 16, iterations: 5, ..SearchConfig::default() };
+        b.iter_batched(
+            || {
+                EvoSearch::new(
+                    layers.clone(),
+                    CostModel::default(),
+                    Precision::new(9, 9),
+                    cfg,
+                )
+                .expect("valid problem")
+            },
+            |s| s.run(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_plan_build,
+        bench_reconstruct,
+        bench_repetition_map,
+        bench_datapath_execute,
+        bench_quantize,
+        bench_cost_model,
+        bench_search_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation studies over EPIM's design choices: crossbar-aligned shape
+//! legalization (§4.1), the overlap-weight hyperparameter `w1` (Eq. 4–5),
+//! and data-path robustness to analog non-idealities.
+//!
+//! `cargo run -p epim-bench --release --bin ablation`
+
+use epim_bench::experiments::ablation::{alignment_ablation, analog_sweep, w1_sweep};
+use epim_bench::format::{num, Table};
+
+fn main() {
+    println!("Ablation A: crossbar-aligned vs free epitome shapes (W9A9 mapping)");
+    let mut t = Table::new(vec![
+        "Conv",
+        "util aligned (%)",
+        "util free (%)",
+        "XBs aligned",
+        "XBs free",
+    ]);
+    for r in alignment_ablation() {
+        t.row(vec![
+            r.conv.clone(),
+            num(r.aligned_utilization * 100.0, 1),
+            num(r.unaligned_utilization * 100.0, 1),
+            r.aligned_xbs.to_string(),
+            r.unaligned_xbs.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("Ablation B: overlap weight w1 (Eq. 4-5), 3-bit per-crossbar quantization");
+    let mut t = Table::new(vec!["w1", "rep-weighted MSE", "plain MSE"]);
+    for p in w1_sweep(2024) {
+        t.row(vec![
+            num(p.w1 as f64, 2),
+            format!("{:.4e}", p.weighted_mse),
+            format!("{:.4e}", p.mse),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("reading: w1 trades range coverage for overlap fidelity. On random");
+    println!("(untrained) epitomes the regions' extrema coincide and w1 barely");
+    println!("matters; the win appears when outliers sit in low-repetition regions");
+    println!("(see the measured per-layer block of `table2`, where overlap-weighted");
+    println!("ranges reduce repetition-weighted MSE on most layers).\n");
+
+    println!("Ablation C: data-path robustness to analog non-idealities");
+    let mut t = Table::new(vec!["noise std", "ADC bits", "output MSE vs ideal"]);
+    for p in analog_sweep(2024) {
+        t.row(vec![
+            num(p.noise_std as f64, 2),
+            p.adc_bits.map(|b| b.to_string()).unwrap_or_else(|| "ideal".into()),
+            format!("{:.4e}", p.output_mse),
+        ]);
+    }
+    println!("{}", t.render());
+}

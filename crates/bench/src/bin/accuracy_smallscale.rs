@@ -1,0 +1,66 @@
+//! The ImageNet-substitution experiment: trains conv vs epitome vs
+//! quantized-epitome CNNs on synthetic data with real SGD (DESIGN.md §2)
+//! and reports test accuracies.
+//!
+//! `cargo run -p epim-bench --release --bin accuracy_smallscale`
+
+use epim::models::training::{
+    run_small_scale_experiment, run_small_scale_experiment_avg, SmallScaleConfig,
+    SyntheticDataset,
+};
+use epim_bench::format::{num, Table};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        SmallScaleConfig { per_class: 24, epochs: 8, ..SmallScaleConfig::default() }
+    } else {
+        // Full mode uses the harder striped-texture task (frequency
+        // detection), where compression and low-bit quantization actually
+        // cost accuracy — the blobs task saturates at 100% for every
+        // variant.
+        SmallScaleConfig {
+            classes: 6,
+            image_size: 12,
+            per_class: 60,
+            epochs: 25,
+            quant_bits: 2,
+            dataset: SyntheticDataset::Stripes,
+            // Paper-like ~2x compression (cout halved, wrapping factor 2).
+            epitome_shape: (8, 8, 3, 3),
+            ..SmallScaleConfig::default()
+        }
+    };
+    println!(
+        "Small-scale accuracy experiment: {} classes, {}x{} images, {} per class, {} epochs ({:?})",
+        cfg.classes, cfg.image_size, cfg.image_size, cfg.per_class, cfg.epochs, cfg.dataset
+    );
+    let res = if fast {
+        run_small_scale_experiment(&cfg)
+    } else {
+        // Average over 5 seeds: individual tiny-test-set runs are noisy.
+        println!("(averaging over 5 seeds; ~1 min)");
+        run_small_scale_experiment_avg(&cfg, 5)
+    };
+    let mut t = Table::new(vec!["Variant", "Test accuracy (%)"]);
+    t.row(vec!["conv CNN".to_string(), num(100.0 * res.conv_acc as f64, 1)]);
+    t.row(vec![
+        format!("epitome CNN ({:.1}x fewer params)", res.param_compression),
+        num(100.0 * res.epitome_acc as f64, 1),
+    ]);
+    t.row(vec![
+        format!("epitome + naive {}-bit QAT", cfg.quant_bits),
+        num(100.0 * res.epitome_naive_quant_acc as f64, 1),
+    ]);
+    t.row(vec![
+        format!("epitome + overlap-aware {}-bit QAT", cfg.quant_bits),
+        num(100.0 * res.epitome_overlap_quant_acc as f64, 1),
+    ]);
+    println!("{}", t.render());
+    println!("reading: the epitome trains to conv-level accuracy at ~2x compression");
+    println!("(the paper's central accuracy claim), and low-bit QAT through the");
+    println!("reconstruction adjoint works. The overlap-vs-naive range ablation is");
+    println!("a wash at this scale - its benefit needs trained-weight outlier");
+    println!("structure; see `table2`'s measured weight-space block, where the");
+    println!("overlap-weighted range does reduce repetition-weighted error.");
+}

@@ -1,0 +1,45 @@
+//! Prints the FP32 ResNet-50/101 baselines under the *literature* LUT and
+//! the scale factors needed to land on the paper's Table 1 anchors
+//! (139.8 ms / 214.0 mJ for ResNet-50). `HardwareLut::calibrated` hard-
+//! codes the resulting factors; run this after changing the cost model to
+//! refresh them.
+//!
+//! `cargo run -p epim-bench --release --bin calibrate`
+
+use epim::models::network::Network;
+use epim::models::resnet::{resnet101, resnet50};
+use epim::pim::{AcceleratorConfig, CostModel, HardwareLut, Precision};
+
+fn main() {
+    let raw = CostModel::with_lut(AcceleratorConfig::default(), HardwareLut::literature());
+    let cal = CostModel::new(AcceleratorConfig::default());
+
+    for (name, backbone) in [("ResNet-50", resnet50()), ("ResNet-101", resnet101())] {
+        let base = Network::baseline(backbone);
+        let r = base.simulate(&raw, Precision::fp32());
+        let c = base.simulate(&cal, Precision::fp32());
+        println!("{name} FP32 baseline:");
+        println!(
+            "  literature LUT: {:>9.1} ms  {:>9.1} mJ  {:>6} XBs  util {:>5.1}%",
+            r.latency_ms(),
+            r.energy_mj(),
+            r.crossbars(),
+            r.utilization_pct()
+        );
+        println!(
+            "  calibrated LUT: {:>9.1} ms  {:>9.1} mJ",
+            c.latency_ms(),
+            c.energy_mj()
+        );
+        if name == "ResNet-50" {
+            println!(
+                "  paper anchors:      139.8 ms      214.0 mJ  ->  scale factors: \
+                 latency {:.4}, energy {:.4}",
+                139.8 / r.latency_ms(),
+                214.0 / r.energy_mj()
+            );
+        } else {
+            println!("  paper anchors:      189.7 ms      385.7 mJ");
+        }
+    }
+}

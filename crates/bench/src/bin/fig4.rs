@@ -1,0 +1,72 @@
+//! Regenerates Figure 4: latency / energy / EDP of the uniform epitome
+//! versus EPIM-Channel-Wrapping, EPIM-Evo-Search and EPIM-Opt, across
+//! compression settings.
+//!
+//! `cargo run -p epim-bench --release --bin fig4` (add `--fast` for a
+//! reduced-search preview)
+
+use epim_bench::experiments::fig4::{fig4, headline, Method};
+use epim_bench::format::{num, Table};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let points = fig4(fast);
+
+    for (metric, pick) in [
+        ("(a) Latency (ms)", 0usize),
+        ("(b) Energy (mJ)", 1),
+        ("(c) EDP (mJ*ms)", 2),
+    ] {
+        println!("Figure 4{metric}");
+        let mut t = Table::new(vec![
+            "Config",
+            "XB compression",
+            Method::Uniform.label(),
+            Method::ChannelWrapping.label(),
+            Method::EvoSearch.label(),
+            Method::Opt.label(),
+        ]);
+        let configs: Vec<String> = {
+            let mut seen = Vec::new();
+            for p in &points {
+                if !seen.contains(&p.config) {
+                    seen.push(p.config.clone());
+                }
+            }
+            seen
+        };
+        for cfg in &configs {
+            let find = |m: Method| {
+                points
+                    .iter()
+                    .find(|p| &p.config == cfg && p.method == m)
+                    .expect("point exists")
+            };
+            let value = |m: Method| {
+                let p = find(m);
+                match pick {
+                    0 => p.latency_ms,
+                    1 => p.energy_mj,
+                    _ => p.edp,
+                }
+            };
+            t.row(vec![
+                cfg.clone(),
+                num(find(Method::Uniform).xbar_compression, 2),
+                num(value(Method::Uniform), 2),
+                num(value(Method::ChannelWrapping), 2),
+                num(value(Method::EvoSearch), 2),
+                num(value(Method::Opt), 2),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    let h = headline(&points);
+    println!(
+        "EPIM-Opt vs Uniform-Epitome (best across configs): {:.2}x speedup, \
+         {:.2}x energy savings, {:.2}x EDP reduction",
+        h.speedup, h.energy_saving, h.edp_reduction
+    );
+    println!("(paper: up to 3.07x / 2.36x / 7.13x)");
+}

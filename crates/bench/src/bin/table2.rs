@@ -1,0 +1,42 @@
+//! Regenerates Table 2: the quantization ablation (naive → per-crossbar
+//! scales → overlap-weighted ranges), plus a measured weight-space
+//! ablation on real epitomes.
+//!
+//! `cargo run -p epim-bench --release --bin table2`
+
+use epim_bench::experiments::table2::{table2_accuracy, table2_measured};
+use epim_bench::format::{num, Table};
+
+fn main() {
+    println!("Table 2: Detailed quantization experiments (accuracy, surrogate)");
+    let mut t = Table::new(vec!["Model", "Naive Quant", "+ Adjust w/ Crossbars", "+ Adjust w/ Overlap"]);
+    for r in table2_accuracy() {
+        t.row(vec![
+            r.model.clone(),
+            num(r.naive, 2),
+            num(r.adjust_crossbars, 2),
+            num(r.adjust_overlap, 2),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("Measured 3-bit weight-space ablation on uniform EPIM-ResNet50 epitomes");
+    println!("(no surrogate: real quantizers on real epitome tensors)");
+    let mut m = Table::new(vec![
+        "Layer",
+        "naive MSE",
+        "per-XB MSE",
+        "rep-weighted MSE (min/max)",
+        "rep-weighted MSE (overlap)",
+    ]);
+    for r in table2_measured(8) {
+        m.row(vec![
+            r.layer.clone(),
+            format!("{:.3e}", r.naive_mse),
+            format!("{:.3e}", r.xbar_mse),
+            format!("{:.3e}", r.xbar_weighted_mse),
+            format!("{:.3e}", r.overlap_weighted_mse),
+        ]);
+    }
+    println!("{}", m.render());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 3: accuracy and parameter compression of the
+//! epitome, epitome + element pruning, and PIM-Prune at 50%/75%.
+//!
+//! `cargo run -p epim-bench --release --bin table3`
+
+use epim_bench::experiments::table3::table3;
+use epim_bench::format::{num, Table};
+
+fn main() {
+    println!("Table 3: Epitome vs pruning (accuracy surrogate; compression measured)");
+    for (model, rows) in table3() {
+        println!("\n{model}:");
+        let mut t = Table::new(vec!["Method", "Accuracy(%)", "Compress. Rate"]);
+        for r in &rows {
+            t.row(vec![r.method.clone(), num(r.accuracy, 2), num(r.compression, 2)]);
+        }
+        println!("{}", t.render());
+    }
+}

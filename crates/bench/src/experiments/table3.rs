@@ -1,0 +1,165 @@
+//! Table 3: epitome vs element pruning vs PIM-Prune — accuracy and
+//! *parameter* compression rates (the paper compares parameter rates
+//! because crossbar rates are ill-defined for unstructured sparsity).
+//!
+//! Compression here is **measured** (element pruning on real epitome
+//! tensors, block pruning on real weight matrices); accuracy comes from
+//! the calibrated surrogate.
+
+use epim::core::Epitome;
+use epim::models::accuracy::AccuracyModel;
+use epim::models::network::OperatorChoice;
+use epim::models::resnet::{resnet101, resnet50, Backbone};
+use epim::prune::{element_prune, prune_blocks, BlockPruneConfig};
+use epim::tensor::{init, rng};
+
+use super::uniform_epim;
+
+/// Sparse-index storage overhead applied to unstructured survivors: a CSR
+/// row pointer + column index costs ≈ 29% of an FP32 value at ResNet
+/// scale (9-bit column index / 32-bit weight); the paper's 3.49× for
+/// "epitome (2.25×) + 50% pruning" implies exactly this overhead
+/// (2.25 × 2 / 1.29 ≈ 3.49).
+pub const SPARSE_INDEX_OVERHEAD: f64 = 1.29;
+
+/// One row of Table 3 for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Method label.
+    pub method: String,
+    /// Top-1 accuracy (%), surrogate.
+    pub accuracy: f64,
+    /// Parameter compression rate, measured.
+    pub compression: f64,
+}
+
+/// Generates the Table 3 rows for one backbone.
+pub fn rows_for(backbone: Backbone) -> Vec<Table3Row> {
+    let acc = if backbone.name == "ResNet50" {
+        AccuracyModel::resnet50()
+    } else {
+        AccuracyModel::resnet101()
+    };
+    let epim = uniform_epim(backbone.clone());
+    let cr_epitome = epim.param_compression();
+    let mut rows = Vec::new();
+
+    // Row 1: plain epitome.
+    rows.push(Table3Row {
+        method: "Epitome".into(),
+        accuracy: acc.epim_accuracy(
+            cr_epitome,
+            epim::models::accuracy::WeightScheme::Fp32,
+            epim::models::accuracy::QuantMethod::PerCrossbarOverlap,
+        ),
+        compression: cr_epitome,
+    });
+
+    // Row 2: epitome + 50% element pruning, measured on the epitome
+    // tensors themselves.
+    let mut r = rng::seeded(3);
+    let mut kept = 0usize;
+    let mut total_before = 0usize;
+    for choice in epim.choices() {
+        if let OperatorChoice::Epitome(spec) = choice {
+            let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
+            let e = Epitome::from_tensor(spec.clone(), data).expect("shape matches");
+            let (_, rep) = element_prune(e.tensor(), 0.5).expect("ratio valid");
+            kept += rep.params_after;
+            total_before += rep.params_before;
+        }
+    }
+    let element_cr = total_before as f64 / (kept as f64 * SPARSE_INDEX_OVERHEAD);
+    rows.push(Table3Row {
+        method: "Epitome + Pruning".into(),
+        accuracy: acc.epitome_plus_pruning_accuracy(cr_epitome, 0.5),
+        compression: cr_epitome * element_cr,
+    });
+
+    // Rows 3-4: PIM-Prune at 50% / 75%, measured by block pruning the
+    // real (randomly initialized) weight matrices with 128x128 blocks.
+    for ratio in [0.50, 0.75] {
+        let mut before = 0usize;
+        let mut after = 0usize;
+        let mut r = rng::seeded(4);
+        for layer in &backbone.layers {
+            let conv = layer.conv;
+            let w = init::kaiming_normal(&conv.dims(), &mut r);
+            let matrix = w
+                .reshape(&[conv.matrix_rows(), conv.matrix_cols()])
+                .expect("params match");
+            let res = prune_blocks(
+                &matrix,
+                &BlockPruneConfig { block_rows: 128, block_cols: 128, ratio },
+            )
+            .expect("valid config");
+            before += res.report.params_before;
+            after += res.report.params_after;
+        }
+        rows.push(Table3Row {
+            method: format!("PIM-Prune {}%", (ratio * 100.0) as u32),
+            accuracy: acc.pim_prune_accuracy(ratio),
+            compression: before as f64 / after as f64,
+        });
+    }
+    rows
+}
+
+/// Full Table 3 (both backbones), as `(model, rows)` pairs.
+pub fn table3() -> Vec<(String, Vec<Table3Row>)> {
+    vec![
+        ("ResNet-50".to_string(), rows_for(resnet50())),
+        ("ResNet-101".to_string(), rows_for(resnet101())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_rows_match_paper_shape() {
+        let rows = rows_for(resnet50());
+        assert_eq!(rows.len(), 4);
+        let epitome = &rows[0];
+        let combined = &rows[1];
+        let p50 = &rows[2];
+        let p75 = &rows[3];
+
+        // Accuracy anchors.
+        assert!((epitome.accuracy - 74.00).abs() < 0.30);
+        assert!((combined.accuracy - 73.18).abs() < 0.30);
+        assert!((p50.accuracy - 72.77).abs() < 0.05);
+        assert!((p75.accuracy - 72.19).abs() < 0.05);
+
+        // Compression shape: combined > prune75 > epitome ~ 2.25 >
+        // prune50.
+        assert!((1.8..3.2).contains(&epitome.compression), "{}", epitome.compression);
+        assert!(combined.compression > epitome.compression);
+        assert!((combined.compression - epitome.compression * 2.0 / SPARSE_INDEX_OVERHEAD).abs()
+            < 0.1 * combined.compression);
+        assert!((1.6..2.4).contains(&p50.compression), "{}", p50.compression);
+        assert!((3.0..4.6).contains(&p75.compression), "{}", p75.compression);
+
+        // The paper's point: epitome accuracy beats PIM-Prune 50% despite
+        // higher compression.
+        assert!(epitome.accuracy > p50.accuracy);
+        assert!(epitome.compression > p50.compression);
+    }
+
+    #[test]
+    fn resnet101_rows_consistent() {
+        let rows = rows_for(resnet101());
+        assert!((rows[0].accuracy - 76.56).abs() < 0.30);
+        assert!((rows[2].accuracy - 75.82).abs() < 0.05);
+        assert!(rows[0].accuracy > rows[3].accuracy);
+    }
+
+    #[test]
+    fn table3_has_both_models() {
+        let t = table3();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].1.len(), 4);
+        assert_eq!(t[1].1.len(), 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! # epim-bench
+//!
+//! The benchmark harness regenerating every table and figure of the EPIM
+//! paper's evaluation (§6–7). Experiment logic lives here so it is unit
+//! tested; the `src/bin/*` targets print the tables:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — main results (ResNet-50/101 × precision ladder) |
+//! | `table2` | Table 2 — quantization ablation |
+//! | `table3` | Table 3 — epitome vs pruning |
+//! | `fig3` | Figure 3 — per-layer params/latency/energy |
+//! | `fig4` | Figure 4 — uniform vs wrapping vs evo-search vs EPIM-Opt |
+//! | `accuracy_smallscale` | the ImageNet substitution experiment |
+//! | `calibrate` | prints raw-LUT baselines used to fit `HardwareLut::calibrated` |
+//!
+//! Run, e.g.: `cargo run -p epim-bench --release --bin table1`
+
+pub mod experiments;
+pub mod format;

@@ -1,0 +1,440 @@
+//! The [`Epitome`] parameter tensor and its reconstruction machinery.
+
+use crate::{ConvShape, EpitomeError, EpitomeShape, SamplingPlan};
+use epim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A fully specified epitome: its shape, the convolution it stands in for,
+/// and the sampling plan connecting the two.
+///
+/// Construct via [`crate::EpitomeDesigner::design`] (which legalizes the
+/// shape to crossbar multiples) or [`EpitomeSpec::with_plan`] for explicit
+/// control.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpitomeSpec {
+    conv: ConvShape,
+    shape: EpitomeShape,
+    plan: SamplingPlan,
+}
+
+impl EpitomeSpec {
+    /// Creates a spec with the canonical sampling plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::InvalidGeometry`] for zero extents.
+    pub fn new(conv: ConvShape, shape: EpitomeShape) -> Result<Self, EpitomeError> {
+        let plan = SamplingPlan::build(conv, shape)?;
+        Ok(EpitomeSpec { conv, shape, plan })
+    }
+
+    /// Creates a spec from an explicit plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::PlanMismatch`] if the plan's shapes disagree
+    /// with `conv`/`shape`, or if the plan fails verification.
+    pub fn with_plan(
+        conv: ConvShape,
+        shape: EpitomeShape,
+        plan: SamplingPlan,
+    ) -> Result<Self, EpitomeError> {
+        if plan.conv() != conv || plan.epitome() != shape {
+            return Err(EpitomeError::plan(
+                "plan shapes disagree with the provided conv/epitome shapes",
+            ));
+        }
+        plan.verify()?;
+        Ok(EpitomeSpec { conv, shape, plan })
+    }
+
+    /// The convolution this epitome reconstructs.
+    pub fn conv(&self) -> ConvShape {
+        self.conv
+    }
+
+    /// The epitome tensor shape.
+    pub fn shape(&self) -> EpitomeShape {
+        self.shape
+    }
+
+    /// The sampling plan.
+    pub fn plan(&self) -> &SamplingPlan {
+        &self.plan
+    }
+
+    /// Parameter compression rate: conv params / epitome params.
+    pub fn param_compression(&self) -> f64 {
+        self.conv.params() as f64 / self.shape.params() as f64
+    }
+}
+
+/// The epitome operator: a compact learnable tensor plus its spec.
+///
+/// Layout matches convolution weights: `(C_out_e, C_in_e, H_e, W_e)`.
+///
+/// # Example
+///
+/// ```
+/// use epim_core::{ConvShape, EpitomeShape, Epitome, EpitomeSpec};
+///
+/// # fn main() -> Result<(), epim_core::EpitomeError> {
+/// let spec = EpitomeSpec::new(
+///     ConvShape::new(8, 4, 3, 3),
+///     EpitomeShape::new(4, 4, 3, 3),
+/// )?;
+/// let epi = Epitome::zeros(spec);
+/// assert_eq!(epi.reconstruct()?.shape(), &[8, 4, 3, 3]);
+/// // Every conv element traces back to some epitome element, so the
+/// // repetition counts sum to the conv volume.
+/// let reps = epi.repetition_map();
+/// assert_eq!(reps.sum() as usize, 8 * 4 * 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Epitome {
+    spec: EpitomeSpec,
+    data: Tensor,
+}
+
+impl Epitome {
+    /// An all-zeros epitome.
+    pub fn zeros(spec: EpitomeSpec) -> Self {
+        let data = Tensor::zeros(&spec.shape().dims());
+        Epitome { spec, data }
+    }
+
+    /// Wraps an existing parameter tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::PlanMismatch`] if `data`'s shape differs
+    /// from the spec's epitome shape.
+    pub fn from_tensor(spec: EpitomeSpec, data: Tensor) -> Result<Self, EpitomeError> {
+        if data.shape() != spec.shape().dims() {
+            return Err(EpitomeError::plan(format!(
+                "tensor shape {:?} does not match epitome shape {:?}",
+                data.shape(),
+                spec.shape().dims()
+            )));
+        }
+        Ok(Epitome { spec, data })
+    }
+
+    /// Initializes the epitome from an existing convolution weight by
+    /// **averaging**: each epitome element becomes the mean of all conv
+    /// weight elements it reconstructs. This is the least-squares optimal
+    /// epitome for the fixed plan and a strong starting point for
+    /// fine-tuning (the offline counterpart of the paper's epitome
+    /// training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::PlanMismatch`] if `weight`'s shape differs
+    /// from the spec's conv shape.
+    pub fn from_conv_weight(spec: EpitomeSpec, weight: &Tensor) -> Result<Self, EpitomeError> {
+        if weight.shape() != spec.conv().dims() {
+            return Err(EpitomeError::plan(format!(
+                "weight shape {:?} does not match conv shape {:?}",
+                weight.shape(),
+                spec.conv().dims()
+            )));
+        }
+        let dims = spec.shape().dims();
+        let mut sums = Tensor::zeros(&dims);
+        let mut counts = Tensor::zeros(&dims);
+        for patch in spec.plan().patches() {
+            for_each_offset(&patch.size, |off| {
+                let src = [
+                    patch.src[0] + off[0],
+                    patch.src[1] + off[1],
+                    patch.src[2] + off[2],
+                    patch.src[3] + off[3],
+                ];
+                let dst = [
+                    patch.dst[0] + off[0],
+                    patch.dst[1] + off[1],
+                    patch.dst[2] + off[2],
+                    patch.dst[3] + off[3],
+                ];
+                let v = weight.at(&dst);
+                let cur = sums.at(&src);
+                sums.set(&src, cur + v).expect("src within epitome");
+                let c = counts.at(&src);
+                counts.set(&src, c + 1.0).expect("src within epitome");
+            });
+        }
+        let data = sums
+            .zip(&counts, |s, c| if c > 0.0 { s / c } else { 0.0 })
+            .expect("same shape by construction");
+        Ok(Epitome { spec, data })
+    }
+
+    /// The spec (shapes + plan).
+    pub fn spec(&self) -> &EpitomeSpec {
+        &self.spec
+    }
+
+    /// The parameter tensor, `(C_out_e, C_in_e, H_e, W_e)`.
+    pub fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Mutable access to the parameter tensor (for training/quantization).
+    pub fn tensor_mut(&mut self) -> &mut Tensor {
+        &mut self.data
+    }
+
+    /// Replaces the parameter tensor (e.g. with a quantized copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::PlanMismatch`] if the shape changes.
+    pub fn set_tensor(&mut self, data: Tensor) -> Result<(), EpitomeError> {
+        if data.shape() != self.spec.shape().dims() {
+            return Err(EpitomeError::plan("replacement tensor has a different shape"));
+        }
+        self.data = data;
+        Ok(())
+    }
+
+    /// Reconstructs the full convolution weight `(C_out, C_in, KH, KW)` by
+    /// executing the sampling plan (paper Eq. 1 / Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::Tensor`] only on internal shape corruption.
+    pub fn reconstruct(&self) -> Result<Tensor, EpitomeError> {
+        let mut out = Tensor::zeros(&self.spec.conv().dims());
+        for patch in self.spec.plan().patches() {
+            for_each_offset(&patch.size, |off| {
+                let src = [
+                    patch.src[0] + off[0],
+                    patch.src[1] + off[1],
+                    patch.src[2] + off[2],
+                    patch.src[3] + off[3],
+                ];
+                let dst = [
+                    patch.dst[0] + off[0],
+                    patch.dst[1] + off[1],
+                    patch.dst[2] + off[2],
+                    patch.dst[3] + off[3],
+                ];
+                let v = self.data.at(&src);
+                out.set(&dst, v).expect("dst within conv shape");
+            });
+        }
+        Ok(out)
+    }
+
+    /// How many times each epitome element appears in the reconstructed
+    /// convolution. Elements in overlap regions have higher counts; the
+    /// paper's epitome-aware quantization weighs them more (Fig. 2c).
+    pub fn repetition_map(&self) -> Tensor {
+        let mut counts = Tensor::zeros(&self.spec.shape().dims());
+        for patch in self.spec.plan().patches() {
+            for_each_offset(&patch.size, |off| {
+                let src = [
+                    patch.src[0] + off[0],
+                    patch.src[1] + off[1],
+                    patch.src[2] + off[2],
+                    patch.src[3] + off[3],
+                ];
+                let c = counts.at(&src);
+                counts.set(&src, c + 1.0).expect("src within epitome");
+            });
+        }
+        counts
+    }
+
+    /// Backpropagates a gradient on the reconstructed weight to the
+    /// epitome parameters: the adjoint of [`Epitome::reconstruct`], i.e.
+    /// each epitome element accumulates the gradients of every conv element
+    /// it produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::PlanMismatch`] if `dweight` has the wrong
+    /// shape.
+    pub fn backprop_weight_grad(&self, dweight: &Tensor) -> Result<Tensor, EpitomeError> {
+        if dweight.shape() != self.spec.conv().dims() {
+            return Err(EpitomeError::plan("gradient shape does not match conv shape"));
+        }
+        let mut grad = Tensor::zeros(&self.spec.shape().dims());
+        for patch in self.spec.plan().patches() {
+            for_each_offset(&patch.size, |off| {
+                let src = [
+                    patch.src[0] + off[0],
+                    patch.src[1] + off[1],
+                    patch.src[2] + off[2],
+                    patch.src[3] + off[3],
+                ];
+                let dst = [
+                    patch.dst[0] + off[0],
+                    patch.dst[1] + off[1],
+                    patch.dst[2] + off[2],
+                    patch.dst[3] + off[3],
+                ];
+                let g = grad.at(&src);
+                grad.set(&src, g + dweight.at(&dst)).expect("src within epitome");
+            });
+        }
+        Ok(grad)
+    }
+}
+
+/// Iterates all offset vectors within a 4-D extent.
+fn for_each_offset(size: &[usize; 4], mut f: impl FnMut([usize; 4])) {
+    for a in 0..size[0] {
+        for b in 0..size[1] {
+            for c in 0..size[2] {
+                for d in 0..size[3] {
+                    f([a, b, c, d]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epim_tensor::{init, rng};
+
+    fn spec(conv: ConvShape, epi: EpitomeShape) -> EpitomeSpec {
+        EpitomeSpec::new(conv, epi).unwrap()
+    }
+
+    #[test]
+    fn identity_epitome_reconstructs_itself() {
+        let conv = ConvShape::new(4, 3, 3, 3);
+        let s = spec(conv, EpitomeShape::new(4, 3, 3, 3));
+        let mut r = rng::seeded(1);
+        let data = init::uniform(&s.shape().dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_tensor(s, data.clone()).unwrap();
+        assert_eq!(epi.reconstruct().unwrap(), data);
+    }
+
+    #[test]
+    fn replication_along_cout() {
+        // cout 8 from cout_e 4: two identical channel blocks.
+        let s = spec(ConvShape::new(8, 2, 3, 3), EpitomeShape::new(4, 2, 3, 3));
+        let mut r = rng::seeded(2);
+        let data = init::uniform(&s.shape().dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_tensor(s, data).unwrap();
+        let w = epi.reconstruct().unwrap();
+        for co in 0..4 {
+            for ci in 0..2 {
+                for y in 0..3 {
+                    for x in 0..3 {
+                        assert_eq!(
+                            w.at(&[co, ci, y, x]),
+                            w.at(&[co + 4, ci, y, x]),
+                            "translation invariance (paper Eq. 8)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_counts_sum_to_conv_volume() {
+        let conv = ConvShape::new(16, 8, 3, 3);
+        let s = spec(conv, EpitomeShape::new(8, 4, 2, 2));
+        let epi = Epitome::zeros(s);
+        let reps = epi.repetition_map();
+        assert_eq!(reps.sum() as usize, conv.params());
+        // Compression implies some element repeats.
+        assert!(reps.max() >= 2.0);
+    }
+
+    #[test]
+    fn repetition_nonuniform_under_overlap() {
+        // Tail windows overlap earlier full windows, so counts differ.
+        let s = spec(ConvShape::new(4, 9, 1, 1), EpitomeShape::new(4, 5, 1, 1));
+        let epi = Epitome::zeros(s);
+        let reps = epi.repetition_map();
+        assert!(reps.max() > reps.min(), "overlap must create nonuniform repetition");
+    }
+
+    #[test]
+    fn from_conv_weight_is_exact_when_lossless() {
+        // Epitome with the same shape as the conv loses nothing.
+        let conv = ConvShape::new(6, 5, 3, 3);
+        let s = spec(conv, EpitomeShape::new(6, 5, 3, 3));
+        let mut r = rng::seeded(3);
+        let w = init::uniform(&conv.dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_conv_weight(s, &w).unwrap();
+        let back = epi.reconstruct().unwrap();
+        assert!(back.allclose(&w, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn from_conv_weight_minimizes_reconstruction_error() {
+        // Averaging init must beat a random epitome in MSE.
+        let conv = ConvShape::new(8, 8, 3, 3);
+        let s = spec(conv, EpitomeShape::new(4, 8, 2, 2));
+        let mut r = rng::seeded(4);
+        let w = init::uniform(&conv.dims(), -1.0, 1.0, &mut r);
+        let avg = Epitome::from_conv_weight(s.clone(), &w).unwrap();
+        let rnd = Epitome::from_tensor(
+            s,
+            init::uniform(&avg.spec().shape().dims(), -1.0, 1.0, &mut r),
+        )
+        .unwrap();
+        let mse_avg = avg.reconstruct().unwrap().mse(&w).unwrap();
+        let mse_rnd = rnd.reconstruct().unwrap().mse(&w).unwrap();
+        assert!(mse_avg < mse_rnd, "avg {mse_avg} rnd {mse_rnd}");
+    }
+
+    #[test]
+    fn averaging_is_least_squares_stationary() {
+        // Perturbing any single epitome coordinate away from the average
+        // must not reduce reconstruction MSE.
+        let conv = ConvShape::new(4, 6, 3, 3);
+        let s = spec(conv, EpitomeShape::new(2, 4, 2, 2));
+        let mut r = rng::seeded(5);
+        let w = init::uniform(&conv.dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_conv_weight(s, &w).unwrap();
+        let base = epi.reconstruct().unwrap().mse(&w).unwrap();
+        for &flat in &[0usize, 3, 17, 31] {
+            for delta in [0.05f32, -0.05] {
+                let mut e2 = epi.clone();
+                e2.tensor_mut().data_mut()[flat] += delta;
+                let m = e2.reconstruct().unwrap().mse(&w).unwrap();
+                assert!(m >= base - 1e-7, "perturbation improved MSE: {m} < {base}");
+            }
+        }
+    }
+
+    #[test]
+    fn backprop_matches_repetition_for_unit_grad() {
+        // With dW = 1 everywhere, the epitome grad equals the repetition
+        // count of each element.
+        let s = spec(ConvShape::new(8, 6, 3, 3), EpitomeShape::new(4, 3, 2, 2));
+        let epi = Epitome::zeros(s.clone());
+        let dw = Tensor::ones(&s.conv().dims());
+        let g = epi.backprop_weight_grad(&dw).unwrap();
+        assert_eq!(g, epi.repetition_map());
+    }
+
+    #[test]
+    fn shape_validation_errors() {
+        let s = spec(ConvShape::new(4, 3, 3, 3), EpitomeShape::new(2, 3, 3, 3));
+        assert!(Epitome::from_tensor(s.clone(), Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        assert!(Epitome::from_conv_weight(s.clone(), &Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        let mut epi = Epitome::zeros(s);
+        assert!(epi.set_tensor(Tensor::zeros(&[9])).is_err());
+        assert!(epi.backprop_weight_grad(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn param_compression_rate() {
+        let s = spec(ConvShape::new(512, 256, 3, 3), EpitomeShape::new(256, 256, 2, 2));
+        // conv params = 512*256*9; epitome = 256*256*4.
+        let expected = (512.0 * 256.0 * 9.0) / (256.0 * 256.0 * 4.0);
+        assert!((s.param_compression() - expected).abs() < 1e-9);
+    }
+}

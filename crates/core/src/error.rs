@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use epim_tensor::TensorError;
+
+/// Error type for epitome construction, planning and reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpitomeError {
+    /// The epitome shape cannot reconstruct the requested convolution
+    /// (some extent is zero, or a window exceeds the epitome extent).
+    InvalidGeometry {
+        /// What was wrong.
+        what: String,
+    },
+    /// A sampling plan was applied to a tensor of the wrong shape.
+    PlanMismatch {
+        /// What was wrong.
+        what: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for EpitomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpitomeError::InvalidGeometry { what } => write!(f, "invalid epitome geometry: {what}"),
+            EpitomeError::PlanMismatch { what } => write!(f, "sampling plan mismatch: {what}"),
+            EpitomeError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for EpitomeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EpitomeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for EpitomeError {
+    fn from(e: TensorError) -> Self {
+        EpitomeError::Tensor(e)
+    }
+}
+
+impl EpitomeError {
+    /// Convenience constructor for [`EpitomeError::InvalidGeometry`].
+    pub fn geometry(what: impl Into<String>) -> Self {
+        EpitomeError::InvalidGeometry { what: what.into() }
+    }
+
+    /// Convenience constructor for [`EpitomeError::PlanMismatch`].
+    pub fn plan(what: impl Into<String>) -> Self {
+        EpitomeError::PlanMismatch { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            EpitomeError::geometry("zero extent"),
+            EpitomeError::plan("wrong tensor"),
+            EpitomeError::Tensor(TensorError::invalid("x")),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let te = TensorError::invalid("boom");
+        let ee: EpitomeError = te.clone().into();
+        assert!(std::error::Error::source(&ee).is_some());
+        assert_eq!(ee, EpitomeError::Tensor(te));
+    }
+}

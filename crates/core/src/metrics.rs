@@ -1,0 +1,100 @@
+//! Compression accounting shared across the workspace.
+
+use crate::{ConvShape, EpitomeShape, EpitomeSpec};
+use serde::{Deserialize, Serialize};
+
+/// The matrix a weight tensor maps to on memristor crossbars: input
+/// channels × kernel window on the word lines, output channels on the bit
+/// lines (paper §4.1, following MNSIM's mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MappedMatrix {
+    /// Word-line rows.
+    pub rows: usize,
+    /// Bit-line columns (before bit-slicing).
+    pub cols: usize,
+}
+
+impl MappedMatrix {
+    /// Creates a mapped matrix directly.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        MappedMatrix { rows, cols }
+    }
+
+    /// The matrix a convolution maps to.
+    pub fn from_conv(conv: ConvShape) -> Self {
+        MappedMatrix { rows: conv.matrix_rows(), cols: conv.matrix_cols() }
+    }
+
+    /// The matrix an epitome maps to.
+    pub fn from_epitome(shape: EpitomeShape) -> Self {
+        MappedMatrix { rows: shape.matrix_rows(), cols: shape.matrix_cols() }
+    }
+
+    /// Number of matrix cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl std::fmt::Display for MappedMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Parameter-level compression summary for one epitome replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionReport {
+    /// Parameters in the original convolution.
+    pub conv_params: usize,
+    /// Parameters in the epitome.
+    pub epitome_params: usize,
+    /// `conv_params / epitome_params`.
+    pub rate: f64,
+}
+
+impl CompressionReport {
+    /// Builds the report for a spec.
+    pub fn for_spec(spec: &EpitomeSpec) -> Self {
+        let conv_params = spec.conv().params();
+        let epitome_params = spec.shape().params();
+        CompressionReport {
+            conv_params,
+            epitome_params,
+            rate: conv_params as f64 / epitome_params as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EpitomeSpec;
+
+    #[test]
+    fn mapped_matrix_from_shapes() {
+        let conv = ConvShape::new(512, 256, 3, 3);
+        let m = MappedMatrix::from_conv(conv);
+        assert_eq!((m.rows, m.cols), (2304, 512));
+        assert_eq!(m.cells(), 2304 * 512);
+
+        let e = EpitomeShape::new(256, 256, 2, 2);
+        let me = MappedMatrix::from_epitome(e);
+        assert_eq!((me.rows, me.cols), (1024, 256));
+        assert_eq!(me.to_string(), "1024x256");
+    }
+
+    #[test]
+    fn compression_report_consistent() {
+        let spec = EpitomeSpec::new(
+            ConvShape::new(512, 256, 3, 3),
+            EpitomeShape::new(256, 256, 2, 2),
+        )
+        .unwrap();
+        let r = CompressionReport::for_spec(&spec);
+        assert_eq!(r.conv_params, 512 * 256 * 9);
+        assert_eq!(r.epitome_params, 256 * 256 * 4);
+        assert!((r.rate - spec.param_compression()).abs() < 1e-12);
+        assert!(r.rate > 4.0);
+    }
+}

@@ -1,0 +1,173 @@
+use crate::EpitomeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a convolution weight `(C_out, C_in, KH, KW)`.
+///
+/// # Example
+///
+/// ```
+/// let c = epim_core::ConvShape::new(512, 256, 3, 3);
+/// assert_eq!(c.params(), 512 * 256 * 9);
+/// assert_eq!(c.matrix_rows(), 256 * 9);
+/// assert_eq!(c.matrix_cols(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Output channels.
+    pub cout: usize,
+    /// Input channels.
+    pub cin: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+}
+
+impl ConvShape {
+    /// Creates a convolution shape.
+    pub fn new(cout: usize, cin: usize, kh: usize, kw: usize) -> Self {
+        ConvShape { cout, cin, kh, kw }
+    }
+
+    /// Total number of weight parameters.
+    pub fn params(&self) -> usize {
+        self.cout * self.cin * self.kh * self.kw
+    }
+
+    /// Rows of the matrix this weight maps to on crossbars
+    /// (`c_in × kh × kw`, the word-line dimension — paper §4.1).
+    pub fn matrix_rows(&self) -> usize {
+        self.cin * self.kh * self.kw
+    }
+
+    /// Columns of the mapped matrix (`c_out`, the bit-line dimension).
+    pub fn matrix_cols(&self) -> usize {
+        self.cout
+    }
+
+    /// The shape as a tensor dims slice.
+    pub fn dims(&self) -> [usize; 4] {
+        [self.cout, self.cin, self.kh, self.kw]
+    }
+
+    /// Validates that no extent is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::InvalidGeometry`] when any extent is zero.
+    pub fn validate(&self) -> Result<(), EpitomeError> {
+        if self.cout == 0 || self.cin == 0 || self.kh == 0 || self.kw == 0 {
+            Err(EpitomeError::geometry(format!("conv shape {self} has a zero extent")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.cout, self.cin, self.kh, self.kw)
+    }
+}
+
+/// Shape of an epitome tensor `(C_out_e, C_in_e, H_e, W_e)`.
+///
+/// Stored in the same axis order as convolution weights so that a patch's
+/// source and destination offsets live in the same coordinate system. The
+/// paper writes the epitome as `E[p, q, c_in, c_out]` (Eq. 1); only the
+/// axis order differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EpitomeShape {
+    /// Output-channel extent of the epitome (`β2` window limit).
+    pub cout: usize,
+    /// Input-channel extent of the epitome (`β1` window limit).
+    pub cin: usize,
+    /// Spatial height extent (`p` axis length).
+    pub h: usize,
+    /// Spatial width extent (`q` axis length).
+    pub w: usize,
+}
+
+impl EpitomeShape {
+    /// Creates an epitome shape.
+    pub fn new(cout: usize, cin: usize, h: usize, w: usize) -> Self {
+        EpitomeShape { cout, cin, h, w }
+    }
+
+    /// Total number of epitome parameters.
+    pub fn params(&self) -> usize {
+        self.cout * self.cin * self.h * self.w
+    }
+
+    /// Word-line rows when mapped to crossbars (`c_in_e × h × w`).
+    ///
+    /// Table 1 describes epitomes by this product, e.g. `1024x256` means
+    /// `matrix_rows() == 1024` and `cout == 256`.
+    pub fn matrix_rows(&self) -> usize {
+        self.cin * self.h * self.w
+    }
+
+    /// Bit-line columns when mapped to crossbars (`c_out_e`).
+    pub fn matrix_cols(&self) -> usize {
+        self.cout
+    }
+
+    /// The shape as a tensor dims slice.
+    pub fn dims(&self) -> [usize; 4] {
+        [self.cout, self.cin, self.h, self.w]
+    }
+
+    /// Validates that no extent is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::InvalidGeometry`] when any extent is zero.
+    pub fn validate(&self) -> Result<(), EpitomeError> {
+        if self.cout == 0 || self.cin == 0 || self.h == 0 || self.w == 0 {
+            Err(EpitomeError::geometry(format!("epitome shape {self} has a zero extent")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for EpitomeShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} (cout={}, cin={}, h={}, w={})",
+            self.matrix_rows(), self.cout, self.cout, self.cin, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_accounting() {
+        let c = ConvShape::new(64, 32, 3, 3);
+        assert_eq!(c.params(), 64 * 32 * 9);
+        assert_eq!(c.matrix_rows(), 288);
+        assert_eq!(c.matrix_cols(), 64);
+        assert_eq!(c.dims(), [64, 32, 3, 3]);
+        assert!(c.validate().is_ok());
+        assert!(ConvShape::new(0, 32, 3, 3).validate().is_err());
+    }
+
+    #[test]
+    fn epitome_shape_accounting() {
+        // The paper's uniform 1024x256 epitome: 256 x 2 x 2 input block.
+        let e = EpitomeShape::new(256, 256, 2, 2);
+        assert_eq!(e.matrix_rows(), 1024);
+        assert_eq!(e.matrix_cols(), 256);
+        assert_eq!(e.params(), 256 * 256 * 4);
+        assert!(e.validate().is_ok());
+        assert!(EpitomeShape::new(1, 0, 1, 1).validate().is_err());
+    }
+
+    #[test]
+    fn display_contains_matrix_form() {
+        let e = EpitomeShape::new(256, 256, 2, 2);
+        assert!(e.to_string().starts_with("1024x256"));
+    }
+}

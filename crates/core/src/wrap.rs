@@ -1,0 +1,145 @@
+//! Output channel wrapping (paper §5.3).
+//!
+//! When the sampling plan replicates the same source window across the
+//! output-channel axis, the reconstructed weight satisfies the translation
+//! invariance of Eq. 8: `W[x, :, :, :] = W[x + c, :, :, :]`. The output
+//! feature map then satisfies Eq. 9, so a PIM accelerator can compute just
+//! `c` channels and replicate the rest — cutting output-buffer writes by
+//! the wrapping factor `r`.
+
+use crate::SamplingPlan;
+use serde::{Deserialize, Serialize};
+
+/// Channel-wrapping analysis of a sampling plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelWrapping {
+    /// Wrapping factor `r`: number of identical output-channel blocks.
+    /// `1` means wrapping is not applicable.
+    pub factor: usize,
+    /// The block size `c` (output channels computed per round).
+    pub block: usize,
+}
+
+impl ChannelWrapping {
+    /// Whether wrapping actually saves anything.
+    pub fn is_effective(&self) -> bool {
+        self.factor > 1
+    }
+}
+
+/// Analyzes a plan for output channel wrapping.
+///
+/// Wrapping applies when the output-channel axis is tiled into more than
+/// one block, every block reads the identical source window, and all
+/// blocks are full length (so Eq. 8 holds exactly).
+///
+/// # Example
+///
+/// ```
+/// use epim_core::{ConvShape, EpitomeShape, SamplingPlan, wrapping_factor};
+///
+/// # fn main() -> Result<(), epim_core::EpitomeError> {
+/// let plan = SamplingPlan::build(
+///     ConvShape::new(512, 256, 3, 3),
+///     EpitomeShape::new(256, 256, 2, 2),
+/// )?;
+/// let w = wrapping_factor(&plan);
+/// assert_eq!(w.factor, 2);
+/// assert_eq!(w.block, 256);
+/// # Ok(())
+/// # }
+/// ```
+pub fn wrapping_factor(plan: &SamplingPlan) -> ChannelWrapping {
+    let cout_plan = &plan.dim_plans()[0];
+    let tiles = cout_plan.tiles();
+    if tiles <= 1 {
+        return ChannelWrapping { factor: 1, block: cout_plan.dst_extent };
+    }
+    let first = cout_plan.segments[0];
+    let uniform = cout_plan
+        .segments
+        .iter()
+        .all(|s| s.src_start == first.src_start && s.len == first.len);
+    if uniform {
+        ChannelWrapping { factor: tiles, block: first.len }
+    } else {
+        ChannelWrapping { factor: 1, block: cout_plan.dst_extent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConvShape, Epitome, EpitomeShape, EpitomeSpec};
+    use epim_tensor::{init, rng};
+
+    #[test]
+    fn exact_division_wraps() {
+        let plan =
+            SamplingPlan::build(ConvShape::new(512, 4, 3, 3), EpitomeShape::new(128, 4, 3, 3))
+                .unwrap();
+        let w = wrapping_factor(&plan);
+        assert_eq!(w.factor, 4);
+        assert_eq!(w.block, 128);
+        assert!(w.is_effective());
+    }
+
+    #[test]
+    fn single_tile_does_not_wrap() {
+        let plan =
+            SamplingPlan::build(ConvShape::new(64, 4, 3, 3), EpitomeShape::new(64, 4, 3, 3))
+                .unwrap();
+        let w = wrapping_factor(&plan);
+        assert_eq!(w.factor, 1);
+        assert!(!w.is_effective());
+    }
+
+    #[test]
+    fn ragged_tail_does_not_wrap() {
+        // cout 10 from cout_e 4: blocks 4,4,2 — last block differs, Eq. 8
+        // does not hold for all x, so wrapping must be rejected.
+        let plan =
+            SamplingPlan::build(ConvShape::new(10, 4, 3, 3), EpitomeShape::new(4, 4, 3, 3))
+                .unwrap();
+        assert_eq!(wrapping_factor(&plan).factor, 1);
+    }
+
+    #[test]
+    fn wrapped_weight_satisfies_translation_invariance() {
+        // Direct check of paper Eq. 8 on a reconstructed weight.
+        let spec = EpitomeSpec::new(
+            ConvShape::new(12, 6, 3, 3),
+            EpitomeShape::new(4, 6, 3, 3),
+        )
+        .unwrap();
+        let wrap = wrapping_factor(spec.plan());
+        assert_eq!(wrap.factor, 3);
+        let mut r = rng::seeded(7);
+        let data = init::uniform(&spec.shape().dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_tensor(spec, data).unwrap();
+        let w = epi.reconstruct().unwrap();
+        let c = wrap.block;
+        for x in 0..(wrap.factor - 1) * c {
+            for ci in 0..6 {
+                for y in 0..3 {
+                    for xx in 0..3 {
+                        assert_eq!(w.at(&[x, ci, y, xx]), w.at(&[x + c, ci, y, xx]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_cout_plan_rejected() {
+        // A plan built with overlapping cout windows whose offsets differ
+        // cannot wrap.
+        let plan = SamplingPlan::build_overlapping(
+            ConvShape::new(9, 4, 3, 3),
+            EpitomeShape::new(5, 4, 3, 3),
+        )
+        .unwrap();
+        // Tail segment offset differs from 0 (spread), so not uniform.
+        assert_eq!(wrapping_factor(&plan).factor, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # epim-models
+//!
+//! Model-level machinery for the EPIM reproduction:
+//!
+//! - [`resnet`]: exact layer inventories (every convolution's shape and
+//!   output resolution) for ResNet-50 and ResNet-101 at 224×224 input —
+//!   the two backbones evaluated in the paper's Table 1.
+//! - [`network`]: the [`network::Network`] /
+//!   [`network::OperatorChoice`] abstraction tying layer inventories to
+//!   per-layer operators (convolution or epitome) and driving the
+//!   `epim-pim` cost model over whole networks.
+//! - [`accuracy`]: the **calibrated accuracy surrogate** standing in for
+//!   ImageNet training (see DESIGN.md §2) — an analytic model of top-1
+//!   accuracy as a function of epitome compression, quantization bit
+//!   width/method and pruning ratio, with all constants calibrated
+//!   against the paper's published tables and documented inline.
+//! - [`training`]: the genuine small-scale substitute: a trainable
+//!   epitome convolution layer ([`training::EpitomeConv2d`]) and an
+//!   experiment harness that trains conv vs. epitome vs. quantized
+//!   epitome CNNs on synthetic data with real gradient descent.
+
+#![deny(missing_docs)]
+
+pub mod accuracy;
+pub mod network;
+pub mod resnet;
+pub mod training;

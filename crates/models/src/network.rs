@@ -1,0 +1,308 @@
+//! Networks with per-layer operator choices (convolution or epitome), and
+//! whole-network cost simulation.
+
+use crate::resnet::Backbone;
+use epim_core::{EpitomeDesigner, EpitomeError, EpitomeSpec};
+use epim_pim::{CostModel, NetworkCosts, Precision};
+use serde::{Deserialize, Serialize};
+
+/// The operator implementing one weight layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OperatorChoice {
+    /// Keep the original convolution.
+    Conv,
+    /// Replace with an epitome.
+    Epitome(EpitomeSpec),
+}
+
+impl OperatorChoice {
+    /// Whether the layer uses an epitome.
+    pub fn is_epitome(&self) -> bool {
+        matches!(self, OperatorChoice::Epitome(_))
+    }
+}
+
+/// A backbone plus per-layer operator choices — the unit the evolutionary
+/// search optimizes and the cost model simulates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    backbone: Backbone,
+    choices: Vec<OperatorChoice>,
+}
+
+impl Network {
+    /// A network keeping every layer as a convolution (the baseline rows
+    /// of Table 1).
+    pub fn baseline(backbone: Backbone) -> Self {
+        let choices = vec![OperatorChoice::Conv; backbone.layers.len()];
+        Network { backbone, choices }
+    }
+
+    /// Replaces every convolution with a uniform epitome of (at most)
+    /// `rows × cout` matrix shape — the paper's "1024 × 256" uniform
+    /// setting. Layers already smaller than the target are capped by the
+    /// designer; the FC classifier is kept as-is (the paper compresses
+    /// convolutions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates designer errors.
+    pub fn uniform_epitome(
+        backbone: Backbone,
+        designer: &EpitomeDesigner,
+        rows: usize,
+        cout: usize,
+    ) -> Result<Self, EpitomeError> {
+        let mut choices = Vec::with_capacity(backbone.layers.len());
+        for layer in &backbone.layers {
+            if layer.name == "fc" {
+                choices.push(OperatorChoice::Conv);
+                continue;
+            }
+            let spec = designer.design(layer.conv, rows, cout)?;
+            // If the design cannot shrink the layer, keep the conv: an
+            // epitome with compression 1 only adds activation rounds.
+            if spec.param_compression() > 1.001 {
+                choices.push(OperatorChoice::Epitome(spec));
+            } else {
+                choices.push(OperatorChoice::Conv);
+            }
+        }
+        Ok(Network { backbone, choices })
+    }
+
+    /// Builds a network from explicit per-layer choices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::PlanMismatch`] if the choice count differs
+    /// from the layer count or a spec targets the wrong conv shape.
+    pub fn from_choices(
+        backbone: Backbone,
+        choices: Vec<OperatorChoice>,
+    ) -> Result<Self, EpitomeError> {
+        if choices.len() != backbone.layers.len() {
+            return Err(epim_core::EpitomeError::plan(format!(
+                "{} choices for {} layers",
+                choices.len(),
+                backbone.layers.len()
+            )));
+        }
+        for (layer, choice) in backbone.layers.iter().zip(&choices) {
+            if let OperatorChoice::Epitome(spec) = choice {
+                if spec.conv() != layer.conv {
+                    return Err(epim_core::EpitomeError::plan(format!(
+                        "epitome for layer {} targets conv {} but layer is {}",
+                        layer.name,
+                        spec.conv(),
+                        layer.conv
+                    )));
+                }
+            }
+        }
+        Ok(Network { backbone, choices })
+    }
+
+    /// The underlying backbone.
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Per-layer operator choices.
+    pub fn choices(&self) -> &[OperatorChoice] {
+        &self.choices
+    }
+
+    /// Replaces the choice for layer `i` (used by the evolutionary
+    /// search's mutation operator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpitomeError::PlanMismatch`] if `i` is out of range or
+    /// the spec targets the wrong conv.
+    pub fn set_choice(&mut self, i: usize, choice: OperatorChoice) -> Result<(), EpitomeError> {
+        let layer = self
+            .backbone
+            .layers
+            .get(i)
+            .ok_or_else(|| epim_core::EpitomeError::plan(format!("layer index {i} out of range")))?;
+        if let OperatorChoice::Epitome(spec) = &choice {
+            if spec.conv() != layer.conv {
+                return Err(epim_core::EpitomeError::plan("spec/layer conv mismatch"));
+            }
+        }
+        self.choices[i] = choice;
+        Ok(())
+    }
+
+    /// Stored weight parameters under the current choices.
+    pub fn params(&self) -> usize {
+        self.backbone
+            .layers
+            .iter()
+            .zip(&self.choices)
+            .map(|(l, c)| match c {
+                OperatorChoice::Conv => l.conv.params(),
+                OperatorChoice::Epitome(s) => s.shape().params(),
+            })
+            .sum()
+    }
+
+    /// Parameter compression rate versus the all-conv baseline.
+    pub fn param_compression(&self) -> f64 {
+        self.backbone.params() as f64 / self.params() as f64
+    }
+
+    /// Number of layers using epitomes.
+    pub fn epitome_layers(&self) -> usize {
+        self.choices.iter().filter(|c| c.is_epitome()).count()
+    }
+
+    /// Simulates the whole network with one precision everywhere.
+    pub fn simulate(&self, model: &CostModel, precision: Precision) -> NetworkCosts {
+        self.simulate_per_layer(model, &vec![precision; self.choices.len()])
+    }
+
+    /// Simulates with per-layer precisions (mixed precision rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precisions.len()` differs from the layer count.
+    pub fn simulate_per_layer(
+        &self,
+        model: &CostModel,
+        precisions: &[Precision],
+    ) -> NetworkCosts {
+        assert_eq!(
+            precisions.len(),
+            self.choices.len(),
+            "one precision per layer required"
+        );
+        let mut costs = NetworkCosts::new(self.backbone.name.clone());
+        for ((layer, choice), &prec) in
+            self.backbone.layers.iter().zip(&self.choices).zip(precisions)
+        {
+            let lc = match choice {
+                OperatorChoice::Conv => model.conv_layer(layer.conv, layer.out_pixels(), prec),
+                OperatorChoice::Epitome(spec) => {
+                    model.epitome_layer(spec, layer.out_pixels(), prec)
+                }
+            };
+            costs.push(layer.name.clone(), lc);
+        }
+        costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resnet::{resnet101, resnet50};
+    use epim_pim::AcceleratorConfig;
+
+    fn designer() -> EpitomeDesigner {
+        EpitomeDesigner::new(128, 128)
+    }
+
+    #[test]
+    fn baseline_keeps_all_convs() {
+        let net = Network::baseline(resnet50());
+        assert_eq!(net.epitome_layers(), 0);
+        assert!((net.param_compression() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_epitome_compresses_meaningfully() {
+        let net = Network::uniform_epitome(resnet50(), &designer(), 1024, 256).unwrap();
+        assert!(net.epitome_layers() > 20);
+        let cr = net.param_compression();
+        // The paper's Table 3 reports 2.25x parameter compression for the
+        // uniform 1024x256 ResNet-50 epitome; ours must land in the same
+        // regime.
+        assert!((1.8..3.2).contains(&cr), "param CR {cr}");
+    }
+
+    #[test]
+    fn uniform_epitome_resnet101_compresses() {
+        let net = Network::uniform_epitome(resnet101(), &designer(), 1024, 256).unwrap();
+        let cr = net.param_compression();
+        assert!((1.7..3.2).contains(&cr), "param CR {cr}");
+    }
+
+    #[test]
+    fn crossbar_compression_matches_paper_regime() {
+        // Table 1: FP32 epitome cuts crossbars ~2.3x; with W9A9 ~9.2x vs
+        // the FP32 conv baseline.
+        let model = CostModel::new(AcceleratorConfig::default());
+        let base = Network::baseline(resnet50());
+        let epim = Network::uniform_epitome(resnet50(), &designer(), 1024, 256).unwrap();
+        let xb_base = base.simulate(&model, Precision::fp32()).crossbars();
+        let xb_epim_fp = epim.simulate(&model, Precision::fp32()).crossbars();
+        let xb_epim_w9 = epim.simulate(&model, Precision::new(9, 9)).crossbars();
+        let cr_fp = xb_base as f64 / xb_epim_fp as f64;
+        let cr_w9 = xb_base as f64 / xb_epim_w9 as f64;
+        assert!((1.8..3.2).contains(&cr_fp), "FP32 XB CR {cr_fp}");
+        assert!((6.0..13.0).contains(&cr_w9), "W9 XB CR {cr_w9}");
+        assert!(cr_w9 > cr_fp * 2.5);
+    }
+
+    #[test]
+    fn epitome_increases_latency_baseline_comparison() {
+        // §5.1: uniform epitomes raise latency/energy versus baseline at
+        // equal precision.
+        let model = CostModel::new(AcceleratorConfig::default());
+        let p = Precision::fp32();
+        let base = Network::baseline(resnet50()).simulate(&model, p);
+        let epim = Network::uniform_epitome(resnet50(), &designer(), 1024, 256)
+            .unwrap()
+            .simulate(&model, p);
+        assert!(epim.latency_ms() > base.latency_ms());
+        assert!(epim.crossbars() < base.crossbars());
+    }
+
+    #[test]
+    fn from_choices_validates() {
+        let bb = resnet50();
+        let too_few = vec![OperatorChoice::Conv; 3];
+        assert!(Network::from_choices(bb.clone(), too_few).is_err());
+
+        // Spec for the wrong conv.
+        let wrong_spec = designer().design(epim_core::ConvShape::new(2, 2, 1, 1), 2, 2).unwrap();
+        let mut choices = vec![OperatorChoice::Conv; bb.layers.len()];
+        choices[5] = OperatorChoice::Epitome(wrong_spec);
+        assert!(Network::from_choices(bb, choices).is_err());
+    }
+
+    #[test]
+    fn set_choice_mutates() {
+        let bb = resnet50();
+        let mut net = Network::baseline(bb.clone());
+        let layer = &bb.layers[10];
+        let spec = designer()
+            .design(layer.conv, layer.conv.matrix_rows() / 2, layer.conv.cout / 2)
+            .unwrap();
+        net.set_choice(10, OperatorChoice::Epitome(spec)).unwrap();
+        assert_eq!(net.epitome_layers(), 1);
+        assert!(net.set_choice(999, OperatorChoice::Conv).is_err());
+    }
+
+    #[test]
+    fn per_layer_precisions_accepted() {
+        let model = CostModel::new(AcceleratorConfig::default());
+        let net = Network::baseline(resnet50());
+        let mut precs = vec![Precision::new(3, 9); net.choices().len()];
+        precs[0] = Precision::new(5, 9);
+        let costs = net.simulate_per_layer(&model, &precs);
+        assert_eq!(costs.layers().len(), net.choices().len());
+    }
+
+    #[test]
+    fn memristor_utilization_high_for_aligned_epitomes() {
+        // §4.1: aligned epitome shapes should utilize crossbars well;
+        // Table 1 reports 93-98% for EPIM rows.
+        let model = CostModel::new(AcceleratorConfig::default());
+        let epim = Network::uniform_epitome(resnet50(), &designer(), 1024, 256).unwrap();
+        let util = epim.simulate(&model, Precision::new(9, 9)).utilization_pct();
+        assert!(util > 85.0, "utilization {util}%");
+    }
+}

@@ -1,0 +1,218 @@
+//! ResNet-50 / ResNet-101 layer inventories at 224×224 input.
+//!
+//! The paper evaluates both backbones (Table 1). The inventory lists every
+//! weight layer mapped onto crossbars: the 7×7 stem, every bottleneck
+//! convolution, every downsample projection, and the final fully-connected
+//! layer (as a 1×1 "convolution" over a 1×1 feature map, which is exactly
+//! how it maps to word/bit lines).
+
+use epim_core::ConvShape;
+use serde::{Deserialize, Serialize};
+
+/// One weight layer of a backbone: shape plus output resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerInfo {
+    /// Unique layer name, e.g. `"stage3.block5.conv2"`.
+    pub name: String,
+    /// Weight shape.
+    pub conv: ConvShape,
+    /// Output feature-map height.
+    pub out_h: usize,
+    /// Output feature-map width.
+    pub out_w: usize,
+}
+
+impl LayerInfo {
+    /// Output pixels per image (`out_h × out_w`).
+    pub fn out_pixels(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Multiply–accumulate operations per image.
+    pub fn macs(&self) -> u64 {
+        self.out_pixels() as u64 * self.conv.params() as u64
+    }
+}
+
+/// A named sequence of weight layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backbone {
+    /// Model name (`"ResNet50"` / `"ResNet101"`).
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<LayerInfo>,
+}
+
+impl Backbone {
+    /// Total weight parameters.
+    pub fn params(&self) -> usize {
+        self.layers.iter().map(|l| l.conv.params()).sum()
+    }
+
+    /// Total MACs per image.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(LayerInfo::macs).sum()
+    }
+
+    /// Finds a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerInfo> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+/// Builds the ResNet-50 inventory: stem + `[3, 4, 6, 3]` bottlenecks +
+/// classifier, 53 convolutions + 1 FC = 54 weight layers.
+pub fn resnet50() -> Backbone {
+    resnet(&[3, 4, 6, 3], "ResNet50")
+}
+
+/// Builds the ResNet-101 inventory: stem + `[3, 4, 23, 3]` bottlenecks +
+/// classifier, 104 convolutions + 1 FC = 105 weight layers.
+pub fn resnet101() -> Backbone {
+    resnet(&[3, 4, 23, 3], "ResNet101")
+}
+
+fn resnet(blocks: &[usize; 4], name: &str) -> Backbone {
+    let mut layers = Vec::new();
+    // Stem: 7x7/64, stride 2 -> 112x112; maxpool /2 -> 56x56.
+    layers.push(LayerInfo {
+        name: "stem.conv1".to_string(),
+        conv: ConvShape::new(64, 3, 7, 7),
+        out_h: 112,
+        out_w: 112,
+    });
+
+    let widths = [64usize, 128, 256, 512];
+    let mut in_ch = 64usize; // after maxpool
+    let mut res = 56usize;
+    for (stage, (&n_blocks, &width)) in blocks.iter().zip(&widths).enumerate() {
+        let out_ch = width * 4;
+        if stage > 0 {
+            res /= 2; // stride-2 at stage entry (in conv2 and downsample)
+        }
+        for block in 0..n_blocks {
+            let prefix = format!("stage{}.block{}", stage + 1, block);
+            // conv1: 1x1 reduce.
+            layers.push(LayerInfo {
+                name: format!("{prefix}.conv1"),
+                conv: ConvShape::new(width, in_ch, 1, 1),
+                out_h: res,
+                out_w: res,
+            });
+            // conv2: 3x3 (stride 2 on first block of stages 2-4, folded
+            // into the resolution already).
+            layers.push(LayerInfo {
+                name: format!("{prefix}.conv2"),
+                conv: ConvShape::new(width, width, 3, 3),
+                out_h: res,
+                out_w: res,
+            });
+            // conv3: 1x1 expand.
+            layers.push(LayerInfo {
+                name: format!("{prefix}.conv3"),
+                conv: ConvShape::new(out_ch, width, 1, 1),
+                out_h: res,
+                out_w: res,
+            });
+            // Downsample projection on the first block of each stage.
+            if block == 0 {
+                layers.push(LayerInfo {
+                    name: format!("{prefix}.downsample"),
+                    conv: ConvShape::new(out_ch, in_ch, 1, 1),
+                    out_h: res,
+                    out_w: res,
+                });
+            }
+            in_ch = out_ch;
+        }
+    }
+
+    // Classifier as a 1x1 conv over the pooled 1x1 feature map.
+    layers.push(LayerInfo {
+        name: "fc".to_string(),
+        conv: ConvShape::new(1000, 2048, 1, 1),
+        out_h: 1,
+        out_w: 1,
+    });
+
+    Backbone { name: name.to_string(), layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_layer_count() {
+        let net = resnet50();
+        // 1 stem + 16 blocks * 3 convs + 4 downsamples + 1 fc = 54.
+        assert_eq!(net.layers.len(), 54);
+    }
+
+    #[test]
+    fn resnet101_layer_count() {
+        let net = resnet101();
+        // 1 + 33*3 + 4 + 1 = 105.
+        assert_eq!(net.layers.len(), 105);
+    }
+
+    #[test]
+    fn resnet50_param_count_close_to_reference() {
+        // Torchvision ResNet-50: 25.56M total; conv+fc weights (no BN,
+        // no biases) are ~25.50M.
+        let p = resnet50().params() as f64 / 1e6;
+        assert!((25.0..26.0).contains(&p), "params {p}M");
+    }
+
+    #[test]
+    fn resnet101_param_count_close_to_reference() {
+        // Torchvision ResNet-101: 44.55M.
+        let p = resnet101().params() as f64 / 1e6;
+        assert!((44.0..45.0).contains(&p), "params {p}M");
+    }
+
+    #[test]
+    fn resnet50_macs_close_to_reference() {
+        // ~4.1 GMACs at 224x224.
+        let g = resnet50().macs() as f64 / 1e9;
+        assert!((3.8..4.4).contains(&g), "GMACs {g}");
+    }
+
+    #[test]
+    fn stage_resolutions_halve() {
+        let net = resnet50();
+        assert_eq!(net.layer("stage1.block0.conv2").unwrap().out_h, 56);
+        assert_eq!(net.layer("stage2.block0.conv2").unwrap().out_h, 28);
+        assert_eq!(net.layer("stage3.block0.conv2").unwrap().out_h, 14);
+        assert_eq!(net.layer("stage4.block0.conv2").unwrap().out_h, 7);
+    }
+
+    #[test]
+    fn channel_progression() {
+        let net = resnet50();
+        let l = net.layer("stage4.block2.conv3").unwrap();
+        assert_eq!(l.conv.cout, 2048);
+        assert_eq!(l.conv.cin, 512);
+        let fc = net.layer("fc").unwrap();
+        assert_eq!((fc.conv.cout, fc.conv.cin), (1000, 2048));
+    }
+
+    #[test]
+    fn names_unique() {
+        let net = resnet101();
+        let mut names: Vec<&str> = net.layers.iter().map(|l| l.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), net.layers.len());
+    }
+
+    #[test]
+    fn paper_figure3_layers_exist() {
+        // Figure 3 references "Layer 9, 41, 67" of ResNet-50 (1-indexed
+        // weight layers). Our inventory has 54 layers (per-conv indexing
+        // in the paper counts differently), but indices 9 and 41 resolve.
+        let net = resnet50();
+        assert!(net.layers.get(8).is_some());
+        assert!(net.layers.get(40).is_some());
+    }
+}

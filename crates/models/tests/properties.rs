@@ -1,0 +1,90 @@
+//! Property-based tests for the model-level invariants.
+
+use epim_core::EpitomeDesigner;
+use epim_models::accuracy::{AccuracyModel, QuantMethod, WeightScheme};
+use epim_models::network::Network;
+use epim_models::resnet::{resnet101, resnet50};
+use epim_pim::{AcceleratorConfig, CostModel, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The surrogate is monotone: more compression or fewer bits never
+    /// increases predicted accuracy; the method ordering of Table 2 holds
+    /// at every operating point.
+    #[test]
+    fn surrogate_monotonicity(cr1 in 1.0f64..8.0, dcr in 0.1f64..4.0, bits in 3u8..=10) {
+        for model in [AccuracyModel::resnet50(), AccuracyModel::resnet101()] {
+            let full = QuantMethod::PerCrossbarOverlap;
+            let a1 = model.epim_accuracy(cr1, WeightScheme::Fixed { bits }, full);
+            let a2 = model.epim_accuracy(cr1 + dcr, WeightScheme::Fixed { bits }, full);
+            prop_assert!(a2 <= a1 + 1e-12, "compression must not raise accuracy");
+            if bits < 10 {
+                let lo = model.epim_accuracy(cr1, WeightScheme::Fixed { bits }, full);
+                let hi = model.epim_accuracy(cr1, WeightScheme::Fixed { bits: bits + 1 }, full);
+                prop_assert!(hi >= lo - 1e-12, "more bits must not cost accuracy");
+            }
+            let naive = model.epim_accuracy(cr1, WeightScheme::Fixed { bits }, QuantMethod::Naive);
+            let xbar = model.epim_accuracy(cr1, WeightScheme::Fixed { bits }, QuantMethod::PerCrossbar);
+            let fullv = model.epim_accuracy(cr1, WeightScheme::Fixed { bits }, full);
+            prop_assert!(naive <= xbar && xbar <= fullv);
+            // Everything stays below the FP32 baseline.
+            prop_assert!(fullv <= model.baseline() + 1e-12);
+        }
+    }
+
+    /// Mixed precision never loses to fixed-point at its low end (the
+    /// HAWQ bonus only helps) and never exceeds the unquantized epitome.
+    #[test]
+    fn surrogate_mixed_precision_bounds(cr in 1.0f64..6.0, avg in 3.0f64..5.0) {
+        let m = AccuracyModel::resnet50();
+        let full = QuantMethod::PerCrossbarOverlap;
+        let mixed = m.epim_accuracy(cr, WeightScheme::Mixed { avg_bits: avg }, full);
+        let w3 = m.epim_accuracy(cr, WeightScheme::Fixed { bits: 3 }, full);
+        let fp = m.epim_accuracy(cr, WeightScheme::Fp32, full);
+        prop_assert!(mixed >= w3 - 1e-12, "mixed {} vs w3 {}", mixed, w3);
+        prop_assert!(mixed <= fp + 1e-12, "mixed {} vs fp {}", mixed, fp);
+        // More average bits never hurts.
+        let mixed_hi = m.epim_accuracy(cr, WeightScheme::Mixed { avg_bits: avg + 0.25 }, full);
+        prop_assert!(mixed_hi >= mixed - 1e-12);
+    }
+
+    /// Uniform EPIM networks are legal and compress for any target in the
+    /// sensible range, on both backbones.
+    #[test]
+    fn uniform_network_legal(rows_pow in 8u32..=12, cout_pow in 6u32..=9) {
+        let designer = EpitomeDesigner::new(128, 128);
+        let rows = 1usize << rows_pow;   // 256 .. 4096
+        let cout = 1usize << cout_pow;   // 64 .. 512
+        for backbone in [resnet50(), resnet101()] {
+            let net = Network::uniform_epitome(backbone, &designer, rows, cout).unwrap();
+            prop_assert!(net.param_compression() >= 1.0);
+            for choice in net.choices() {
+                if let epim_models::network::OperatorChoice::Epitome(spec) = choice {
+                    spec.plan().verify().unwrap();
+                    prop_assert!(spec.param_compression() > 1.0);
+                }
+            }
+        }
+    }
+
+    /// Whole-network simulation is internally consistent: totals equal
+    /// the sum of layers, and every quantity is finite and positive.
+    #[test]
+    fn network_simulation_consistent(wb in 2u8..=16, wrapping in any::<bool>()) {
+        let model = CostModel::new(
+            AcceleratorConfig::default().with_channel_wrapping(wrapping));
+        let designer = EpitomeDesigner::new(128, 128);
+        let net = Network::uniform_epitome(resnet50(), &designer, 1024, 256).unwrap();
+        let costs = net.simulate(&model, Precision::new(wb, 9));
+        let total = costs.total();
+        let sum_lat: f64 = costs.layers().iter().map(|(_, c)| c.latency_ns).sum();
+        let sum_xbs: usize = costs.layers().iter().map(|(_, c)| c.crossbars).sum();
+        prop_assert!((total.latency_ns - sum_lat).abs() < 1e-6 * sum_lat);
+        prop_assert_eq!(total.crossbars, sum_xbs);
+        prop_assert!(total.latency_ns.is_finite() && total.latency_ns > 0.0);
+        prop_assert!(total.energy_pj.is_finite() && total.energy_pj > 0.0);
+        prop_assert!(total.utilization > 0.0 && total.utilization <= 1.0);
+    }
+}

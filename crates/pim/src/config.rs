@@ -1,0 +1,168 @@
+//! Accelerator configuration.
+
+use crate::PimError;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one memristor crossbar array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrossbarConfig {
+    /// Word lines (rows).
+    pub rows: usize,
+    /// Bit lines (columns).
+    pub cols: usize,
+    /// Bits stored per memristor cell. The paper uses "the well-explored
+    /// 2-bit memristor cells" (§6.1).
+    pub cell_bits: u8,
+}
+
+impl CrossbarConfig {
+    /// Creates a crossbar configuration.
+    pub fn new(rows: usize, cols: usize, cell_bits: u8) -> Self {
+        CrossbarConfig { rows, cols, cell_bits }
+    }
+
+    /// Cells per crossbar.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] for zero extents or zero cell
+    /// bits.
+    pub fn validate(&self) -> Result<(), PimError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(PimError::config("crossbar extents must be nonzero"));
+        }
+        if self.cell_bits == 0 {
+            return Err(PimError::config("cell_bits must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        // 128x128 with 2-bit cells: the paper's evaluation setting.
+        CrossbarConfig::new(128, 128, 2)
+    }
+}
+
+/// Numeric precision of one layer: weight and activation bit widths.
+///
+/// `Precision::new(9, 9)` corresponds to the paper's `W9A9` rows;
+/// FP32 baselines use [`Precision::fp32`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Precision {
+    /// Weight bits.
+    pub weight_bits: u8,
+    /// Activation bits (input streaming is bit-serial, so latency scales
+    /// with this).
+    pub act_bits: u8,
+}
+
+impl Precision {
+    /// Creates a precision setting.
+    pub fn new(weight_bits: u8, act_bits: u8) -> Self {
+        Precision { weight_bits, act_bits }
+    }
+
+    /// 32-bit fixed-point emulation of the FP32 baseline rows.
+    pub fn fp32() -> Self {
+        Precision::new(32, 32)
+    }
+
+    /// Validates the precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] for zero bit widths.
+    pub fn validate(&self) -> Result<(), PimError> {
+        if self.weight_bits == 0 || self.act_bits == 0 {
+            return Err(PimError::config("bit widths must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Precision::new(9, 9)
+    }
+}
+
+/// Whole-accelerator configuration: crossbar geometry plus data-path
+/// options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Crossbar geometry.
+    pub crossbar: CrossbarConfig,
+    /// Whether output channel wrapping is enabled (paper §5.3).
+    pub channel_wrapping: bool,
+}
+
+impl AcceleratorConfig {
+    /// Creates a configuration with wrapping disabled.
+    pub fn new(crossbar: CrossbarConfig) -> Self {
+        AcceleratorConfig { crossbar, channel_wrapping: false }
+    }
+
+    /// Enables/disables output channel wrapping (builder style).
+    pub fn with_channel_wrapping(mut self, on: bool) -> Self {
+        self.channel_wrapping = on;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] if the crossbar geometry is
+    /// invalid.
+    pub fn validate(&self) -> Result<(), PimError> {
+        self.crossbar.validate()
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig::new(CrossbarConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setting() {
+        let c = CrossbarConfig::default();
+        assert_eq!((c.rows, c.cols, c.cell_bits), (128, 128, 2));
+        assert_eq!(c.cells(), 16384);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero() {
+        assert!(CrossbarConfig::new(0, 128, 2).validate().is_err());
+        assert!(CrossbarConfig::new(128, 0, 2).validate().is_err());
+        assert!(CrossbarConfig::new(128, 128, 0).validate().is_err());
+        assert!(Precision::new(0, 9).validate().is_err());
+        assert!(Precision::new(9, 0).validate().is_err());
+    }
+
+    #[test]
+    fn accelerator_builder() {
+        let a = AcceleratorConfig::default().with_channel_wrapping(true);
+        assert!(a.channel_wrapping);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn fp32_precision() {
+        let p = Precision::fp32();
+        assert_eq!((p.weight_bits, p.act_bits), (32, 32));
+    }
+}

@@ -1,0 +1,823 @@
+//! The EPIM data path, executed functionally (paper §4.3, Figure 2b).
+//!
+//! The epitome breaks a convolution into many small kernels; to run it on
+//! crossbars the accelerator must know, for every activation round, which
+//! buffered inputs drive which word lines and where the bit-line outputs
+//! land in the output feature map. The paper adds three index tables:
+//!
+//! - **IFAT** (Input Feature Address Table): start/stop index pairs
+//!   locating the input-feature elements needed by the current round. One
+//!   entry per activation round.
+//! - **IFRT** (Input Feature Row Table): for each crossbar word line,
+//!   which gathered input element drives it this round (or none — those
+//!   word lines are held at zero volts). One sequence per sampled patch,
+//!   each as long as the crossbar row count.
+//! - **OFAT** (Output Feature Address Table): start/stop pairs locating
+//!   each round's partial result in the output feature vector. The joint
+//!   module adds partials with identical ranges and concatenates
+//!   sequential ones.
+//!
+//! [`DataPath::execute`] runs a whole layer through this machinery and is
+//! the ground truth for the functional-equivalence tests: its output must
+//! match a plain convolution with [`epim_core::Epitome::reconstruct`]'s
+//! weight exactly.
+
+use crate::PimError;
+use epim_core::{wrapping_factor, ChannelWrapping, Epitome, EpitomeSpec};
+use epim_tensor::ops::{conv2d_out_dims, Conv2dCfg};
+use epim_tensor::{rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Analog non-idealities applied by the functional data path.
+///
+/// Models the two dominant error sources of real memristor crossbars:
+/// **conductance programming noise** (each stored weight is perturbed once,
+/// multiplicatively, when the epitome is written to the array) and
+/// **finite ADC precision** (each bit-line partial sum is quantized to
+/// `adc_bits` before the joint module).
+///
+/// # Example
+///
+/// ```
+/// use epim_pim::datapath::AnalogModel;
+///
+/// let ideal = AnalogModel::ideal();
+/// assert!(!ideal.is_noisy());
+/// let noisy = AnalogModel { weight_noise_std: 0.02, adc_bits: Some(8), ..AnalogModel::ideal() };
+/// assert!(noisy.is_noisy());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalogModel {
+    /// Relative (multiplicative) Gaussian std of programmed conductances.
+    /// `0.0` disables programming noise.
+    pub weight_noise_std: f32,
+    /// ADC resolution in bits; `None` models an ideal readout.
+    pub adc_bits: Option<u8>,
+    /// DAC (input word-line driver) resolution in bits; `None` models an
+    /// ideal driver. This is the activation precision of the paper's
+    /// `A9` columns, applied functionally.
+    pub dac_bits: Option<u8>,
+    /// Full-scale input magnitude the DAC can drive; inputs beyond it
+    /// clip.
+    pub input_full_scale: f32,
+    /// Seed for the programming-noise draw (deterministic per data path).
+    pub noise_seed: u64,
+}
+
+impl AnalogModel {
+    /// The ideal (noise-free, infinite-precision) model.
+    pub fn ideal() -> Self {
+        AnalogModel {
+            weight_noise_std: 0.0,
+            adc_bits: None,
+            dac_bits: None,
+            input_full_scale: 1.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// Whether any non-ideality is active.
+    pub fn is_noisy(&self) -> bool {
+        self.weight_noise_std > 0.0 || self.adc_bits.is_some() || self.dac_bits.is_some()
+    }
+}
+
+impl Default for AnalogModel {
+    fn default() -> Self {
+        AnalogModel::ideal()
+    }
+}
+
+/// A half-open index range `[start, stop)` as stored in IFAT/OFAT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexRange {
+    /// Inclusive start.
+    pub start: usize,
+    /// Exclusive stop.
+    pub stop: usize,
+}
+
+impl IndexRange {
+    /// Range length.
+    pub fn len(&self) -> usize {
+        self.stop - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stop == self.start
+    }
+}
+
+/// Input Feature Address Table: per activation round, the ranges of the
+/// (flattened `c_in × kh × kw`) receptive-field vector that must be fetched
+/// from the buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ifat {
+    /// One entry (a list of contiguous ranges) per activation round.
+    pub entries: Vec<Vec<IndexRange>>,
+}
+
+impl Ifat {
+    /// Total index pairs stored (hardware table size).
+    pub fn index_pairs(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+}
+
+/// Input Feature Row Table: per activation round, for every crossbar word
+/// line either the gathered-input position that drives it or `None`
+/// (word line grounded — its weights are not part of this round).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ifrt {
+    /// `sequences[round][word_line] -> Option<input position>`.
+    pub sequences: Vec<Vec<Option<usize>>>,
+    /// Word lines per crossbar (sequence length).
+    pub word_lines: usize,
+}
+
+/// Output Feature Address Table entry: where a round's partial result lands
+/// in the output-channel vector, and whether the joint module accumulates
+/// (same range seen before) or concatenates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfatEntry {
+    /// Destination range in the output-channel vector.
+    pub range: IndexRange,
+    /// Offset of the source bit lines within the epitome's column space.
+    pub src_col_start: usize,
+}
+
+/// Output Feature Address Table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ofat {
+    /// One entry per activation round.
+    pub entries: Vec<OfatEntry>,
+}
+
+/// Statistics accumulated by a functional execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataPathStats {
+    /// Crossbar activation rounds executed.
+    pub rounds: u64,
+    /// Word lines driven (non-grounded) across all rounds.
+    pub word_line_activations: u64,
+    /// Bit lines sensed across all rounds.
+    pub bit_line_activations: u64,
+    /// Output-buffer element writes (partial results).
+    pub buffer_writes: u64,
+    /// Input-buffer element reads.
+    pub buffer_reads: u64,
+    /// Joint-module additions.
+    pub joint_adds: u64,
+    /// Index-table lookups (IFAT + IFRT + OFAT).
+    pub table_lookups: u64,
+    /// Output elements produced by wrapping replication instead of compute.
+    pub wrapped_elements: u64,
+}
+
+/// The functional EPIM data path for one layer.
+#[derive(Debug, Clone)]
+pub struct DataPath {
+    spec: EpitomeSpec,
+    conv_cfg: Conv2dCfg,
+    ifat: Ifat,
+    ifrt: Ifrt,
+    ofat: Ofat,
+    /// Epitome flattened to `(rows_e, cout_e)` matrix form, with
+    /// programming noise already applied.
+    matrix: Tensor,
+    wrapping: ChannelWrapping,
+    wrapping_enabled: bool,
+    analog: AnalogModel,
+    /// ADC full-scale per column: the largest partial sum this column can
+    /// produce for unit-magnitude inputs (worst-case row L1 norm).
+    adc_full_scale: f32,
+}
+
+impl DataPath {
+    /// Builds the data path (index tables + crossbar matrix) for an
+    /// epitome layer with ideal analog behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError`] if the epitome's plan fails verification.
+    pub fn new(
+        epitome: &Epitome,
+        conv_cfg: Conv2dCfg,
+        wrapping_enabled: bool,
+    ) -> Result<Self, PimError> {
+        Self::with_analog(epitome, conv_cfg, wrapping_enabled, AnalogModel::ideal())
+    }
+
+    /// Builds the data path with an explicit analog non-ideality model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError`] if the epitome's plan fails verification or
+    /// the noise parameters are invalid (negative std, zero ADC bits).
+    pub fn with_analog(
+        epitome: &Epitome,
+        conv_cfg: Conv2dCfg,
+        wrapping_enabled: bool,
+        analog: AnalogModel,
+    ) -> Result<Self, PimError> {
+        if !analog.weight_noise_std.is_finite() || analog.weight_noise_std < 0.0 {
+            return Err(PimError::config("weight_noise_std must be finite and >= 0"));
+        }
+        if analog.adc_bits == Some(0) || analog.dac_bits == Some(0) {
+            return Err(PimError::config("adc_bits/dac_bits must be nonzero"));
+        }
+        if !analog.input_full_scale.is_finite() || analog.input_full_scale <= 0.0 {
+            return Err(PimError::config("input_full_scale must be finite and positive"));
+        }
+        let spec = epitome.spec().clone();
+        spec.plan().verify()?;
+        let conv = spec.conv();
+        let eshape = spec.shape();
+        let rows_e = eshape.matrix_rows();
+
+        let mut ifat_entries = Vec::new();
+        let mut ifrt_sequences = Vec::new();
+        let mut ofat_entries = Vec::new();
+
+        for patch in spec.plan().patches() {
+            // IFAT: contiguous ranges of the flattened receptive field
+            // (c_in, ky, kx) that this patch consumes. A run over kx of
+            // length patch.size[3] is contiguous.
+            let mut ranges = Vec::new();
+            for ci in 0..patch.size[1] {
+                for ky in 0..patch.size[2] {
+                    let base = ((patch.dst[1] + ci) * conv.kh + (patch.dst[2] + ky)) * conv.kw
+                        + patch.dst[3];
+                    ranges.push(IndexRange { start: base, stop: base + patch.size[3] });
+                }
+            }
+            ifat_entries.push(ranges);
+
+            // IFRT: word line -> position within the gathered inputs.
+            // Word line index of epitome element (ci_e, y_e, x_e):
+            //   (ci_e * h + y_e) * w + x_e.
+            let mut seq = vec![None; rows_e];
+            let mut gathered = 0usize;
+            for ci in 0..patch.size[1] {
+                for ky in 0..patch.size[2] {
+                    for kx in 0..patch.size[3] {
+                        let wl = ((patch.src[1] + ci) * eshape.h + (patch.src[2] + ky))
+                            * eshape.w
+                            + (patch.src[3] + kx);
+                        seq[wl] = Some(gathered);
+                        gathered += 1;
+                    }
+                }
+            }
+            ifrt_sequences.push(seq);
+
+            // OFAT: where the partial result lands among output channels.
+            ofat_entries.push(OfatEntry {
+                range: IndexRange { start: patch.dst[0], stop: patch.dst[0] + patch.size[0] },
+                src_col_start: patch.src[0],
+            });
+        }
+
+        // Flatten the epitome to matrix form (rows = cin_e*h*w, cols =
+        // cout_e): row-major over (ci, y, x), applying multiplicative
+        // programming noise as the cells are "written".
+        let data = epitome.tensor();
+        let mut noise_rng = rng::seeded(analog.noise_seed);
+        let mut matrix = Tensor::zeros(&[rows_e, eshape.cout]);
+        for co in 0..eshape.cout {
+            for ci in 0..eshape.cin {
+                for y in 0..eshape.h {
+                    for x in 0..eshape.w {
+                        let row = (ci * eshape.h + y) * eshape.w + x;
+                        let mut v = data.at(&[co, ci, y, x]);
+                        if analog.weight_noise_std > 0.0 {
+                            v *= 1.0 + rng::normal(&mut noise_rng, 0.0, analog.weight_noise_std);
+                        }
+                        matrix.set(&[row, co], v).expect("matrix index in range");
+                    }
+                }
+            }
+        }
+
+        // ADC full scale: the worst-case column dot product for inputs in
+        // [-1, 1] is the column's L1 norm.
+        let mut adc_full_scale = 0.0f32;
+        for co in 0..eshape.cout {
+            let mut l1 = 0.0f32;
+            for row in 0..rows_e {
+                l1 += matrix.at(&[row, co]).abs();
+            }
+            adc_full_scale = adc_full_scale.max(l1);
+        }
+        adc_full_scale = adc_full_scale.max(f32::MIN_POSITIVE);
+
+        let wrapping = wrapping_factor(spec.plan());
+        Ok(DataPath {
+            spec,
+            conv_cfg,
+            ifat: Ifat { entries: ifat_entries },
+            ifrt: Ifrt { sequences: ifrt_sequences, word_lines: rows_e },
+            ofat: Ofat { entries: ofat_entries },
+            matrix,
+            wrapping,
+            wrapping_enabled,
+            analog,
+            adc_full_scale,
+        })
+    }
+
+    /// The analog non-ideality model in effect.
+    pub fn analog(&self) -> AnalogModel {
+        self.analog
+    }
+
+    /// The IFAT table.
+    pub fn ifat(&self) -> &Ifat {
+        &self.ifat
+    }
+
+    /// The IFRT table.
+    pub fn ifrt(&self) -> &Ifrt {
+        &self.ifrt
+    }
+
+    /// The OFAT table.
+    pub fn ofat(&self) -> &Ofat {
+        &self.ofat
+    }
+
+    /// The layer's epitome spec.
+    pub fn spec(&self) -> &EpitomeSpec {
+        &self.spec
+    }
+
+    /// The channel-wrapping analysis for this layer.
+    pub fn wrapping(&self) -> ChannelWrapping {
+        self.wrapping
+    }
+
+    /// Executes the layer on an input feature map `(N, C_in, H, W)`,
+    /// returning the output `(N, C_out, OH, OW)` and execution statistics.
+    ///
+    /// This walks every output pixel through the activation rounds exactly
+    /// as the hardware would: gather inputs via IFAT, place them on word
+    /// lines via IFRT, run the (emulated, analog) crossbar MVM over the
+    /// active lines, and route partial sums through OFAT + joint module.
+    /// With wrapping enabled, rounds whose output-channel block is not the
+    /// first are skipped and their outputs replicated (Eq. 9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::GeometryMismatch`] if the input does not match
+    /// the layer's input-channel count or the convolution geometry is
+    /// invalid for the input size.
+    pub fn execute(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), PimError> {
+        if input.rank() != 4 {
+            return Err(PimError::geometry(format!(
+                "input must be 4-D (N, C, H, W), got rank {}",
+                input.rank()
+            )));
+        }
+        let conv = self.spec.conv();
+        let (n, c_in, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        if c_in != conv.cin {
+            return Err(PimError::geometry(format!(
+                "input has {c_in} channels, layer expects {}",
+                conv.cin
+            )));
+        }
+        let (oh, ow) = conv2d_out_dims(h, w, conv.kh, conv.kw, self.conv_cfg)
+            .map_err(PimError::Tensor)?;
+
+        let mut out = Tensor::zeros(&[n, conv.cout, oh, ow]);
+        let mut stats = DataPathStats::default();
+        let wrap_on = self.wrapping_enabled && self.wrapping.is_effective();
+        let rf_len = conv.matrix_rows();
+        let mut receptive = vec![0.0f32; rf_len];
+        let mut out_vec = vec![0.0f32; conv.cout];
+
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    // Fill the receptive-field buffer for this pixel
+                    // (what the on-chip input buffer would hold).
+                    for ci in 0..conv.cin {
+                        for ky in 0..conv.kh {
+                            let iy = (oy * self.conv_cfg.stride + ky) as isize
+                                - self.conv_cfg.padding as isize;
+                            for kx in 0..conv.kw {
+                                let ix = (ox * self.conv_cfg.stride + kx) as isize
+                                    - self.conv_cfg.padding as isize;
+                                let v = if iy < 0
+                                    || ix < 0
+                                    || iy >= h as isize
+                                    || ix >= w as isize
+                                {
+                                    0.0
+                                } else {
+                                    input.at(&[ni, ci, iy as usize, ix as usize])
+                                };
+                                receptive[(ci * conv.kh + ky) * conv.kw + kx] = v;
+                            }
+                        }
+                    }
+
+                    out_vec.iter_mut().for_each(|v| *v = 0.0);
+                    self.execute_pixel(&receptive, &mut out_vec, wrap_on, &mut stats);
+
+                    for (co, &v) in out_vec.iter().enumerate() {
+                        out.set(&[ni, co, oy, ox], v).expect("output index in range");
+                    }
+                }
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Runs all activation rounds for one output pixel.
+    fn execute_pixel(
+        &self,
+        receptive: &[f32],
+        out_vec: &mut [f32],
+        wrap_on: bool,
+        stats: &mut DataPathStats,
+    ) {
+        let md = self.matrix.data();
+        let cout_e = self.spec.shape().cout;
+        let mut gathered: Vec<f32> = Vec::new();
+        for (round, ((ifat_ranges, ifrt_seq), ofat)) in self
+            .ifat
+            .entries
+            .iter()
+            .zip(&self.ifrt.sequences)
+            .zip(&self.ofat.entries)
+            .enumerate()
+        {
+            let _ = round;
+            if wrap_on && ofat.range.start != 0 {
+                continue;
+            }
+            stats.rounds += 1;
+
+            // IFAT: gather the needed inputs from the buffer.
+            gathered.clear();
+            for r in ifat_ranges {
+                gathered.extend_from_slice(&receptive[r.start..r.stop]);
+                stats.table_lookups += 1; // one IFAT pair per range
+            }
+            stats.buffer_reads += gathered.len() as u64;
+
+            // Finite-precision DAC: word-line voltages quantize to
+            // dac_bits over the driver's full scale (the A9 activation
+            // precision, applied functionally).
+            if let Some(bits) = self.analog.dac_bits {
+                let levels = (1u32 << bits.min(24)) as f32;
+                let fs = self.analog.input_full_scale;
+                let step = 2.0 * fs / levels;
+                for v in gathered.iter_mut() {
+                    *v = (*v / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
+                }
+            }
+
+            // IFRT + crossbar: drive word lines, sense active bit lines.
+            stats.table_lookups += self.ifrt.word_lines as u64;
+            let active_wls: Vec<(usize, f32)> = ifrt_seq
+                .iter()
+                .enumerate()
+                .filter_map(|(wl, &pos)| pos.map(|p| (wl, gathered[p])))
+                .collect();
+            stats.word_line_activations += active_wls.len() as u64;
+
+            let width = ofat.range.len();
+            stats.bit_line_activations += width as u64;
+            stats.table_lookups += 1; // OFAT pair
+            for j in 0..width {
+                let col = ofat.src_col_start + j;
+                let mut acc = 0.0f32;
+                for &(wl, v) in &active_wls {
+                    acc += v * md[wl * cout_e + col];
+                }
+                // Finite-precision ADC: quantize the bit-line partial sum
+                // before it leaves the analog domain.
+                if let Some(bits) = self.analog.adc_bits {
+                    // Full scale assumes unit-magnitude inputs (the
+                    // activation quantizer's job); larger inputs clip.
+                    let levels = (1u32 << bits.min(24)) as f32;
+                    let step = 2.0 * self.adc_full_scale / levels;
+                    acc = (acc / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
+                }
+                // Joint module: accumulate into the output range.
+                out_vec[ofat.range.start + j] += acc;
+                stats.joint_adds += 1;
+                stats.buffer_writes += 1;
+            }
+        }
+
+        if wrap_on {
+            // Replicate block 0 into the remaining channel blocks (Eq. 9).
+            let c = self.wrapping.block;
+            for x in c..out_vec.len() {
+                out_vec[x] = out_vec[x % c];
+                stats.wrapped_elements += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epim_core::{ConvShape, EpitomeDesigner, EpitomeShape, EpitomeSpec};
+    use epim_tensor::ops::conv2d;
+    use epim_tensor::{init, rng};
+
+    fn random_epitome(conv: ConvShape, eshape: EpitomeShape, seed: u64) -> Epitome {
+        let spec = EpitomeSpec::new(conv, eshape).unwrap();
+        let mut r = rng::seeded(seed);
+        let data = init::uniform(&eshape.dims(), -1.0, 1.0, &mut r);
+        Epitome::from_tensor(spec, data).unwrap()
+    }
+
+    /// The core invariant from DESIGN.md: data path output == conv2d with
+    /// the reconstructed weight.
+    fn assert_equivalent(conv: ConvShape, eshape: EpitomeShape, cfg: Conv2dCfg, seed: u64) {
+        let epi = random_epitome(conv, eshape, seed);
+        let mut r = rng::seeded(seed ^ 0xabcd);
+        let x = init::uniform(&[2, conv.cin, 8, 8], -1.0, 1.0, &mut r);
+        let w = epi.reconstruct().unwrap();
+        let want = conv2d(&x, &w, None, cfg).unwrap();
+
+        for wrapping in [false, true] {
+            let dp = DataPath::new(&epi, cfg, wrapping).unwrap();
+            let (got, stats) = dp.execute(&x).unwrap();
+            assert!(
+                got.allclose(&want, 1e-3).unwrap(),
+                "wrapping={wrapping} conv={conv} mse={}",
+                got.mse(&want).unwrap()
+            );
+            assert!(stats.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn equivalence_identity_epitome() {
+        assert_equivalent(
+            ConvShape::new(6, 4, 3, 3),
+            EpitomeShape::new(6, 4, 3, 3),
+            Conv2dCfg { stride: 1, padding: 1 },
+            1,
+        );
+    }
+
+    #[test]
+    fn equivalence_cout_compressed() {
+        assert_equivalent(
+            ConvShape::new(8, 4, 3, 3),
+            EpitomeShape::new(4, 4, 3, 3),
+            Conv2dCfg { stride: 1, padding: 1 },
+            2,
+        );
+    }
+
+    #[test]
+    fn equivalence_cin_and_spatial_compressed() {
+        assert_equivalent(
+            ConvShape::new(6, 9, 3, 3),
+            EpitomeShape::new(6, 5, 2, 2),
+            Conv2dCfg { stride: 1, padding: 1 },
+            3,
+        );
+    }
+
+    #[test]
+    fn equivalence_fully_compressed_strided() {
+        assert_equivalent(
+            ConvShape::new(8, 6, 3, 3),
+            EpitomeShape::new(4, 3, 2, 2),
+            Conv2dCfg { stride: 2, padding: 1 },
+            4,
+        );
+    }
+
+    #[test]
+    fn equivalence_1x1_conv() {
+        assert_equivalent(
+            ConvShape::new(16, 8, 1, 1),
+            EpitomeShape::new(8, 4, 1, 1),
+            Conv2dCfg { stride: 1, padding: 0 },
+            5,
+        );
+    }
+
+    #[test]
+    fn wrapping_skips_rounds_and_replicates() {
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 3, 3), 6);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let mut r = rng::seeded(7);
+        let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
+
+        let off = DataPath::new(&epi, cfg, false).unwrap();
+        let on = DataPath::new(&epi, cfg, true).unwrap();
+        let (_, s_off) = off.execute(&x).unwrap();
+        let (_, s_on) = on.execute(&x).unwrap();
+        assert_eq!(s_on.rounds * 2, s_off.rounds);
+        assert!(s_on.buffer_writes * 2 == s_off.buffer_writes);
+        assert!(s_on.wrapped_elements > 0);
+        assert_eq!(s_off.wrapped_elements, 0);
+    }
+
+    #[test]
+    fn ifrt_sequences_have_crossbar_length() {
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 2, 2, 2), 8);
+        let dp = DataPath::new(&epi, Conv2dCfg::default(), false).unwrap();
+        let rows_e = epi.spec().shape().matrix_rows();
+        for seq in &dp.ifrt().sequences {
+            assert_eq!(seq.len(), rows_e);
+        }
+        // Number of sequences == number of sampled patches (paper §4.3).
+        assert_eq!(dp.ifrt().sequences.len(), epi.spec().plan().patches().len());
+        // IFAT and OFAT have one entry per round too.
+        assert_eq!(dp.ifat().entries.len(), dp.ofat().entries.len());
+    }
+
+    #[test]
+    fn stats_word_lines_match_patch_sizes() {
+        let conv = ConvShape::new(4, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 2, 2, 2), 9);
+        let cfg = Conv2dCfg { stride: 1, padding: 0 };
+        let dp = DataPath::new(&epi, cfg, false).unwrap();
+        let mut r = rng::seeded(10);
+        let x = init::uniform(&[1, 4, 5, 5], -1.0, 1.0, &mut r);
+        let (out, stats) = dp.execute(&x).unwrap();
+        let pixels = (out.shape()[2] * out.shape()[3]) as u64;
+        let per_pixel_wls: u64 = epi
+            .spec()
+            .plan()
+            .patches()
+            .iter()
+            .map(|p| (p.size[1] * p.size[2] * p.size[3]) as u64)
+            .sum();
+        assert_eq!(stats.word_line_activations, pixels * per_pixel_wls);
+        assert_eq!(stats.rounds, pixels * epi.spec().plan().patches().len() as u64);
+    }
+
+    #[test]
+    fn rejects_wrong_input_channels() {
+        let conv = ConvShape::new(4, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 3, 3), 11);
+        let dp = DataPath::new(&epi, Conv2dCfg::default(), false).unwrap();
+        let x = Tensor::zeros(&[1, 3, 5, 5]);
+        assert!(dp.execute(&x).is_err());
+        assert!(dp.execute(&Tensor::zeros(&[5, 5])).is_err());
+    }
+
+    #[test]
+    fn ideal_analog_model_is_exact() {
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 20);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let mut r = rng::seeded(21);
+        let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
+        let a = DataPath::new(&epi, cfg, false).unwrap();
+        let b = DataPath::with_analog(&epi, cfg, false, AnalogModel::ideal()).unwrap();
+        assert_eq!(a.execute(&x).unwrap().0, b.execute(&x).unwrap().0);
+        assert!(!b.analog().is_noisy());
+    }
+
+    #[test]
+    fn weight_noise_error_grows_with_std() {
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 22);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let mut r = rng::seeded(23);
+        let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
+        let ideal = DataPath::new(&epi, cfg, false).unwrap().execute(&x).unwrap().0;
+        let mse_at = |std: f32| {
+            let dp = DataPath::with_analog(
+                &epi,
+                cfg,
+                false,
+                AnalogModel { weight_noise_std: std, adc_bits: None, noise_seed: 5, ..AnalogModel::ideal() },
+            )
+            .unwrap();
+            dp.execute(&x).unwrap().0.mse(&ideal).unwrap()
+        };
+        let low = mse_at(0.01);
+        let high = mse_at(0.10);
+        assert!(low > 0.0, "1% noise must perturb the output");
+        assert!(high > low * 10.0, "10x noise should raise MSE ~100x: {low} vs {high}");
+    }
+
+    #[test]
+    fn adc_precision_controls_error() {
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 24);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let mut r = rng::seeded(25);
+        let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
+        let ideal = DataPath::new(&epi, cfg, false).unwrap().execute(&x).unwrap().0;
+        let mse_at = |bits: u8| {
+            let dp = DataPath::with_analog(
+                &epi,
+                cfg,
+                false,
+                AnalogModel { weight_noise_std: 0.0, adc_bits: Some(bits), noise_seed: 0, ..AnalogModel::ideal() },
+            )
+            .unwrap();
+            dp.execute(&x).unwrap().0.mse(&ideal).unwrap()
+        };
+        let coarse = mse_at(4);
+        let fine = mse_at(12);
+        assert!(coarse > fine * 50.0, "4-bit {coarse} vs 12-bit {fine}");
+        assert!(fine < 1e-4, "12-bit ADC should be near-exact: {fine}");
+    }
+
+    #[test]
+    fn noise_deterministic_per_seed() {
+        let conv = ConvShape::new(4, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 2, 2, 2), 26);
+        let cfg = Conv2dCfg::default();
+        let x = Tensor::ones(&[1, 4, 5, 5]);
+        let run = |seed: u64| {
+            DataPath::with_analog(
+                &epi,
+                cfg,
+                false,
+                AnalogModel { weight_noise_std: 0.05, adc_bits: None, noise_seed: seed, ..AnalogModel::ideal() },
+            )
+            .unwrap()
+            .execute(&x)
+            .unwrap()
+            .0
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn dac_precision_controls_error() {
+        // The A9 activation-precision knob, applied functionally.
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 30);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let mut r = rng::seeded(31);
+        let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
+        let ideal = DataPath::new(&epi, cfg, false).unwrap().execute(&x).unwrap().0;
+        let mse_at = |bits: u8| {
+            let dp = DataPath::with_analog(
+                &epi,
+                cfg,
+                false,
+                AnalogModel { dac_bits: Some(bits), ..AnalogModel::ideal() },
+            )
+            .unwrap();
+            dp.execute(&x).unwrap().0.mse(&ideal).unwrap()
+        };
+        let a3 = mse_at(3);
+        let a9 = mse_at(9);
+        assert!(a3 > a9 * 100.0, "3-bit {a3} vs 9-bit {a9}");
+        assert!(a9 < 1e-4, "9-bit input quantization should be near-exact: {a9}");
+    }
+
+    #[test]
+    fn invalid_analog_parameters_rejected() {
+        let conv = ConvShape::new(4, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 3, 3), 27);
+        let cfg = Conv2dCfg::default();
+        let bad_std =
+            AnalogModel { weight_noise_std: -0.1, adc_bits: None, noise_seed: 0, ..AnalogModel::ideal() };
+        assert!(DataPath::with_analog(&epi, cfg, false, bad_std).is_err());
+        let bad_adc =
+            AnalogModel { weight_noise_std: 0.0, adc_bits: Some(0), noise_seed: 0, ..AnalogModel::ideal() };
+        assert!(DataPath::with_analog(&epi, cfg, false, bad_adc).is_err());
+        let bad_dac = AnalogModel { dac_bits: Some(0), ..AnalogModel::ideal() };
+        assert!(DataPath::with_analog(&epi, cfg, false, bad_dac).is_err());
+        let bad_fs = AnalogModel { input_full_scale: 0.0, ..AnalogModel::ideal() };
+        assert!(DataPath::with_analog(&epi, cfg, false, bad_fs).is_err());
+    }
+
+    #[test]
+    fn designed_spec_equivalence() {
+        // End-to-end with the designer, like a real layer replacement.
+        let conv = ConvShape::new(32, 16, 3, 3);
+        let spec = EpitomeDesigner::new(16, 16).design(conv, 72, 16).unwrap();
+        let mut r = rng::seeded(12);
+        let data = init::uniform(&spec.shape().dims(), -0.5, 0.5, &mut r);
+        let epi = Epitome::from_tensor(spec, data).unwrap();
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let x = init::uniform(&[1, 16, 7, 7], -1.0, 1.0, &mut r);
+        let w = epi.reconstruct().unwrap();
+        let want = conv2d(&x, &w, None, cfg).unwrap();
+        let dp = DataPath::new(&epi, cfg, true).unwrap();
+        let (got, _) = dp.execute(&x).unwrap();
+        assert!(got.allclose(&want, 1e-3).unwrap());
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use epim_core::EpitomeError;
+use epim_tensor::TensorError;
+
+/// Error type for the PIM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PimError {
+    /// A configuration value was invalid (zero crossbar extent, zero bits).
+    InvalidConfig {
+        /// What was wrong.
+        what: String,
+    },
+    /// A simulation input did not match the configured geometry.
+    GeometryMismatch {
+        /// What was wrong.
+        what: String,
+    },
+    /// Error from the epitome layer.
+    Epitome(EpitomeError),
+    /// Error from the tensor layer.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::InvalidConfig { what } => write!(f, "invalid PIM configuration: {what}"),
+            PimError::GeometryMismatch { what } => write!(f, "geometry mismatch: {what}"),
+            PimError::Epitome(e) => write!(f, "epitome error: {e}"),
+            PimError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for PimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PimError::Epitome(e) => Some(e),
+            PimError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EpitomeError> for PimError {
+    fn from(e: EpitomeError) -> Self {
+        PimError::Epitome(e)
+    }
+}
+
+impl From<TensorError> for PimError {
+    fn from(e: TensorError) -> Self {
+        PimError::Tensor(e)
+    }
+}
+
+impl PimError {
+    /// Convenience constructor for [`PimError::InvalidConfig`].
+    pub fn config(what: impl Into<String>) -> Self {
+        PimError::InvalidConfig { what: what.into() }
+    }
+
+    /// Convenience constructor for [`PimError::GeometryMismatch`].
+    pub fn geometry(what: impl Into<String>) -> Self {
+        PimError::GeometryMismatch { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PimError::config("bad");
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e: PimError = TensorError::invalid("x").into();
+        assert!(e.source().is_some());
+        let e: PimError = EpitomeError::geometry("y").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,230 @@
+//! Crossbar-aware block pruning (the PIM-Prune mechanism).
+
+use crate::PruneError;
+use epim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Block-pruning configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockPruneConfig {
+    /// Block height, aligned to crossbar word lines.
+    pub block_rows: usize,
+    /// Block width, aligned to crossbar bit lines.
+    pub block_cols: usize,
+    /// Fraction of blocks to prune, in `[0, 1)`.
+    pub ratio: f64,
+}
+
+/// Accounting of one block-pruning run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruneReport {
+    /// Blocks in the matrix before pruning.
+    pub blocks_total: usize,
+    /// Blocks zeroed.
+    pub blocks_pruned: usize,
+    /// Nonzero parameters before.
+    pub params_before: usize,
+    /// Nonzero parameters after.
+    pub params_after: usize,
+    /// Parameter compression rate (`before / after`).
+    pub compression: f64,
+}
+
+/// Result of [`prune_blocks`]: the pruned (same-shape) matrix, a
+/// compacted matrix with fully-zero block-rows/columns removed, and the
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPruneResult {
+    /// Same-shape matrix with pruned blocks zeroed.
+    pub pruned: Tensor,
+    /// Matrix after compaction: block-rows and block-columns that became
+    /// entirely zero are removed, shrinking the crossbar footprint.
+    pub compacted: Tensor,
+    /// Accounting.
+    pub report: PruneReport,
+}
+
+/// Prunes the mapped weight matrix block-wise by L1 magnitude.
+///
+/// The `ratio` lowest-magnitude blocks are zeroed. Compaction then drops
+/// any block-row/block-column whose blocks are all zero — the mechanism
+/// by which PIM-Prune converts sparsity into crossbar savings.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidParameter`] for a non-matrix input, zero
+/// block extents, or a ratio outside `[0, 1)`.
+pub fn prune_blocks(matrix: &Tensor, cfg: &BlockPruneConfig) -> Result<BlockPruneResult, PruneError> {
+    if matrix.rank() != 2 {
+        return Err(PruneError::invalid("block pruning expects a matrix"));
+    }
+    if cfg.block_rows == 0 || cfg.block_cols == 0 {
+        return Err(PruneError::invalid("block extents must be nonzero"));
+    }
+    if !(0.0..1.0).contains(&cfg.ratio) {
+        return Err(PruneError::invalid(format!("ratio {} outside [0, 1)", cfg.ratio)));
+    }
+    let (rows, cols) = (matrix.shape()[0], matrix.shape()[1]);
+    let br = rows.div_ceil(cfg.block_rows);
+    let bc = cols.div_ceil(cfg.block_cols);
+
+    // Rank blocks by L1 norm.
+    let mut norms: Vec<(usize, f64)> = Vec::with_capacity(br * bc);
+    for bi in 0..br {
+        for bj in 0..bc {
+            let mut l1 = 0.0f64;
+            for r in (bi * cfg.block_rows)..((bi + 1) * cfg.block_rows).min(rows) {
+                for c in (bj * cfg.block_cols)..((bj + 1) * cfg.block_cols).min(cols) {
+                    l1 += matrix.at(&[r, c]).abs() as f64;
+                }
+            }
+            norms.push((bi * bc + bj, l1));
+        }
+    }
+    norms.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let n_prune = ((br * bc) as f64 * cfg.ratio).round() as usize;
+    let prune_set: std::collections::HashSet<usize> =
+        norms.iter().take(n_prune).map(|&(i, _)| i).collect();
+
+    // Zero pruned blocks.
+    let mut pruned = matrix.clone();
+    for bi in 0..br {
+        for bj in 0..bc {
+            if !prune_set.contains(&(bi * bc + bj)) {
+                continue;
+            }
+            for r in (bi * cfg.block_rows)..((bi + 1) * cfg.block_rows).min(rows) {
+                for c in (bj * cfg.block_cols)..((bj + 1) * cfg.block_cols).min(cols) {
+                    pruned.set(&[r, c], 0.0)?;
+                }
+            }
+        }
+    }
+
+    // Compaction: keep block-rows/columns with at least one surviving
+    // block.
+    let live_row = |bi: usize| (0..bc).any(|bj| !prune_set.contains(&(bi * bc + bj)));
+    let live_col = |bj: usize| (0..br).any(|bi| !prune_set.contains(&(bi * bc + bj)));
+    let keep_rows: Vec<usize> = (0..rows)
+        .filter(|r| live_row(r / cfg.block_rows))
+        .collect();
+    let keep_cols: Vec<usize> = (0..cols)
+        .filter(|c| live_col(c / cfg.block_cols))
+        .collect();
+    let compacted = Tensor::from_fn(&[keep_rows.len().max(1), keep_cols.len().max(1)], |idx| {
+        match (keep_rows.get(idx[0]), keep_cols.get(idx[1])) {
+            (Some(&r), Some(&c)) => pruned.at(&[r, c]),
+            _ => 0.0,
+        }
+    });
+
+    let params_before = matrix.data().iter().filter(|&&v| v != 0.0).count();
+    let params_after = pruned.data().iter().filter(|&&v| v != 0.0).count();
+    let compression = if params_after == 0 {
+        f64::INFINITY
+    } else {
+        params_before as f64 / params_after as f64
+    };
+    Ok(BlockPruneResult {
+        pruned,
+        compacted,
+        report: PruneReport {
+            blocks_total: br * bc,
+            blocks_pruned: n_prune,
+            params_before,
+            params_after,
+            compression,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epim_tensor::{init, rng};
+
+    #[test]
+    fn prunes_lowest_magnitude_blocks() {
+        // Two blocks: left block tiny values, right block large.
+        let m = Tensor::from_fn(&[2, 4], |i| if i[1] < 2 { 0.01 } else { 10.0 });
+        let cfg = BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: 0.5 };
+        let res = prune_blocks(&m, &cfg).unwrap();
+        assert_eq!(res.report.blocks_pruned, 1);
+        // Left block zeroed, right intact.
+        assert_eq!(res.pruned.at(&[0, 0]), 0.0);
+        assert_eq!(res.pruned.at(&[0, 3]), 10.0);
+        // Compacted matrix keeps only the surviving block column.
+        assert_eq!(res.compacted.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn ratio_zero_is_identity() {
+        let mut r = rng::seeded(1);
+        let m = init::uniform(&[8, 8], -1.0, 1.0, &mut r);
+        let cfg = BlockPruneConfig { block_rows: 4, block_cols: 4, ratio: 0.0 };
+        let res = prune_blocks(&m, &cfg).unwrap();
+        assert_eq!(res.pruned, m);
+        assert_eq!(res.report.blocks_pruned, 0);
+        assert!((res.report.compression - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_ratio_halves_nonzeros_roughly() {
+        let mut r = rng::seeded(2);
+        let m = init::uniform(&[16, 16], -1.0, 1.0, &mut r);
+        let cfg = BlockPruneConfig { block_rows: 4, block_cols: 4, ratio: 0.5 };
+        let res = prune_blocks(&m, &cfg).unwrap();
+        assert_eq!(res.report.blocks_pruned, 8);
+        let frac = res.report.params_after as f64 / res.report.params_before as f64;
+        assert!((0.45..0.55).contains(&frac), "{frac}");
+        assert!(res.report.compression > 1.8);
+    }
+
+    #[test]
+    fn compaction_preserves_surviving_values() {
+        let mut r = rng::seeded(3);
+        let m = init::uniform(&[8, 8], 0.5, 1.0, &mut r); // strictly nonzero
+        let cfg = BlockPruneConfig { block_rows: 8, block_cols: 4, ratio: 0.5 };
+        let res = prune_blocks(&m, &cfg).unwrap();
+        // One of two column-blocks pruned -> compacted is 8x4 and every
+        // surviving value appears.
+        assert_eq!(res.compacted.shape(), &[8, 4]);
+        let surviving: f32 = res.pruned.sum();
+        assert!((res.compacted.sum() - surviving).abs() < 1e-4);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let m = Tensor::ones(&[4, 4]);
+        assert!(prune_blocks(&m, &BlockPruneConfig { block_rows: 0, block_cols: 2, ratio: 0.5 })
+            .is_err());
+        assert!(prune_blocks(&m, &BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: 1.0 })
+            .is_err());
+        assert!(prune_blocks(&m, &BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: -0.1 })
+            .is_err());
+        let v = Tensor::ones(&[4]);
+        assert!(prune_blocks(&v, &BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: 0.5 })
+            .is_err());
+    }
+
+    #[test]
+    fn ragged_matrix_handled() {
+        let mut r = rng::seeded(4);
+        let m = init::uniform(&[10, 7], -1.0, 1.0, &mut r);
+        let cfg = BlockPruneConfig { block_rows: 4, block_cols: 4, ratio: 0.4 };
+        let res = prune_blocks(&m, &cfg).unwrap();
+        assert_eq!(res.report.blocks_total, 3 * 2);
+        assert!(res.report.params_after < res.report.params_before);
+    }
+
+    #[test]
+    fn higher_ratio_more_compression() {
+        let mut r = rng::seeded(5);
+        let m = init::uniform(&[32, 32], -1.0, 1.0, &mut r);
+        let c50 = prune_blocks(&m, &BlockPruneConfig { block_rows: 8, block_cols: 8, ratio: 0.5 })
+            .unwrap();
+        let c75 = prune_blocks(&m, &BlockPruneConfig { block_rows: 8, block_cols: 8, ratio: 0.75 })
+            .unwrap();
+        assert!(c75.report.compression > c50.report.compression);
+    }
+}

@@ -1,0 +1,112 @@
+//! Element-wise (unstructured) magnitude pruning — used for the paper's
+//! "Epitome + Pruning" row of Table 3, where "basic element-wise pruning
+//! methods" are merged with the epitome.
+
+use crate::PruneError;
+use epim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Accounting of one element-pruning run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElementPruneReport {
+    /// Elements before pruning.
+    pub params_before: usize,
+    /// Nonzero elements after pruning.
+    pub params_after: usize,
+    /// Parameter compression rate (`before / after`), assuming sparse
+    /// storage of the survivors (the paper compares *parameter*
+    /// compression rates in Table 3 because crossbar rates are ill-defined
+    /// for unstructured sparsity).
+    pub compression: f64,
+}
+
+/// Zeroes the `ratio` smallest-magnitude elements of a tensor.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidParameter`] for a ratio outside `[0, 1)`
+/// or an empty tensor.
+pub fn element_prune(t: &Tensor, ratio: f64) -> Result<(Tensor, ElementPruneReport), PruneError> {
+    if !(0.0..1.0).contains(&ratio) {
+        return Err(PruneError::invalid(format!("ratio {ratio} outside [0, 1)")));
+    }
+    if t.is_empty() {
+        return Err(PruneError::invalid("cannot prune an empty tensor"));
+    }
+    let mut magnitudes: Vec<(usize, f32)> =
+        t.data().iter().enumerate().map(|(i, &v)| (i, v.abs())).collect();
+    magnitudes.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let n_prune = (t.len() as f64 * ratio).round() as usize;
+    let mut pruned = t.clone();
+    {
+        let data = pruned.data_mut();
+        for &(i, _) in magnitudes.iter().take(n_prune) {
+            data[i] = 0.0;
+        }
+    }
+    let params_before = t.len();
+    let params_after = pruned.data().iter().filter(|&&v| v != 0.0).count();
+    let compression = if params_after == 0 {
+        f64::INFINITY
+    } else {
+        params_before as f64 / params_after as f64
+    };
+    Ok((pruned, ElementPruneReport { params_before, params_after, compression }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epim_tensor::{init, rng};
+
+    #[test]
+    fn prunes_smallest_magnitudes() {
+        let t = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0], &[4]).unwrap();
+        let (p, rep) = element_prune(&t, 0.5).unwrap();
+        assert_eq!(p.data(), &[0.0, -5.0, 0.0, 3.0]);
+        assert_eq!(rep.params_after, 2);
+        assert!((rep.compression - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_zero_identity() {
+        let mut r = rng::seeded(1);
+        let t = init::uniform(&[64], -1.0, 1.0, &mut r);
+        let (p, rep) = element_prune(&t, 0.0).unwrap();
+        assert_eq!(p, t);
+        assert_eq!(rep.params_after, rep.params_before);
+    }
+
+    #[test]
+    fn fifty_percent_on_epitome_matches_table3_accounting() {
+        // Epitome at 2.25x params + 50% element pruning -> combined
+        // parameter compression ~4.5x; the paper reports 3.49x because it
+        // counts sparse-index overhead — our report is the raw ratio and
+        // the bench applies the overhead factor. Here, verify the raw
+        // ratio doubles.
+        let mut r = rng::seeded(2);
+        let t = init::uniform(&[1000], -1.0, 1.0, &mut r);
+        let (_, rep) = element_prune(&t, 0.5).unwrap();
+        assert!((rep.compression - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn invalid_ratio_rejected() {
+        let t = Tensor::ones(&[4]);
+        assert!(element_prune(&t, 1.0).is_err());
+        assert!(element_prune(&t, -0.5).is_err());
+        assert!(element_prune(&Tensor::zeros(&[0]), 0.5).is_err());
+    }
+
+    #[test]
+    fn error_increases_with_ratio() {
+        let mut r = rng::seeded(3);
+        let t = init::uniform(&[512], -1.0, 1.0, &mut r);
+        let mse = |ratio: f64| {
+            let (p, _) = element_prune(&t, ratio).unwrap();
+            p.mse(&t).unwrap()
+        };
+        assert!(mse(0.25) < mse(0.5));
+        assert!(mse(0.5) < mse(0.75));
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+use epim_tensor::TensorError;
+
+/// Error type for pruning operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PruneError {
+    /// A pruning parameter was invalid (ratio outside `[0, 1)`, zero
+    /// block extents, ...).
+    InvalidParameter {
+        /// What was wrong.
+        what: String,
+    },
+    /// Underlying tensor error.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::InvalidParameter { what } => {
+                write!(f, "invalid pruning parameter: {what}")
+            }
+            PruneError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for PruneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PruneError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for PruneError {
+    fn from(e: TensorError) -> Self {
+        PruneError::Tensor(e)
+    }
+}
+
+impl PruneError {
+    /// Convenience constructor for [`PruneError::InvalidParameter`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        PruneError::InvalidParameter { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(PruneError::invalid("ratio").to_string().contains("ratio"));
+        let e: PruneError = TensorError::invalid("x").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,36 @@
+//! # epim-prune
+//!
+//! A reproduction of **PIM-Prune** (Chu et al., DAC 2020) — the pruning
+//! baseline the EPIM paper compares against in Tables 1 and 3 — plus the
+//! element-wise pruning used for the paper's "Epitome + Pruning" row.
+//!
+//! PIM-Prune's key idea: unstructured sparsity does not save crossbars,
+//! because a crossbar is allocated whole. Pruning must therefore be
+//! *crossbar-aware*: zero out whole blocks of the mapped weight matrix
+//! (aligned to the crossbar geometry) and compact the matrix so emptied
+//! blocks release physical crossbars.
+//!
+//! ## Example
+//!
+//! ```
+//! use epim_prune::{prune_blocks, BlockPruneConfig};
+//! use epim_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), epim_prune::PruneError> {
+//! let w = Tensor::from_fn(&[8, 8], |i| (i[0] * 8 + i[1]) as f32 + 1.0);
+//! let cfg = BlockPruneConfig { block_rows: 4, block_cols: 4, ratio: 0.5 };
+//! let pruned = prune_blocks(&w, &cfg)?;
+//! assert_eq!(pruned.report.blocks_pruned, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod block;
+mod element;
+mod error;
+
+pub use block::{prune_blocks, BlockPruneConfig, BlockPruneResult, PruneReport};
+pub use element::{element_prune, ElementPruneReport};
+pub use error::PruneError;

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use epim_core::EpitomeError;
+use epim_tensor::TensorError;
+
+/// Error type for quantization operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// A bit width, weight pair or range was invalid.
+    InvalidParameter {
+        /// What was wrong.
+        what: String,
+    },
+    /// Underlying tensor error.
+    Tensor(TensorError),
+    /// Underlying epitome error.
+    Epitome(EpitomeError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidParameter { what } => {
+                write!(f, "invalid quantization parameter: {what}")
+            }
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+            QuantError::Epitome(e) => write!(f, "epitome error: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            QuantError::Epitome(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+impl From<EpitomeError> for QuantError {
+    fn from(e: EpitomeError) -> Self {
+        QuantError::Epitome(e)
+    }
+}
+
+impl QuantError {
+    /// Convenience constructor for [`QuantError::InvalidParameter`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        QuantError::InvalidParameter { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(QuantError::invalid("bits").to_string().contains("bits"));
+        let e: QuantError = TensorError::invalid("x").into();
+        assert!(e.source().is_some());
+        let e: QuantError = EpitomeError::geometry("y").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,201 @@
+//! The uniform affine quantizer (paper Eq. 2–3).
+
+use crate::{QuantError, RangeEstimator};
+use epim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A fitted uniform affine quantizer.
+///
+/// Maps reals in the clipping range `[α, β]` to `k`-bit integer codes with
+/// the scaling factor `S = (β − α) / (2^k − 1)` (paper Eq. 3). This is the
+/// paper's `Q(r) = Int(r / S) − Z` (Eq. 2) with the zero point chosen so
+/// that `α` lands exactly on the grid: codes are
+/// `q = round((r − α) / S) ∈ [0, 2^k − 1]` and dequantization is
+/// `r' = q·S + α`, which keeps the round-trip error within `S / 2` for
+/// in-range values. Values outside the range are clipped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    bits: u8,
+    alpha: f32,
+    beta: f32,
+    scale: f32,
+}
+
+impl Quantizer {
+    /// Fits a quantizer from an explicit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] for `bits == 0`,
+    /// `bits > 16`, a non-finite range, or `α > β`.
+    pub fn from_range(bits: u8, alpha: f32, beta: f32) -> Result<Self, QuantError> {
+        if bits == 0 || bits > 16 {
+            return Err(QuantError::invalid(format!("bits must be in 1..=16, got {bits}")));
+        }
+        if !alpha.is_finite() || !beta.is_finite() {
+            return Err(QuantError::invalid("range must be finite"));
+        }
+        if alpha > beta {
+            return Err(QuantError::invalid(format!("range inverted: [{alpha}, {beta}]")));
+        }
+        let levels = ((1u32 << bits) - 1) as f32;
+        // Degenerate (constant) signal: unit scale keeps dequantization
+        // exact at the single representable value (code 0 maps to α).
+        let scale = if beta > alpha { (beta - alpha) / levels } else { 1.0 };
+        Ok(Quantizer { bits, alpha, beta, scale })
+    }
+
+    /// Fits a quantizer to a tensor using a range estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] for an empty tensor or bad
+    /// bits; estimator-specific errors propagate.
+    pub fn fit(tensor: &Tensor, bits: u8, range: &RangeEstimator) -> Result<Self, QuantError> {
+        let (alpha, beta) = range.estimate(tensor, None)?;
+        Self::from_range(bits, alpha, beta)
+    }
+
+    /// Fits a quantizer using a repetition map for overlap weighting
+    /// (required by [`RangeEstimator::OverlapWeighted`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (e.g. shape mismatch).
+    pub fn fit_with_repetition(
+        tensor: &Tensor,
+        repetition: &Tensor,
+        bits: u8,
+        range: &RangeEstimator,
+    ) -> Result<Self, QuantError> {
+        let (alpha, beta) = range.estimate(tensor, Some(repetition))?;
+        Self::from_range(bits, alpha, beta)
+    }
+
+    /// The bit width `k`.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The scaling factor `S`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The quantization step (same as the scale for uniform quantizers).
+    pub fn step(&self) -> f32 {
+        self.scale
+    }
+
+    /// The clipping range `[α, β]`.
+    pub fn range(&self) -> (f32, f32) {
+        (self.alpha, self.beta)
+    }
+
+    /// Quantizes one value to its integer code in `[0, 2^k − 1]`
+    /// (paper Eq. 2, with the zero point folded into the grid origin `α`).
+    pub fn quantize(&self, r: f32) -> i32 {
+        let clipped = r.clamp(self.alpha, self.beta);
+        ((clipped - self.alpha) / self.scale).round() as i32
+    }
+
+    /// Dequantizes an integer code back to a real value.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale + self.alpha
+    }
+
+    /// Fake quantization: quantize-then-dequantize every element, the
+    /// standard quantization-aware-training forward operator.
+    pub fn fake_quant(&self, t: &Tensor) -> Tensor {
+        t.map(|v| self.dequantize(self.quantize(v)))
+    }
+
+    /// Mean squared quantization error over a tensor.
+    pub fn mse(&self, t: &Tensor) -> f32 {
+        if t.is_empty() {
+            return 0.0;
+        }
+        let s: f32 = t
+            .data()
+            .iter()
+            .map(|&v| {
+                let d = v - self.dequantize(self.quantize(v));
+                d * d
+            })
+            .sum();
+        s / t.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epim_tensor::{init, rng};
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let mut r = rng::seeded(1);
+        let t = init::uniform(&[1000], -2.0, 2.0, &mut r);
+        for bits in [3u8, 5, 7, 9] {
+            let q = Quantizer::fit(&t, bits, &RangeEstimator::MinMax).unwrap();
+            let deq = q.fake_quant(&t);
+            let tol = q.step() / 2.0 + 1e-6;
+            assert!(t.allclose(&deq, tol).unwrap(), "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn scale_matches_eq3() {
+        let q = Quantizer::from_range(3, -1.0, 1.0).unwrap();
+        // S = (β-α)/(2^k -1) = 2/7.
+        assert!((q.scale() - 2.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut r = rng::seeded(2);
+        let t = init::uniform(&[4096], -1.0, 1.0, &mut r);
+        let e3 = Quantizer::fit(&t, 3, &RangeEstimator::MinMax).unwrap().mse(&t);
+        let e5 = Quantizer::fit(&t, 5, &RangeEstimator::MinMax).unwrap().mse(&t);
+        let e9 = Quantizer::fit(&t, 9, &RangeEstimator::MinMax).unwrap().mse(&t);
+        assert!(e3 > e5 && e5 > e9);
+    }
+
+    #[test]
+    fn clipping_outside_range() {
+        let q = Quantizer::from_range(4, -1.0, 1.0).unwrap();
+        let lo = q.dequantize(q.quantize(-100.0));
+        let hi = q.dequantize(q.quantize(100.0));
+        assert!(lo >= -1.0 - q.step());
+        assert!(hi <= 1.0 + q.step());
+    }
+
+    #[test]
+    fn constant_tensor_exact() {
+        let t = Tensor::full(&[16], 0.37);
+        let q = Quantizer::fit(&t, 3, &RangeEstimator::MinMax).unwrap();
+        let deq = q.fake_quant(&t);
+        assert!(t.allclose(&deq, 1e-6).unwrap());
+        assert_eq!(q.mse(&t), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Quantizer::from_range(0, -1.0, 1.0).is_err());
+        assert!(Quantizer::from_range(17, -1.0, 1.0).is_err());
+        assert!(Quantizer::from_range(4, 1.0, -1.0).is_err());
+        assert!(Quantizer::from_range(4, f32::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn quantize_integer_codes_in_k_bit_range() {
+        let q = Quantizer::from_range(3, -1.0, 1.0).unwrap();
+        for v in [-1.0f32, -0.7, -0.1, 0.0, 0.4, 0.99, 1.0, -5.0, 5.0] {
+            let code = q.quantize(v);
+            assert!((0..8).contains(&code), "code {code} for {v}");
+        }
+        // Endpoints are exact.
+        assert_eq!(q.dequantize(q.quantize(-1.0)), -1.0);
+        assert_eq!(q.dequantize(q.quantize(1.0)), 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Clipping-range estimation, including the paper's overlap-weighted
+//! method (Eq. 4–5).
+
+use crate::QuantError;
+use epim_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Strategy for choosing the clipping range `[α, β]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RangeEstimator {
+    /// Plain min/max of the signal ("a straightforward choice", §2.3).
+    MinMax,
+    /// The paper's epitome-aware estimate (Eq. 4–5): split elements into
+    /// the highly-repeated overlap region and the rest, then blend:
+    ///
+    /// ```text
+    /// α = w1·min(overlap) + w2·min(others)
+    /// β = w1·max(overlap) + w2·max(others)
+    /// ```
+    ///
+    /// Requires a repetition map (pass it to
+    /// [`crate::Quantizer::fit_with_repetition`]). An element belongs to
+    /// the overlap region when its repetition count exceeds the minimum
+    /// count in the tensor.
+    OverlapWeighted {
+        /// Weight of the overlap (highly repeated, more important) region.
+        w1: f32,
+        /// Weight of the rest.
+        w2: f32,
+    },
+}
+
+impl RangeEstimator {
+    /// The paper's default overlap weighting (importance skewed towards
+    /// the overlap region).
+    pub fn overlap_default() -> Self {
+        RangeEstimator::OverlapWeighted { w1: 0.7, w2: 0.3 }
+    }
+
+    /// Estimates `[α, β]` for `tensor`.
+    ///
+    /// `repetition` is required by [`RangeEstimator::OverlapWeighted`] and
+    /// ignored by [`RangeEstimator::MinMax`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] for an empty tensor,
+    /// missing/mismatched repetition map, or non-positive weights.
+    pub fn estimate(
+        &self,
+        tensor: &Tensor,
+        repetition: Option<&Tensor>,
+    ) -> Result<(f32, f32), QuantError> {
+        if tensor.is_empty() {
+            return Err(QuantError::invalid("cannot estimate a range on an empty tensor"));
+        }
+        match *self {
+            RangeEstimator::MinMax => Ok((tensor.min(), tensor.max())),
+            RangeEstimator::OverlapWeighted { w1, w2 } => {
+                if w1 < 0.0 || w2 < 0.0 || w1 + w2 <= 0.0 {
+                    return Err(QuantError::invalid("overlap weights must be non-negative"));
+                }
+                let reps = repetition.ok_or_else(|| {
+                    QuantError::invalid("OverlapWeighted requires a repetition map")
+                })?;
+                if reps.shape() != tensor.shape() {
+                    return Err(QuantError::invalid(
+                        "repetition map shape does not match tensor",
+                    ));
+                }
+                // Normalize weights so degenerate cases stay in range.
+                let (w1, w2) = (w1 / (w1 + w2), w2 / (w1 + w2));
+                let threshold = reps.min();
+                let mut ov = (f32::INFINITY, f32::NEG_INFINITY);
+                let mut rest = (f32::INFINITY, f32::NEG_INFINITY);
+                for (&v, &c) in tensor.data().iter().zip(reps.data()) {
+                    let slot = if c > threshold { &mut ov } else { &mut rest };
+                    slot.0 = slot.0.min(v);
+                    slot.1 = slot.1.max(v);
+                }
+                // If one region is empty (uniform repetition), fall back to
+                // the other region's extrema for both terms.
+                let ov = if ov.0.is_finite() { ov } else { rest };
+                let rest = if rest.0.is_finite() { rest } else { ov };
+                let alpha = w1 * ov.0 + w2 * rest.0;
+                let beta = w1 * ov.1 + w2 * rest.1;
+                // The blend can invert when regions are disjoint in value;
+                // guard by ordering.
+                Ok((alpha.min(beta), alpha.max(beta)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epim_core::{ConvShape, Epitome, EpitomeShape, EpitomeSpec};
+    use epim_tensor::{init, rng};
+
+    #[test]
+    fn minmax_estimates_extrema() {
+        let t = Tensor::from_vec(vec![-3.0, 0.5, 2.0], &[3]).unwrap();
+        assert_eq!(RangeEstimator::MinMax.estimate(&t, None).unwrap(), (-3.0, 2.0));
+    }
+
+    #[test]
+    fn empty_tensor_rejected() {
+        let t = Tensor::zeros(&[0]);
+        assert!(RangeEstimator::MinMax.estimate(&t, None).is_err());
+    }
+
+    #[test]
+    fn overlap_requires_repetition() {
+        let t = Tensor::ones(&[4]);
+        let est = RangeEstimator::overlap_default();
+        assert!(est.estimate(&t, None).is_err());
+        let bad = Tensor::ones(&[5]);
+        assert!(est.estimate(&t, Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn overlap_weights_validated() {
+        let t = Tensor::ones(&[4]);
+        let reps = Tensor::ones(&[4]);
+        let est = RangeEstimator::OverlapWeighted { w1: -1.0, w2: 0.5 };
+        assert!(est.estimate(&t, Some(&reps)).is_err());
+    }
+
+    #[test]
+    fn overlap_blend_tightens_range_when_outliers_unrepeated() {
+        // Outlier values sit in the low-repetition region: the weighted
+        // range should be tighter than min/max.
+        let t = Tensor::from_vec(vec![-10.0, -1.0, 1.0, 10.0], &[4]).unwrap();
+        let reps = Tensor::from_vec(vec![1.0, 3.0, 3.0, 1.0], &[4]).unwrap();
+        let (a_mm, b_mm) = RangeEstimator::MinMax.estimate(&t, None).unwrap();
+        let (a_ov, b_ov) =
+            RangeEstimator::overlap_default().estimate(&t, Some(&reps)).unwrap();
+        assert!(a_ov > a_mm && b_ov < b_mm, "[{a_ov}, {b_ov}] vs [{a_mm}, {b_mm}]");
+        // With w1=0.7: α = 0.7*(-1) + 0.3*(-10) = -3.7.
+        assert!((a_ov + 3.7).abs() < 1e-5);
+        assert!((b_ov - 3.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_repetition_falls_back_to_minmax() {
+        let t = Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]).unwrap();
+        let reps = Tensor::full(&[3], 4.0);
+        let (a, b) = RangeEstimator::overlap_default().estimate(&t, Some(&reps)).unwrap();
+        assert_eq!((a, b), (-2.0, 2.0));
+    }
+
+    #[test]
+    fn overlap_with_real_epitome_repetition_map() {
+        // End-to-end with an actual epitome's repetition structure.
+        let spec = EpitomeSpec::new(
+            ConvShape::new(4, 9, 1, 1),
+            EpitomeShape::new(4, 5, 1, 1),
+        )
+        .unwrap();
+        let mut r = rng::seeded(3);
+        let data = init::uniform(&spec.shape().dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_tensor(spec, data).unwrap();
+        let reps = epi.repetition_map();
+        assert!(reps.max() > reps.min()); // genuine overlap
+        let (a, b) = RangeEstimator::overlap_default()
+            .estimate(epi.tensor(), Some(&reps))
+            .unwrap();
+        assert!(a <= b);
+        assert!(a >= epi.tensor().min() - 1e-6);
+        assert!(b <= epi.tensor().max() + 1e-6);
+    }
+}

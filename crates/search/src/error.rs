@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+use epim_core::EpitomeError;
+
+/// Error type for the evolutionary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The search problem was malformed (no layers, a layer without
+    /// candidates, zero population, ...).
+    InvalidProblem {
+        /// What was wrong.
+        what: String,
+    },
+    /// Error from the epitome layer.
+    Epitome(EpitomeError),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::InvalidProblem { what } => write!(f, "invalid search problem: {what}"),
+            SearchError::Epitome(e) => write!(f, "epitome error: {e}"),
+        }
+    }
+}
+
+impl Error for SearchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SearchError::Epitome(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EpitomeError> for SearchError {
+    fn from(e: EpitomeError) -> Self {
+        SearchError::Epitome(e)
+    }
+}
+
+impl SearchError {
+    /// Convenience constructor for [`SearchError::InvalidProblem`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        SearchError::InvalidProblem { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SearchError::invalid("empty");
+        assert!(e.to_string().contains("empty"));
+        assert!(e.source().is_none());
+        let e: SearchError = EpitomeError::geometry("g").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! # epim-search
+//!
+//! PIM-aware layer-wise epitome design via evolutionary search — the
+//! paper's §5.2 and Algorithm 1.
+//!
+//! Each layer of a network picks one epitome candidate from a per-layer
+//! choice set `C`; the full design space is `N^l` combinations (the paper
+//! counts 20,676,608 for ResNet-50). The search maximizes
+//!
+//! ```text
+//! Reward = m / Latency(E)   or   m / Energy(E)          (Eq. 6)
+//! m = 0 if #Crossbar(E) > Budget, else 1                (Eq. 7)
+//! ```
+//!
+//! with elitist selection and per-layer random mutation, exactly the loop
+//! of Algorithm 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use epim_search::{EvoSearch, Objective, SearchConfig, SearchLayer};
+//! use epim_core::{ConvShape, EpitomeDesigner};
+//! use epim_pim::{CostModel, Precision};
+//!
+//! # fn main() -> Result<(), epim_search::SearchError> {
+//! let designer = EpitomeDesigner::new(128, 128);
+//! let conv = ConvShape::new(256, 128, 3, 3);
+//! let layers = vec![SearchLayer {
+//!     conv,
+//!     out_pixels: 14 * 14,
+//!     candidates: designer.candidates(conv)?,
+//! }];
+//! let cfg = SearchConfig { iterations: 5, ..SearchConfig::default() };
+//! let search = EvoSearch::new(layers, CostModel::default(), Precision::new(9, 9), cfg)?;
+//! let best = search.run();
+//! assert!(best.reward > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod evo;
+
+pub use error::SearchError;
+pub use evo::{
+    random_search, BestDesign, EvoSearch, Objective, SearchConfig, SearchLayer, SearchTrace,
+};

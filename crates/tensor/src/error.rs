@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Returned by fallible operations in this crate, e.g. shape mismatches in
+/// [`crate::Tensor::matmul`] or invalid convolution geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (or broadcast) do not.
+    ShapeMismatch {
+        /// Shape of the left / expected operand.
+        expected: Vec<usize>,
+        /// Shape of the right / actual operand.
+        actual: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A tensor of a particular rank was required.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank that was provided.
+        actual: usize,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// An index or slice was out of bounds for the tensor's shape.
+    OutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A parameter had an invalid value (zero stride, empty shape, ...).
+    InvalidArgument {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual, op } => write!(
+                f,
+                "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
+            ),
+            TensorError::RankMismatch { expected, actual, op } => write!(
+                f,
+                "rank mismatch in {op}: expected rank {expected}, got rank {actual}"
+            ),
+            TensorError::OutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidArgument { what } => {
+                write!(f, "invalid argument: {what}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::InvalidArgument`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        TensorError::InvalidArgument { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeMismatch {
+                expected: vec![2, 3],
+                actual: vec![3, 2],
+                op: "matmul",
+            },
+            TensorError::RankMismatch { expected: 4, actual: 2, op: "conv2d" },
+            TensorError::OutOfBounds { index: vec![9], shape: vec![3] },
+            TensorError::invalid("stride must be nonzero"),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,95 @@
+//! Activation functions.
+
+use crate::{Tensor, TensorError};
+
+/// Rectified linear unit, elementwise.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward pass of [`relu`]: passes gradient where the input was positive.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x` and `dy` differ in shape.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Result<Tensor, TensorError> {
+    x.zip(dy, |xv, g| if xv > 0.0 { g } else { 0.0 })
+}
+
+/// Logistic sigmoid, elementwise.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Row-wise softmax of a `(N, K)` matrix, numerically stabilized.
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrices.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: x.rank(), op: "softmax" });
+    }
+    let (n, k) = (x.shape()[0], x.shape()[1]);
+    let mut out = x.clone();
+    let od = out.data_mut();
+    for i in 0..n {
+        let row = &mut od[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= z;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_gates_gradient() {
+        let x = Tensor::from_vec(vec![-1.0, 0.5], &[2]).unwrap();
+        let dy = Tensor::from_vec(vec![3.0, 3.0], &[2]).unwrap();
+        assert_eq!(relu_backward(&x, &dy).unwrap().data(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_midpoint() {
+        let x = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]).unwrap();
+        let y = sigmoid(&x);
+        assert!(y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        for i in 0..2 {
+            let s: f32 = y.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Large-logit row stays finite (stabilization works).
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_monotone_in_logits() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        assert!(y.data()[0] < y.data()[1] && y.data()[1] < y.data()[2]);
+    }
+}

@@ -1,0 +1,464 @@
+//! 2-D convolution: direct, im2col-based, and backward passes.
+
+use crate::{Tensor, TensorError};
+
+/// Stride/padding configuration for [`conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dCfg {
+    /// Spatial stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Default for Conv2dCfg {
+    fn default() -> Self {
+        Conv2dCfg { stride: 1, padding: 0 }
+    }
+}
+
+/// Output spatial dimensions of a convolution.
+///
+/// Returns `(out_h, out_w)` for an `in_h x in_w` input with `kh x kw`
+/// kernels under `cfg`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the stride is zero or the
+/// kernel does not fit in the padded input.
+pub fn conv2d_out_dims(
+    in_h: usize,
+    in_w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dCfg,
+) -> Result<(usize, usize), TensorError> {
+    if cfg.stride == 0 {
+        return Err(TensorError::invalid("stride must be nonzero"));
+    }
+    let ph = in_h + 2 * cfg.padding;
+    let pw = in_w + 2 * cfg.padding;
+    if kh == 0 || kw == 0 || kh > ph || kw > pw {
+        return Err(TensorError::invalid(format!(
+            "kernel {kh}x{kw} does not fit padded input {ph}x{pw}"
+        )));
+    }
+    Ok(((ph - kh) / cfg.stride + 1, (pw - kw) / cfg.stride + 1))
+}
+
+/// Lowers image patches to a matrix (`im2col`).
+///
+/// Input `(N, C, H, W)` becomes a matrix of shape
+/// `(N*OH*OW, C*KH*KW)` whose rows are flattened receptive fields. This is
+/// the same lowering a PIM accelerator performs when feeding word lines: each
+/// row is one crossbar input vector.
+///
+/// # Errors
+///
+/// Propagates geometry errors from [`conv2d_out_dims`] and rank errors.
+pub fn im2col(
+    x: &Tensor,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "im2col" });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+    let rows = n * oh * ow;
+    let cols = c * kh * kw;
+    let mut out = vec![0.0f32; rows * cols];
+    let xd = x.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (ni * oh + oy) * ow + ox;
+                let base = row * cols;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = (ci * kh + ky) * kw + kx;
+                            out[base + col] =
+                                xd[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Accumulates an im2col matrix back into image space (`col2im`).
+///
+/// The adjoint of [`im2col`]: overlapping patch positions are summed. Used
+/// by [`conv2d_backward`] to form input gradients.
+///
+/// # Errors
+///
+/// Returns geometry errors if `cols` does not match the implied shape.
+pub fn col2im(
+    cols_mat: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+    let rows = n * oh * ow;
+    let cols = c * kh * kw;
+    if cols_mat.shape() != [rows, cols] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![rows, cols],
+            actual: cols_mat.shape().to_vec(),
+            op: "col2im",
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let od = out.data_mut();
+    let cd = cols_mat.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (ni * oh + oy) * ow + ox;
+                let base = row * cols;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = (ci * kh + ky) * kw + kx;
+                            od[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                cd[base + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D convolution (cross-correlation, as in every DL framework).
+///
+/// `x` is `(N, C_in, H, W)`, `weight` is `(C_out, C_in, KH, KW)`, `bias`
+/// (optional) is `(C_out)`. Returns `(N, C_out, OH, OW)`.
+///
+/// Implemented as `im2col` followed by a matrix multiply — the same lowering
+/// the PIM crossbar mapping uses, which makes the functional-equivalence
+/// tests between this operator and the crossbar data path meaningful.
+///
+/// # Errors
+///
+/// Returns rank/shape errors if operands disagree or the geometry is
+/// invalid.
+pub fn conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "conv2d" });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight.rank(),
+            op: "conv2d",
+        });
+    }
+    let (n, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, wc_in, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc_in != c_in {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c_in],
+            actual: vec![wc_in],
+            op: "conv2d (input channels)",
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [c_out] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![c_out],
+                actual: b.shape().to_vec(),
+                op: "conv2d (bias)",
+            });
+        }
+    }
+    let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+    let cols = im2col(x, kh, kw, cfg)?; // (N*OH*OW, C_in*KH*KW)
+    let wmat = weight.reshape(&[c_out, c_in * kh * kw])?;
+    let out_mat = cols.matmul(&wmat.transpose()?)?; // (N*OH*OW, C_out)
+
+    // Rearrange (N*OH*OW, C_out) -> (N, C_out, OH, OW), adding bias.
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    let od = out.data_mut();
+    let md = out_mat.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (ni * oh + oy) * ow + ox;
+                for co in 0..c_out {
+                    let b = bias.map(|bb| bb.data()[co]).unwrap_or(0.0);
+                    od[((ni * c_out + co) * oh + oy) * ow + ox] = md[row * c_out + co] + b;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `(N, C_in, H, W)`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weight, `(C_out, C_in, KH, KW)`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, `(C_out)`.
+    pub db: Tensor,
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// `dy` is the upstream gradient `(N, C_out, OH, OW)`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors if operands disagree with the forward geometry.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    cfg: Conv2dCfg,
+) -> Result<Conv2dGrads, TensorError> {
+    let (n, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+    if dy.shape() != [n, c_out, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c_out, oh, ow],
+            actual: dy.shape().to_vec(),
+            op: "conv2d_backward",
+        });
+    }
+
+    // dy as matrix: (N*OH*OW, C_out)
+    let mut dy_mat = Tensor::zeros(&[n * oh * ow, c_out]);
+    {
+        let dd = dy_mat.data_mut();
+        let yd = dy.data();
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let row = (ni * oh + oy) * ow + ox;
+                        dd[row * c_out + co] = yd[((ni * c_out + co) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+
+    let cols = im2col(x, kh, kw, cfg)?; // (R, C_in*KH*KW)
+    // dW = dy_mat^T * cols  -> (C_out, C_in*KH*KW)
+    let dw_mat = dy_mat.transpose()?.matmul(&cols)?;
+    let dw = dw_mat.reshape(&[c_out, c_in, kh, kw])?;
+
+    // db = column sums of dy_mat.
+    let mut db = Tensor::zeros(&[c_out]);
+    {
+        let bd = db.data_mut();
+        let dd = dy_mat.data();
+        for row in 0..n * oh * ow {
+            for co in 0..c_out {
+                bd[co] += dd[row * c_out + co];
+            }
+        }
+    }
+
+    // dX: dcols = dy_mat * Wmat, then col2im.
+    let wmat = weight.reshape(&[c_out, c_in * kh * kw])?;
+    let dcols = dy_mat.matmul(&wmat)?;
+    let dx = col2im(&dcols, n, c_in, h, w, kh, kw, cfg)?;
+
+    Ok(Conv2dGrads { dx, dw, db })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_conv(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
+        // Reference naive implementation for cross-checking.
+        let (n, c_in, h, ww) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (c_out, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+        let (oh, ow) = conv2d_out_dims(h, ww, kh, kw, cfg).unwrap();
+        Tensor::from_fn(&[n, c_out, oh, ow], |idx| {
+            let (ni, co, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
+            let mut acc = 0.0;
+            for ci in 0..c_in {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= ww as isize {
+                            continue;
+                        }
+                        acc += x.at(&[ni, ci, iy as usize, ix as usize])
+                            * w.at(&[co, ci, ky, kx]);
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn out_dims_basic() {
+        assert_eq!(conv2d_out_dims(8, 8, 3, 3, Conv2dCfg { stride: 1, padding: 1 }).unwrap(), (8, 8));
+        assert_eq!(conv2d_out_dims(8, 8, 3, 3, Conv2dCfg { stride: 2, padding: 1 }).unwrap(), (4, 4));
+        assert_eq!(conv2d_out_dims(7, 7, 1, 1, Conv2dCfg::default()).unwrap(), (7, 7));
+        assert!(conv2d_out_dims(4, 4, 5, 5, Conv2dCfg::default()).is_err());
+        assert!(conv2d_out_dims(4, 4, 3, 3, Conv2dCfg { stride: 0, padding: 0 }).is_err());
+    }
+
+    #[test]
+    fn conv_matches_direct_reference() {
+        let mut r = crate::rng::seeded(11);
+        let x = crate::init::uniform(&[2, 3, 7, 7], -1.0, 1.0, &mut r);
+        let w = crate::init::uniform(&[4, 3, 3, 3], -1.0, 1.0, &mut r);
+        for cfg in [
+            Conv2dCfg { stride: 1, padding: 0 },
+            Conv2dCfg { stride: 1, padding: 1 },
+            Conv2dCfg { stride: 2, padding: 1 },
+        ] {
+            let got = conv2d(&x, &w, None, cfg).unwrap();
+            let want = direct_conv(&x, &w, cfg);
+            assert!(got.allclose(&want, 1e-4).unwrap(), "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn conv_bias_added_per_channel() {
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let y = conv2d(&x, &w, Some(&b), Conv2dCfg::default()).unwrap();
+        for oy in 0..3 {
+            for ox in 0..3 {
+                assert_eq!(y.at(&[0, 0, oy, ox]), 1.5);
+                assert_eq!(y.at(&[0, 1, oy, ox]), -2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let x = Tensor::zeros(&[1, 3, 5, 5]);
+        let w = Tensor::zeros(&[2, 4, 3, 3]);
+        assert!(conv2d(&x, &w, None, Conv2dCfg::default()).is_err());
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let mut r = crate::rng::seeded(21);
+        let cfg = Conv2dCfg { stride: 2, padding: 1 };
+        let x = crate::init::uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut r);
+        let cols = im2col(&x, 3, 3, cfg).unwrap();
+        let y = crate::init::uniform(cols.shape(), -1.0, 1.0, &mut r);
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let back = col2im(&y, 1, 2, 6, 6, 3, 3, cfg).unwrap();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut r = crate::rng::seeded(31);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let x = crate::init::uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut r);
+        let w = crate::init::uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut r);
+        let y = conv2d(&x, &w, None, cfg).unwrap();
+        // Loss = sum(y^2)/2, so dy = y.
+        let grads = conv2d_backward(&x, &w, &y, cfg).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor| -> f32 {
+            conv2d(x, w, None, cfg).unwrap().norm_sq() / 2.0
+        };
+        // Check several weight coordinates.
+        for &flat in &[0usize, 7, 23, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[flat] -= eps;
+            let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            let an = grads.dw.data()[flat];
+            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dw[{flat}] fd {fd} an {an}");
+        }
+        // Check input coordinates.
+        for &flat in &[0usize, 11, 29, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            let an = grads.dx.data()[flat];
+            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dx[{flat}] fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn backward_bias_is_spatial_sum() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[2, 1, 3, 3]);
+        let cfg = Conv2dCfg { stride: 1, padding: 0 };
+        let dy = Tensor::ones(&[1, 2, 2, 2]);
+        let g = conv2d_backward(&x, &w, &dy, cfg).unwrap();
+        assert_eq!(g.db.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_1x1_is_channel_mixing() {
+        // 1x1 conv == per-pixel linear map over channels.
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| (i[1] + 1) as f32);
+        let w = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]).unwrap();
+        let y = conv2d(&x, &w, None, Conv2dCfg::default()).unwrap();
+        // Every pixel: 1*1 + 2*2 = 5.
+        for v in y.data() {
+            assert_eq!(*v, 5.0);
+        }
+    }
+}

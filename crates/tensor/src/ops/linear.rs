@@ -1,0 +1,146 @@
+//! Fully-connected (linear) layer.
+
+use crate::{Tensor, TensorError};
+
+/// Linear layer forward: `y = x W^T + b`.
+///
+/// `x` is `(N, In)`, `weight` is `(Out, In)`, `bias` (optional) `(Out)`.
+/// Returns `(N, Out)`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when operands disagree.
+pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, TensorError> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: x.rank(), op: "linear" });
+    }
+    if weight.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: weight.rank(),
+            op: "linear",
+        });
+    }
+    let out_features = weight.shape()[0];
+    let mut y = x.matmul(&weight.transpose()?)?;
+    if let Some(b) = bias {
+        if b.shape() != [out_features] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![out_features],
+                actual: b.shape().to_vec(),
+                op: "linear (bias)",
+            });
+        }
+        let n = y.shape()[0];
+        let yd = y.data_mut();
+        for i in 0..n {
+            for (j, &bv) in b.data().iter().enumerate() {
+                yd[i * out_features + j] += bv;
+            }
+        }
+    }
+    Ok(y)
+}
+
+/// Gradients produced by [`linear_backward`].
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the input, `(N, In)`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weight, `(Out, In)`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, `(Out)`.
+    pub db: Tensor,
+}
+
+/// Backward pass of [`linear`].
+///
+/// # Errors
+///
+/// Returns rank/shape errors when operands disagree with the forward
+/// geometry.
+pub fn linear_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+) -> Result<LinearGrads, TensorError> {
+    let (n, out_features) = (x.shape()[0], weight.shape()[0]);
+    if dy.shape() != [n, out_features] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, out_features],
+            actual: dy.shape().to_vec(),
+            op: "linear_backward",
+        });
+    }
+    let dx = dy.matmul(weight)?;
+    let dw = dy.transpose()?.matmul(x)?;
+    let mut db = Tensor::zeros(&[out_features]);
+    {
+        let bd = db.data_mut();
+        let dd = dy.data();
+        for i in 0..n {
+            for (j, b) in bd.iter_mut().enumerate() {
+                *b += dd[i * out_features + j];
+            }
+        }
+    }
+    Ok(LinearGrads { dx, dw, db })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5, 0.0], &[3]).unwrap();
+        let y = linear(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.data(), &[1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn bias_shape_checked() {
+        let x = Tensor::zeros(&[1, 2]);
+        let w = Tensor::zeros(&[3, 2]);
+        let b = Tensor::zeros(&[2]);
+        assert!(linear(&x, &w, Some(&b)).is_err());
+    }
+
+    #[test]
+    fn backward_finite_difference() {
+        let mut r = crate::rng::seeded(41);
+        let x = crate::init::uniform(&[3, 4], -1.0, 1.0, &mut r);
+        let w = crate::init::uniform(&[2, 4], -1.0, 1.0, &mut r);
+        let y = linear(&x, &w, None).unwrap();
+        let g = linear_backward(&x, &w, &y).unwrap();
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor| linear(x, w, None).unwrap().norm_sq() / 2.0;
+        for flat in 0..w.len() {
+            let mut wp = w.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[flat] -= eps;
+            let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((fd - g.dw.data()[flat]).abs() < 0.02 * (1.0 + fd.abs()));
+        }
+        for flat in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((fd - g.dx.data()[flat]).abs() < 0.02 * (1.0 + fd.abs()));
+        }
+    }
+
+    #[test]
+    fn db_sums_over_batch() {
+        let x = Tensor::ones(&[4, 2]);
+        let w = Tensor::ones(&[3, 2]);
+        let dy = Tensor::ones(&[4, 3]);
+        let g = linear_backward(&x, &w, &dy).unwrap();
+        assert_eq!(g.db.data(), &[4.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Loss functions.
+
+use super::activation::softmax_rows;
+use crate::{Tensor, TensorError};
+
+/// Result of [`cross_entropy`]: the scalar loss, the gradient w.r.t. the
+/// logits, and the batch accuracy.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, `(N, K)`, already divided by `N`.
+    pub dlogits: Tensor,
+    /// Fraction of rows whose argmax equals the label.
+    pub accuracy: f32,
+}
+
+/// Softmax cross-entropy with integer labels.
+///
+/// `logits` is `(N, K)`; `labels` holds `N` class indices `< K`.
+///
+/// # Errors
+///
+/// Returns shape errors if `labels.len() != N` or any label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<CrossEntropyOutput, TensorError> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+            op: "cross_entropy",
+        });
+    }
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n],
+            actual: vec![labels.len()],
+            op: "cross_entropy (labels)",
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(TensorError::OutOfBounds { index: vec![bad], shape: vec![k] });
+    }
+    let probs = softmax_rows(logits)?;
+    let mut loss = 0.0f32;
+    let mut correct = 0usize;
+    let mut dlogits = probs.clone();
+    {
+        let dd = dlogits.data_mut();
+        for (i, &label) in labels.iter().enumerate() {
+            let row = &probs.data()[i * k..(i + 1) * k];
+            loss -= row[label].max(1e-12).ln();
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                .map(|(j, _)| j)
+                .expect("nonempty row");
+            if argmax == label {
+                correct += 1;
+            }
+            dd[i * k + label] -= 1.0;
+        }
+        for v in dd.iter_mut() {
+            *v /= n as f32;
+        }
+    }
+    Ok(CrossEntropyOutput {
+        loss: loss / n as f32,
+        dlogits,
+        accuracy: correct as f32 / n as f32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let out = cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.accuracy, 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_k() {
+        let logits = Tensor::zeros(&[4, 8]);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - (8.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.1, 0.5, -0.4], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let out = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for flat in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[flat] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[flat] -= eps;
+            let fd = (cross_entropy(&lp, &labels).unwrap().loss
+                - cross_entropy(&lm, &labels).unwrap().loss)
+                / (2.0 * eps);
+            assert!((fd - out.dlogits.data()[flat]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+    }
+}

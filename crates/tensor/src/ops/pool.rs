@@ -1,0 +1,191 @@
+//! Spatial pooling operators.
+
+use crate::{Tensor, TensorError};
+
+use super::conv::conv2d_out_dims;
+use super::Conv2dCfg;
+
+/// Window/stride configuration for pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolCfg {
+    /// Square window size.
+    pub window: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+}
+
+impl PoolCfg {
+    fn as_conv(&self) -> Conv2dCfg {
+        Conv2dCfg { stride: self.stride, padding: 0 }
+    }
+}
+
+/// Average pooling over `(N, C, H, W)`.
+///
+/// # Errors
+///
+/// Returns geometry errors if the window does not fit.
+pub fn avg_pool2d(x: &Tensor, cfg: PoolCfg) -> Result<Tensor, TensorError> {
+    pool(x, cfg, |vals| vals.iter().sum::<f32>() / vals.len() as f32)
+}
+
+/// Max pooling over `(N, C, H, W)`.
+///
+/// # Errors
+///
+/// Returns geometry errors if the window does not fit.
+pub fn max_pool2d(x: &Tensor, cfg: PoolCfg) -> Result<Tensor, TensorError> {
+    pool(x, cfg, |vals| vals.iter().copied().fold(f32::NEG_INFINITY, f32::max))
+}
+
+fn pool(
+    x: &Tensor,
+    cfg: PoolCfg,
+    reduce: impl Fn(&[f32]) -> f32,
+) -> Result<Tensor, TensorError> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "pool2d" });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = conv2d_out_dims(h, w, cfg.window, cfg.window, cfg.as_conv())?;
+    let mut vals = Vec::with_capacity(cfg.window * cfg.window);
+    let out = Tensor::from_fn(&[n, c, oh, ow], |idx| {
+        let (ni, ci, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
+        vals.clear();
+        for ky in 0..cfg.window {
+            for kx in 0..cfg.window {
+                vals.push(x.at(&[ni, ci, oy * cfg.stride + ky, ox * cfg.stride + kx]));
+            }
+        }
+        reduce(&vals)
+    });
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool2d`]: distributes gradient uniformly over each
+/// window.
+///
+/// # Errors
+///
+/// Returns geometry errors if `dy` does not match the pooled shape.
+pub fn avg_pool2d_backward(
+    x_shape: &[usize],
+    dy: &Tensor,
+    cfg: PoolCfg,
+) -> Result<Tensor, TensorError> {
+    if x_shape.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x_shape.len(),
+            op: "avg_pool2d_backward",
+        });
+    }
+    let (n, c, h, w) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let (oh, ow) = conv2d_out_dims(h, w, cfg.window, cfg.window, cfg.as_conv())?;
+    if dy.shape() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c, oh, ow],
+            actual: dy.shape().to_vec(),
+            op: "avg_pool2d_backward",
+        });
+    }
+    let mut dx = Tensor::zeros(x_shape);
+    let inv = 1.0 / (cfg.window * cfg.window) as f32;
+    let dd = dx.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dy.at(&[ni, ci, oy, ox]) * inv;
+                    for ky in 0..cfg.window {
+                        for kx in 0..cfg.window {
+                            let iy = oy * cfg.stride + ky;
+                            let ix = ox * cfg.stride + kx;
+                            dd[((ni * c + ci) * h + iy) * w + ix] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(dx)
+}
+
+/// Global average pooling: `(N, C, H, W) -> (N, C)`.
+///
+/// # Errors
+///
+/// Returns a rank error for non-4D input.
+pub fn global_avg_pool(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.rank(),
+            op: "global_avg_pool",
+        });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let out = Tensor::from_fn(&[n, c], |idx| {
+        let mut s = 0.0;
+        for y in 0..h {
+            for x_ in 0..w {
+                s += x.at(&[idx[0], idx[1], y, x_]);
+            }
+        }
+        s * inv
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_constant_input() {
+        let x = Tensor::full(&[1, 2, 4, 4], 3.0);
+        let y = avg_pool2d(&x, PoolCfg { window: 2, stride: 2 }).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        for v in y.data() {
+            assert_eq!(*v, 3.0);
+        }
+    }
+
+    #[test]
+    fn max_pool_picks_max() {
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| (i[2] * 2 + i[3]) as f32);
+        let y = max_pool2d(&x, PoolCfg { window: 2, stride: 2 }).unwrap();
+        assert_eq!(y.data(), &[3.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_matches_mean() {
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| i[1] as f32);
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        for ni in 0..2 {
+            for ci in 0..3 {
+                assert_eq!(y.at(&[ni, ci]), ci as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_pool_backward_conserves_gradient_mass() {
+        let cfg = PoolCfg { window: 2, stride: 2 };
+        let dy = Tensor::ones(&[1, 1, 2, 2]);
+        let dx = avg_pool2d_backward(&[1, 1, 4, 4], &dy, cfg).unwrap();
+        assert!((dx.sum() - dy.sum()).abs() < 1e-6);
+        for v in dx.data() {
+            assert_eq!(*v, 0.25);
+        }
+    }
+
+    #[test]
+    fn pool_rejects_bad_geometry() {
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(avg_pool2d(&x, PoolCfg { window: 4, stride: 1 }).is_err());
+        assert!(max_pool2d(&x, PoolCfg { window: 2, stride: 0 }).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension extents.
+///
+/// Shapes are row-major: the last dimension is contiguous in memory.
+/// A rank-0 shape (no dimensions) denotes a scalar with one element.
+///
+/// # Example
+///
+/// ```
+/// use epim_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), Some(23));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape holds zero elements (some extent is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// `strides()[i]` is the number of elements to skip to advance one step
+    /// along dimension `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset, or `None` if the
+    /// index is out of bounds (wrong rank or any coordinate too large).
+    pub fn flat_index(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            flat += i * s;
+        }
+        Some(flat)
+    }
+
+    /// Converts a flat offset back to a multi-dimensional index.
+    ///
+    /// Returns `None` if `flat` is out of range.
+    pub fn unflatten(&self, flat: usize) -> Option<Vec<usize>> {
+        if flat >= self.len() {
+            return None;
+        }
+        let mut rem = flat;
+        let strides = self.strides();
+        let mut idx = vec![0usize; self.dims.len()];
+        for (i, &s) in strides.iter().enumerate() {
+            idx[i] = rem / s;
+            rem %= s;
+        }
+        Some(idx)
+    }
+
+    /// Checks that this shape equals `other`, returning a [`TensorError`]
+    /// naming `op` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn ensure_same(&self, other: &Shape, op: &'static str) -> Result<(), TensorError> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                expected: self.dims.clone(),
+                actual: other.dims.clone(),
+                op,
+            })
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.flat_index(&[]), Some(0));
+        assert_eq!(s.unflatten(0), Some(vec![]));
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = Shape::new(vec![3, 5, 7]);
+        for flat in 0..s.len() {
+            let idx = s.unflatten(flat).unwrap();
+            assert_eq!(s.flat_index(&idx), Some(flat));
+        }
+    }
+
+    #[test]
+    fn flat_index_out_of_bounds() {
+        let s = Shape::new(vec![2, 2]);
+        assert_eq!(s.flat_index(&[2, 0]), None);
+        assert_eq!(s.flat_index(&[0]), None);
+        assert_eq!(s.unflatten(4), None);
+    }
+
+    #[test]
+    fn zero_extent_shape_is_empty() {
+        let s = Shape::new(vec![2, 0, 3]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn ensure_same_errors() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![3, 2]);
+        assert!(a.ensure_same(&a.clone(), "t").is_ok());
+        assert!(a.ensure_same(&b, "t").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Layer-wise epitome design with evolutionary search (paper §5.2,
+//! Algorithm 1): optimize per-layer epitome shapes for latency or energy
+//! under a crossbar budget, and compare against the uniform design.
+//!
+//! Run with: `cargo run -p epim --example design_search --release`
+
+use epim::core::EpitomeDesigner;
+use epim::models::resnet::resnet50;
+use epim::pim::{AcceleratorConfig, CostModel, Precision};
+use epim::search::{random_search, EvoSearch, Objective, SearchConfig, SearchLayer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designer = EpitomeDesigner::new(128, 128);
+    let model = CostModel::new(AcceleratorConfig::default().with_channel_wrapping(true));
+    let precision = Precision::new(9, 9);
+
+    // Build the per-layer candidate sets for a slice of ResNet-50 (the
+    // 3x3 convolutions of stages 2-4 — the layers worth compressing).
+    let backbone = resnet50();
+    let layers: Vec<SearchLayer> = backbone
+        .layers
+        .iter()
+        .filter(|l| l.conv.kh == 3 && l.conv.cin >= 128)
+        .map(|l| {
+            Ok(SearchLayer {
+                conv: l.conv,
+                out_pixels: l.out_pixels(),
+                candidates: designer.candidates(l.conv)?,
+            })
+        })
+        .collect::<Result<_, epim::core::EpitomeError>>()?;
+    println!("search problem: {} layers", layers.len());
+
+    // A uniform reference design: pick the mid-ladder candidate everywhere.
+    let uniform_genome: Vec<usize> = layers.iter().map(|l| l.candidates.len() / 2).collect();
+
+    for objective in [Objective::Latency, Objective::Energy, Objective::Edp] {
+        let cfg = SearchConfig {
+            population: 32,
+            iterations: 40,
+            objective,
+            crossbar_budget: usize::MAX,
+            seed: 7,
+            ..SearchConfig::default()
+        };
+        let search = EvoSearch::new(layers.clone(), model, precision, cfg)?;
+        if matches!(objective, Objective::Latency) {
+            println!("design space: {} combinations", search.design_space());
+            let (u_costs, _) = search.evaluate(&uniform_genome);
+            println!(
+                "uniform reference: latency {:.2} ms, energy {:.2} mJ, {} crossbars\n",
+                u_costs.latency_ms(),
+                u_costs.energy_mj(),
+                u_costs.crossbars
+            );
+        }
+
+        let (best, trace) = search.run_traced();
+        let rand = random_search(&search, 32 * 40, 7);
+        println!(
+            "{:?}-opt: latency {:.2} ms, energy {:.2} mJ, EDP {:.1}, {} crossbars \
+             (random-search best reward: {:.3e}, evolution: {:.3e}, gens to best: {})",
+            objective,
+            best.costs.latency_ms(),
+            best.costs.energy_mj(),
+            best.costs.edp() * 1e-15,
+            best.costs.crossbars,
+            rand.reward,
+            best.reward,
+            trace
+                .best_rewards
+                .iter()
+                .position(|&r| (r - best.reward).abs() < f64::EPSILON)
+                .map(|i| i + 1)
+                .unwrap_or(trace.best_rewards.len())
+        );
+    }
+
+    // Now with a tight crossbar budget (Eq. 7 in action).
+    let free = EvoSearch::new(
+        layers.clone(),
+        model,
+        precision,
+        SearchConfig { iterations: 30, seed: 7, ..SearchConfig::default() },
+    )?
+    .run();
+    let budget = (free.costs.crossbars as f64 * 0.8) as usize;
+    let constrained = EvoSearch::new(
+        layers,
+        model,
+        precision,
+        SearchConfig {
+            iterations: 40,
+            seed: 7,
+            crossbar_budget: budget,
+            ..SearchConfig::default()
+        },
+    )?
+    .run();
+    println!(
+        "\nbudget {} crossbars: best design uses {} ({} without the budget)",
+        budget, constrained.costs.crossbars, free.costs.crossbars
+    );
+    assert!(constrained.costs.crossbars <= budget);
+    Ok(())
+}

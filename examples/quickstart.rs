@@ -1,0 +1,86 @@
+//! Quickstart: replace one convolution with an epitome, verify the
+//! reconstruction end-to-end on the simulated PIM data path, and compare
+//! hardware costs.
+//!
+//! Run with: `cargo run -p epim --example quickstart`
+
+use epim::core::{ConvShape, Epitome, EpitomeDesigner};
+use epim::pim::datapath::DataPath;
+use epim::pim::{AcceleratorConfig, CostModel, Precision};
+use epim::tensor::ops::{conv2d, Conv2dCfg};
+use epim::tensor::{init, rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A ResNet-50-style convolution: 512 output channels, 256 input
+    //    channels, 3x3 kernel.
+    let conv = ConvShape::new(512, 256, 3, 3);
+    println!("convolution:            {conv}  ({} params)", conv.params());
+
+    // 2. Design the paper's uniform 1024x256 epitome for it, aligned to
+    //    128x128 crossbars (paper §4.1).
+    let designer = EpitomeDesigner::new(128, 128);
+    let spec = designer.design(conv, 1024, 256)?;
+    println!(
+        "epitome:                {}  ({} params, {:.2}x compression)",
+        spec.shape(),
+        spec.shape().params(),
+        spec.param_compression()
+    );
+    println!(
+        "sampling plan:          {} patches per output pixel",
+        spec.plan().activation_rounds()
+    );
+
+    // 3. Put random parameters in the epitome and reconstruct the full
+    //    convolution weight (paper Eq. 1 / Figure 1).
+    let mut r = rng::seeded(42);
+    let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
+    let epitome = Epitome::from_tensor(spec.clone(), data)?;
+    let weight = epitome.reconstruct()?;
+    println!("reconstructed weight:   {:?}", weight.shape());
+
+    // 4. Run a feature map through the EPIM data path (IFAT/IFRT/OFAT +
+    //    joint module, §4.3) and check it matches a plain convolution.
+    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let x = init::uniform(&[1, 256, 7, 7], -1.0, 1.0, &mut r);
+    let datapath = DataPath::new(&epitome, cfg, true)?;
+    let (y_pim, stats) = datapath.execute(&x)?;
+    let y_ref = conv2d(&x, &weight, None, cfg)?;
+    println!(
+        "functional equivalence: max|Δ| = {:.2e}  (rounds: {}, wrapped outputs: {})",
+        y_pim.sub(&y_ref)?.abs_max(),
+        stats.rounds,
+        stats.wrapped_elements
+    );
+    assert!(y_pim.allclose(&y_ref, 1e-3)?, "data path must match the convolution");
+
+    // 5. Compare analytic hardware costs at W9A9.
+    let prec = Precision::new(9, 9);
+    let pixels = 14 * 14;
+    let base = CostModel::new(AcceleratorConfig::default());
+    let wrap = CostModel::new(AcceleratorConfig::default().with_channel_wrapping(true));
+    let c_conv = base.conv_layer(conv, pixels, prec);
+    let c_epi = base.epitome_layer(&spec, pixels, prec);
+    let c_epi_w = wrap.epitome_layer(&spec, pixels, prec);
+    println!("\n{:<28}{:>12}{:>14}{:>12}", "operator", "crossbars", "latency (ms)", "energy (mJ)");
+    for (name, c) in [
+        ("convolution", &c_conv),
+        ("epitome", &c_epi),
+        ("epitome + wrapping", &c_epi_w),
+    ] {
+        println!(
+            "{:<28}{:>12}{:>14.4}{:>12.4}",
+            name,
+            c.crossbars,
+            c.latency_ms(),
+            c.energy_mj()
+        );
+    }
+    println!(
+        "\ncrossbar savings: {:.2}x; wrapping recovers {:.1}% of the epitome's extra latency",
+        c_conv.crossbars as f64 / c_epi.crossbars as f64,
+        100.0 * (c_epi.latency_ns - c_epi_w.latency_ns)
+            / (c_epi.latency_ns - c_conv.latency_ns).max(f64::EPSILON)
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Deploy ResNet-50 on the simulated PIM accelerator: baseline
+//! convolutions versus the paper's uniform 1024x256 EPIM variant, across
+//! the Table 1 precision ladder.
+//!
+//! Run with: `cargo run -p epim --example resnet50_deploy`
+
+use epim::core::EpitomeDesigner;
+use epim::models::accuracy::{AccuracyModel, QuantMethod, WeightScheme};
+use epim::models::network::Network;
+use epim::models::resnet::resnet50;
+use epim::pim::{AcceleratorConfig, CostModel, Precision};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designer = EpitomeDesigner::new(128, 128);
+    let model = CostModel::new(AcceleratorConfig::default().with_channel_wrapping(true));
+    let acc = AccuracyModel::resnet50();
+
+    let baseline = Network::baseline(resnet50());
+    let epim = Network::uniform_epitome(resnet50(), &designer, 1024, 256)?;
+    let cr_params = epim.param_compression();
+
+    println!("ResNet-50 on 128x128 crossbars (2-bit cells), channel wrapping on");
+    println!(
+        "epitome layers: {}/{}  param compression: {:.2}x\n",
+        epim.epitome_layers(),
+        epim.choices().len(),
+        cr_params
+    );
+    println!(
+        "{:<24}{:>8}{:>10}{:>9}{:>14}{:>13}{:>8}",
+        "variant", "bits", "top-1(%)", "#XBs", "latency (ms)", "energy (mJ)", "util%"
+    );
+
+    // FP32 baseline row.
+    let base_costs = baseline.simulate(&model, Precision::fp32());
+    println!(
+        "{:<24}{:>8}{:>10.2}{:>9}{:>14.1}{:>13.1}{:>8.1}",
+        "ResNet50 (conv)",
+        "FP32",
+        acc.baseline(),
+        base_costs.crossbars(),
+        base_costs.latency_ms(),
+        base_costs.energy_mj(),
+        base_costs.utilization_pct()
+    );
+
+    // EPIM rows across the precision ladder.
+    let rows: &[(&str, Precision, WeightScheme)] = &[
+        ("EPIM-ResNet50", Precision::fp32(), WeightScheme::Fp32),
+        ("EPIM-ResNet50 W9A9", Precision::new(9, 9), WeightScheme::Fixed { bits: 9 }),
+        ("EPIM-ResNet50 W7A9", Precision::new(7, 9), WeightScheme::Fixed { bits: 7 }),
+        ("EPIM-ResNet50 W5A9", Precision::new(5, 9), WeightScheme::Fixed { bits: 5 }),
+        ("EPIM-ResNet50 W3A9", Precision::new(3, 9), WeightScheme::Fixed { bits: 3 }),
+    ];
+    for (name, prec, scheme) in rows {
+        let costs = epim.simulate(&model, *prec);
+        let top1 = acc.epim_accuracy(cr_params, *scheme, QuantMethod::PerCrossbarOverlap);
+        println!(
+            "{:<24}{:>8}{:>10.2}{:>9}{:>14.1}{:>13.1}{:>8.1}",
+            name,
+            format!("W{}A{}", prec.weight_bits, prec.act_bits),
+            top1,
+            costs.crossbars(),
+            costs.latency_ms(),
+            costs.energy_mj(),
+            costs.utilization_pct()
+        );
+    }
+
+    let w3 = epim.simulate(&model, Precision::new(3, 9));
+    println!(
+        "\ncrossbar compression at W3A9: {:.2}x   energy reduction vs FP32 baseline: {:.2}x",
+        base_costs.crossbars() as f64 / w3.crossbars() as f64,
+        base_costs.energy_mj() / w3.energy_mj()
+    );
+    Ok(())
+}

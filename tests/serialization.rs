@@ -1,0 +1,170 @@
+//! Serde round-trip tests: every configuration/report type a downstream
+//! user would persist (experiment configs, specs, plans, cost reports)
+//! must survive JSON serialization bit-for-bit.
+
+use epim::core::{ConvShape, Epitome, EpitomeDesigner, EpitomeShape, EpitomeSpec, SamplingPlan};
+use epim::models::accuracy::AccuracyModel;
+use epim::models::resnet::resnet50;
+use epim::pim::{AcceleratorConfig, CostModel, CrossbarConfig, HardwareLut, Precision};
+use epim::quant::{quantize_epitome, QuantGranularity, RangeEstimator};
+use epim::search::SearchConfig;
+use epim::tensor::{init, rng, Tensor};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn shapes_and_specs_roundtrip() {
+    let conv = ConvShape::new(512, 256, 3, 3);
+    assert_eq!(roundtrip(&conv), conv);
+    let eshape = EpitomeShape::new(256, 256, 2, 2);
+    assert_eq!(roundtrip(&eshape), eshape);
+    let spec = EpitomeSpec::new(conv, eshape).unwrap();
+    let back: EpitomeSpec = roundtrip(&spec);
+    assert_eq!(back, spec);
+    back.plan().verify().unwrap();
+}
+
+#[test]
+fn sampling_plan_roundtrip_preserves_patches() {
+    let plan = SamplingPlan::build(
+        ConvShape::new(96, 48, 3, 3),
+        EpitomeShape::new(32, 24, 2, 3),
+    )
+    .unwrap();
+    let back: SamplingPlan = roundtrip(&plan);
+    assert_eq!(back, plan);
+    assert_eq!(back.patches(), plan.patches());
+}
+
+#[test]
+fn epitome_with_parameters_roundtrips() {
+    let spec = EpitomeDesigner::new(32, 32)
+        .design(ConvShape::new(32, 16, 3, 3), 72, 16)
+        .unwrap();
+    let mut r = rng::seeded(5);
+    let epi =
+        Epitome::from_tensor(spec, init::kaiming_normal(&[16, 8, 3, 3], &mut r));
+    // Shape from the designer may differ; rebuild against the real dims.
+    let epi = match epi {
+        Ok(e) => e,
+        Err(_) => {
+            let spec = EpitomeDesigner::new(32, 32)
+                .design(ConvShape::new(32, 16, 3, 3), 72, 16)
+                .unwrap();
+            let dims = spec.shape().dims();
+            let mut r = rng::seeded(5);
+            Epitome::from_tensor(spec, init::kaiming_normal(&dims, &mut r)).unwrap()
+        }
+    };
+    let back: Epitome = roundtrip(&epi);
+    assert_eq!(back, epi);
+    assert_eq!(
+        back.reconstruct().unwrap(),
+        epi.reconstruct().unwrap(),
+        "reconstruction must be identical after a round trip"
+    );
+}
+
+#[test]
+fn tensors_roundtrip() {
+    let mut r = rng::seeded(6);
+    let t = init::uniform(&[3, 4, 5], -1.0, 1.0, &mut r);
+    assert_eq!(roundtrip(&t), t);
+    let scalar = Tensor::scalar(1.5);
+    assert_eq!(roundtrip(&scalar), scalar);
+}
+
+#[test]
+fn accelerator_configuration_roundtrips() {
+    let cfg = AcceleratorConfig::new(CrossbarConfig::new(256, 64, 4))
+        .with_channel_wrapping(true);
+    assert_eq!(roundtrip(&cfg), cfg);
+    let lut = HardwareLut::calibrated();
+    assert_eq!(roundtrip(&lut), lut);
+    let prec = Precision::new(9, 9);
+    assert_eq!(roundtrip(&prec), prec);
+}
+
+#[test]
+fn cost_reports_roundtrip() {
+    let model = CostModel::default();
+    let costs = model.conv_layer(ConvShape::new(64, 64, 3, 3), 196, Precision::new(9, 9));
+    let back = roundtrip(&costs);
+    assert_eq!(back, costs);
+    assert_eq!(back.edp(), costs.edp());
+
+    let net = epim::models::network::Network::baseline(resnet50());
+    let report = net.simulate(&model, Precision::new(9, 9));
+    let back = roundtrip(&report);
+    assert_eq!(back, report);
+    assert_eq!(back.crossbars(), report.crossbars());
+}
+
+#[test]
+fn quant_report_roundtrips() {
+    let spec = EpitomeSpec::new(
+        ConvShape::new(16, 8, 3, 3),
+        EpitomeShape::new(8, 4, 2, 2),
+    )
+    .unwrap();
+    let mut r = rng::seeded(7);
+    let epi = Epitome::from_tensor(
+        spec,
+        init::uniform(&[8, 4, 2, 2], -1.0, 1.0, &mut r),
+    )
+    .unwrap();
+    let (_, report) = quantize_epitome(
+        &epi,
+        3,
+        QuantGranularity::PerCrossbar { rows: 8, cols: 4 },
+        &RangeEstimator::overlap_default(),
+    )
+    .unwrap();
+    let back = roundtrip(&report);
+    assert_eq!(back, report);
+}
+
+#[test]
+fn search_config_roundtrips() {
+    let cfg = SearchConfig {
+        population: 48,
+        iterations: 17,
+        crossbar_budget: 999,
+        seed: 123,
+        ..SearchConfig::default()
+    };
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn accuracy_model_roundtrips() {
+    let m = AccuracyModel::resnet50();
+    let back: AccuracyModel = roundtrip(&m);
+    assert_eq!(back, m);
+    assert_eq!(
+        back.epim_accuracy(
+            2.8418,
+            epim::models::accuracy::WeightScheme::Fixed { bits: 3 },
+            epim::models::accuracy::QuantMethod::PerCrossbarOverlap,
+        ),
+        m.epim_accuracy(
+            2.8418,
+            epim::models::accuracy::WeightScheme::Fixed { bits: 3 },
+            epim::models::accuracy::QuantMethod::PerCrossbarOverlap,
+        )
+    );
+}
+
+#[test]
+fn backbone_inventory_roundtrips() {
+    let bb = resnet50();
+    let back: epim::models::resnet::Backbone = roundtrip(&bb);
+    assert_eq!(back, bb);
+    assert_eq!(back.params(), bb.params());
+}
