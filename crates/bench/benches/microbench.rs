@@ -13,7 +13,7 @@ use epim::pim::datapath::DataPath;
 use epim::pim::{AcceleratorConfig, CostModel, Precision};
 use epim::quant::{quantize_epitome, QuantGranularity, RangeEstimator};
 use epim::search::{EvoSearch, SearchConfig, SearchLayer};
-use epim::tensor::ops::Conv2dCfg;
+use epim::tensor::ops::{conv2d, gemm, im2col, Conv2dCfg};
 use epim::tensor::{init, rng};
 
 fn paper_spec() -> EpitomeSpec {
@@ -26,6 +26,69 @@ fn random_epitome(spec: EpitomeSpec, seed: u64) -> Epitome {
     let mut r = rng::seeded(seed);
     let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
     Epitome::from_tensor(spec, data).expect("shape matches")
+}
+
+fn bench_gemm_sweep(c: &mut Criterion) {
+    // Square GEMM sweep over the kernel layer vs the seed's ikj loop.
+    for s in [64usize, 128, 256, 512] {
+        let mut r = rng::seeded(50 + s as u64);
+        let a = init::uniform(&[s, s], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[s, s], -1.0, 1.0, &mut r);
+        c.bench_function(&format!("gemm_blocked_{s}x{s}x{s}"), |bch| {
+            bch.iter(|| a.matmul(&b).expect("square matmul"))
+        });
+        c.bench_function(&format!("gemm_seed_ikj_{s}x{s}x{s}"), |bch| {
+            let mut out = vec![0.0f32; s * s];
+            bch.iter(|| {
+                gemm::reference_matmul(s, s, s, a.data(), b.data(), &mut out);
+                out[0]
+            })
+        });
+    }
+    // Transposed variants at one representative size: these used to pay a
+    // `transpose()` materialization on every call.
+    let s = 256usize;
+    let mut r = rng::seeded(99);
+    let a = init::uniform(&[s, s], -1.0, 1.0, &mut r);
+    let b = init::uniform(&[s, s], -1.0, 1.0, &mut r);
+    c.bench_function("gemm_tn_256x256x256", |bch| {
+        let mut out = vec![0.0f32; s * s];
+        bch.iter(|| {
+            gemm::gemm_tn(s, s, s, a.data(), b.data(), &mut out);
+            out[0]
+        })
+    });
+    c.bench_function("gemm_nt_256x256x256", |bch| {
+        let mut out = vec![0.0f32; s * s];
+        bch.iter(|| {
+            gemm::gemm_nt(s, s, s, a.data(), b.data(), &mut out);
+            out[0]
+        })
+    });
+}
+
+fn bench_conv_sweep(c: &mut Criterion) {
+    // (cout, cin, k, hw, stride, padding): early/mid/late ResNet-ish shapes.
+    for (cout, cin, k, hw, stride, padding) in [
+        (64usize, 32usize, 3usize, 32usize, 1usize, 1usize),
+        (128, 64, 3, 16, 1, 1),
+        (256, 128, 3, 8, 2, 1),
+        (64, 64, 1, 16, 1, 0),
+    ] {
+        let mut r = rng::seeded(77);
+        let x = init::uniform(&[1, cin, hw, hw], -1.0, 1.0, &mut r);
+        let w = init::uniform(&[cout, cin, k, k], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[cout], -1.0, 1.0, &mut r);
+        let cfg = Conv2dCfg { stride, padding };
+        c.bench_function(&format!("conv2d_fused_{cout}x{cin}x{k}x{k}_on_{hw}"), |bch| {
+            bch.iter(|| conv2d(&x, &w, Some(&b), cfg).expect("geometry"))
+        });
+    }
+    let mut r = rng::seeded(78);
+    let x = init::uniform(&[1, 32, 32, 32], -1.0, 1.0, &mut r);
+    c.bench_function("im2col_32ch_3x3_on_32x32", |bch| {
+        bch.iter(|| im2col(&x, 3, 3, Conv2dCfg { stride: 1, padding: 1 }).expect("geometry"))
+    });
 }
 
 fn bench_plan_build(c: &mut Criterion) {
@@ -130,7 +193,9 @@ fn bench_search_generation(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_plan_build,
+    targets = bench_gemm_sweep,
+        bench_conv_sweep,
+        bench_plan_build,
         bench_reconstruct,
         bench_repetition_map,
         bench_datapath_execute,

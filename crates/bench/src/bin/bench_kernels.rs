@@ -1,0 +1,247 @@
+//! Kernel performance tracking: seed baselines vs the blocked kernel layer.
+//!
+//! Each entry times the *seed repository's* implementation of a hot loop
+//! (naive ikj matmul, unfused im2col conv with a per-pixel bias lookup, the
+//! per-pixel table-walking data path) against the current optimized path on
+//! identical inputs, verifies the outputs agree, and records the speedup.
+//! Results go to `BENCH_kernels.json` so the perf trajectory is tracked
+//! from PR 1 onward; later PRs extend the entry list rather than replacing
+//! it.
+//!
+//! Run: `cargo run --release -p epim-bench --bin bench_kernels`
+//! (add `-- --quick` for a faster, noisier pass).
+
+use epim::core::{ConvShape, Epitome, EpitomeShape, EpitomeSpec};
+use epim::pim::datapath::DataPath;
+use epim::tensor::ops::gemm::reference_matmul;
+use epim::tensor::ops::{conv2d, conv2d_ref, im2col, Conv2dCfg};
+use epim::tensor::{init, rng, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One benchmark comparison.
+#[derive(Debug, Serialize)]
+struct Entry {
+    name: String,
+    /// Seed-implementation wall time, milliseconds (best of N).
+    baseline_ms: f64,
+    /// Optimized-implementation wall time, milliseconds (best of N).
+    optimized_ms: f64,
+    /// `baseline_ms / optimized_ms`.
+    speedup: f64,
+    /// Maximum absolute output difference between the two implementations.
+    max_abs_diff: f64,
+}
+
+/// The emitted report.
+#[derive(Debug, Serialize)]
+struct Report {
+    schema_version: u32,
+    generated_by: String,
+    num_threads: usize,
+    entries: Vec<Entry>,
+}
+
+/// Times `f` (best of `reps` after one warmup call) in milliseconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = f(); // warmup; also the value used for verification
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+fn bench_gemm(entries: &mut Vec<Entry>, reps: usize, sizes: &[usize]) {
+    for &s in sizes {
+        let mut r = rng::seeded(100 + s as u64);
+        let a = init::uniform(&[s, s], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[s, s], -1.0, 1.0, &mut r);
+        let mut c_base = vec![0.0f32; s * s];
+        let (baseline_ms, _) =
+            time_best(reps, || reference_matmul(s, s, s, a.data(), b.data(), &mut c_base));
+        let (optimized_ms, c_opt) = time_best(reps, || a.matmul(&b).expect("square matmul"));
+        entries.push(Entry {
+            name: format!("gemm_{s}x{s}x{s}"),
+            baseline_ms,
+            optimized_ms,
+            speedup: baseline_ms / optimized_ms,
+            max_abs_diff: max_abs_diff(&c_base, c_opt.data()),
+        });
+    }
+}
+
+/// The seed's conv2d: im2col, naive ikj matmul against an explicitly
+/// materialized transposed weight, then a second rearrange pass with the
+/// bias resolved per output pixel.
+fn seed_conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, cfg: Conv2dCfg) -> Tensor {
+    let (n, c_in) = (x.shape()[0], x.shape()[1]);
+    let (c_out, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+    let (h, w) = (x.shape()[2], x.shape()[3]);
+    let (oh, ow) = epim::tensor::ops::conv2d_out_dims(h, w, kh, kw, cfg).expect("geometry");
+    let cols = im2col(x, kh, kw, cfg).expect("geometry");
+    let wmat = weight.reshape(&[c_out, c_in * kh * kw]).expect("reshape");
+    let wt = wmat.transpose().expect("transpose");
+    let rows = n * oh * ow;
+    let ckk = c_in * kh * kw;
+    let mut out_mat = vec![0.0f32; rows * c_out];
+    reference_matmul(rows, c_out, ckk, cols.data(), wt.data(), &mut out_mat);
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    let od = out.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (ni * oh + oy) * ow + ox;
+                for co in 0..c_out {
+                    let b = bias.map(|bb| bb.data()[co]).unwrap_or(0.0);
+                    od[((ni * c_out + co) * oh + oy) * ow + ox] = out_mat[row * c_out + co] + b;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_conv(entries: &mut Vec<Entry>, reps: usize) {
+    // A mid-network ResNet-ish layer on a CIFAR-sized feature map.
+    let mut r = rng::seeded(7);
+    let x = init::uniform(&[1, 32, 32, 32], -1.0, 1.0, &mut r);
+    let wt = init::uniform(&[64, 32, 3, 3], -1.0, 1.0, &mut r);
+    let b = init::uniform(&[64], -1.0, 1.0, &mut r);
+    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+
+    let (baseline_ms, y_base) = time_best(reps, || seed_conv2d(&x, &wt, Some(&b), cfg));
+    let (optimized_ms, y_opt) =
+        time_best(reps, || conv2d(&x, &wt, Some(&b), cfg).expect("geometry"));
+    entries.push(Entry {
+        name: "conv2d_64x32x3x3_on_32x32".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_base.data(), y_opt.data()),
+    });
+
+    // The unfused-but-current-matmul path, to isolate the fusion win.
+    let (ref_ms, y_ref) = time_best(reps, || conv2d_ref(&x, &wt, Some(&b), cfg).expect("geometry"));
+    entries.push(Entry {
+        name: "conv2d_fused_vs_unfused_64x32x3x3".to_string(),
+        baseline_ms: ref_ms,
+        optimized_ms,
+        speedup: ref_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_ref.data(), y_opt.data()),
+    });
+}
+
+fn bench_datapath(entries: &mut Vec<Entry>, reps: usize) {
+    // Same geometry as the criterion microbench `datapath_execute`.
+    let spec = EpitomeSpec::new(ConvShape::new(32, 16, 3, 3), EpitomeShape::new(16, 8, 2, 2))
+        .expect("legal spec");
+    let mut r = rng::seeded(3);
+    let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
+    let epi = Epitome::from_tensor(spec, data).expect("shape matches");
+    let dp = DataPath::new(&epi, Conv2dCfg { stride: 1, padding: 1 }, true)
+        .expect("data path builds");
+    let x = init::uniform(&[1, 16, 8, 8], -1.0, 1.0, &mut r);
+
+    let (baseline_ms, y_base) =
+        time_best(reps, || dp.execute_reference(&x).expect("execution succeeds").0);
+    let (optimized_ms, y_opt) = time_best(reps, || dp.execute(&x).expect("execution succeeds").0);
+    entries.push(Entry {
+        name: "datapath_execute_32x16x3x3_on_8x8".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_base.data(), y_opt.data()),
+    });
+}
+
+fn bench_reconstruct(entries: &mut Vec<Entry>, reps: usize) {
+    // The paper's uniform epitome for a 512x256x3x3 conv; baseline is the
+    // seed's element-at-a-time reconstruction replayed over the same plan.
+    let spec = EpitomeSpec::new(ConvShape::new(512, 256, 3, 3), EpitomeShape::new(256, 256, 2, 2))
+        .expect("legal spec");
+    let mut r = rng::seeded(9);
+    let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
+    let epi = Epitome::from_tensor(spec, data).expect("shape matches");
+
+    let seed_reconstruct = || {
+        let spec = epi.spec();
+        let mut out = Tensor::zeros(&spec.conv().dims());
+        for patch in spec.plan().patches() {
+            for a in 0..patch.size[0] {
+                for bb in 0..patch.size[1] {
+                    for c in 0..patch.size[2] {
+                        for d in 0..patch.size[3] {
+                            let src = [
+                                patch.src[0] + a,
+                                patch.src[1] + bb,
+                                patch.src[2] + c,
+                                patch.src[3] + d,
+                            ];
+                            let dst = [
+                                patch.dst[0] + a,
+                                patch.dst[1] + bb,
+                                patch.dst[2] + c,
+                                patch.dst[3] + d,
+                            ];
+                            let v = epi.tensor().at(&src);
+                            out.set(&dst, v).expect("dst within conv shape");
+                        }
+                    }
+                }
+            }
+        }
+        out
+    };
+    let (baseline_ms, y_base) = time_best(reps, seed_reconstruct);
+    let (optimized_ms, y_opt) = time_best(reps, || epi.reconstruct().expect("reconstructs"));
+    entries.push(Entry {
+        name: "epitome_reconstruct_512x256x3x3".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_base.data(), y_opt.data()),
+    });
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 7 };
+
+    let mut entries = Vec::new();
+    bench_gemm(&mut entries, reps, &[128, 256, 512]);
+    bench_conv(&mut entries, reps);
+    bench_datapath(&mut entries, reps);
+    bench_reconstruct(&mut entries, reps);
+
+    let report = Report {
+        schema_version: 1,
+        generated_by: "epim-bench bench_kernels".to_string(),
+        num_threads: epim::tensor::ops::gemm::num_threads_in_use(),
+        entries,
+    };
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>9} {:>12}",
+        "kernel", "seed (ms)", "now (ms)", "speedup", "max|diff|"
+    );
+    for e in &report.entries {
+        println!(
+            "{:<44} {:>12.3} {:>12.3} {:>8.2}x {:>12.2e}",
+            e.name, e.baseline_ms, e.optimized_ms, e.speedup, e.max_abs_diff
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_kernels.json", json + "\n").expect("BENCH_kernels.json writable");
+    println!("\nwrote BENCH_kernels.json");
+}

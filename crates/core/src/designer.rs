@@ -155,13 +155,13 @@ fn factor_rows(rows: usize, conv: ConvShape) -> (usize, usize, usize) {
     windows.sort_by_key(|&(h, w)| std::cmp::Reverse(h * w));
     // First pass: exact factorization with c_in_e <= c_in.
     for &(h, w) in &windows {
-        if rows % (h * w) == 0 && rows / (h * w) <= conv.cin {
+        if rows.is_multiple_of(h * w) && rows / (h * w) <= conv.cin {
             return (rows / (h * w), h, w);
         }
     }
     // Second pass: exact factorization, any c_in_e.
     for &(h, w) in &windows {
-        if rows % (h * w) == 0 {
+        if rows.is_multiple_of(h * w) {
             return (rows / (h * w), h, w);
         }
     }

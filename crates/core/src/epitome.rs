@@ -144,25 +144,18 @@ impl Epitome {
         let dims = spec.shape().dims();
         let mut sums = Tensor::zeros(&dims);
         let mut counts = Tensor::zeros(&dims);
-        for patch in spec.plan().patches() {
-            for_each_offset(&patch.size, |off| {
-                let src = [
-                    patch.src[0] + off[0],
-                    patch.src[1] + off[1],
-                    patch.src[2] + off[2],
-                    patch.src[3] + off[3],
-                ];
-                let dst = [
-                    patch.dst[0] + off[0],
-                    patch.dst[1] + off[1],
-                    patch.dst[2] + off[2],
-                    patch.dst[3] + off[3],
-                ];
-                let v = weight.at(&dst);
-                let cur = sums.at(&src);
-                sums.set(&src, cur + v).expect("src within epitome");
-                let c = counts.at(&src);
-                counts.set(&src, c + 1.0).expect("src within epitome");
+        {
+            let sd = sums.data_mut();
+            let cd = counts.data_mut();
+            let wd = weight.data();
+            for_each_patch_run(&spec, |src_flat, dst_flat, run| {
+                let s = &mut sd[src_flat..src_flat + run];
+                let c = &mut cd[src_flat..src_flat + run];
+                let w = &wd[dst_flat..dst_flat + run];
+                for ((s, c), &w) in s.iter_mut().zip(c).zip(w) {
+                    *s += w;
+                    *c += 1.0;
+                }
             });
         }
         let data = sums
@@ -206,46 +199,86 @@ impl Epitome {
     ///
     /// Returns [`EpitomeError::Tensor`] only on internal shape corruption.
     pub fn reconstruct(&self) -> Result<Tensor, EpitomeError> {
-        let mut out = Tensor::zeros(&self.spec.conv().dims());
-        for patch in self.spec.plan().patches() {
-            for_each_offset(&patch.size, |off| {
-                let src = [
-                    patch.src[0] + off[0],
-                    patch.src[1] + off[1],
-                    patch.src[2] + off[2],
-                    patch.src[3] + off[3],
-                ];
-                let dst = [
-                    patch.dst[0] + off[0],
-                    patch.dst[1] + off[1],
-                    patch.dst[2] + off[2],
-                    patch.dst[3] + off[3],
-                ];
-                let v = self.data.at(&src);
-                out.set(&dst, v).expect("dst within conv shape");
+        let conv = self.spec.conv();
+        let mut out = Tensor::zeros(&conv.dims());
+        let ed = self.data.data();
+        let conv_row = conv.cin * conv.kh * conv.kw; // one output channel
+
+        // For large epitomes, partition the work by output channel: each
+        // worker owns a disjoint band of `out`, and replays the patch list
+        // restricted to its band (preserving patch order, so overlapping
+        // tail windows resolve identically to the serial loop).
+        let threads = epim_parallel::num_threads();
+        let od = out.data_mut();
+        if threads > 1 && od.len() >= 1 << 16 {
+            let co_chunk = conv.cout.div_ceil(4 * threads).max(1);
+            epim_parallel::for_each_chunk_mut(od, co_chunk * conv_row, |chunk_idx, band| {
+                let lo = chunk_idx * co_chunk;
+                let hi = (lo + co_chunk).min(conv.cout);
+                self.replay_patches_into(band, lo, hi, ed);
             });
+        } else {
+            self.replay_patches_into(od, 0, conv.cout, ed);
         }
         Ok(out)
+    }
+
+    /// Copies every patch element whose destination channel lies in
+    /// `[co_lo, co_hi)` into `band` (the corresponding slice of the output
+    /// weight), one contiguous kx run at a time.
+    fn replay_patches_into(&self, band: &mut [f32], co_lo: usize, co_hi: usize, ed: &[f32]) {
+        let conv = self.spec.conv();
+        let eshape = self.spec.shape();
+        let (e1, e2, e3) = (eshape.cin * eshape.h * eshape.w, eshape.h * eshape.w, eshape.w);
+        let (c1, c2, c3) = (conv.cin * conv.kh * conv.kw, conv.kh * conv.kw, conv.kw);
+        for patch in self.spec.plan().patches() {
+            let a_lo = co_lo.max(patch.dst[0]).saturating_sub(patch.dst[0]);
+            let a_hi = co_hi.min(patch.dst[0] + patch.size[0]).saturating_sub(patch.dst[0]);
+            for a in a_lo..a_hi {
+                let src_a = (patch.src[0] + a) * e1;
+                let dst_a = (patch.dst[0] + a - co_lo) * c1;
+                for b in 0..patch.size[1] {
+                    let src_b = src_a + (patch.src[1] + b) * e2;
+                    let dst_b = dst_a + (patch.dst[1] + b) * c2;
+                    for c in 0..patch.size[2] {
+                        let src_flat = src_b + (patch.src[2] + c) * e3 + patch.src[3];
+                        let dst_flat = dst_b + (patch.dst[2] + c) * c3 + patch.dst[3];
+                        band[dst_flat..dst_flat + patch.size[3]]
+                            .copy_from_slice(&ed[src_flat..src_flat + patch.size[3]]);
+                    }
+                }
+            }
+        }
     }
 
     /// How many times each epitome element appears in the reconstructed
     /// convolution. Elements in overlap regions have higher counts; the
     /// paper's epitome-aware quantization weighs them more (Fig. 2c).
     pub fn repetition_map(&self) -> Tensor {
-        let mut counts = Tensor::zeros(&self.spec.shape().dims());
-        for patch in self.spec.plan().patches() {
-            for_each_offset(&patch.size, |off| {
-                let src = [
-                    patch.src[0] + off[0],
-                    patch.src[1] + off[1],
-                    patch.src[2] + off[2],
-                    patch.src[3] + off[3],
-                ];
-                let c = counts.at(&src);
-                counts.set(&src, c + 1.0).expect("src within epitome");
-            });
-        }
-        counts
+        let dims = self.spec.shape().dims();
+        let len: usize = dims.iter().product();
+        let patches = self.spec.plan().patches();
+        // Patches may overlap in the epitome (accumulation), so parallelize
+        // with per-worker accumulators reduced at the end; integer counts
+        // make the float reduction order-insensitive.
+        let counts = epim_parallel::fold_reduce(
+            patches.len(),
+            || vec![0.0f32; len],
+            |acc, p| {
+                for_each_patch_run_of(&self.spec, &patches[p], |src_flat, _dst_flat, run| {
+                    for c in &mut acc[src_flat..src_flat + run] {
+                        *c += 1.0;
+                    }
+                });
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        Tensor::from_vec(counts, &dims).expect("length matches dims by construction")
     }
 
     /// Backpropagates a gradient on the reconstructed weight to the
@@ -262,36 +295,49 @@ impl Epitome {
             return Err(EpitomeError::plan("gradient shape does not match conv shape"));
         }
         let mut grad = Tensor::zeros(&self.spec.shape().dims());
-        for patch in self.spec.plan().patches() {
-            for_each_offset(&patch.size, |off| {
-                let src = [
-                    patch.src[0] + off[0],
-                    patch.src[1] + off[1],
-                    patch.src[2] + off[2],
-                    patch.src[3] + off[3],
-                ];
-                let dst = [
-                    patch.dst[0] + off[0],
-                    patch.dst[1] + off[1],
-                    patch.dst[2] + off[2],
-                    patch.dst[3] + off[3],
-                ];
-                let g = grad.at(&src);
-                grad.set(&src, g + dweight.at(&dst)).expect("src within epitome");
-            });
-        }
+        let gd = grad.data_mut();
+        let wd = dweight.data();
+        for_each_patch_run(&self.spec, |src_flat, dst_flat, run| {
+            let g = &mut gd[src_flat..src_flat + run];
+            let w = &wd[dst_flat..dst_flat + run];
+            for (g, &w) in g.iter_mut().zip(w) {
+                *g += w;
+            }
+        });
         Ok(grad)
     }
 }
 
-/// Iterates all offset vectors within a 4-D extent.
-fn for_each_offset(size: &[usize; 4], mut f: impl FnMut([usize; 4])) {
-    for a in 0..size[0] {
-        for b in 0..size[1] {
-            for c in 0..size[2] {
-                for d in 0..size[3] {
-                    f([a, b, c, d]);
-                }
+/// Calls `f(src_flat, dst_flat, run)` for every contiguous kx run of every
+/// patch of `spec`, in patch order. `src_flat` indexes the epitome tensor,
+/// `dst_flat` the conv weight; both runs are `run` elements long.
+fn for_each_patch_run(spec: &EpitomeSpec, mut f: impl FnMut(usize, usize, usize)) {
+    for patch in spec.plan().patches() {
+        for_each_patch_run_of(spec, patch, &mut f);
+    }
+}
+
+/// [`for_each_patch_run`] restricted to one patch.
+fn for_each_patch_run_of(
+    spec: &EpitomeSpec,
+    patch: &crate::Patch,
+    mut f: impl FnMut(usize, usize, usize),
+) {
+    let conv = spec.conv();
+    let eshape = spec.shape();
+    let (e1, e2, e3) = (eshape.cin * eshape.h * eshape.w, eshape.h * eshape.w, eshape.w);
+    let (c1, c2, c3) = (conv.cin * conv.kh * conv.kw, conv.kh * conv.kw, conv.kw);
+    let run = patch.size[3];
+    for a in 0..patch.size[0] {
+        let src_a = (patch.src[0] + a) * e1;
+        let dst_a = (patch.dst[0] + a) * c1;
+        for b in 0..patch.size[1] {
+            let src_b = src_a + (patch.src[1] + b) * e2;
+            let dst_b = dst_a + (patch.dst[1] + b) * c2;
+            for c in 0..patch.size[2] {
+                let src_flat = src_b + (patch.src[2] + c) * e3 + patch.src[3];
+                let dst_flat = dst_b + (patch.dst[2] + c) * c3 + patch.dst[3];
+                f(src_flat, dst_flat, run);
             }
         }
     }

@@ -399,7 +399,8 @@ mod tests {
         let plan = SamplingPlan::build(conv, epi).unwrap();
         plan.verify().unwrap();
         // cout: 2 tiles; cin: 1; h: 2 (3 from 2); w: 2.
-        assert_eq!(plan.activation_rounds(), 2 * 1 * 2 * 2);
+        // One factor per dimension: cout 2, cin 1, h 2 (3 from 2), w 2.
+        assert_eq!(plan.activation_rounds(), [2, 1, 2, 2].iter().product::<usize>());
     }
 
     #[test]

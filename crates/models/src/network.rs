@@ -7,6 +7,11 @@ use epim_pim::{CostModel, NetworkCosts, Precision};
 use serde::{Deserialize, Serialize};
 
 /// The operator implementing one weight layer.
+///
+/// The size difference between variants is intentional: `Epitome` carries
+/// the full spec (boxing it would push an allocation into every layer-table
+/// clone on the search hot path).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum OperatorChoice {
     /// Keep the original convolution.

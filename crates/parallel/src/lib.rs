@@ -1,0 +1,246 @@
+//! # epim-parallel
+//!
+//! Minimal data-parallel primitives for the EPIM workspace, built on
+//! `std::thread::scope` — no unsafe, no external dependencies (rayon is not
+//! fetchable in this build environment; these helpers cover the fork-join
+//! patterns the kernels need and can be swapped for rayon later without
+//! changing call sites much).
+//!
+//! Work is distributed dynamically: workers pull the next chunk from a
+//! shared iterator behind a mutex, so uneven chunks still balance. On a
+//! single-core machine (or when `EPIM_NUM_THREADS=1`) every helper runs the
+//! serial path with zero thread overhead — the kernels in `epim-tensor`
+//! are designed to be fast serially first, with threads as a multiplier.
+//!
+//! ## Example
+//!
+//! ```
+//! let mut data = vec![0u64; 1024];
+//! epim_parallel::for_each_chunk_mut(&mut data, 128, |chunk_idx, chunk| {
+//!     for (i, x) in chunk.iter_mut().enumerate() {
+//!         *x = (chunk_idx * 128 + i) as u64;
+//!     }
+//! });
+//! assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+//! ```
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use.
+///
+/// `EPIM_NUM_THREADS` overrides; otherwise the machine's available
+/// parallelism. Always at least 1.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("EPIM_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs `f(chunk_index, chunk)` over `chunk_len`-sized mutable chunks of
+/// `data`, in parallel when worthwhile.
+///
+/// Chunk indices match `data.chunks_mut(chunk_len)` order. `f` must be
+/// `Sync` (shared across workers) and chunks are disjoint, so no locking is
+/// needed inside `f`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    map_chunks_mut(data, chunk_len, |i, c| f(i, c));
+}
+
+/// Like [`for_each_chunk_mut`] but collects each chunk's result, in chunk
+/// order.
+pub fn map_chunks_mut<T, R, F>(data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = num_threads().min(n_chunks.max(1));
+    if threads <= 1 {
+        return data.chunks_mut(chunk_len).enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let work = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let next = work.lock().expect("worker poisoned the queue").next();
+                        match next {
+                            Some((i, chunk)) => local.push((i, f(i, chunk))),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Computes `f(i)` for every `i` in `0..n` in parallel, collecting results
+/// in index order.
+pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Fold-reduce over `0..n`: each worker folds items into its own
+/// accumulator (created by `identity`), and the per-worker accumulators are
+/// reduced left-to-right in worker order.
+///
+/// `fold` and `reduce` must be commutative-compatible: item-to-worker
+/// assignment is nondeterministic, so the final result is only deterministic
+/// when the reduction is order-insensitive (sums of floats are *almost*
+/// order-insensitive; callers needing bit-exact determinism should run with
+/// `EPIM_NUM_THREADS=1` or design accumulators accordingly).
+pub fn fold_reduce<A, Fi, Ff, Fr>(n: usize, identity: Fi, fold: Ff, reduce: Fr) -> A
+where
+    A: Send,
+    Fi: Fn() -> A + Sync,
+    Ff: Fn(&mut A, usize) + Sync,
+    Fr: Fn(A, A) -> A,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        let mut acc = identity();
+        for i in 0..n {
+            fold(&mut acc, i);
+        }
+        return acc;
+    }
+    let counter = AtomicUsize::new(0);
+    let accs: Vec<A> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut acc = identity();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        fold(&mut acc, i);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    accs.into_iter().reduce(reduce).expect("at least one worker accumulator")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_elements() {
+        let mut data = vec![0usize; 1000];
+        for_each_chunk_mut(&mut data, 7, |ci, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 7 + j + 1;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i + 1);
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let mut data = vec![1u32; 100];
+        let sums = map_chunks_mut(&mut data, 9, |i, c| (i, c.len()));
+        let total: usize = sums.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 100);
+        for (k, &(i, _)) in sums.iter().enumerate() {
+            assert_eq!(k, i);
+        }
+    }
+
+    #[test]
+    fn map_indexed_in_order() {
+        let out = map_indexed(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let total = fold_reduce(
+            1000,
+            || 0u64,
+            |acc, i| *acc += i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_chunk_mut(&mut empty, 4, |_, _| panic!("no chunks expected"));
+        assert!(map_indexed(0, |i| i).is_empty());
+        let acc = fold_reduce(0, || 5i32, |_, _| (), |a, _| a);
+        assert_eq!(acc, 5);
+    }
+}

@@ -175,6 +175,37 @@ pub struct DataPathStats {
     pub wrapped_elements: u64,
 }
 
+impl DataPathStats {
+    /// Adds another stats block into this one (used to merge the per-chunk
+    /// counters of a parallel execution; all fields are plain sums).
+    pub fn accumulate(&mut self, other: &DataPathStats) {
+        self.rounds += other.rounds;
+        self.word_line_activations += other.word_line_activations;
+        self.bit_line_activations += other.bit_line_activations;
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.joint_adds += other.joint_adds;
+        self.table_lookups += other.table_lookups;
+        self.wrapped_elements += other.wrapped_elements;
+    }
+}
+
+/// One activation round, precompiled for execution: the IFAT gather, IFRT
+/// placement and OFAT routing composed into a flat word-line list.
+///
+/// `active[k] = (word_line, receptive_index)`: driving `word_line` with the
+/// `receptive_index`-th element of the flattened receptive field reproduces
+/// exactly the seed's gather-then-place pipeline, without materializing the
+/// intermediate gather buffer each round.
+#[derive(Debug, Clone)]
+struct Round {
+    active: Vec<(usize, usize)>,
+    /// Number of IFAT index pairs this round consumes (stats bookkeeping).
+    ifat_pairs: u64,
+    range: IndexRange,
+    src_col_start: usize,
+}
+
 /// The functional EPIM data path for one layer.
 #[derive(Debug, Clone)]
 pub struct DataPath {
@@ -183,6 +214,8 @@ pub struct DataPath {
     ifat: Ifat,
     ifrt: Ifrt,
     ofat: Ofat,
+    /// Per-round execution plan compiled from the three tables.
+    rounds: Vec<Round>,
     /// Epitome flattened to `(rows_e, cout_e)` matrix form, with
     /// programming noise already applied.
     matrix: Tensor,
@@ -239,6 +272,7 @@ impl DataPath {
         let mut ifat_entries = Vec::new();
         let mut ifrt_sequences = Vec::new();
         let mut ofat_entries = Vec::new();
+        let mut rounds = Vec::new();
 
         for patch in spec.plan().patches() {
             // IFAT: contiguous ranges of the flattened receptive field
@@ -258,6 +292,7 @@ impl DataPath {
             // Word line index of epitome element (ci_e, y_e, x_e):
             //   (ci_e * h + y_e) * w + x_e.
             let mut seq = vec![None; rows_e];
+            let mut active = Vec::with_capacity(patch.size[1] * patch.size[2] * patch.size[3]);
             let mut gathered = 0usize;
             for ci in 0..patch.size[1] {
                 for ky in 0..patch.size[2] {
@@ -267,50 +302,64 @@ impl DataPath {
                             + (patch.src[3] + kx);
                         seq[wl] = Some(gathered);
                         gathered += 1;
+                        // Composed IFAT ∘ IFRT: the gathered position maps
+                        // straight back to a receptive-field index.
+                        let rf = ((patch.dst[1] + ci) * conv.kh + (patch.dst[2] + ky)) * conv.kw
+                            + patch.dst[3]
+                            + kx;
+                        active.push((wl, rf));
                     }
                 }
             }
+            let ifat_pairs = ifat_entries.last().map(|r: &Vec<IndexRange>| r.len()).unwrap_or(0);
             ifrt_sequences.push(seq);
 
             // OFAT: where the partial result lands among output channels.
-            ofat_entries.push(OfatEntry {
-                range: IndexRange { start: patch.dst[0], stop: patch.dst[0] + patch.size[0] },
+            let range = IndexRange { start: patch.dst[0], stop: patch.dst[0] + patch.size[0] };
+            ofat_entries.push(OfatEntry { range, src_col_start: patch.src[0] });
+            rounds.push(Round {
+                active,
+                ifat_pairs: ifat_pairs as u64,
+                range,
                 src_col_start: patch.src[0],
             });
         }
 
         // Flatten the epitome to matrix form (rows = cin_e*h*w, cols =
         // cout_e): row-major over (ci, y, x), applying multiplicative
-        // programming noise as the cells are "written".
-        let data = epitome.tensor();
+        // programming noise as the cells are "written". Noise draws follow
+        // the seed's (co, ci, y, x) write order so seeds stay comparable.
+        let data = epitome.tensor().data();
         let mut noise_rng = rng::seeded(analog.noise_seed);
         let mut matrix = Tensor::zeros(&[rows_e, eshape.cout]);
-        for co in 0..eshape.cout {
-            for ci in 0..eshape.cin {
-                for y in 0..eshape.h {
-                    for x in 0..eshape.w {
-                        let row = (ci * eshape.h + y) * eshape.w + x;
-                        let mut v = data.at(&[co, ci, y, x]);
-                        if analog.weight_noise_std > 0.0 {
-                            v *= 1.0 + rng::normal(&mut noise_rng, 0.0, analog.weight_noise_std);
-                        }
-                        matrix.set(&[row, co], v).expect("matrix index in range");
-                    }
+        {
+            let md = matrix.data_mut();
+            let cout_e = eshape.cout;
+            for (co_flat, &raw) in data.iter().enumerate() {
+                // `data` is row-major (co, ci, y, x); the matrix row index
+                // is the (ci, y, x) remainder.
+                let co = co_flat / (eshape.cin * eshape.h * eshape.w);
+                let row = co_flat % (eshape.cin * eshape.h * eshape.w);
+                let mut v = raw;
+                if analog.weight_noise_std > 0.0 {
+                    v *= 1.0 + rng::normal(&mut noise_rng, 0.0, analog.weight_noise_std);
                 }
+                md[row * cout_e + co] = v;
             }
         }
 
         // ADC full scale: the worst-case column dot product for inputs in
         // [-1, 1] is the column's L1 norm.
-        let mut adc_full_scale = 0.0f32;
-        for co in 0..eshape.cout {
-            let mut l1 = 0.0f32;
-            for row in 0..rows_e {
-                l1 += matrix.at(&[row, co]).abs();
+        let mut col_l1 = vec![0.0f32; eshape.cout];
+        for row in matrix.data().chunks(eshape.cout) {
+            for (l1, &v) in col_l1.iter_mut().zip(row) {
+                *l1 += v.abs();
             }
-            adc_full_scale = adc_full_scale.max(l1);
         }
-        adc_full_scale = adc_full_scale.max(f32::MIN_POSITIVE);
+        let adc_full_scale = col_l1
+            .iter()
+            .fold(0.0f32, |m, &x| m.max(x))
+            .max(f32::MIN_POSITIVE);
 
         let wrapping = wrapping_factor(spec.plan());
         Ok(DataPath {
@@ -319,6 +368,7 @@ impl DataPath {
             ifat: Ifat { entries: ifat_entries },
             ifrt: Ifrt { sequences: ifrt_sequences, word_lines: rows_e },
             ofat: Ofat { entries: ofat_entries },
+            rounds,
             matrix,
             wrapping,
             wrapping_enabled,
@@ -373,40 +423,109 @@ impl DataPath {
     /// the layer's input-channel count or the convolution geometry is
     /// invalid for the input size.
     pub fn execute(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), PimError> {
-        if input.rank() != 4 {
-            return Err(PimError::geometry(format!(
-                "input must be 4-D (N, C, H, W), got rank {}",
-                input.rank()
-            )));
-        }
+        let (n, h, w, oh, ow) = self.check_input(input)?;
         let conv = self.spec.conv();
-        let (n, c_in, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
-        if c_in != conv.cin {
-            return Err(PimError::geometry(format!(
-                "input has {c_in} channels, layer expects {}",
-                conv.cin
-            )));
-        }
-        let (oh, ow) = conv2d_out_dims(h, w, conv.kh, conv.kw, self.conv_cfg)
-            .map_err(PimError::Tensor)?;
+        let wrap_on = self.wrapping_enabled && self.wrapping.is_effective();
+        let rf_len = conv.matrix_rows();
+        let cfg = self.conv_cfg;
+        let xd = input.data();
 
+        // Pixel-major staging buffer: each row is one output pixel's
+        // channel vector, so rows parallelize over disjoint chunks. Small
+        // layers stay single-chunk (fully serial, no thread dispatch).
+        let pixels = oh * ow;
+        let rows = n * pixels;
+        let mut pix = vec![0.0f32; rows * conv.cout];
+        let chunk_rows = if rows * conv.cout < 1 << 14 {
+            rows.max(1)
+        } else {
+            rows.div_ceil(4 * epim_parallel::num_threads()).max(1)
+        };
+        let stat_parts = epim_parallel::map_chunks_mut(
+            &mut pix,
+            chunk_rows * conv.cout,
+            |chunk_idx, chunk| {
+                let mut stats = DataPathStats::default();
+                let mut receptive = vec![0.0f32; rf_len];
+                let mut scratch = vec![0.0f32; self.spec.shape().cout];
+                for (r, out_vec) in chunk.chunks_mut(conv.cout).enumerate() {
+                    let row = chunk_idx * chunk_rows + r;
+                    let ox = row % ow;
+                    let oy = (row / ow) % oh;
+                    let ni = row / pixels;
+
+                    // Fill the receptive-field buffer for this pixel (what
+                    // the on-chip input buffer would hold), copying each
+                    // in-bounds kx run as one contiguous slice.
+                    receptive.fill(0.0);
+                    let (kx0, kx1, ix0) = epim_tensor::ops::kx_run(ox, conv.kw, w, cfg);
+                    if kx1 > kx0 {
+                        let run = kx1 - kx0;
+                        for ci in 0..conv.cin {
+                            let plane = &xd[(ni * conv.cin + ci) * h * w..][..h * w];
+                            for ky in 0..conv.kh {
+                                let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let src = &plane[iy as usize * w + ix0..][..run];
+                                let dst_base = (ci * conv.kh + ky) * conv.kw + kx0;
+                                receptive[dst_base..dst_base + run].copy_from_slice(src);
+                            }
+                        }
+                    }
+
+                    self.execute_pixel(&receptive, out_vec, &mut scratch, wrap_on, &mut stats);
+                }
+                stats
+            },
+        );
+        let mut stats = DataPathStats::default();
+        for part in &stat_parts {
+            stats.accumulate(part);
+        }
+
+        // Scatter pixel-major -> NCHW; (image, channel) planes are disjoint.
+        let mut out = Tensor::zeros(&[n, conv.cout, oh, ow]);
+        let scatter_plane = |plane_idx: usize, plane: &mut [f32]| {
+            let ni = plane_idx / conv.cout;
+            let co = plane_idx % conv.cout;
+            for (p, slot) in plane.iter_mut().enumerate() {
+                *slot = pix[(ni * pixels + p) * conv.cout + co];
+            }
+        };
+        if out.len() < 1 << 16 {
+            for (idx, plane) in out.data_mut().chunks_mut(pixels).enumerate() {
+                scatter_plane(idx, plane);
+            }
+        } else {
+            epim_parallel::for_each_chunk_mut(out.data_mut(), pixels, scatter_plane);
+        }
+        Ok((out, stats))
+    }
+
+    /// The seed repository's per-pixel execution loop, kept verbatim as the
+    /// benchmark baseline and as an independent cross-check for the
+    /// compiled-round fast path ([`DataPath::execute`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DataPath::execute`].
+    pub fn execute_reference(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), PimError> {
+        let (n, h, w, oh, ow) = self.check_input(input)?;
+        let conv = self.spec.conv();
         let mut out = Tensor::zeros(&[n, conv.cout, oh, ow]);
         let mut stats = DataPathStats::default();
         let wrap_on = self.wrapping_enabled && self.wrapping.is_effective();
         let rf_len = conv.matrix_rows();
         let mut receptive = vec![0.0f32; rf_len];
         let mut out_vec = vec![0.0f32; conv.cout];
+        let md = self.matrix.data();
+        let cout_e = self.spec.shape().cout;
 
         for ni in 0..n {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    // Fill the receptive-field buffer for this pixel
-                    // (what the on-chip input buffer would hold).
                     for ci in 0..conv.cin {
                         for ky in 0..conv.kh {
                             let iy = (oy * self.conv_cfg.stride + ky) as isize
@@ -429,8 +548,65 @@ impl DataPath {
                     }
 
                     out_vec.iter_mut().for_each(|v| *v = 0.0);
-                    self.execute_pixel(&receptive, &mut out_vec, wrap_on, &mut stats);
-
+                    let mut gathered: Vec<f32> = Vec::new();
+                    for ((ifat_ranges, ifrt_seq), ofat) in self
+                        .ifat
+                        .entries
+                        .iter()
+                        .zip(&self.ifrt.sequences)
+                        .zip(&self.ofat.entries)
+                    {
+                        if wrap_on && ofat.range.start != 0 {
+                            continue;
+                        }
+                        stats.rounds += 1;
+                        gathered.clear();
+                        for r in ifat_ranges {
+                            gathered.extend_from_slice(&receptive[r.start..r.stop]);
+                            stats.table_lookups += 1;
+                        }
+                        stats.buffer_reads += gathered.len() as u64;
+                        if let Some(bits) = self.analog.dac_bits {
+                            let levels = (1u32 << bits.min(24)) as f32;
+                            let step = 2.0 * self.analog.input_full_scale / levels;
+                            for v in gathered.iter_mut() {
+                                *v = (*v / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
+                            }
+                        }
+                        stats.table_lookups += self.ifrt.word_lines as u64;
+                        let active_wls: Vec<(usize, f32)> = ifrt_seq
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(wl, &pos)| pos.map(|p| (wl, gathered[p])))
+                            .collect();
+                        stats.word_line_activations += active_wls.len() as u64;
+                        let width = ofat.range.len();
+                        stats.bit_line_activations += width as u64;
+                        stats.table_lookups += 1;
+                        for j in 0..width {
+                            let col = ofat.src_col_start + j;
+                            let mut acc = 0.0f32;
+                            for &(wl, v) in &active_wls {
+                                acc += v * md[wl * cout_e + col];
+                            }
+                            if let Some(bits) = self.analog.adc_bits {
+                                let levels = (1u32 << bits.min(24)) as f32;
+                                let step = 2.0 * self.adc_full_scale / levels;
+                                acc = (acc / step).round().clamp(-levels / 2.0, levels / 2.0)
+                                    * step;
+                            }
+                            out_vec[ofat.range.start + j] += acc;
+                            stats.joint_adds += 1;
+                            stats.buffer_writes += 1;
+                        }
+                    }
+                    if wrap_on {
+                        let c = self.wrapping.block;
+                        for x in c..out_vec.len() {
+                            out_vec[x] = out_vec[x % c];
+                            stats.wrapped_elements += 1;
+                        }
+                    }
                     for (co, &v) in out_vec.iter().enumerate() {
                         out.set(&[ni, co, oy, ox], v).expect("output index in range");
                     }
@@ -440,83 +616,101 @@ impl DataPath {
         Ok((out, stats))
     }
 
-    /// Runs all activation rounds for one output pixel.
+    /// Validates the input tensor and returns `(n, h, w, oh, ow)`.
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize, usize, usize), PimError> {
+        if input.rank() != 4 {
+            return Err(PimError::geometry(format!(
+                "input must be 4-D (N, C, H, W), got rank {}",
+                input.rank()
+            )));
+        }
+        let conv = self.spec.conv();
+        let (n, c_in, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        if c_in != conv.cin {
+            return Err(PimError::geometry(format!(
+                "input has {c_in} channels, layer expects {}",
+                conv.cin
+            )));
+        }
+        let (oh, ow) = conv2d_out_dims(h, w, conv.kh, conv.kw, self.conv_cfg)
+            .map_err(PimError::Tensor)?;
+        Ok((n, h, w, oh, ow))
+    }
+
+    /// Runs all activation rounds for one output pixel through the compiled
+    /// round plan. `scratch` must hold at least `cout_e` floats.
     fn execute_pixel(
         &self,
         receptive: &[f32],
         out_vec: &mut [f32],
+        scratch: &mut [f32],
         wrap_on: bool,
         stats: &mut DataPathStats,
     ) {
         let md = self.matrix.data();
         let cout_e = self.spec.shape().cout;
-        let mut gathered: Vec<f32> = Vec::new();
-        for (round, ((ifat_ranges, ifrt_seq), ofat)) in self
-            .ifat
-            .entries
-            .iter()
-            .zip(&self.ifrt.sequences)
-            .zip(&self.ofat.entries)
-            .enumerate()
-        {
-            let _ = round;
-            if wrap_on && ofat.range.start != 0 {
+        let word_lines = self.ifrt.word_lines as u64;
+        for round in &self.rounds {
+            if wrap_on && round.range.start != 0 {
                 continue;
             }
             stats.rounds += 1;
+            // Table traffic: one lookup per IFAT pair, one per word line
+            // (IFRT), one OFAT pair — identical to the seed accounting.
+            stats.table_lookups += round.ifat_pairs + word_lines + 1;
+            stats.buffer_reads += round.active.len() as u64;
+            stats.word_line_activations += round.active.len() as u64;
 
-            // IFAT: gather the needed inputs from the buffer.
-            gathered.clear();
-            for r in ifat_ranges {
-                gathered.extend_from_slice(&receptive[r.start..r.stop]);
-                stats.table_lookups += 1; // one IFAT pair per range
-            }
-            stats.buffer_reads += gathered.len() as u64;
-
-            // Finite-precision DAC: word-line voltages quantize to
-            // dac_bits over the driver's full scale (the A9 activation
-            // precision, applied functionally).
-            if let Some(bits) = self.analog.dac_bits {
-                let levels = (1u32 << bits.min(24)) as f32;
-                let fs = self.analog.input_full_scale;
-                let step = 2.0 * fs / levels;
-                for v in gathered.iter_mut() {
-                    *v = (*v / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
-                }
-            }
-
-            // IFRT + crossbar: drive word lines, sense active bit lines.
-            stats.table_lookups += self.ifrt.word_lines as u64;
-            let active_wls: Vec<(usize, f32)> = ifrt_seq
-                .iter()
-                .enumerate()
-                .filter_map(|(wl, &pos)| pos.map(|p| (wl, gathered[p])))
-                .collect();
-            stats.word_line_activations += active_wls.len() as u64;
-
-            let width = ofat.range.len();
+            let width = round.range.len();
             stats.bit_line_activations += width as u64;
-            stats.table_lookups += 1; // OFAT pair
-            for j in 0..width {
-                let col = ofat.src_col_start + j;
-                let mut acc = 0.0f32;
-                for &(wl, v) in &active_wls {
-                    acc += v * md[wl * cout_e + col];
+            let accs = &mut scratch[..width];
+            accs.fill(0.0);
+            let col0 = round.src_col_start;
+
+            // Crossbar MVM over the active word lines: the inner loop walks
+            // `width` contiguous matrix columns, so it vectorizes.
+            if let Some(bits) = self.analog.dac_bits {
+                // Finite-precision DAC, applied to each driven word-line
+                // voltage exactly as the seed applied it to the gather.
+                let levels = (1u32 << bits.min(24)) as f32;
+                let step = 2.0 * self.analog.input_full_scale / levels;
+                for &(wl, rf) in &round.active {
+                    let v = (receptive[rf] / step).round().clamp(-levels / 2.0, levels / 2.0)
+                        * step;
+                    let mrow = &md[wl * cout_e + col0..][..width];
+                    for (a, &m) in accs.iter_mut().zip(mrow) {
+                        *a += v * m;
+                    }
                 }
-                // Finite-precision ADC: quantize the bit-line partial sum
-                // before it leaves the analog domain.
-                if let Some(bits) = self.analog.adc_bits {
-                    // Full scale assumes unit-magnitude inputs (the
-                    // activation quantizer's job); larger inputs clip.
-                    let levels = (1u32 << bits.min(24)) as f32;
-                    let step = 2.0 * self.adc_full_scale / levels;
-                    acc = (acc / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
+            } else {
+                for &(wl, rf) in &round.active {
+                    let v = receptive[rf];
+                    let mrow = &md[wl * cout_e + col0..][..width];
+                    for (a, &m) in accs.iter_mut().zip(mrow) {
+                        *a += v * m;
+                    }
                 }
-                // Joint module: accumulate into the output range.
-                out_vec[ofat.range.start + j] += acc;
-                stats.joint_adds += 1;
-                stats.buffer_writes += 1;
             }
+
+            // Finite-precision ADC on each bit-line partial sum, then the
+            // joint module accumulates into the output range.
+            if let Some(bits) = self.analog.adc_bits {
+                let levels = (1u32 << bits.min(24)) as f32;
+                let step = 2.0 * self.adc_full_scale / levels;
+                for a in accs.iter_mut() {
+                    *a = (*a / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
+                }
+            }
+            for (slot, &a) in out_vec[round.range.start..round.range.stop].iter_mut().zip(&*accs) {
+                *slot += a;
+            }
+            stats.joint_adds += width as u64;
+            stats.buffer_writes += width as u64;
         }
 
         if wrap_on {
@@ -677,6 +871,34 @@ mod tests {
         let x = Tensor::zeros(&[1, 3, 5, 5]);
         assert!(dp.execute(&x).is_err());
         assert!(dp.execute(&Tensor::zeros(&[5, 5])).is_err());
+    }
+
+    #[test]
+    fn execute_matches_seed_reference_loop() {
+        // The compiled-round fast path must agree with the seed's original
+        // per-pixel pipeline — outputs to float tolerance (different but
+        // equivalent summation order), stats exactly.
+        let conv = ConvShape::new(8, 6, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 3, 2, 2), 40);
+        let mut r = rng::seeded(41);
+        let x = init::uniform(&[2, 6, 7, 7], -1.0, 1.0, &mut r);
+        for wrapping in [false, true] {
+            for analog in [
+                AnalogModel::ideal(),
+                AnalogModel { weight_noise_std: 0.02, adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() },
+            ] {
+                let cfg = Conv2dCfg { stride: 2, padding: 1 };
+                let dp = DataPath::with_analog(&epi, cfg, wrapping, analog).unwrap();
+                let (fast, fast_stats) = dp.execute(&x).unwrap();
+                let (slow, slow_stats) = dp.execute_reference(&x).unwrap();
+                assert!(
+                    fast.allclose(&slow, 1e-4).unwrap(),
+                    "wrapping={wrapping} mse={}",
+                    fast.mse(&slow).unwrap()
+                );
+                assert_eq!(fast_stats, slow_stats, "wrapping={wrapping}");
+            }
+        }
     }
 
     #[test]

@@ -190,15 +190,17 @@ mod tests {
     #[test]
     fn per_crossbar_never_worse_than_per_tensor() {
         // DESIGN.md invariant: finer granularity cannot increase MSE.
-        let mut r = rng::seeded(10);
-        // Heterogeneous tiles: two blocks with very different dynamic
-        // ranges, where per-tile scales shine.
-        let mut m = init::uniform(&[8, 8], -0.1, 0.1, &mut r);
-        for row in 4..8 {
-            for col in 0..8 {
-                let v = m.at(&[row, col]) * 50.0;
-                m.set(&[row, col], v).unwrap();
-            }
+        //
+        // Deterministic construction (no RNG): how clearly per-tile scales
+        // win depends on where zero falls in the whole-tensor grid, which a
+        // random draw shifts arbitrarily. Two blocks with 50x different
+        // dynamic ranges, both spanning their range exactly.
+        let mut m = Tensor::zeros(&[8, 8]);
+        for idx in 0..32usize {
+            let frac = idx as f32 / 31.0;
+            let (row, col) = (idx / 8, idx % 8);
+            m.set(&[row, col], -0.1 + 0.2 * frac).unwrap();
+            m.set(&[row + 4, col], -5.0 + 10.0 * frac).unwrap();
         }
         let (_, whole) =
             quantize_per_crossbar(&m, None, 3, 8, 8, &RangeEstimator::MinMax).unwrap();

@@ -165,7 +165,7 @@ mod tests {
         }
         // All classes present.
         for class in 0..3 {
-            assert!(ds.labels.iter().any(|&l| l == class));
+            assert!(ds.labels.contains(&class));
         }
     }
 

@@ -12,8 +12,11 @@
 //!   the synthetic datasets in [`data`] — this is the substitute for the
 //!   paper's ImageNet training runs (see `DESIGN.md` §2).
 //!
-//! The crate is deliberately simple: correctness and reproducibility over
-//! speed. Everything is deterministic given a seed.
+//! Correctness and reproducibility come first — everything is deterministic
+//! given a seed — but the compute spine is no longer naive: all matrix
+//! products route through the cache-blocked, runtime-SIMD-dispatched kernels
+//! in [`ops::gemm`], and the convolution path fuses im2col, GEMM and bias
+//! into a single pass over the output (see `ops::conv`).
 //!
 //! ## Example
 //!

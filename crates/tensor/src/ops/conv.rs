@@ -1,5 +1,15 @@
-//! 2-D convolution: direct, im2col-based, and backward passes.
+//! 2-D convolution: fused im2col+GEMM forward, direct reference, and
+//! backward passes.
+//!
+//! The production path ([`conv2d`]) lowers patches with a contiguous-copy
+//! [`im2col`], then runs one stride-aware GEMM per image directly into the
+//! `NCHW` output buffer (`out[n] = W_mat · cols_nᵀ + bias`), with the bias
+//! folded into the GEMM epilogue — there is no separate output-rearrange or
+//! bias pass. Two reference implementations stay available for tests and
+//! benchmarks: [`conv2d_direct`] (naive 7-loop) and [`conv2d_ref`] (the
+//! seed's unfused im2col → matmul → rearrange pipeline).
 
+use crate::ops::gemm;
 use crate::{Tensor, TensorError};
 
 /// Stride/padding configuration for [`conv2d`].
@@ -46,6 +56,28 @@ pub fn conv2d_out_dims(
     Ok(((ph - kh) / cfg.stride + 1, (pw - kw) / cfg.stride + 1))
 }
 
+/// Number of output floats below which the copy-bound loops (im2col,
+/// col2im, gradient transposes) stay serial: thread dispatch costs more
+/// than the memcpy work itself.
+const PARALLEL_COPY_FLOOR: usize = 1 << 16;
+
+/// The intersection of the kernel's `kx` positions with the valid input
+/// columns for an output column `ox`: returns `(kx_start, kx_end, ix_start)`
+/// with `kx_end <= kx_start` meaning an empty run.
+///
+/// Shared with the PIM data path's receptive-field fill — the clipping
+/// arithmetic is subtle (empty runs, padding wider than the kernel), so
+/// there is exactly one copy of it.
+#[inline]
+pub fn kx_run(ox: usize, kw: usize, w: usize, cfg: Conv2dCfg) -> (usize, usize, usize) {
+    let base = ox * cfg.stride; // ix = base + kx - padding
+    let kx_start = cfg.padding.saturating_sub(base).min(kw);
+    let kx_end = (w + cfg.padding).saturating_sub(base).min(kw).max(kx_start);
+    // ix0 is meaningless (and unused) for empty runs; saturate to avoid
+    // underflow when the whole kernel row falls in the padding.
+    (kx_start, kx_end, (base + kx_start).saturating_sub(cfg.padding))
+}
+
 /// Lowers image patches to a matrix (`im2col`).
 ///
 /// Input `(N, C, H, W)` becomes a matrix of shape
@@ -53,15 +85,13 @@ pub fn conv2d_out_dims(
 /// the same lowering a PIM accelerator performs when feeding word lines: each
 /// row is one crossbar input vector.
 ///
+/// The inner loop copies each in-bounds `kx` run as one contiguous slice,
+/// and rows are filled in parallel for large problems.
+///
 /// # Errors
 ///
 /// Propagates geometry errors from [`conv2d_out_dims`] and rank errors.
-pub fn im2col(
-    x: &Tensor,
-    kh: usize,
-    kw: usize,
-    cfg: Conv2dCfg,
-) -> Result<Tensor, TensorError> {
+pub fn im2col(x: &Tensor, kh: usize, kw: usize, cfg: Conv2dCfg) -> Result<Tensor, TensorError> {
     if x.rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "im2col" });
     }
@@ -71,42 +101,53 @@ pub fn im2col(
     let cols = c * kh * kw;
     let mut out = vec![0.0f32; rows * cols];
     let xd = x.data();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (ni * oh + oy) * ow + ox;
-                let base = row * cols;
-                for ci in 0..c {
-                    for ky in 0..kh {
-                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let col = (ci * kh + ky) * kw + kx;
-                            out[base + col] =
-                                xd[((ni * c + ci) * h + iy as usize) * w + ix as usize];
-                        }
+
+    // One chunk = all rows of one output scanline (ni, oy): big enough to
+    // amortize dispatch, small enough to balance.
+    let fill_rows = |row0: usize, chunk: &mut [f32]| {
+        for (r, orow) in chunk.chunks_mut(cols).enumerate() {
+            let row = row0 + r;
+            let ox = row % ow;
+            let oy = (row / ow) % oh;
+            let ni = row / (oh * ow);
+            let (kx0, kx1, ix0) = kx_run(ox, kw, w, cfg);
+            if kx1 <= kx0 {
+                continue;
+            }
+            let run = kx1 - kx0;
+            for ci in 0..c {
+                let x_plane = &xd[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                for ky in 0..kh {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
                     }
+                    let src = &x_plane[iy as usize * w + ix0..iy as usize * w + ix0 + run];
+                    let col = (ci * kh + ky) * kw + kx0;
+                    orow[col..col + run].copy_from_slice(src);
                 }
             }
         }
-    }
+    };
+
+    // Below the copy floor, one chunk == fully serial (no thread dispatch).
+    let chunk_rows = if out.len() < PARALLEL_COPY_FLOOR { rows.max(1) } else { ow.max(1) };
+    epim_parallel::for_each_chunk_mut(&mut out, chunk_rows * cols, |chunk_idx, chunk| {
+        fill_rows(chunk_idx * chunk_rows, chunk);
+    });
     Tensor::from_vec(out, &[rows, cols])
 }
 
 /// Accumulates an im2col matrix back into image space (`col2im`).
 ///
 /// The adjoint of [`im2col`]: overlapping patch positions are summed. Used
-/// by [`conv2d_backward`] to form input gradients.
+/// by [`conv2d_backward`] to form input gradients. Parallelized over
+/// `(image, channel)` output planes, which are disjoint.
 ///
 /// # Errors
 ///
 /// Returns geometry errors if `cols` does not match the implied shape.
+#[allow(clippy::too_many_arguments)]
 pub fn col2im(
     cols_mat: &Tensor,
     n: usize,
@@ -128,55 +169,51 @@ pub fn col2im(
         });
     }
     let mut out = Tensor::zeros(&[n, c, h, w]);
-    let od = out.data_mut();
     let cd = cols_mat.data();
-    for ni in 0..n {
+    // Each (ni, ci) output plane accumulates only from its own column block,
+    // so planes parallelize without synchronization.
+    let total = out.len();
+    let accumulate_plane = |plane_idx: usize, plane: &mut [f32]| {
+        let ni = plane_idx / c;
+        let ci = plane_idx % c;
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = (ni * oh + oy) * ow + ox;
-                let base = row * cols;
-                for ci in 0..c {
-                    for ky in 0..kh {
-                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let col = (ci * kh + ky) * kw + kx;
-                            od[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
-                                cd[base + col];
-                        }
+                let (kx0, kx1, ix0) = kx_run(ox, kw, w, cfg);
+                if kx1 <= kx0 {
+                    continue;
+                }
+                let run = kx1 - kx0;
+                for ky in 0..kh {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let col = (ci * kh + ky) * kw + kx0;
+                    let src = &cd[row * cols + col..row * cols + col + run];
+                    let dst = &mut plane[iy as usize * w + ix0..iy as usize * w + ix0 + run];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += s;
                     }
                 }
             }
         }
+    };
+    if total < PARALLEL_COPY_FLOOR {
+        for (idx, plane) in out.data_mut().chunks_mut(h * w).enumerate() {
+            accumulate_plane(idx, plane);
+        }
+    } else {
+        epim_parallel::for_each_chunk_mut(out.data_mut(), h * w, accumulate_plane);
     }
     Ok(out)
 }
 
-/// 2-D convolution (cross-correlation, as in every DL framework).
-///
-/// `x` is `(N, C_in, H, W)`, `weight` is `(C_out, C_in, KH, KW)`, `bias`
-/// (optional) is `(C_out)`. Returns `(N, C_out, OH, OW)`.
-///
-/// Implemented as `im2col` followed by a matrix multiply — the same lowering
-/// the PIM crossbar mapping uses, which makes the functional-equivalence
-/// tests between this operator and the crossbar data path meaningful.
-///
-/// # Errors
-///
-/// Returns rank/shape errors if operands disagree or the geometry is
-/// invalid.
-pub fn conv2d(
+fn check_conv_operands(
     x: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
-    cfg: Conv2dCfg,
-) -> Result<Tensor, TensorError> {
+) -> Result<(), TensorError> {
     if x.rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "conv2d" });
     }
@@ -187,13 +224,8 @@ pub fn conv2d(
             op: "conv2d",
         });
     }
-    let (n, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    let (c_out, wc_in, kh, kw) = (
-        weight.shape()[0],
-        weight.shape()[1],
-        weight.shape()[2],
-        weight.shape()[3],
-    );
+    let c_in = x.shape()[1];
+    let (c_out, wc_in) = (weight.shape()[0], weight.shape()[1]);
     if wc_in != c_in {
         return Err(TensorError::ShapeMismatch {
             expected: vec![c_in],
@@ -210,8 +242,76 @@ pub fn conv2d(
             });
         }
     }
+    Ok(())
+}
+
+/// 2-D convolution (cross-correlation, as in every DL framework).
+///
+/// `x` is `(N, C_in, H, W)`, `weight` is `(C_out, C_in, KH, KW)`, `bias`
+/// (optional) is `(C_out)`. Returns `(N, C_out, OH, OW)`.
+///
+/// Implemented as `im2col` followed by one stride-aware GEMM per image that
+/// writes **directly into the `NCHW` output layout** with the bias folded
+/// into the GEMM epilogue: `out[n] (C_out x OH*OW) = W_mat · cols_nᵀ + b`.
+/// Unlike the seed implementation there is no second rearrange pass over
+/// the output and no per-pixel bias lookup.
+///
+/// # Errors
+///
+/// Returns rank/shape errors if operands disagree or the geometry is
+/// invalid.
+pub fn conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    check_conv_operands(x, weight, bias)?;
+    let (n, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
     let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+
     let cols = im2col(x, kh, kw, cfg)?; // (N*OH*OW, C_in*KH*KW)
+    let ckk = c_in * kh * kw;
+    let pixels = oh * ow;
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    let od = out.data_mut();
+    let cd = cols.data();
+    for ni in 0..n {
+        // `cols_n` is (pixels x ckk); its transpose is the GEMM B operand,
+        // read through strides — never materialized.
+        let cols_n = &cd[ni * pixels * ckk..(ni + 1) * pixels * ckk];
+        let out_n = &mut od[ni * c_out * pixels..(ni + 1) * c_out * pixels];
+        match bias {
+            Some(b) => {
+                gemm::gemm_nt_bias_row(c_out, pixels, ckk, weight.data(), cols_n, b.data(), out_n)
+            }
+            None => gemm::gemm_nt(c_out, pixels, ckk, weight.data(), cols_n, out_n),
+        }
+    }
+    Ok(out)
+}
+
+/// The seed's unfused convolution pipeline (im2col → matmul → rearrange),
+/// kept as a cross-check for the fused path and as the benchmark baseline.
+///
+/// The per-channel bias lookup is hoisted out of the pixel loop (the seed
+/// resolved `bias[co]` once per output *pixel*).
+///
+/// # Errors
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_ref(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    check_conv_operands(x, weight, bias)?;
+    let (n, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+    let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+    let cols = im2col(x, kh, kw, cfg)?;
     let wmat = weight.reshape(&[c_out, c_in * kh * kw])?;
     let out_mat = cols.matmul(&wmat.transpose()?)?; // (N*OH*OW, C_out)
 
@@ -220,17 +320,59 @@ pub fn conv2d(
     let od = out.data_mut();
     let md = out_mat.data();
     for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (ni * oh + oy) * ow + ox;
-                for co in 0..c_out {
-                    let b = bias.map(|bb| bb.data()[co]).unwrap_or(0.0);
-                    od[((ni * c_out + co) * oh + oy) * ow + ox] = md[row * c_out + co] + b;
-                }
+        for co in 0..c_out {
+            // Hoisted: one bias resolve per (image, channel) plane.
+            let b = bias.map(|bb| bb.data()[co]).unwrap_or(0.0);
+            let plane = &mut od[(ni * c_out + co) * oh * ow..(ni * c_out + co + 1) * oh * ow];
+            for (p, slot) in plane.iter_mut().enumerate() {
+                let row = ni * oh * ow + p;
+                *slot = md[row * c_out + co] + b;
             }
         }
     }
     Ok(out)
+}
+
+/// Naive 7-loop direct convolution — the ground-truth reference for
+/// property tests (no im2col, no GEMM, f32 accumulation in source order).
+///
+/// # Errors
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_direct(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    check_conv_operands(x, weight, bias)?;
+    let (n, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+    let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+    let out = Tensor::from_fn(&[n, c_out, oh, ow], |idx| {
+        let (ni, co, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
+        let mut acc = bias.map(|bb| bb.data()[co]).unwrap_or(0.0);
+        for ci in 0..c_in {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                    let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                        continue;
+                    }
+                    acc += x.at(&[ni, ci, iy as usize, ix as usize]) * w_at(weight, co, ci, ky, kx);
+                }
+            }
+        }
+        acc
+    });
+    Ok(out)
+}
+
+#[inline]
+fn w_at(weight: &Tensor, co: usize, ci: usize, ky: usize, kx: usize) -> f32 {
+    let s = weight.shape();
+    weight.data()[((co * s[1] + ci) * s[2] + ky) * s[3] + kx]
 }
 
 /// Gradients produced by [`conv2d_backward`].
@@ -246,7 +388,10 @@ pub struct Conv2dGrads {
 
 /// Backward pass of [`conv2d`].
 ///
-/// `dy` is the upstream gradient `(N, C_out, OH, OW)`.
+/// `dy` is the upstream gradient `(N, C_out, OH, OW)`. All three products
+/// run on the stride-aware GEMM kernels: `dW = dY_matᵀ · cols` uses
+/// [`gemm::gemm_tn`] on the *pixel-major* gradient without materializing
+/// either transpose.
 ///
 /// # Errors
 ///
@@ -272,44 +417,54 @@ pub fn conv2d_backward(
             op: "conv2d_backward",
         });
     }
+    let pixels = oh * ow;
+    let rows = n * pixels;
 
-    // dy as matrix: (N*OH*OW, C_out)
-    let mut dy_mat = Tensor::zeros(&[n * oh * ow, c_out]);
+    // dY as pixel-major matrix (N*OH*OW, C_out): transpose each image's
+    // (C_out, OH*OW) plane with contiguous reads.
+    let mut dy_mat = vec![0.0f32; rows * c_out];
     {
-        let dd = dy_mat.data_mut();
         let yd = dy.data();
-        for ni in 0..n {
+        let transpose_image = |ni: usize, chunk: &mut [f32]| {
             for co in 0..c_out {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let row = (ni * oh + oy) * ow + ox;
-                        dd[row * c_out + co] = yd[((ni * c_out + co) * oh + oy) * ow + ox];
-                    }
+                let src = &yd[(ni * c_out + co) * pixels..(ni * c_out + co + 1) * pixels];
+                for (p, &v) in src.iter().enumerate() {
+                    chunk[p * c_out + co] = v;
                 }
             }
+        };
+        if dy_mat.len() < PARALLEL_COPY_FLOOR {
+            for (ni, chunk) in dy_mat.chunks_mut(pixels * c_out).enumerate() {
+                transpose_image(ni, chunk);
+            }
+        } else {
+            epim_parallel::for_each_chunk_mut(&mut dy_mat, pixels * c_out, transpose_image);
         }
     }
 
     let cols = im2col(x, kh, kw, cfg)?; // (R, C_in*KH*KW)
-    // dW = dy_mat^T * cols  -> (C_out, C_in*KH*KW)
-    let dw_mat = dy_mat.transpose()?.matmul(&cols)?;
-    let dw = dw_mat.reshape(&[c_out, c_in, kh, kw])?;
+    let ckk = c_in * kh * kw;
 
-    // db = column sums of dy_mat.
+    // dW = dY_matᵀ · cols -> (C_out, C_in*KH*KW), no explicit transpose.
+    let mut dw_mat = vec![0.0f32; c_out * ckk];
+    gemm::gemm_tn(c_out, ckk, rows, &dy_mat, cols.data(), &mut dw_mat);
+    let dw = Tensor::from_vec(dw_mat, &[c_out, c_in, kh, kw])?;
+
+    // db = column sums of dY_mat (row-wise accumulation vectorizes).
     let mut db = Tensor::zeros(&[c_out]);
     {
         let bd = db.data_mut();
-        let dd = dy_mat.data();
-        for row in 0..n * oh * ow {
-            for co in 0..c_out {
-                bd[co] += dd[row * c_out + co];
+        for row in dy_mat.chunks(c_out) {
+            for (b, &v) in bd.iter_mut().zip(row) {
+                *b += v;
             }
         }
     }
 
-    // dX: dcols = dy_mat * Wmat, then col2im.
-    let wmat = weight.reshape(&[c_out, c_in * kh * kw])?;
-    let dcols = dy_mat.matmul(&wmat)?;
+    // dX: dcols = dY_mat · W_mat, then col2im.
+    let mut dcols = vec![0.0f32; rows * ckk];
+    gemm::gemm(rows, ckk, c_out, &dy_mat, weight.data(), &mut dcols);
+    let dcols = Tensor::from_vec(dcols, &[rows, ckk])?;
     let dx = col2im(&dcols, n, c_in, h, w, kh, kw, cfg)?;
 
     Ok(Conv2dGrads { dx, dw, db })
@@ -320,28 +475,7 @@ mod tests {
     use super::*;
 
     fn direct_conv(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
-        // Reference naive implementation for cross-checking.
-        let (n, c_in, h, ww) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        let (c_out, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
-        let (oh, ow) = conv2d_out_dims(h, ww, kh, kw, cfg).unwrap();
-        Tensor::from_fn(&[n, c_out, oh, ow], |idx| {
-            let (ni, co, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
-            let mut acc = 0.0;
-            for ci in 0..c_in {
-                for ky in 0..kh {
-                    for kx in 0..kw {
-                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-                        let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
-                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= ww as isize {
-                            continue;
-                        }
-                        acc += x.at(&[ni, ci, iy as usize, ix as usize])
-                            * w.at(&[co, ci, ky, kx]);
-                    }
-                }
-            }
-            acc
-        })
+        conv2d_direct(x, w, None, cfg).expect("valid geometry")
     }
 
     #[test]
@@ -370,6 +504,24 @@ mod tests {
     }
 
     #[test]
+    fn fused_matches_unfused_reference_with_bias() {
+        let mut r = crate::rng::seeded(12);
+        let x = crate::init::uniform(&[2, 3, 9, 7], -1.0, 1.0, &mut r);
+        let w = crate::init::uniform(&[5, 3, 3, 3], -1.0, 1.0, &mut r);
+        let b = crate::init::uniform(&[5], -1.0, 1.0, &mut r);
+        for cfg in [
+            Conv2dCfg { stride: 1, padding: 0 },
+            Conv2dCfg { stride: 1, padding: 1 },
+            Conv2dCfg { stride: 2, padding: 1 },
+            Conv2dCfg { stride: 2, padding: 0 },
+        ] {
+            let fused = conv2d(&x, &w, Some(&b), cfg).unwrap();
+            let unfused = conv2d_ref(&x, &w, Some(&b), cfg).unwrap();
+            assert!(fused.allclose(&unfused, 1e-4).unwrap(), "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
     fn conv_bias_added_per_channel() {
         let x = Tensor::ones(&[1, 1, 3, 3]);
         let w = Tensor::zeros(&[2, 1, 1, 1]);
@@ -388,6 +540,8 @@ mod tests {
         let x = Tensor::zeros(&[1, 3, 5, 5]);
         let w = Tensor::zeros(&[2, 4, 3, 3]);
         assert!(conv2d(&x, &w, None, Conv2dCfg::default()).is_err());
+        assert!(conv2d_ref(&x, &w, None, Conv2dCfg::default()).is_err());
+        assert!(conv2d_direct(&x, &w, None, Conv2dCfg::default()).is_err());
     }
 
     #[test]
@@ -460,5 +614,18 @@ mod tests {
         for v in y.data() {
             assert_eq!(*v, 5.0);
         }
+    }
+
+    #[test]
+    fn large_padding_fully_clipped_rows() {
+        // Padding bigger than the kernel produces border rows whose kx runs
+        // are empty; both paths must agree (regression for the run math).
+        let mut r = crate::rng::seeded(41);
+        let x = crate::init::uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut r);
+        let w = crate::init::uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut r);
+        let cfg = Conv2dCfg { stride: 1, padding: 3 };
+        let got = conv2d(&x, &w, None, cfg).unwrap();
+        let want = direct_conv(&x, &w, cfg);
+        assert!(got.allclose(&want, 1e-4).unwrap());
     }
 }

@@ -1,0 +1,722 @@
+//! Cache-blocked single-precision GEMM kernels.
+//!
+//! This is the compute spine of the whole reproduction: `Tensor::matmul`,
+//! the im2col convolution path, the linear layers and (indirectly) every
+//! training/search experiment bottom out here.
+//!
+//! The implementation follows the standard BLIS-style recipe:
+//!
+//! - the K dimension is processed in `KC`-sized slices;
+//! - for each slice, B is packed once into `NR`-wide column panels
+//!   (`bp[p * NR + j]`) shared by all rows;
+//! - the M dimension is split into `MR`-row chunks, each packing its A rows
+//!   into a `MR`-wide panel (`ap[p * MR + i]`, zero-padded at the edges) and
+//!   driving an `MR x NR` register-blocked micro-kernel;
+//! - chunks are distributed over threads via `epim-parallel` when the
+//!   problem is large enough (C chunks are disjoint row bands, so no
+//!   synchronization is needed).
+//!
+//! All entry points are *stride-aware*: [`gemm_tn`] and [`gemm_nt`] read A
+//! or B through transposed strides during packing, so callers never
+//! materialize an explicit `transpose()` copy. Bias addition is fused into
+//! the output prefill (per output row or per output column), which lets the
+//! convolution and linear layers skip their separate bias passes.
+//!
+//! The binary stays portable (generic x86-64, same target the seed used):
+//! the micro-kernel is selected **at runtime** with
+//! `is_x86_feature_detected!` — an 8x32 AVX-512F kernel, a 6x16 AVX2+FMA
+//! kernel, or a scalar-autovectorized 8x8 fallback. The `unsafe` surface is
+//! confined to the `#[target_feature]` kernel bodies, which only touch
+//! caller-validated panel/tile buffers.
+
+use epim_parallel::for_each_chunk_mut;
+
+/// Largest micro-kernel row count across variants (A-panel sizing).
+const MR_MAX: usize = 8;
+/// Largest micro-kernel column count across variants (tile sizing).
+const NR_MAX: usize = 32;
+/// K-dimension cache block: the A panel (`MR_MAX * KC` floats) stays L1
+/// resident while B panels stream from L2.
+const KC: usize = 256;
+
+/// The instruction-set variant the tile kernel dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelKind {
+    /// 8x32 tiles on 512-bit FMA (16 zmm accumulators).
+    Avx512,
+    /// 6x16 tiles on 256-bit FMA (12 ymm accumulators).
+    Fma,
+    /// 8x8 tiles, plain Rust left to the autovectorizer.
+    Generic,
+}
+
+impl KernelKind {
+    #[inline]
+    fn mr(self) -> usize {
+        match self {
+            KernelKind::Avx512 => 8,
+            KernelKind::Fma => 6,
+            KernelKind::Generic => 8,
+        }
+    }
+
+    #[inline]
+    fn nr(self) -> usize {
+        match self {
+            KernelKind::Avx512 => 32,
+            KernelKind::Fma => 16,
+            KernelKind::Generic => 8,
+        }
+    }
+}
+
+/// Detects the best available kernel once per process.
+fn kernel_kind() -> KernelKind {
+    static KIND: std::sync::OnceLock<KernelKind> = std::sync::OnceLock::new();
+    *KIND.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return KernelKind::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return KernelKind::Fma;
+            }
+        }
+        KernelKind::Generic
+    })
+}
+
+/// Problems below this many multiply-adds run the plain serial loops:
+/// packing and (above all) thread dispatch would dominate.
+const SMALL_FLOPS: usize = 1 << 15;
+/// Problems below this many multiply-adds never cross threads.
+const PARALLEL_FLOPS: usize = 1 << 21;
+
+/// A read-only matrix view with explicit row/column strides, so the same
+/// packing code serves normal and transposed operands.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl MatRef<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
+
+/// Fused bias applied while prefilling the output.
+#[derive(Clone, Copy)]
+enum Bias<'a> {
+    /// No bias: prefill with zeros.
+    None,
+    /// `bias[i]` is added to every element of output row `i` (length `m`).
+    PerRow(&'a [f32]),
+    /// `bias[j]` is added to every element of output column `j` (length `n`).
+    PerCol(&'a [f32]),
+}
+
+/// `C = A · B` for row-major `A (m x k)`, `B (k x n)`, `C (m x n)`.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its `m`/`n`/`k` geometry implies.
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_strided(
+        m,
+        n,
+        k,
+        MatRef { data: a, rs: k, cs: 1 },
+        MatRef { data: b, rs: n, cs: 1 },
+        Bias::None,
+        c,
+    );
+}
+
+/// `C = Aᵀ · B` where `A` is *stored* row-major as `(k x m)`.
+///
+/// Used by the backward passes (`dW = dYᵀ · X`) so they never materialize
+/// the transpose.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its geometry implies.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_strided(
+        m,
+        n,
+        k,
+        MatRef { data: a, rs: 1, cs: m },
+        MatRef { data: b, rs: n, cs: 1 },
+        Bias::None,
+        c,
+    );
+}
+
+/// `C = A · Bᵀ` where `B` is *stored* row-major as `(n x k)`.
+///
+/// Used by [`crate::ops::linear`] (`y = x · Wᵀ`) and the fused convolution.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its geometry implies.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_strided(
+        m,
+        n,
+        k,
+        MatRef { data: a, rs: k, cs: 1 },
+        MatRef { data: b, rs: 1, cs: k },
+        Bias::None,
+        c,
+    );
+}
+
+/// [`gemm_nt`] with `bias[i]` added to every element of output row `i`
+/// (the fused convolution epilogue: rows are output channels).
+///
+/// # Panics
+///
+/// Panics on geometry mismatch, including `bias.len() != m`.
+pub fn gemm_nt_bias_row(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(bias.len(), m, "row bias length must equal m");
+    gemm_strided(
+        m,
+        n,
+        k,
+        MatRef { data: a, rs: k, cs: 1 },
+        MatRef { data: b, rs: 1, cs: k },
+        Bias::PerRow(bias),
+        c,
+    );
+}
+
+/// [`gemm_nt`] with `bias[j]` added to every element of output column `j`
+/// (the fused linear-layer epilogue: columns are output features).
+///
+/// # Panics
+///
+/// Panics on geometry mismatch, including `bias.len() != n`.
+pub fn gemm_nt_bias_col(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(bias.len(), n, "column bias length must equal n");
+    gemm_strided(
+        m,
+        n,
+        k,
+        MatRef { data: a, rs: k, cs: 1 },
+        MatRef { data: b, rs: 1, cs: k },
+        Bias::PerCol(bias),
+        c,
+    );
+}
+
+/// The number of worker threads the kernel layer will use (threshold
+/// permitting) — `epim-parallel`'s pool size, re-exported for reporting.
+pub fn num_threads_in_use() -> usize {
+    epim_parallel::num_threads()
+}
+
+/// The seed repository's ikj matmul, kept verbatim as the benchmark baseline
+/// and as an independent reference for property tests.
+pub fn reference_matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c.fill(0.0);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            let orow = &mut c[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core
+// ---------------------------------------------------------------------------
+
+fn gemm_strided(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, bias: Bias, c: &mut [f32]) {
+    assert!(c.len() >= m * n, "output slice too short for {m}x{n}");
+    if m > 0 && k > 0 {
+        assert!(
+            a.data.len() > (m - 1) * a.rs + (k - 1) * a.cs,
+            "A slice too short for its geometry"
+        );
+    }
+    if k > 0 && n > 0 {
+        assert!(
+            b.data.len() > (k - 1) * b.rs + (n - 1) * b.cs,
+            "B slice too short for its geometry"
+        );
+    }
+
+    prefill(m, n, bias, c);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    if m * n * k <= SMALL_FLOPS {
+        gemm_small(m, n, k, a, b, c);
+        return;
+    }
+
+    let kind = kernel_kind();
+    let (mr_k, nr_k) = (kind.mr(), kind.nr());
+    let n_panels = n.div_ceil(nr_k);
+    let mut bpack = vec![0.0f32; n_panels * nr_k * KC.min(k)];
+    let mut pc = 0usize;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        pack_b(&mut bpack, b, pc, kc, n, nr_k);
+        let bpack_ref: &[f32] = &bpack;
+
+        let row_band = mr_k * n;
+        if m * n * k >= PARALLEL_FLOPS {
+            for_each_chunk_mut(&mut c[..m * n], row_band, |chunk_idx, c_chunk| {
+                update_row_band(chunk_idx, c_chunk, m, n, kc, pc, a, bpack_ref, kind);
+            });
+        } else {
+            for (chunk_idx, c_chunk) in c[..m * n].chunks_mut(row_band).enumerate() {
+                update_row_band(chunk_idx, c_chunk, m, n, kc, pc, a, bpack_ref, kind);
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// Accumulates the current K slice into one `mr`-row band of C.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn update_row_band(
+    chunk_idx: usize,
+    c_chunk: &mut [f32],
+    m: usize,
+    n: usize,
+    kc: usize,
+    pc: usize,
+    a: MatRef,
+    bpack: &[f32],
+    kind: KernelKind,
+) {
+    let (mr_k, nr_k) = (kind.mr(), kind.nr());
+    let row0 = chunk_idx * mr_k;
+    let mr = mr_k.min(m - row0);
+    let mut apanel = [0.0f32; MR_MAX * KC];
+    pack_a(&mut apanel, a, row0, mr, pc, kc, mr_k);
+
+    let mut tile = [0.0f32; MR_MAX * NR_MAX];
+    let n_panels = n.div_ceil(nr_k);
+    for jp in 0..n_panels {
+        let col0 = jp * nr_k;
+        let nr = nr_k.min(n - col0);
+        let bpanel = &bpack[jp * nr_k * kc..(jp + 1) * nr_k * kc];
+        match kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kernel_kind()` verified avx512f at runtime; the
+            // pointers cover `kc * 8` / `kc * 32` / `8 * 32` floats by
+            // construction of the panel and tile buffers.
+            KernelKind::Avx512 => unsafe {
+                kernel_8x32_avx512(kc, apanel.as_ptr(), bpanel.as_ptr(), tile.as_mut_ptr());
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above, with avx2+fma verified and 6x16 geometry.
+            KernelKind::Fma => unsafe {
+                kernel_6x16_fma(kc, apanel.as_ptr(), bpanel.as_ptr(), tile.as_mut_ptr());
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelKind::Avx512 | KernelKind::Fma => {
+                kernel_8x8_generic(kc, &apanel, bpanel, &mut tile)
+            }
+            KernelKind::Generic => kernel_8x8_generic(kc, &apanel, bpanel, &mut tile),
+        }
+        for i in 0..mr {
+            let crow = &mut c_chunk[i * n + col0..i * n + col0 + nr];
+            let trow = &tile[i * nr_k..i * nr_k + nr];
+            for (co, &tv) in crow.iter_mut().zip(trow) {
+                *co += tv;
+            }
+        }
+    }
+}
+
+/// 8x32 AVX-512F tile kernel: 16 zmm accumulators, two B vector loads and
+/// eight A broadcasts per k step. Writes the full `8 x 32` tile (row stride
+/// 32) to `tile`.
+///
+/// # Safety
+///
+/// Caller must verify `avx512f` is available and that `ap` holds
+/// `kc * 8` floats, `bp` `kc * 32` floats and `tile` `8 * 32` floats.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel_8x32_avx512(kc: usize, ap: *const f32, bp: *const f32, tile: *mut f32) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm512_setzero_ps(); 2]; 8];
+    for p in 0..kc {
+        let b0 = _mm512_loadu_ps(bp.add(p * 32));
+        let b1 = _mm512_loadu_ps(bp.add(p * 32 + 16));
+        let arow = ap.add(p * 8);
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let av = _mm512_set1_ps(*arow.add(i));
+            acc_row[0] = _mm512_fmadd_ps(av, b0, acc_row[0]);
+            acc_row[1] = _mm512_fmadd_ps(av, b1, acc_row[1]);
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        _mm512_storeu_ps(tile.add(i * 32), acc_row[0]);
+        _mm512_storeu_ps(tile.add(i * 32 + 16), acc_row[1]);
+    }
+}
+
+/// 6x16 AVX2+FMA tile kernel: 12 ymm accumulators. Writes the full
+/// `6 x 16` tile (row stride 16) to `tile`.
+///
+/// # Safety
+///
+/// Caller must verify `avx2` and `fma` are available and that `ap` holds
+/// `kc * 6` floats, `bp` `kc * 16` floats and `tile` `6 * 16` floats.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_6x16_fma(kc: usize, ap: *const f32, bp: *const f32, tile: *mut f32) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; 6];
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(p * 16));
+        let b1 = _mm256_loadu_ps(bp.add(p * 16 + 8));
+        let arow = ap.add(p * 6);
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*arow.add(i));
+            acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+            acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        _mm256_storeu_ps(tile.add(i * 16), acc_row[0]);
+        _mm256_storeu_ps(tile.add(i * 16 + 8), acc_row[1]);
+    }
+}
+
+/// Portable 8x8 tile kernel, shaped for the autovectorizer. Writes the full
+/// `8 x 8` tile (row stride 8) to `tile`.
+fn kernel_8x8_generic(kc: usize, apanel: &[f32], bpanel: &[f32], tile: &mut [f32]) {
+    let mut acc = [[0.0f32; 8]; 8];
+    for p in 0..kc {
+        let ap: &[f32] = &apanel[p * 8..p * 8 + 8];
+        let bp: &[f32] = &bpanel[p * 8..p * 8 + 8];
+        for i in 0..8 {
+            let av = ap[i];
+            let row = &mut acc[i];
+            for j in 0..8 {
+                row[j] += av * bp[j];
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        tile[i * 8..i * 8 + 8].copy_from_slice(acc_row);
+    }
+}
+
+/// Packs `mr` rows of A (`rows row0..row0+mr`, columns `pc..pc+kc`) into a
+/// k-major `mr_k`-wide panel, zero-padding the row remainder.
+#[inline]
+fn pack_a(
+    apanel: &mut [f32; MR_MAX * KC],
+    a: MatRef,
+    row0: usize,
+    mr: usize,
+    pc: usize,
+    kc: usize,
+    mr_k: usize,
+) {
+    if mr < mr_k {
+        apanel[..kc * mr_k].fill(0.0);
+    }
+    for i in 0..mr {
+        let base = (row0 + i) * a.rs + pc * a.cs;
+        if a.cs == 1 {
+            let src = &a.data[base..base + kc];
+            for (p, &v) in src.iter().enumerate() {
+                apanel[p * mr_k + i] = v;
+            }
+        } else {
+            for p in 0..kc {
+                apanel[p * mr_k + i] = a.data[base + p * a.cs];
+            }
+        }
+    }
+}
+
+/// Packs the `kc x n` slice of B (rows `pc..pc+kc`) into `nr_k`-wide column
+/// panels, zero-padding the column remainder.
+fn pack_b(bpack: &mut [f32], b: MatRef, pc: usize, kc: usize, n: usize, nr_k: usize) {
+    let n_panels = n.div_ceil(nr_k);
+    for jp in 0..n_panels {
+        let col0 = jp * nr_k;
+        let nr = nr_k.min(n - col0);
+        let panel = &mut bpack[jp * nr_k * kc..(jp + 1) * nr_k * kc];
+        if nr < nr_k {
+            panel.fill(0.0);
+        }
+        for p in 0..kc {
+            let base = (pc + p) * b.rs + col0 * b.cs;
+            let dst = &mut panel[p * nr_k..p * nr_k + nr];
+            if b.cs == 1 {
+                dst.copy_from_slice(&b.data[base..base + nr]);
+            } else {
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = b.data[base + j * b.cs];
+                }
+            }
+        }
+    }
+}
+
+/// Prefills C with the fused bias (or zeros).
+fn prefill(m: usize, n: usize, bias: Bias, c: &mut [f32]) {
+    match bias {
+        Bias::None => c[..m * n].fill(0.0),
+        Bias::PerRow(bias) => {
+            for (row, &bv) in c[..m * n].chunks_mut(n).zip(bias) {
+                row.fill(bv);
+            }
+        }
+        Bias::PerCol(bias) => {
+            for row in c[..m * n].chunks_mut(n) {
+                row.copy_from_slice(bias);
+            }
+        }
+    }
+}
+
+/// Serial path for tiny problems: no packing, no threads.
+fn gemm_small(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, c: &mut [f32]) {
+    if b.cs == 1 {
+        // Inner loop walks contiguous B rows (ikj / axpy).
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a.at(i, p);
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[p * b.rs..p * b.rs + n];
+                for (co, &bv) in crow.iter_mut().zip(brow) {
+                    *co += av * bv;
+                }
+            }
+        }
+    } else if b.rs == 1 && a.cs == 1 {
+        // A rows and (transposed) B rows are both contiguous: plain dots.
+        for i in 0..m {
+            let arow = &a.data[i * a.rs..i * a.rs + k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (j, co) in crow.iter_mut().enumerate() {
+                let brow = &b.data[j * b.cs..j * b.cs + k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *co += acc;
+            }
+        }
+    } else {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(i, p) * b.at(p, j);
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, rng};
+
+    fn dense(m: usize, n: usize, seed: u64) -> Vec<f32> {
+        let mut r = rng::seeded(seed);
+        init::uniform(&[m, n], -1.0, 1.0, &mut r).into_vec()
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    /// Reference computed with f64 accumulation through strided views.
+    fn reference_strided(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        (ars, acs): (usize, usize),
+        b: &[f32],
+        (brs, bcs): (usize, usize),
+    ) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a[i * ars + p * acs] as f64 * b[p * brs + j * bcs] as f64;
+                }
+                c[i * n + j] = acc as f32;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_reference_on_odd_shapes() {
+        // Deliberately awkward sizes: non-multiples of MR/NR/KC, degenerate
+        // rows/columns, k crossing the KC boundary.
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (8, 8, 8),
+            (9, 17, 33),
+            (64, 64, 64),
+            (13, 70, 300),
+            (70, 13, 257),
+            (1, 100, 512),
+            (100, 1, 300),
+        ] {
+            let a = dense(m, k, 1 + m as u64);
+            let b = dense(k, n, 2 + n as u64);
+            let want = reference_strided(m, n, k, &a, (k, 1), &b, (n, 1));
+            let mut c = vec![f32::NAN; m * n];
+            gemm(m, n, k, &a, &b, &mut c);
+            assert!(
+                max_abs_diff(&c, &want) < 1e-4,
+                "gemm {m}x{n}x{k}: {}",
+                max_abs_diff(&c, &want)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_seed_reference() {
+        let (m, n, k) = (33, 29, 41);
+        let a = dense(m, k, 3);
+        let b = dense(k, n, 4);
+        let mut want = vec![0.0f32; m * n];
+        reference_matmul(m, n, k, &a, &b, &mut want);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, n, k, &a, &b, &mut c);
+        assert!(max_abs_diff(&c, &want) < 1e-4);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        for &(m, n, k) in &[(5usize, 9usize, 13usize), (32, 17, 300), (65, 70, 129)] {
+            // A stored (k x m).
+            let a_t = dense(k, m, 5);
+            let b = dense(k, n, 6);
+            let want = reference_strided(m, n, k, &a_t, (1, m), &b, (n, 1));
+            let mut c = vec![0.0f32; m * n];
+            gemm_tn(m, n, k, &a_t, &b, &mut c);
+            assert!(max_abs_diff(&c, &want) < 1e-4, "gemm_tn {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        for &(m, n, k) in &[(5usize, 9usize, 13usize), (31, 64, 300), (64, 3, 257)] {
+            // B stored (n x k).
+            let a = dense(m, k, 7);
+            let b_t = dense(n, k, 8);
+            let want = reference_strided(m, n, k, &a, (k, 1), &b_t, (1, k));
+            let mut c = vec![0.0f32; m * n];
+            gemm_nt(m, n, k, &a, &b_t, &mut c);
+            assert!(max_abs_diff(&c, &want) < 1e-4, "gemm_nt {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_epilogues() {
+        let (m, n, k) = (9, 20, 33);
+        let a = dense(m, k, 9);
+        let b_t = dense(n, k, 10);
+        let row_bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.5 - 1.0).collect();
+        let col_bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.25 - 2.0).collect();
+        let base = reference_strided(m, n, k, &a, (k, 1), &b_t, (1, k));
+
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt_bias_row(m, n, k, &a, &b_t, &row_bias, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let want = base[i * n + j] + row_bias[i];
+                assert!((c[i * n + j] - want).abs() < 1e-4);
+            }
+        }
+
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt_bias_col(m, n, k, &a, &b_t, &col_bias, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let want = base[i * n + j] + col_bias[j];
+                assert!((c[i * n + j] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_is_pure_bias() {
+        let (m, n) = (4, 6);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32).collect();
+        let mut c = vec![f32::NAN; m * n];
+        gemm_nt_bias_col(m, n, 0, &[], &[], &bias, &mut c);
+        for row in c.chunks(n) {
+            assert_eq!(row, &bias[..]);
+        }
+        let mut c = vec![f32::NAN; m * n];
+        gemm(m, n, 0, &[], &[], &mut c);
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn overwrites_stale_output() {
+        let (m, n, k) = (6, 6, 6);
+        let a = dense(m, k, 11);
+        let b = dense(k, n, 12);
+        let mut c1 = vec![123.0f32; m * n];
+        let mut c2 = vec![-7.0f32; m * n];
+        gemm(m, n, k, &a, &b, &mut c1);
+        gemm(m, n, k, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice too short")]
+    fn rejects_short_output() {
+        let mut c = vec![0.0f32; 5];
+        gemm(2, 3, 1, &[1.0, 2.0], &[1.0, 2.0, 3.0], &mut c);
+    }
+}

@@ -1,11 +1,16 @@
 //! Fully-connected (linear) layer.
 
+use crate::ops::gemm;
 use crate::{Tensor, TensorError};
 
 /// Linear layer forward: `y = x W^T + b`.
 ///
 /// `x` is `(N, In)`, `weight` is `(Out, In)`, `bias` (optional) `(Out)`.
 /// Returns `(N, Out)`.
+///
+/// Runs on the stride-aware GEMM kernel: `Wᵀ` is read through strides (no
+/// transpose copy) and the bias is fused into the output prefill instead of
+/// a second pass.
 ///
 /// # Errors
 ///
@@ -21,8 +26,15 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tens
             op: "linear",
         });
     }
-    let out_features = weight.shape()[0];
-    let mut y = x.matmul(&weight.transpose()?)?;
+    let (n, in_features) = (x.shape()[0], x.shape()[1]);
+    let (out_features, w_in) = (weight.shape()[0], weight.shape()[1]);
+    if w_in != in_features {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![in_features],
+            actual: vec![w_in],
+            op: "linear",
+        });
+    }
     if let Some(b) = bias {
         if b.shape() != [out_features] {
             return Err(TensorError::ShapeMismatch {
@@ -31,15 +43,21 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tens
                 op: "linear (bias)",
             });
         }
-        let n = y.shape()[0];
-        let yd = y.data_mut();
-        for i in 0..n {
-            for (j, &bv) in b.data().iter().enumerate() {
-                yd[i * out_features + j] += bv;
-            }
-        }
     }
-    Ok(y)
+    let mut y = vec![0.0f32; n * out_features];
+    match bias {
+        Some(b) => gemm::gemm_nt_bias_col(
+            n,
+            out_features,
+            in_features,
+            x.data(),
+            weight.data(),
+            b.data(),
+            &mut y,
+        ),
+        None => gemm::gemm_nt(n, out_features, in_features, x.data(), weight.data(), &mut y),
+    }
+    Tensor::from_vec(y, &[n, out_features])
 }
 
 /// Gradients produced by [`linear_backward`].
@@ -55,6 +73,9 @@ pub struct LinearGrads {
 
 /// Backward pass of [`linear`].
 ///
+/// `dW = dYᵀ · X` runs through [`gemm::gemm_tn`], so no transpose copy is
+/// materialized.
+///
 /// # Errors
 ///
 /// Returns rank/shape errors when operands disagree with the forward
@@ -64,7 +85,8 @@ pub fn linear_backward(
     weight: &Tensor,
     dy: &Tensor,
 ) -> Result<LinearGrads, TensorError> {
-    let (n, out_features) = (x.shape()[0], weight.shape()[0]);
+    let (n, in_features) = (x.shape()[0], x.shape()[1]);
+    let out_features = weight.shape()[0];
     if dy.shape() != [n, out_features] {
         return Err(TensorError::ShapeMismatch {
             expected: vec![n, out_features],
@@ -73,14 +95,15 @@ pub fn linear_backward(
         });
     }
     let dx = dy.matmul(weight)?;
-    let dw = dy.transpose()?.matmul(x)?;
+    let mut dw = vec![0.0f32; out_features * in_features];
+    gemm::gemm_tn(out_features, in_features, n, dy.data(), x.data(), &mut dw);
+    let dw = Tensor::from_vec(dw, &[out_features, in_features])?;
     let mut db = Tensor::zeros(&[out_features]);
     {
         let bd = db.data_mut();
-        let dd = dy.data();
-        for i in 0..n {
-            for (j, b) in bd.iter_mut().enumerate() {
-                *b += dd[i * out_features + j];
+        for row in dy.data().chunks(out_features) {
+            for (b, &v) in bd.iter_mut().zip(row) {
+                *b += v;
             }
         }
     }

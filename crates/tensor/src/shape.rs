@@ -67,17 +67,21 @@ impl Shape {
 
     /// Converts a multi-dimensional index to a flat offset, or `None` if the
     /// index is out of bounds (wrong rank or any coordinate too large).
+    ///
+    /// Allocation-free: the offset accumulates right-to-left without
+    /// materializing the stride vector.
     pub fn flat_index(&self, index: &[usize]) -> Option<usize> {
         if index.len() != self.dims.len() {
             return None;
         }
         let mut flat = 0usize;
-        let strides = self.strides();
-        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+        let mut stride = 1usize;
+        for (&i, &d) in index.iter().zip(&self.dims).rev() {
             if i >= d {
                 return None;
             }
-            flat += i * s;
+            flat += i * stride;
+            stride *= d;
         }
         Some(flat)
     }
@@ -90,11 +94,10 @@ impl Shape {
             return None;
         }
         let mut rem = flat;
-        let strides = self.strides();
         let mut idx = vec![0usize; self.dims.len()];
-        for (i, &s) in strides.iter().enumerate() {
-            idx[i] = rem / s;
-            rem %= s;
+        for (slot, &d) in idx.iter_mut().zip(&self.dims).rev() {
+            *slot = rem % d;
+            rem /= d;
         }
         Some(idx)
     }

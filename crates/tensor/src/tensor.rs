@@ -77,10 +77,20 @@ impl Tensor {
     /// Creates a tensor by evaluating `f` at every multi-index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
         let shape = Shape::from(shape);
-        let mut data = Vec::with_capacity(shape.len());
-        for flat in 0..shape.len() {
-            let idx = shape.unflatten(flat).expect("flat index in range");
+        let len = shape.len();
+        let mut data = Vec::with_capacity(len);
+        // Odometer walk: one index buffer for the whole traversal instead of
+        // an unflatten allocation per element.
+        let mut idx = vec![0usize; shape.rank()];
+        for _ in 0..len {
             data.push(f(&idx));
+            for d in (0..idx.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < shape.dims()[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
         }
         Tensor { shape, data }
     }
@@ -167,14 +177,22 @@ impl Tensor {
 
     /// Value at a multi-index without bounds checks beyond `debug_assert`.
     ///
+    /// Allocation-free: the flat offset is accumulated right-to-left
+    /// instead of materializing a stride vector (this sits on several hot
+    /// paths — epitome reconstruction, the PIM data path, reference convs).
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if the index is out of bounds; in release
     /// builds an out-of-bounds index may panic on the flat access.
     pub fn at(&self, index: &[usize]) -> f32 {
         debug_assert!(self.shape.flat_index(index).is_some(), "index out of bounds");
-        let strides = self.shape.strides();
-        let flat: usize = index.iter().zip(&strides).map(|(i, s)| i * s).sum();
+        let mut flat = 0usize;
+        let mut stride = 1usize;
+        for (&i, &d) in index.iter().zip(self.shape.dims()).rev() {
+            flat += i * stride;
+            stride *= d;
+        }
         self.data[flat]
     }
 
@@ -249,14 +267,23 @@ impl Tensor {
         let new_dims: Vec<usize> = perm.iter().map(|&p| old_dims[p]).collect();
         let new_shape = Shape::from(new_dims.clone());
         let old_strides = self.shape.strides();
+        // Stride of each *new* axis in the old layout; walk the output with
+        // an odometer instead of unflattening every element.
+        let permuted_strides: Vec<usize> = perm.iter().map(|&p| old_strides[p]).collect();
         let mut data = vec![0.0f32; self.len()];
-        for (flat, item) in data.iter_mut().enumerate() {
-            let new_idx = new_shape.unflatten(flat).expect("in range");
-            let mut old_flat = 0usize;
-            for (k, &p) in perm.iter().enumerate() {
-                old_flat += new_idx[k] * old_strides[p];
-            }
+        let mut idx = vec![0usize; new_dims.len()];
+        let mut old_flat = 0usize;
+        for item in data.iter_mut() {
             *item = self.data[old_flat];
+            for d in (0..idx.len()).rev() {
+                idx[d] += 1;
+                old_flat += permuted_strides[d];
+                if idx[d] < new_dims[d] {
+                    break;
+                }
+                old_flat -= new_dims[d] * permuted_strides[d];
+                idx[d] = 0;
+            }
         }
         Ok(Tensor { shape: new_shape, data })
     }
@@ -445,20 +472,9 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: innermost loop walks contiguous rows of `other`.
-        for i in 0..m {
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        // Cache-blocked, register-tiled kernel (see `ops::gemm`); replaces
+        // the seed's serial ikj loop.
+        crate::ops::gemm::gemm(m, n, k, &self.data, &other.data, &mut out);
         Ok(Tensor { shape: Shape::from(vec![m, n]), data: out })
     }
 

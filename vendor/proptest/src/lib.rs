@@ -1,0 +1,357 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, `any::<bool>()`, and the [`proptest!`], [`prop_assert!`] and
+//! [`prop_assert_eq!`] macros. Each property runs a fixed number of random
+//! cases (default 64, override with the `PROPTEST_CASES` environment
+//! variable) from a seed derived from the test name, so failures are
+//! reproducible. There is no shrinking: a failing case reports its values
+//! via the assertion message instead.
+
+use rand::rngs::SmallRng;
+
+/// Strategy combinators and range/tuple strategies.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f` and draws
+        /// from the result (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(usize, u64, u32, u8);
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut SmallRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut SmallRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident : $idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    );
+
+    /// Marker for types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut SmallRng) -> u8 {
+            (rng.gen::<u32>() & 0xff) as u8
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`, e.g. `any::<bool>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Number of random cases per property (`PROPTEST_CASES` overrides).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic RNG seeded from the property name.
+    pub fn rng_for(name: &str) -> SmallRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+///
+/// An optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`
+/// sets the per-property case count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                let __cases = ($cfg).cases as usize;
+                for __case in 0..__cases {
+                    let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!("property `{}` failed at case {}/{}: {}",
+                               stringify!($name), __case + 1, __cases, __e);
+                    }
+                }
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!("property `{}` failed at case {}/{}: {}",
+                               stringify!($name), __case + 1, __cases, __e);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the current property case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property case if the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{} == {}` ({:?} vs {:?})",
+                        stringify!($a), stringify!($b), __a, __b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{} == {}` ({:?} vs {:?}): {}",
+                        stringify!($a), stringify!($b), __a, __b, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// The conventional glob-import module: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    /// Namespace alias matching `proptest::prop`.
+    pub mod prop {
+        pub use crate::strategy::*;
+    }
+}
+
+/// Re-exported so generated code can name the RNG type if needed.
+pub type TestRng = SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5, "y was {}", y);
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (1usize..4, 1usize..4).prop_map(|(a, b)| (a * 2, b * 3))) {
+            prop_assert_eq!(a % 2, 0);
+            prop_assert_eq!(b % 3, 0);
+        }
+
+        #[test]
+        fn flat_map_dependent((hi, x) in (2usize..20).prop_flat_map(|hi| (Just(hi), 0usize..hi))) {
+            prop_assert!(x < hi);
+        }
+
+        #[test]
+        fn any_bool_hits_both(_ in 0usize..1) {
+            // Smoke: any::<bool>() generates both values over enough draws.
+            let mut rng = crate::test_runner::rng_for("any_bool");
+            let draws: Vec<bool> = (0..64)
+                .map(|_| crate::strategy::Strategy::generate(&any::<bool>(), &mut rng))
+                .collect();
+            prop_assert!(draws.iter().any(|&b| b));
+            prop_assert!(draws.iter().any(|&b| !b));
+        }
+    }
+}

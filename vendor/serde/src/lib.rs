@@ -1,0 +1,330 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no crates.io access, so the
+//! real serde cannot be fetched. This crate implements the subset the
+//! workspace needs behind the same import paths (`serde::Serialize`,
+//! `serde::Deserialize`, `serde::de::DeserializeOwned`,
+//! `#[derive(Serialize, Deserialize)]`), using a self-describing [`Value`]
+//! tree instead of serde's visitor machinery. `vendor/serde_json` renders and
+//! parses that tree as JSON compatible with real serde_json output for the
+//! shapes used here (externally tagged enums, `Option` as null/value).
+//!
+//! Swapping the real serde back in later is a Cargo.toml-only change as long
+//! as code sticks to derives and `serde_json::{to_string, from_str}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// 32-bit float (kept distinct so shortest-roundtrip printing preserves
+    /// the value bit-for-bit).
+    F32(f32),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered field list (field order is deterministic:
+    /// declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can deserialize themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// The `serde::de` module: owned deserialization marker.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input.
+    /// Blanket-implemented for every [`crate::Deserialize`].
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive macro
+// ---------------------------------------------------------------------------
+
+/// Wraps a variant payload as `{"Variant": value}` (externally tagged).
+pub fn variant_value(variant: &str, inner: Value) -> Value {
+    Value::Object(vec![(variant.to_string(), inner)])
+}
+
+/// Extracts an object's field list, or errors naming `ty`.
+pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(Error::custom(format!("{ty}: expected object, found {other:?}"))),
+    }
+}
+
+/// Extracts an array's elements, or errors naming `ty`.
+pub fn expect_array<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+    match v {
+        Value::Array(items) => Ok(items),
+        other => Err(Error::custom(format!("{ty}: expected array, found {other:?}"))),
+    }
+}
+
+/// Looks up field `name` in an object body and deserializes it.
+pub fn get_field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Err(Error::custom(format!("{ty}: missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw: i64 = match v {
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom(format!("integer {u} out of range")))?,
+                    Value::I64(i) => *i,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected signed integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F32(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F32(x) => Ok(*x),
+            Value::F64(x) => Ok(*x as f32),
+            Value::U64(u) => Ok(*u as f32),
+            Value::I64(i) => Ok(*i as f32),
+            Value::Null => Ok(f32::NAN),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::F32(x) => Ok(*x as f64),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        expect_array(v, "Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = expect_array(v, "array")?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch".to_string()))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = expect_array(v, "tuple")?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));

@@ -1,0 +1,378 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container image this repository builds in has no access to crates.io,
+//! so the real `serde`/`serde_derive` cannot be fetched. This crate provides
+//! `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the vendored
+//! `serde` stand-in (see `vendor/serde`), covering exactly the shapes this
+//! workspace uses:
+//!
+//! - structs with named fields,
+//! - enums with unit, tuple (incl. newtype) and struct variants,
+//! - no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! The derive is written against raw `proc_macro` token trees (no `syn` /
+//! `quote`, which are equally unfetchable). Generated code follows serde's
+//! externally-tagged JSON data model so that the output is interchangeable
+//! with real serde_json documents for the supported shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: just its name (types are recovered via inference).
+type Fields = Vec<String>;
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Fields),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(&name, &fields),
+        Input::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match parsed {
+        Input::Struct { name, fields } => gen_struct_deserialize(&name, &fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stand-in does not support generics on `{name}`");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected braced body for `{name}`, found {other:?}"),
+    };
+    match kw.as_str() {
+        "struct" => Input::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Input::Enum { name, variants: parse_variants(body) },
+        other => panic!("derive stand-in supports struct/enum only, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            // `pub` / `pub(crate)` visibility.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// variant bodies). Field types are skipped; only names are recorded.
+fn parse_named_fields(body: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma. Generic argument
+        // lists never contain top-level commas because `<...>` groups are
+        // not token groups — track angle-bracket depth manually.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Past the separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Counts comma-separated items at angle-depth 0 (tuple variant arity).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut saw_item_after_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_item_after_comma = false;
+            }
+            _ => saw_item_after_comma = true,
+        }
+    }
+    if !saw_item_after_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "__obj.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut __obj: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(__obj)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let mut gets = String::new();
+    for f in fields {
+        gets.push_str(&format!("{f}: serde::get_field(__fields, \"{f}\", \"{name}\")?,\n"));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                 let __fields = serde::expect_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {gets} }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(__f0) => serde::variant_value(\"{vn}\", serde::Serialize::to_value(__f0)),\n"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => serde::variant_value(\"{vn}\", serde::Value::Array(vec![{}])),\n",
+                    binds.join(", "),
+                    elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => serde::variant_value(\"{vn}\", serde::Value::Object(vec![{}])),\n",
+                    entries.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("serde::Deserialize::from_value(&__arr[{k}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __arr = serde::expect_array(__inner, \"{name}::{vn}\")?;\n\
+                         if __arr.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(serde::Error::custom(\n\
+                                 format!(\"{name}::{vn}: expected {arity} elements, found {{}}\", __arr.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                     }}\n",
+                    elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let gets: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: serde::get_field(__vf, \"{f}\", \"{name}::{vn}\")?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __vf = serde::expect_object(__inner, \"{name}::{vn}\")?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                     }}\n",
+                    gets.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                 match __v {{\n\
+                     serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(serde::Error::custom(\n\
+                             format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(serde::Error::custom(\n\
+                                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(serde::Error::custom(\n\
+                         \"expected string or single-key object for enum {name}\".to_string())),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
