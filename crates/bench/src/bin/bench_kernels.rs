@@ -12,7 +12,8 @@
 //! (add `-- --quick` for a faster, noisier pass).
 
 use epim::core::{ConvShape, Epitome, EpitomeShape, EpitomeSpec};
-use epim::pim::datapath::DataPath;
+use epim::pim::datapath::{AnalogModel, DataPath};
+use epim::runtime::{Engine, EngineConfig, PlanCache};
 use epim::tensor::ops::gemm::reference_matmul;
 use epim::tensor::ops::{conv2d, conv2d_ref, im2col, Conv2dCfg};
 use epim::tensor::{init, rng, Tensor};
@@ -213,6 +214,127 @@ fn bench_reconstruct(entries: &mut Vec<Entry>, reps: usize) {
     });
 }
 
+/// The serving-runtime layer: batched data-path execution and the engine's
+/// micro-batcher vs per-request execution on the same inputs. Outputs must
+/// be bit-identical (batching is a pure restructuring), so `max_abs_diff`
+/// doubles as a correctness gate here.
+fn bench_runtime(entries: &mut Vec<Entry>, reps: usize) {
+    let spec = EpitomeSpec::new(ConvShape::new(32, 16, 3, 3), EpitomeShape::new(16, 8, 2, 2))
+        .expect("legal spec");
+    let mut r = rng::seeded(3);
+    let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
+    let epi = Epitome::from_tensor(spec, data).expect("shape matches");
+    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let xs: Vec<Tensor> =
+        (0..8).map(|_| init::uniform(&[1, 16, 16, 16], -1.0, 1.0, &mut r)).collect();
+    let refs: Vec<&Tensor> = xs.iter().collect();
+    let a9adc8 = AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+
+    // execute_batch vs 8 per-request execute calls, ideal and quantized.
+    for (analog, label) in [(AnalogModel::ideal(), "ideal"), (a9adc8, "a9adc8")] {
+        let dp = DataPath::with_analog(&epi, cfg, true, analog).expect("data path builds");
+        let (baseline_ms, seq) = time_best(reps, || {
+            refs.iter().map(|x| dp.execute(x).expect("executes").0).collect::<Vec<_>>()
+        });
+        let (optimized_ms, batched) =
+            time_best(reps, || dp.execute_batch(&refs).expect("executes").0);
+        let diff = seq
+            .iter()
+            .zip(&batched)
+            .map(|(a, b)| max_abs_diff(a.data(), b.data()))
+            .fold(0.0, f64::max);
+        entries.push(Entry {
+            name: format!("runtime_batch_datapath_{label}_batch8"),
+            baseline_ms,
+            optimized_ms,
+            speedup: baseline_ms / optimized_ms,
+            max_abs_diff: diff,
+        });
+    }
+
+    // The whole serving engine (queue + batcher thread + plan cache) vs a
+    // bare sequential loop over the same data path.
+    let cache = PlanCache::new();
+    let engine = Engine::with_cache(
+        &cache,
+        &epi,
+        cfg,
+        true,
+        a9adc8,
+        EngineConfig { max_batch: 8, batch_window: std::time::Duration::ZERO },
+    )
+    .expect("engine builds");
+    let (baseline_ms, seq) = time_best(reps, || {
+        refs.iter().map(|x| engine.datapath().execute(x).expect("executes").0).collect::<Vec<_>>()
+    });
+    let (optimized_ms, served) = time_best(reps, || {
+        engine
+            .infer_many(xs.clone())
+            .expect("engine accepts the burst")
+            .into_iter()
+            .map(|res| res.expect("inference succeeds").output)
+            .collect::<Vec<_>>()
+    });
+    let diff = seq
+        .iter()
+        .zip(&served)
+        .map(|(a, b)| max_abs_diff(a.data(), b.data()))
+        .fold(0.0, f64::max);
+    entries.push(Entry {
+        name: "runtime_engine_serve_burst8".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: diff,
+    });
+}
+
+/// Fork-join dispatch: the seed's per-call scoped-thread spawn vs the
+/// persistent parked-worker pool, on a copy-bound kernel small enough that
+/// dispatch overhead matters. On a 1-core machine both run serially
+/// (parity is the expected result there).
+fn bench_pool(entries: &mut Vec<Entry>, reps: usize) {
+    const N: usize = 1 << 16;
+    const CHUNK: usize = 1024;
+    let mut data = vec![0.0f32; N];
+    let work = |i: usize, c: &mut [f32]| {
+        for (j, v) in c.iter_mut().enumerate() {
+            *v = ((i * CHUNK + j) as f32).sqrt();
+        }
+    };
+    let threads = epim::tensor::ops::gemm::num_threads_in_use();
+    let (baseline_ms, _) = time_best(reps, || {
+        if threads <= 1 {
+            for (i, c) in data.chunks_mut(CHUNK).enumerate() {
+                work(i, c);
+            }
+        } else {
+            // The seed's dispatch: spawn scoped threads on every call.
+            let queue = std::sync::Mutex::new(data.chunks_mut(CHUNK).enumerate());
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let next = queue.lock().expect("queue lock").next();
+                        match next {
+                            Some((i, c)) => work(i, c),
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let (optimized_ms, _) =
+        time_best(reps, || epim_parallel::for_each_chunk_mut(&mut data, CHUNK, work));
+    entries.push(Entry {
+        name: "pool_fork_join_vs_scoped_spawn".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: 0.0,
+    });
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 3 } else { 7 };
@@ -222,6 +344,8 @@ fn main() {
     bench_conv(&mut entries, reps);
     bench_datapath(&mut entries, reps);
     bench_reconstruct(&mut entries, reps);
+    bench_runtime(&mut entries, reps);
+    bench_pool(&mut entries, reps);
 
     let report = Report {
         schema_version: 1,

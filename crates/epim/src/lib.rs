@@ -14,6 +14,7 @@
 //! | [`search`] | `epim-search` | Algorithm 1 evolutionary layer-wise design |
 //! | [`models`] | `epim-models` | ResNet-50/101 inventories, network simulation, accuracy surrogate, small-scale training |
 //! | [`prune`] | `epim-prune` | the PIM-Prune baseline |
+//! | [`runtime`] | `epim-runtime` | batched inference serving: micro-batcher, plan cache, runtime stats |
 //! | [`tensor`] | `epim-tensor` | the ND tensor / NN substrate everything is built on |
 //!
 //! ## Quickstart
@@ -68,6 +69,11 @@ pub mod models {
 /// The PIM-Prune baseline (re-export of `epim-prune`).
 pub mod prune {
     pub use epim_prune::*;
+}
+
+/// The batched inference serving runtime (re-export of `epim-runtime`).
+pub mod runtime {
+    pub use epim_runtime::*;
 }
 
 /// The tensor/NN substrate (re-export of `epim-tensor`).

@@ -118,6 +118,17 @@ impl Network {
         &self.choices
     }
 
+    /// The epitome specs among this network's choices, with their layer
+    /// indices — the set of data-path plans a serving runtime must compile
+    /// (identical layers repeat their spec, which is what makes the
+    /// runtime's plan cache pay off).
+    pub fn epitome_specs(&self) -> impl Iterator<Item = (usize, &EpitomeSpec)> {
+        self.choices.iter().enumerate().filter_map(|(i, c)| match c {
+            OperatorChoice::Epitome(spec) => Some((i, spec)),
+            OperatorChoice::Conv => None,
+        })
+    }
+
     /// Replaces the choice for layer `i` (used by the evolutionary
     /// search's mutation operator).
     ///

@@ -1,16 +1,27 @@
 //! # epim-parallel
 //!
-//! Minimal data-parallel primitives for the EPIM workspace, built on
-//! `std::thread::scope` — no unsafe, no external dependencies (rayon is not
-//! fetchable in this build environment; these helpers cover the fork-join
-//! patterns the kernels need and can be swapped for rayon later without
-//! changing call sites much).
+//! Minimal data-parallel primitives for the EPIM workspace — no external
+//! dependencies (rayon is not fetchable in this build environment; these
+//! helpers cover the fork-join patterns the kernels need and can be swapped
+//! for rayon later without changing call sites much).
+//!
+//! Since the runtime PR, the helpers run on a **persistent worker pool**
+//! ([`pool`]): `num_threads() - 1` workers are spawned once, park on a
+//! condvar between jobs, and are woken for each fork-join region. The seed
+//! spawned scoped threads per call, whose creation cost kept small kernels
+//! below the parallel threshold; with parked workers a dispatch costs two
+//! lock/notify round trips, so much smaller ops can profitably go parallel.
+//! The facades below are unchanged from the scoped-thread era — call sites
+//! did not have to move.
 //!
 //! Work is distributed dynamically: workers pull the next chunk from a
-//! shared iterator behind a mutex, so uneven chunks still balance. On a
-//! single-core machine (or when `EPIM_NUM_THREADS=1`) every helper runs the
-//! serial path with zero thread overhead — the kernels in `epim-tensor`
-//! are designed to be fast serially first, with threads as a multiplier.
+//! shared iterator behind a mutex (or an atomic counter), so uneven chunks
+//! still balance. On a single-core machine (or when `EPIM_THREADS=1`)
+//! every helper runs the serial path with zero thread overhead — the
+//! kernels in `epim-tensor` are designed to be fast serially first, with
+//! threads as a multiplier. Nested parallel regions (and concurrent
+//! regions from independent application threads, e.g. the `epim-runtime`
+//! micro-batcher) are safe: whoever finds the pool busy runs inline.
 //!
 //! ## Example
 //!
@@ -26,28 +37,39 @@
 
 #![deny(missing_docs)]
 
+mod pool;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads to use.
 ///
-/// `EPIM_NUM_THREADS` overrides; otherwise the machine's available
-/// parallelism. Always at least 1.
+/// `EPIM_THREADS` overrides (the canonical knob; `EPIM_NUM_THREADS` is
+/// still honored as an alias), clamped to at least 1 so `EPIM_THREADS=0`
+/// means "serial" rather than "invalid"; otherwise the machine's available
+/// parallelism. Read once and cached — the pool is sized from it.
 pub fn num_threads() -> usize {
     static CACHED: AtomicUsize = AtomicUsize::new(0);
     let cached = CACHED.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
     }
-    let n = std::env::var("EPIM_NUM_THREADS")
+    let n = std::env::var("EPIM_THREADS")
+        .or_else(|_| std::env::var("EPIM_NUM_THREADS"))
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+        .map(|n| n.max(1))
         .unwrap_or_else(|| {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         });
     CACHED.store(n, Ordering::Relaxed);
     n
+}
+
+/// Number of persistent pool workers backing the current process
+/// (`num_threads() - 1`; `0` means every helper runs serially).
+pub fn pool_workers() -> usize {
+    num_threads().saturating_sub(1)
 }
 
 /// Runs `f(chunk_index, chunk)` over `chunk_len`-sized mutable chunks of
@@ -79,27 +101,21 @@ where
         return data.chunks_mut(chunk_len).enumerate().map(|(i, c)| f(i, c)).collect();
     }
     let work = Mutex::new(data.chunks_mut(chunk_len).enumerate());
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let next = work.lock().expect("worker poisoned the queue").next();
-                        match next {
-                            Some((i, chunk)) => local.push((i, f(i, chunk))),
-                            None => break,
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    pool::run(&|_worker| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let next = work.lock().expect("worker poisoned the queue").next();
+            match next {
+                Some((i, chunk)) => local.push((i, f(i, chunk))),
+                None => break,
+            }
+        }
+        if !local.is_empty() {
+            results.lock().expect("worker poisoned the results").extend(local);
+        }
     });
+    let mut tagged = results.into_inner().expect("worker poisoned the results");
     tagged.sort_unstable_by_key(|(i, _)| *i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
@@ -116,40 +132,34 @@ where
         return (0..n).map(f).collect();
     }
     let counter = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = counter.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    pool::run(&|_worker| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, f(i)));
+        }
+        if !local.is_empty() {
+            results.lock().expect("worker poisoned the results").extend(local);
+        }
     });
+    let mut tagged = results.into_inner().expect("worker poisoned the results");
     tagged.sort_unstable_by_key(|(i, _)| *i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Fold-reduce over `0..n`: each worker folds items into its own
 /// accumulator (created by `identity`), and the per-worker accumulators are
-/// reduced left-to-right in worker order.
+/// reduced left-to-right in accumulator-arrival order.
 ///
 /// `fold` and `reduce` must be commutative-compatible: item-to-worker
 /// assignment is nondeterministic, so the final result is only deterministic
 /// when the reduction is order-insensitive (sums of floats are *almost*
 /// order-insensitive; callers needing bit-exact determinism should run with
-/// `EPIM_NUM_THREADS=1` or design accumulators accordingly).
+/// `EPIM_THREADS=1` or design accumulators accordingly).
 pub fn fold_reduce<A, Fi, Ff, Fr>(n: usize, identity: Fi, fold: Ff, reduce: Fr) -> A
 where
     A: Send,
@@ -166,25 +176,23 @@ where
         return acc;
     }
     let counter = AtomicUsize::new(0);
-    let accs: Vec<A> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut acc = identity();
-                    loop {
-                        let i = counter.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        fold(&mut acc, i);
-                    }
-                    acc
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    let accs: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
+    pool::run(&|_worker| {
+        let mut acc = identity();
+        loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            fold(&mut acc, i);
+        }
+        accs.lock().expect("worker poisoned the accumulators").push(acc);
     });
-    accs.into_iter().reduce(reduce).expect("at least one worker accumulator")
+    accs.into_inner()
+        .expect("worker poisoned the accumulators")
+        .into_iter()
+        .reduce(reduce)
+        .expect("at least one worker accumulator")
 }
 
 #[cfg(test)]
@@ -242,5 +250,22 @@ mod tests {
         assert!(map_indexed(0, |i| i).is_empty());
         let acc = fold_reduce(0, || 5i32, |_, _| (), |a, _| a);
         assert_eq!(acc, 5);
+    }
+
+    #[test]
+    fn nested_parallel_regions_complete() {
+        // A parallel op whose body itself runs parallel ops must not
+        // deadlock the pool (inner regions degrade to inline execution).
+        let out = map_indexed(8, |i| {
+            let inner = map_indexed(16, |j| (i * 16 + j) as u64);
+            inner.iter().sum::<u64>()
+        });
+        let total: u64 = out.iter().sum();
+        assert_eq!(total, (0..128).sum::<u64>());
+    }
+
+    #[test]
+    fn pool_workers_consistent_with_num_threads() {
+        assert_eq!(pool_workers(), num_threads() - 1);
     }
 }

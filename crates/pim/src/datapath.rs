@@ -22,11 +22,13 @@
 //! match a plain convolution with [`epim_core::Epitome::reconstruct`]'s
 //! weight exactly.
 
+use crate::quantize::{quantize_slice, quantize_value};
 use crate::PimError;
 use epim_core::{wrapping_factor, ChannelWrapping, Epitome, EpitomeSpec};
 use epim_tensor::ops::{conv2d_out_dims, Conv2dCfg};
 use epim_tensor::{rng, Tensor};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Analog non-idealities applied by the functional data path.
 ///
@@ -206,64 +208,33 @@ struct Round {
     src_col_start: usize,
 }
 
-/// The functional EPIM data path for one layer.
+/// The index tables and per-round word-line lists for one epitome spec,
+/// compiled once and shared.
+///
+/// Everything here derives from the sampling plan alone — it depends on
+/// neither the epitome's tensor values nor the analog model — so a serving
+/// runtime can compile a spec's plan once and share it (behind an [`Arc`])
+/// across every [`DataPath`] programmed for that spec. This is the artifact
+/// `epim-runtime`'s plan cache memoizes; `DataPath::new` used to recompile
+/// it on every construction.
 #[derive(Debug, Clone)]
-pub struct DataPath {
+pub struct CompiledPlan {
     spec: EpitomeSpec,
-    conv_cfg: Conv2dCfg,
     ifat: Ifat,
     ifrt: Ifrt,
     ofat: Ofat,
     /// Per-round execution plan compiled from the three tables.
     rounds: Vec<Round>,
-    /// Epitome flattened to `(rows_e, cout_e)` matrix form, with
-    /// programming noise already applied.
-    matrix: Tensor,
-    wrapping: ChannelWrapping,
-    wrapping_enabled: bool,
-    analog: AnalogModel,
-    /// ADC full-scale per column: the largest partial sum this column can
-    /// produce for unit-magnitude inputs (worst-case row L1 norm).
-    adc_full_scale: f32,
 }
 
-impl DataPath {
-    /// Builds the data path (index tables + crossbar matrix) for an
-    /// epitome layer with ideal analog behavior.
+impl CompiledPlan {
+    /// Compiles the IFAT/IFRT/OFAT tables and the fused per-round word-line
+    /// lists for `spec`.
     ///
     /// # Errors
     ///
-    /// Returns [`PimError`] if the epitome's plan fails verification.
-    pub fn new(
-        epitome: &Epitome,
-        conv_cfg: Conv2dCfg,
-        wrapping_enabled: bool,
-    ) -> Result<Self, PimError> {
-        Self::with_analog(epitome, conv_cfg, wrapping_enabled, AnalogModel::ideal())
-    }
-
-    /// Builds the data path with an explicit analog non-ideality model.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PimError`] if the epitome's plan fails verification or
-    /// the noise parameters are invalid (negative std, zero ADC bits).
-    pub fn with_analog(
-        epitome: &Epitome,
-        conv_cfg: Conv2dCfg,
-        wrapping_enabled: bool,
-        analog: AnalogModel,
-    ) -> Result<Self, PimError> {
-        if !analog.weight_noise_std.is_finite() || analog.weight_noise_std < 0.0 {
-            return Err(PimError::config("weight_noise_std must be finite and >= 0"));
-        }
-        if analog.adc_bits == Some(0) || analog.dac_bits == Some(0) {
-            return Err(PimError::config("adc_bits/dac_bits must be nonzero"));
-        }
-        if !analog.input_full_scale.is_finite() || analog.input_full_scale <= 0.0 {
-            return Err(PimError::config("input_full_scale must be finite and positive"));
-        }
-        let spec = epitome.spec().clone();
+    /// Returns [`PimError`] if the spec's sampling plan fails verification.
+    pub fn compile(spec: &EpitomeSpec) -> Result<Self, PimError> {
         spec.plan().verify()?;
         let conv = spec.conv();
         let eshape = spec.shape();
@@ -325,6 +296,175 @@ impl DataPath {
             });
         }
 
+        Ok(CompiledPlan {
+            spec: spec.clone(),
+            ifat: Ifat { entries: ifat_entries },
+            ifrt: Ifrt { sequences: ifrt_sequences, word_lines: rows_e },
+            ofat: Ofat { entries: ofat_entries },
+            rounds,
+        })
+    }
+
+    /// The spec this plan was compiled for.
+    pub fn spec(&self) -> &EpitomeSpec {
+        &self.spec
+    }
+
+    /// The IFAT table.
+    pub fn ifat(&self) -> &Ifat {
+        &self.ifat
+    }
+
+    /// The IFRT table.
+    pub fn ifrt(&self) -> &Ifrt {
+        &self.ifrt
+    }
+
+    /// The OFAT table.
+    pub fn ofat(&self) -> &Ofat {
+        &self.ofat
+    }
+
+    /// Activation rounds per output pixel.
+    pub fn rounds_per_pixel(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// Pixel rows per micro-kernel block in the batched data path.
+const MVM_TB: usize = 8;
+
+/// Register-blocked crossbar MVM for a block of `tb <= MVM_TB` pixels:
+/// `out[ti][j] = sum_k a_blk[ti*kk + k] * panel[k*width + j]`, with the
+/// `k` loop innermost and strictly in order.
+///
+/// **Bit-exactness contract:** every output element is produced by the
+/// same sequence of (round-to-nearest multiply, add) as the scalar
+/// per-pixel loop in [`DataPath::execute_pixel`] — the blocking only
+/// reuses each panel row across `tb` pixels and keeps the accumulators in
+/// registers (Rust never contracts `a + v * m` into an FMA, and
+/// vectorization across the independent `ti`/`j` lanes does not reorder
+/// any per-element sum). The j-dimension is tiled by 8 so a full tile's
+/// `4 x 8` accumulator block stays in registers.
+fn mvm_block(a_blk: &[f32], panel: &[f32], out: &mut [f32], tb: usize, kk: usize, width: usize) {
+    let mut j0 = 0;
+    while j0 < width {
+        let jl = (width - j0).min(8);
+        if tb == MVM_TB && jl == 8 {
+            let mut acc = [[0.0f32; 8]; MVM_TB];
+            for k in 0..kk {
+                let b = &panel[k * width + j0..k * width + j0 + 8];
+                for (ti, acc_row) in acc.iter_mut().enumerate() {
+                    let v = a_blk[ti * kk + k];
+                    for (a, &m) in acc_row.iter_mut().zip(b) {
+                        *a += v * m;
+                    }
+                }
+            }
+            for (ti, acc_row) in acc.iter().enumerate() {
+                out[ti * width + j0..ti * width + j0 + 8].copy_from_slice(acc_row);
+            }
+        } else {
+            // Remainder block (short pixel block or narrow bit-line
+            // chunk): plain loops, identical per-element order.
+            for ti in 0..tb {
+                let orow = &mut out[ti * width + j0..ti * width + j0 + jl];
+                orow.fill(0.0);
+                for k in 0..kk {
+                    let v = a_blk[ti * kk + k];
+                    let b = &panel[k * width + j0..k * width + j0 + jl];
+                    for (a, &m) in orow.iter_mut().zip(b) {
+                        *a += v * m;
+                    }
+                }
+            }
+        }
+        j0 += jl;
+    }
+}
+
+/// The functional EPIM data path for one layer.
+#[derive(Debug, Clone)]
+pub struct DataPath {
+    /// Index tables + per-round word-line lists, shareable across data
+    /// paths for the same spec.
+    plan: Arc<CompiledPlan>,
+    conv_cfg: Conv2dCfg,
+    /// Epitome flattened to `(rows_e, cout_e)` matrix form, with
+    /// programming noise already applied.
+    matrix: Tensor,
+    wrapping: ChannelWrapping,
+    wrapping_enabled: bool,
+    analog: AnalogModel,
+    /// ADC full-scale per column: the largest partial sum this column can
+    /// produce for unit-magnitude inputs (worst-case row L1 norm).
+    adc_full_scale: f32,
+}
+
+impl DataPath {
+    /// Builds the data path (index tables + crossbar matrix) for an
+    /// epitome layer with ideal analog behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError`] if the epitome's plan fails verification.
+    pub fn new(
+        epitome: &Epitome,
+        conv_cfg: Conv2dCfg,
+        wrapping_enabled: bool,
+    ) -> Result<Self, PimError> {
+        Self::with_analog(epitome, conv_cfg, wrapping_enabled, AnalogModel::ideal())
+    }
+
+    /// Builds the data path with an explicit analog non-ideality model,
+    /// compiling the plan tables from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError`] if the epitome's plan fails verification or
+    /// the noise parameters are invalid (negative std, zero ADC bits).
+    pub fn with_analog(
+        epitome: &Epitome,
+        conv_cfg: Conv2dCfg,
+        wrapping_enabled: bool,
+        analog: AnalogModel,
+    ) -> Result<Self, PimError> {
+        let plan = Arc::new(CompiledPlan::compile(epitome.spec())?);
+        Self::with_plan(plan, epitome, conv_cfg, wrapping_enabled, analog)
+    }
+
+    /// Builds the data path around an already-compiled plan (e.g. from
+    /// `epim-runtime`'s plan cache), only programming the crossbar matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError`] if the plan was compiled for a different spec
+    /// than the epitome's, or the analog parameters are invalid.
+    pub fn with_plan(
+        plan: Arc<CompiledPlan>,
+        epitome: &Epitome,
+        conv_cfg: Conv2dCfg,
+        wrapping_enabled: bool,
+        analog: AnalogModel,
+    ) -> Result<Self, PimError> {
+        if !analog.weight_noise_std.is_finite() || analog.weight_noise_std < 0.0 {
+            return Err(PimError::config("weight_noise_std must be finite and >= 0"));
+        }
+        if analog.adc_bits == Some(0) || analog.dac_bits == Some(0) {
+            return Err(PimError::config("adc_bits/dac_bits must be nonzero"));
+        }
+        if !analog.input_full_scale.is_finite() || analog.input_full_scale <= 0.0 {
+            return Err(PimError::config("input_full_scale must be finite and positive"));
+        }
+        if plan.spec() != epitome.spec() {
+            return Err(PimError::config(
+                "compiled plan belongs to a different epitome spec",
+            ));
+        }
+        let spec = &plan.spec;
+        let eshape = spec.shape();
+        let rows_e = eshape.matrix_rows();
+
         // Flatten the epitome to matrix form (rows = cin_e*h*w, cols =
         // cout_e): row-major over (ci, y, x), applying multiplicative
         // programming noise as the cells are "written". Noise draws follow
@@ -363,12 +503,8 @@ impl DataPath {
 
         let wrapping = wrapping_factor(spec.plan());
         Ok(DataPath {
-            spec,
+            plan,
             conv_cfg,
-            ifat: Ifat { entries: ifat_entries },
-            ifrt: Ifrt { sequences: ifrt_sequences, word_lines: rows_e },
-            ofat: Ofat { entries: ofat_entries },
-            rounds,
             matrix,
             wrapping,
             wrapping_enabled,
@@ -384,22 +520,28 @@ impl DataPath {
 
     /// The IFAT table.
     pub fn ifat(&self) -> &Ifat {
-        &self.ifat
+        &self.plan.ifat
     }
 
     /// The IFRT table.
     pub fn ifrt(&self) -> &Ifrt {
-        &self.ifrt
+        &self.plan.ifrt
     }
 
     /// The OFAT table.
     pub fn ofat(&self) -> &Ofat {
-        &self.ofat
+        &self.plan.ofat
     }
 
     /// The layer's epitome spec.
     pub fn spec(&self) -> &EpitomeSpec {
-        &self.spec
+        &self.plan.spec
+    }
+
+    /// The compiled plan this data path executes (shareable via
+    /// [`DataPath::with_plan`]).
+    pub fn compiled_plan(&self) -> &Arc<CompiledPlan> {
+        &self.plan
     }
 
     /// The channel-wrapping analysis for this layer.
@@ -424,7 +566,7 @@ impl DataPath {
     /// invalid for the input size.
     pub fn execute(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), PimError> {
         let (n, h, w, oh, ow) = self.check_input(input)?;
-        let conv = self.spec.conv();
+        let conv = self.plan.spec.conv();
         let wrap_on = self.wrapping_enabled && self.wrapping.is_effective();
         let rf_len = conv.matrix_rows();
         let cfg = self.conv_cfg;
@@ -447,7 +589,7 @@ impl DataPath {
             |chunk_idx, chunk| {
                 let mut stats = DataPathStats::default();
                 let mut receptive = vec![0.0f32; rf_len];
-                let mut scratch = vec![0.0f32; self.spec.shape().cout];
+                let mut scratch = vec![0.0f32; self.plan.spec.shape().cout];
                 for (r, out_vec) in chunk.chunks_mut(conv.cout).enumerate() {
                     let row = chunk_idx * chunk_rows + r;
                     let ox = row % ow;
@@ -455,25 +597,10 @@ impl DataPath {
                     let ni = row / pixels;
 
                     // Fill the receptive-field buffer for this pixel (what
-                    // the on-chip input buffer would hold), copying each
-                    // in-bounds kx run as one contiguous slice.
-                    receptive.fill(0.0);
-                    let (kx0, kx1, ix0) = epim_tensor::ops::kx_run(ox, conv.kw, w, cfg);
-                    if kx1 > kx0 {
-                        let run = kx1 - kx0;
-                        for ci in 0..conv.cin {
-                            let plane = &xd[(ni * conv.cin + ci) * h * w..][..h * w];
-                            for ky in 0..conv.kh {
-                                let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                let src = &plane[iy as usize * w + ix0..][..run];
-                                let dst_base = (ci * conv.kh + ky) * conv.kw + kx0;
-                                receptive[dst_base..dst_base + run].copy_from_slice(src);
-                            }
-                        }
-                    }
+                    // the on-chip input buffer would hold).
+                    epim_tensor::ops::fill_receptive_field(
+                        xd, conv.cin, h, w, conv.kh, conv.kw, ni, oy, ox, cfg, &mut receptive,
+                    );
 
                     self.execute_pixel(&receptive, out_vec, &mut scratch, wrap_on, &mut stats);
                 }
@@ -504,6 +631,233 @@ impl DataPath {
         Ok((out, stats))
     }
 
+    /// Executes the layer on a batch of equal-shaped inputs at once,
+    /// returning one output per input plus the summed statistics.
+    ///
+    /// Semantics are exactly `inputs.iter().map(|x| self.execute(x))`: the
+    /// outputs are bit-identical to per-request execution (and to
+    /// [`DataPath::execute_reference`]) and the stats equal the sum of the
+    /// per-request stats. The speedup comes from restructuring the walk,
+    /// not from reassociating any floating-point arithmetic:
+    ///
+    /// - the im2col-style receptive-field matrix is built once per pixel
+    ///   tile drawn from the whole batch, and the finite-DAC sweep
+    ///   quantizes it once — per-request execution re-quantizes an element
+    ///   for every round that reads it;
+    /// - each round's active word-line weights are packed into a contiguous
+    ///   panel once per call, then streamed over every pixel of every
+    ///   image;
+    /// - round metadata (word-line lists, OFAT routing) is walked once per
+    ///   tile instead of once per pixel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::GeometryMismatch`] if the inputs' shapes differ
+    /// from one another (callers batching mixed traffic should group by
+    /// shape — `epim-runtime`'s micro-batcher does — or fall back to
+    /// per-request [`DataPath::execute`]) or fail the usual geometry
+    /// checks.
+    pub fn execute_batch(
+        &self,
+        inputs: &[&Tensor],
+    ) -> Result<(Vec<Tensor>, DataPathStats), PimError> {
+        let Some(first) = inputs.first() else {
+            return Ok((Vec::new(), DataPathStats::default()));
+        };
+        if let Some(bad) = inputs.iter().find(|t| t.shape() != first.shape()) {
+            return Err(PimError::geometry(format!(
+                "execute_batch requires identical input shapes, got {:?} and {:?}",
+                first.shape(),
+                bad.shape()
+            )));
+        }
+        let (n, h, w, oh, ow) = self.check_input(first)?;
+        let conv = self.plan.spec.conv();
+        let cout = conv.cout;
+        let cout_e = self.plan.spec.shape().cout;
+        let wrap_on = self.wrapping_enabled && self.wrapping.is_effective();
+        let rf_len = conv.matrix_rows();
+        let cfg = self.conv_cfg;
+        let pixels = oh * ow;
+        let rows = inputs.len() * n * pixels;
+        let word_lines = self.plan.ifrt.word_lines as u64;
+        let dac = self.dac_params();
+        let adc = self.adc_params();
+
+        // Pack each executable round's active word-line weights into a
+        // contiguous panel, once for the whole batch.
+        let md = self.matrix.data();
+        let panels: Vec<Vec<f32>> = self
+            .plan
+            .rounds
+            .iter()
+            .map(|round| {
+                if wrap_on && round.range.start != 0 {
+                    return Vec::new();
+                }
+                let width = round.range.len();
+                let mut panel = Vec::with_capacity(round.active.len() * width);
+                for &(wl, _) in &round.active {
+                    panel.extend_from_slice(&md[wl * cout_e + round.src_col_start..][..width]);
+                }
+                panel
+            })
+            .collect();
+
+        // Pixel-major staging buffer over the whole batch, processed in
+        // row tiles: rows `tile_rows*i..` of `pix` form tile `i`.
+        const TILE_ROWS: usize = 64;
+        let tile_rows = TILE_ROWS.min(rows.max(1));
+        let mut pix = vec![0.0f32; rows * cout];
+
+        let process_tile = |tile_idx: usize, chunk: &mut [f32]| -> DataPathStats {
+            let mut stats = DataPathStats::default();
+            let t_rows = chunk.len() / cout;
+            let row0 = tile_idx * tile_rows;
+            let mut rfq = vec![0.0f32; t_rows * rf_len];
+
+            // Stage 1: the tile's receptive-field matrix (im2col rows
+            // across every image of the batch).
+            for t in 0..t_rows {
+                let row = row0 + t;
+                let img = row / pixels;
+                let ox = row % ow;
+                let oy = (row / ow) % oh;
+                let input = inputs[img / n];
+                epim_tensor::ops::fill_receptive_field(
+                    input.data(),
+                    conv.cin,
+                    h,
+                    w,
+                    conv.kh,
+                    conv.kw,
+                    img % n,
+                    oy,
+                    ox,
+                    cfg,
+                    &mut rfq[t * rf_len..(t + 1) * rf_len],
+                );
+            }
+            // Stage 2: one DAC sweep for the whole tile (per-request
+            // execution re-quantizes per round).
+            if let Some((step, limit)) = dac {
+                quantize_slice(&mut rfq, step, limit);
+            }
+
+            // Stage 3: rounds outer, pixel blocks inner — round metadata
+            // and the packed panel stay hot across the tile, and the
+            // register-blocked micro-kernel shares each panel row across
+            // `MVM_TB` pixels.
+            let mut a_blk = vec![0.0f32; MVM_TB * self.plan.ifrt.word_lines];
+            let mut blk_out = vec![0.0f32; MVM_TB * cout_e];
+            for (round, panel) in self.plan.rounds.iter().zip(&panels) {
+                if wrap_on && round.range.start != 0 {
+                    continue;
+                }
+                let width = round.range.len();
+                let n_active = round.active.len();
+                let tr = t_rows as u64;
+                stats.rounds += tr;
+                stats.table_lookups += (round.ifat_pairs + word_lines + 1) * tr;
+                stats.buffer_reads += n_active as u64 * tr;
+                stats.word_line_activations += n_active as u64 * tr;
+                stats.bit_line_activations += width as u64 * tr;
+                let mut t0 = 0;
+                while t0 < t_rows {
+                    let tb = MVM_TB.min(t_rows - t0);
+                    // Gather the block's driven word-line voltages.
+                    for ti in 0..tb {
+                        let rf_row = &rfq[(t0 + ti) * rf_len..(t0 + ti + 1) * rf_len];
+                        let arow = &mut a_blk[ti * n_active..(ti + 1) * n_active];
+                        for (slot, &(_, rf)) in arow.iter_mut().zip(&round.active) {
+                            *slot = rf_row[rf];
+                        }
+                    }
+                    mvm_block(&a_blk, panel, &mut blk_out, tb, n_active, width);
+                    for ti in 0..tb {
+                        let accs = &mut blk_out[ti * width..(ti + 1) * width];
+                        if let Some((step, limit)) = adc {
+                            quantize_slice(accs, step, limit);
+                        }
+                        let t = t0 + ti;
+                        let out_vec = &mut chunk
+                            [t * cout + round.range.start..t * cout + round.range.stop];
+                        for (slot, &a) in out_vec.iter_mut().zip(&*accs) {
+                            *slot += a;
+                        }
+                    }
+                    t0 += tb;
+                }
+                stats.joint_adds += width as u64 * tr;
+                stats.buffer_writes += width as u64 * tr;
+            }
+
+            if wrap_on {
+                // Replicate block 0 into the remaining channel blocks.
+                let c = self.wrapping.block;
+                for out_vec in chunk.chunks_mut(cout) {
+                    for x in c..cout {
+                        out_vec[x] = out_vec[x % c];
+                        stats.wrapped_elements += 1;
+                    }
+                }
+            }
+            stats
+        };
+
+        let stat_parts: Vec<DataPathStats> = if rows * cout < 1 << 14 {
+            pix.chunks_mut(tile_rows * cout)
+                .enumerate()
+                .map(|(i, c)| process_tile(i, c))
+                .collect()
+        } else {
+            epim_parallel::map_chunks_mut(&mut pix, tile_rows * cout, process_tile)
+        };
+        let mut stats = DataPathStats::default();
+        for part in &stat_parts {
+            stats.accumulate(part);
+        }
+
+        // Scatter pixel-major -> one NCHW tensor per request.
+        let mut outs = Vec::with_capacity(inputs.len());
+        for b in 0..inputs.len() {
+            let mut out = Tensor::zeros(&[n, cout, oh, ow]);
+            let base = b * n * pixels;
+            let scatter_plane = |plane_idx: usize, plane: &mut [f32]| {
+                let ni = plane_idx / cout;
+                let co = plane_idx % cout;
+                for (p, slot) in plane.iter_mut().enumerate() {
+                    *slot = pix[(base + ni * pixels + p) * cout + co];
+                }
+            };
+            if out.len() < 1 << 16 {
+                for (idx, plane) in out.data_mut().chunks_mut(pixels).enumerate() {
+                    scatter_plane(idx, plane);
+                }
+            } else {
+                epim_parallel::for_each_chunk_mut(out.data_mut(), pixels, scatter_plane);
+            }
+            outs.push(out);
+        }
+        Ok((outs, stats))
+    }
+
+    /// `(step, limit)` of the DAC input quantizer, when finite-precision.
+    fn dac_params(&self) -> Option<(f32, f32)> {
+        self.analog.dac_bits.map(|bits| {
+            let levels = (1u32 << bits.min(24)) as f32;
+            (2.0 * self.analog.input_full_scale / levels, levels / 2.0)
+        })
+    }
+
+    /// `(step, limit)` of the ADC readout quantizer, when finite-precision.
+    fn adc_params(&self) -> Option<(f32, f32)> {
+        self.analog.adc_bits.map(|bits| {
+            let levels = (1u32 << bits.min(24)) as f32;
+            (2.0 * self.adc_full_scale / levels, levels / 2.0)
+        })
+    }
+
     /// The seed repository's per-pixel execution loop, kept verbatim as the
     /// benchmark baseline and as an independent cross-check for the
     /// compiled-round fast path ([`DataPath::execute`]).
@@ -513,7 +867,7 @@ impl DataPath {
     /// Same contract as [`DataPath::execute`].
     pub fn execute_reference(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), PimError> {
         let (n, h, w, oh, ow) = self.check_input(input)?;
-        let conv = self.spec.conv();
+        let conv = self.plan.spec.conv();
         let mut out = Tensor::zeros(&[n, conv.cout, oh, ow]);
         let mut stats = DataPathStats::default();
         let wrap_on = self.wrapping_enabled && self.wrapping.is_effective();
@@ -521,7 +875,7 @@ impl DataPath {
         let mut receptive = vec![0.0f32; rf_len];
         let mut out_vec = vec![0.0f32; conv.cout];
         let md = self.matrix.data();
-        let cout_e = self.spec.shape().cout;
+        let cout_e = self.plan.spec.shape().cout;
 
         for ni in 0..n {
             for oy in 0..oh {
@@ -550,11 +904,12 @@ impl DataPath {
                     out_vec.iter_mut().for_each(|v| *v = 0.0);
                     let mut gathered: Vec<f32> = Vec::new();
                     for ((ifat_ranges, ifrt_seq), ofat) in self
+                        .plan
                         .ifat
                         .entries
                         .iter()
-                        .zip(&self.ifrt.sequences)
-                        .zip(&self.ofat.entries)
+                        .zip(&self.plan.ifrt.sequences)
+                        .zip(&self.plan.ofat.entries)
                     {
                         if wrap_on && ofat.range.start != 0 {
                             continue;
@@ -566,14 +921,10 @@ impl DataPath {
                             stats.table_lookups += 1;
                         }
                         stats.buffer_reads += gathered.len() as u64;
-                        if let Some(bits) = self.analog.dac_bits {
-                            let levels = (1u32 << bits.min(24)) as f32;
-                            let step = 2.0 * self.analog.input_full_scale / levels;
-                            for v in gathered.iter_mut() {
-                                *v = (*v / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
-                            }
+                        if let Some((step, limit)) = self.dac_params() {
+                            quantize_slice(&mut gathered, step, limit);
                         }
-                        stats.table_lookups += self.ifrt.word_lines as u64;
+                        stats.table_lookups += self.plan.ifrt.word_lines as u64;
                         let active_wls: Vec<(usize, f32)> = ifrt_seq
                             .iter()
                             .enumerate()
@@ -589,11 +940,8 @@ impl DataPath {
                             for &(wl, v) in &active_wls {
                                 acc += v * md[wl * cout_e + col];
                             }
-                            if let Some(bits) = self.analog.adc_bits {
-                                let levels = (1u32 << bits.min(24)) as f32;
-                                let step = 2.0 * self.adc_full_scale / levels;
-                                acc = (acc / step).round().clamp(-levels / 2.0, levels / 2.0)
-                                    * step;
+                            if let Some((step, limit)) = self.adc_params() {
+                                acc = quantize_value(acc, step, limit);
                             }
                             out_vec[ofat.range.start + j] += acc;
                             stats.joint_adds += 1;
@@ -624,7 +972,7 @@ impl DataPath {
                 input.rank()
             )));
         }
-        let conv = self.spec.conv();
+        let conv = self.plan.spec.conv();
         let (n, c_in, h, w) = (
             input.shape()[0],
             input.shape()[1],
@@ -653,9 +1001,9 @@ impl DataPath {
         stats: &mut DataPathStats,
     ) {
         let md = self.matrix.data();
-        let cout_e = self.spec.shape().cout;
-        let word_lines = self.ifrt.word_lines as u64;
-        for round in &self.rounds {
+        let cout_e = self.plan.spec.shape().cout;
+        let word_lines = self.plan.ifrt.word_lines as u64;
+        for round in &self.plan.rounds {
             if wrap_on && round.range.start != 0 {
                 continue;
             }
@@ -674,14 +1022,11 @@ impl DataPath {
 
             // Crossbar MVM over the active word lines: the inner loop walks
             // `width` contiguous matrix columns, so it vectorizes.
-            if let Some(bits) = self.analog.dac_bits {
+            if let Some((step, limit)) = self.dac_params() {
                 // Finite-precision DAC, applied to each driven word-line
                 // voltage exactly as the seed applied it to the gather.
-                let levels = (1u32 << bits.min(24)) as f32;
-                let step = 2.0 * self.analog.input_full_scale / levels;
                 for &(wl, rf) in &round.active {
-                    let v = (receptive[rf] / step).round().clamp(-levels / 2.0, levels / 2.0)
-                        * step;
+                    let v = quantize_value(receptive[rf], step, limit);
                     let mrow = &md[wl * cout_e + col0..][..width];
                     for (a, &m) in accs.iter_mut().zip(mrow) {
                         *a += v * m;
@@ -697,14 +1042,11 @@ impl DataPath {
                 }
             }
 
-            // Finite-precision ADC on each bit-line partial sum, then the
-            // joint module accumulates into the output range.
-            if let Some(bits) = self.analog.adc_bits {
-                let levels = (1u32 << bits.min(24)) as f32;
-                let step = 2.0 * self.adc_full_scale / levels;
-                for a in accs.iter_mut() {
-                    *a = (*a / step).round().clamp(-levels / 2.0, levels / 2.0) * step;
-                }
+            // Finite-precision ADC on each bit-line partial sum (SIMD
+            // sweep), then the joint module accumulates into the output
+            // range.
+            if let Some((step, limit)) = self.adc_params() {
+                quantize_slice(accs, step, limit);
             }
             for (slot, &a) in out_vec[round.range.start..round.range.stop].iter_mut().zip(&*accs) {
                 *slot += a;
@@ -1024,6 +1366,123 @@ mod tests {
         assert!(DataPath::with_analog(&epi, cfg, false, bad_dac).is_err());
         let bad_fs = AnalogModel { input_full_scale: 0.0, ..AnalogModel::ideal() };
         assert!(DataPath::with_analog(&epi, cfg, false, bad_fs).is_err());
+    }
+
+    #[test]
+    fn execute_batch_bit_identical_to_sequential_execute() {
+        let conv = ConvShape::new(8, 6, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 3, 2, 2), 50);
+        let mut r = rng::seeded(51);
+        for wrapping in [false, true] {
+            for analog in [
+                AnalogModel::ideal(),
+                AnalogModel {
+                    weight_noise_std: 0.02,
+                    adc_bits: Some(8),
+                    dac_bits: Some(9),
+                    ..AnalogModel::ideal()
+                },
+            ] {
+                let cfg = Conv2dCfg { stride: 1, padding: 1 };
+                let dp = DataPath::with_analog(&epi, cfg, wrapping, analog).unwrap();
+                // Mixed per-request image counts: shapes must match, N may
+                // exceed 1 per request.
+                let xs: Vec<Tensor> =
+                    (0..5).map(|_| init::uniform(&[2, 6, 7, 7], -1.0, 1.0, &mut r)).collect();
+                let refs: Vec<&Tensor> = xs.iter().collect();
+                let (batched, batch_stats) = dp.execute_batch(&refs).unwrap();
+                assert_eq!(batched.len(), xs.len());
+                let mut want_stats = DataPathStats::default();
+                for (x, got) in xs.iter().zip(&batched) {
+                    let (want, s) = dp.execute(x).unwrap();
+                    assert_eq!(got, &want, "wrapping={wrapping}");
+                    want_stats.accumulate(&s);
+                }
+                assert_eq!(batch_stats, want_stats, "wrapping={wrapping}");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_batch_bit_identical_to_reference() {
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 52);
+        let cfg = Conv2dCfg { stride: 2, padding: 1 };
+        let analog =
+            AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+        let dp = DataPath::with_analog(&epi, cfg, true, analog).unwrap();
+        let mut r = rng::seeded(53);
+        let xs: Vec<Tensor> =
+            (0..3).map(|_| init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r)).collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let (batched, batch_stats) = dp.execute_batch(&refs).unwrap();
+        let mut ref_stats = DataPathStats::default();
+        for (x, got) in xs.iter().zip(&batched) {
+            let (want, s) = dp.execute_reference(x).unwrap();
+            assert_eq!(got, &want);
+            ref_stats.accumulate(&s);
+        }
+        assert_eq!(batch_stats, ref_stats);
+    }
+
+    #[test]
+    fn execute_batch_edge_cases() {
+        let conv = ConvShape::new(4, 4, 3, 3);
+        let epi = random_epitome(conv, EpitomeShape::new(4, 2, 2, 2), 54);
+        let dp = DataPath::new(&epi, Conv2dCfg::default(), false).unwrap();
+
+        // Empty batch: no outputs, zero stats.
+        let (outs, stats) = dp.execute_batch(&[]).unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(stats, DataPathStats::default());
+
+        // Diverging shapes are rejected (runtime groups by shape instead).
+        let a = Tensor::zeros(&[1, 4, 5, 5]);
+        let b = Tensor::zeros(&[1, 4, 6, 6]);
+        assert!(dp.execute_batch(&[&a, &b]).is_err());
+
+        // Singleton batch equals plain execute.
+        let mut r = rng::seeded(55);
+        let x = init::uniform(&[1, 4, 5, 5], -1.0, 1.0, &mut r);
+        let (outs, stats) = dp.execute_batch(&[&x]).unwrap();
+        let (want, want_stats) = dp.execute(&x).unwrap();
+        assert_eq!(outs[0], want);
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn compiled_plan_shared_across_data_paths() {
+        let conv = ConvShape::new(8, 4, 3, 3);
+        let spec = EpitomeSpec::new(conv, EpitomeShape::new(4, 4, 2, 2)).unwrap();
+        let plan = std::sync::Arc::new(CompiledPlan::compile(&spec).unwrap());
+        assert_eq!(plan.rounds_per_pixel(), spec.plan().patches().len());
+
+        let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 56);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let from_plan = DataPath::with_plan(
+            plan.clone(),
+            &epi,
+            cfg,
+            false,
+            AnalogModel::ideal(),
+        )
+        .unwrap();
+        let from_scratch = DataPath::new(&epi, cfg, false).unwrap();
+        let mut r = rng::seeded(57);
+        let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
+        assert_eq!(
+            from_plan.execute(&x).unwrap().0,
+            from_scratch.execute(&x).unwrap().0
+        );
+        // Two data paths can share one plan allocation.
+        let second = DataPath::with_plan(plan.clone(), &epi, cfg, true, AnalogModel::ideal());
+        assert!(second.is_ok());
+        assert!(std::sync::Arc::ptr_eq(from_plan.compiled_plan(), &plan));
+
+        // A plan compiled for a different spec is rejected.
+        let other_spec = EpitomeSpec::new(conv, EpitomeShape::new(8, 4, 3, 3)).unwrap();
+        let other_plan = std::sync::Arc::new(CompiledPlan::compile(&other_spec).unwrap());
+        assert!(DataPath::with_plan(other_plan, &epi, cfg, false, AnalogModel::ideal()).is_err());
     }
 
     #[test]

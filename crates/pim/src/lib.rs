@@ -42,6 +42,7 @@ mod error;
 mod lut;
 mod mapping;
 mod network;
+pub mod quantize;
 
 pub use config::{AcceleratorConfig, CrossbarConfig, Precision};
 pub use cost::{CostModel, LayerCosts, ProgrammingCosts};

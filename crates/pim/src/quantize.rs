@@ -1,0 +1,253 @@
+//! SIMD epilogue for the data path's DAC/ADC quantization sweeps.
+//!
+//! Both converters quantize the same way: divide by the step, round to the
+//! nearest level (ties away from zero, i.e. [`f32::round`]), clamp to the
+//! converter's range, multiply back. The per-round sweeps over gathered
+//! inputs and bit-line partial sums are hot enough in the batched data path
+//! to deserve vector code, so [`quantize_slice`] dispatches at runtime to
+//! an AVX-512F, AVX2 or scalar kernel — the same pattern as the GEMM
+//! micro-kernels in `epim_tensor::ops::gemm`.
+//!
+//! **Bit-exactness.** The data-path equivalence tests compare the batched,
+//! per-pixel and seed-reference execution paths bit-for-bit, so the vector
+//! kernels must reproduce `f32::round` exactly. SIMD rounding instructions
+//! round ties to even, and the folklore `trunc(x + 0.5)` trick is wrong
+//! near halves (e.g. `x = 0.49999997`: `x + 0.5` rounds up to `1.0`), so
+//! the kernels round via exact float steps instead: `r = trunc(|t|)` and
+//! `f = |t| - r` are both exact (Sterbenz), `f >= 0.5` decides the
+//! increment, and the sign is restored bitwise. Inputs are assumed finite
+//! (NaN propagation differs between `clamp` and SIMD min/max); the data
+//! path only produces finite values.
+
+/// Quantizes one value: `round(v / step)` clamped to `[-limit, limit]`
+/// levels, times `step`. The scalar ground truth for the vector kernels.
+#[inline]
+pub fn quantize_value(v: f32, step: f32, limit: f32) -> f32 {
+    (v / step).round().clamp(-limit, limit) * step
+}
+
+/// Instruction-set variant for the quantization sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// 16-wide AVX-512F.
+    Avx512,
+    /// 8-wide AVX2.
+    Avx2,
+    /// One lane at a time, autovectorizer permitting.
+    Scalar,
+}
+
+/// Detects the best available kernel once per process.
+fn kind() -> Kind {
+    static KIND: std::sync::OnceLock<Kind> = std::sync::OnceLock::new();
+    *KIND.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return Kind::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return Kind::Avx2;
+            }
+        }
+        Kind::Scalar
+    })
+}
+
+/// Quantizes every element of `vals` in place (DAC/ADC sweep), bit-exactly
+/// matching [`quantize_value`] per element.
+pub fn quantize_slice(vals: &mut [f32], step: f32, limit: f32) {
+    match kind() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx512f feature at runtime.
+        Kind::Avx512 => unsafe { quantize_avx512(vals, step, limit) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx2 feature at runtime.
+        Kind::Avx2 => unsafe { quantize_avx2(vals, step, limit) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kind::Avx512 | Kind::Avx2 => quantize_scalar(vals, step, limit),
+        Kind::Scalar => quantize_scalar(vals, step, limit),
+    }
+}
+
+fn quantize_scalar(vals: &mut [f32], step: f32, limit: f32) {
+    for v in vals {
+        *v = quantize_value(*v, step, limit);
+    }
+}
+
+/// 8-wide AVX2 sweep.
+///
+/// # Safety
+///
+/// Caller must verify the `avx2` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_avx2(vals: &mut [f32], step: f32, limit: f32) {
+    use std::arch::x86_64::*;
+    let n = vals.len();
+    let ptr = vals.as_mut_ptr();
+    let vstep = _mm256_set1_ps(step);
+    let vhalf = _mm256_set1_ps(0.5);
+    let vone = _mm256_set1_ps(1.0);
+    let vlim = _mm256_set1_ps(limit);
+    let vneg = _mm256_set1_ps(-limit);
+    let sign_mask = _mm256_set1_ps(-0.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        let t = _mm256_div_ps(_mm256_loadu_ps(ptr.add(i)), vstep);
+        let sign = _mm256_and_ps(t, sign_mask);
+        let a = _mm256_andnot_ps(sign_mask, t);
+        let r = _mm256_round_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(a);
+        // |t| - trunc(|t|) is exact, so the ties-away decision is too.
+        let frac = _mm256_sub_ps(a, r);
+        let bump = _mm256_and_ps(_mm256_cmp_ps::<_CMP_GE_OQ>(frac, vhalf), vone);
+        let r = _mm256_or_ps(_mm256_add_ps(r, bump), sign);
+        let r = _mm256_min_ps(_mm256_max_ps(r, vneg), vlim);
+        _mm256_storeu_ps(ptr.add(i), _mm256_mul_ps(r, vstep));
+        i += 8;
+    }
+    quantize_scalar(&mut vals[i..], step, limit);
+}
+
+/// 16-wide AVX-512F sweep. Bitwise float ops go through the integer domain
+/// (`or_ps`/`and_ps` would need AVX-512DQ).
+///
+/// # Safety
+///
+/// Caller must verify the `avx512f` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn quantize_avx512(vals: &mut [f32], step: f32, limit: f32) {
+    use std::arch::x86_64::*;
+    let n = vals.len();
+    let ptr = vals.as_mut_ptr();
+    let vstep = _mm512_set1_ps(step);
+    let vhalf = _mm512_set1_ps(0.5);
+    let vone = _mm512_set1_ps(1.0);
+    let vlim = _mm512_set1_ps(limit);
+    let vneg = _mm512_set1_ps(-limit);
+    let sign_bits = _mm512_set1_epi32(i32::MIN);
+    let mut i = 0;
+    while i + 16 <= n {
+        let t = _mm512_div_ps(_mm512_loadu_ps(ptr.add(i)), vstep);
+        let ti = _mm512_castps_si512(t);
+        let sign = _mm512_and_si512(ti, sign_bits);
+        let a = _mm512_castsi512_ps(_mm512_andnot_si512(sign_bits, ti));
+        let r = _mm512_roundscale_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(a);
+        let frac = _mm512_sub_ps(a, r);
+        let m = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(frac, vhalf);
+        let r = _mm512_mask_add_ps(r, m, r, vone);
+        let r = _mm512_castsi512_ps(_mm512_or_si512(_mm512_castps_si512(r), sign));
+        let r = _mm512_min_ps(_mm512_max_ps(r, vneg), vlim);
+        _mm512_storeu_ps(ptr.add(i), _mm512_mul_ps(r, vstep));
+        i += 16;
+    }
+    quantize_scalar(&mut vals[i..], step, limit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Values chosen to break naive rounding emulations: just-below-half
+    /// fractions (where `trunc(x + 0.5)` rounds up incorrectly), exact
+    /// halves (ties away from zero vs the hardware's ties to even), the
+    /// 2^23 integer boundary, signed zeros and clamp edges.
+    fn adversarial_values() -> Vec<f32> {
+        let mut vals = vec![
+            0.0,
+            -0.0,
+            0.49999997,
+            -0.49999997,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            8388607.5,
+            8388608.0,
+            8388609.0,
+            16777216.0,
+            -16777216.0,
+            1.0e30,
+            -1.0e30,
+            3.3333333,
+            -7.7777777,
+            f32::MIN_POSITIVE,
+        ];
+        // A dense sweep of small magnitudes to cover every frac pattern.
+        for i in -2000i32..=2000 {
+            vals.push(i as f32 * 0.01);
+        }
+        vals
+    }
+
+    #[test]
+    fn slice_matches_scalar_bitwise() {
+        for &(step, limit) in &[(0.125f32, 128.0f32), (0.0033, 256.0), (1.0, 4.0), (2.5, 8.0)] {
+            let mut vals = adversarial_values();
+            let want: Vec<f32> = vals.iter().map(|&v| quantize_value(v, step, limit)).collect();
+            quantize_slice(&mut vals, step, limit);
+            for (i, (&got, &want)) in vals.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "element {i}: got {got}, want {want} (step {step}, limit {limit})"
+                );
+            }
+        }
+    }
+
+    /// Exercises each vector kernel the CPU supports directly, regardless
+    /// of which one `quantize_slice` dispatches to.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn every_available_kernel_matches_scalar_bitwise() {
+        let (step, limit) = (0.0625f32, 512.0f32);
+        let reference: Vec<f32> =
+            adversarial_values().iter().map(|&v| quantize_value(v, step, limit)).collect();
+        if is_x86_feature_detected!("avx2") {
+            let mut vals = adversarial_values();
+            // SAFETY: feature checked on the line above.
+            unsafe { quantize_avx2(&mut vals, step, limit) };
+            for (got, want) in vals.iter().zip(&reference) {
+                assert_eq!(got.to_bits(), want.to_bits(), "avx2: {got} vs {want}");
+            }
+        }
+        if is_x86_feature_detected!("avx512f") {
+            let mut vals = adversarial_values();
+            // SAFETY: feature checked on the line above.
+            unsafe { quantize_avx512(&mut vals, step, limit) };
+            for (got, want) in vals.iter().zip(&reference) {
+                assert_eq!(got.to_bits(), want.to_bits(), "avx512: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_ties_away_from_zero() {
+        // step 1, generous clamp: quantization is plain round().
+        let mut vals = vec![0.5, 1.5, 2.5, -0.5, -1.5, -2.5];
+        quantize_slice(&mut vals, 1.0, 1.0e9);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, -1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn clamps_to_limit() {
+        let mut vals = vec![1.0e9, -1.0e9];
+        quantize_slice(&mut vals, 1.0, 7.0);
+        assert_eq!(vals, vec![7.0, -7.0]);
+    }
+
+    #[test]
+    fn short_slices_hit_the_scalar_tail() {
+        for len in 0..24 {
+            let mut vals: Vec<f32> = (0..len).map(|i| i as f32 * 0.37 - 2.0).collect();
+            let want: Vec<f32> = vals.iter().map(|&v| quantize_value(v, 0.25, 16.0)).collect();
+            quantize_slice(&mut vals, 0.25, 16.0);
+            assert_eq!(vals, want);
+        }
+    }
+}

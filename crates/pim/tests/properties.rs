@@ -1,7 +1,7 @@
 //! Property-based tests for the PIM simulator invariants (DESIGN.md §5).
 
 use epim_core::{ConvShape, Epitome, EpitomeShape, EpitomeSpec, MappedMatrix};
-use epim_pim::datapath::DataPath;
+use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
 use epim_pim::{AcceleratorConfig, CostModel, Mapping, Precision};
 use epim_tensor::ops::{conv2d, Conv2dCfg};
 use epim_tensor::{init, rng};
@@ -101,5 +101,45 @@ proptest! {
         let mc = Mapping::new(MappedMatrix::from_conv(conv), xb, prec).unwrap();
         let me = Mapping::new(MappedMatrix::from_epitome(eshape), xb, prec).unwrap();
         prop_assert!(me.crossbars <= mc.crossbars);
+    }
+
+    /// The batched data path is a pure restructuring: on random odd shapes,
+    /// strides, paddings, analog models and batch sizes, `execute_batch`
+    /// must be **bit-identical** to the seed's per-pixel reference loop,
+    /// with stats equal to the sum of per-request runs.
+    #[test]
+    fn execute_batch_bit_exact_vs_reference(
+        (conv, eshape) in shape_pair(),
+        seed in 0u64..10_000,
+        stride in 1usize..=2,
+        padding in 0usize..=1,
+        wrapping in any::<bool>(),
+        batch in 1usize..=4,
+        imgs in 1usize..=2,
+        quantized in any::<bool>(),
+    ) {
+        let cfg = Conv2dCfg { stride, padding };
+        let spec = EpitomeSpec::new(conv, eshape).unwrap();
+        let mut r = rng::seeded(seed);
+        let data = init::uniform(&eshape.dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_tensor(spec, data).unwrap();
+        let analog = if quantized {
+            AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() }
+        } else {
+            AnalogModel::ideal()
+        };
+        let dp = DataPath::with_analog(&epi, cfg, wrapping, analog).unwrap();
+        let xs: Vec<_> = (0..batch)
+            .map(|_| init::uniform(&[imgs, conv.cin, 5, 6], -1.0, 1.0, &mut r))
+            .collect();
+        let refs: Vec<&_> = xs.iter().collect();
+        let (batched, batch_stats) = dp.execute_batch(&refs).unwrap();
+        let mut want_stats = DataPathStats::default();
+        for (x, got) in xs.iter().zip(&batched) {
+            let (want, s) = dp.execute_reference(x).unwrap();
+            prop_assert_eq!(got, &want, "batched output diverged bitwise");
+            want_stats.accumulate(&s);
+        }
+        prop_assert_eq!(batch_stats, want_stats);
     }
 }

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use epim_pim::PimError;
+
+/// Error type for the serving runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A runtime configuration value was invalid (zero batch size).
+    InvalidConfig {
+        /// What was wrong.
+        what: String,
+    },
+    /// The request's batch execution panicked; the engine survives and the
+    /// request is reported failed rather than left hanging.
+    ExecutionPanicked,
+    /// Error from the PIM simulation layer (plan compilation or execution).
+    Pim(PimError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ShuttingDown => write!(f, "engine is shutting down"),
+            RuntimeError::InvalidConfig { what } => {
+                write!(f, "invalid runtime configuration: {what}")
+            }
+            RuntimeError::ExecutionPanicked => {
+                write!(f, "batch execution panicked; request not completed")
+            }
+            RuntimeError::Pim(e) => write!(f, "pim error: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Pim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PimError> for RuntimeError {
+    fn from(e: PimError) -> Self {
+        RuntimeError::Pim(e)
+    }
+}
+
+impl RuntimeError {
+    /// Convenience constructor for [`RuntimeError::InvalidConfig`].
+    pub fn config(what: impl Into<String>) -> Self {
+        RuntimeError::InvalidConfig { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(RuntimeError::ShuttingDown.to_string().contains("shutting down"));
+        let e = RuntimeError::config("bad");
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e: RuntimeError = PimError::config("x").into();
+        assert!(e.source().is_some());
+    }
+}

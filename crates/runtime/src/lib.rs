@@ -1,0 +1,68 @@
+//! # epim-runtime
+//!
+//! A batched inference **serving engine** for epitome layers running on
+//! the functional PIM data path — the first step from "simulator you call
+//! in a loop" toward the production serving system the roadmap aims at.
+//!
+//! Three pieces, layered bottom-up:
+//!
+//! 1. **Persistent worker pool** (lives in `epim-parallel`): every
+//!    fork-join region in the workspace now dispatches onto
+//!    `num_threads() - 1` parked workers instead of spawning scoped
+//!    threads per call. `EPIM_THREADS` pins the width.
+//! 2. **Dynamic micro-batcher** ([`Engine`]): concurrent [`Engine::infer`]
+//!    calls coalesce — grouped by input shape, bounded by
+//!    [`EngineConfig::max_batch`] and [`EngineConfig::batch_window`] —
+//!    into `DataPath::execute_batch` calls, which build the im2col-style
+//!    receptive-field matrix once per pixel tile and amortize per-round
+//!    table walks and DAC/ADC sweeps across the whole batch. Batched
+//!    execution is **bit-identical** to per-request execution, so batching
+//!    is purely a throughput decision.
+//! 3. **Compiled-plan cache** ([`PlanCache`]): the IFAT/IFRT/OFAT tables
+//!    and per-round word-line lists depend only on the `EpitomeSpec`, so
+//!    they are compiled once and shared across engines, networks and
+//!    re-programmed weights ([`PlanCache::warm_network`] precompiles every
+//!    epitome choice of an `epim_models::Network`).
+//!
+//! Serving health is observable through [`RuntimeStats`]: p50/p99 request
+//! latency, the batch-size histogram, and a rollup of the data path's
+//! hardware counters.
+//!
+//! ## Example
+//!
+//! ```
+//! use epim_core::{ConvShape, Epitome, EpitomeShape, EpitomeSpec};
+//! use epim_pim::datapath::AnalogModel;
+//! use epim_runtime::{Engine, EngineConfig, PlanCache};
+//! use epim_tensor::ops::Conv2dCfg;
+//! use epim_tensor::{init, rng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = EpitomeSpec::new(ConvShape::new(8, 4, 3, 3), EpitomeShape::new(4, 4, 2, 2))?;
+//! let mut r = rng::seeded(1);
+//! let epi = Epitome::from_tensor(spec, init::uniform(&[4, 4, 2, 2], -1.0, 1.0, &mut r))?;
+//!
+//! let cache = PlanCache::new();
+//! let cfg = Conv2dCfg { stride: 1, padding: 1 };
+//! let engine = Engine::with_cache(
+//!     &cache, &epi, cfg, true, AnalogModel::ideal(), EngineConfig::default())?;
+//!
+//! let x = init::uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r);
+//! let inference = engine.infer(x)?;
+//! assert_eq!(inference.output.shape(), &[1, 8, 8, 8]);
+//! assert_eq!(engine.stats().requests, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod cache;
+mod engine;
+mod error;
+mod stats;
+
+pub use cache::{PlanCache, PlanCacheStats};
+pub use engine::{Engine, EngineConfig, Inference};
+pub use error::RuntimeError;
+pub use stats::RuntimeStats;

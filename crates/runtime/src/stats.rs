@@ -1,0 +1,149 @@
+//! Serving-side statistics: request latencies, batch-size distribution,
+//! and data-path counter rollups.
+
+use epim_pim::datapath::DataPathStats;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Cap on retained latency samples; the reservoir is a ring, so the
+/// percentiles always describe the most recent window.
+const LATENCY_WINDOW: usize = 1 << 16;
+
+/// A point-in-time snapshot of an engine's serving statistics.
+///
+/// Returned by `Engine::stats`; all counters are totals since engine
+/// construction, latency percentiles cover the most recent
+/// [`LATENCY_WINDOW`]-request window.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RuntimeStats {
+    /// Requests completed (delivered to their submitters).
+    pub requests: u64,
+    /// Batches executed on the data path.
+    pub batches: u64,
+    /// `batch_histogram[i]` = batches that coalesced `i + 1` requests.
+    pub batch_histogram: Vec<u64>,
+    /// Median request latency (submission to delivery), microseconds.
+    pub p50_latency_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Rollup of every executed batch's [`DataPathStats`] (via
+    /// `accumulate`) — equals the sum a sequential `execute` per request
+    /// would have produced, because the batched path counts identically.
+    pub datapath: DataPathStats,
+}
+
+impl RuntimeStats {
+    /// Mean coalesced batch size (`requests / batches`), 0 when idle.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Mutable accumulator behind the engine's stats mutex.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    requests: u64,
+    batches: u64,
+    histogram: Vec<u64>,
+    latencies_us: Vec<u64>,
+    /// Next ring slot once `latencies_us` reaches the window cap.
+    ring_at: usize,
+    datapath: DataPathStats,
+}
+
+impl StatsInner {
+    /// Records one executed batch and its per-request latencies.
+    pub fn record_batch(&mut self, batch_size: usize, stats: &DataPathStats) {
+        debug_assert!(batch_size > 0);
+        self.batches += 1;
+        self.requests += batch_size as u64;
+        if self.histogram.len() < batch_size {
+            self.histogram.resize(batch_size, 0);
+        }
+        self.histogram[batch_size - 1] += 1;
+        self.datapath.accumulate(stats);
+    }
+
+    /// Records one delivered request's latency.
+    pub fn record_latency(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.ring_at] = us;
+            self.ring_at = (self.ring_at + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Builds the public snapshot.
+    pub fn snapshot(&self) -> RuntimeStats {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        RuntimeStats {
+            requests: self.requests,
+            batches: self.batches,
+            batch_histogram: self.histogram.clone(),
+            p50_latency_us: percentile(&sorted, 50),
+            p99_latency_us: percentile(&sorted, 99),
+            datapath: self.datapath,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample (0 when empty).
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct as usize * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&sorted, 100), 100);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn histogram_and_rollup_accumulate() {
+        let mut inner = StatsInner::default();
+        let dp = DataPathStats { rounds: 3, ..DataPathStats::default() };
+        inner.record_batch(1, &dp);
+        inner.record_batch(4, &dp);
+        inner.record_batch(4, &dp);
+        inner.record_latency(Duration::from_micros(10));
+        inner.record_latency(Duration::from_micros(30));
+        let snap = inner.snapshot();
+        assert_eq!(snap.requests, 9);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batch_histogram, vec![1, 0, 0, 2]);
+        assert_eq!(snap.datapath.rounds, 9);
+        assert!((snap.mean_batch_size() - 3.0).abs() < 1e-12);
+        assert_eq!(snap.p50_latency_us, 10);
+        assert_eq!(snap.p99_latency_us, 30);
+    }
+
+    #[test]
+    fn latency_window_wraps() {
+        let mut inner = StatsInner::default();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            inner.record_latency(Duration::from_micros(i as u64));
+        }
+        let snap = inner.snapshot();
+        // Oldest samples were overwritten; the p99 reflects recent traffic.
+        assert!(snap.p99_latency_us as usize >= LATENCY_WINDOW / 2);
+    }
+}

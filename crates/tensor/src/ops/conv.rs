@@ -78,6 +78,74 @@ pub fn kx_run(ox: usize, kw: usize, w: usize, cfg: Conv2dCfg) -> (usize, usize, 
     (kx_start, kx_end, (base + kx_start).saturating_sub(cfg.padding))
 }
 
+/// Fills one output pixel's receptive field (`dst`, zeroing padding).
+///
+/// Copies the flattened `(ci, ky, kx)` vector a convolution at `(oy, ox)`
+/// reads — from image `ni` of the NCHW buffer `xd` into `dst`, zeroing
+/// padded positions first.
+///
+/// `dst` must hold `c_in * kh * kw` floats. Each in-bounds `kx` run is
+/// copied as one contiguous slice. Shared between the conv lowering here
+/// ([`im2col`] uses the copy core directly on its pre-zeroed rows) and the
+/// PIM data path's input-buffer model (per-pixel and batched), so the
+/// subtle padding/clipping arithmetic exists exactly once.
+///
+/// # Panics
+///
+/// Panics if `xd`/`dst` are shorter than the geometry implies.
+#[allow(clippy::too_many_arguments)]
+pub fn fill_receptive_field(
+    xd: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ni: usize,
+    oy: usize,
+    ox: usize,
+    cfg: Conv2dCfg,
+    dst: &mut [f32],
+) {
+    dst.fill(0.0);
+    copy_receptive_runs(xd, c_in, h, w, kh, kw, ni, oy, ox, cfg, dst);
+}
+
+/// The copy core of [`fill_receptive_field`]: writes only the in-bounds
+/// `kx` runs, assuming `dst`'s padded positions are already zero.
+#[allow(clippy::too_many_arguments)]
+fn copy_receptive_runs(
+    xd: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ni: usize,
+    oy: usize,
+    ox: usize,
+    cfg: Conv2dCfg,
+    dst: &mut [f32],
+) {
+    let (kx0, kx1, ix0) = kx_run(ox, kw, w, cfg);
+    if kx1 <= kx0 {
+        return;
+    }
+    let run = kx1 - kx0;
+    for ci in 0..c_in {
+        let plane = &xd[(ni * c_in + ci) * h * w..][..h * w];
+        for ky in 0..kh {
+            let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            let src = &plane[iy as usize * w + ix0..][..run];
+            let dst_base = (ci * kh + ky) * kw + kx0;
+            dst[dst_base..dst_base + run].copy_from_slice(src);
+        }
+    }
+}
+
 /// Lowers image patches to a matrix (`im2col`).
 ///
 /// Input `(N, C, H, W)` becomes a matrix of shape
@@ -110,23 +178,9 @@ pub fn im2col(x: &Tensor, kh: usize, kw: usize, cfg: Conv2dCfg) -> Result<Tensor
             let ox = row % ow;
             let oy = (row / ow) % oh;
             let ni = row / (oh * ow);
-            let (kx0, kx1, ix0) = kx_run(ox, kw, w, cfg);
-            if kx1 <= kx0 {
-                continue;
-            }
-            let run = kx1 - kx0;
-            for ci in 0..c {
-                let x_plane = &xd[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
-                for ky in 0..kh {
-                    let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let src = &x_plane[iy as usize * w + ix0..iy as usize * w + ix0 + run];
-                    let col = (ci * kh + ky) * kw + kx0;
-                    orow[col..col + run].copy_from_slice(src);
-                }
-            }
+            // Rows of `out` start zeroed and are written exactly once, so
+            // the copy core can skip the per-row zeroing.
+            copy_receptive_runs(xd, c, h, w, kh, kw, ni, oy, ox, cfg, orow);
         }
     };
 

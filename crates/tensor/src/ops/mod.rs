@@ -15,8 +15,8 @@ mod pool;
 
 pub use activation::{relu, relu_backward, sigmoid, softmax_rows};
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_direct, conv2d_out_dims, conv2d_ref, im2col, kx_run,
-    Conv2dCfg, Conv2dGrads,
+    col2im, conv2d, conv2d_backward, conv2d_direct, conv2d_out_dims, conv2d_ref,
+    fill_receptive_field, im2col, kx_run, Conv2dCfg, Conv2dGrads,
 };
 pub use linear::{linear, linear_backward, LinearGrads};
 pub use loss::{cross_entropy, CrossEntropyOutput};
