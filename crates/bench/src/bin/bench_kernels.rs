@@ -11,9 +11,12 @@
 //! Run: `cargo run --release -p epim-bench --bin bench_kernels`
 //! (add `-- --quick` for a faster, noisier pass).
 
-use epim::core::{ConvShape, Epitome, EpitomeShape, EpitomeSpec};
+use epim::core::{ConvShape, Epitome, EpitomeDesigner, EpitomeShape, EpitomeSpec};
+use epim::models::lower::NetworkWeights;
+use epim::models::network::{Network, OperatorChoice};
+use epim::models::resnet::{Backbone, LayerInfo};
 use epim::pim::datapath::{AnalogModel, DataPath};
-use epim::runtime::{Engine, EngineConfig, PlanCache};
+use epim::runtime::{Engine, EngineConfig, NetworkEngine, PlanCache};
 use epim::tensor::ops::gemm::reference_matmul;
 use epim::tensor::ops::{conv2d, conv2d_ref, im2col, Conv2dCfg};
 use epim::tensor::{init, rng, Tensor};
@@ -261,7 +264,7 @@ fn bench_runtime(entries: &mut Vec<Entry>, reps: usize) {
         cfg,
         true,
         a9adc8,
-        EngineConfig { max_batch: 8, batch_window: std::time::Duration::ZERO },
+        EngineConfig { max_batch: 8, batch_window: std::time::Duration::ZERO, ..EngineConfig::default() },
     )
     .expect("engine builds");
     let (baseline_ms, seq) = time_best(reps, || {
@@ -282,6 +285,139 @@ fn bench_runtime(entries: &mut Vec<Entry>, reps: usize) {
         .fold(0.0, f64::max);
     entries.push(Entry {
         name: "runtime_engine_serve_burst8".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: diff,
+    });
+}
+
+/// Multi-image GEMM batching in conv2d: N per-image `conv2d` calls (the
+/// pre-batching dispatch pattern) vs one call on the stacked batch. The
+/// batched call folds the N GEMM dispatches into one worker-pool dispatch
+/// while keeping every image's arithmetic untouched, so `max_abs_diff`
+/// doubles as a correctness gate (must be exactly 0).
+fn bench_conv_batched(entries: &mut Vec<Entry>, reps: usize) {
+    for &(n, c_in, c_out, hw) in &[(16usize, 8usize, 16usize, 8usize), (8, 16, 32, 14)] {
+        let mut r = rng::seeded(400 + n as u64);
+        let x = init::uniform(&[n, c_in, hw, hw], -1.0, 1.0, &mut r);
+        let wt = init::uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[c_out], -1.0, 1.0, &mut r);
+        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let plane = c_in * hw * hw;
+        let images: Vec<Tensor> = (0..n)
+            .map(|ni| {
+                Tensor::from_vec(
+                    x.data()[ni * plane..(ni + 1) * plane].to_vec(),
+                    &[1, c_in, hw, hw],
+                )
+                .expect("image slice")
+            })
+            .collect();
+
+        let (baseline_ms, per_image) = time_best(reps, || {
+            images
+                .iter()
+                .map(|xi| conv2d(xi, &wt, Some(&b), cfg).expect("geometry"))
+                .collect::<Vec<_>>()
+        });
+        let (optimized_ms, stacked) =
+            time_best(reps, || conv2d(&x, &wt, Some(&b), cfg).expect("geometry"));
+        let oplane = stacked.len() / n;
+        let diff = per_image
+            .iter()
+            .enumerate()
+            .map(|(ni, yi)| {
+                max_abs_diff(yi.data(), &stacked.data()[ni * oplane..(ni + 1) * oplane])
+            })
+            .fold(0.0, f64::max);
+        entries.push(Entry {
+            name: format!("conv2d_batched_gemm_{c_out}x{c_in}x3x3_on_{hw}x{hw}_n{n}"),
+            baseline_ms,
+            optimized_ms,
+            speedup: baseline_ms / optimized_ms,
+            max_abs_diff: diff,
+        });
+    }
+}
+
+/// Whole-network pipelined serving: a burst of 8 requests through the
+/// `NetworkEngine` (lower -> plan -> serve) vs sequential per-stage
+/// reference execution of the same requests. Outputs must be bit-identical
+/// (`max_abs_diff` exactly 0 is the correctness gate).
+fn bench_network(entries: &mut Vec<Entry>, reps: usize) {
+    let layer = |name: &str, conv: ConvShape, res: usize| LayerInfo {
+        name: name.to_string(),
+        conv,
+        out_h: res,
+        out_w: res,
+    };
+    let bb = Backbone {
+        name: "bench-resnet".to_string(),
+        layers: vec![
+            layer("stem.conv1", ConvShape::new(8, 3, 3, 3), 8),
+            layer("stage1.block0.conv1", ConvShape::new(8, 8, 1, 1), 4),
+            layer("stage1.block0.conv2", ConvShape::new(8, 8, 3, 3), 4),
+            layer("stage1.block0.conv3", ConvShape::new(32, 8, 1, 1), 4),
+            layer("stage1.block0.downsample", ConvShape::new(32, 8, 1, 1), 4),
+            layer("stage1.block1.conv1", ConvShape::new(8, 32, 1, 1), 4),
+            layer("stage1.block1.conv2", ConvShape::new(8, 8, 3, 3), 4),
+            layer("stage1.block1.conv3", ConvShape::new(32, 8, 1, 1), 4),
+            layer("fc", ConvShape::new(10, 32, 1, 1), 1),
+        ],
+    };
+    let spec = EpitomeDesigner::new(16, 16)
+        .design(bb.layers[2].conv, 36, 4)
+        .expect("legal spec");
+    let mut net = Network::baseline(bb);
+    net.set_choice(2, OperatorChoice::Epitome(spec.clone())).expect("choice fits");
+    net.set_choice(6, OperatorChoice::Epitome(spec)).expect("choice fits");
+    let weights = NetworkWeights::random(&net, 7).expect("weights build");
+    let analog = AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+    let program = net.lower(16, 16).expect("lowers");
+
+    let mut r = rng::seeded(401);
+    let xs: Vec<Tensor> =
+        (0..8).map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r)).collect();
+
+    let (baseline_ms, seq) = time_best(reps, || {
+        xs.iter()
+            .map(|x| {
+                program
+                    .forward_reference(&weights, true, analog, x)
+                    .expect("reference executes")
+                    .0
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let cache = PlanCache::new();
+    cache.warm_network(&net).expect("cache warms");
+    let engine = NetworkEngine::new(
+        &cache,
+        &net,
+        &weights,
+        (16, 16),
+        true,
+        analog,
+        EngineConfig { max_batch: 8, batch_window: std::time::Duration::ZERO, ..EngineConfig::default() },
+    )
+    .expect("engine builds");
+    let (optimized_ms, served) = time_best(reps, || {
+        engine
+            .infer_many(xs.clone())
+            .expect("engine accepts the burst")
+            .into_iter()
+            .map(|res| res.expect("inference succeeds").output)
+            .collect::<Vec<_>>()
+    });
+    let diff = seq
+        .iter()
+        .zip(&served)
+        .map(|(a, b)| max_abs_diff(a.data(), b.data()))
+        .fold(0.0, f64::max);
+    entries.push(Entry {
+        name: "network_pipeline_resnet_burst8".to_string(),
         baseline_ms,
         optimized_ms,
         speedup: baseline_ms / optimized_ms,
@@ -346,6 +482,8 @@ fn main() {
     bench_reconstruct(&mut entries, reps);
     bench_runtime(&mut entries, reps);
     bench_pool(&mut entries, reps);
+    bench_conv_batched(&mut entries, reps);
+    bench_network(&mut entries, reps);
 
     let report = Report {
         schema_version: 1,

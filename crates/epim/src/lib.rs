@@ -12,9 +12,9 @@
 //! | [`pim`] | `epim-pim` | behavior-level crossbar simulator, IFAT/IFRT/OFAT data path, cost model |
 //! | [`quant`] | `epim-quant` | Eq. 2–5 quantization: per-crossbar scales, overlap-weighted ranges, mixed precision |
 //! | [`search`] | `epim-search` | Algorithm 1 evolutionary layer-wise design |
-//! | [`models`] | `epim-models` | ResNet-50/101 inventories, network simulation, accuracy surrogate, small-scale training |
+//! | [`models`] | `epim-models` | ResNet-50/101 inventories, network simulation, lowering to executable programs, accuracy surrogate, small-scale training |
 //! | [`prune`] | `epim-prune` | the PIM-Prune baseline |
-//! | [`runtime`] | `epim-runtime` | batched inference serving: micro-batcher, plan cache, runtime stats |
+//! | [`runtime`] | `epim-runtime` | batched inference serving: scheduler core with bounded queues/flow control, single-layer and whole-network engines, plan cache, runtime stats |
 //! | [`tensor`] | `epim-tensor` | the ND tensor / NN substrate everything is built on |
 //!
 //! ## Quickstart

@@ -18,10 +18,16 @@
 //!   epitome convolution layer ([`training::EpitomeConv2d`]) and an
 //!   experiment harness that trains conv vs. epitome vs. quantized
 //!   epitome CNNs on synthetic data with real gradient descent.
+//! - [`lower`]: lowering from a [`network::Network`] to an executable
+//!   [`lower::NetworkProgram`] — an ordered op graph of epitome crossbar
+//!   ops and dense tensor ops with inferred inter-stage shapes, plus
+//!   weight binding ([`lower::NetworkWeights`]) and the sequential
+//!   reference executor the serving runtime is verified against.
 
 #![deny(missing_docs)]
 
 pub mod accuracy;
+pub mod lower;
 pub mod network;
 pub mod resnet;
 pub mod training;

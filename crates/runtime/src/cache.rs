@@ -37,6 +37,11 @@ pub struct PlanCacheStats {
 
 /// A thread-safe memo table `EpitomeSpec -> Arc<CompiledPlan>`.
 ///
+/// `PlanCache` is a cheaply cloneable *handle*: clones share one
+/// underlying table (and its hit/miss counters), which is how engines keep
+/// a view of the cache they were built from and surface its counters in
+/// their `RuntimeStats`.
+///
 /// # Example
 ///
 /// ```
@@ -46,15 +51,15 @@ pub struct PlanCacheStats {
 /// let cache = PlanCache::new();
 /// let spec = EpitomeSpec::new(ConvShape::new(8, 4, 3, 3), EpitomeShape::new(4, 4, 2, 2))?;
 /// let a = cache.get_or_compile(&spec)?;
-/// let b = cache.get_or_compile(&spec)?;
+/// let b = cache.clone().get_or_compile(&spec)?; // clones share the table
 /// assert!(std::sync::Arc::ptr_eq(&a, &b));
 /// assert_eq!(cache.stats().misses, 1);
 /// assert_eq!(cache.stats().hits, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PlanCache {
-    inner: Mutex<Inner>,
+    inner: Arc<Mutex<Inner>>,
 }
 
 #[derive(Debug, Default)]

@@ -1,110 +1,39 @@
-//! The serving engine: a synchronous-API, internally concurrent
-//! micro-batching inference loop around one epitome layer's [`DataPath`].
+//! The single-layer serving engine: a synchronous-API, internally
+//! concurrent micro-batching inference loop around one epitome layer's
+//! [`DataPath`].
 //!
-//! ## How a request flows
-//!
-//! 1. Any number of application threads call [`Engine::infer`]; each
-//!    request is timestamped, pushed onto the shared queue, and its thread
-//!    parks on a per-request slot.
-//! 2. A **persistent batcher thread** (spawned at engine construction,
-//!    joined on drop) takes the queue head's shape, then waits up to
-//!    [`EngineConfig::batch_window`] for more same-shaped requests — or
-//!    until [`EngineConfig::max_batch`] of them are queued — before
-//!    draining that shape group in FIFO order. Requests with *diverging
-//!    shapes* are left queued and form their own later groups, which is the
-//!    per-request fallback: a shape seen once simply runs as a batch of 1.
-//! 3. The group runs through [`DataPath::execute_batch`] (bit-identical to
-//!    per-request execution, so batching is invisible to callers), results
-//!    are delivered to the parked slots, and latency/batch statistics are
-//!    recorded.
-//!
-//! The data path itself fans out over `epim-parallel`'s persistent worker
-//! pool, so a single engine saturates the machine: the batcher thread
-//! amortizes per-request overhead while the pool parallelizes each batch's
-//! pixel tiles.
+//! `Engine` is now a thin wrapper over the shared [`scheduler
+//! core`](crate::scheduler): it contributes only the executor (a
+//! `DataPath` running `execute_batch`) and inherits queueing, shape-grouped
+//! coalescing, bounded-queue flow control and failure isolation from the
+//! same code that drives [`crate::NetworkEngine`]. See the scheduler
+//! module docs for the request flow.
 
-use crate::stats::StatsInner;
-use crate::{PlanCache, RuntimeError, RuntimeStats};
+use crate::scheduler::{GroupExecutor, Scheduler};
+use crate::{
+    EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats,
+};
 use epim_core::Epitome;
 use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
 use epim_tensor::ops::Conv2dCfg;
 use epim_tensor::Tensor;
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
 
-/// Micro-batching knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EngineConfig {
-    /// Most requests coalesced into one data-path batch.
-    pub max_batch: usize,
-    /// How long the batcher holds a non-full batch open for stragglers.
-    /// `Duration::ZERO` disables coalescing-by-time: whatever is queued
-    /// when the batcher looks is taken.
-    pub batch_window: Duration,
-}
-
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig { max_batch: 16, batch_window: Duration::from_micros(200) }
-    }
-}
-
-/// One completed inference.
-#[derive(Debug, Clone)]
-pub struct Inference {
-    /// The layer output for this request's input.
-    pub output: Tensor,
-    /// How many requests shared the executed batch.
-    pub batch_size: usize,
-    /// Submission-to-delivery latency.
-    pub latency: Duration,
-}
-
-/// A queued request: the input plus the slot its submitter parks on.
-struct Request {
-    input: Tensor,
-    submitted_at: Instant,
-    slot: Arc<Slot>,
-}
-
-/// Rendezvous between a submitter and the batcher.
-#[derive(Default)]
-struct Slot {
-    result: Mutex<Option<Result<Inference, RuntimeError>>>,
-    ready: Condvar,
-}
-
-impl Slot {
-    fn deliver(&self, result: Result<Inference, RuntimeError>) {
-        *self.result.lock().expect("slot poisoned") = Some(result);
-        self.ready.notify_one();
-    }
-
-    fn wait(&self) -> Result<Inference, RuntimeError> {
-        let mut guard = self.result.lock().expect("slot poisoned");
-        loop {
-            match guard.take() {
-                Some(result) => return result,
-                None => guard = self.ready.wait(guard).expect("slot poisoned"),
-            }
-        }
-    }
-}
-
-struct Shared {
+/// Adapter: one epitome layer's data path as a scheduler executor.
+pub(crate) struct DataPathExecutor {
     dp: DataPath,
-    config: EngineConfig,
-    queue: Mutex<Queue>,
-    /// Signals the batcher that the queue changed (new request, shutdown).
-    submitted: Condvar,
-    stats: Mutex<StatsInner>,
 }
 
-#[derive(Default)]
-struct Queue {
-    pending: VecDeque<Request>,
-    shutdown: bool,
+impl GroupExecutor for DataPathExecutor {
+    fn execute_batch(
+        &self,
+        inputs: &[&Tensor],
+    ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError> {
+        Ok(self.dp.execute_batch(inputs)?)
+    }
+
+    fn execute_one(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), RuntimeError> {
+        Ok(self.dp.execute(input)?)
+    }
 }
 
 /// A batched inference serving engine for one epitome layer.
@@ -114,8 +43,9 @@ struct Queue {
 /// — [`Engine::infer`] blocks until the result is ready — but concurrent
 /// callers are transparently coalesced into data-path batches.
 pub struct Engine {
-    shared: Arc<Shared>,
-    batcher: Option<std::thread::JoinHandle<()>>,
+    scheduler: Scheduler<DataPathExecutor>,
+    /// Cache handle for stats reporting (zero counters when absent).
+    cache: Option<PlanCache>,
 }
 
 impl Engine {
@@ -123,8 +53,8 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates data-path construction errors and rejects a zero
-    /// `max_batch`.
+    /// Propagates data-path construction errors and rejects an invalid
+    /// [`EngineConfig`] (zero `max_batch`, `queue_capacity` or `workers`).
     pub fn new(
         epitome: &Epitome,
         conv_cfg: Conv2dCfg,
@@ -137,7 +67,9 @@ impl Engine {
     }
 
     /// Builds an engine reusing `cache`'s compiled plan for the epitome's
-    /// spec (compiling into the cache on first sight).
+    /// spec (compiling into the cache on first sight). The engine keeps a
+    /// handle to the cache and reports its counters in
+    /// [`RuntimeStats::plan_cache`].
     ///
     /// # Errors
     ///
@@ -151,65 +83,51 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
         let dp = cache.datapath(epitome, conv_cfg, wrapping_enabled, analog)?;
-        Self::from_datapath(dp, config)
+        let scheduler = Scheduler::new(DataPathExecutor { dp }, config)?;
+        Ok(Engine { scheduler, cache: Some(cache.clone()) })
     }
 
     /// Builds an engine around an existing data path.
     ///
     /// # Errors
     ///
-    /// Rejects a zero `max_batch`.
+    /// Rejects an invalid [`EngineConfig`].
     pub fn from_datapath(dp: DataPath, config: EngineConfig) -> Result<Self, RuntimeError> {
-        if config.max_batch == 0 {
-            return Err(RuntimeError::config("max_batch must be at least 1"));
-        }
-        let shared = Arc::new(Shared {
-            dp,
-            config,
-            queue: Mutex::new(Queue::default()),
-            submitted: Condvar::new(),
-            stats: Mutex::new(StatsInner::default()),
-        });
-        let batcher_shared = shared.clone();
-        let batcher = std::thread::Builder::new()
-            .name("epim-batcher".to_string())
-            .spawn(move || {
-                // The loop already contains per-batch panic guards; this
-                // outer guard covers everything else (e.g. a poisoned
-                // stats lock) so an unwinding batcher can never strand
-                // parked submitters or accept work it will never serve.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    batcher_loop(&batcher_shared);
-                }));
-                let mut queue = batcher_shared
-                    .queue
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                queue.shutdown = true;
-                for request in queue.pending.drain(..) {
-                    request.slot.deliver(Err(RuntimeError::ShuttingDown));
-                }
-            })
-            .expect("spawning batcher thread");
-        Ok(Engine { shared, batcher: Some(batcher) })
+        let scheduler = Scheduler::new(DataPathExecutor { dp }, config)?;
+        Ok(Engine { scheduler, cache: None })
     }
 
     /// The data path this engine serves.
     pub fn datapath(&self) -> &DataPath {
-        &self.shared.dp
+        &self.scheduler.executor().dp
     }
 
     /// Runs one inference, blocking until its (possibly batched) execution
     /// completes. Safe to call from many threads at once — that is the
-    /// point: concurrent submissions coalesce into batches.
+    /// point: concurrent submissions coalesce into batches. When the
+    /// bounded queue is full the configured [`crate::FlowControl`]
+    /// applies.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::ShuttingDown`] if the engine is being
-    /// dropped, or the data path's execution error for this request.
+    /// dropped, [`RuntimeError::Overloaded`] if the request was shed, or
+    /// the data path's execution error for this request.
     pub fn infer(&self, input: Tensor) -> Result<Inference, RuntimeError> {
-        let slots = self.enqueue(vec![input])?;
-        slots.into_iter().next().expect("one slot per input").wait()
+        self.scheduler.submit_wait(input)
+    }
+
+    /// Submits one request without ever blocking on queue space: if the
+    /// bounded queue is full the request is shed immediately (regardless
+    /// of the configured policy). On success the returned [`Pending`]
+    /// waits for the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overloaded`] when the queue is full or
+    /// [`RuntimeError::ShuttingDown`] during shutdown.
+    pub fn try_infer(&self, input: Tensor) -> Result<Pending, RuntimeError> {
+        self.scheduler.try_submit(input)
     }
 
     /// Submits `inputs` together and waits for all results, in order.
@@ -221,214 +139,19 @@ impl Engine {
     /// # Errors
     ///
     /// Per-request errors are returned in the corresponding slot of the
-    /// result vector; enqueueing after shutdown fails as a whole.
+    /// result vector; enqueueing after shutdown (or a burst larger than
+    /// the queue capacity) fails as a whole.
     #[allow(clippy::type_complexity)]
     pub fn infer_many(
         &self,
         inputs: Vec<Tensor>,
     ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
-        let slots = self.enqueue(inputs)?;
-        Ok(slots.into_iter().map(|s| s.wait()).collect())
+        self.scheduler.submit_many(inputs)
     }
 
     /// A point-in-time snapshot of the serving statistics.
     pub fn stats(&self) -> RuntimeStats {
-        self.shared.stats.lock().expect("stats poisoned").snapshot()
-    }
-
-    /// Pushes requests onto the queue under one lock and wakes the batcher.
-    fn enqueue(&self, inputs: Vec<Tensor>) -> Result<Vec<Arc<Slot>>, RuntimeError> {
-        let now = Instant::now();
-        let mut queue = self.shared.queue.lock().expect("queue poisoned");
-        if queue.shutdown {
-            return Err(RuntimeError::ShuttingDown);
-        }
-        let slots: Vec<Arc<Slot>> = inputs
-            .into_iter()
-            .map(|input| {
-                let slot = Arc::new(Slot::default());
-                queue.pending.push_back(Request {
-                    input,
-                    submitted_at: now,
-                    slot: slot.clone(),
-                });
-                slot
-            })
-            .collect();
-        drop(queue);
-        self.shared.submitted.notify_all();
-        Ok(slots)
-    }
-}
-
-impl Drop for Engine {
-    fn drop(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
-            queue.shutdown = true;
-        }
-        self.shared.submitted.notify_all();
-        if let Some(handle) = self.batcher.take() {
-            // The batcher drains every queued request before exiting, so
-            // no submitter is left parked.
-            let _ = handle.join();
-        }
-    }
-}
-
-/// The batcher thread: wait for work, coalesce a same-shape group, execute,
-/// deliver. Exits once shutdown is flagged and the queue is drained.
-fn batcher_loop(shared: &Shared) {
-    loop {
-        let Some(group) = next_group(shared) else {
-            return;
-        };
-        execute_group(shared, group);
-    }
-}
-
-/// Blocks for the next same-shape request group, honoring the batch window.
-/// Returns `None` when shut down with an empty queue.
-fn next_group(shared: &Shared) -> Option<Vec<Request>> {
-    let config = shared.config;
-    let mut queue = shared.queue.lock().expect("queue poisoned");
-    // Park until there is work (or nothing more will come).
-    loop {
-        if !queue.pending.is_empty() {
-            break;
-        }
-        if queue.shutdown {
-            return None;
-        }
-        queue = shared.submitted.wait(queue).expect("queue poisoned");
-    }
-
-    // Coalesce: hold the batch open for up to `batch_window`, or until
-    // `max_batch` requests of the head's shape have arrived. Shutdown
-    // flushes immediately.
-    let shape: Vec<usize> = queue.pending[0].input.shape().to_vec();
-    let deadline = Instant::now() + config.batch_window;
-    loop {
-        let same = queue.pending.iter().filter(|r| r.input.shape() == shape).count();
-        if same >= config.max_batch || queue.shutdown {
-            break;
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            break;
-        }
-        let (q, timeout) = shared
-            .submitted
-            .wait_timeout(queue, deadline - now)
-            .expect("queue poisoned");
-        queue = q;
-        if timeout.timed_out() {
-            break;
-        }
-    }
-
-    // Drain the head's shape group in FIFO order; other shapes stay queued
-    // for their own group (the shape-divergence fallback).
-    let mut group = Vec::new();
-    let mut i = 0;
-    while i < queue.pending.len() && group.len() < config.max_batch {
-        if queue.pending[i].input.shape() == shape {
-            group.push(queue.pending.remove(i).expect("index checked"));
-        } else {
-            i += 1;
-        }
-    }
-    Some(group)
-}
-
-/// Runs one group through the batched data path and delivers results.
-///
-/// Every request in the group is guaranteed a delivery: success, its own
-/// error, or [`RuntimeError::ExecutionPanicked`] if the data path
-/// panicked — a panicking batch must never strand its submitters.
-fn execute_group(shared: &Shared, group: Vec<Request>) {
-    let batch_size = group.len();
-    let inputs: Vec<&Tensor> = group.iter().map(|r| &r.input).collect();
-    let batch_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.dp.execute_batch(&inputs)
-    }));
-    drop(inputs);
-    match batch_result {
-        Err(_) => {
-            for request in group {
-                request.slot.deliver(Err(RuntimeError::ExecutionPanicked));
-            }
-        }
-        Ok(Ok((outputs, dp_stats))) => {
-            record_and_deliver(shared, group, outputs, &dp_stats, batch_size);
-        }
-        Ok(Err(_)) => {
-            // Defensive fallback: run the group per-request so one bad
-            // request cannot poison its batchmates (each gets its own
-            // error or result).
-            let mut outputs = Vec::with_capacity(batch_size);
-            let mut dp_stats = DataPathStats::default();
-            let mut failures: Vec<(usize, RuntimeError)> = Vec::new();
-            for (i, request) in group.iter().enumerate() {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    shared.dp.execute(&request.input)
-                }));
-                match outcome {
-                    Ok(Ok((out, s))) => {
-                        dp_stats.accumulate(&s);
-                        outputs.push(out);
-                    }
-                    Ok(Err(e)) => {
-                        failures.push((i, e.into()));
-                        outputs.push(Tensor::zeros(&[1]));
-                    }
-                    Err(_) => {
-                        failures.push((i, RuntimeError::ExecutionPanicked));
-                        outputs.push(Tensor::zeros(&[1]));
-                    }
-                }
-            }
-            if failures.is_empty() {
-                record_and_deliver(shared, group, outputs, &dp_stats, batch_size);
-            } else {
-                // Deliver successes as singletons, failures as errors.
-                for (i, request) in group.into_iter().enumerate() {
-                    if let Some((_, e)) = failures.iter().find(|(fi, _)| *fi == i) {
-                        request.slot.deliver(Err(e.clone()));
-                    } else {
-                        let latency = request.submitted_at.elapsed();
-                        let mut stats = shared.stats.lock().expect("stats poisoned");
-                        stats.record_latency(latency);
-                        drop(stats);
-                        request.slot.deliver(Ok(Inference {
-                            output: outputs[i].clone(),
-                            batch_size: 1,
-                            latency,
-                        }));
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Records batch statistics and hands each request its output.
-fn record_and_deliver(
-    shared: &Shared,
-    group: Vec<Request>,
-    outputs: Vec<Tensor>,
-    dp_stats: &DataPathStats,
-    batch_size: usize,
-) {
-    {
-        let mut stats = shared.stats.lock().expect("stats poisoned");
-        stats.record_batch(batch_size, dp_stats);
-        for request in &group {
-            stats.record_latency(request.submitted_at.elapsed());
-        }
-    }
-    for (request, output) in group.into_iter().zip(outputs) {
-        let latency = request.submitted_at.elapsed();
-        request.slot.deliver(Ok(Inference { output, batch_size, latency }));
+        let cache_stats = self.cache.as_ref().map(PlanCache::stats).unwrap_or_default();
+        self.scheduler.stats(cache_stats)
     }
 }

@@ -16,6 +16,12 @@ pub enum RuntimeError {
     /// The request's batch execution panicked; the engine survives and the
     /// request is reported failed rather than left hanging.
     ExecutionPanicked,
+    /// The bounded submission queue was full and the flow-control policy
+    /// shed the request instead of blocking.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
     /// Error from the PIM simulation layer (plan compilation or execution).
     Pim(PimError),
 }
@@ -29,6 +35,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::ExecutionPanicked => {
                 write!(f, "batch execution panicked; request not completed")
+            }
+            RuntimeError::Overloaded { capacity } => {
+                write!(f, "request shed: submission queue full ({capacity} pending)")
             }
             RuntimeError::Pim(e) => write!(f, "pim error: {e}"),
         }

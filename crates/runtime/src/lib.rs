@@ -4,28 +4,39 @@
 //! the functional PIM data path — the first step from "simulator you call
 //! in a loop" toward the production serving system the roadmap aims at.
 //!
-//! Three pieces, layered bottom-up:
+//! Layered bottom-up:
 //!
 //! 1. **Persistent worker pool** (lives in `epim-parallel`): every
 //!    fork-join region in the workspace now dispatches onto
 //!    `num_threads() - 1` parked workers instead of spawning scoped
 //!    threads per call. `EPIM_THREADS` pins the width.
-//! 2. **Dynamic micro-batcher** ([`Engine`]): concurrent [`Engine::infer`]
-//!    calls coalesce — grouped by input shape, bounded by
-//!    [`EngineConfig::max_batch`] and [`EngineConfig::batch_window`] —
-//!    into `DataPath::execute_batch` calls, which build the im2col-style
-//!    receptive-field matrix once per pixel tile and amortize per-round
-//!    table walks and DAC/ADC sweeps across the whole batch. Batched
-//!    execution is **bit-identical** to per-request execution, so batching
-//!    is purely a throughput decision.
-//! 3. **Compiled-plan cache** ([`PlanCache`]): the IFAT/IFRT/OFAT tables
+//! 2. **Scheduler core** (shared by both engines): a **bounded** MPSC
+//!    submission queue with configurable [`FlowControl`]
+//!    ([`FlowControl::Block`] backpressure or [`FlowControl::Shed`] with a
+//!    timeout, plus non-blocking `try_infer`), shape-grouped coalescing
+//!    bounded by [`EngineConfig::max_batch`] / [`EngineConfig::batch_window`],
+//!    and [`EngineConfig::workers`] pipelined group executors.
+//! 3. **Single-layer engine** ([`Engine`]): concurrent [`Engine::infer`]
+//!    calls coalesce into `DataPath::execute_batch` calls, which build the
+//!    im2col-style receptive-field matrix once per pixel tile and amortize
+//!    per-round table walks and DAC/ADC sweeps across the whole batch.
+//!    Batched execution is **bit-identical** to per-request execution, so
+//!    batching is purely a throughput decision.
+//! 4. **Network serving** ([`NetworkEngine`]): `Network::lower()` compiles
+//!    a whole epitome-compressed network into an executable program;
+//!    [`NetworkPlan`] binds weights, resolves every epitome stage through
+//!    the plan cache and pre-allocates activation buffers; the engine
+//!    serves the pipeline behind one queue, bit-identically to sequential
+//!    per-stage reference execution.
+//! 5. **Compiled-plan cache** ([`PlanCache`]): the IFAT/IFRT/OFAT tables
 //!    and per-round word-line lists depend only on the `EpitomeSpec`, so
 //!    they are compiled once and shared across engines, networks and
 //!    re-programmed weights ([`PlanCache::warm_network`] precompiles every
 //!    epitome choice of an `epim_models::Network`).
 //!
 //! Serving health is observable through [`RuntimeStats`]: p50/p99 request
-//! latency, the batch-size histogram, and a rollup of the data path's
+//! latency, the batch-size histogram, queue depth and shed counters, the
+//! plan cache's hit/miss counters, and a rollup of the data path's
 //! hardware counters.
 //!
 //! ## Example
@@ -60,9 +71,13 @@
 mod cache;
 mod engine;
 mod error;
+mod network;
+mod scheduler;
 mod stats;
 
 pub use cache::{PlanCache, PlanCacheStats};
-pub use engine::{Engine, EngineConfig, Inference};
+pub use engine::Engine;
 pub use error::RuntimeError;
+pub use network::{NetworkEngine, NetworkPlan};
+pub use scheduler::{EngineConfig, FlowControl, Inference, Pending};
 pub use stats::RuntimeStats;

@@ -1,0 +1,488 @@
+//! Whole-network serving: a [`NetworkPlan`] compiled from an
+//! `epim_models` [`Network`] and the [`NetworkEngine`] that serves it
+//! behind one submission queue.
+//!
+//! The plan is the runtime half of the lowering story: `Network::lower`
+//! produces the weight-free [`NetworkProgram`]; [`NetworkPlan::compile`]
+//! binds weights to it, resolves **every epitome stage through the
+//! [`PlanCache`]** (one compiled plan per distinct spec, shared across
+//! layers, networks and engines — warming the cache first via
+//! [`PlanCache::warm_network`] makes compilation miss-free), precomputes
+//! per-stage activation shapes and the point where each activation dies,
+//! and keeps a reusable buffer pool so steady-state serving does not
+//! allocate per stage per group.
+//!
+//! Execution stacks a whole request group into one batch tensor and
+//! streams it through the stages: epitome stages run on the batched data
+//! path (packed round panels amortized over every image of every
+//! request), dense convolutions run the multi-image batched GEMM, and
+//! elementwise stages write into pooled buffers. The result is
+//! **bit-identical** to executing each request alone through
+//! `NetworkProgram::forward_reference` — every stage's per-image
+//! arithmetic is independent of the batch around it (the classifier GEMM,
+//! whose row dimension *is* the batch, is deliberately executed
+//! per-request to keep that true) — with the [`DataPathStats`] rollup
+//! equal to the per-request sum.
+
+use crate::scheduler::{GroupExecutor, Scheduler};
+use crate::{
+    EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats,
+};
+use epim_models::lower::{NetworkProgram, NetworkWeights, StageInput, StageOp};
+use epim_models::network::Network;
+use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
+use epim_tensor::ops::{gemm, global_avg_pool, max_pool2d, Conv2dCfg, PoolCfg};
+use epim_tensor::{ops, Tensor};
+use std::sync::{Arc, Mutex};
+
+/// One executable stage: the program op with its weights bound.
+enum PlannedOp {
+    Conv { weight: Tensor, bias: Option<Tensor>, cfg: Conv2dCfg },
+    Epitome { dp: DataPath },
+    Relu,
+    MaxPool(PoolCfg),
+    GlobalAvgPool,
+    Linear { weight: Tensor, bias: Option<Tensor> },
+    Add { with: usize },
+}
+
+/// A pool of reusable activation buffers (leased per stage execution,
+/// returned when the activation dies).
+#[derive(Default)]
+struct BufferPool {
+    free: Mutex<Vec<Vec<f32>>>,
+}
+
+/// Buffers retained across groups; beyond this, returns are dropped.
+const POOL_RETAIN: usize = 64;
+
+impl BufferPool {
+    /// Leases a buffer of exactly `len` elements (contents undefined; the
+    /// caller overwrites every element).
+    fn lease(&self, len: usize) -> Vec<f32> {
+        let mut v = self.free.lock().expect("buffer pool poisoned").pop().unwrap_or_default();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns a buffer to the pool.
+    fn put(&self, v: Vec<f32>) {
+        let mut free = self.free.lock().expect("buffer pool poisoned");
+        if free.len() < POOL_RETAIN {
+            free.push(v);
+        }
+    }
+}
+
+/// A whole `Network` compiled for serving: program + bound weights +
+/// per-stage data paths, shareable (behind an [`Arc`]) across engines.
+pub struct NetworkPlan {
+    program: NetworkProgram,
+    ops: Vec<PlannedOp>,
+    /// `free_after[i]` = producer stages whose activations die once stage
+    /// `i` has executed.
+    free_after: Vec<Vec<usize>>,
+    buffers: BufferPool,
+}
+
+impl NetworkPlan {
+    /// Lowers `network` for `input_h × input_w` inputs and binds
+    /// `weights`, resolving every epitome stage through `cache` (layers
+    /// sharing a spec share one compiled plan; a pre-warmed cache
+    /// compiles nothing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors (unroutable inventory), weight-binding
+    /// mismatches and plan compilation failures.
+    pub fn compile(
+        cache: &PlanCache,
+        network: &Network,
+        weights: &NetworkWeights,
+        (input_h, input_w): (usize, usize),
+        wrapping_enabled: bool,
+        analog: AnalogModel,
+    ) -> Result<Self, RuntimeError> {
+        let program = network
+            .lower(input_h, input_w)
+            .map_err(|e| RuntimeError::config(format!("lowering failed: {e}")))?;
+        let mut ops = Vec::with_capacity(program.stages().len());
+        for stage in program.stages() {
+            let op = match &stage.op {
+                StageOp::Conv { layer, cfg } => {
+                    let (w, b) = weights.dense(*layer, &stage.name)?;
+                    PlannedOp::Conv { weight: w.clone(), bias: b.cloned(), cfg: *cfg }
+                }
+                StageOp::Epitome { layer, spec, cfg } => {
+                    let epi = weights.epitome(*layer, spec, &stage.name)?;
+                    let dp = cache.datapath(epi, *cfg, wrapping_enabled, analog)?;
+                    PlannedOp::Epitome { dp }
+                }
+                StageOp::Relu => PlannedOp::Relu,
+                StageOp::MaxPool(cfg) => PlannedOp::MaxPool(*cfg),
+                StageOp::GlobalAvgPool => PlannedOp::GlobalAvgPool,
+                StageOp::Linear { layer } => {
+                    let (w, b) = weights.dense(*layer, &stage.name)?;
+                    let wmat = w
+                        .reshape(&[w.shape()[0], w.len() / w.shape()[0]])
+                        .map_err(|e| RuntimeError::config(format!("fc weight: {e}")))?;
+                    PlannedOp::Linear { weight: wmat, bias: b.cloned() }
+                }
+                StageOp::Add { with } => PlannedOp::Add { with: *with },
+            };
+            ops.push(op);
+        }
+
+        // Death points: stage j's activation can be freed after its last
+        // consumer executes. The final stage is the program output and is
+        // never freed here.
+        let consumers = program.consumers();
+        let last = program.stages().len().saturating_sub(1);
+        let mut free_after = vec![Vec::new(); program.stages().len()];
+        for (j, readers) in consumers.iter().enumerate() {
+            if j == last {
+                continue;
+            }
+            if let Some(&die_at) = readers.iter().max() {
+                free_after[die_at].push(j);
+            }
+        }
+
+        Ok(NetworkPlan { program, ops, free_after, buffers: BufferPool::default() })
+    }
+
+    /// The lowered program this plan executes.
+    pub fn program(&self) -> &NetworkProgram {
+        &self.program
+    }
+
+    /// Pre-allocates the activation buffer pool for groups of up to
+    /// `images` stacked images, so the first served groups do not pay the
+    /// allocations either. Called by [`NetworkEngine`] with its
+    /// `max_batch`.
+    pub fn preallocate(&self, images: usize) {
+        let mut lens: Vec<usize> = self
+            .program
+            .stages()
+            .iter()
+            .map(|s| images * s.out_shape.iter().product::<usize>())
+            .collect();
+        lens.push(images * self.program.input_shape().iter().product::<usize>());
+        // Lease everything first, then return: putting one back before
+        // leasing the next would just resize the same buffer over and
+        // over (the pool is a LIFO).
+        let bufs: Vec<Vec<f32>> = lens.into_iter().map(|len| self.buffers.lease(len)).collect();
+        for buf in bufs {
+            self.buffers.put(buf);
+        }
+    }
+
+    /// Executes a shape-uniform request group through the whole program,
+    /// returning one output per request plus the summed
+    /// [`DataPathStats`] of every epitome stage.
+    ///
+    /// Semantics are exactly `inputs.iter().map(forward_reference)`: the
+    /// outputs and stats are bit-identical to sequential per-request
+    /// reference execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a geometry error if the inputs' shapes differ from one
+    /// another or from the program input shape.
+    pub fn execute_batch(
+        &self,
+        inputs: &[&Tensor],
+    ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError> {
+        let Some(first) = inputs.first() else {
+            return Ok((Vec::new(), DataPathStats::default()));
+        };
+        let in_shape = self.program.input_shape();
+        if first.rank() != 4 || first.shape()[1..] != in_shape[..] {
+            return Err(RuntimeError::Pim(epim_pim::PimError::geometry(format!(
+                "network input must be (N, {}, {}, {}), got {:?}",
+                in_shape[0],
+                in_shape[1],
+                in_shape[2],
+                first.shape()
+            ))));
+        }
+        if let Some(bad) = inputs.iter().find(|t| t.shape() != first.shape()) {
+            return Err(RuntimeError::Pim(epim_pim::PimError::geometry(format!(
+                "network batch requires identical input shapes, got {:?} and {:?}",
+                first.shape(),
+                bad.shape()
+            ))));
+        }
+        let n_per = first.shape()[0];
+        let images = inputs.len() * n_per;
+
+        // Stack the group into one (B, C, H, W) batch tensor (pooled
+        // buffer). Per-image results are independent of the stacking, so
+        // this is purely a dispatch-amortization move.
+        let plane = first.len();
+        let mut stacked_buf = self.buffers.lease(inputs.len() * plane);
+        for (g, input) in inputs.iter().enumerate() {
+            stacked_buf[g * plane..(g + 1) * plane].copy_from_slice(input.data());
+        }
+        let mut shape = vec![images];
+        shape.extend_from_slice(in_shape);
+        let source = Tensor::from_vec(stacked_buf, &shape)
+            .map_err(|e| RuntimeError::config(format!("stacking failed: {e}")))?;
+
+        let mut stats = DataPathStats::default();
+        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(self.ops.len());
+        for (i, op) in self.ops.iter().enumerate() {
+            let x = match self.program.stages()[i].input {
+                StageInput::Source => &source,
+                StageInput::Stage(j) => {
+                    outputs[j].as_ref().expect("stages execute in order")
+                }
+            };
+            let y = match op {
+                PlannedOp::Conv { weight, bias, cfg } => {
+                    ops::conv2d(x, weight, bias.as_ref(), *cfg)
+                        .map_err(epim_pim::PimError::Tensor)?
+                }
+                PlannedOp::Epitome { dp } => {
+                    let (mut outs, s) = dp.execute_batch(&[x])?;
+                    stats.accumulate(&s);
+                    outs.pop().expect("one output per batch input")
+                }
+                PlannedOp::Relu => {
+                    // Pooled elementwise; same scalar op as `ops::relu`.
+                    let mut buf = self.buffers.lease(x.len());
+                    for (o, &v) in buf.iter_mut().zip(x.data()) {
+                        *o = v.max(0.0);
+                    }
+                    Tensor::from_vec(buf, x.shape()).map_err(epim_pim::PimError::Tensor)?
+                }
+                PlannedOp::MaxPool(cfg) => {
+                    max_pool2d(x, *cfg).map_err(epim_pim::PimError::Tensor)?
+                }
+                PlannedOp::GlobalAvgPool => {
+                    let (n, c) = (x.shape()[0], x.shape()[1]);
+                    global_avg_pool(x)
+                        .and_then(|t| t.reshape(&[n, c, 1, 1]))
+                        .map_err(epim_pim::PimError::Tensor)?
+                }
+                PlannedOp::Linear { weight, bias } => {
+                    // Per-request GEMMs: the row dimension of this product
+                    // is the batch itself, so folding requests together
+                    // would change each row's kernel path. Request-sized
+                    // row blocks run the exact calls `ops::linear` makes —
+                    // bit-identical to per-request reference execution —
+                    // but read the input and write the pooled output
+                    // in place (no staging copies).
+                    let feats = x.len() / x.shape()[0].max(1);
+                    let out_f = weight.shape()[0];
+                    if feats != weight.shape()[1] {
+                        return Err(RuntimeError::config(format!(
+                            "classifier expects {} features, got {feats}",
+                            weight.shape()[1]
+                        )));
+                    }
+                    let mut buf = self.buffers.lease(images * out_f);
+                    for g in 0..inputs.len() {
+                        let rows = &x.data()[g * n_per * feats..(g + 1) * n_per * feats];
+                        let out = &mut buf[g * n_per * out_f..(g + 1) * n_per * out_f];
+                        match bias {
+                            Some(b) => gemm::gemm_nt_bias_col(
+                                n_per,
+                                out_f,
+                                feats,
+                                rows,
+                                weight.data(),
+                                b.data(),
+                                out,
+                            ),
+                            None => gemm::gemm_nt(n_per, out_f, feats, rows, weight.data(), out),
+                        }
+                    }
+                    Tensor::from_vec(buf, &[images, out_f])
+                        .map_err(epim_pim::PimError::Tensor)?
+                }
+                PlannedOp::Add { with } => {
+                    let other = outputs[*with].as_ref().expect("stages execute in order");
+                    // Pooled elementwise; same scalar op as `Tensor::add`.
+                    let mut buf = self.buffers.lease(x.len());
+                    for (o, (&a, &b)) in
+                        buf.iter_mut().zip(x.data().iter().zip(other.data()))
+                    {
+                        *o = a + b;
+                    }
+                    Tensor::from_vec(buf, x.shape()).map_err(epim_pim::PimError::Tensor)?
+                }
+            };
+            outputs.push(Some(y));
+            // Return dead activations to the pool.
+            for &j in &self.free_after[i] {
+                if let Some(dead) = outputs[j].take() {
+                    self.buffers.put(dead.into_vec());
+                }
+            }
+        }
+
+        // The source dies with the first stage in a chain program, but a
+        // residual program may read it later; it is safe to recycle here
+        // in all cases because every stage has executed.
+        self.buffers.put(source.into_vec());
+
+        // Split the stacked output back into per-request tensors.
+        let out = outputs.pop().flatten().expect("last stage executed");
+        let mut req_shape = out.shape().to_vec();
+        req_shape[0] = n_per;
+        let req_len = out.len() / inputs.len();
+        let od = out.data();
+        let outs = (0..inputs.len())
+            .map(|g| {
+                Tensor::from_vec(od[g * req_len..(g + 1) * req_len].to_vec(), &req_shape)
+                    .expect("request shape matches slice")
+            })
+            .collect();
+        Ok((outs, stats))
+    }
+}
+
+/// Adapter: a shared network plan as a scheduler executor.
+pub(crate) struct PlanExecutor {
+    plan: Arc<NetworkPlan>,
+}
+
+impl GroupExecutor for PlanExecutor {
+    fn execute_batch(
+        &self,
+        inputs: &[&Tensor],
+    ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError> {
+        self.plan.execute_batch(inputs)
+    }
+
+    fn execute_one(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), RuntimeError> {
+        let (mut outs, stats) = self.plan.execute_batch(&[input])?;
+        Ok((outs.pop().expect("one output"), stats))
+    }
+}
+
+/// A serving engine for a whole epitome-compressed network: one submission
+/// queue, shape-grouped micro-batching, and pipelined execution of the
+/// compiled [`NetworkPlan`] — built on the same scheduler core as the
+/// single-layer [`crate::Engine`].
+///
+/// # Example
+///
+/// ```no_run
+/// use epim_models::lower::NetworkWeights;
+/// use epim_models::network::Network;
+/// use epim_models::resnet::resnet50;
+/// use epim_pim::datapath::AnalogModel;
+/// use epim_runtime::{EngineConfig, NetworkEngine, PlanCache};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Network::baseline(resnet50());
+/// let weights = NetworkWeights::random(&net, 1)?;
+/// let cache = PlanCache::new();
+/// cache.warm_network(&net)?; // compile every epitome plan up front
+/// let engine = NetworkEngine::new(
+///     &cache, &net, &weights, (224, 224), true, AnalogModel::ideal(),
+///     EngineConfig::default(),
+/// )?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetworkEngine {
+    scheduler: Scheduler<PlanExecutor>,
+    cache: PlanCache,
+}
+
+impl NetworkEngine {
+    /// Compiles `network` (see [`NetworkPlan::compile`]) and spawns the
+    /// serving scheduler. The engine keeps a handle to `cache` and
+    /// reports its counters in [`RuntimeStats::plan_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors and rejects an invalid
+    /// [`EngineConfig`].
+    pub fn new(
+        cache: &PlanCache,
+        network: &Network,
+        weights: &NetworkWeights,
+        input_hw: (usize, usize),
+        wrapping_enabled: bool,
+        analog: AnalogModel,
+        config: EngineConfig,
+    ) -> Result<Self, RuntimeError> {
+        let plan = Arc::new(NetworkPlan::compile(
+            cache,
+            network,
+            weights,
+            input_hw,
+            wrapping_enabled,
+            analog,
+        )?);
+        Self::from_plan(plan, cache, config)
+    }
+
+    /// Spawns a serving engine around an already-compiled (possibly
+    /// shared) plan.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid [`EngineConfig`].
+    pub fn from_plan(
+        plan: Arc<NetworkPlan>,
+        cache: &PlanCache,
+        config: EngineConfig,
+    ) -> Result<Self, RuntimeError> {
+        plan.preallocate(config.max_batch.max(1));
+        let scheduler = Scheduler::new(PlanExecutor { plan }, config)?;
+        Ok(NetworkEngine { scheduler, cache: cache.clone() })
+    }
+
+    /// The compiled plan this engine serves.
+    pub fn plan(&self) -> &Arc<NetworkPlan> {
+        &self.scheduler.executor().plan
+    }
+
+    /// Runs one whole-network inference (input `(N, C, H, W)` matching the
+    /// program input shape), blocking until the pipelined execution
+    /// completes. Concurrent callers coalesce into stacked groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ShuttingDown`] during shutdown,
+    /// [`RuntimeError::Overloaded`] if the request was shed, or this
+    /// request's execution error.
+    pub fn infer(&self, input: Tensor) -> Result<Inference, RuntimeError> {
+        self.scheduler.submit_wait(input)
+    }
+
+    /// Submits without ever blocking on queue space (full queue → shed
+    /// immediately); the returned [`Pending`] waits for the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overloaded`] when the queue is full.
+    pub fn try_infer(&self, input: Tensor) -> Result<Pending, RuntimeError> {
+        self.scheduler.try_submit(input)
+    }
+
+    /// Submits a burst atomically and waits for all results, in order.
+    ///
+    /// # Errors
+    ///
+    /// Per-request errors land in their result slot; a burst larger than
+    /// the queue capacity (or submission during shutdown) fails whole.
+    #[allow(clippy::type_complexity)]
+    pub fn infer_many(
+        &self,
+        inputs: Vec<Tensor>,
+    ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
+        self.scheduler.submit_many(inputs)
+    }
+
+    /// A point-in-time snapshot of the serving statistics (including the
+    /// plan cache's counters).
+    pub fn stats(&self) -> RuntimeStats {
+        self.scheduler.stats(self.cache.stats())
+    }
+}

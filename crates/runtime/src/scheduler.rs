@@ -1,0 +1,536 @@
+//! The reusable scheduler core shared by every serving engine.
+//!
+//! PR 2's single-layer `Engine` owned its queue, coalescing loop, slot
+//! delivery and panic handling directly; serving whole networks would have
+//! meant duplicating all of it. This module extracts that machinery into a
+//! [`Scheduler`] that is generic over *what a batch executes* (the
+//! [`GroupExecutor`] trait): the single-layer [`crate::Engine`] plugs in a
+//! `DataPath`, the [`crate::NetworkEngine`] a whole
+//! [`crate::NetworkPlan`], and both get identical queueing, coalescing,
+//! flow-control and failure semantics from one implementation.
+//!
+//! ## Request flow
+//!
+//! 1. Submitters push requests onto one **bounded** MPSC queue
+//!    ([`EngineConfig::queue_capacity`]). When the queue is full the
+//!    configured [`FlowControl`] decides: [`FlowControl::Block`] waits for
+//!    space (no request is ever dropped), [`FlowControl::Shed`] waits up
+//!    to its timeout and then rejects with
+//!    [`RuntimeError::Overloaded`]. [`Scheduler::try_submit`] never waits.
+//! 2. [`EngineConfig::workers`] scheduler threads pull from the queue.
+//!    Each takes the queue head's input shape, coalesces up to
+//!    [`EngineConfig::max_batch`] same-shaped requests (holding the batch
+//!    open up to [`EngineConfig::batch_window`]), drains the group in FIFO
+//!    order and runs it through the executor. With more than one worker,
+//!    group `k + 1` is being coalesced and executed while group `k` is
+//!    still in flight — the pipeline that keeps a slow shape group from
+//!    stalling the queue behind it.
+//! 3. Results are delivered to per-request slots; every request is
+//!    guaranteed a delivery (success, its own error, or
+//!    [`RuntimeError::ExecutionPanicked`]), and a failing batch is retried
+//!    per-request so one bad request cannot poison its batchmates.
+
+use crate::stats::StatsInner;
+use crate::{PlanCacheStats, RuntimeError};
+use epim_pim::datapath::DataPathStats;
+use epim_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a scheduler executes: one shape-uniform request group at a time.
+///
+/// Implementations must be deterministic per input (batching is a
+/// throughput decision, never a semantic one): `execute_batch` must return
+/// outputs bit-identical to `execute_one` per input, with the stats equal
+/// to the per-input sum.
+pub(crate) trait GroupExecutor: Send + Sync + 'static {
+    /// Runs a group of same-shaped inputs, returning one output per input
+    /// and the summed execution statistics.
+    fn execute_batch(&self, inputs: &[&Tensor]) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError>;
+
+    /// Runs a single input (the per-request fallback used to isolate a
+    /// failing batch).
+    fn execute_one(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), RuntimeError>;
+}
+
+/// Flow-control policy applied when the bounded submission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowControl {
+    /// Block the submitter until space frees up. Nothing is ever dropped;
+    /// backpressure propagates to the caller.
+    Block,
+    /// Wait up to `timeout` for space, then reject the submission with
+    /// [`RuntimeError::Overloaded`]. `Duration::ZERO` sheds immediately.
+    Shed {
+        /// How long a submitter may wait for queue space before shedding.
+        timeout: Duration,
+    },
+}
+
+/// Micro-batching and flow-control knobs (shared by [`crate::Engine`] and
+/// [`crate::NetworkEngine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Most requests coalesced into one executed batch.
+    pub max_batch: usize,
+    /// How long a scheduler thread holds a non-full batch open for
+    /// stragglers. `Duration::ZERO` disables coalescing-by-time: whatever
+    /// is queued when the thread looks is taken.
+    pub batch_window: Duration,
+    /// Bounded submission-queue capacity (pending requests).
+    pub queue_capacity: usize,
+    /// What happens to submissions when the queue is full.
+    pub flow: FlowControl,
+    /// Scheduler threads executing groups concurrently (the pipeline
+    /// depth). `1` reproduces the strictly serial group order of the
+    /// original engine; more lets a fresh group coalesce and execute while
+    /// earlier ones are still in flight.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 16,
+            batch_window: Duration::from_micros(200),
+            queue_capacity: 256,
+            flow: FlowControl::Block,
+            workers: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration, returning a typed error instead of
+    /// letting a zero knob hang or panic a scheduler thread.
+    pub(crate) fn validate(&self) -> Result<(), RuntimeError> {
+        if self.max_batch == 0 {
+            return Err(RuntimeError::config("max_batch must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(RuntimeError::config("queue_capacity must be at least 1"));
+        }
+        if self.workers == 0 {
+            return Err(RuntimeError::config("workers must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// One completed inference.
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The output for this request's input.
+    pub output: Tensor,
+    /// How many requests shared the executed batch.
+    pub batch_size: usize,
+    /// Submission-to-delivery latency.
+    pub latency: Duration,
+}
+
+/// A queued request: the input plus the slot its submitter parks on.
+struct Request {
+    input: Tensor,
+    submitted_at: Instant,
+    slot: Arc<Slot>,
+}
+
+/// Rendezvous between a submitter and a scheduler thread.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<Result<Inference, RuntimeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn deliver(&self, result: Result<Inference, RuntimeError>) {
+        *self.result.lock().expect("slot poisoned") = Some(result);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<Inference, RuntimeError> {
+        let mut guard = self.result.lock().expect("slot poisoned");
+        loop {
+            match guard.take() {
+                Some(result) => return result,
+                None => guard = self.ready.wait(guard).expect("slot poisoned"),
+            }
+        }
+    }
+}
+
+/// An accepted-but-unfinished submission (returned by the non-blocking
+/// submission paths). Dropping it abandons the result; the request still
+/// executes.
+pub struct Pending {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending").finish_non_exhaustive()
+    }
+}
+
+impl Pending {
+    /// Blocks until the inference completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's execution error, or
+    /// [`RuntimeError::ShuttingDown`] if the engine dropped before serving
+    /// it.
+    pub fn wait(self) -> Result<Inference, RuntimeError> {
+        self.slot.wait()
+    }
+}
+
+struct Shared<E: ?Sized + GroupExecutor> {
+    config: EngineConfig,
+    queue: Mutex<Queue>,
+    /// Signals scheduler threads that the queue changed (new request,
+    /// shutdown).
+    submitted: Condvar,
+    /// Signals blocked submitters that queue space freed up.
+    space: Condvar,
+    stats: Mutex<StatsInner>,
+    exec: E,
+}
+
+#[derive(Default)]
+struct Queue {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// The scheduler core: bounded queue, shape-grouped micro-batching worker
+/// threads, per-request delivery. Engines wrap this around their executor.
+pub(crate) struct Scheduler<E: GroupExecutor> {
+    shared: Arc<Shared<E>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<E: GroupExecutor> Scheduler<E> {
+    /// Validates `config` and spawns the scheduler threads around `exec`.
+    pub fn new(exec: E, config: EngineConfig) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(Queue::default()),
+            submitted: Condvar::new(),
+            space: Condvar::new(),
+            stats: Mutex::new(StatsInner::default()),
+            exec,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("epim-sched-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawning scheduler thread")
+            })
+            .collect();
+        Ok(Scheduler { shared, workers })
+    }
+
+    /// The executor this scheduler drives.
+    pub fn executor(&self) -> &E {
+        &self.shared.exec
+    }
+
+    /// Submits one request under the configured flow control and waits for
+    /// its result.
+    pub fn submit_wait(&self, input: Tensor) -> Result<Inference, RuntimeError> {
+        let slots = self.enqueue(vec![input], self.shared.config.flow)?;
+        slots.into_iter().next().expect("one slot per input").wait()
+    }
+
+    /// Submits one request without ever waiting for queue space.
+    pub fn try_submit(&self, input: Tensor) -> Result<Pending, RuntimeError> {
+        let slots =
+            self.enqueue(vec![input], FlowControl::Shed { timeout: Duration::ZERO })?;
+        Ok(Pending { slot: slots.into_iter().next().expect("one slot per input") })
+    }
+
+    /// Submits a burst atomically (the whole burst is visible to the
+    /// coalescers at once) and waits for all results, in order.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_many(
+        &self,
+        inputs: Vec<Tensor>,
+    ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
+        let slots = self.enqueue(inputs, self.shared.config.flow)?;
+        Ok(slots.into_iter().map(|s| s.wait()).collect())
+    }
+
+    /// A point-in-time statistics snapshot; `plan_cache` is supplied by
+    /// the wrapping engine (zeroes when it has no cache).
+    pub fn stats(&self, plan_cache: PlanCacheStats) -> crate::RuntimeStats {
+        let queue_depth = self.shared.queue.lock().expect("queue poisoned").pending.len();
+        self.shared.stats.lock().expect("stats poisoned").snapshot(queue_depth, plan_cache)
+    }
+
+    /// Pushes requests onto the bounded queue under one lock (so a burst
+    /// coalesces deterministically) and wakes the scheduler threads.
+    fn enqueue(
+        &self,
+        inputs: Vec<Tensor>,
+        flow: FlowControl,
+    ) -> Result<Vec<Arc<Slot>>, RuntimeError> {
+        let shared = &self.shared;
+        let capacity = shared.config.queue_capacity;
+        if inputs.len() > capacity {
+            return Err(RuntimeError::config(format!(
+                "burst of {} exceeds queue_capacity {capacity}",
+                inputs.len()
+            )));
+        }
+        let now = Instant::now();
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        // Backpressure: wait (or shed) until the whole submission fits.
+        let deadline = match flow {
+            FlowControl::Block => None,
+            FlowControl::Shed { timeout } => Some(now + timeout),
+        };
+        while !queue.shutdown && queue.pending.len() + inputs.len() > capacity {
+            match deadline {
+                None => queue = shared.space.wait(queue).expect("queue poisoned"),
+                Some(deadline) => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        drop(queue);
+                        let mut stats = shared.stats.lock().expect("stats poisoned");
+                        stats.record_shed(inputs.len() as u64);
+                        return Err(RuntimeError::Overloaded { capacity });
+                    }
+                    let (q, _) =
+                        shared.space.wait_timeout(queue, left).expect("queue poisoned");
+                    queue = q;
+                }
+            }
+        }
+        if queue.shutdown {
+            return Err(RuntimeError::ShuttingDown);
+        }
+        let slots: Vec<Arc<Slot>> = inputs
+            .into_iter()
+            .map(|input| {
+                let slot = Arc::new(Slot::default());
+                queue.pending.push_back(Request {
+                    input,
+                    submitted_at: now,
+                    slot: slot.clone(),
+                });
+                slot
+            })
+            .collect();
+        drop(queue);
+        shared.submitted.notify_all();
+        Ok(slots)
+    }
+}
+
+impl<E: GroupExecutor> Drop for Scheduler<E> {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.submitted.notify_all();
+        self.shared.space.notify_all();
+        for handle in self.workers.drain(..) {
+            // Workers drain every queued request before exiting, so no
+            // submitter is left parked.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One scheduler thread: coalesce, execute, deliver, until shut down.
+fn worker_main<E: ?Sized + GroupExecutor>(shared: &Shared<E>) {
+    // The loop contains per-batch panic guards; this outer guard covers
+    // everything else (e.g. a poisoned stats lock) so an unwinding worker
+    // can never strand parked submitters or accept work it will never
+    // serve.
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+        let Some(group) = next_group(shared) else {
+            return;
+        };
+        execute_group(shared, group);
+    }));
+    let mut queue = shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    queue.shutdown = true;
+    for request in queue.pending.drain(..) {
+        request.slot.deliver(Err(RuntimeError::ShuttingDown));
+    }
+    drop(queue);
+    shared.submitted.notify_all();
+    shared.space.notify_all();
+}
+
+/// Blocks for the next same-shape request group, honoring the batch
+/// window. Returns `None` when shut down with an empty queue.
+fn next_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>) -> Option<Vec<Request>> {
+    let config = shared.config;
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    // With several workers the head can change (or vanish) under us while
+    // we wait; every such race restarts this loop — iteration, not
+    // recursion, so sustained churn cannot grow the stack.
+    'regroup: loop {
+        // Park until there is work (or nothing more will come).
+        loop {
+            if !queue.pending.is_empty() {
+                break;
+            }
+            if queue.shutdown {
+                return None;
+            }
+            queue = shared.submitted.wait(queue).expect("queue poisoned");
+        }
+
+        // Coalesce: hold the batch open for up to `batch_window`, or
+        // until `max_batch` requests of the head's shape have arrived.
+        // Shutdown flushes immediately.
+        let shape: Vec<usize> = queue.pending[0].input.shape().to_vec();
+        let deadline = Instant::now() + config.batch_window;
+        loop {
+            let same = queue.pending.iter().filter(|r| r.input.shape() == shape).count();
+            if same >= config.max_batch || queue.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (q, timeout) = shared
+                .submitted
+                .wait_timeout(queue, deadline - now)
+                .expect("queue poisoned");
+            queue = q;
+            if timeout.timed_out() {
+                break;
+            }
+            // Another worker may have drained the queue (or its head
+            // shape) while we waited; regroup around the new head.
+            if queue.pending.is_empty() || queue.pending[0].input.shape() != shape {
+                continue 'regroup;
+            }
+        }
+        if queue.pending.is_empty() {
+            continue 'regroup;
+        }
+
+        // Drain the head's shape group in FIFO order; other shapes stay
+        // queued for their own group (the shape-divergence fallback).
+        let mut group = Vec::new();
+        let mut i = 0;
+        while i < queue.pending.len() && group.len() < config.max_batch {
+            if queue.pending[i].input.shape() == shape {
+                group.push(queue.pending.remove(i).expect("index checked"));
+            } else {
+                i += 1;
+            }
+        }
+        if group.is_empty() {
+            continue 'regroup;
+        }
+        drop(queue);
+        // Queue space freed: wake blocked submitters.
+        shared.space.notify_all();
+        return Some(group);
+    }
+}
+
+/// Runs one group through the executor and delivers results.
+///
+/// Every request in the group is guaranteed a delivery: success, its own
+/// error, or [`RuntimeError::ExecutionPanicked`] if the executor panicked
+/// — a panicking batch must never strand its submitters.
+fn execute_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>, group: Vec<Request>) {
+    let batch_size = group.len();
+    let inputs: Vec<&Tensor> = group.iter().map(|r| &r.input).collect();
+    let batch_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.exec.execute_batch(&inputs)
+    }));
+    drop(inputs);
+    match batch_result {
+        Err(_) => {
+            for request in group {
+                request.slot.deliver(Err(RuntimeError::ExecutionPanicked));
+            }
+        }
+        Ok(Ok((outputs, dp_stats))) => {
+            record_and_deliver(shared, group, outputs, &dp_stats, batch_size);
+        }
+        Ok(Err(_)) => {
+            // Defensive fallback: run the group per-request so one bad
+            // request cannot poison its batchmates (each gets its own
+            // error or result).
+            let mut outputs = Vec::with_capacity(batch_size);
+            let mut dp_stats = DataPathStats::default();
+            let mut failures: Vec<(usize, RuntimeError)> = Vec::new();
+            for (i, request) in group.iter().enumerate() {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.exec.execute_one(&request.input)
+                }));
+                match outcome {
+                    Ok(Ok((out, s))) => {
+                        dp_stats.accumulate(&s);
+                        outputs.push(out);
+                    }
+                    Ok(Err(e)) => {
+                        failures.push((i, e));
+                        outputs.push(Tensor::zeros(&[1]));
+                    }
+                    Err(_) => {
+                        failures.push((i, RuntimeError::ExecutionPanicked));
+                        outputs.push(Tensor::zeros(&[1]));
+                    }
+                }
+            }
+            if failures.is_empty() {
+                record_and_deliver(shared, group, outputs, &dp_stats, batch_size);
+            } else {
+                // Deliver successes as singletons, failures as errors.
+                for (i, request) in group.into_iter().enumerate() {
+                    if let Some((_, e)) = failures.iter().find(|(fi, _)| *fi == i) {
+                        request.slot.deliver(Err(e.clone()));
+                    } else {
+                        let latency = request.submitted_at.elapsed();
+                        let mut stats = shared.stats.lock().expect("stats poisoned");
+                        stats.record_latency(latency);
+                        drop(stats);
+                        request.slot.deliver(Ok(Inference {
+                            output: outputs[i].clone(),
+                            batch_size: 1,
+                            latency,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Records batch statistics and hands each request its output.
+fn record_and_deliver<E: ?Sized + GroupExecutor>(
+    shared: &Shared<E>,
+    group: Vec<Request>,
+    outputs: Vec<Tensor>,
+    dp_stats: &DataPathStats,
+    batch_size: usize,
+) {
+    {
+        let mut stats = shared.stats.lock().expect("stats poisoned");
+        stats.record_batch(batch_size, dp_stats);
+        for request in &group {
+            stats.record_latency(request.submitted_at.elapsed());
+        }
+    }
+    for (request, output) in group.into_iter().zip(outputs) {
+        let latency = request.submitted_at.elapsed();
+        request.slot.deliver(Ok(Inference { output, batch_size, latency }));
+    }
+}

@@ -1,6 +1,7 @@
 //! Serving-side statistics: request latencies, batch-size distribution,
-//! and data-path counter rollups.
+//! queue/flow-control counters, and data-path counter rollups.
 
+use crate::PlanCacheStats;
 use epim_pim::datapath::DataPathStats;
 use serde::Serialize;
 use std::time::Duration;
@@ -30,6 +31,16 @@ pub struct RuntimeStats {
     /// `accumulate`) — equals the sum a sequential `execute` per request
     /// would have produced, because the batched path counts identically.
     pub datapath: DataPathStats,
+    /// Requests waiting in the bounded submission queue right now.
+    pub queue_depth: usize,
+    /// Requests rejected by flow control (`Shed` timeouts and full-queue
+    /// `try_infer` calls) since engine construction.
+    pub shed: u64,
+    /// Counters of the plan cache this engine was built from (all zero for
+    /// engines constructed without a cache). `warm_network` effectiveness
+    /// is visible here: a fully warmed engine compiles with zero
+    /// additional misses.
+    pub plan_cache: PlanCacheStats,
 }
 
 impl RuntimeStats {
@@ -53,9 +64,14 @@ pub(crate) struct StatsInner {
     /// Next ring slot once `latencies_us` reaches the window cap.
     ring_at: usize,
     datapath: DataPathStats,
+    shed: u64,
 }
 
 impl StatsInner {
+    /// Records requests rejected by flow control.
+    pub fn record_shed(&mut self, count: u64) {
+        self.shed += count;
+    }
     /// Records one executed batch and its per-request latencies.
     pub fn record_batch(&mut self, batch_size: usize, stats: &DataPathStats) {
         debug_assert!(batch_size > 0);
@@ -79,8 +95,9 @@ impl StatsInner {
         }
     }
 
-    /// Builds the public snapshot.
-    pub fn snapshot(&self) -> RuntimeStats {
+    /// Builds the public snapshot; the queue depth and cache counters are
+    /// sampled by the caller (they live outside the stats mutex).
+    pub fn snapshot(&self, queue_depth: usize, plan_cache: PlanCacheStats) -> RuntimeStats {
         let mut sorted = self.latencies_us.clone();
         sorted.sort_unstable();
         RuntimeStats {
@@ -90,6 +107,9 @@ impl StatsInner {
             p50_latency_us: percentile(&sorted, 50),
             p99_latency_us: percentile(&sorted, 99),
             datapath: self.datapath,
+            queue_depth,
+            shed: self.shed,
+            plan_cache,
         }
     }
 }
@@ -126,8 +146,11 @@ mod tests {
         inner.record_batch(4, &dp);
         inner.record_latency(Duration::from_micros(10));
         inner.record_latency(Duration::from_micros(30));
-        let snap = inner.snapshot();
+        inner.record_shed(3);
+        let snap = inner.snapshot(2, PlanCacheStats::default());
         assert_eq!(snap.requests, 9);
+        assert_eq!(snap.shed, 3);
+        assert_eq!(snap.queue_depth, 2);
         assert_eq!(snap.batches, 3);
         assert_eq!(snap.batch_histogram, vec![1, 0, 0, 2]);
         assert_eq!(snap.datapath.rounds, 9);
@@ -142,7 +165,7 @@ mod tests {
         for i in 0..(LATENCY_WINDOW + 10) {
             inner.record_latency(Duration::from_micros(i as u64));
         }
-        let snap = inner.snapshot();
+        let snap = inner.snapshot(0, PlanCacheStats::default());
         // Oldest samples were overwritten; the p99 reflects recent traffic.
         assert!(snap.p99_latency_us as usize >= LATENCY_WINDOW / 2);
     }

@@ -34,7 +34,7 @@ fn test_engine(seed: u64, config: EngineConfig) -> (Engine, DataPath) {
 fn concurrent_submissions_match_sequential_execute() {
     let (engine, dp) = test_engine(
         1,
-        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(5) },
+        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(5), ..EngineConfig::default() },
     );
     let mut r = rng::seeded(2);
     const N: usize = 24;
@@ -86,7 +86,7 @@ fn concurrent_submissions_match_sequential_execute() {
 fn burst_coalesces_into_full_batches() {
     let (engine, dp) = test_engine(
         3,
-        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(50) },
+        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(50), ..EngineConfig::default() },
     );
     let mut r = rng::seeded(4);
     let inputs: Vec<Tensor> =
@@ -113,7 +113,7 @@ fn burst_coalesces_into_full_batches() {
 fn diverging_shapes_group_separately() {
     let (engine, dp) = test_engine(
         5,
-        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(20) },
+        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(20), ..EngineConfig::default() },
     );
     let mut r = rng::seeded(6);
     let inputs: Vec<Tensor> = (0..12)
@@ -138,7 +138,7 @@ fn diverging_shapes_group_separately() {
 fn bad_request_fails_alone() {
     let (engine, dp) = test_engine(
         7,
-        EngineConfig { max_batch: 4, batch_window: Duration::from_millis(20) },
+        EngineConfig { max_batch: 4, batch_window: Duration::from_millis(20), ..EngineConfig::default() },
     );
     let mut r = rng::seeded(8);
     let good = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
@@ -214,7 +214,7 @@ fn engines_share_cached_plans() {
 fn drop_joins_batcher() {
     let (engine, _) = test_engine(
         10,
-        EngineConfig { max_batch: 4, batch_window: Duration::from_millis(1) },
+        EngineConfig { max_batch: 4, batch_window: Duration::from_millis(1), ..EngineConfig::default() },
     );
     let mut r = rng::seeded(11);
     for _ in 0..3 {

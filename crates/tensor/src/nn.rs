@@ -208,7 +208,7 @@ pub struct AvgPool {
 impl AvgPool {
     /// Creates an average-pooling layer.
     pub fn new(window: usize, stride: usize) -> Self {
-        AvgPool { cfg: PoolCfg { window, stride }, cached_shape: None }
+        AvgPool { cfg: PoolCfg::new(window, stride), cached_shape: None }
     }
 }
 

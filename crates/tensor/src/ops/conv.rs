@@ -329,20 +329,21 @@ pub fn conv2d(
     let ckk = c_in * kh * kw;
     let pixels = oh * ow;
     let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
-    let od = out.data_mut();
-    let cd = cols.data();
-    for ni in 0..n {
-        // `cols_n` is (pixels x ckk); its transpose is the GEMM B operand,
-        // read through strides — never materialized.
-        let cols_n = &cd[ni * pixels * ckk..(ni + 1) * pixels * ckk];
-        let out_n = &mut od[ni * c_out * pixels..(ni + 1) * c_out * pixels];
-        match bias {
-            Some(b) => {
-                gemm::gemm_nt_bias_row(c_out, pixels, ckk, weight.data(), cols_n, b.data(), out_n)
-            }
-            None => gemm::gemm_nt(c_out, pixels, ckk, weight.data(), cols_n, out_n),
-        }
-    }
+    // One batched call over all N images: each image's `cols` block is the
+    // (transposed, never materialized) B operand and its `NCHW` plane block
+    // the output. Per-image results are bit-identical to N separate GEMM
+    // calls — the batching only folds N dispatches into one, which is what
+    // keeps small feature maps from paying N× dispatch overhead.
+    gemm::gemm_nt_batch(
+        n,
+        c_out,
+        pixels,
+        ckk,
+        weight.data(),
+        cols.data(),
+        bias.map(Tensor::data),
+        out.data_mut(),
+    );
     Ok(out)
 }
 
@@ -572,6 +573,39 @@ mod tests {
             let fused = conv2d(&x, &w, Some(&b), cfg).unwrap();
             let unfused = conv2d_ref(&x, &w, Some(&b), cfg).unwrap();
             assert!(fused.allclose(&unfused, 1e-4).unwrap(), "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn batched_images_bit_identical_to_per_image() {
+        // The multi-image GEMM batching must be invisible: convolving a
+        // stacked (N, C, H, W) batch equals convolving each image alone,
+        // bitwise. This is what lets the network pipeline stack whole
+        // request groups through dense stages.
+        let mut r = crate::rng::seeded(51);
+        for &(n, c_in, c_out, hw) in
+            &[(2usize, 3usize, 4usize, 6usize), (16, 8, 16, 7), (5, 4, 32, 12)]
+        {
+            let x = crate::init::uniform(&[n, c_in, hw, hw], -1.0, 1.0, &mut r);
+            let w = crate::init::uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, &mut r);
+            let b = crate::init::uniform(&[c_out], -1.0, 1.0, &mut r);
+            let cfg = Conv2dCfg { stride: 1, padding: 1 };
+            let stacked = conv2d(&x, &w, Some(&b), cfg).unwrap();
+            let plane = c_in * hw * hw;
+            for ni in 0..n {
+                let xi = Tensor::from_vec(
+                    x.data()[ni * plane..(ni + 1) * plane].to_vec(),
+                    &[1, c_in, hw, hw],
+                )
+                .unwrap();
+                let yi = conv2d(&xi, &w, Some(&b), cfg).unwrap();
+                let oplane = yi.len();
+                assert_eq!(
+                    &stacked.data()[ni * oplane..(ni + 1) * oplane],
+                    yi.data(),
+                    "image {ni} of {n} diverged under batching"
+                );
+            }
         }
     }
 

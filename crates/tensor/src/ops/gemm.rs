@@ -230,6 +230,73 @@ pub fn gemm_nt_bias_col(
     );
 }
 
+/// Batched [`gemm_nt`]: `C[g] = A · B[g]ᵀ (+ bias)` for `batch`
+/// independent problems sharing one `A` operand, with `B` stored as
+/// `batch` contiguous `(n x k)` blocks and `C` as `batch` contiguous
+/// `(m x n)` blocks.
+///
+/// Semantically this is exactly the loop
+/// `for g in 0..batch { gemm_nt_bias_row(m, n, k, a, &b[g..], bias, &mut c[g..]) }`
+/// and every output element is **bit-identical** to that loop: the
+/// per-problem kernel path (small/blocked, serial/parallel) is chosen from
+/// the per-problem `m·n·k` alone, so folding the batch never changes any
+/// element's arithmetic. What changes is the dispatch: when each problem is
+/// too small to cross the kernel's own thread threshold but the batch as a
+/// whole is worth parallelizing, all `batch` problems run under **one**
+/// worker-pool dispatch (chunked per problem) instead of `batch` serial
+/// calls. This is the multi-image convolution path: N small feature maps
+/// pay one dispatch, not N.
+///
+/// `bias` (optional, length `m`) is added to every element of each output
+/// row, as in [`gemm_nt_bias_row`].
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its `batch`/`m`/`n`/`k` geometry
+/// implies.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_batch(
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    assert!(c.len() >= batch * m * n, "output slice too short for {batch}x{m}x{n}");
+    assert!(b.len() >= batch * n * k, "B slice too short for {batch}x{n}x{k}");
+    if let Some(bb) = bias {
+        assert_eq!(bb.len(), m, "row bias length must equal m");
+    }
+    if batch == 0 || m * n == 0 {
+        // Nothing to write (and chunking by a zero-sized output would
+        // panic); matches the per-problem loop, which was a no-op here.
+        return;
+    }
+    let run_one = |g: usize, c_g: &mut [f32]| {
+        let b_g = &b[g * n * k..(g + 1) * n * k];
+        match bias {
+            Some(bb) => gemm_nt_bias_row(m, n, k, a, b_g, bb, c_g),
+            None => gemm_nt(m, n, k, a, b_g, c_g),
+        }
+    };
+    let per = m * n * k;
+    if batch > 1 && per < PARALLEL_FLOPS && batch * per >= PARALLEL_FLOPS {
+        // Each problem would run serially on its own; parallelize across
+        // problems instead — one dispatch for the whole batch. Problems
+        // are disjoint `m x n` output blocks, so no synchronization.
+        for_each_chunk_mut(&mut c[..batch * m * n], m * n, run_one);
+    } else {
+        // Either the batch is trivial or each problem is big enough to use
+        // the pool internally; per-problem calls keep that behavior.
+        for (g, c_g) in c[..batch * m * n].chunks_mut(m * n).enumerate() {
+            run_one(g, c_g);
+        }
+    }
+}
+
 /// The number of worker threads the kernel layer will use (threshold
 /// permitting) — `epim-parallel`'s pool size, re-exported for reporting.
 pub fn num_threads_in_use() -> usize {
@@ -685,6 +752,51 @@ mod tests {
                 assert!((c[i * n + j] - want).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn nt_batch_bit_identical_to_per_problem_calls() {
+        // Sizes straddling the small/blocked and serial/parallel
+        // thresholds; the batched entry must reproduce the per-problem
+        // loop exactly (==, not allclose).
+        for &(batch, m, n, k) in &[
+            (1usize, 4usize, 6usize, 5usize),
+            (3, 8, 16, 9),
+            (5, 16, 49, 36),   // conv-like: c_out x pixels x ckk
+            (16, 32, 64, 72),  // crosses PARALLEL_FLOPS in aggregate
+            (2, 64, 70, 300),  // per-problem blocked path
+        ] {
+            let a = dense(m, k, 21);
+            let b = dense(batch * n, k, 22);
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.125 - 1.0).collect();
+            for with_bias in [false, true] {
+                let bias_opt = with_bias.then_some(&bias[..]);
+                let mut want = vec![f32::NAN; batch * m * n];
+                for g in 0..batch {
+                    let b_g = &b[g * n * k..(g + 1) * n * k];
+                    let c_g = &mut want[g * m * n..(g + 1) * m * n];
+                    match bias_opt {
+                        Some(bb) => gemm_nt_bias_row(m, n, k, &a, b_g, bb, c_g),
+                        None => gemm_nt(m, n, k, &a, b_g, c_g),
+                    }
+                }
+                let mut got = vec![f32::NAN; batch * m * n];
+                gemm_nt_batch(batch, m, n, k, &a, &b, bias_opt, &mut got);
+                assert_eq!(got, want, "batch={batch} m={m} n={n} k={k} bias={with_bias}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_batch_empty_batch_is_noop() {
+        let mut c: Vec<f32> = vec![7.0; 4];
+        gemm_nt_batch(0, 2, 2, 3, &[], &[], None, &mut c);
+        assert_eq!(c, vec![7.0; 4]);
+        // Degenerate problem shapes (m or n zero) are no-ops too, not
+        // zero-sized-chunk panics.
+        gemm_nt_batch(3, 0, 2, 3, &[], &[0.0; 18], None, &mut c);
+        gemm_nt_batch(3, 2, 0, 3, &[0.0; 6], &[], None, &mut c);
+        assert_eq!(c, vec![7.0; 4]);
     }
 
     #[test]

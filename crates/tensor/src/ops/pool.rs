@@ -5,31 +5,48 @@ use crate::{Tensor, TensorError};
 use super::conv::conv2d_out_dims;
 use super::Conv2dCfg;
 
-/// Window/stride configuration for pooling.
+/// Window/stride/padding configuration for pooling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PoolCfg {
     /// Square window size.
     pub window: usize,
     /// Stride (same in both dimensions).
     pub stride: usize,
+    /// Zero padding (same on all sides). Max pooling ignores padded
+    /// positions (they never win); average pooling counts them as zeros
+    /// (the `count_include_pad` convention). The ResNet stem's 3×3/2
+    /// max pool with padding 1 is the canonical user.
+    pub padding: usize,
 }
 
 impl PoolCfg {
+    /// A pooling config without padding.
+    pub fn new(window: usize, stride: usize) -> Self {
+        PoolCfg { window, stride, padding: 0 }
+    }
+
     fn as_conv(&self) -> Conv2dCfg {
-        Conv2dCfg { stride: self.stride, padding: 0 }
+        Conv2dCfg { stride: self.stride, padding: self.padding }
     }
 }
 
 /// Average pooling over `(N, C, H, W)`.
 ///
+/// Padded positions contribute zeros to the window sum but still count in
+/// the divisor (window area), matching the usual `count_include_pad`
+/// default.
+///
 /// # Errors
 ///
 /// Returns geometry errors if the window does not fit.
 pub fn avg_pool2d(x: &Tensor, cfg: PoolCfg) -> Result<Tensor, TensorError> {
-    pool(x, cfg, |vals| vals.iter().sum::<f32>() / vals.len() as f32)
+    let area = (cfg.window * cfg.window) as f32;
+    pool(x, cfg, move |vals| vals.iter().sum::<f32>() / area)
 }
 
 /// Max pooling over `(N, C, H, W)`.
+///
+/// Padded positions are skipped (a pad never wins the max).
 ///
 /// # Errors
 ///
@@ -46,6 +63,15 @@ fn pool(
     if x.rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "pool2d" });
     }
+    if cfg.window > 0 && cfg.padding >= cfg.window {
+        // A window could then lie entirely in the padding, which has no
+        // well-defined max (and a silent -inf would poison downstream
+        // stages).
+        return Err(TensorError::invalid(format!(
+            "pool padding {} must be smaller than the window {}",
+            cfg.padding, cfg.window
+        )));
+    }
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (oh, ow) = conv2d_out_dims(h, w, cfg.window, cfg.window, cfg.as_conv())?;
     let mut vals = Vec::with_capacity(cfg.window * cfg.window);
@@ -53,8 +79,16 @@ fn pool(
         let (ni, ci, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
         vals.clear();
         for ky in 0..cfg.window {
+            let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
             for kx in 0..cfg.window {
-                vals.push(x.at(&[ni, ci, oy * cfg.stride + ky, ox * cfg.stride + kx]));
+                let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                vals.push(x.at(&[ni, ci, iy as usize, ix as usize]));
             }
         }
         reduce(&vals)
@@ -80,6 +114,12 @@ pub fn avg_pool2d_backward(
             op: "avg_pool2d_backward",
         });
     }
+    if cfg.window > 0 && cfg.padding >= cfg.window {
+        return Err(TensorError::invalid(format!(
+            "pool padding {} must be smaller than the window {}",
+            cfg.padding, cfg.window
+        )));
+    }
     let (n, c, h, w) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
     let (oh, ow) = conv2d_out_dims(h, w, cfg.window, cfg.window, cfg.as_conv())?;
     if dy.shape() != [n, c, oh, ow] {
@@ -98,10 +138,16 @@ pub fn avg_pool2d_backward(
                 for ox in 0..ow {
                     let g = dy.at(&[ni, ci, oy, ox]) * inv;
                     for ky in 0..cfg.window {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
                         for kx in 0..cfg.window {
-                            let iy = oy * cfg.stride + ky;
-                            let ix = ox * cfg.stride + kx;
-                            dd[((ni * c + ci) * h + iy) * w + ix] += g;
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dd[((ni * c + ci) * h + iy as usize) * w + ix as usize] += g;
                         }
                     }
                 }
@@ -145,7 +191,7 @@ mod tests {
     #[test]
     fn avg_pool_constant_input() {
         let x = Tensor::full(&[1, 2, 4, 4], 3.0);
-        let y = avg_pool2d(&x, PoolCfg { window: 2, stride: 2 }).unwrap();
+        let y = avg_pool2d(&x, PoolCfg::new(2, 2)).unwrap();
         assert_eq!(y.shape(), &[1, 2, 2, 2]);
         for v in y.data() {
             assert_eq!(*v, 3.0);
@@ -155,7 +201,7 @@ mod tests {
     #[test]
     fn max_pool_picks_max() {
         let x = Tensor::from_fn(&[1, 1, 2, 2], |i| (i[2] * 2 + i[3]) as f32);
-        let y = max_pool2d(&x, PoolCfg { window: 2, stride: 2 }).unwrap();
+        let y = max_pool2d(&x, PoolCfg::new(2, 2)).unwrap();
         assert_eq!(y.data(), &[3.0]);
     }
 
@@ -173,7 +219,7 @@ mod tests {
 
     #[test]
     fn avg_pool_backward_conserves_gradient_mass() {
-        let cfg = PoolCfg { window: 2, stride: 2 };
+        let cfg = PoolCfg::new(2, 2);
         let dy = Tensor::ones(&[1, 1, 2, 2]);
         let dx = avg_pool2d_backward(&[1, 1, 4, 4], &dy, cfg).unwrap();
         assert!((dx.sum() - dy.sum()).abs() < 1e-6);
@@ -183,9 +229,46 @@ mod tests {
     }
 
     #[test]
+    fn padded_max_pool_matches_resnet_stem_geometry() {
+        // The ResNet stem pool: 3x3/2 with padding 1 halves the map.
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i[2] * 8 + i[3]) as f32);
+        let cfg = PoolCfg { window: 3, stride: 2, padding: 1 };
+        let y = max_pool2d(&x, cfg).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        // Top-left window sees only the in-bounds 2x2 corner {0,1,8,9}.
+        assert_eq!(y.at(&[0, 0, 0, 0]), 9.0);
+        // Bottom-right window sees rows/cols 5..8 -> max is 63.
+        assert_eq!(y.at(&[0, 0, 3, 3]), 63.0);
+    }
+
+    #[test]
+    fn padded_avg_pool_counts_pads_as_zero() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let cfg = PoolCfg { window: 2, stride: 2, padding: 1 };
+        let y = avg_pool2d(&x, cfg).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // Each window holds one real element and three pads: 1/4.
+        for v in y.data() {
+            assert_eq!(*v, 0.25);
+        }
+        // Backward distributes only onto in-bounds positions, conserving
+        // the in-bounds share of the gradient.
+        let dx = avg_pool2d_backward(&[1, 1, 2, 2], &y, cfg).unwrap();
+        for v in dx.data() {
+            assert_eq!(*v, 0.0625);
+        }
+    }
+
+    #[test]
     fn pool_rejects_bad_geometry() {
         let x = Tensor::zeros(&[1, 1, 3, 3]);
-        assert!(avg_pool2d(&x, PoolCfg { window: 4, stride: 1 }).is_err());
-        assert!(max_pool2d(&x, PoolCfg { window: 2, stride: 0 }).is_err());
+        assert!(avg_pool2d(&x, PoolCfg::new(4, 1)).is_err());
+        assert!(max_pool2d(&x, PoolCfg::new(2, 0)).is_err());
+        // Padding >= window would create windows entirely in the padding
+        // (max over nothing); rejected rather than emitting -inf.
+        let fully_padded = PoolCfg { window: 1, stride: 1, padding: 1 };
+        assert!(max_pool2d(&x, fully_padded).is_err());
+        assert!(avg_pool2d(&x, fully_padded).is_err());
+        assert!(avg_pool2d_backward(&[1, 1, 3, 3], &x, fully_padded).is_err());
     }
 }

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg,
         true,
         analog,
-        EngineConfig { max_batch: 16, batch_window: Duration::from_micros(500) },
+        EngineConfig { max_batch: 16, batch_window: Duration::from_micros(500), ..EngineConfig::default() },
     )?;
     println!(
         "engine up: {} worker threads, plan cache {:?}",
