@@ -80,14 +80,26 @@ fn bench_conv_sweep(c: &mut Criterion) {
         let w = init::uniform(&[cout, cin, k, k], -1.0, 1.0, &mut r);
         let b = init::uniform(&[cout], -1.0, 1.0, &mut r);
         let cfg = Conv2dCfg { stride, padding };
-        c.bench_function(&format!("conv2d_fused_{cout}x{cin}x{k}x{k}_on_{hw}"), |bch| {
-            bch.iter(|| conv2d(&x, &w, Some(&b), cfg).expect("geometry"))
-        });
+        c.bench_function(
+            &format!("conv2d_fused_{cout}x{cin}x{k}x{k}_on_{hw}"),
+            |bch| bch.iter(|| conv2d(&x, &w, Some(&b), cfg).expect("geometry")),
+        );
     }
     let mut r = rng::seeded(78);
     let x = init::uniform(&[1, 32, 32, 32], -1.0, 1.0, &mut r);
     c.bench_function("im2col_32ch_3x3_on_32x32", |bch| {
-        bch.iter(|| im2col(&x, 3, 3, Conv2dCfg { stride: 1, padding: 1 }).expect("geometry"))
+        bch.iter(|| {
+            im2col(
+                &x,
+                3,
+                3,
+                Conv2dCfg {
+                    stride: 1,
+                    padding: 1,
+                },
+            )
+            .expect("geometry")
+        })
     });
 }
 
@@ -115,14 +127,18 @@ fn bench_repetition_map(c: &mut Criterion) {
 
 fn bench_datapath_execute(c: &mut Criterion) {
     c.bench_function("datapath_execute_32x16x3x3_on_8x8", |b| {
-        let spec = EpitomeSpec::new(
-            ConvShape::new(32, 16, 3, 3),
-            EpitomeShape::new(16, 8, 2, 2),
-        )
-        .expect("legal spec");
+        let spec = EpitomeSpec::new(ConvShape::new(32, 16, 3, 3), EpitomeShape::new(16, 8, 2, 2))
+            .expect("legal spec");
         let e = random_epitome(spec, 3);
-        let dp = DataPath::new(&e, Conv2dCfg { stride: 1, padding: 1 }, true)
-            .expect("data path builds");
+        let dp = DataPath::new(
+            &e,
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
+            true,
+        )
+        .expect("data path builds");
         let mut r = rng::seeded(4);
         let x = init::uniform(&[1, 16, 8, 8], -1.0, 1.0, &mut r);
         b.iter(|| dp.execute(&x).expect("execution succeeds"))
@@ -142,7 +158,10 @@ fn bench_quantize(c: &mut Criterion) {
             quantize_epitome(
                 &e,
                 3,
-                QuantGranularity::PerCrossbar { rows: 128, cols: 128 },
+                QuantGranularity::PerCrossbar {
+                    rows: 128,
+                    cols: 128,
+                },
                 &RangeEstimator::overlap_default(),
             )
             .expect("quantization succeeds")
@@ -173,7 +192,11 @@ fn bench_search_generation(c: &mut Criterion) {
                 candidates: d.candidates(l.conv).expect("candidates"),
             })
             .collect();
-        let cfg = SearchConfig { population: 16, iterations: 5, ..SearchConfig::default() };
+        let cfg = SearchConfig {
+            population: 16,
+            iterations: 5,
+            ..SearchConfig::default()
+        };
         b.iter_batched(
             || {
                 EvoSearch::new(

@@ -48,7 +48,9 @@ fn main() {
     for p in analog_sweep(2024) {
         t.row(vec![
             num(p.noise_std as f64, 2),
-            p.adc_bits.map(|b| b.to_string()).unwrap_or_else(|| "ideal".into()),
+            p.adc_bits
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "ideal".into()),
             format!("{:.4e}", p.output_mse),
         ]);
     }

@@ -5,15 +5,18 @@
 //! `cargo run -p epim-bench --release --bin accuracy_smallscale`
 
 use epim::models::training::{
-    run_small_scale_experiment, run_small_scale_experiment_avg, SmallScaleConfig,
-    SyntheticDataset,
+    run_small_scale_experiment, run_small_scale_experiment_avg, SmallScaleConfig, SyntheticDataset,
 };
 use epim_bench::format::{num, Table};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let cfg = if fast {
-        SmallScaleConfig { per_class: 24, epochs: 8, ..SmallScaleConfig::default() }
+        SmallScaleConfig {
+            per_class: 24,
+            epochs: 8,
+            ..SmallScaleConfig::default()
+        }
     } else {
         // Full mode uses the harder striped-texture task (frequency
         // detection), where compression and low-bit quantization actually
@@ -43,7 +46,10 @@ fn main() {
         run_small_scale_experiment_avg(&cfg, 5)
     };
     let mut t = Table::new(vec!["Variant", "Test accuracy (%)"]);
-    t.row(vec!["conv CNN".to_string(), num(100.0 * res.conv_acc as f64, 1)]);
+    t.row(vec![
+        "conv CNN".to_string(),
+        num(100.0 * res.conv_acc as f64, 1),
+    ]);
     t.row(vec![
         format!("epitome CNN ({:.1}x fewer params)", res.param_compression),
         num(100.0 * res.epitome_acc as f64, 1),

@@ -27,7 +27,11 @@ fn main() {
             r.bitwidth.clone(),
             r.epitome.clone(),
             num(r.accuracy, 2),
-            if r.xbs == 0 { "-".to_string() } else { r.xbs.to_string() },
+            if r.xbs == 0 {
+                "-".to_string()
+            } else {
+                r.xbs.to_string()
+            },
             num(r.cr_xbs, 2),
             num(r.latency_ms, 1),
             num(r.energy_mj, 1),

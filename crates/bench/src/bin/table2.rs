@@ -9,7 +9,12 @@ use epim_bench::format::{num, Table};
 
 fn main() {
     println!("Table 2: Detailed quantization experiments (accuracy, surrogate)");
-    let mut t = Table::new(vec!["Model", "Naive Quant", "+ Adjust w/ Crossbars", "+ Adjust w/ Overlap"]);
+    let mut t = Table::new(vec![
+        "Model",
+        "Naive Quant",
+        "+ Adjust w/ Crossbars",
+        "+ Adjust w/ Overlap",
+    ]);
     for r in table2_accuracy() {
         t.row(vec![
             r.model.clone(),

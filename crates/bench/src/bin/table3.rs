@@ -12,7 +12,11 @@ fn main() {
         println!("\n{model}:");
         let mut t = Table::new(vec!["Method", "Accuracy(%)", "Compress. Rate"]);
         for r in &rows {
-            t.row(vec![r.method.clone(), num(r.accuracy, 2), num(r.compression, 2)]);
+            t.row(vec![
+                r.method.clone(),
+                num(r.accuracy, 2),
+                num(r.compression, 2),
+            ]);
         }
         println!("{}", t.render());
     }

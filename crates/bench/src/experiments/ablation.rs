@@ -3,11 +3,11 @@
 //! hyperparameter `w1` (Eq. 4–5), and robustness of the data path to
 //! analog non-idealities (programming noise, finite ADC precision).
 
+use epim::core::MappedMatrix;
 use epim::core::{ConvShape, Epitome, EpitomeDesigner};
 use epim::pim::datapath::{AnalogModel, DataPath};
 use epim::pim::{Mapping, Precision};
 use epim::quant::{quantize_epitome, QuantGranularity, RangeEstimator};
-use epim::core::MappedMatrix;
 use epim::tensor::ops::Conv2dCfg;
 use epim::tensor::{init, rng, Tensor};
 
@@ -83,7 +83,10 @@ fn sample_epitome(seed: u64) -> Epitome {
 
 fn weighted_mse(original: &Epitome, quantized: &Epitome) -> f64 {
     let reps = original.repetition_map();
-    let diff = quantized.tensor().sub(original.tensor()).expect("same shape");
+    let diff = quantized
+        .tensor()
+        .sub(original.tensor())
+        .expect("same shape");
     let num: f64 = diff
         .data()
         .iter()
@@ -105,11 +108,18 @@ pub fn w1_sweep(seed: u64) -> Vec<W1Point> {
             let (q, rep) = quantize_epitome(
                 &epi,
                 3,
-                QuantGranularity::PerCrossbar { rows: 128, cols: 128 },
+                QuantGranularity::PerCrossbar {
+                    rows: 128,
+                    cols: 128,
+                },
                 &est,
             )
             .expect("quantization succeeds");
-            W1Point { w1, weighted_mse: weighted_mse(&epi, &q), mse: rep.mse }
+            W1Point {
+                w1,
+                weighted_mse: weighted_mse(&epi, &q),
+                mse: rep.mse,
+            }
         })
         .collect()
 }
@@ -134,7 +144,10 @@ pub fn analog_sweep(seed: u64) -> Vec<AnalogPoint> {
     let mut r = rng::seeded(seed);
     let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
     let epi = Epitome::from_tensor(spec, data).expect("shape matches");
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
     let x: Tensor = init::uniform(&[1, 16, 8, 8], -1.0, 1.0, &mut r);
     let ideal = DataPath::new(&epi, cfg, true)
         .expect("data path builds")
@@ -149,7 +162,12 @@ pub fn analog_sweep(seed: u64) -> Vec<AnalogPoint> {
                 &epi,
                 cfg,
                 true,
-                AnalogModel { weight_noise_std: noise_std, adc_bits, noise_seed: 7, ..AnalogModel::ideal() },
+                AnalogModel {
+                    weight_noise_std: noise_std,
+                    adc_bits,
+                    noise_seed: 7,
+                    ..AnalogModel::ideal()
+                },
             )
             .expect("data path builds");
             let out = dp.execute(&x).expect("execution succeeds").0;

@@ -93,8 +93,12 @@ mod tests {
         // parameters (paper: 983.6k) than L9's (paper: 20.5k).
         let f = fig3();
         let saved = |e: &Fig3Entry| e.conv_params_k - e.epitome_params_k;
-        assert!(saved(&f[2]) > 20.0 * saved(&f[0]),
-            "L67 saves {:.1}k, L9 saves {:.1}k", saved(&f[2]), saved(&f[0]));
+        assert!(
+            saved(&f[2]) > 20.0 * saved(&f[0]),
+            "L67 saves {:.1}k, L9 saves {:.1}k",
+            saved(&f[2]),
+            saved(&f[0])
+        );
         // L67 saves on the order of 1M parameters.
         assert!(saved(&f[2]) > 800.0, "L67 saves {:.1}k", saved(&f[2]));
     }
@@ -119,7 +123,9 @@ mod tests {
             (e.conv_params_k - e.epitome_params_k)
                 / (e.epitome_latency_ms - e.conv_latency_ms).max(1e-9)
         };
-        assert!(value(&f[2]) > value(&f[0]),
-            "late layers must give more params saved per ms of overhead");
+        assert!(
+            value(&f[2]) > value(&f[0]),
+            "late layers must give more params saved per ms of overhead"
+        );
     }
 }

@@ -29,7 +29,12 @@ pub enum Method {
 impl Method {
     /// All methods in display order.
     pub fn all() -> [Method; 4] {
-        [Method::Uniform, Method::ChannelWrapping, Method::EvoSearch, Method::Opt]
+        [
+            Method::Uniform,
+            Method::ChannelWrapping,
+            Method::EvoSearch,
+            Method::Opt,
+        ]
     }
 
     /// Display label.
@@ -60,7 +65,12 @@ pub struct Fig4Point {
     pub edp: f64,
 }
 
-fn evaluate(net: &Network, wrapping: bool, prec: Precision, baseline_xbs: usize) -> (f64, f64, f64, f64) {
+fn evaluate(
+    net: &Network,
+    wrapping: bool,
+    prec: Precision,
+    baseline_xbs: usize,
+) -> (f64, f64, f64, f64) {
     let costs = net.simulate(&cost_model(wrapping), prec);
     (
         baseline_xbs as f64 / costs.crossbars() as f64,
@@ -97,8 +107,7 @@ pub fn fig4(fast: bool) -> Vec<Fig4Point> {
             let point = match method {
                 Method::Uniform | Method::ChannelWrapping => {
                     let wrapping = method == Method::ChannelWrapping;
-                    let (cr, lat, en, edp) =
-                        evaluate(&uniform, wrapping, prec, baseline_xbs);
+                    let (cr, lat, en, edp) = evaluate(&uniform, wrapping, prec, baseline_xbs);
                     Fig4Point {
                         config: label.clone(),
                         method,
@@ -116,8 +125,13 @@ pub fn fig4(fast: bool) -> Vec<Fig4Point> {
                     let wrapping = method == Method::Opt;
                     let per_objective = |objective: Objective| {
                         let net = searched_network(
-                            &backbone, objective, prec, wrapping, budget,
-                            Some(&uniform), fast,
+                            &backbone,
+                            objective,
+                            prec,
+                            wrapping,
+                            budget,
+                            Some(&uniform),
+                            fast,
                         );
                         evaluate(&net, wrapping, prec, baseline_xbs)
                     };
@@ -154,7 +168,11 @@ pub struct Fig4Headline {
 /// Computes the best Opt-vs-Uniform ratios across the sweep (the paper
 /// quotes "up to 3.07× / 2.36× / 7.13×").
 pub fn headline(points: &[Fig4Point]) -> Fig4Headline {
-    let mut best = Fig4Headline { speedup: 0.0, energy_saving: 0.0, edp_reduction: 0.0 };
+    let mut best = Fig4Headline {
+        speedup: 0.0,
+        energy_saving: 0.0,
+        edp_reduction: 0.0,
+    };
     let configs: std::collections::BTreeSet<&str> =
         points.iter().map(|p| p.config.as_str()).collect();
     for cfg in configs {
@@ -193,13 +211,21 @@ mod tests {
             pts.iter().map(|p| p.config.clone()).collect();
         for cfg in configs {
             let find = |m: Method| {
-                pts.iter().find(|p| p.config == cfg && p.method == m).unwrap()
+                pts.iter()
+                    .find(|p| p.config == cfg && p.method == m)
+                    .unwrap()
             };
             let uni = find(Method::Uniform);
             let cw = find(Method::ChannelWrapping);
             let opt = find(Method::Opt);
-            assert!(cw.latency_ms <= uni.latency_ms * 1.001, "{cfg}: wrapping latency");
-            assert!(cw.energy_mj <= uni.energy_mj * 1.001, "{cfg}: wrapping energy");
+            assert!(
+                cw.latency_ms <= uni.latency_ms * 1.001,
+                "{cfg}: wrapping latency"
+            );
+            assert!(
+                cw.energy_mj <= uni.energy_mj * 1.001,
+                "{cfg}: wrapping energy"
+            );
             // Opt searches the candidate ladder, which cannot express the
             // uniform shapes exactly — allow a small representability gap.
             assert!(
@@ -221,8 +247,10 @@ mod tests {
         let h = headline(&pts);
         assert!(h.speedup > 1.2, "speedup {}", h.speedup);
         assert!(h.energy_saving > 1.1, "energy {}", h.energy_saving);
-        assert!(h.edp_reduction > h.speedup.max(h.energy_saving),
-            "EDP reduction must compound: {h:?}");
+        assert!(
+            h.edp_reduction > h.speedup.max(h.energy_saving),
+            "EDP reduction must compound: {h:?}"
+        );
         assert!(h.speedup < 20.0, "implausible speedup {}", h.speedup);
     }
 
@@ -233,9 +261,7 @@ mod tests {
         let pts = fig4(true);
         let mut uniform: Vec<&Fig4Point> =
             pts.iter().filter(|p| p.method == Method::Uniform).collect();
-        uniform.sort_by(|a, b| {
-            a.xbar_compression.partial_cmp(&b.xbar_compression).unwrap()
-        });
+        uniform.sort_by(|a, b| a.xbar_compression.partial_cmp(&b.xbar_compression).unwrap());
         for w in uniform.windows(2) {
             if w[1].xbar_compression > w[0].xbar_compression * 1.05 {
                 assert!(

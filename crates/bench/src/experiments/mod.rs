@@ -71,10 +71,7 @@ pub fn search_problem(backbone: &Backbone) -> Vec<(usize, SearchLayer)> {
 /// for each searched layer, the candidate whose mapped matrix is nearest
 /// (in rows, then cout) to the reference spec. Used to seed the search so
 /// the result can only improve on the reference design.
-pub fn genome_for_reference(
-    problem: &[(usize, SearchLayer)],
-    reference: &Network,
-) -> Vec<usize> {
+pub fn genome_for_reference(problem: &[(usize, SearchLayer)], reference: &Network) -> Vec<usize> {
     problem
         .iter()
         .map(|(layer_idx, sl)| {
@@ -136,7 +133,10 @@ pub fn searched_network(
             layers.clone(),
             cost_model(wrapping),
             precision,
-            SearchConfig { crossbar_budget: usize::MAX, ..cfg },
+            SearchConfig {
+                crossbar_budget: usize::MAX,
+                ..cfg
+            },
         )
         .expect("valid search problem");
         let (seed_costs, _) = probe.evaluate(g);
@@ -172,8 +172,11 @@ pub fn searched_network(
     let mut net = Network::baseline(backbone.clone());
     for ((layer_idx, sl), &gene) in problem.iter().zip(&best.genome) {
         let spec = sl.candidates[gene].clone();
-        net.set_choice(*layer_idx, epim::models::network::OperatorChoice::Epitome(spec))
-            .expect("index within backbone");
+        net.set_choice(
+            *layer_idx,
+            epim::models::network::OperatorChoice::Epitome(spec),
+        )
+        .expect("index within backbone");
     }
     net
 }
@@ -199,7 +202,15 @@ mod tests {
         let uniform_costs = uniform_epim(bb.clone()).simulate(&cost_model(true), p);
         // Budget: the uniform design's crossbars (searched layers are a
         // subset, so this is generous but binding in the right direction).
-        let net = searched_network(&bb, Objective::Latency, p, true, uniform_costs.crossbars(), None, true);
+        let net = searched_network(
+            &bb,
+            Objective::Latency,
+            p,
+            true,
+            uniform_costs.crossbars(),
+            None,
+            true,
+        );
         let costs = net.simulate(&cost_model(true), p);
         assert!(costs.crossbars() > 0);
         assert!(net.epitome_layers() > 20);

@@ -56,13 +56,10 @@ fn w3mp_allocation(net: &Network) -> epim::quant::BitAllocation {
     for (layer, choice) in net.backbone().layers.iter().zip(net.choices()) {
         match choice {
             OperatorChoice::Epitome(spec) => {
-                let data =
-                    epim::tensor::init::kaiming_normal(&spec.shape().dims(), &mut r);
+                let data = epim::tensor::init::kaiming_normal(&spec.shape().dims(), &mut r);
                 let e = epim::core::Epitome::from_tensor(spec.clone(), data)
                     .expect("shape matches spec");
-                sens.push(
-                    epim::quant::sensitivity_proxy(&e, 3).expect("proxy computes"),
-                );
+                sens.push(epim::quant::sensitivity_proxy(&e, 3).expect("proxy computes"));
                 params.push(spec.shape().params());
             }
             OperatorChoice::Conv => {
@@ -109,19 +106,44 @@ pub fn rows_for(backbone: Backbone, fast: bool) -> Vec<Table1Row> {
     let mp_alloc = w3mp_allocation(&epim);
     let ladder: &[(&str, Precision, WeightScheme)] = &[
         ("FP32", Precision::fp32(), WeightScheme::Fp32),
-        ("W9A9", Precision::new(9, 9), WeightScheme::Fixed { bits: 9 }),
-        ("W7A9", Precision::new(7, 9), WeightScheme::Fixed { bits: 7 }),
-        ("W5A9", Precision::new(5, 9), WeightScheme::Fixed { bits: 5 }),
-        ("W3mpA9", Precision::new(4, 9), WeightScheme::Mixed { avg_bits: mp_alloc.avg_bits }),
-        ("W3A9", Precision::new(3, 9), WeightScheme::Fixed { bits: 3 }),
+        (
+            "W9A9",
+            Precision::new(9, 9),
+            WeightScheme::Fixed { bits: 9 },
+        ),
+        (
+            "W7A9",
+            Precision::new(7, 9),
+            WeightScheme::Fixed { bits: 7 },
+        ),
+        (
+            "W5A9",
+            Precision::new(5, 9),
+            WeightScheme::Fixed { bits: 5 },
+        ),
+        (
+            "W3mpA9",
+            Precision::new(4, 9),
+            WeightScheme::Mixed {
+                avg_bits: mp_alloc.avg_bits,
+            },
+        ),
+        (
+            "W3A9",
+            Precision::new(3, 9),
+            WeightScheme::Fixed { bits: 3 },
+        ),
     ];
     for (label, prec, scheme) in ladder {
         let costs = if *label == "W3mpA9" {
             // The mixed-precision row simulates the genuine per-layer 3/5
             // bit assignment (HAWQ-style allocation via the sensitivity
             // proxy), not a uniform 4-bit stand-in.
-            let precs: Vec<Precision> =
-                mp_alloc.bits.iter().map(|&b| Precision::new(b, 9)).collect();
+            let precs: Vec<Precision> = mp_alloc
+                .bits
+                .iter()
+                .map(|&b| Precision::new(b, 9))
+                .collect();
             epim.simulate_per_layer(&model, &precs)
         } else {
             epim.simulate(&model, *prec)
@@ -145,9 +167,10 @@ pub fn rows_for(backbone: Backbone, fast: bool) -> Vec<Table1Row> {
             // layers, so the opt rows offer at least the same compression
             // (paper: 1080/1048 XBs vs the uniform 1424).
             let budget = super::epitome_layer_crossbars(&epim, *prec);
-            for (objective, tag) in
-                [(Objective::Latency, "Latency-Opt"), (Objective::Energy, "Energy-Opt")]
-            {
+            for (objective, tag) in [
+                (Objective::Latency, "Latency-Opt"),
+                (Objective::Energy, "Energy-Opt"),
+            ] {
                 let net = super::searched_network(
                     &backbone,
                     objective,
@@ -241,20 +264,38 @@ mod tests {
     }
 
     #[test]
-    fn opt_rows_beat_uniform_w9(){
+    fn opt_rows_beat_uniform_w9() {
         let rows = rows_for(resnet50(), true);
         let w9 = find(&rows, "EPIM-ResNet50", "W9A9");
         let lat = find(&rows, "EPIM-ResNet50-Latency-Opt", "W9A9");
         let en = find(&rows, "EPIM-ResNet50-Energy-Opt", "W9A9");
         // Paper: 50.9 -> 49.2 ms and 17.0 -> 15.6 mJ. Direction must hold.
-        assert!(lat.latency_ms <= w9.latency_ms * 1.001,
-            "latency-opt {} vs uniform {}", lat.latency_ms, w9.latency_ms);
-        assert!(en.energy_mj <= w9.energy_mj * 1.001,
-            "energy-opt {} vs uniform {}", en.energy_mj, w9.energy_mj);
+        assert!(
+            lat.latency_ms <= w9.latency_ms * 1.001,
+            "latency-opt {} vs uniform {}",
+            lat.latency_ms,
+            w9.latency_ms
+        );
+        assert!(
+            en.energy_mj <= w9.energy_mj * 1.001,
+            "energy-opt {} vs uniform {}",
+            en.energy_mj,
+            w9.energy_mj
+        );
         // Both opt rows offer similar compression (the budget is widened
         // only by the candidate-ladder representability gap).
-        assert!(lat.xbs as f64 <= w9.xbs as f64 * 1.10, "{} vs {}", lat.xbs, w9.xbs);
-        assert!(en.xbs as f64 <= w9.xbs as f64 * 1.10, "{} vs {}", en.xbs, w9.xbs);
+        assert!(
+            lat.xbs as f64 <= w9.xbs as f64 * 1.10,
+            "{} vs {}",
+            lat.xbs,
+            w9.xbs
+        );
+        assert!(
+            en.xbs as f64 <= w9.xbs as f64 * 1.10,
+            "{} vs {}",
+            en.xbs,
+            w9.xbs
+        );
     }
 
     #[test]

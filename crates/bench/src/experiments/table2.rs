@@ -35,7 +35,11 @@ pub struct Table2Row {
 pub fn table2_accuracy() -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for (name, acc, cr) in [
-        ("ResNet-50", AccuracyModel::resnet50(), uniform_epim(resnet50()).param_compression()),
+        (
+            "ResNet-50",
+            AccuracyModel::resnet50(),
+            uniform_epim(resnet50()).param_compression(),
+        ),
         (
             "ResNet-101",
             AccuracyModel::resnet101(),
@@ -75,7 +79,10 @@ pub struct Table2Measured {
 
 fn weighted_mse(original: &Epitome, quantized: &Epitome) -> f64 {
     let reps = original.repetition_map();
-    let diff = quantized.tensor().sub(original.tensor()).expect("same shape");
+    let diff = quantized
+        .tensor()
+        .sub(original.tensor())
+        .expect("same shape");
     let num: f64 = diff
         .data()
         .iter()
@@ -95,16 +102,24 @@ pub fn table2_measured(max_layers: usize) -> Vec<Table2Measured> {
         if rows.len() >= max_layers {
             break;
         }
-        let OperatorChoice::Epitome(spec) = choice else { continue };
+        let OperatorChoice::Epitome(spec) = choice else {
+            continue;
+        };
         let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
         let epi = Epitome::from_tensor(spec.clone(), data).expect("shape matches");
-        let xbar_tiles = QuantGranularity::PerCrossbar { rows: 128, cols: 128 };
-        let (q_naive, rep_naive) =
-            quantize_epitome(&epi, 3, QuantGranularity::PerTensor, &RangeEstimator::MinMax)
-                .expect("quantization succeeds");
-        let (q_xbar, rep_xbar) =
-            quantize_epitome(&epi, 3, xbar_tiles, &RangeEstimator::MinMax)
-                .expect("quantization succeeds");
+        let xbar_tiles = QuantGranularity::PerCrossbar {
+            rows: 128,
+            cols: 128,
+        };
+        let (q_naive, rep_naive) = quantize_epitome(
+            &epi,
+            3,
+            QuantGranularity::PerTensor,
+            &RangeEstimator::MinMax,
+        )
+        .expect("quantization succeeds");
+        let (q_xbar, rep_xbar) = quantize_epitome(&epi, 3, xbar_tiles, &RangeEstimator::MinMax)
+            .expect("quantization succeeds");
         let (q_overlap, _) =
             quantize_epitome(&epi, 3, xbar_tiles, &RangeEstimator::overlap_default())
                 .expect("quantization succeeds");

@@ -90,7 +90,11 @@ pub fn rows_for(backbone: Backbone) -> Vec<Table3Row> {
                 .expect("params match");
             let res = prune_blocks(
                 &matrix,
-                &BlockPruneConfig { block_rows: 128, block_cols: 128, ratio },
+                &BlockPruneConfig {
+                    block_rows: 128,
+                    block_cols: 128,
+                    ratio,
+                },
             )
             .expect("valid config");
             before += res.report.params_before;
@@ -134,10 +138,16 @@ mod tests {
 
         // Compression shape: combined > prune75 > epitome ~ 2.25 >
         // prune50.
-        assert!((1.8..3.2).contains(&epitome.compression), "{}", epitome.compression);
+        assert!(
+            (1.8..3.2).contains(&epitome.compression),
+            "{}",
+            epitome.compression
+        );
         assert!(combined.compression > epitome.compression);
-        assert!((combined.compression - epitome.compression * 2.0 / SPARSE_INDEX_OVERHEAD).abs()
-            < 0.1 * combined.compression);
+        assert!(
+            (combined.compression - epitome.compression * 2.0 / SPARSE_INDEX_OVERHEAD).abs()
+                < 0.1 * combined.compression
+        );
         assert!((1.6..2.4).contains(&p50.compression), "{}", p50.compression);
         assert!((3.0..4.6).contains(&p75.compression), "{}", p75.compression);
 

@@ -33,7 +33,10 @@ pub struct EpitomeDesigner {
 impl EpitomeDesigner {
     /// Creates a designer for `xbar_rows x xbar_cols` crossbars.
     pub fn new(xbar_rows: usize, xbar_cols: usize) -> Self {
-        EpitomeDesigner { xbar_rows: xbar_rows.max(1), xbar_cols: xbar_cols.max(1) }
+        EpitomeDesigner {
+            xbar_rows: xbar_rows.max(1),
+            xbar_cols: xbar_cols.max(1),
+        }
     }
 
     /// The crossbar word-line count this designer aligns rows to.
@@ -100,7 +103,10 @@ impl EpitomeDesigner {
     /// Returns [`EpitomeError::InvalidGeometry`] if `conv` has a zero
     /// extent.
     pub fn identity(&self, conv: ConvShape) -> Result<EpitomeSpec, EpitomeError> {
-        EpitomeSpec::new(conv, EpitomeShape::new(conv.cout, conv.cin, conv.kh, conv.kw))
+        EpitomeSpec::new(
+            conv,
+            EpitomeShape::new(conv.cout, conv.cin, conv.kh, conv.kw),
+        )
     }
 
     /// Generates the candidate ladder for one layer: the identity (no

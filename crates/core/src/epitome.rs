@@ -186,7 +186,9 @@ impl Epitome {
     /// Returns [`EpitomeError::PlanMismatch`] if the shape changes.
     pub fn set_tensor(&mut self, data: Tensor) -> Result<(), EpitomeError> {
         if data.shape() != self.spec.shape().dims() {
-            return Err(EpitomeError::plan("replacement tensor has a different shape"));
+            return Err(EpitomeError::plan(
+                "replacement tensor has a different shape",
+            ));
         }
         self.data = data;
         Ok(())
@@ -229,11 +231,17 @@ impl Epitome {
     fn replay_patches_into(&self, band: &mut [f32], co_lo: usize, co_hi: usize, ed: &[f32]) {
         let conv = self.spec.conv();
         let eshape = self.spec.shape();
-        let (e1, e2, e3) = (eshape.cin * eshape.h * eshape.w, eshape.h * eshape.w, eshape.w);
+        let (e1, e2, e3) = (
+            eshape.cin * eshape.h * eshape.w,
+            eshape.h * eshape.w,
+            eshape.w,
+        );
         let (c1, c2, c3) = (conv.cin * conv.kh * conv.kw, conv.kh * conv.kw, conv.kw);
         for patch in self.spec.plan().patches() {
             let a_lo = co_lo.max(patch.dst[0]).saturating_sub(patch.dst[0]);
-            let a_hi = co_hi.min(patch.dst[0] + patch.size[0]).saturating_sub(patch.dst[0]);
+            let a_hi = co_hi
+                .min(patch.dst[0] + patch.size[0])
+                .saturating_sub(patch.dst[0]);
             for a in a_lo..a_hi {
                 let src_a = (patch.src[0] + a) * e1;
                 let dst_a = (patch.dst[0] + a - co_lo) * c1;
@@ -292,7 +300,9 @@ impl Epitome {
     /// shape.
     pub fn backprop_weight_grad(&self, dweight: &Tensor) -> Result<Tensor, EpitomeError> {
         if dweight.shape() != self.spec.conv().dims() {
-            return Err(EpitomeError::plan("gradient shape does not match conv shape"));
+            return Err(EpitomeError::plan(
+                "gradient shape does not match conv shape",
+            ));
         }
         let mut grad = Tensor::zeros(&self.spec.shape().dims());
         let gd = grad.data_mut();
@@ -325,7 +335,11 @@ fn for_each_patch_run_of(
 ) {
     let conv = spec.conv();
     let eshape = spec.shape();
-    let (e1, e2, e3) = (eshape.cin * eshape.h * eshape.w, eshape.h * eshape.w, eshape.w);
+    let (e1, e2, e3) = (
+        eshape.cin * eshape.h * eshape.w,
+        eshape.h * eshape.w,
+        eshape.w,
+    );
     let (c1, c2, c3) = (conv.cin * conv.kh * conv.kw, conv.kh * conv.kw, conv.kw);
     let run = patch.size[3];
     for a in 0..patch.size[0] {
@@ -402,7 +416,10 @@ mod tests {
         let s = spec(ConvShape::new(4, 9, 1, 1), EpitomeShape::new(4, 5, 1, 1));
         let epi = Epitome::zeros(s);
         let reps = epi.repetition_map();
-        assert!(reps.max() > reps.min(), "overlap must create nonuniform repetition");
+        assert!(
+            reps.max() > reps.min(),
+            "overlap must create nonuniform repetition"
+        );
     }
 
     #[test]
@@ -478,7 +495,10 @@ mod tests {
 
     #[test]
     fn param_compression_rate() {
-        let s = spec(ConvShape::new(512, 256, 3, 3), EpitomeShape::new(256, 256, 2, 2));
+        let s = spec(
+            ConvShape::new(512, 256, 3, 3),
+            EpitomeShape::new(256, 256, 2, 2),
+        );
         // conv params = 512*256*9; epitome = 256*256*4.
         let expected = (512.0 * 256.0 * 9.0) / (256.0 * 256.0 * 4.0);
         assert!((s.param_compression() - expected).abs() < 1e-9);

@@ -22,12 +22,18 @@ impl MappedMatrix {
 
     /// The matrix a convolution maps to.
     pub fn from_conv(conv: ConvShape) -> Self {
-        MappedMatrix { rows: conv.matrix_rows(), cols: conv.matrix_cols() }
+        MappedMatrix {
+            rows: conv.matrix_rows(),
+            cols: conv.matrix_cols(),
+        }
     }
 
     /// The matrix an epitome maps to.
     pub fn from_epitome(shape: EpitomeShape) -> Self {
-        MappedMatrix { rows: shape.matrix_rows(), cols: shape.matrix_cols() }
+        MappedMatrix {
+            rows: shape.matrix_rows(),
+            cols: shape.matrix_cols(),
+        }
     }
 
     /// Number of matrix cells.

@@ -74,9 +74,17 @@ impl DimPlan {
                 (i * (positions - 1)) / (tiles - 1)
             };
             debug_assert!(src_start + len <= src);
-            segments.push(DimSegment { dst_start, src_start, len });
+            segments.push(DimSegment {
+                dst_start,
+                src_start,
+                len,
+            });
         }
-        Ok(DimPlan { dst_extent: dst, src_extent: src, segments })
+        Ok(DimPlan {
+            dst_extent: dst,
+            src_extent: src,
+            segments,
+        })
     }
 
     /// Builds a plan where every tile reads the *same* source window
@@ -99,10 +107,18 @@ impl DimPlan {
         let segments = (0..tiles)
             .map(|i| {
                 let dst_start = i * window;
-                DimSegment { dst_start, src_start: 0, len: window.min(dst - dst_start) }
+                DimSegment {
+                    dst_start,
+                    src_start: 0,
+                    len: window.min(dst - dst_start),
+                }
             })
             .collect();
-        Ok(DimPlan { dst_extent: dst, src_extent: src, segments })
+        Ok(DimPlan {
+            dst_extent: dst,
+            src_extent: src,
+            segments,
+        })
     }
 
     /// Number of segments (tiles) along this axis.
@@ -114,10 +130,13 @@ impl DimPlan {
     /// (precondition for channel wrapping on this axis).
     pub fn is_replicated(&self) -> bool {
         let window = self.src_extent.min(self.dst_extent);
-        self.segments
-            .iter()
-            .all(|s| s.src_start == 0 && (s.len == window || s.dst_start + s.len == self.dst_extent))
-            && self.segments.first().map(|s| s.len == window).unwrap_or(true)
+        self.segments.iter().all(|s| {
+            s.src_start == 0 && (s.len == window || s.dst_start + s.len == self.dst_extent)
+        }) && self
+            .segments
+            .first()
+            .map(|s| s.len == window)
+            .unwrap_or(true)
     }
 
     /// Verifies the partition invariant: destination segments are
@@ -260,7 +279,12 @@ impl SamplingPlan {
                 }
             }
         }
-        SamplingPlan { conv, epitome, dim_plans, patches }
+        SamplingPlan {
+            conv,
+            epitome,
+            dim_plans,
+            patches,
+        }
     }
 
     /// The convolution shape this plan reconstructs.
@@ -320,7 +344,14 @@ mod tests {
     fn dim_plan_exact_fit_single_segment() {
         let p = DimPlan::build(4, 4).unwrap();
         assert_eq!(p.tiles(), 1);
-        assert_eq!(p.segments[0], DimSegment { dst_start: 0, src_start: 0, len: 4 });
+        assert_eq!(
+            p.segments[0],
+            DimSegment {
+                dst_start: 0,
+                src_start: 0,
+                len: 4
+            }
+        );
         p.verify().unwrap();
     }
 
@@ -400,7 +431,10 @@ mod tests {
         plan.verify().unwrap();
         // cout: 2 tiles; cin: 1; h: 2 (3 from 2); w: 2.
         // One factor per dimension: cout 2, cin 1, h 2 (3 from 2), w 2.
-        assert_eq!(plan.activation_rounds(), [2, 1, 2, 2].iter().product::<usize>());
+        assert_eq!(
+            plan.activation_rounds(),
+            [2, 1, 2, 2].iter().product::<usize>()
+        );
     }
 
     #[test]

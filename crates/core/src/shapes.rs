@@ -58,7 +58,9 @@ impl ConvShape {
     /// Returns [`EpitomeError::InvalidGeometry`] when any extent is zero.
     pub fn validate(&self) -> Result<(), EpitomeError> {
         if self.cout == 0 || self.cin == 0 || self.kh == 0 || self.kw == 0 {
-            Err(EpitomeError::geometry(format!("conv shape {self} has a zero extent")))
+            Err(EpitomeError::geometry(format!(
+                "conv shape {self} has a zero extent"
+            )))
         } else {
             Ok(())
         }
@@ -125,7 +127,9 @@ impl EpitomeShape {
     /// Returns [`EpitomeError::InvalidGeometry`] when any extent is zero.
     pub fn validate(&self) -> Result<(), EpitomeError> {
         if self.cout == 0 || self.cin == 0 || self.h == 0 || self.w == 0 {
-            Err(EpitomeError::geometry(format!("epitome shape {self} has a zero extent")))
+            Err(EpitomeError::geometry(format!(
+                "epitome shape {self} has a zero extent"
+            )))
         } else {
             Ok(())
         }
@@ -134,8 +138,16 @@ impl EpitomeShape {
 
 impl fmt::Display for EpitomeShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{} (cout={}, cin={}, h={}, w={})",
-            self.matrix_rows(), self.cout, self.cout, self.cin, self.h, self.w)
+        write!(
+            f,
+            "{}x{} (cout={}, cin={}, h={}, w={})",
+            self.matrix_rows(),
+            self.cout,
+            self.cout,
+            self.cin,
+            self.h,
+            self.w
+        )
     }
 }
 

@@ -53,7 +53,10 @@ pub fn wrapping_factor(plan: &SamplingPlan) -> ChannelWrapping {
     let cout_plan = &plan.dim_plans()[0];
     let tiles = cout_plan.tiles();
     if tiles <= 1 {
-        return ChannelWrapping { factor: 1, block: cout_plan.dst_extent };
+        return ChannelWrapping {
+            factor: 1,
+            block: cout_plan.dst_extent,
+        };
     }
     let first = cout_plan.segments[0];
     let uniform = cout_plan
@@ -61,9 +64,15 @@ pub fn wrapping_factor(plan: &SamplingPlan) -> ChannelWrapping {
         .iter()
         .all(|s| s.src_start == first.src_start && s.len == first.len);
     if uniform {
-        ChannelWrapping { factor: tiles, block: first.len }
+        ChannelWrapping {
+            factor: tiles,
+            block: first.len,
+        }
     } else {
-        ChannelWrapping { factor: 1, block: cout_plan.dst_extent }
+        ChannelWrapping {
+            factor: 1,
+            block: cout_plan.dst_extent,
+        }
     }
 }
 
@@ -75,9 +84,11 @@ mod tests {
 
     #[test]
     fn exact_division_wraps() {
-        let plan =
-            SamplingPlan::build(ConvShape::new(512, 4, 3, 3), EpitomeShape::new(128, 4, 3, 3))
-                .unwrap();
+        let plan = SamplingPlan::build(
+            ConvShape::new(512, 4, 3, 3),
+            EpitomeShape::new(128, 4, 3, 3),
+        )
+        .unwrap();
         let w = wrapping_factor(&plan);
         assert_eq!(w.factor, 4);
         assert_eq!(w.block, 128);
@@ -86,9 +97,8 @@ mod tests {
 
     #[test]
     fn single_tile_does_not_wrap() {
-        let plan =
-            SamplingPlan::build(ConvShape::new(64, 4, 3, 3), EpitomeShape::new(64, 4, 3, 3))
-                .unwrap();
+        let plan = SamplingPlan::build(ConvShape::new(64, 4, 3, 3), EpitomeShape::new(64, 4, 3, 3))
+            .unwrap();
         let w = wrapping_factor(&plan);
         assert_eq!(w.factor, 1);
         assert!(!w.is_effective());
@@ -98,20 +108,16 @@ mod tests {
     fn ragged_tail_does_not_wrap() {
         // cout 10 from cout_e 4: blocks 4,4,2 — last block differs, Eq. 8
         // does not hold for all x, so wrapping must be rejected.
-        let plan =
-            SamplingPlan::build(ConvShape::new(10, 4, 3, 3), EpitomeShape::new(4, 4, 3, 3))
-                .unwrap();
+        let plan = SamplingPlan::build(ConvShape::new(10, 4, 3, 3), EpitomeShape::new(4, 4, 3, 3))
+            .unwrap();
         assert_eq!(wrapping_factor(&plan).factor, 1);
     }
 
     #[test]
     fn wrapped_weight_satisfies_translation_invariance() {
         // Direct check of paper Eq. 8 on a reconstructed weight.
-        let spec = EpitomeSpec::new(
-            ConvShape::new(12, 6, 3, 3),
-            EpitomeShape::new(4, 6, 3, 3),
-        )
-        .unwrap();
+        let spec =
+            EpitomeSpec::new(ConvShape::new(12, 6, 3, 3), EpitomeShape::new(4, 6, 3, 3)).unwrap();
         let wrap = wrapping_factor(spec.plan());
         assert_eq!(wrap.factor, 3);
         let mut r = rng::seeded(7);

@@ -14,9 +14,13 @@ fn conv_strategy() -> impl Strategy<Value = ConvShape> {
 
 fn shape_pair() -> impl Strategy<Value = (ConvShape, EpitomeShape)> {
     conv_strategy().prop_flat_map(|conv| {
-        (1usize..=conv.cout, 1usize..=conv.cin, 1usize..=conv.kh, 1usize..=conv.kw).prop_map(
-            move |(ecout, ecin, eh, ew)| (conv, EpitomeShape::new(ecout, ecin, eh, ew)),
+        (
+            1usize..=conv.cout,
+            1usize..=conv.cin,
+            1usize..=conv.kh,
+            1usize..=conv.kw,
         )
+            .prop_map(move |(ecout, ecin, eh, ew)| (conv, EpitomeShape::new(ecout, ecin, eh, ew)))
     })
 }
 

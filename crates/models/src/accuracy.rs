@@ -198,7 +198,11 @@ impl AccuracyModel {
     /// Accuracy of the epitome combined with 50%-ratio element pruning
     /// (the Table 3 "Epitome + Pruning" row), scaled linearly in ratio.
     pub fn epitome_plus_pruning_accuracy(&self, param_compression: f64, ratio: f64) -> f64 {
-        let epi = self.epim_accuracy(param_compression, WeightScheme::Fp32, QuantMethod::PerCrossbarOverlap);
+        let epi = self.epim_accuracy(
+            param_compression,
+            WeightScheme::Fp32,
+            QuantMethod::PerCrossbarOverlap,
+        );
         epi - self.calib.epitome_prune_drop_50 * (ratio / 0.50)
     }
 }
@@ -217,13 +221,25 @@ mod tests {
         let fp = m.epim_accuracy(2.8418, WeightScheme::Fp32, QuantMethod::PerCrossbarOverlap);
         assert!((fp - 74.00).abs() < TOL, "{fp}");
         // W3 full method -> 71.59.
-        let w3 = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits: 3 }, QuantMethod::PerCrossbarOverlap);
+        let w3 = m.epim_accuracy(
+            2.8418,
+            WeightScheme::Fixed { bits: 3 },
+            QuantMethod::PerCrossbarOverlap,
+        );
         assert!((w3 - 71.59).abs() < TOL, "{w3}");
         // W3mp -> 72.98.
-        let mp = m.epim_accuracy(2.8418, WeightScheme::Mixed { avg_bits: 3.5 }, QuantMethod::PerCrossbarOverlap);
+        let mp = m.epim_accuracy(
+            2.8418,
+            WeightScheme::Mixed { avg_bits: 3.5 },
+            QuantMethod::PerCrossbarOverlap,
+        );
         assert!((mp - 72.98).abs() < 0.4, "{mp}");
         // W9 nearly free.
-        let w9 = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits: 9 }, QuantMethod::PerCrossbarOverlap);
+        let w9 = m.epim_accuracy(
+            2.8418,
+            WeightScheme::Fixed { bits: 9 },
+            QuantMethod::PerCrossbarOverlap,
+        );
         assert!((w9 - 74.00).abs() < 0.1, "{w9}");
     }
 
@@ -231,8 +247,16 @@ mod tests {
     fn resnet50_table2_anchors() {
         let m = AccuracyModel::resnet50();
         let naive = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits: 3 }, QuantMethod::Naive);
-        let xbar = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits: 3 }, QuantMethod::PerCrossbar);
-        let full = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits: 3 }, QuantMethod::PerCrossbarOverlap);
+        let xbar = m.epim_accuracy(
+            2.8418,
+            WeightScheme::Fixed { bits: 3 },
+            QuantMethod::PerCrossbar,
+        );
+        let full = m.epim_accuracy(
+            2.8418,
+            WeightScheme::Fixed { bits: 3 },
+            QuantMethod::PerCrossbarOverlap,
+        );
         assert!((naive - 69.95).abs() < TOL, "{naive}");
         assert!((xbar - 71.35).abs() < TOL, "{xbar}");
         assert!((full - 71.59).abs() < TOL, "{full}");
@@ -244,7 +268,11 @@ mod tests {
         let m = AccuracyModel::resnet101();
         let fp = m.epim_accuracy(2.3389, WeightScheme::Fp32, QuantMethod::PerCrossbarOverlap);
         assert!((fp - 76.56).abs() < TOL, "{fp}");
-        let w3 = m.epim_accuracy(2.3389, WeightScheme::Fixed { bits: 3 }, QuantMethod::PerCrossbarOverlap);
+        let w3 = m.epim_accuracy(
+            2.3389,
+            WeightScheme::Fixed { bits: 3 },
+            QuantMethod::PerCrossbarOverlap,
+        );
         assert!((w3 - 74.98).abs() < TOL, "{w3}");
         let naive = m.epim_accuracy(2.3389, WeightScheme::Fixed { bits: 3 }, QuantMethod::Naive);
         assert!((naive - 73.98).abs() < TOL, "{naive}");
@@ -286,15 +314,27 @@ mod tests {
         // More bits, more accuracy.
         let mut prev = 0.0;
         for bits in [3u8, 5, 7, 9] {
-            let a = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits }, QuantMethod::PerCrossbarOverlap);
+            let a = m.epim_accuracy(
+                2.8418,
+                WeightScheme::Fixed { bits },
+                QuantMethod::PerCrossbarOverlap,
+            );
             assert!(a > prev, "bits {bits}");
             prev = a;
         }
         // Method ordering holds at every low bit width.
         for bits in [3u8, 4, 5] {
             let n = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits }, QuantMethod::Naive);
-            let x = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits }, QuantMethod::PerCrossbar);
-            let f = m.epim_accuracy(2.8418, WeightScheme::Fixed { bits }, QuantMethod::PerCrossbarOverlap);
+            let x = m.epim_accuracy(
+                2.8418,
+                WeightScheme::Fixed { bits },
+                QuantMethod::PerCrossbar,
+            );
+            let f = m.epim_accuracy(
+                2.8418,
+                WeightScheme::Fixed { bits },
+                QuantMethod::PerCrossbarOverlap,
+            );
             assert!(n < x && x < f);
         }
     }

@@ -18,6 +18,9 @@
 //!   epitome convolution layer ([`training::EpitomeConv2d`]) and an
 //!   experiment harness that trains conv vs. epitome vs. quantized
 //!   epitome CNNs on synthetic data with real gradient descent.
+//! - [`zoo`]: ready-made small backbones/networks (16×16-input tiny
+//!   ResNets with shareable epitome specs) for tests, examples, benches
+//!   and multi-tenant fleets.
 //! - [`lower`]: lowering from a [`network::Network`] to an executable
 //!   [`lower::NetworkProgram`] — an ordered op graph of epitome crossbar
 //!   ops and dense tensor ops with inferred inter-stage shapes, plus
@@ -31,3 +34,4 @@ pub mod lower;
 pub mod network;
 pub mod resnet;
 pub mod training;
+pub mod zoo;

@@ -150,7 +150,11 @@ impl NetworkProgram {
 
     /// Per-image output shape of the final stage.
     pub fn output_shape(&self) -> &[usize] {
-        &self.stages.last().expect("programs have at least one stage").out_shape
+        &self
+            .stages
+            .last()
+            .expect("programs have at least one stage")
+            .out_shape
     }
 
     /// The stages in execution order.
@@ -221,9 +225,7 @@ impl NetworkProgram {
         for (i, stage) in self.stages.iter().enumerate() {
             let x = match stage.input {
                 StageInput::Source => input,
-                StageInput::Stage(j) => {
-                    outputs[j].as_ref().expect("stages execute in order")
-                }
+                StageInput::Stage(j) => outputs[j].as_ref().expect("stages execute in order"),
             };
             let y = match &stage.op {
                 StageOp::Conv { layer, cfg } => {
@@ -341,7 +343,9 @@ impl NetworkWeights {
             Some(LayerWeights::Epitome(_)) => Err(PimError::config(format!(
                 "stage {name}: layer {i} is bound to an epitome, expected dense weights"
             ))),
-            None => Err(PimError::config(format!("stage {name}: layer {i} has no weights bound"))),
+            None => Err(PimError::config(format!(
+                "stage {name}: layer {i} has no weights bound"
+            ))),
         }
     }
 
@@ -360,7 +364,9 @@ impl NetworkWeights {
             Some(LayerWeights::Dense { .. }) => Err(PimError::config(format!(
                 "stage {name}: layer {i} is bound to dense weights, expected an epitome"
             ))),
-            None => Err(PimError::config(format!("stage {name}: layer {i} has no weights bound"))),
+            None => Err(PimError::config(format!(
+                "stage {name}: layer {i} has no weights bound"
+            ))),
         }
     }
 }
@@ -375,10 +381,15 @@ fn infer_conv_cfg(
     layer: &LayerInfo,
 ) -> Result<Conv2dCfg, EpitomeError> {
     if layer.out_h == 0 || layer.out_w == 0 {
-        return Err(EpitomeError::plan(format!("layer {} records a zero output", layer.name)));
+        return Err(EpitomeError::plan(format!(
+            "layer {} records a zero output",
+            layer.name
+        )));
     }
     let stride = ((h as f64 / layer.out_h as f64).round() as usize).max(1);
-    let padding = ((layer.out_h - 1) * stride + kh).saturating_sub(h).div_ceil(2);
+    let padding = ((layer.out_h - 1) * stride + kh)
+        .saturating_sub(h)
+        .div_ceil(2);
     let cfg = Conv2dCfg { stride, padding };
     match conv2d_out_dims(h, w, kh, kw, cfg) {
         Ok((oh, ow)) if oh == layer.out_h && ow == layer.out_w => Ok(cfg),
@@ -403,7 +414,14 @@ struct Lowerer<'a> {
 
 impl<'a> Lowerer<'a> {
     fn new(net: &'a Network, c: usize, h: usize, w: usize) -> Self {
-        Lowerer { net, stages: Vec::new(), cur: StageInput::Source, c, h, w }
+        Lowerer {
+            net,
+            stages: Vec::new(),
+            cur: StageInput::Source,
+            c,
+            h,
+            w,
+        }
     }
 
     /// Appends a stage reading from the cursor and advances it.
@@ -423,7 +441,12 @@ impl<'a> Lowerer<'a> {
         if let [c, h, w] = out_shape[..] {
             (self.c, self.h, self.w) = (c, h, w);
         }
-        self.stages.push(Stage { name: name.into(), input, op, out_shape });
+        self.stages.push(Stage {
+            name: name.into(),
+            input,
+            op,
+            out_shape,
+        });
         let idx = self.stages.len() - 1;
         self.cur = StageInput::Stage(idx);
         idx
@@ -448,9 +471,11 @@ impl<'a> Lowerer<'a> {
         let cfg = infer_conv_cfg(h, w, layer.conv.kh, layer.conv.kw, layer)?;
         let op = match &self.net.choices()[idx] {
             OperatorChoice::Conv => StageOp::Conv { layer: idx, cfg },
-            OperatorChoice::Epitome(spec) => {
-                StageOp::Epitome { layer: idx, spec: spec.clone(), cfg }
-            }
+            OperatorChoice::Epitome(spec) => StageOp::Epitome {
+                layer: idx,
+                spec: spec.clone(),
+                cfg,
+            },
         };
         let out_shape = vec![layer.conv.cout, layer.out_h, layer.out_w];
         Ok(self.push_from(input, layer.name.clone(), op, out_shape))
@@ -482,8 +507,15 @@ impl<'a> Lowerer<'a> {
                 self.push(layer.name.clone(), StageOp::Linear { layer: idx }, out);
             }
             OperatorChoice::Epitome(spec) => {
-                let cfg = Conv2dCfg { stride: 1, padding: 0 };
-                let op = StageOp::Epitome { layer: idx, spec: spec.clone(), cfg };
+                let cfg = Conv2dCfg {
+                    stride: 1,
+                    padding: 0,
+                };
+                let op = StageOp::Epitome {
+                    layer: idx,
+                    spec: spec.clone(),
+                    cfg,
+                };
                 let out = vec![layer.conv.cout, 1, 1];
                 self.push(layer.name.clone(), op, out);
             }
@@ -496,7 +528,10 @@ impl<'a> Lowerer<'a> {
     }
 
     fn finish(self, input_shape: Vec<usize>) -> NetworkProgram {
-        NetworkProgram { input_shape, stages: self.stages }
+        NetworkProgram {
+            input_shape,
+            stages: self.stages,
+        }
     }
 }
 
@@ -554,7 +589,12 @@ fn lower_chain(lw: &mut Lowerer, input_h: usize, input_w: usize) -> Result<(), E
             lw.push_conv_like(idx, input, shape)?;
         }
         if idx + 1 < n_layers {
-            let out = lw.stages.last().expect("stage just pushed").out_shape.clone();
+            let out = lw
+                .stages
+                .last()
+                .expect("stage just pushed")
+                .out_shape
+                .clone();
             lw.push(format!("{}.relu", layer.name), StageOp::Relu, out);
         }
         (input, shape) = lw.cursor();
@@ -569,10 +609,27 @@ fn lower_resnet(lw: &mut Lowerer, input_h: usize, input_w: usize) -> Result<(), 
     // Stem: conv -> ReLU -> 3x3/2 max pool (padding 1).
     lw.push_conv_like(0, StageInput::Source, (lw.c, input_h, input_w))?;
     let stem_shape = (lw.c, lw.h, lw.w);
-    lw.push("stem.relu", StageOp::Relu, vec![stem_shape.0, stem_shape.1, stem_shape.2]);
-    let pool = PoolCfg { window: 3, stride: 2, padding: 1 };
-    let (ph, pw) = conv2d_out_dims(lw.h, lw.w, 3, 3, Conv2dCfg { stride: 2, padding: 1 })
-        .map_err(|e| EpitomeError::plan(format!("stem pool does not fit: {e}")))?;
+    lw.push(
+        "stem.relu",
+        StageOp::Relu,
+        vec![stem_shape.0, stem_shape.1, stem_shape.2],
+    );
+    let pool = PoolCfg {
+        window: 3,
+        stride: 2,
+        padding: 1,
+    };
+    let (ph, pw) = conv2d_out_dims(
+        lw.h,
+        lw.w,
+        3,
+        3,
+        Conv2dCfg {
+            stride: 2,
+            padding: 1,
+        },
+    )
+    .map_err(|e| EpitomeError::plan(format!("stem pool does not fit: {e}")))?;
     let c = lw.c;
     lw.push("stem.maxpool", StageOp::MaxPool(pool), vec![c, ph, pw]);
 
@@ -710,12 +767,23 @@ mod tests {
         assert_eq!(prog.output_shape(), &[10]);
         // l0, relu, l1, relu, gap, head.
         assert_eq!(prog.stages().len(), 6);
-        assert!(matches!(prog.stages()[0].op, StageOp::Conv { layer: 0, .. }));
+        assert!(matches!(
+            prog.stages()[0].op,
+            StageOp::Conv { layer: 0, .. }
+        ));
         assert!(matches!(prog.stages()[4].op, StageOp::GlobalAvgPool));
         assert!(matches!(prog.stages()[5].op, StageOp::Linear { layer: 2 }));
         // l1 maps 8x8 -> 4x4: stride 2, padding 1 inferred.
-        let StageOp::Conv { cfg, .. } = prog.stages()[2].op else { panic!("conv") };
-        assert_eq!(cfg, Conv2dCfg { stride: 2, padding: 1 });
+        let StageOp::Conv { cfg, .. } = prog.stages()[2].op else {
+            panic!("conv")
+        };
+        assert_eq!(
+            cfg,
+            Conv2dCfg {
+                stride: 2,
+                padding: 1
+            }
+        );
     }
 
     #[test]
@@ -730,12 +798,19 @@ mod tests {
             .filter(|s| matches!(s.op, StageOp::Add { .. }))
             .collect();
         assert_eq!(adds.len(), 2, "one residual add per block");
-        assert!(prog.stages().iter().any(|s| matches!(s.op, StageOp::MaxPool(_))));
+        assert!(prog
+            .stages()
+            .iter()
+            .any(|s| matches!(s.op, StageOp::MaxPool(_))));
         // The identity block's add reads the previous block's post-ReLU
         // output; the projection block's add reads the downsample stage.
-        let StageOp::Add { with } = adds[0].op else { unreachable!() };
+        let StageOp::Add { with } = adds[0].op else {
+            unreachable!()
+        };
         assert_eq!(prog.stages()[with].name, "stage1.block0.downsample");
-        let StageOp::Add { with } = adds[1].op else { unreachable!() };
+        let StageOp::Add { with } = adds[1].op else {
+            unreachable!()
+        };
         assert_eq!(prog.stages()[with].name, "stage1.block0.relu3");
     }
 
@@ -746,8 +821,11 @@ mod tests {
         assert_eq!(prog.input_shape(), &[3, 224, 224]);
         assert_eq!(prog.output_shape(), &[1000]);
         // 16 blocks -> 16 residual adds; every conv layer appears once.
-        let adds =
-            prog.stages().iter().filter(|s| matches!(s.op, StageOp::Add { .. })).count();
+        let adds = prog
+            .stages()
+            .iter()
+            .filter(|s| matches!(s.op, StageOp::Add { .. }))
+            .count();
         assert_eq!(adds, 16);
         let convs = prog
             .stages()
@@ -756,8 +834,16 @@ mod tests {
             .count();
         assert_eq!(convs, 54);
         // The stem lowers to stride 2, padding 3 (the canonical 7x7 stem).
-        let StageOp::Conv { cfg, .. } = prog.stages()[0].op else { panic!("stem conv") };
-        assert_eq!(cfg, Conv2dCfg { stride: 2, padding: 3 });
+        let StageOp::Conv { cfg, .. } = prog.stages()[0].op else {
+            panic!("stem conv")
+        };
+        assert_eq!(
+            cfg,
+            Conv2dCfg {
+                stride: 2,
+                padding: 3
+            }
+        );
     }
 
     #[test]
@@ -768,8 +854,10 @@ mod tests {
         // Replace both 3x3 convs (layers 2 and 6, same shape) with the
         // same epitome spec: the program should report one distinct spec.
         let spec = designer.design(bb.layers[2].conv, 18, 2).unwrap();
-        net.set_choice(2, OperatorChoice::Epitome(spec.clone())).unwrap();
-        net.set_choice(6, OperatorChoice::Epitome(spec.clone())).unwrap();
+        net.set_choice(2, OperatorChoice::Epitome(spec.clone()))
+            .unwrap();
+        net.set_choice(6, OperatorChoice::Epitome(spec.clone()))
+            .unwrap();
         let prog = net.lower(16, 16).unwrap();
         let epis = prog
             .stages()
@@ -798,7 +886,10 @@ mod tests {
         assert!(Network::baseline(chain_backbone()).lower(9, 9).is_err());
 
         // Empty backbone.
-        let empty = Backbone { name: "empty".to_string(), layers: Vec::new() };
+        let empty = Backbone {
+            name: "empty".to_string(),
+            layers: Vec::new(),
+        };
         assert!(Network::baseline(empty).lower(8, 8).is_err());
     }
 
@@ -809,8 +900,9 @@ mod tests {
         let weights = NetworkWeights::random(&net, 7).unwrap();
         let mut r = rng::seeded(8);
         let x = init::uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut r);
-        let (y, stats) =
-            prog.forward_reference(&weights, true, AnalogModel::ideal(), &x).unwrap();
+        let (y, stats) = prog
+            .forward_reference(&weights, true, AnalogModel::ideal(), &x)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 10]);
         // All-conv network: no crossbar rounds.
         assert_eq!(stats.rounds, 0);
@@ -822,14 +914,20 @@ mod tests {
         net.set_choice(2, OperatorChoice::Epitome(spec)).unwrap();
         let prog = net.lower(16, 16).unwrap();
         let weights = NetworkWeights::random(&net, 9).unwrap();
-        let (y, stats) =
-            prog.forward_reference(&weights, true, AnalogModel::ideal(), &x).unwrap();
+        let (y, stats) = prog
+            .forward_reference(&weights, true, AnalogModel::ideal(), &x)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 10]);
         assert!(stats.rounds > 0);
 
         // Wrong input shape is rejected.
         assert!(prog
-            .forward_reference(&weights, true, AnalogModel::ideal(), &Tensor::zeros(&[1, 3, 8, 8]))
+            .forward_reference(
+                &weights,
+                true,
+                AnalogModel::ideal(),
+                &Tensor::zeros(&[1, 3, 8, 8])
+            )
             .is_err());
     }
 
@@ -840,7 +938,11 @@ mod tests {
         let consumers = prog.consumers();
         // Every stage except the last is consumed at least once.
         for (i, readers) in consumers.iter().enumerate().take(prog.stages().len() - 1) {
-            assert!(!readers.is_empty(), "stage {i} ({}) unused", prog.stages()[i].name);
+            assert!(
+                !readers.is_empty(),
+                "stage {i} ({}) unused",
+                prog.stages()[i].name
+            );
         }
         // A shortcut producer is consumed twice (next stage + the add).
         let pool_idx = prog

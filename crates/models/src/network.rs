@@ -123,10 +123,13 @@ impl Network {
     /// (identical layers repeat their spec, which is what makes the
     /// runtime's plan cache pay off).
     pub fn epitome_specs(&self) -> impl Iterator<Item = (usize, &EpitomeSpec)> {
-        self.choices.iter().enumerate().filter_map(|(i, c)| match c {
-            OperatorChoice::Epitome(spec) => Some((i, spec)),
-            OperatorChoice::Conv => None,
-        })
+        self.choices
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c {
+                OperatorChoice::Epitome(spec) => Some((i, spec)),
+                OperatorChoice::Conv => None,
+            })
     }
 
     /// Replaces the choice for layer `i` (used by the evolutionary
@@ -137,11 +140,9 @@ impl Network {
     /// Returns [`EpitomeError::PlanMismatch`] if `i` is out of range or
     /// the spec targets the wrong conv.
     pub fn set_choice(&mut self, i: usize, choice: OperatorChoice) -> Result<(), EpitomeError> {
-        let layer = self
-            .backbone
-            .layers
-            .get(i)
-            .ok_or_else(|| epim_core::EpitomeError::plan(format!("layer index {i} out of range")))?;
+        let layer = self.backbone.layers.get(i).ok_or_else(|| {
+            epim_core::EpitomeError::plan(format!("layer index {i} out of range"))
+        })?;
         if let OperatorChoice::Epitome(spec) = &choice {
             if spec.conv() != layer.conv {
                 return Err(epim_core::EpitomeError::plan("spec/layer conv mismatch"));
@@ -184,19 +185,19 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `precisions.len()` differs from the layer count.
-    pub fn simulate_per_layer(
-        &self,
-        model: &CostModel,
-        precisions: &[Precision],
-    ) -> NetworkCosts {
+    pub fn simulate_per_layer(&self, model: &CostModel, precisions: &[Precision]) -> NetworkCosts {
         assert_eq!(
             precisions.len(),
             self.choices.len(),
             "one precision per layer required"
         );
         let mut costs = NetworkCosts::new(self.backbone.name.clone());
-        for ((layer, choice), &prec) in
-            self.backbone.layers.iter().zip(&self.choices).zip(precisions)
+        for ((layer, choice), &prec) in self
+            .backbone
+            .layers
+            .iter()
+            .zip(&self.choices)
+            .zip(precisions)
         {
             let lc = match choice {
                 OperatorChoice::Conv => model.conv_layer(layer.conv, layer.out_pixels(), prec),
@@ -283,7 +284,9 @@ mod tests {
         assert!(Network::from_choices(bb.clone(), too_few).is_err());
 
         // Spec for the wrong conv.
-        let wrong_spec = designer().design(epim_core::ConvShape::new(2, 2, 1, 1), 2, 2).unwrap();
+        let wrong_spec = designer()
+            .design(epim_core::ConvShape::new(2, 2, 1, 1), 2, 2)
+            .unwrap();
         let mut choices = vec![OperatorChoice::Conv; bb.layers.len()];
         choices[5] = OperatorChoice::Epitome(wrong_spec);
         assert!(Network::from_choices(bb, choices).is_err());
@@ -295,7 +298,11 @@ mod tests {
         let mut net = Network::baseline(bb.clone());
         let layer = &bb.layers[10];
         let spec = designer()
-            .design(layer.conv, layer.conv.matrix_rows() / 2, layer.conv.cout / 2)
+            .design(
+                layer.conv,
+                layer.conv.matrix_rows() / 2,
+                layer.conv.cout / 2,
+            )
             .unwrap();
         net.set_choice(10, OperatorChoice::Epitome(spec)).unwrap();
         assert_eq!(net.epitome_layers(), 1);
@@ -318,7 +325,9 @@ mod tests {
         // Table 1 reports 93-98% for EPIM rows.
         let model = CostModel::new(AcceleratorConfig::default());
         let epim = Network::uniform_epitome(resnet50(), &designer(), 1024, 256).unwrap();
-        let util = epim.simulate(&model, Precision::new(9, 9)).utilization_pct();
+        let util = epim
+            .simulate(&model, Precision::new(9, 9))
+            .utilization_pct();
         assert!(util > 85.0, "utilization {util}%");
     }
 }

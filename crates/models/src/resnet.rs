@@ -135,7 +135,10 @@ fn resnet(blocks: &[usize; 4], name: &str) -> Backbone {
         out_w: 1,
     });
 
-    Backbone { name: name.to_string(), layers }
+    Backbone {
+        name: name.to_string(),
+        layers,
+    }
 }
 
 #[cfg(test)]

@@ -18,9 +18,7 @@
 
 use epim_core::{ConvShape, Epitome, EpitomeError, EpitomeShape, EpitomeSpec};
 use epim_quant::{quantize_epitome, QuantGranularity, RangeEstimator};
-use epim_tensor::nn::{
-    evaluate, AvgPool, Flatten, Layer, Linear, Param, Relu, Sequential, Sgd,
-};
+use epim_tensor::nn::{evaluate, AvgPool, Flatten, Layer, Linear, Param, Relu, Sequential, Sgd};
 use epim_tensor::ops::{conv2d, conv2d_backward, Conv2dCfg};
 use epim_tensor::{data, init, rng, Tensor, TensorError};
 use serde::{Deserialize, Serialize};
@@ -92,7 +90,11 @@ impl EpitomeConv2d {
     fn effective_weight(&self) -> Result<Tensor, EpitomeError> {
         match self.qat {
             QatMode::Off => self.epitome.reconstruct(),
-            QatMode::FakeQuant { bits, granularity, range } => {
+            QatMode::FakeQuant {
+                bits,
+                granularity,
+                range,
+            } => {
                 let (q, _) = quantize_epitome(&self.epitome, bits, granularity, &range)
                     .map_err(|e| EpitomeError::plan(format!("qat failed: {e}")))?;
                 q.reconstruct()
@@ -234,13 +236,12 @@ pub struct SmallScaleResults {
 
 /// The CNN used by all variants: conv(8)-relu-pool-conv(16)-relu-pool-fc.
 /// `epitome` selects the middle layer's operator; `qat` its quantization.
-fn build_net(
-    cfg: &SmallScaleConfig,
-    epitome: bool,
-    qat: QatMode,
-) -> (Sequential, Option<f64>) {
+fn build_net(cfg: &SmallScaleConfig, epitome: bool, qat: QatMode) -> (Sequential, Option<f64>) {
     let mut r = rng::seeded(cfg.seed);
-    let conv_cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let conv_cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
     let mut net = Sequential::new();
     net.push(epim_tensor::nn::Conv2d::new(1, 8, 3, conv_cfg, &mut r));
     net.push(Relu::new());
@@ -251,8 +252,7 @@ fn build_net(
         // (default 8x4x2x2, ~9x fewer params).
         let conv = ConvShape::new(16, 8, 3, 3);
         let (co, ci, h, w) = cfg.epitome_shape;
-        let spec = EpitomeSpec::new(conv, EpitomeShape::new(co, ci, h, w))
-            .expect("legal spec");
+        let spec = EpitomeSpec::new(conv, EpitomeShape::new(co, ci, h, w)).expect("legal spec");
         compression = Some(spec.param_compression());
         net.push(EpitomeConv2d::new(spec, conv_cfg, cfg.seed ^ 1).with_qat(qat));
     } else {
@@ -288,15 +288,13 @@ fn train_variant(cfg: &SmallScaleConfig, epitome: bool, qat: QatMode) -> (f32, O
             let bsz = end - start;
             let mut shape = train.images.shape().to_vec();
             shape[0] = bsz;
-            let images = Tensor::from_vec(
-                train.images.data()[start * per..end * per].to_vec(),
-                &shape,
-            )
-            .expect("batch slice matches shape");
+            let images =
+                Tensor::from_vec(train.images.data()[start * per..end * per].to_vec(), &shape)
+                    .expect("batch slice matches shape");
             net.zero_grad();
             let logits = net.forward(&images).expect("forward pass");
-            let out = epim_tensor::ops::cross_entropy(&logits, &train.labels[start..end])
-                .expect("loss");
+            let out =
+                epim_tensor::ops::cross_entropy(&logits, &train.labels[start..end]).expect("loss");
             net.backward(&out.dlogits).expect("backward pass");
             opt.step(&mut net.params_mut()).expect("optimizer step");
             // Epitome layers keep their own gradient buffer; step it with
@@ -324,10 +322,7 @@ fn layer_as_epitome(layer: &mut Box<dyn Layer>) -> Option<&mut EpitomeConv2d> {
 /// Runs the experiment over `n_seeds` consecutive seeds and averages the
 /// accuracies — the small-scale runs are individually noisy (tiny test
 /// sets), so orderings should be read from the average.
-pub fn run_small_scale_experiment_avg(
-    cfg: &SmallScaleConfig,
-    n_seeds: u64,
-) -> SmallScaleResults {
+pub fn run_small_scale_experiment_avg(cfg: &SmallScaleConfig, n_seeds: u64) -> SmallScaleResults {
     let n = n_seeds.max(1);
     let mut acc = SmallScaleResults {
         conv_acc: 0.0,
@@ -384,13 +379,16 @@ mod tests {
 
     #[test]
     fn epitome_layer_forward_shapes() {
-        let spec = EpitomeSpec::new(
-            ConvShape::new(16, 8, 3, 3),
-            EpitomeShape::new(8, 4, 2, 2),
-        )
-        .unwrap();
-        let mut layer =
-            EpitomeConv2d::new(spec, Conv2dCfg { stride: 1, padding: 1 }, 0);
+        let spec =
+            EpitomeSpec::new(ConvShape::new(16, 8, 3, 3), EpitomeShape::new(8, 4, 2, 2)).unwrap();
+        let mut layer = EpitomeConv2d::new(
+            spec,
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
+            0,
+        );
         let x = Tensor::zeros(&[2, 8, 6, 6]);
         let y = layer.forward(&x).unwrap();
         assert_eq!(y.shape(), &[2, 16, 6, 6]);
@@ -400,12 +398,12 @@ mod tests {
     fn epitome_layer_learns() {
         // Gradient descent through the reconstruction adjoint must reduce
         // a simple regression loss.
-        let spec = EpitomeSpec::new(
-            ConvShape::new(4, 2, 3, 3),
-            EpitomeShape::new(2, 2, 2, 2),
-        )
-        .unwrap();
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let spec =
+            EpitomeSpec::new(ConvShape::new(4, 2, 3, 3), EpitomeShape::new(2, 2, 2, 2)).unwrap();
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let mut layer = EpitomeConv2d::new(spec, cfg, 3);
         let mut r = rng::seeded(9);
         let x = init::uniform(&[4, 2, 5, 5], -1.0, 1.0, &mut r);
@@ -436,12 +434,12 @@ mod tests {
 
     #[test]
     fn qat_forward_uses_quantized_weight() {
-        let spec = EpitomeSpec::new(
-            ConvShape::new(4, 2, 3, 3),
-            EpitomeShape::new(2, 2, 2, 2),
-        )
-        .unwrap();
-        let cfg = Conv2dCfg { stride: 1, padding: 0 };
+        let spec =
+            EpitomeSpec::new(ConvShape::new(4, 2, 3, 3), EpitomeShape::new(2, 2, 2, 2)).unwrap();
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 0,
+        };
         let layer_fp = EpitomeConv2d::new(spec.clone(), cfg, 5);
         let layer_q = EpitomeConv2d::new(spec, cfg, 5).with_qat(QatMode::FakeQuant {
             bits: 2,
@@ -479,7 +477,11 @@ mod tests {
 
     #[test]
     fn experiment_deterministic() {
-        let cfg = SmallScaleConfig { per_class: 8, epochs: 2, ..SmallScaleConfig::default() };
+        let cfg = SmallScaleConfig {
+            per_class: 8,
+            epochs: 2,
+            ..SmallScaleConfig::default()
+        };
         let a = run_small_scale_experiment(&cfg);
         let b = run_small_scale_experiment(&cfg);
         assert_eq!(a, b);

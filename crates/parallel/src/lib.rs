@@ -60,7 +60,9 @@ pub fn num_threads() -> usize {
         .and_then(|s| s.parse::<usize>().ok())
         .map(|n| n.max(1))
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
     CACHED.store(n, Ordering::Relaxed);
     n
@@ -98,7 +100,11 @@ where
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = num_threads().min(n_chunks.max(1));
     if threads <= 1 {
-        return data.chunks_mut(chunk_len).enumerate().map(|(i, c)| f(i, c)).collect();
+        return data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
     }
     let work = Mutex::new(data.chunks_mut(chunk_len).enumerate());
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
@@ -112,7 +118,10 @@ where
             }
         }
         if !local.is_empty() {
-            results.lock().expect("worker poisoned the results").extend(local);
+            results
+                .lock()
+                .expect("worker poisoned the results")
+                .extend(local);
         }
     });
     let mut tagged = results.into_inner().expect("worker poisoned the results");
@@ -143,7 +152,10 @@ where
             local.push((i, f(i)));
         }
         if !local.is_empty() {
-            results.lock().expect("worker poisoned the results").extend(local);
+            results
+                .lock()
+                .expect("worker poisoned the results")
+                .extend(local);
         }
     });
     let mut tagged = results.into_inner().expect("worker poisoned the results");
@@ -186,7 +198,9 @@ where
             }
             fold(&mut acc, i);
         }
-        accs.lock().expect("worker poisoned the accumulators").push(acc);
+        accs.lock()
+            .expect("worker poisoned the accumulators")
+            .push(acc);
     });
     accs.into_inner()
         .expect("worker poisoned the accumulators")
@@ -234,12 +248,7 @@ mod tests {
 
     #[test]
     fn fold_reduce_sums() {
-        let total = fold_reduce(
-            1000,
-            || 0u64,
-            |acc, i| *acc += i as u64,
-            |a, b| a + b,
-        );
+        let total = fold_reduce(1000, || 0u64, |acc, i| *acc += i as u64, |a, b| a + b);
         assert_eq!(total, 499_500);
     }
 

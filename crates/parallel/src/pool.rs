@@ -78,7 +78,12 @@ fn pool() -> Option<&'static Pool> {
         }
         let pool: &'static Pool = Box::leak(Box::new(Pool {
             submit: Mutex::new(()),
-            state: Mutex::new(State { epoch: 0, job: None, pending: 0, panicked: false }),
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                panicked: false,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             workers,
@@ -218,7 +223,10 @@ mod tests {
             // Invariants that hold even under contention: the caller
             // always participates as worker 0, indices are distinct and
             // in range, and the barrier returned only after all of them.
-            assert!(!ids.is_empty() && ids[0] == 0, "caller must run as worker 0");
+            assert!(
+                !ids.is_empty() && ids[0] == 0,
+                "caller must run as worker 0"
+            );
             assert!(ids.len() <= threads);
             let unique = ids.len();
             ids.dedup();
@@ -229,7 +237,10 @@ mod tests {
             }
             std::thread::yield_now();
         }
-        assert!(saw_full_participation, "pool never ran a full fork-join in 500 attempts");
+        assert!(
+            saw_full_participation,
+            "pool never ran a full fork-join in 500 attempts"
+        );
     }
 
     #[test]

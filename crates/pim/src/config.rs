@@ -18,7 +18,11 @@ pub struct CrossbarConfig {
 impl CrossbarConfig {
     /// Creates a crossbar configuration.
     pub fn new(rows: usize, cols: usize, cell_bits: u8) -> Self {
-        CrossbarConfig { rows, cols, cell_bits }
+        CrossbarConfig {
+            rows,
+            cols,
+            cell_bits,
+        }
     }
 
     /// Cells per crossbar.
@@ -66,7 +70,10 @@ pub struct Precision {
 impl Precision {
     /// Creates a precision setting.
     pub fn new(weight_bits: u8, act_bits: u8) -> Self {
-        Precision { weight_bits, act_bits }
+        Precision {
+            weight_bits,
+            act_bits,
+        }
     }
 
     /// 32-bit fixed-point emulation of the FP32 baseline rows.
@@ -106,7 +113,10 @@ pub struct AcceleratorConfig {
 impl AcceleratorConfig {
     /// Creates a configuration with wrapping disabled.
     pub fn new(crossbar: CrossbarConfig) -> Self {
-        AcceleratorConfig { crossbar, channel_wrapping: false }
+        AcceleratorConfig {
+            crossbar,
+            channel_wrapping: false,
+        }
     }
 
     /// Enables/disables output channel wrapping (builder style).

@@ -72,8 +72,7 @@ impl LayerCosts {
         let util = if xb == 0 {
             0.0
         } else {
-            (self.utilization * self.crossbars as f64
-                + other.utilization * other.crossbars as f64)
+            (self.utilization * self.crossbars as f64 + other.utilization * other.crossbars as f64)
                 / xb as f64
         };
         LayerCosts {
@@ -100,7 +99,10 @@ pub struct CostModel {
 impl CostModel {
     /// Creates a cost model with the calibrated default LUT.
     pub fn new(cfg: AcceleratorConfig) -> Self {
-        CostModel { cfg, lut: HardwareLut::default() }
+        CostModel {
+            cfg,
+            lut: HardwareLut::default(),
+        }
     }
 
     /// Creates a cost model with an explicit LUT.
@@ -159,10 +161,10 @@ impl CostModel {
 
         let e_round = mapping.used_cells() as f64 * lut.e_cell_pj
             + r * mapping.col_tiles as f64 * lut.e_dac_row_pj
-            + (c * mapping.slices as f64) * mapping.row_tiles as f64
+            + (c * mapping.slices as f64)
+                * mapping.row_tiles as f64
                 * (lut.e_adc_col_pj + lut.e_shift_add_pj);
-        let energy_per_pixel =
-            ab * e_round + r * lut.e_buffer_read_pj + c * lut.e_buffer_write_pj;
+        let energy_per_pixel = ab * e_round + r * lut.e_buffer_read_pj + c * lut.e_buffer_write_pj;
 
         Ok(LayerCosts {
             latency_ns: out_pixels as f64 * latency_per_pixel,
@@ -209,8 +211,11 @@ impl CostModel {
         prec: Precision,
     ) -> Result<LayerCosts, PimError> {
         self.cfg.validate()?;
-        let mapping =
-            Mapping::new(MappedMatrix::from_epitome(spec.shape()), self.cfg.crossbar, prec)?;
+        let mapping = Mapping::new(
+            MappedMatrix::from_epitome(spec.shape()),
+            self.cfg.crossbar,
+            prec,
+        )?;
         let wrap = wrapping_factor(spec.plan());
         let wrap_on = self.cfg.channel_wrapping && wrap.is_effective();
         let lut = &self.lut;
@@ -238,14 +243,18 @@ impl CostModel {
                 + active_rows.min(self.cfg.crossbar.rows as f64) * lut.t_dac_row_ns
                 + active_cols.min(self.cfg.crossbar.cols as f64) * lut.t_adc_col_ns
                 + slices * lut.t_shift_add_slice_ns;
-            latency_per_pixel += ab * t_round
-                + (active_rows + active_cols_logical) * lut.t_buffer_elem_ns;
+            latency_per_pixel +=
+                ab * t_round + (active_rows + active_cols_logical) * lut.t_buffer_elem_ns;
 
             // A patch spanning several crossbar tiles pays DACs per column
             // tile and ADCs/shift-adds per row tile, exactly like the
             // convolution model.
-            let row_tiles_p = (active_rows / self.cfg.crossbar.rows as f64).ceil().max(1.0);
-            let col_tiles_p = (active_cols / self.cfg.crossbar.cols as f64).ceil().max(1.0);
+            let row_tiles_p = (active_rows / self.cfg.crossbar.rows as f64)
+                .ceil()
+                .max(1.0);
+            let col_tiles_p = (active_cols / self.cfg.crossbar.cols as f64)
+                .ceil()
+                .max(1.0);
             let cells = active_rows * active_cols;
             let e_round = cells * lut.e_cell_pj
                 + active_rows * col_tiles_p * lut.e_dac_row_pj
@@ -307,9 +316,12 @@ impl CostModel {
 
     /// One-time programming cost of an epitome layer's weights.
     pub fn epitome_programming(&self, spec: &EpitomeSpec, prec: Precision) -> ProgrammingCosts {
-        let mapping =
-            Mapping::new(MappedMatrix::from_epitome(spec.shape()), self.cfg.crossbar, prec)
-                .expect("valid epitome mapping");
+        let mapping = Mapping::new(
+            MappedMatrix::from_epitome(spec.shape()),
+            self.cfg.crossbar,
+            prec,
+        )
+        .expect("valid epitome mapping");
         self.programming(&mapping)
     }
 
@@ -382,10 +394,21 @@ mod tests {
         let pixels = 14 * 14;
         let c = m.conv_layer(conv, pixels, prec);
         let e = m.epitome_layer(&spec, pixels, prec);
-        assert!(e.crossbars < c.crossbars, "crossbars {} vs {}", e.crossbars, c.crossbars);
+        assert!(
+            e.crossbars < c.crossbars,
+            "crossbars {} vs {}",
+            e.crossbars,
+            c.crossbars
+        );
         assert!(e.rounds_per_pixel > 1);
-        assert!(e.latency_ns > c.latency_ns, "epitome should be slower per §5.1");
-        assert!(e.buffer_writes > c.buffer_writes, "more partial writes per §5.1");
+        assert!(
+            e.latency_ns > c.latency_ns,
+            "epitome should be slower per §5.1"
+        );
+        assert!(
+            e.buffer_writes > c.buffer_writes,
+            "more partial writes per §5.1"
+        );
     }
 
     #[test]
@@ -400,7 +423,10 @@ mod tests {
         assert_eq!(on.buffer_writes * wrap.factor as u64, off.buffer_writes);
         assert!(on.latency_ns < off.latency_ns);
         assert!(on.energy_pj < off.energy_pj);
-        assert_eq!(on.crossbars, off.crossbars, "wrapping changes time, not storage");
+        assert_eq!(
+            on.crossbars, off.crossbars,
+            "wrapping changes time, not storage"
+        );
     }
 
     #[test]
@@ -493,7 +519,10 @@ mod tests {
     #[test]
     fn try_variants_report_errors() {
         let m = model(false);
-        let bad_prec = Precision { weight_bits: 0, act_bits: 9 };
+        let bad_prec = Precision {
+            weight_bits: 0,
+            act_bits: 9,
+        };
         assert!(m
             .try_conv_layer(ConvShape::new(4, 4, 3, 3), 10, bad_prec)
             .is_err());

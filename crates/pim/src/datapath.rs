@@ -254,7 +254,10 @@ impl CompiledPlan {
                 for ky in 0..patch.size[2] {
                     let base = ((patch.dst[1] + ci) * conv.kh + (patch.dst[2] + ky)) * conv.kw
                         + patch.dst[3];
-                    ranges.push(IndexRange { start: base, stop: base + patch.size[3] });
+                    ranges.push(IndexRange {
+                        start: base,
+                        stop: base + patch.size[3],
+                    });
                 }
             }
             ifat_entries.push(ranges);
@@ -268,8 +271,7 @@ impl CompiledPlan {
             for ci in 0..patch.size[1] {
                 for ky in 0..patch.size[2] {
                     for kx in 0..patch.size[3] {
-                        let wl = ((patch.src[1] + ci) * eshape.h + (patch.src[2] + ky))
-                            * eshape.w
+                        let wl = ((patch.src[1] + ci) * eshape.h + (patch.src[2] + ky)) * eshape.w
                             + (patch.src[3] + kx);
                         seq[wl] = Some(gathered);
                         gathered += 1;
@@ -282,12 +284,21 @@ impl CompiledPlan {
                     }
                 }
             }
-            let ifat_pairs = ifat_entries.last().map(|r: &Vec<IndexRange>| r.len()).unwrap_or(0);
+            let ifat_pairs = ifat_entries
+                .last()
+                .map(|r: &Vec<IndexRange>| r.len())
+                .unwrap_or(0);
             ifrt_sequences.push(seq);
 
             // OFAT: where the partial result lands among output channels.
-            let range = IndexRange { start: patch.dst[0], stop: patch.dst[0] + patch.size[0] };
-            ofat_entries.push(OfatEntry { range, src_col_start: patch.src[0] });
+            let range = IndexRange {
+                start: patch.dst[0],
+                stop: patch.dst[0] + patch.size[0],
+            };
+            ofat_entries.push(OfatEntry {
+                range,
+                src_col_start: patch.src[0],
+            });
             rounds.push(Round {
                 active,
                 ifat_pairs: ifat_pairs as u64,
@@ -298,9 +309,16 @@ impl CompiledPlan {
 
         Ok(CompiledPlan {
             spec: spec.clone(),
-            ifat: Ifat { entries: ifat_entries },
-            ifrt: Ifrt { sequences: ifrt_sequences, word_lines: rows_e },
-            ofat: Ofat { entries: ofat_entries },
+            ifat: Ifat {
+                entries: ifat_entries,
+            },
+            ifrt: Ifrt {
+                sequences: ifrt_sequences,
+                word_lines: rows_e,
+            },
+            ofat: Ofat {
+                entries: ofat_entries,
+            },
             rounds,
         })
     }
@@ -454,7 +472,9 @@ impl DataPath {
             return Err(PimError::config("adc_bits/dac_bits must be nonzero"));
         }
         if !analog.input_full_scale.is_finite() || analog.input_full_scale <= 0.0 {
-            return Err(PimError::config("input_full_scale must be finite and positive"));
+            return Err(PimError::config(
+                "input_full_scale must be finite and positive",
+            ));
         }
         if plan.spec() != epitome.spec() {
             return Err(PimError::config(
@@ -583,10 +603,8 @@ impl DataPath {
         } else {
             rows.div_ceil(4 * epim_parallel::num_threads()).max(1)
         };
-        let stat_parts = epim_parallel::map_chunks_mut(
-            &mut pix,
-            chunk_rows * conv.cout,
-            |chunk_idx, chunk| {
+        let stat_parts =
+            epim_parallel::map_chunks_mut(&mut pix, chunk_rows * conv.cout, |chunk_idx, chunk| {
                 let mut stats = DataPathStats::default();
                 let mut receptive = vec![0.0f32; rf_len];
                 let mut scratch = vec![0.0f32; self.plan.spec.shape().cout];
@@ -599,14 +617,23 @@ impl DataPath {
                     // Fill the receptive-field buffer for this pixel (what
                     // the on-chip input buffer would hold).
                     epim_tensor::ops::fill_receptive_field(
-                        xd, conv.cin, h, w, conv.kh, conv.kw, ni, oy, ox, cfg, &mut receptive,
+                        xd,
+                        conv.cin,
+                        h,
+                        w,
+                        conv.kh,
+                        conv.kw,
+                        ni,
+                        oy,
+                        ox,
+                        cfg,
+                        &mut receptive,
                     );
 
                     self.execute_pixel(&receptive, out_vec, &mut scratch, wrap_on, &mut stats);
                 }
                 stats
-            },
-        );
+            });
         let mut stats = DataPathStats::default();
         for part in &stat_parts {
             stats.accumulate(part);
@@ -780,8 +807,8 @@ impl DataPath {
                             quantize_slice(accs, step, limit);
                         }
                         let t = t0 + ti;
-                        let out_vec = &mut chunk
-                            [t * cout + round.range.start..t * cout + round.range.stop];
+                        let out_vec =
+                            &mut chunk[t * cout + round.range.start..t * cout + round.range.stop];
                         for (slot, &a) in out_vec.iter_mut().zip(&*accs) {
                             *slot += a;
                         }
@@ -887,10 +914,7 @@ impl DataPath {
                             for kx in 0..conv.kw {
                                 let ix = (ox * self.conv_cfg.stride + kx) as isize
                                     - self.conv_cfg.padding as isize;
-                                let v = if iy < 0
-                                    || ix < 0
-                                    || iy >= h as isize
-                                    || ix >= w as isize
+                                let v = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
                                 {
                                     0.0
                                 } else {
@@ -956,7 +980,8 @@ impl DataPath {
                         }
                     }
                     for (co, &v) in out_vec.iter().enumerate() {
-                        out.set(&[ni, co, oy, ox], v).expect("output index in range");
+                        out.set(&[ni, co, oy, ox], v)
+                            .expect("output index in range");
                     }
                 }
             }
@@ -985,8 +1010,8 @@ impl DataPath {
                 conv.cin
             )));
         }
-        let (oh, ow) = conv2d_out_dims(h, w, conv.kh, conv.kw, self.conv_cfg)
-            .map_err(PimError::Tensor)?;
+        let (oh, ow) =
+            conv2d_out_dims(h, w, conv.kh, conv.kw, self.conv_cfg).map_err(PimError::Tensor)?;
         Ok((n, h, w, oh, ow))
     }
 
@@ -1048,7 +1073,10 @@ impl DataPath {
             if let Some((step, limit)) = self.adc_params() {
                 quantize_slice(accs, step, limit);
             }
-            for (slot, &a) in out_vec[round.range.start..round.range.stop].iter_mut().zip(&*accs) {
+            for (slot, &a) in out_vec[round.range.start..round.range.stop]
+                .iter_mut()
+                .zip(&*accs)
+            {
                 *slot += a;
             }
             stats.joint_adds += width as u64;
@@ -1106,7 +1134,10 @@ mod tests {
         assert_equivalent(
             ConvShape::new(6, 4, 3, 3),
             EpitomeShape::new(6, 4, 3, 3),
-            Conv2dCfg { stride: 1, padding: 1 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
             1,
         );
     }
@@ -1116,7 +1147,10 @@ mod tests {
         assert_equivalent(
             ConvShape::new(8, 4, 3, 3),
             EpitomeShape::new(4, 4, 3, 3),
-            Conv2dCfg { stride: 1, padding: 1 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
             2,
         );
     }
@@ -1126,7 +1160,10 @@ mod tests {
         assert_equivalent(
             ConvShape::new(6, 9, 3, 3),
             EpitomeShape::new(6, 5, 2, 2),
-            Conv2dCfg { stride: 1, padding: 1 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
             3,
         );
     }
@@ -1136,7 +1173,10 @@ mod tests {
         assert_equivalent(
             ConvShape::new(8, 6, 3, 3),
             EpitomeShape::new(4, 3, 2, 2),
-            Conv2dCfg { stride: 2, padding: 1 },
+            Conv2dCfg {
+                stride: 2,
+                padding: 1,
+            },
             4,
         );
     }
@@ -1146,7 +1186,10 @@ mod tests {
         assert_equivalent(
             ConvShape::new(16, 8, 1, 1),
             EpitomeShape::new(8, 4, 1, 1),
-            Conv2dCfg { stride: 1, padding: 0 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 0,
+            },
             5,
         );
     }
@@ -1155,7 +1198,10 @@ mod tests {
     fn wrapping_skips_rounds_and_replicates() {
         let conv = ConvShape::new(8, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 3, 3), 6);
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let mut r = rng::seeded(7);
         let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
 
@@ -1188,7 +1234,10 @@ mod tests {
     fn stats_word_lines_match_patch_sizes() {
         let conv = ConvShape::new(4, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 2, 2, 2), 9);
-        let cfg = Conv2dCfg { stride: 1, padding: 0 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 0,
+        };
         let dp = DataPath::new(&epi, cfg, false).unwrap();
         let mut r = rng::seeded(10);
         let x = init::uniform(&[1, 4, 5, 5], -1.0, 1.0, &mut r);
@@ -1202,7 +1251,10 @@ mod tests {
             .map(|p| (p.size[1] * p.size[2] * p.size[3]) as u64)
             .sum();
         assert_eq!(stats.word_line_activations, pixels * per_pixel_wls);
-        assert_eq!(stats.rounds, pixels * epi.spec().plan().patches().len() as u64);
+        assert_eq!(
+            stats.rounds,
+            pixels * epi.spec().plan().patches().len() as u64
+        );
     }
 
     #[test]
@@ -1227,9 +1279,17 @@ mod tests {
         for wrapping in [false, true] {
             for analog in [
                 AnalogModel::ideal(),
-                AnalogModel { weight_noise_std: 0.02, adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() },
+                AnalogModel {
+                    weight_noise_std: 0.02,
+                    adc_bits: Some(8),
+                    dac_bits: Some(9),
+                    ..AnalogModel::ideal()
+                },
             ] {
-                let cfg = Conv2dCfg { stride: 2, padding: 1 };
+                let cfg = Conv2dCfg {
+                    stride: 2,
+                    padding: 1,
+                };
                 let dp = DataPath::with_analog(&epi, cfg, wrapping, analog).unwrap();
                 let (fast, fast_stats) = dp.execute(&x).unwrap();
                 let (slow, slow_stats) = dp.execute_reference(&x).unwrap();
@@ -1247,7 +1307,10 @@ mod tests {
     fn ideal_analog_model_is_exact() {
         let conv = ConvShape::new(8, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 20);
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let mut r = rng::seeded(21);
         let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
         let a = DataPath::new(&epi, cfg, false).unwrap();
@@ -1260,16 +1323,28 @@ mod tests {
     fn weight_noise_error_grows_with_std() {
         let conv = ConvShape::new(8, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 22);
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let mut r = rng::seeded(23);
         let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
-        let ideal = DataPath::new(&epi, cfg, false).unwrap().execute(&x).unwrap().0;
+        let ideal = DataPath::new(&epi, cfg, false)
+            .unwrap()
+            .execute(&x)
+            .unwrap()
+            .0;
         let mse_at = |std: f32| {
             let dp = DataPath::with_analog(
                 &epi,
                 cfg,
                 false,
-                AnalogModel { weight_noise_std: std, adc_bits: None, noise_seed: 5, ..AnalogModel::ideal() },
+                AnalogModel {
+                    weight_noise_std: std,
+                    adc_bits: None,
+                    noise_seed: 5,
+                    ..AnalogModel::ideal()
+                },
             )
             .unwrap();
             dp.execute(&x).unwrap().0.mse(&ideal).unwrap()
@@ -1277,23 +1352,38 @@ mod tests {
         let low = mse_at(0.01);
         let high = mse_at(0.10);
         assert!(low > 0.0, "1% noise must perturb the output");
-        assert!(high > low * 10.0, "10x noise should raise MSE ~100x: {low} vs {high}");
+        assert!(
+            high > low * 10.0,
+            "10x noise should raise MSE ~100x: {low} vs {high}"
+        );
     }
 
     #[test]
     fn adc_precision_controls_error() {
         let conv = ConvShape::new(8, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 24);
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let mut r = rng::seeded(25);
         let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
-        let ideal = DataPath::new(&epi, cfg, false).unwrap().execute(&x).unwrap().0;
+        let ideal = DataPath::new(&epi, cfg, false)
+            .unwrap()
+            .execute(&x)
+            .unwrap()
+            .0;
         let mse_at = |bits: u8| {
             let dp = DataPath::with_analog(
                 &epi,
                 cfg,
                 false,
-                AnalogModel { weight_noise_std: 0.0, adc_bits: Some(bits), noise_seed: 0, ..AnalogModel::ideal() },
+                AnalogModel {
+                    weight_noise_std: 0.0,
+                    adc_bits: Some(bits),
+                    noise_seed: 0,
+                    ..AnalogModel::ideal()
+                },
             )
             .unwrap();
             dp.execute(&x).unwrap().0.mse(&ideal).unwrap()
@@ -1315,7 +1405,12 @@ mod tests {
                 &epi,
                 cfg,
                 false,
-                AnalogModel { weight_noise_std: 0.05, adc_bits: None, noise_seed: seed, ..AnalogModel::ideal() },
+                AnalogModel {
+                    weight_noise_std: 0.05,
+                    adc_bits: None,
+                    noise_seed: seed,
+                    ..AnalogModel::ideal()
+                },
             )
             .unwrap()
             .execute(&x)
@@ -1331,16 +1426,26 @@ mod tests {
         // The A9 activation-precision knob, applied functionally.
         let conv = ConvShape::new(8, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 30);
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let mut r = rng::seeded(31);
         let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
-        let ideal = DataPath::new(&epi, cfg, false).unwrap().execute(&x).unwrap().0;
+        let ideal = DataPath::new(&epi, cfg, false)
+            .unwrap()
+            .execute(&x)
+            .unwrap()
+            .0;
         let mse_at = |bits: u8| {
             let dp = DataPath::with_analog(
                 &epi,
                 cfg,
                 false,
-                AnalogModel { dac_bits: Some(bits), ..AnalogModel::ideal() },
+                AnalogModel {
+                    dac_bits: Some(bits),
+                    ..AnalogModel::ideal()
+                },
             )
             .unwrap();
             dp.execute(&x).unwrap().0.mse(&ideal).unwrap()
@@ -1348,7 +1453,10 @@ mod tests {
         let a3 = mse_at(3);
         let a9 = mse_at(9);
         assert!(a3 > a9 * 100.0, "3-bit {a3} vs 9-bit {a9}");
-        assert!(a9 < 1e-4, "9-bit input quantization should be near-exact: {a9}");
+        assert!(
+            a9 < 1e-4,
+            "9-bit input quantization should be near-exact: {a9}"
+        );
     }
 
     #[test]
@@ -1356,15 +1464,29 @@ mod tests {
         let conv = ConvShape::new(4, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 3, 3), 27);
         let cfg = Conv2dCfg::default();
-        let bad_std =
-            AnalogModel { weight_noise_std: -0.1, adc_bits: None, noise_seed: 0, ..AnalogModel::ideal() };
+        let bad_std = AnalogModel {
+            weight_noise_std: -0.1,
+            adc_bits: None,
+            noise_seed: 0,
+            ..AnalogModel::ideal()
+        };
         assert!(DataPath::with_analog(&epi, cfg, false, bad_std).is_err());
-        let bad_adc =
-            AnalogModel { weight_noise_std: 0.0, adc_bits: Some(0), noise_seed: 0, ..AnalogModel::ideal() };
+        let bad_adc = AnalogModel {
+            weight_noise_std: 0.0,
+            adc_bits: Some(0),
+            noise_seed: 0,
+            ..AnalogModel::ideal()
+        };
         assert!(DataPath::with_analog(&epi, cfg, false, bad_adc).is_err());
-        let bad_dac = AnalogModel { dac_bits: Some(0), ..AnalogModel::ideal() };
+        let bad_dac = AnalogModel {
+            dac_bits: Some(0),
+            ..AnalogModel::ideal()
+        };
         assert!(DataPath::with_analog(&epi, cfg, false, bad_dac).is_err());
-        let bad_fs = AnalogModel { input_full_scale: 0.0, ..AnalogModel::ideal() };
+        let bad_fs = AnalogModel {
+            input_full_scale: 0.0,
+            ..AnalogModel::ideal()
+        };
         assert!(DataPath::with_analog(&epi, cfg, false, bad_fs).is_err());
     }
 
@@ -1383,12 +1505,16 @@ mod tests {
                     ..AnalogModel::ideal()
                 },
             ] {
-                let cfg = Conv2dCfg { stride: 1, padding: 1 };
+                let cfg = Conv2dCfg {
+                    stride: 1,
+                    padding: 1,
+                };
                 let dp = DataPath::with_analog(&epi, cfg, wrapping, analog).unwrap();
                 // Mixed per-request image counts: shapes must match, N may
                 // exceed 1 per request.
-                let xs: Vec<Tensor> =
-                    (0..5).map(|_| init::uniform(&[2, 6, 7, 7], -1.0, 1.0, &mut r)).collect();
+                let xs: Vec<Tensor> = (0..5)
+                    .map(|_| init::uniform(&[2, 6, 7, 7], -1.0, 1.0, &mut r))
+                    .collect();
                 let refs: Vec<&Tensor> = xs.iter().collect();
                 let (batched, batch_stats) = dp.execute_batch(&refs).unwrap();
                 assert_eq!(batched.len(), xs.len());
@@ -1407,13 +1533,20 @@ mod tests {
     fn execute_batch_bit_identical_to_reference() {
         let conv = ConvShape::new(8, 4, 3, 3);
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 52);
-        let cfg = Conv2dCfg { stride: 2, padding: 1 };
-        let analog =
-            AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+        let cfg = Conv2dCfg {
+            stride: 2,
+            padding: 1,
+        };
+        let analog = AnalogModel {
+            adc_bits: Some(8),
+            dac_bits: Some(9),
+            ..AnalogModel::ideal()
+        };
         let dp = DataPath::with_analog(&epi, cfg, true, analog).unwrap();
         let mut r = rng::seeded(53);
-        let xs: Vec<Tensor> =
-            (0..3).map(|_| init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r)).collect();
+        let xs: Vec<Tensor> = (0..3)
+            .map(|_| init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r))
+            .collect();
         let refs: Vec<&Tensor> = xs.iter().collect();
         let (batched, batch_stats) = dp.execute_batch(&refs).unwrap();
         let mut ref_stats = DataPathStats::default();
@@ -1458,15 +1591,12 @@ mod tests {
         assert_eq!(plan.rounds_per_pixel(), spec.plan().patches().len());
 
         let epi = random_epitome(conv, EpitomeShape::new(4, 4, 2, 2), 56);
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
-        let from_plan = DataPath::with_plan(
-            plan.clone(),
-            &epi,
-            cfg,
-            false,
-            AnalogModel::ideal(),
-        )
-        .unwrap();
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
+        let from_plan =
+            DataPath::with_plan(plan.clone(), &epi, cfg, false, AnalogModel::ideal()).unwrap();
         let from_scratch = DataPath::new(&epi, cfg, false).unwrap();
         let mut r = rng::seeded(57);
         let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
@@ -1493,7 +1623,10 @@ mod tests {
         let mut r = rng::seeded(12);
         let data = init::uniform(&spec.shape().dims(), -0.5, 0.5, &mut r);
         let epi = Epitome::from_tensor(spec, data).unwrap();
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let x = init::uniform(&[1, 16, 7, 7], -1.0, 1.0, &mut r);
         let w = epi.reconstruct().unwrap();
         let want = conv2d(&x, &w, None, cfg).unwrap();

@@ -49,7 +49,14 @@ impl Mapping {
         let crossbars = row_tiles * col_tiles;
         let used = matrix.rows * sliced_cols;
         let utilization = used as f64 / (crossbars * xbar.cells()) as f64;
-        Ok(Mapping { matrix, slices, row_tiles, col_tiles, crossbars, utilization })
+        Ok(Mapping {
+            matrix,
+            slices,
+            row_tiles,
+            col_tiles,
+            crossbars,
+            utilization,
+        })
     }
 
     /// Physical cells used by the weights (rows × sliced columns).

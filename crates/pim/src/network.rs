@@ -27,7 +27,10 @@ pub struct NetworkCosts {
 impl NetworkCosts {
     /// Creates an empty network report.
     pub fn new(name: impl Into<String>) -> Self {
-        NetworkCosts { name: name.into(), layers: Vec::new() }
+        NetworkCosts {
+            name: name.into(),
+            layers: Vec::new(),
+        }
     }
 
     /// The network name.

@@ -186,9 +186,17 @@ mod tests {
 
     #[test]
     fn slice_matches_scalar_bitwise() {
-        for &(step, limit) in &[(0.125f32, 128.0f32), (0.0033, 256.0), (1.0, 4.0), (2.5, 8.0)] {
+        for &(step, limit) in &[
+            (0.125f32, 128.0f32),
+            (0.0033, 256.0),
+            (1.0, 4.0),
+            (2.5, 8.0),
+        ] {
             let mut vals = adversarial_values();
-            let want: Vec<f32> = vals.iter().map(|&v| quantize_value(v, step, limit)).collect();
+            let want: Vec<f32> = vals
+                .iter()
+                .map(|&v| quantize_value(v, step, limit))
+                .collect();
             quantize_slice(&mut vals, step, limit);
             for (i, (&got, &want)) in vals.iter().zip(&want).enumerate() {
                 assert_eq!(
@@ -206,8 +214,10 @@ mod tests {
     #[test]
     fn every_available_kernel_matches_scalar_bitwise() {
         let (step, limit) = (0.0625f32, 512.0f32);
-        let reference: Vec<f32> =
-            adversarial_values().iter().map(|&v| quantize_value(v, step, limit)).collect();
+        let reference: Vec<f32> = adversarial_values()
+            .iter()
+            .map(|&v| quantize_value(v, step, limit))
+            .collect();
         if is_x86_feature_detected!("avx2") {
             let mut vals = adversarial_values();
             // SAFETY: feature checked on the line above.
@@ -245,7 +255,10 @@ mod tests {
     fn short_slices_hit_the_scalar_tail() {
         for len in 0..24 {
             let mut vals: Vec<f32> = (0..len).map(|i| i as f32 * 0.37 - 2.0).collect();
-            let want: Vec<f32> = vals.iter().map(|&v| quantize_value(v, 0.25, 16.0)).collect();
+            let want: Vec<f32> = vals
+                .iter()
+                .map(|&v| quantize_value(v, 0.25, 16.0))
+                .collect();
             quantize_slice(&mut vals, 0.25, 16.0);
             assert_eq!(vals, want);
         }

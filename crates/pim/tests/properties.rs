@@ -11,7 +11,12 @@ fn shape_pair() -> impl Strategy<Value = (ConvShape, EpitomeShape)> {
     (1usize..=12, 1usize..=12, 1usize..=3, 1usize..=3)
         .prop_map(|(cout, cin, kh, kw)| ConvShape::new(cout, cin, kh, kw))
         .prop_flat_map(|conv| {
-            (1usize..=conv.cout, 1usize..=conv.cin, 1usize..=conv.kh, 1usize..=conv.kw)
+            (
+                1usize..=conv.cout,
+                1usize..=conv.cin,
+                1usize..=conv.kh,
+                1usize..=conv.kw,
+            )
                 .prop_map(move |(a, b, c, d)| (conv, EpitomeShape::new(a, b, c, d)))
         })
 }

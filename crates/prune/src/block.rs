@@ -54,7 +54,10 @@ pub struct BlockPruneResult {
 ///
 /// Returns [`PruneError::InvalidParameter`] for a non-matrix input, zero
 /// block extents, or a ratio outside `[0, 1)`.
-pub fn prune_blocks(matrix: &Tensor, cfg: &BlockPruneConfig) -> Result<BlockPruneResult, PruneError> {
+pub fn prune_blocks(
+    matrix: &Tensor,
+    cfg: &BlockPruneConfig,
+) -> Result<BlockPruneResult, PruneError> {
     if matrix.rank() != 2 {
         return Err(PruneError::invalid("block pruning expects a matrix"));
     }
@@ -62,7 +65,10 @@ pub fn prune_blocks(matrix: &Tensor, cfg: &BlockPruneConfig) -> Result<BlockPrun
         return Err(PruneError::invalid("block extents must be nonzero"));
     }
     if !(0.0..1.0).contains(&cfg.ratio) {
-        return Err(PruneError::invalid(format!("ratio {} outside [0, 1)", cfg.ratio)));
+        return Err(PruneError::invalid(format!(
+            "ratio {} outside [0, 1)",
+            cfg.ratio
+        )));
     }
     let (rows, cols) = (matrix.shape()[0], matrix.shape()[1]);
     let br = rows.div_ceil(cfg.block_rows);
@@ -105,18 +111,15 @@ pub fn prune_blocks(matrix: &Tensor, cfg: &BlockPruneConfig) -> Result<BlockPrun
     // block.
     let live_row = |bi: usize| (0..bc).any(|bj| !prune_set.contains(&(bi * bc + bj)));
     let live_col = |bj: usize| (0..br).any(|bi| !prune_set.contains(&(bi * bc + bj)));
-    let keep_rows: Vec<usize> = (0..rows)
-        .filter(|r| live_row(r / cfg.block_rows))
-        .collect();
-    let keep_cols: Vec<usize> = (0..cols)
-        .filter(|c| live_col(c / cfg.block_cols))
-        .collect();
-    let compacted = Tensor::from_fn(&[keep_rows.len().max(1), keep_cols.len().max(1)], |idx| {
-        match (keep_rows.get(idx[0]), keep_cols.get(idx[1])) {
+    let keep_rows: Vec<usize> = (0..rows).filter(|r| live_row(r / cfg.block_rows)).collect();
+    let keep_cols: Vec<usize> = (0..cols).filter(|c| live_col(c / cfg.block_cols)).collect();
+    let compacted = Tensor::from_fn(
+        &[keep_rows.len().max(1), keep_cols.len().max(1)],
+        |idx| match (keep_rows.get(idx[0]), keep_cols.get(idx[1])) {
             (Some(&r), Some(&c)) => pruned.at(&[r, c]),
             _ => 0.0,
-        }
-    });
+        },
+    );
 
     let params_before = matrix.data().iter().filter(|&&v| v != 0.0).count();
     let params_after = pruned.data().iter().filter(|&&v| v != 0.0).count();
@@ -147,7 +150,11 @@ mod tests {
     fn prunes_lowest_magnitude_blocks() {
         // Two blocks: left block tiny values, right block large.
         let m = Tensor::from_fn(&[2, 4], |i| if i[1] < 2 { 0.01 } else { 10.0 });
-        let cfg = BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: 0.5 };
+        let cfg = BlockPruneConfig {
+            block_rows: 2,
+            block_cols: 2,
+            ratio: 0.5,
+        };
         let res = prune_blocks(&m, &cfg).unwrap();
         assert_eq!(res.report.blocks_pruned, 1);
         // Left block zeroed, right intact.
@@ -161,7 +168,11 @@ mod tests {
     fn ratio_zero_is_identity() {
         let mut r = rng::seeded(1);
         let m = init::uniform(&[8, 8], -1.0, 1.0, &mut r);
-        let cfg = BlockPruneConfig { block_rows: 4, block_cols: 4, ratio: 0.0 };
+        let cfg = BlockPruneConfig {
+            block_rows: 4,
+            block_cols: 4,
+            ratio: 0.0,
+        };
         let res = prune_blocks(&m, &cfg).unwrap();
         assert_eq!(res.pruned, m);
         assert_eq!(res.report.blocks_pruned, 0);
@@ -172,7 +183,11 @@ mod tests {
     fn half_ratio_halves_nonzeros_roughly() {
         let mut r = rng::seeded(2);
         let m = init::uniform(&[16, 16], -1.0, 1.0, &mut r);
-        let cfg = BlockPruneConfig { block_rows: 4, block_cols: 4, ratio: 0.5 };
+        let cfg = BlockPruneConfig {
+            block_rows: 4,
+            block_cols: 4,
+            ratio: 0.5,
+        };
         let res = prune_blocks(&m, &cfg).unwrap();
         assert_eq!(res.report.blocks_pruned, 8);
         let frac = res.report.params_after as f64 / res.report.params_before as f64;
@@ -184,7 +199,11 @@ mod tests {
     fn compaction_preserves_surviving_values() {
         let mut r = rng::seeded(3);
         let m = init::uniform(&[8, 8], 0.5, 1.0, &mut r); // strictly nonzero
-        let cfg = BlockPruneConfig { block_rows: 8, block_cols: 4, ratio: 0.5 };
+        let cfg = BlockPruneConfig {
+            block_rows: 8,
+            block_cols: 4,
+            ratio: 0.5,
+        };
         let res = prune_blocks(&m, &cfg).unwrap();
         // One of two column-blocks pruned -> compacted is 8x4 and every
         // surviving value appears.
@@ -196,22 +215,54 @@ mod tests {
     #[test]
     fn invalid_parameters_rejected() {
         let m = Tensor::ones(&[4, 4]);
-        assert!(prune_blocks(&m, &BlockPruneConfig { block_rows: 0, block_cols: 2, ratio: 0.5 })
-            .is_err());
-        assert!(prune_blocks(&m, &BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: 1.0 })
-            .is_err());
-        assert!(prune_blocks(&m, &BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: -0.1 })
-            .is_err());
+        assert!(prune_blocks(
+            &m,
+            &BlockPruneConfig {
+                block_rows: 0,
+                block_cols: 2,
+                ratio: 0.5
+            }
+        )
+        .is_err());
+        assert!(prune_blocks(
+            &m,
+            &BlockPruneConfig {
+                block_rows: 2,
+                block_cols: 2,
+                ratio: 1.0
+            }
+        )
+        .is_err());
+        assert!(prune_blocks(
+            &m,
+            &BlockPruneConfig {
+                block_rows: 2,
+                block_cols: 2,
+                ratio: -0.1
+            }
+        )
+        .is_err());
         let v = Tensor::ones(&[4]);
-        assert!(prune_blocks(&v, &BlockPruneConfig { block_rows: 2, block_cols: 2, ratio: 0.5 })
-            .is_err());
+        assert!(prune_blocks(
+            &v,
+            &BlockPruneConfig {
+                block_rows: 2,
+                block_cols: 2,
+                ratio: 0.5
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn ragged_matrix_handled() {
         let mut r = rng::seeded(4);
         let m = init::uniform(&[10, 7], -1.0, 1.0, &mut r);
-        let cfg = BlockPruneConfig { block_rows: 4, block_cols: 4, ratio: 0.4 };
+        let cfg = BlockPruneConfig {
+            block_rows: 4,
+            block_cols: 4,
+            ratio: 0.4,
+        };
         let res = prune_blocks(&m, &cfg).unwrap();
         assert_eq!(res.report.blocks_total, 3 * 2);
         assert!(res.report.params_after < res.report.params_before);
@@ -221,10 +272,24 @@ mod tests {
     fn higher_ratio_more_compression() {
         let mut r = rng::seeded(5);
         let m = init::uniform(&[32, 32], -1.0, 1.0, &mut r);
-        let c50 = prune_blocks(&m, &BlockPruneConfig { block_rows: 8, block_cols: 8, ratio: 0.5 })
-            .unwrap();
-        let c75 = prune_blocks(&m, &BlockPruneConfig { block_rows: 8, block_cols: 8, ratio: 0.75 })
-            .unwrap();
+        let c50 = prune_blocks(
+            &m,
+            &BlockPruneConfig {
+                block_rows: 8,
+                block_cols: 8,
+                ratio: 0.5,
+            },
+        )
+        .unwrap();
+        let c75 = prune_blocks(
+            &m,
+            &BlockPruneConfig {
+                block_rows: 8,
+                block_cols: 8,
+                ratio: 0.75,
+            },
+        )
+        .unwrap();
         assert!(c75.report.compression > c50.report.compression);
     }
 }

@@ -33,8 +33,12 @@ pub fn element_prune(t: &Tensor, ratio: f64) -> Result<(Tensor, ElementPruneRepo
     if t.is_empty() {
         return Err(PruneError::invalid("cannot prune an empty tensor"));
     }
-    let mut magnitudes: Vec<(usize, f32)> =
-        t.data().iter().enumerate().map(|(i, &v)| (i, v.abs())).collect();
+    let mut magnitudes: Vec<(usize, f32)> = t
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i, v.abs()))
+        .collect();
     magnitudes.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     let n_prune = (t.len() as f64 * ratio).round() as usize;
     let mut pruned = t.clone();
@@ -51,7 +55,14 @@ pub fn element_prune(t: &Tensor, ratio: f64) -> Result<(Tensor, ElementPruneRepo
     } else {
         params_before as f64 / params_after as f64
     };
-    Ok((pruned, ElementPruneReport { params_before, params_after, compression }))
+    Ok((
+        pruned,
+        ElementPruneReport {
+            params_before,
+            params_after,
+            compression,
+        },
+    ))
 }
 
 #[cfg(test)]

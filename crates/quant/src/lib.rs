@@ -43,9 +43,7 @@ mod range;
 mod xbar;
 
 pub use error::QuantError;
-pub use mixed::{
-    quantizers_for_allocation, sensitivity_proxy, BitAllocation, MixedPrecision,
-};
+pub use mixed::{quantizers_for_allocation, sensitivity_proxy, BitAllocation, MixedPrecision};
 pub use quantizer::Quantizer;
 pub use range::RangeEstimator;
 pub use xbar::{quantize_epitome, quantize_per_crossbar, QuantGranularity, QuantReport};

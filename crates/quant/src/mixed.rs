@@ -71,7 +71,11 @@ pub struct MixedPrecision {
 impl MixedPrecision {
     /// Creates an allocator.
     pub fn new(low_bits: u8, high_bits: u8, budget_avg_bits: f64) -> Self {
-        MixedPrecision { low_bits, high_bits, budget_avg_bits }
+        MixedPrecision {
+            low_bits,
+            high_bits,
+            budget_avg_bits,
+        }
     }
 
     /// The paper's `W3mp` setting: 3/5-bit mix with an average budget of
@@ -98,7 +102,9 @@ impl MixedPrecision {
         params: &[usize],
     ) -> Result<BitAllocation, QuantError> {
         if sensitivities.is_empty() || sensitivities.len() != params.len() {
-            return Err(QuantError::invalid("sensitivities/params length mismatch or empty"));
+            return Err(QuantError::invalid(
+                "sensitivities/params length mismatch or empty",
+            ));
         }
         if self.low_bits == 0 || self.high_bits <= self.low_bits {
             return Err(QuantError::invalid("need 0 < low_bits < high_bits"));
@@ -127,7 +133,10 @@ impl MixedPrecision {
                 weighted_bits += delta;
             }
         }
-        Ok(BitAllocation { bits, avg_bits: weighted_bits / total_params })
+        Ok(BitAllocation {
+            bits,
+            avg_bits: weighted_bits / total_params,
+        })
     }
 }
 
@@ -161,7 +170,9 @@ mod tests {
     fn budget_respected_and_sensitive_layers_promoted() {
         let mp = MixedPrecision::new(3, 5, 4.0);
         // Layer 1 is far more sensitive per parameter.
-        let alloc = mp.allocate(&[1.0, 100.0, 1.0, 1.0], &[100, 100, 100, 100]).unwrap();
+        let alloc = mp
+            .allocate(&[1.0, 100.0, 1.0, 1.0], &[100, 100, 100, 100])
+            .unwrap();
         assert_eq!(alloc.bits[1], 5);
         assert!(alloc.avg_bits <= 4.0 + 1e-9);
         // Budget of 4 with 3/5 mix allows exactly half the params at 5.
@@ -197,8 +208,12 @@ mod tests {
         let mp = MixedPrecision::new(3, 5, 3.5);
         assert!(mp.allocate(&[], &[]).is_err());
         assert!(mp.allocate(&[1.0], &[1, 2]).is_err());
-        assert!(MixedPrecision::new(5, 3, 4.0).allocate(&[1.0], &[1]).is_err());
-        assert!(MixedPrecision::new(3, 5, 2.0).allocate(&[1.0], &[1]).is_err());
+        assert!(MixedPrecision::new(5, 3, 4.0)
+            .allocate(&[1.0], &[1])
+            .is_err());
+        assert!(MixedPrecision::new(3, 5, 2.0)
+            .allocate(&[1.0], &[1])
+            .is_err());
         assert!(mp.allocate(&[1.0], &[0]).is_err());
     }
 
@@ -207,11 +222,8 @@ mod tests {
         // A layer with heavy-tailed weights is harder to quantize at 3
         // bits, so its proxy must exceed a narrow layer of equal size.
         let spec = |seed: u64, scale: f32| {
-            let s = EpitomeSpec::new(
-                ConvShape::new(8, 9, 3, 3),
-                EpitomeShape::new(4, 5, 2, 2),
-            )
-            .unwrap();
+            let s = EpitomeSpec::new(ConvShape::new(8, 9, 3, 3), EpitomeShape::new(4, 5, 2, 2))
+                .unwrap();
             let mut r = rng::seeded(seed);
             let mut data = init::uniform(&s.shape().dims(), -0.1, 0.1, &mut r);
             // Inject outliers scaled by `scale`.
@@ -229,7 +241,10 @@ mod tests {
     fn quantizers_for_allocation_applies_bits() {
         let t1 = Tensor::from_vec(vec![-1.0, 1.0], &[2]).unwrap();
         let t2 = Tensor::from_vec(vec![-2.0, 2.0], &[2]).unwrap();
-        let alloc = BitAllocation { bits: vec![3, 5], avg_bits: 4.0 };
+        let alloc = BitAllocation {
+            bits: vec![3, 5],
+            avg_bits: 4.0,
+        };
         let qs = quantizers_for_allocation(&[&t1, &t2], &alloc).unwrap();
         assert_eq!(qs[0].bits(), 3);
         assert_eq!(qs[1].bits(), 5);

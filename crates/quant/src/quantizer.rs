@@ -30,19 +30,32 @@ impl Quantizer {
     /// `bits > 16`, a non-finite range, or `α > β`.
     pub fn from_range(bits: u8, alpha: f32, beta: f32) -> Result<Self, QuantError> {
         if bits == 0 || bits > 16 {
-            return Err(QuantError::invalid(format!("bits must be in 1..=16, got {bits}")));
+            return Err(QuantError::invalid(format!(
+                "bits must be in 1..=16, got {bits}"
+            )));
         }
         if !alpha.is_finite() || !beta.is_finite() {
             return Err(QuantError::invalid("range must be finite"));
         }
         if alpha > beta {
-            return Err(QuantError::invalid(format!("range inverted: [{alpha}, {beta}]")));
+            return Err(QuantError::invalid(format!(
+                "range inverted: [{alpha}, {beta}]"
+            )));
         }
         let levels = ((1u32 << bits) - 1) as f32;
         // Degenerate (constant) signal: unit scale keeps dequantization
         // exact at the single representable value (code 0 maps to α).
-        let scale = if beta > alpha { (beta - alpha) / levels } else { 1.0 };
-        Ok(Quantizer { bits, alpha, beta, scale })
+        let scale = if beta > alpha {
+            (beta - alpha) / levels
+        } else {
+            1.0
+        };
+        Ok(Quantizer {
+            bits,
+            alpha,
+            beta,
+            scale,
+        })
     }
 
     /// Fits a quantizer to a tensor using a range estimator.
@@ -155,9 +168,15 @@ mod tests {
     fn more_bits_less_error() {
         let mut r = rng::seeded(2);
         let t = init::uniform(&[4096], -1.0, 1.0, &mut r);
-        let e3 = Quantizer::fit(&t, 3, &RangeEstimator::MinMax).unwrap().mse(&t);
-        let e5 = Quantizer::fit(&t, 5, &RangeEstimator::MinMax).unwrap().mse(&t);
-        let e9 = Quantizer::fit(&t, 9, &RangeEstimator::MinMax).unwrap().mse(&t);
+        let e3 = Quantizer::fit(&t, 3, &RangeEstimator::MinMax)
+            .unwrap()
+            .mse(&t);
+        let e5 = Quantizer::fit(&t, 5, &RangeEstimator::MinMax)
+            .unwrap()
+            .mse(&t);
+        let e9 = Quantizer::fit(&t, 9, &RangeEstimator::MinMax)
+            .unwrap()
+            .mse(&t);
         assert!(e3 > e5 && e5 > e9);
     }
 

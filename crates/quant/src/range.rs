@@ -52,7 +52,9 @@ impl RangeEstimator {
         repetition: Option<&Tensor>,
     ) -> Result<(f32, f32), QuantError> {
         if tensor.is_empty() {
-            return Err(QuantError::invalid("cannot estimate a range on an empty tensor"));
+            return Err(QuantError::invalid(
+                "cannot estimate a range on an empty tensor",
+            ));
         }
         match *self {
             RangeEstimator::MinMax => Ok((tensor.min(), tensor.max())),
@@ -101,7 +103,10 @@ mod tests {
     #[test]
     fn minmax_estimates_extrema() {
         let t = Tensor::from_vec(vec![-3.0, 0.5, 2.0], &[3]).unwrap();
-        assert_eq!(RangeEstimator::MinMax.estimate(&t, None).unwrap(), (-3.0, 2.0));
+        assert_eq!(
+            RangeEstimator::MinMax.estimate(&t, None).unwrap(),
+            (-3.0, 2.0)
+        );
     }
 
     #[test]
@@ -134,9 +139,13 @@ mod tests {
         let t = Tensor::from_vec(vec![-10.0, -1.0, 1.0, 10.0], &[4]).unwrap();
         let reps = Tensor::from_vec(vec![1.0, 3.0, 3.0, 1.0], &[4]).unwrap();
         let (a_mm, b_mm) = RangeEstimator::MinMax.estimate(&t, None).unwrap();
-        let (a_ov, b_ov) =
-            RangeEstimator::overlap_default().estimate(&t, Some(&reps)).unwrap();
-        assert!(a_ov > a_mm && b_ov < b_mm, "[{a_ov}, {b_ov}] vs [{a_mm}, {b_mm}]");
+        let (a_ov, b_ov) = RangeEstimator::overlap_default()
+            .estimate(&t, Some(&reps))
+            .unwrap();
+        assert!(
+            a_ov > a_mm && b_ov < b_mm,
+            "[{a_ov}, {b_ov}] vs [{a_mm}, {b_mm}]"
+        );
         // With w1=0.7: α = 0.7*(-1) + 0.3*(-10) = -3.7.
         assert!((a_ov + 3.7).abs() < 1e-5);
         assert!((b_ov - 3.7).abs() < 1e-5);
@@ -146,18 +155,17 @@ mod tests {
     fn uniform_repetition_falls_back_to_minmax() {
         let t = Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]).unwrap();
         let reps = Tensor::full(&[3], 4.0);
-        let (a, b) = RangeEstimator::overlap_default().estimate(&t, Some(&reps)).unwrap();
+        let (a, b) = RangeEstimator::overlap_default()
+            .estimate(&t, Some(&reps))
+            .unwrap();
         assert_eq!((a, b), (-2.0, 2.0));
     }
 
     #[test]
     fn overlap_with_real_epitome_repetition_map() {
         // End-to-end with an actual epitome's repetition structure.
-        let spec = EpitomeSpec::new(
-            ConvShape::new(4, 9, 1, 1),
-            EpitomeShape::new(4, 5, 1, 1),
-        )
-        .unwrap();
+        let spec =
+            EpitomeSpec::new(ConvShape::new(4, 9, 1, 1), EpitomeShape::new(4, 5, 1, 1)).unwrap();
         let mut r = rng::seeded(3);
         let data = init::uniform(&spec.shape().dims(), -1.0, 1.0, &mut r);
         let epi = Epitome::from_tensor(spec, data).unwrap();

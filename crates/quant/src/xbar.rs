@@ -40,8 +40,17 @@ pub struct QuantReport {
 fn report(bits: u8, groups: usize, original: &Tensor, quantized: &Tensor) -> QuantReport {
     let mse = original.mse(quantized).expect("same shape") as f64;
     let p_sig = original.norm_sq() as f64 / original.len().max(1) as f64;
-    let sqnr_db = if mse <= 0.0 { f64::INFINITY } else { 10.0 * (p_sig / mse).log10() };
-    QuantReport { bits, groups, mse, sqnr_db }
+    let sqnr_db = if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (p_sig / mse).log10()
+    };
+    QuantReport {
+        bits,
+        groups,
+        mse,
+        sqnr_db,
+    }
 }
 
 /// Quantizes a mapped weight matrix `(rows, cols)` with one scaling factor
@@ -64,7 +73,9 @@ pub fn quantize_per_crossbar(
     range: &RangeEstimator,
 ) -> Result<(Tensor, QuantReport), QuantError> {
     if matrix.rank() != 2 {
-        return Err(QuantError::invalid("per-crossbar quantization expects a matrix"));
+        return Err(QuantError::invalid(
+            "per-crossbar quantization expects a matrix",
+        ));
     }
     if tile_rows == 0 || tile_cols == 0 {
         return Err(QuantError::invalid("tile extents must be nonzero"));
@@ -144,7 +155,11 @@ pub fn quantize_epitome(
     };
     let matrix = to_matrix(epitome.tensor());
     let needs_reps = matches!(range, RangeEstimator::OverlapWeighted { .. });
-    let reps_matrix = if needs_reps { Some(to_matrix(&epitome.repetition_map())) } else { None };
+    let reps_matrix = if needs_reps {
+        Some(to_matrix(&epitome.repetition_map()))
+    } else {
+        None
+    };
 
     let (tile_rows, tile_cols) = match granularity {
         QuantGranularity::PerTensor => (rows_e, cout_e),
@@ -177,11 +192,8 @@ mod tests {
     use epim_tensor::{init, rng};
 
     fn random_epitome(seed: u64) -> Epitome {
-        let spec = EpitomeSpec::new(
-            ConvShape::new(16, 18, 3, 3),
-            EpitomeShape::new(8, 10, 2, 2),
-        )
-        .unwrap();
+        let spec =
+            EpitomeSpec::new(ConvShape::new(16, 18, 3, 3), EpitomeShape::new(8, 10, 2, 2)).unwrap();
         let mut r = rng::seeded(seed);
         let data = init::uniform(&spec.shape().dims(), -1.0, 1.0, &mut r);
         Epitome::from_tensor(spec, data).unwrap()
@@ -202,14 +214,20 @@ mod tests {
             m.set(&[row, col], -0.1 + 0.2 * frac).unwrap();
             m.set(&[row + 4, col], -5.0 + 10.0 * frac).unwrap();
         }
-        let (_, whole) =
-            quantize_per_crossbar(&m, None, 3, 8, 8, &RangeEstimator::MinMax).unwrap();
-        let (_, tiled) =
-            quantize_per_crossbar(&m, None, 3, 4, 8, &RangeEstimator::MinMax).unwrap();
+        let (_, whole) = quantize_per_crossbar(&m, None, 3, 8, 8, &RangeEstimator::MinMax).unwrap();
+        let (_, tiled) = quantize_per_crossbar(&m, None, 3, 4, 8, &RangeEstimator::MinMax).unwrap();
         assert_eq!(whole.groups, 1);
         assert_eq!(tiled.groups, 2);
-        assert!(tiled.mse <= whole.mse, "tiled {} whole {}", tiled.mse, whole.mse);
-        assert!(tiled.mse < whole.mse * 0.5, "per-crossbar should win clearly here");
+        assert!(
+            tiled.mse <= whole.mse,
+            "tiled {} whole {}",
+            tiled.mse,
+            whole.mse
+        );
+        assert!(
+            tiled.mse < whole.mse * 0.5,
+            "per-crossbar should win clearly here"
+        );
     }
 
     #[test]
@@ -232,24 +250,14 @@ mod tests {
     #[test]
     fn quantize_epitome_preserves_shape_and_reduces_precision() {
         let e = random_epitome(1);
-        let (q, rep) = quantize_epitome(
-            &e,
-            3,
-            QuantGranularity::PerTensor,
-            &RangeEstimator::MinMax,
-        )
-        .unwrap();
+        let (q, rep) =
+            quantize_epitome(&e, 3, QuantGranularity::PerTensor, &RangeEstimator::MinMax).unwrap();
         assert_eq!(q.tensor().shape(), e.tensor().shape());
         assert!(rep.mse > 0.0);
         assert!(rep.sqnr_db.is_finite());
         // 9-bit should be much closer than 3-bit.
-        let (_, rep9) = quantize_epitome(
-            &e,
-            9,
-            QuantGranularity::PerTensor,
-            &RangeEstimator::MinMax,
-        )
-        .unwrap();
+        let (_, rep9) =
+            quantize_epitome(&e, 9, QuantGranularity::PerTensor, &RangeEstimator::MinMax).unwrap();
         assert!(rep9.mse < rep.mse / 10.0);
     }
 
@@ -261,15 +269,31 @@ mod tests {
         // range coverage for overlap fidelity), but per-crossbar must not
         // be worse than naive, and the overlap method must stay sane.
         let e = random_epitome(2);
-        let naive = quantize_epitome(
-            &e, 3, QuantGranularity::PerTensor, &RangeEstimator::MinMax).unwrap().1;
+        let naive = quantize_epitome(&e, 3, QuantGranularity::PerTensor, &RangeEstimator::MinMax)
+            .unwrap()
+            .1;
         let xbar = quantize_epitome(
-            &e, 3, QuantGranularity::PerCrossbar { rows: 16, cols: 4 },
-            &RangeEstimator::MinMax).unwrap().1;
+            &e,
+            3,
+            QuantGranularity::PerCrossbar { rows: 16, cols: 4 },
+            &RangeEstimator::MinMax,
+        )
+        .unwrap()
+        .1;
         let overlap = quantize_epitome(
-            &e, 3, QuantGranularity::PerCrossbar { rows: 16, cols: 4 },
-            &RangeEstimator::overlap_default()).unwrap().1;
-        assert!(xbar.mse <= naive.mse * 1.10, "xbar {} naive {}", xbar.mse, naive.mse);
+            &e,
+            3,
+            QuantGranularity::PerCrossbar { rows: 16, cols: 4 },
+            &RangeEstimator::overlap_default(),
+        )
+        .unwrap()
+        .1;
+        assert!(
+            xbar.mse <= naive.mse * 1.10,
+            "xbar {} naive {}",
+            xbar.mse,
+            naive.mse
+        );
         assert!(overlap.mse.is_finite() && overlap.mse > 0.0);
         assert!(xbar.groups > naive.groups);
         assert_eq!(overlap.groups, xbar.groups);
@@ -293,15 +317,27 @@ mod tests {
             num / reps.sum() as f64
         };
         let (q_mm, _) = quantize_epitome(
-            &e, 3, QuantGranularity::PerCrossbar { rows: 8, cols: 4 },
-            &RangeEstimator::MinMax).unwrap();
+            &e,
+            3,
+            QuantGranularity::PerCrossbar { rows: 8, cols: 4 },
+            &RangeEstimator::MinMax,
+        )
+        .unwrap();
         let (q_ov, _) = quantize_epitome(
-            &e, 3, QuantGranularity::PerCrossbar { rows: 8, cols: 4 },
-            &RangeEstimator::overlap_default()).unwrap();
+            &e,
+            3,
+            QuantGranularity::PerCrossbar { rows: 8, cols: 4 },
+            &RangeEstimator::overlap_default(),
+        )
+        .unwrap();
         // Compare repetition-weighted error: overlap-aware should not be
         // worse (usually strictly better).
-        assert!(weighted_mse(&q_ov) <= weighted_mse(&q_mm) * 1.05,
-            "ov {} mm {}", weighted_mse(&q_ov), weighted_mse(&q_mm));
+        assert!(
+            weighted_mse(&q_ov) <= weighted_mse(&q_mm) * 1.05,
+            "ov {} mm {}",
+            weighted_mse(&q_ov),
+            weighted_mse(&q_mm)
+        );
     }
 
     #[test]
@@ -310,8 +346,12 @@ mod tests {
         // the reconstructed convolution (same values, just repeated).
         let e = random_epitome(4);
         let (q, rep) = quantize_epitome(
-            &e, 5, QuantGranularity::PerCrossbar { rows: 16, cols: 8 },
-            &RangeEstimator::MinMax).unwrap();
+            &e,
+            5,
+            QuantGranularity::PerCrossbar { rows: 16, cols: 8 },
+            &RangeEstimator::MinMax,
+        )
+        .unwrap();
         let w = e.reconstruct().unwrap();
         let wq = q.reconstruct().unwrap();
         let w_mse = w.mse(&wq).unwrap() as f64;

@@ -117,7 +117,13 @@ impl PlanCache {
         analog: AnalogModel,
     ) -> Result<DataPath, RuntimeError> {
         let plan = self.get_or_compile(epitome.spec())?;
-        Ok(DataPath::with_plan(plan, epitome, conv_cfg, wrapping_enabled, analog)?)
+        Ok(DataPath::with_plan(
+            plan,
+            epitome,
+            conv_cfg,
+            wrapping_enabled,
+            analog,
+        )?)
     }
 
     /// Compiles (or re-uses) the plan of every epitome choice in `network`,
@@ -140,12 +146,20 @@ impl PlanCache {
     /// Current hit/miss counters and entry count.
     pub fn stats(&self) -> PlanCacheStats {
         let inner = self.inner.lock().expect("plan cache poisoned");
-        PlanCacheStats { hits: inner.hits, misses: inner.misses, entries: inner.plans.len() }
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.plans.len(),
+        }
     }
 
     /// Drops every cached plan (counters are kept).
     pub fn clear(&self) {
-        self.inner.lock().expect("plan cache poisoned").plans.clear();
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .plans
+            .clear();
     }
 }
 
@@ -155,7 +169,11 @@ mod tests {
     use epim_core::{ConvShape, EpitomeShape};
 
     fn spec(cout_e: usize) -> EpitomeSpec {
-        EpitomeSpec::new(ConvShape::new(8, 4, 3, 3), EpitomeShape::new(cout_e, 4, 2, 2)).unwrap()
+        EpitomeSpec::new(
+            ConvShape::new(8, 4, 3, 3),
+            EpitomeShape::new(cout_e, 4, 2, 2),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -10,9 +10,7 @@
 //! module docs for the request flow.
 
 use crate::scheduler::{GroupExecutor, Scheduler};
-use crate::{
-    EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats,
-};
+use crate::{EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats};
 use epim_core::Epitome;
 use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
 use epim_tensor::ops::Conv2dCfg;
@@ -83,8 +81,11 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
         let dp = cache.datapath(epitome, conv_cfg, wrapping_enabled, analog)?;
-        let scheduler = Scheduler::new(DataPathExecutor { dp }, config)?;
-        Ok(Engine { scheduler, cache: Some(cache.clone()) })
+        let scheduler = Scheduler::single(DataPathExecutor { dp }, config)?;
+        Ok(Engine {
+            scheduler,
+            cache: Some(cache.clone()),
+        })
     }
 
     /// Builds an engine around an existing data path.
@@ -93,13 +94,16 @@ impl Engine {
     ///
     /// Rejects an invalid [`EngineConfig`].
     pub fn from_datapath(dp: DataPath, config: EngineConfig) -> Result<Self, RuntimeError> {
-        let scheduler = Scheduler::new(DataPathExecutor { dp }, config)?;
-        Ok(Engine { scheduler, cache: None })
+        let scheduler = Scheduler::single(DataPathExecutor { dp }, config)?;
+        Ok(Engine {
+            scheduler,
+            cache: None,
+        })
     }
 
     /// The data path this engine serves.
     pub fn datapath(&self) -> &DataPath {
-        &self.scheduler.executor().dp
+        &self.scheduler.executor(0).dp
     }
 
     /// Runs one inference, blocking until its (possibly batched) execution
@@ -114,7 +118,7 @@ impl Engine {
     /// dropped, [`RuntimeError::Overloaded`] if the request was shed, or
     /// the data path's execution error for this request.
     pub fn infer(&self, input: Tensor) -> Result<Inference, RuntimeError> {
-        self.scheduler.submit_wait(input)
+        self.scheduler.submit_wait(0, input)
     }
 
     /// Submits one request without ever blocking on queue space: if the
@@ -127,7 +131,7 @@ impl Engine {
     /// Returns [`RuntimeError::Overloaded`] when the queue is full or
     /// [`RuntimeError::ShuttingDown`] during shutdown.
     pub fn try_infer(&self, input: Tensor) -> Result<Pending, RuntimeError> {
-        self.scheduler.try_submit(input)
+        self.scheduler.try_submit(0, input)
     }
 
     /// Submits `inputs` together and waits for all results, in order.
@@ -146,12 +150,16 @@ impl Engine {
         &self,
         inputs: Vec<Tensor>,
     ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
-        self.scheduler.submit_many(inputs)
+        self.scheduler.submit_many(0, inputs)
     }
 
     /// A point-in-time snapshot of the serving statistics.
     pub fn stats(&self) -> RuntimeStats {
-        let cache_stats = self.cache.as_ref().map(PlanCache::stats).unwrap_or_default();
-        self.scheduler.stats(cache_stats)
+        let cache_stats = self
+            .cache
+            .as_ref()
+            .map(PlanCache::stats)
+            .unwrap_or_default();
+        self.scheduler.fleet_stats(cache_stats)
     }
 }

@@ -17,10 +17,21 @@ pub enum RuntimeError {
     /// request is reported failed rather than left hanging.
     ExecutionPanicked,
     /// The bounded submission queue was full and the flow-control policy
-    /// shed the request instead of blocking.
+    /// shed the request instead of blocking. Queues (and therefore
+    /// overloads) are per-tenant: only the named tenant's traffic was
+    /// affected.
     Overloaded {
+        /// The overloaded tenant's name (`None` for the anonymous
+        /// single-tenant engines).
+        tenant: Option<String>,
         /// The queue capacity that was exhausted.
         capacity: usize,
+    },
+    /// A request referenced a tenant index that is not registered with the
+    /// engine (e.g. a `TenantId` from a different engine).
+    UnknownTenant {
+        /// The unregistered tenant index.
+        id: usize,
     },
     /// Error from the PIM simulation layer (plan compilation or execution).
     Pim(PimError),
@@ -36,8 +47,21 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ExecutionPanicked => {
                 write!(f, "batch execution panicked; request not completed")
             }
-            RuntimeError::Overloaded { capacity } => {
-                write!(f, "request shed: submission queue full ({capacity} pending)")
+            RuntimeError::Overloaded { tenant, capacity } => match tenant {
+                Some(name) => write!(
+                    f,
+                    "request shed: tenant {name:?} submission queue full ({capacity} pending)"
+                ),
+                None => write!(
+                    f,
+                    "request shed: submission queue full ({capacity} pending)"
+                ),
+            },
+            RuntimeError::UnknownTenant { id } => {
+                write!(
+                    f,
+                    "unknown tenant index {id}: not registered with this engine"
+                )
             }
             RuntimeError::Pim(e) => write!(f, "pim error: {e}"),
         }
@@ -72,7 +96,22 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        assert!(RuntimeError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(RuntimeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        let e = RuntimeError::Overloaded {
+            tenant: Some("resnet-a".into()),
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("resnet-a"));
+        let e = RuntimeError::Overloaded {
+            tenant: None,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("queue full"));
+        assert!(RuntimeError::UnknownTenant { id: 7 }
+            .to_string()
+            .contains('7'));
         let e = RuntimeError::config("bad");
         assert!(e.to_string().contains("bad"));
         assert!(e.source().is_none());

@@ -28,7 +28,13 @@
 //!    the plan cache and pre-allocates activation buffers; the engine
 //!    serves the pipeline behind one queue, bit-identically to sequential
 //!    per-stage reference execution.
-//! 5. **Compiled-plan cache** ([`PlanCache`]): the IFAT/IFRT/OFAT tables
+//! 5. **Multi-network tenancy** ([`MultiEngine`]): a fleet of compiled
+//!    plans registered as tenants behind one scheduler — per-tenant
+//!    bounded queues, [`FlowControl`] and [`RuntimeStats`], weighted-fair
+//!    starvation-free draining ([`TenantConfig::weight`]), one shared
+//!    [`PlanCache`] and worker pool. Every tenant's outputs and stats are
+//!    bit-identical to a dedicated [`NetworkEngine`].
+//! 6. **Compiled-plan cache** ([`PlanCache`]): the IFAT/IFRT/OFAT tables
 //!    and per-round word-line lists depend only on the `EpitomeSpec`, so
 //!    they are compiled once and shared across engines, networks and
 //!    re-programmed weights ([`PlanCache::warm_network`] precompiles every
@@ -74,10 +80,12 @@ mod error;
 mod network;
 mod scheduler;
 mod stats;
+mod tenancy;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use engine::Engine;
 pub use error::RuntimeError;
 pub use network::{NetworkEngine, NetworkPlan};
-pub use scheduler::{EngineConfig, FlowControl, Inference, Pending};
+pub use scheduler::{EngineConfig, FlowControl, Inference, Pending, TenantConfig};
 pub use stats::RuntimeStats;
+pub use tenancy::{MultiEngine, MultiEngineBuilder, TenantHandle, TenantId};

@@ -25,9 +25,7 @@
 //! equal to the per-request sum.
 
 use crate::scheduler::{GroupExecutor, Scheduler};
-use crate::{
-    EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats,
-};
+use crate::{EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats};
 use epim_models::lower::{NetworkProgram, NetworkWeights, StageInput, StageOp};
 use epim_models::network::Network;
 use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
@@ -37,13 +35,24 @@ use std::sync::{Arc, Mutex};
 
 /// One executable stage: the program op with its weights bound.
 enum PlannedOp {
-    Conv { weight: Tensor, bias: Option<Tensor>, cfg: Conv2dCfg },
-    Epitome { dp: DataPath },
+    Conv {
+        weight: Tensor,
+        bias: Option<Tensor>,
+        cfg: Conv2dCfg,
+    },
+    Epitome {
+        dp: DataPath,
+    },
     Relu,
     MaxPool(PoolCfg),
     GlobalAvgPool,
-    Linear { weight: Tensor, bias: Option<Tensor> },
-    Add { with: usize },
+    Linear {
+        weight: Tensor,
+        bias: Option<Tensor>,
+    },
+    Add {
+        with: usize,
+    },
 }
 
 /// A pool of reusable activation buffers (leased per stage execution,
@@ -60,7 +69,12 @@ impl BufferPool {
     /// Leases a buffer of exactly `len` elements (contents undefined; the
     /// caller overwrites every element).
     fn lease(&self, len: usize) -> Vec<f32> {
-        let mut v = self.free.lock().expect("buffer pool poisoned").pop().unwrap_or_default();
+        let mut v = self
+            .free
+            .lock()
+            .expect("buffer pool poisoned")
+            .pop()
+            .unwrap_or_default();
         v.resize(len, 0.0);
         v
     }
@@ -111,7 +125,11 @@ impl NetworkPlan {
             let op = match &stage.op {
                 StageOp::Conv { layer, cfg } => {
                     let (w, b) = weights.dense(*layer, &stage.name)?;
-                    PlannedOp::Conv { weight: w.clone(), bias: b.cloned(), cfg: *cfg }
+                    PlannedOp::Conv {
+                        weight: w.clone(),
+                        bias: b.cloned(),
+                        cfg: *cfg,
+                    }
                 }
                 StageOp::Epitome { layer, spec, cfg } => {
                     let epi = weights.epitome(*layer, spec, &stage.name)?;
@@ -126,7 +144,10 @@ impl NetworkPlan {
                     let wmat = w
                         .reshape(&[w.shape()[0], w.len() / w.shape()[0]])
                         .map_err(|e| RuntimeError::config(format!("fc weight: {e}")))?;
-                    PlannedOp::Linear { weight: wmat, bias: b.cloned() }
+                    PlannedOp::Linear {
+                        weight: wmat,
+                        bias: b.cloned(),
+                    }
                 }
                 StageOp::Add { with } => PlannedOp::Add { with: *with },
             };
@@ -148,7 +169,12 @@ impl NetworkPlan {
             }
         }
 
-        Ok(NetworkPlan { program, ops, free_after, buffers: BufferPool::default() })
+        Ok(NetworkPlan {
+            program,
+            ops,
+            free_after,
+            buffers: BufferPool::default(),
+        })
     }
 
     /// The lowered program this plan executes.
@@ -171,7 +197,10 @@ impl NetworkPlan {
         // Lease everything first, then return: putting one back before
         // leasing the next would just resize the same buffer over and
         // over (the pool is a LIFO).
-        let bufs: Vec<Vec<f32>> = lens.into_iter().map(|len| self.buffers.lease(len)).collect();
+        let bufs: Vec<Vec<f32>> = lens
+            .into_iter()
+            .map(|len| self.buffers.lease(len))
+            .collect();
         for buf in bufs {
             self.buffers.put(buf);
         }
@@ -234,9 +263,7 @@ impl NetworkPlan {
         for (i, op) in self.ops.iter().enumerate() {
             let x = match self.program.stages()[i].input {
                 StageInput::Source => &source,
-                StageInput::Stage(j) => {
-                    outputs[j].as_ref().expect("stages execute in order")
-                }
+                StageInput::Stage(j) => outputs[j].as_ref().expect("stages execute in order"),
             };
             let y = match op {
                 PlannedOp::Conv { weight, bias, cfg } => {
@@ -298,16 +325,13 @@ impl NetworkPlan {
                             None => gemm::gemm_nt(n_per, out_f, feats, rows, weight.data(), out),
                         }
                     }
-                    Tensor::from_vec(buf, &[images, out_f])
-                        .map_err(epim_pim::PimError::Tensor)?
+                    Tensor::from_vec(buf, &[images, out_f]).map_err(epim_pim::PimError::Tensor)?
                 }
                 PlannedOp::Add { with } => {
                     let other = outputs[*with].as_ref().expect("stages execute in order");
                     // Pooled elementwise; same scalar op as `Tensor::add`.
                     let mut buf = self.buffers.lease(x.len());
-                    for (o, (&a, &b)) in
-                        buf.iter_mut().zip(x.data().iter().zip(other.data()))
-                    {
+                    for (o, (&a, &b)) in buf.iter_mut().zip(x.data().iter().zip(other.data())) {
                         *o = a + b;
                     }
                     Tensor::from_vec(buf, x.shape()).map_err(epim_pim::PimError::Tensor)?
@@ -345,7 +369,7 @@ impl NetworkPlan {
 
 /// Adapter: a shared network plan as a scheduler executor.
 pub(crate) struct PlanExecutor {
-    plan: Arc<NetworkPlan>,
+    pub(crate) plan: Arc<NetworkPlan>,
 }
 
 impl GroupExecutor for PlanExecutor {
@@ -434,13 +458,16 @@ impl NetworkEngine {
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
         plan.preallocate(config.max_batch.max(1));
-        let scheduler = Scheduler::new(PlanExecutor { plan }, config)?;
-        Ok(NetworkEngine { scheduler, cache: cache.clone() })
+        let scheduler = Scheduler::single(PlanExecutor { plan }, config)?;
+        Ok(NetworkEngine {
+            scheduler,
+            cache: cache.clone(),
+        })
     }
 
     /// The compiled plan this engine serves.
     pub fn plan(&self) -> &Arc<NetworkPlan> {
-        &self.scheduler.executor().plan
+        &self.scheduler.executor(0).plan
     }
 
     /// Runs one whole-network inference (input `(N, C, H, W)` matching the
@@ -453,7 +480,7 @@ impl NetworkEngine {
     /// [`RuntimeError::Overloaded`] if the request was shed, or this
     /// request's execution error.
     pub fn infer(&self, input: Tensor) -> Result<Inference, RuntimeError> {
-        self.scheduler.submit_wait(input)
+        self.scheduler.submit_wait(0, input)
     }
 
     /// Submits without ever blocking on queue space (full queue → shed
@@ -463,7 +490,7 @@ impl NetworkEngine {
     ///
     /// Returns [`RuntimeError::Overloaded`] when the queue is full.
     pub fn try_infer(&self, input: Tensor) -> Result<Pending, RuntimeError> {
-        self.scheduler.try_submit(input)
+        self.scheduler.try_submit(0, input)
     }
 
     /// Submits a burst atomically and waits for all results, in order.
@@ -477,12 +504,12 @@ impl NetworkEngine {
         &self,
         inputs: Vec<Tensor>,
     ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
-        self.scheduler.submit_many(inputs)
+        self.scheduler.submit_many(0, inputs)
     }
 
     /// A point-in-time snapshot of the serving statistics (including the
     /// plan cache's counters).
     pub fn stats(&self) -> RuntimeStats {
-        self.scheduler.stats(self.cache.stats())
+        self.scheduler.fleet_stats(self.cache.stats())
     }
 }

@@ -1,31 +1,48 @@
-//! The reusable scheduler core shared by every serving engine.
+//! The reusable multi-tenant scheduler core shared by every serving
+//! engine.
 //!
 //! PR 2's single-layer `Engine` owned its queue, coalescing loop, slot
-//! delivery and panic handling directly; serving whole networks would have
-//! meant duplicating all of it. This module extracts that machinery into a
-//! [`Scheduler`] that is generic over *what a batch executes* (the
-//! [`GroupExecutor`] trait): the single-layer [`crate::Engine`] plugs in a
-//! `DataPath`, the [`crate::NetworkEngine`] a whole
-//! [`crate::NetworkPlan`], and both get identical queueing, coalescing,
-//! flow-control and failure semantics from one implementation.
+//! delivery and panic handling directly; PR 3 extracted that machinery
+//! into a scheduler generic over *what a batch executes* (the
+//! [`GroupExecutor`] trait). This PR generalizes the queue core from one
+//! queue to a **fleet of tenants**: each tenant brings its own executor,
+//! its own bounded submission queue with its own [`FlowControl`] and
+//! micro-batching knobs ([`TenantConfig`]), and its own statistics, while
+//! one set of scheduler threads drains all of them under a weighted-fair
+//! policy. The single-tenant [`crate::Engine`] and [`crate::NetworkEngine`]
+//! are the one-tenant special case ([`Scheduler::single`]); the
+//! multi-network [`crate::MultiEngine`] registers one tenant per compiled
+//! plan.
 //!
 //! ## Request flow
 //!
-//! 1. Submitters push requests onto one **bounded** MPSC queue
-//!    ([`EngineConfig::queue_capacity`]). When the queue is full the
-//!    configured [`FlowControl`] decides: [`FlowControl::Block`] waits for
+//! 1. Submitters push requests onto their tenant's **bounded** queue
+//!    ([`TenantConfig::queue_capacity`]). When that queue is full the
+//!    tenant's [`FlowControl`] decides: [`FlowControl::Block`] waits for
 //!    space (no request is ever dropped), [`FlowControl::Shed`] waits up
-//!    to its timeout and then rejects with
-//!    [`RuntimeError::Overloaded`]. [`Scheduler::try_submit`] never waits.
-//! 2. [`EngineConfig::workers`] scheduler threads pull from the queue.
-//!    Each takes the queue head's input shape, coalesces up to
-//!    [`EngineConfig::max_batch`] same-shaped requests (holding the batch
-//!    open up to [`EngineConfig::batch_window`]), drains the group in FIFO
-//!    order and runs it through the executor. With more than one worker,
-//!    group `k + 1` is being coalesced and executed while group `k` is
-//!    still in flight — the pipeline that keeps a slow shape group from
-//!    stalling the queue behind it.
-//! 3. Results are delivered to per-request slots; every request is
+//!    to its timeout and then rejects with [`RuntimeError::Overloaded`].
+//!    [`Scheduler::try_submit`] never waits. Flow control is strictly
+//!    per-tenant: one tenant shedding can never drop (or delay the
+//!    admission of) another tenant's requests.
+//! 2. The scheduler threads pull from the queues under **weighted-fair
+//!    draining**: a round-robin cursor walks the tenants, and a tenant
+//!    with [`TenantConfig::weight`] `w` may drain up to `w` request
+//!    groups before the cursor must move on. Because every weight is at
+//!    least 1 and the cursor visits every backlogged tenant once per
+//!    cycle, no tenant can be starved, no matter how heavy its
+//!    neighbours' traffic is; tenants within one weight class are served
+//!    round-robin.
+//! 3. Within its turn a tenant's queue is drained exactly like the
+//!    single-queue scheduler always did: the thread takes the queue
+//!    head's input shape, coalesces up to [`TenantConfig::max_batch`]
+//!    same-shaped requests (holding the batch open up to
+//!    [`TenantConfig::batch_window`] — flushing early if any *other*
+//!    tenant has work waiting, so one tenant's coalescing knob cannot
+//!    inflate its neighbours' latency), drains the group in FIFO order
+//!    and runs it through **that tenant's** executor. Groups never mix
+//!    tenants, which is what keeps every tenant's outputs bit-identical
+//!    to a dedicated single-tenant engine.
+//! 4. Results are delivered to per-request slots; every request is
 //!    guaranteed a delivery (success, its own error, or
 //!    [`RuntimeError::ExecutionPanicked`]), and a failing batch is retried
 //!    per-request so one bad request cannot poison its batchmates.
@@ -47,14 +64,17 @@ use std::time::{Duration, Instant};
 pub(crate) trait GroupExecutor: Send + Sync + 'static {
     /// Runs a group of same-shaped inputs, returning one output per input
     /// and the summed execution statistics.
-    fn execute_batch(&self, inputs: &[&Tensor]) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError>;
+    fn execute_batch(
+        &self,
+        inputs: &[&Tensor],
+    ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError>;
 
     /// Runs a single input (the per-request fallback used to isolate a
     /// failing batch).
     fn execute_one(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), RuntimeError>;
 }
 
-/// Flow-control policy applied when the bounded submission queue is full.
+/// Flow-control policy applied when a bounded submission queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowControl {
     /// Block the submitter until space frees up. Nothing is ever dropped;
@@ -70,6 +90,10 @@ pub enum FlowControl {
 
 /// Micro-batching and flow-control knobs (shared by [`crate::Engine`] and
 /// [`crate::NetworkEngine`]).
+///
+/// For multi-tenant serving the per-tenant slice of this configuration
+/// (everything except `workers`, which is fleet-wide) lives in
+/// [`TenantConfig`]; [`EngineConfig::tenant`] converts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Most requests coalesced into one executed batch.
@@ -105,16 +129,79 @@ impl EngineConfig {
     /// Validates the configuration, returning a typed error instead of
     /// letting a zero knob hang or panic a scheduler thread.
     pub(crate) fn validate(&self) -> Result<(), RuntimeError> {
+        if self.workers == 0 {
+            return Err(RuntimeError::config("workers must be at least 1"));
+        }
+        self.tenant().validate()
+    }
+
+    /// The per-tenant slice of this configuration: everything except
+    /// `workers` (the scheduler threads are shared by all tenants), with
+    /// the default weight of 1.
+    pub fn tenant(&self) -> TenantConfig {
+        TenantConfig {
+            max_batch: self.max_batch,
+            batch_window: self.batch_window,
+            queue_capacity: self.queue_capacity,
+            flow: self.flow,
+            weight: 1,
+        }
+    }
+}
+
+/// Per-tenant serving knobs: micro-batching, bounded-queue flow control
+/// and the tenant's weight in the fair-draining policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Most requests coalesced into one executed batch for this tenant.
+    pub max_batch: usize,
+    /// How long a scheduler thread holds this tenant's non-full batch open
+    /// for stragglers. `Duration::ZERO` disables coalescing-by-time. The
+    /// window closes early when any *other* tenant has pending work, so
+    /// one tenant's coalescing knob never inflates its neighbours'
+    /// latency.
+    pub batch_window: Duration,
+    /// This tenant's bounded submission-queue capacity (pending requests).
+    pub queue_capacity: usize,
+    /// What happens to this tenant's submissions when its queue is full.
+    /// Strictly per-tenant: a shedding tenant never drops a blocking
+    /// tenant's requests.
+    pub flow: FlowControl,
+    /// Drain weight: how many request groups this tenant may drain per
+    /// round-robin turn before the cursor moves to the next backlogged
+    /// tenant. Must be at least 1 (every tenant with a nonzero weight is
+    /// visited once per cycle, which is what makes draining
+    /// starvation-free).
+    pub weight: u32,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        EngineConfig::default().tenant()
+    }
+}
+
+impl TenantConfig {
+    /// Validates the configuration, returning a typed error instead of
+    /// letting a zero knob hang or panic a scheduler thread.
+    pub(crate) fn validate(&self) -> Result<(), RuntimeError> {
         if self.max_batch == 0 {
             return Err(RuntimeError::config("max_batch must be at least 1"));
         }
         if self.queue_capacity == 0 {
             return Err(RuntimeError::config("queue_capacity must be at least 1"));
         }
-        if self.workers == 0 {
-            return Err(RuntimeError::config("workers must be at least 1"));
+        if self.weight == 0 {
+            return Err(RuntimeError::config(
+                "tenant weight must be at least 1 (zero would starve the tenant)",
+            ));
         }
         Ok(())
+    }
+
+    /// This config with `weight` replaced (builder-style convenience).
+    pub fn with_weight(self, weight: u32) -> Self {
+        TenantConfig { weight, ..self }
     }
 }
 
@@ -186,44 +273,111 @@ impl Pending {
     }
 }
 
-struct Shared<E: ?Sized + GroupExecutor> {
-    config: EngineConfig,
-    queue: Mutex<Queue>,
-    /// Signals scheduler threads that the queue changed (new request,
+/// One registered tenant: its executor, serving knobs and statistics.
+struct Tenant<E> {
+    /// Display label used in per-tenant errors (`None` for the anonymous
+    /// single-tenant engines).
+    label: Option<String>,
+    config: TenantConfig,
+    exec: E,
+    stats: Mutex<StatsInner>,
+}
+
+struct Shared<E: GroupExecutor> {
+    tenants: Vec<Tenant<E>>,
+    queue: Mutex<QueueSet>,
+    /// Signals scheduler threads that some queue changed (new request,
     /// shutdown).
     submitted: Condvar,
     /// Signals blocked submitters that queue space freed up.
     space: Condvar,
-    stats: Mutex<StatsInner>,
-    exec: E,
 }
 
-#[derive(Default)]
-struct Queue {
-    pending: VecDeque<Request>,
+/// Every tenant's pending queue plus the weighted-round-robin drain state,
+/// all under one lock so a group drain is atomic against submissions.
+struct QueueSet {
+    /// `pending[t]` = tenant `t`'s FIFO backlog.
+    pending: Vec<VecDeque<Request>>,
+    /// The tenant whose turn it currently is.
+    cursor: usize,
+    /// Groups the cursor tenant may still drain this turn.
+    budget: u64,
     shutdown: bool,
 }
 
-/// The scheduler core: bounded queue, shape-grouped micro-batching worker
-/// threads, per-request delivery. Engines wrap this around their executor.
+impl QueueSet {
+    fn any_pending(&self) -> bool {
+        self.pending.iter().any(|q| !q.is_empty())
+    }
+
+    /// Returns one reserved budget unit after a turn was abandoned to a
+    /// multi-worker race (no group was actually drained). Only meaningful
+    /// while the turn is still `tenant`'s — if the cursor has moved on,
+    /// its budget was refilled from the new tenant's weight anyway —
+    /// and capped at `weight` so a stale refund can never mint extra
+    /// turns.
+    fn refund(&mut self, tenant: usize, weight: u32) {
+        if self.cursor == tenant {
+            self.budget = (self.budget + 1).min(u64::from(weight));
+        }
+    }
+}
+
+/// The scheduler core: per-tenant bounded queues, weighted-fair draining,
+/// shape-grouped micro-batching worker threads, per-request delivery.
+/// Engines wrap this around their executor(s).
 pub(crate) struct Scheduler<E: GroupExecutor> {
     shared: Arc<Shared<E>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl<E: GroupExecutor> Scheduler<E> {
-    /// Validates `config` and spawns the scheduler threads around `exec`.
-    pub fn new(exec: E, config: EngineConfig) -> Result<Self, RuntimeError> {
+    /// Spawns a scheduler serving exactly one anonymous tenant — the
+    /// single-network engines' configuration.
+    pub fn single(exec: E, config: EngineConfig) -> Result<Self, RuntimeError> {
         config.validate()?;
+        Self::multi(vec![(None, exec, config.tenant())], config.workers)
+    }
+
+    /// Validates every tenant's config and spawns `workers` scheduler
+    /// threads draining all of them under the weighted-fair policy.
+    pub fn multi(
+        tenants: Vec<(Option<String>, E, TenantConfig)>,
+        workers: usize,
+    ) -> Result<Self, RuntimeError> {
+        if tenants.is_empty() {
+            return Err(RuntimeError::config(
+                "a scheduler needs at least one tenant",
+            ));
+        }
+        if workers == 0 {
+            return Err(RuntimeError::config("workers must be at least 1"));
+        }
+        for (_, _, config) in &tenants {
+            config.validate()?;
+        }
+        let first_weight = u64::from(tenants[0].2.weight);
+        let tenants: Vec<Tenant<E>> = tenants
+            .into_iter()
+            .map(|(label, exec, config)| Tenant {
+                label,
+                config,
+                exec,
+                stats: Mutex::new(StatsInner::default()),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            config,
-            queue: Mutex::new(Queue::default()),
+            queue: Mutex::new(QueueSet {
+                pending: tenants.iter().map(|_| VecDeque::new()).collect(),
+                cursor: 0,
+                budget: first_weight,
+                shutdown: false,
+            }),
             submitted: Condvar::new(),
             space: Condvar::new(),
-            stats: Mutex::new(StatsInner::default()),
-            exec,
+            tenants,
         });
-        let workers = (0..config.workers)
+        let workers = (0..workers)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -235,52 +389,113 @@ impl<E: GroupExecutor> Scheduler<E> {
         Ok(Scheduler { shared, workers })
     }
 
-    /// The executor this scheduler drives.
-    pub fn executor(&self) -> &E {
-        &self.shared.exec
+    /// The executor of tenant `tenant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index (callers validate via
+    /// [`Scheduler::check_tenant`] or hold an index they created).
+    pub fn executor(&self, tenant: usize) -> &E {
+        &self.shared.tenants[tenant].exec
     }
 
-    /// Submits one request under the configured flow control and waits for
-    /// its result.
-    pub fn submit_wait(&self, input: Tensor) -> Result<Inference, RuntimeError> {
-        let slots = self.enqueue(vec![input], self.shared.config.flow)?;
+    /// Returns [`RuntimeError::UnknownTenant`] unless `tenant` is a
+    /// registered index.
+    pub fn check_tenant(&self, tenant: usize) -> Result<(), RuntimeError> {
+        if tenant < self.shared.tenants.len() {
+            Ok(())
+        } else {
+            Err(RuntimeError::UnknownTenant { id: tenant })
+        }
+    }
+
+    /// Submits one request to `tenant` under its configured flow control
+    /// and waits for its result.
+    pub fn submit_wait(&self, tenant: usize, input: Tensor) -> Result<Inference, RuntimeError> {
+        let flow = self.tenant_ref(tenant)?.config.flow;
+        let slots = self.enqueue(tenant, vec![input], flow)?;
         slots.into_iter().next().expect("one slot per input").wait()
     }
 
-    /// Submits one request without ever waiting for queue space.
-    pub fn try_submit(&self, input: Tensor) -> Result<Pending, RuntimeError> {
-        let slots =
-            self.enqueue(vec![input], FlowControl::Shed { timeout: Duration::ZERO })?;
-        Ok(Pending { slot: slots.into_iter().next().expect("one slot per input") })
+    /// Submits one request to `tenant` without ever waiting for queue
+    /// space.
+    pub fn try_submit(&self, tenant: usize, input: Tensor) -> Result<Pending, RuntimeError> {
+        self.check_tenant(tenant)?;
+        let slots = self.enqueue(
+            tenant,
+            vec![input],
+            FlowControl::Shed {
+                timeout: Duration::ZERO,
+            },
+        )?;
+        Ok(Pending {
+            slot: slots.into_iter().next().expect("one slot per input"),
+        })
     }
 
-    /// Submits a burst atomically (the whole burst is visible to the
-    /// coalescers at once) and waits for all results, in order.
+    /// Submits a burst to `tenant` atomically (the whole burst is visible
+    /// to the coalescers at once) and waits for all results, in order.
     #[allow(clippy::type_complexity)]
     pub fn submit_many(
         &self,
+        tenant: usize,
         inputs: Vec<Tensor>,
     ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
-        let slots = self.enqueue(inputs, self.shared.config.flow)?;
+        let flow = self.tenant_ref(tenant)?.config.flow;
+        let slots = self.enqueue(tenant, inputs, flow)?;
         Ok(slots.into_iter().map(|s| s.wait()).collect())
     }
 
-    /// A point-in-time statistics snapshot; `plan_cache` is supplied by
-    /// the wrapping engine (zeroes when it has no cache).
-    pub fn stats(&self, plan_cache: PlanCacheStats) -> crate::RuntimeStats {
-        let queue_depth = self.shared.queue.lock().expect("queue poisoned").pending.len();
-        self.shared.stats.lock().expect("stats poisoned").snapshot(queue_depth, plan_cache)
+    /// A point-in-time statistics snapshot of one tenant; `plan_cache` is
+    /// supplied by the wrapping engine (zeroes when it has no cache).
+    pub fn tenant_stats(
+        &self,
+        tenant: usize,
+        plan_cache: PlanCacheStats,
+    ) -> Result<crate::RuntimeStats, RuntimeError> {
+        let ten = self.tenant_ref(tenant)?;
+        let queue_depth = self.shared.queue.lock().expect("queue poisoned").pending[tenant].len();
+        Ok(ten
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .snapshot(queue_depth, plan_cache))
     }
 
-    /// Pushes requests onto the bounded queue under one lock (so a burst
-    /// coalesces deterministically) and wakes the scheduler threads.
+    /// The fleet-level rollup across every tenant: counters and data-path
+    /// rollups sum, the batch histograms merge element-wise, and the
+    /// latency percentiles are computed over the union of every tenant's
+    /// retained samples.
+    pub fn fleet_stats(&self, plan_cache: PlanCacheStats) -> crate::RuntimeStats {
+        let queue_depth: usize = {
+            let queue = self.shared.queue.lock().expect("queue poisoned");
+            queue.pending.iter().map(VecDeque::len).sum()
+        };
+        let mut rollup = StatsInner::default();
+        for tenant in &self.shared.tenants {
+            rollup.absorb(&tenant.stats.lock().expect("stats poisoned"));
+        }
+        rollup.snapshot(queue_depth, plan_cache)
+    }
+
+    fn tenant_ref(&self, tenant: usize) -> Result<&Tenant<E>, RuntimeError> {
+        self.shared
+            .tenants
+            .get(tenant)
+            .ok_or(RuntimeError::UnknownTenant { id: tenant })
+    }
+
+    /// Pushes requests onto `tenant`'s bounded queue under one lock (so a
+    /// burst coalesces deterministically) and wakes the scheduler threads.
     fn enqueue(
         &self,
+        tenant: usize,
         inputs: Vec<Tensor>,
         flow: FlowControl,
     ) -> Result<Vec<Arc<Slot>>, RuntimeError> {
         let shared = &self.shared;
-        let capacity = shared.config.queue_capacity;
+        let ten = self.tenant_ref(tenant)?;
+        let capacity = ten.config.queue_capacity;
         if inputs.len() > capacity {
             return Err(RuntimeError::config(format!(
                 "burst of {} exceeds queue_capacity {capacity}",
@@ -289,24 +504,31 @@ impl<E: GroupExecutor> Scheduler<E> {
         }
         let now = Instant::now();
         let mut queue = shared.queue.lock().expect("queue poisoned");
-        // Backpressure: wait (or shed) until the whole submission fits.
+        // Backpressure: wait (or shed) until the whole submission fits in
+        // this tenant's queue. Other tenants' backlogs are invisible here —
+        // flow control is strictly per-tenant.
         let deadline = match flow {
             FlowControl::Block => None,
             FlowControl::Shed { timeout } => Some(now + timeout),
         };
-        while !queue.shutdown && queue.pending.len() + inputs.len() > capacity {
+        while !queue.shutdown && queue.pending[tenant].len() + inputs.len() > capacity {
             match deadline {
                 None => queue = shared.space.wait(queue).expect("queue poisoned"),
                 Some(deadline) => {
                     let left = deadline.saturating_duration_since(Instant::now());
                     if left.is_zero() {
                         drop(queue);
-                        let mut stats = shared.stats.lock().expect("stats poisoned");
+                        let mut stats = ten.stats.lock().expect("stats poisoned");
                         stats.record_shed(inputs.len() as u64);
-                        return Err(RuntimeError::Overloaded { capacity });
+                        return Err(RuntimeError::Overloaded {
+                            tenant: ten.label.clone(),
+                            capacity,
+                        });
                     }
-                    let (q, _) =
-                        shared.space.wait_timeout(queue, left).expect("queue poisoned");
+                    let (q, _) = shared
+                        .space
+                        .wait_timeout(queue, left)
+                        .expect("queue poisoned");
                     queue = q;
                 }
             }
@@ -318,7 +540,7 @@ impl<E: GroupExecutor> Scheduler<E> {
             .into_iter()
             .map(|input| {
                 let slot = Arc::new(Slot::default());
-                queue.pending.push_back(Request {
+                queue.pending[tenant].push_back(Request {
                     input,
                     submitted_at: now,
                     slot: slot.clone(),
@@ -348,40 +570,81 @@ impl<E: GroupExecutor> Drop for Scheduler<E> {
     }
 }
 
-/// One scheduler thread: coalesce, execute, deliver, until shut down.
-fn worker_main<E: ?Sized + GroupExecutor>(shared: &Shared<E>) {
+/// One scheduler thread: pick a tenant, coalesce, execute, deliver, until
+/// shut down.
+fn worker_main<E: GroupExecutor>(shared: &Shared<E>) {
     // The loop contains per-batch panic guards; this outer guard covers
     // everything else (e.g. a poisoned stats lock) so an unwinding worker
     // can never strand parked submitters or accept work it will never
     // serve.
     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
-        let Some(group) = next_group(shared) else {
+        let Some((tenant, group)) = next_group(shared) else {
             return;
         };
-        execute_group(shared, group);
+        execute_group(shared, tenant, group);
     }));
-    let mut queue = shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut queue = shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     queue.shutdown = true;
-    for request in queue.pending.drain(..) {
-        request.slot.deliver(Err(RuntimeError::ShuttingDown));
+    for pending in &mut queue.pending {
+        for request in pending.drain(..) {
+            request.slot.deliver(Err(RuntimeError::ShuttingDown));
+        }
     }
     drop(queue);
     shared.submitted.notify_all();
     shared.space.notify_all();
 }
 
-/// Blocks for the next same-shape request group, honoring the batch
-/// window. Returns `None` when shut down with an empty queue.
-fn next_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>) -> Option<Vec<Request>> {
-    let config = shared.config;
+/// Advances the weighted-round-robin drain state to the next tenant that
+/// may be served, reserving one group's worth of its budget. Reserving at
+/// selection (rather than charging at drain) is what upholds the "at
+/// most `weight` groups per turn" guarantee even with several workers
+/// picking concurrently; a turn later abandoned to a multi-worker race
+/// returns its unit via [`QueueSet::refund`], so races do not burn the
+/// tenant's share either.
+///
+/// The caller must hold the queue lock and guarantee at least one tenant
+/// has pending work; because advancing the cursor refills the budget from
+/// the new tenant's weight (always ≥ 1), the walk reaches a backlogged
+/// tenant within one cycle.
+fn pick_tenant<E: GroupExecutor>(queue: &mut QueueSet, shared: &Shared<E>) -> usize {
+    let n = shared.tenants.len();
+    loop {
+        if queue.budget > 0 && !queue.pending[queue.cursor].is_empty() {
+            queue.budget -= 1;
+            return queue.cursor;
+        }
+        queue.cursor = (queue.cursor + 1) % n;
+        queue.budget = u64::from(shared.tenants[queue.cursor].config.weight);
+    }
+}
+
+/// True if any tenant other than `tenant` has pending work — the signal
+/// for a coalescing thread to flush early instead of sitting on its batch
+/// window while neighbours wait.
+fn others_pending(queue: &QueueSet, tenant: usize) -> bool {
+    queue
+        .pending
+        .iter()
+        .enumerate()
+        .any(|(t, q)| t != tenant && !q.is_empty())
+}
+
+/// Blocks for the next same-shape request group of some tenant, honoring
+/// the fair-drain policy and the tenant's batch window. Returns `None`
+/// when shut down with every queue empty.
+fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Request>)> {
     let mut queue = shared.queue.lock().expect("queue poisoned");
-    // With several workers the head can change (or vanish) under us while
-    // we wait; every such race restarts this loop — iteration, not
+    // With several workers a queue head can change (or vanish) under us
+    // while we wait; every such race restarts this loop — iteration, not
     // recursion, so sustained churn cannot grow the stack.
     'regroup: loop {
-        // Park until there is work (or nothing more will come).
+        // Park until there is work somewhere (or nothing more will come).
         loop {
-            if !queue.pending.is_empty() {
+            if queue.any_pending() {
                 break;
             }
             if queue.shutdown {
@@ -390,14 +653,22 @@ fn next_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>) -> Option<Vec<Reque
             queue = shared.submitted.wait(queue).expect("queue poisoned");
         }
 
-        // Coalesce: hold the batch open for up to `batch_window`, or
+        // Weighted-fair tenant selection, then coalesce within that
+        // tenant: hold the batch open for up to its `batch_window`, or
         // until `max_batch` requests of the head's shape have arrived.
-        // Shutdown flushes immediately.
-        let shape: Vec<usize> = queue.pending[0].input.shape().to_vec();
+        // Shutdown flushes immediately, and so does a backlog on any
+        // *other* tenant — one tenant's coalescing knob must not inflate
+        // its neighbours' latency while they have runnable work.
+        let tenant = pick_tenant(&mut queue, shared);
+        let config = shared.tenants[tenant].config;
+        let shape: Vec<usize> = queue.pending[tenant][0].input.shape().to_vec();
         let deadline = Instant::now() + config.batch_window;
         loop {
-            let same = queue.pending.iter().filter(|r| r.input.shape() == shape).count();
-            if same >= config.max_batch || queue.shutdown {
+            let same = queue.pending[tenant]
+                .iter()
+                .filter(|r| r.input.shape() == shape)
+                .count();
+            if same >= config.max_batch || queue.shutdown || others_pending(&queue, tenant) {
                 break;
             }
             let now = Instant::now();
@@ -412,13 +683,16 @@ fn next_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>) -> Option<Vec<Reque
             if timeout.timed_out() {
                 break;
             }
-            // Another worker may have drained the queue (or its head
-            // shape) while we waited; regroup around the new head.
-            if queue.pending.is_empty() || queue.pending[0].input.shape() != shape {
+            // Another worker may have drained this tenant (or its head
+            // shape) while we waited; return the reserved budget unit and
+            // restart the fair-drain walk.
+            if queue.pending[tenant].is_empty() || queue.pending[tenant][0].input.shape() != shape {
+                queue.refund(tenant, config.weight);
                 continue 'regroup;
             }
         }
-        if queue.pending.is_empty() {
+        if queue.pending[tenant].is_empty() {
+            queue.refund(tenant, config.weight);
             continue 'regroup;
         }
 
@@ -426,33 +700,35 @@ fn next_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>) -> Option<Vec<Reque
         // queued for their own group (the shape-divergence fallback).
         let mut group = Vec::new();
         let mut i = 0;
-        while i < queue.pending.len() && group.len() < config.max_batch {
-            if queue.pending[i].input.shape() == shape {
-                group.push(queue.pending.remove(i).expect("index checked"));
+        while i < queue.pending[tenant].len() && group.len() < config.max_batch {
+            if queue.pending[tenant][i].input.shape() == shape {
+                group.push(queue.pending[tenant].remove(i).expect("index checked"));
             } else {
                 i += 1;
             }
         }
         if group.is_empty() {
+            queue.refund(tenant, config.weight);
             continue 'regroup;
         }
         drop(queue);
         // Queue space freed: wake blocked submitters.
         shared.space.notify_all();
-        return Some(group);
+        return Some((tenant, group));
     }
 }
 
-/// Runs one group through the executor and delivers results.
+/// Runs one group through its tenant's executor and delivers results.
 ///
 /// Every request in the group is guaranteed a delivery: success, its own
 /// error, or [`RuntimeError::ExecutionPanicked`] if the executor panicked
 /// — a panicking batch must never strand its submitters.
-fn execute_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>, group: Vec<Request>) {
+fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec<Request>) {
+    let ten = &shared.tenants[tenant];
     let batch_size = group.len();
     let inputs: Vec<&Tensor> = group.iter().map(|r| &r.input).collect();
     let batch_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.exec.execute_batch(&inputs)
+        ten.exec.execute_batch(&inputs)
     }));
     drop(inputs);
     match batch_result {
@@ -462,7 +738,7 @@ fn execute_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>, group: Vec<Reque
             }
         }
         Ok(Ok((outputs, dp_stats))) => {
-            record_and_deliver(shared, group, outputs, &dp_stats, batch_size);
+            record_and_deliver(ten, group, outputs, &dp_stats, batch_size);
         }
         Ok(Err(_)) => {
             // Defensive fallback: run the group per-request so one bad
@@ -473,7 +749,7 @@ fn execute_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>, group: Vec<Reque
             let mut failures: Vec<(usize, RuntimeError)> = Vec::new();
             for (i, request) in group.iter().enumerate() {
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    shared.exec.execute_one(&request.input)
+                    ten.exec.execute_one(&request.input)
                 }));
                 match outcome {
                     Ok(Ok((out, s))) => {
@@ -491,7 +767,7 @@ fn execute_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>, group: Vec<Reque
                 }
             }
             if failures.is_empty() {
-                record_and_deliver(shared, group, outputs, &dp_stats, batch_size);
+                record_and_deliver(ten, group, outputs, &dp_stats, batch_size);
             } else {
                 // Deliver successes as singletons, failures as errors.
                 for (i, request) in group.into_iter().enumerate() {
@@ -499,7 +775,7 @@ fn execute_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>, group: Vec<Reque
                         request.slot.deliver(Err(e.clone()));
                     } else {
                         let latency = request.submitted_at.elapsed();
-                        let mut stats = shared.stats.lock().expect("stats poisoned");
+                        let mut stats = ten.stats.lock().expect("stats poisoned");
                         stats.record_latency(latency);
                         drop(stats);
                         request.slot.deliver(Ok(Inference {
@@ -514,16 +790,17 @@ fn execute_group<E: ?Sized + GroupExecutor>(shared: &Shared<E>, group: Vec<Reque
     }
 }
 
-/// Records batch statistics and hands each request its output.
-fn record_and_deliver<E: ?Sized + GroupExecutor>(
-    shared: &Shared<E>,
+/// Records batch statistics into the tenant's accumulator and hands each
+/// request its output.
+fn record_and_deliver<E>(
+    tenant: &Tenant<E>,
     group: Vec<Request>,
     outputs: Vec<Tensor>,
     dp_stats: &DataPathStats,
     batch_size: usize,
 ) {
     {
-        let mut stats = shared.stats.lock().expect("stats poisoned");
+        let mut stats = tenant.stats.lock().expect("stats poisoned");
         stats.record_batch(batch_size, dp_stats);
         for request in &group {
             stats.record_latency(request.submitted_at.elapsed());
@@ -531,6 +808,10 @@ fn record_and_deliver<E: ?Sized + GroupExecutor>(
     }
     for (request, output) in group.into_iter().zip(outputs) {
         let latency = request.submitted_at.elapsed();
-        request.slot.deliver(Ok(Inference { output, batch_size, latency }));
+        request.slot.deliver(Ok(Inference {
+            output,
+            batch_size,
+            latency,
+        }));
     }
 }

@@ -84,6 +84,26 @@ impl StatsInner {
         self.datapath.accumulate(stats);
     }
 
+    /// Merges another accumulator into this one — the fleet-level rollup
+    /// across tenants. Counters and data-path rollups sum, histograms
+    /// merge element-wise, and the raw latency samples concatenate (the
+    /// rollup is snapshotted immediately, so the resulting sample list may
+    /// exceed [`LATENCY_WINDOW`]; it is never written back through
+    /// `record_latency`).
+    pub fn absorb(&mut self, other: &StatsInner) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        if self.histogram.len() < other.histogram.len() {
+            self.histogram.resize(other.histogram.len(), 0);
+        }
+        for (mine, theirs) in self.histogram.iter_mut().zip(&other.histogram) {
+            *mine += theirs;
+        }
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+        self.shed += other.shed;
+        self.datapath.accumulate(&other.datapath);
+    }
+
     /// Records one delivered request's latency.
     pub fn record_latency(&mut self, latency: Duration) {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
@@ -140,7 +160,10 @@ mod tests {
     #[test]
     fn histogram_and_rollup_accumulate() {
         let mut inner = StatsInner::default();
-        let dp = DataPathStats { rounds: 3, ..DataPathStats::default() };
+        let dp = DataPathStats {
+            rounds: 3,
+            ..DataPathStats::default()
+        };
         inner.record_batch(1, &dp);
         inner.record_batch(4, &dp);
         inner.record_batch(4, &dp);
@@ -157,6 +180,36 @@ mod tests {
         assert!((snap.mean_batch_size() - 3.0).abs() < 1e-12);
         assert_eq!(snap.p50_latency_us, 10);
         assert_eq!(snap.p99_latency_us, 30);
+    }
+
+    #[test]
+    fn absorb_rolls_up_counters_histograms_and_latencies() {
+        let dp = DataPathStats {
+            rounds: 2,
+            ..DataPathStats::default()
+        };
+        let mut a = StatsInner::default();
+        a.record_batch(1, &dp);
+        a.record_latency(Duration::from_micros(10));
+        a.record_shed(1);
+        let mut b = StatsInner::default();
+        b.record_batch(3, &dp);
+        b.record_batch(3, &dp);
+        b.record_latency(Duration::from_micros(30));
+        b.record_latency(Duration::from_micros(50));
+
+        let mut rollup = StatsInner::default();
+        rollup.absorb(&a);
+        rollup.absorb(&b);
+        let snap = rollup.snapshot(0, PlanCacheStats::default());
+        assert_eq!(snap.requests, 7);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.batch_histogram, vec![1, 0, 2]);
+        assert_eq!(snap.datapath.rounds, 6);
+        // Percentiles cover the union of both sample sets.
+        assert_eq!(snap.p50_latency_us, 30);
+        assert_eq!(snap.p99_latency_us, 50);
     }
 
     #[test]

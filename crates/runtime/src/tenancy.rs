@@ -1,0 +1,413 @@
+//! Multi-network tenancy: one scheduler serving a fleet of compiled
+//! plans.
+//!
+//! The paper's epitome compression pays off at fleet scale — many small
+//! compressed models sharing one accelerator. [`crate::NetworkEngine`]
+//! serves exactly one [`NetworkPlan`]; a deployment with several
+//! compressed backbones would need one engine (and one worker-pool fight)
+//! per model. [`MultiEngine`] closes that gap: several compiled plans
+//! register as **tenants** sharing one [`PlanCache`] and one set of
+//! scheduler threads, each tenant with its own bounded submission queue,
+//! its own [`FlowControl`] and micro-batching knobs, and its own
+//! [`RuntimeStats`] — drained under the scheduler core's weighted-fair
+//! policy (see [`crate::scheduler`]'s module docs).
+//!
+//! Because request groups never mix tenants and every tenant executes its
+//! own plan, each tenant's outputs and [`DataPathStats`] rollups are
+//! **bit-identical** to running that tenant alone on a dedicated
+//! [`crate::NetworkEngine`] — tenancy is purely a resource-sharing
+//! decision, never a semantic one. Two tenants whose networks share an
+//! [`epim_core::EpitomeSpec`] share one compiled plan through the cache
+//! (one compile, visible in [`crate::PlanCacheStats`]).
+//!
+//! [`DataPathStats`]: epim_pim::datapath::DataPathStats
+//!
+//! # Example
+//!
+//! ```no_run
+//! use epim_models::lower::NetworkWeights;
+//! use epim_models::zoo;
+//! use epim_pim::datapath::AnalogModel;
+//! use epim_runtime::{MultiEngine, PlanCache, TenantConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (small, _) = zoo::tiny_epitome_network(8, 4, 10)?;
+//! let (large, _) = zoo::tiny_epitome_network(8, 8, 10)?;
+//! let weights_small = NetworkWeights::random(&small, 1)?;
+//! let weights_large = NetworkWeights::random(&large, 2)?;
+//!
+//! let cache = PlanCache::new();
+//! let mut builder = MultiEngine::builder(&cache).workers(2);
+//! let premium = builder.register(
+//!     "premium", &large, &weights_large, (16, 16), true,
+//!     AnalogModel::ideal(), TenantConfig::default().with_weight(3),
+//! )?;
+//! let standard = builder.register(
+//!     "standard", &small, &weights_small, (16, 16), true,
+//!     AnalogModel::ideal(), TenantConfig::default(),
+//! )?;
+//! let engine = builder.build()?;
+//!
+//! // Handles carry their tenant id; per-tenant and fleet stats coexist.
+//! let _ = (premium, standard);
+//! let fleet = engine.fleet_stats();
+//! # let _ = fleet;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::network::{NetworkPlan, PlanExecutor};
+use crate::scheduler::Scheduler;
+use crate::{Inference, Pending, PlanCache, RuntimeError, RuntimeStats, TenantConfig};
+use epim_models::lower::NetworkWeights;
+use epim_models::network::Network;
+use epim_pim::datapath::AnalogModel;
+use epim_tensor::Tensor;
+use std::sync::Arc;
+
+/// Process-unique fleet tokens: every builder (and the engine built from
+/// it) gets one, so a [`TenantId`] can prove which engine issued it.
+static NEXT_FLEET: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_fleet() -> u64 {
+    NEXT_FLEET.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// An opaque tenant identifier issued at registration. Ids are only valid
+/// on the engine whose builder issued them: each id carries its fleet's
+/// process-unique token, and using it on any other engine yields a typed
+/// [`RuntimeError::UnknownTenant`] instead of silently routing to
+/// whatever tenant happens to share the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId {
+    fleet: u64,
+    index: usize,
+}
+
+impl TenantId {
+    /// The tenant's index in registration order.
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+/// Builder collecting tenants before the serving threads spawn. Obtained
+/// from [`MultiEngine::builder`].
+pub struct MultiEngineBuilder {
+    cache: PlanCache,
+    fleet: u64,
+    workers: usize,
+    tenants: Vec<(String, Arc<NetworkPlan>, TenantConfig)>,
+}
+
+impl MultiEngineBuilder {
+    /// Sets the number of scheduler threads shared by every tenant (the
+    /// pipeline depth; defaults to 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Compiles `network` through the builder's shared [`PlanCache`] (two
+    /// tenants with the same `EpitomeSpec` hit one compiled plan) and
+    /// registers it as a tenant, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors and rejects an invalid
+    /// [`TenantConfig`] or a duplicate tenant name.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        network: &Network,
+        weights: &NetworkWeights,
+        input_hw: (usize, usize),
+        wrapping_enabled: bool,
+        analog: AnalogModel,
+        config: TenantConfig,
+    ) -> Result<TenantId, RuntimeError> {
+        // Validate the registration before paying for compilation (and
+        // before the shared cache's counters record any of its work).
+        let name = name.into();
+        self.check_registration(&name, config)?;
+        let plan = Arc::new(NetworkPlan::compile(
+            &self.cache,
+            network,
+            weights,
+            input_hw,
+            wrapping_enabled,
+            analog,
+        )?);
+        self.register_plan(name, plan, config)
+    }
+
+    /// Rejects an invalid [`TenantConfig`], an empty name, or a name
+    /// already registered with this builder.
+    fn check_registration(&self, name: &str, config: TenantConfig) -> Result<(), RuntimeError> {
+        config.validate()?;
+        if name.is_empty() {
+            return Err(RuntimeError::config("tenant names must be non-empty"));
+        }
+        if self.tenants.iter().any(|(n, _, _)| n == name) {
+            return Err(RuntimeError::config(format!(
+                "duplicate tenant name {name:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Registers an already-compiled (possibly shared) plan as a tenant,
+    /// returning its id. The same `Arc<NetworkPlan>` may back several
+    /// tenants — distinct queues and stats over one set of weights.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid [`TenantConfig`] or a duplicate tenant name.
+    pub fn register_plan(
+        &mut self,
+        name: impl Into<String>,
+        plan: Arc<NetworkPlan>,
+        config: TenantConfig,
+    ) -> Result<TenantId, RuntimeError> {
+        let name = name.into();
+        self.check_registration(&name, config)?;
+        self.tenants.push((name, plan, config));
+        Ok(TenantId {
+            fleet: self.fleet,
+            index: self.tenants.len() - 1,
+        })
+    }
+
+    /// Spawns the serving engine over every registered tenant.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty tenant list or an invalid worker count.
+    pub fn build(self) -> Result<MultiEngine, RuntimeError> {
+        if self.tenants.is_empty() {
+            return Err(RuntimeError::config(
+                "register at least one tenant before build",
+            ));
+        }
+        let mut names = Vec::with_capacity(self.tenants.len());
+        let tenants = self
+            .tenants
+            .into_iter()
+            .map(|(name, plan, config)| {
+                // Pre-size each tenant's activation pool for its own
+                // max_batch, as the dedicated engine would.
+                plan.preallocate(config.max_batch.max(1));
+                names.push(name.clone());
+                (Some(name), PlanExecutor { plan }, config)
+            })
+            .collect();
+        let scheduler = Scheduler::multi(tenants, self.workers)?;
+        Ok(MultiEngine {
+            scheduler,
+            fleet: self.fleet,
+            names,
+            cache: self.cache,
+        })
+    }
+}
+
+/// A multi-tenant serving engine: a fleet of compiled [`NetworkPlan`]s
+/// behind one weighted-fair scheduler, sharing one [`PlanCache`] and one
+/// worker pool. See the [module docs](self) for the guarantees.
+pub struct MultiEngine {
+    scheduler: Scheduler<PlanExecutor>,
+    fleet: u64,
+    names: Vec<String>,
+    cache: PlanCache,
+}
+
+impl MultiEngine {
+    /// Starts a builder whose tenants compile through (a handle to)
+    /// `cache`.
+    pub fn builder(cache: &PlanCache) -> MultiEngineBuilder {
+        MultiEngineBuilder {
+            cache: cache.clone(),
+            fleet: next_fleet(),
+            workers: 1,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The registered tenant names, in registration (= id) order.
+    pub fn tenant_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Looks a tenant up by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|index| TenantId {
+                fleet: self.fleet,
+                index,
+            })
+    }
+
+    /// Resolves `id` to a scheduler index, rejecting ids issued by any
+    /// other engine's builder (same-index-different-fleet must error, not
+    /// route to an unrelated tenant).
+    fn index_of(&self, id: TenantId) -> Result<usize, RuntimeError> {
+        if id.fleet != self.fleet {
+            return Err(RuntimeError::UnknownTenant { id: id.index });
+        }
+        self.scheduler.check_tenant(id.index)?;
+        Ok(id.index)
+    }
+
+    /// A borrowing handle binding this engine to one tenant id — the
+    /// ergonomic per-tenant submission surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for an id this engine did
+    /// not issue.
+    pub fn tenant(&self, id: TenantId) -> Result<TenantHandle<'_>, RuntimeError> {
+        self.index_of(id)?;
+        Ok(TenantHandle { engine: self, id })
+    }
+
+    /// The compiled plan tenant `id` serves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for an id this engine did
+    /// not issue.
+    pub fn plan(&self, id: TenantId) -> Result<&Arc<NetworkPlan>, RuntimeError> {
+        let index = self.index_of(id)?;
+        Ok(&self.scheduler.executor(index).plan)
+    }
+
+    /// Runs one whole-network inference on tenant `id` (input
+    /// `(N, C, H, W)` matching that tenant's program input shape),
+    /// blocking until the execution completes. Concurrent callers of the
+    /// same tenant coalesce into stacked groups; other tenants' traffic
+    /// shares only the scheduler threads, never a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for a foreign id,
+    /// [`RuntimeError::ShuttingDown`] during shutdown,
+    /// [`RuntimeError::Overloaded`] if this tenant's queue shed the
+    /// request, or this request's execution error.
+    pub fn infer(&self, id: TenantId, input: Tensor) -> Result<Inference, RuntimeError> {
+        self.scheduler.submit_wait(self.index_of(id)?, input)
+    }
+
+    /// Submits to tenant `id` without ever blocking on queue space (full
+    /// queue → shed immediately); the returned [`Pending`] waits for the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overloaded`] when this tenant's queue is
+    /// full, or [`RuntimeError::UnknownTenant`] for a foreign id.
+    pub fn try_infer(&self, id: TenantId, input: Tensor) -> Result<Pending, RuntimeError> {
+        self.scheduler.try_submit(self.index_of(id)?, input)
+    }
+
+    /// Submits a burst to tenant `id` atomically and waits for all
+    /// results, in order.
+    ///
+    /// # Errors
+    ///
+    /// Per-request errors land in their result slot; a burst larger than
+    /// the tenant's queue capacity (or submission during shutdown) fails
+    /// whole.
+    #[allow(clippy::type_complexity)]
+    pub fn infer_many(
+        &self,
+        id: TenantId,
+        inputs: Vec<Tensor>,
+    ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
+        self.scheduler.submit_many(self.index_of(id)?, inputs)
+    }
+
+    /// A point-in-time snapshot of one tenant's serving statistics
+    /// (latencies, batch histogram, queue depth, shed counter, data-path
+    /// rollup). The `plan_cache` counters are those of the shared cache —
+    /// compilation work is a fleet-level resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for an id this engine did
+    /// not issue.
+    pub fn tenant_stats(&self, id: TenantId) -> Result<RuntimeStats, RuntimeError> {
+        self.scheduler
+            .tenant_stats(self.index_of(id)?, self.cache.stats())
+    }
+
+    /// The fleet-level rollup across every tenant: counters and data-path
+    /// rollups sum, histograms merge, latency percentiles cover the union
+    /// of every tenant's retained samples, and `queue_depth` is the total
+    /// backlog.
+    pub fn fleet_stats(&self) -> RuntimeStats {
+        self.scheduler.fleet_stats(self.cache.stats())
+    }
+}
+
+/// A cheap borrowing handle binding a [`MultiEngine`] to one tenant id,
+/// so call sites read like the single-tenant engines'.
+#[derive(Clone, Copy)]
+pub struct TenantHandle<'a> {
+    engine: &'a MultiEngine,
+    id: TenantId,
+}
+
+impl<'a> TenantHandle<'a> {
+    /// The id this handle carries.
+    pub fn id(self) -> TenantId {
+        self.id
+    }
+
+    /// The tenant's registered name.
+    pub fn name(self) -> &'a str {
+        &self.engine.tenant_names()[self.id.index]
+    }
+
+    /// See [`MultiEngine::infer`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultiEngine::infer`].
+    pub fn infer(self, input: Tensor) -> Result<Inference, RuntimeError> {
+        self.engine.infer(self.id, input)
+    }
+
+    /// See [`MultiEngine::try_infer`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultiEngine::try_infer`].
+    pub fn try_infer(self, input: Tensor) -> Result<Pending, RuntimeError> {
+        self.engine.try_infer(self.id, input)
+    }
+
+    /// See [`MultiEngine::infer_many`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultiEngine::infer_many`].
+    #[allow(clippy::type_complexity)]
+    pub fn infer_many(
+        self,
+        inputs: Vec<Tensor>,
+    ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
+        self.engine.infer_many(self.id, inputs)
+    }
+
+    /// See [`MultiEngine::tenant_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultiEngine::tenant_stats`].
+    pub fn stats(self) -> Result<RuntimeStats, RuntimeError> {
+        self.engine.tenant_stats(self.id)
+    }
+}

@@ -8,6 +8,7 @@ use epim_core::{ConvShape, EpitomeDesigner, EpitomeSpec};
 use epim_models::lower::NetworkWeights;
 use epim_models::network::{Network, OperatorChoice};
 use epim_models::resnet::{Backbone, LayerInfo};
+use epim_models::zoo;
 use epim_pim::datapath::{AnalogModel, DataPathStats};
 use epim_runtime::{
     EngineConfig, FlowControl, NetworkEngine, NetworkPlan, PlanCache, RuntimeError,
@@ -18,37 +19,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn layer(name: &str, conv: ConvShape, res: usize) -> LayerInfo {
-    LayerInfo { name: name.to_string(), conv, out_h: res, out_w: res }
-}
-
-/// A tiny ResNet-style backbone at 16×16 input: stem, pooled entry, a
-/// projection-shortcut block, an identity-shortcut block, classifier.
-fn tiny_resnet_backbone() -> Backbone {
-    Backbone {
-        name: "tiny-resnet".to_string(),
-        layers: vec![
-            layer("stem.conv1", ConvShape::new(8, 3, 3, 3), 8),
-            layer("stage1.block0.conv1", ConvShape::new(4, 8, 1, 1), 4),
-            layer("stage1.block0.conv2", ConvShape::new(4, 4, 3, 3), 4),
-            layer("stage1.block0.conv3", ConvShape::new(16, 4, 1, 1), 4),
-            layer("stage1.block0.downsample", ConvShape::new(16, 8, 1, 1), 4),
-            layer("stage1.block1.conv1", ConvShape::new(4, 16, 1, 1), 4),
-            layer("stage1.block1.conv2", ConvShape::new(4, 4, 3, 3), 4),
-            layer("stage1.block1.conv3", ConvShape::new(16, 4, 1, 1), 4),
-            layer("fc", ConvShape::new(10, 16, 1, 1), 1),
-        ],
+    LayerInfo {
+        name: name.to_string(),
+        conv,
+        out_h: res,
+        out_w: res,
     }
 }
 
-/// The tiny ResNet with its two 3×3 convolutions replaced by a shared
-/// epitome spec (so the plan cache can pay off across layers).
+/// The zoo's tiny ResNet (stem 8, inner width 4, 10 classes) with its two
+/// 3×3 convolutions replaced by a shared epitome spec (so the plan cache
+/// can pay off across layers).
 fn tiny_resnet_network() -> (Network, EpitomeSpec) {
-    let bb = tiny_resnet_backbone();
-    let spec = EpitomeDesigner::new(16, 16).design(bb.layers[2].conv, 18, 2).unwrap();
-    let mut net = Network::baseline(bb);
-    net.set_choice(2, OperatorChoice::Epitome(spec.clone())).unwrap();
-    net.set_choice(6, OperatorChoice::Epitome(spec.clone())).unwrap();
-    (net, spec)
+    zoo::tiny_epitome_network(8, 4, 10).unwrap()
 }
 
 /// Serves `requests` through a fresh engine and checks outputs and stats
@@ -73,8 +56,7 @@ fn assert_serves_like_reference(
         .collect();
 
     let cache = PlanCache::new();
-    let engine =
-        NetworkEngine::new(&cache, net, weights, input_hw, true, analog, config).unwrap();
+    let engine = NetworkEngine::new(&cache, net, weights, input_hw, true, analog, config).unwrap();
     let results = engine.infer_many(requests).unwrap();
     for (i, (res, w)) in results.iter().zip(&want).enumerate() {
         let inference = res.as_ref().expect("inference succeeds");
@@ -82,7 +64,10 @@ fn assert_serves_like_reference(
     }
     let stats = engine.stats();
     assert_eq!(stats.requests, want.len() as u64);
-    assert_eq!(stats.datapath, want_stats, "stats rollup diverged from sequential reference");
+    assert_eq!(
+        stats.datapath, want_stats,
+        "stats rollup diverged from sequential reference"
+    );
 }
 
 /// The tentpole invariant on the ResNet-style network: a burst served
@@ -91,16 +76,25 @@ fn assert_serves_like_reference(
 fn resnet_style_network_serves_bit_identically() {
     let (net, _) = tiny_resnet_network();
     let weights = NetworkWeights::random(&net, 11).unwrap();
-    let analog = AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
     let mut r = rng::seeded(12);
-    let requests: Vec<Tensor> =
-        (0..8).map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r)).collect();
+    let requests: Vec<Tensor> = (0..8)
+        .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+        .collect();
     assert_serves_like_reference(
         &net,
         &weights,
         (16, 16),
         analog,
-        EngineConfig { max_batch: 4, batch_window: Duration::from_millis(20), ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 4,
+            batch_window: Duration::from_millis(20),
+            ..EngineConfig::default()
+        },
         requests,
     );
 }
@@ -210,8 +204,7 @@ fn warmed_cache_compiles_with_zero_misses() {
     assert_eq!(misses_after_warm, 1);
 
     let plan = Arc::new(
-        NetworkPlan::compile(&cache, &net, &weights, (16, 16), true, AnalogModel::ideal())
-            .unwrap(),
+        NetworkPlan::compile(&cache, &net, &weights, (16, 16), true, AnalogModel::ideal()).unwrap(),
     );
     assert_eq!(
         cache.stats().misses,
@@ -221,8 +214,7 @@ fn warmed_cache_compiles_with_zero_misses() {
     assert_eq!(plan.program().epitome_specs(), vec![&spec]);
 
     // The engine reports the shared cache's counters.
-    let engine =
-        NetworkEngine::from_plan(plan, &cache, EngineConfig::default()).unwrap();
+    let engine = NetworkEngine::from_plan(plan, &cache, EngineConfig::default()).unwrap();
     let stats = engine.stats();
     assert_eq!(stats.plan_cache.misses, misses_after_warm);
     assert_eq!(stats.plan_cache.entries, 1);
@@ -248,7 +240,9 @@ fn shed_policy_rejects_under_load() {
             // the scheduler waits for the batch to fill.
             batch_window: Duration::from_millis(400),
             queue_capacity: 2,
-            flow: FlowControl::Shed { timeout: Duration::from_millis(10) },
+            flow: FlowControl::Shed {
+                timeout: Duration::from_millis(10),
+            },
             workers: 1,
         },
     )
@@ -270,17 +264,27 @@ fn shed_policy_rejects_under_load() {
         std::thread::sleep(Duration::from_millis(100));
         // The queue is full: try_infer sheds immediately...
         let shed = engine.try_infer(x());
-        assert!(matches!(shed, Err(RuntimeError::Overloaded { capacity: 2 })), "{shed:?}");
+        assert!(
+            matches!(shed, Err(RuntimeError::Overloaded { capacity: 2, .. })),
+            "{shed:?}"
+        );
         // ...and a blocking infer under the Shed policy gives up after its
         // timeout instead of waiting forever.
         let shed = engine.infer(x());
-        assert!(matches!(shed, Err(RuntimeError::Overloaded { .. })), "{shed:?}");
+        assert!(
+            matches!(shed, Err(RuntimeError::Overloaded { .. })),
+            "{shed:?}"
+        );
         // The queued requests still complete once the window expires.
         assert!(h1.join().unwrap().is_ok());
         assert!(h2.join().unwrap().is_ok());
     });
     let stats = engine.stats();
-    assert!(stats.shed >= 2, "shed counter must record rejections, got {}", stats.shed);
+    assert!(
+        stats.shed >= 2,
+        "shed counter must record rejections, got {}",
+        stats.shed
+    );
     assert_eq!(stats.requests, 2);
     assert_eq!(stats.queue_depth, 0);
 }
@@ -347,24 +351,46 @@ fn invalid_configs_rejected_with_typed_errors() {
         )
     };
     for bad in [
-        EngineConfig { max_batch: 0, ..EngineConfig::default() },
-        EngineConfig { queue_capacity: 0, ..EngineConfig::default() },
-        EngineConfig { workers: 0, ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 0,
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            queue_capacity: 0,
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            workers: 0,
+            ..EngineConfig::default()
+        },
     ] {
-        assert!(matches!(make(bad), Err(RuntimeError::InvalidConfig { .. })), "{bad:?}");
+        assert!(
+            matches!(make(bad), Err(RuntimeError::InvalidConfig { .. })),
+            "{bad:?}"
+        );
     }
 
     // A burst larger than the queue can ever hold fails whole.
-    let engine =
-        make(EngineConfig { queue_capacity: 2, ..EngineConfig::default() }).unwrap();
+    let engine = make(EngineConfig {
+        queue_capacity: 2,
+        ..EngineConfig::default()
+    })
+    .unwrap();
     let mut r = rng::seeded(62);
-    let burst: Vec<Tensor> =
-        (0..3).map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r)).collect();
-    assert!(matches!(engine.infer_many(burst), Err(RuntimeError::InvalidConfig { .. })));
+    let burst: Vec<Tensor> = (0..3)
+        .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+        .collect();
+    assert!(matches!(
+        engine.infer_many(burst),
+        Err(RuntimeError::InvalidConfig { .. })
+    ));
 
     // Bad requests fail alone without poisoning the engine.
     let wrong_channels = Tensor::zeros(&[1, 5, 16, 16]);
-    assert!(matches!(engine.infer(wrong_channels), Err(RuntimeError::Pim(_))));
+    assert!(matches!(
+        engine.infer(wrong_channels),
+        Err(RuntimeError::Pim(_))
+    ));
     let good = init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r);
     assert!(engine.infer(good).is_ok());
 }
@@ -382,14 +408,18 @@ fn try_infer_pending_delivers() {
         (16, 16),
         true,
         AnalogModel::ideal(),
-        EngineConfig { batch_window: Duration::ZERO, ..EngineConfig::default() },
+        EngineConfig {
+            batch_window: Duration::ZERO,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     let mut r = rng::seeded(72);
     let x = init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r);
     let prog = net.lower(16, 16).unwrap();
-    let (want, _) =
-        prog.forward_reference(&weights, true, AnalogModel::ideal(), &x).unwrap();
+    let (want, _) = prog
+        .forward_reference(&weights, true, AnalogModel::ideal(), &x)
+        .unwrap();
     let pending = engine.try_infer(x).unwrap();
     assert_eq!(pending.wait().unwrap().output, want);
 }

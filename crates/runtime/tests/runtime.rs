@@ -10,8 +10,7 @@ use epim_tensor::{init, rng, Tensor};
 use std::time::Duration;
 
 fn test_epitome(seed: u64) -> Epitome {
-    let spec =
-        EpitomeSpec::new(ConvShape::new(8, 4, 3, 3), EpitomeShape::new(4, 4, 2, 2)).unwrap();
+    let spec = EpitomeSpec::new(ConvShape::new(8, 4, 3, 3), EpitomeShape::new(4, 4, 2, 2)).unwrap();
     let mut r = rng::seeded(seed);
     let data = init::uniform(&[4, 4, 2, 2], -1.0, 1.0, &mut r);
     Epitome::from_tensor(spec, data).unwrap()
@@ -19,8 +18,15 @@ fn test_epitome(seed: u64) -> Epitome {
 
 fn test_engine(seed: u64, config: EngineConfig) -> (Engine, DataPath) {
     let epi = test_epitome(seed);
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
-    let analog = AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
     let dp = DataPath::with_analog(&epi, cfg, true, analog).unwrap();
     let engine = Engine::new(&epi, cfg, true, analog, config).unwrap();
     (engine, dp)
@@ -34,12 +40,17 @@ fn test_engine(seed: u64, config: EngineConfig) -> (Engine, DataPath) {
 fn concurrent_submissions_match_sequential_execute() {
     let (engine, dp) = test_engine(
         1,
-        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(5), ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 8,
+            batch_window: Duration::from_millis(5),
+            ..EngineConfig::default()
+        },
     );
     let mut r = rng::seeded(2);
     const N: usize = 24;
-    let inputs: Vec<Tensor> =
-        (0..N).map(|_| init::uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r)).collect();
+    let inputs: Vec<Tensor> = (0..N)
+        .map(|_| init::uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r))
+        .collect();
 
     // Sequential ground truth.
     let mut want_stats = DataPathStats::default();
@@ -69,7 +80,10 @@ fn concurrent_submissions_match_sequential_execute() {
     }
     let stats = engine.stats();
     assert_eq!(stats.requests, N as u64);
-    assert_eq!(stats.datapath, want_stats, "stats rollup diverged from sequential execution");
+    assert_eq!(
+        stats.datapath, want_stats,
+        "stats rollup diverged from sequential execution"
+    );
     assert!(stats.batches <= N as u64);
     let histogram_total: u64 = stats
         .batch_histogram
@@ -86,11 +100,16 @@ fn concurrent_submissions_match_sequential_execute() {
 fn burst_coalesces_into_full_batches() {
     let (engine, dp) = test_engine(
         3,
-        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(50), ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 8,
+            batch_window: Duration::from_millis(50),
+            ..EngineConfig::default()
+        },
     );
     let mut r = rng::seeded(4);
-    let inputs: Vec<Tensor> =
-        (0..16).map(|_| init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r)).collect();
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|_| init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r))
+        .collect();
     let results = engine.infer_many(inputs.clone()).unwrap();
     for (x, res) in inputs.iter().zip(&results) {
         let inference = res.as_ref().unwrap();
@@ -113,7 +132,11 @@ fn burst_coalesces_into_full_batches() {
 fn diverging_shapes_group_separately() {
     let (engine, dp) = test_engine(
         5,
-        EngineConfig { max_batch: 8, batch_window: Duration::from_millis(20), ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 8,
+            batch_window: Duration::from_millis(20),
+            ..EngineConfig::default()
+        },
     );
     let mut r = rng::seeded(6);
     let inputs: Vec<Tensor> = (0..12)
@@ -138,7 +161,11 @@ fn diverging_shapes_group_separately() {
 fn bad_request_fails_alone() {
     let (engine, dp) = test_engine(
         7,
-        EngineConfig { max_batch: 4, batch_window: Duration::from_millis(20), ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 4,
+            batch_window: Duration::from_millis(20),
+            ..EngineConfig::default()
+        },
     );
     let mut r = rng::seeded(8);
     let good = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut r);
@@ -155,7 +182,10 @@ fn bad_request_fails_alone() {
 fn engines_share_cached_plans() {
     let cache = PlanCache::new();
     let epi = test_epitome(9);
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
     let make = || {
         Engine::with_cache(
             &cache,
@@ -194,11 +224,15 @@ fn engines_share_cached_plans() {
     };
     let mut net = Network::baseline(backbone);
     for i in 0..3 {
-        net.set_choice(i, OperatorChoice::Epitome(spec.clone())).unwrap();
+        net.set_choice(i, OperatorChoice::Epitome(spec.clone()))
+            .unwrap();
     }
     let plans = cache.warm_network(&net).unwrap();
     assert_eq!(plans.len(), 3);
-    assert_eq!(plans.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1, 2]);
+    assert_eq!(
+        plans.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
     // All warmed layers share the single cached allocation — and it is the
     // same plan the engines above already compiled for this spec.
     for (_, plan) in &plans {
@@ -214,7 +248,11 @@ fn engines_share_cached_plans() {
 fn drop_joins_batcher() {
     let (engine, _) = test_engine(
         10,
-        EngineConfig { max_batch: 4, batch_window: Duration::from_millis(1), ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 4,
+            batch_window: Duration::from_millis(1),
+            ..EngineConfig::default()
+        },
     );
     let mut r = rng::seeded(11);
     for _ in 0..3 {

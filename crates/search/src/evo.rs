@@ -125,21 +125,28 @@ impl EvoSearch {
             }
         }
         if cfg.population == 0 || cfg.iterations == 0 {
-            return Err(SearchError::invalid("population and iterations must be nonzero"));
+            return Err(SearchError::invalid(
+                "population and iterations must be nonzero",
+            ));
         }
         if !(0.0..=1.0).contains(&cfg.mutation_rate) || !(0.0..=1.0).contains(&cfg.parent_fraction)
         {
             return Err(SearchError::invalid("rates must be within [0, 1]"));
         }
-        Ok(EvoSearch { layers, model, precision, cfg })
+        Ok(EvoSearch {
+            layers,
+            model,
+            precision,
+            cfg,
+        })
     }
 
     /// The design-space size `N^l` (saturating; the paper quotes
     /// 20,676,608 for its ResNet-50 problem).
     pub fn design_space(&self) -> u128 {
-        self.layers
-            .iter()
-            .fold(1u128, |acc, l| acc.saturating_mul(l.candidates.len() as u128))
+        self.layers.iter().fold(1u128, |acc, l| {
+            acc.saturating_mul(l.candidates.len() as u128)
+        })
     }
 
     /// Evaluates one genome: summed layer costs and the Eq. 6 reward.
@@ -147,14 +154,20 @@ impl EvoSearch {
         let mut total: Option<LayerCosts> = None;
         for (layer, &gi) in self.layers.iter().zip(genome) {
             let spec = &layer.candidates[gi];
-            let c = self.model.epitome_layer(spec, layer.out_pixels, self.precision);
+            let c = self
+                .model
+                .epitome_layer(spec, layer.out_pixels, self.precision);
             total = Some(match total {
                 Some(t) => t.combine(&c),
                 None => c,
             });
         }
         let costs = total.expect("at least one layer");
-        let m = if costs.crossbars > self.cfg.crossbar_budget { 0.0 } else { 1.0 };
+        let m = if costs.crossbars > self.cfg.crossbar_budget {
+            0.0
+        } else {
+            1.0
+        };
         let metric = match self.cfg.objective {
             Objective::Latency => costs.latency_ns,
             Objective::Energy => costs.energy_pj,
@@ -202,7 +215,10 @@ impl EvoSearch {
             );
         }
 
-        let mut trace = SearchTrace { best_rewards: Vec::new(), feasible_counts: Vec::new() };
+        let mut trace = SearchTrace {
+            best_rewards: Vec::new(),
+            feasible_counts: Vec::new(),
+        };
         let mut best: Option<BestDesign> = None;
 
         for _iter in 0..self.cfg.iterations {
@@ -221,22 +237,31 @@ impl EvoSearch {
 
             // Line 9: select parents by reward.
             scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-            let n_parents =
-                ((self.cfg.population as f64 * self.cfg.parent_fraction).ceil() as usize)
-                    .clamp(1, scored.len());
+            let n_parents = ((self.cfg.population as f64 * self.cfg.parent_fraction).ceil()
+                as usize)
+                .clamp(1, scored.len());
 
-            if best.as_ref().map(|b| scored[0].2 > b.reward).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|b| scored[0].2 > b.reward)
+                .unwrap_or(true)
+            {
                 best = Some(BestDesign {
                     genome: scored[0].0.clone(),
                     reward: scored[0].2,
                     costs: scored[0].1,
                 });
             }
-            trace.best_rewards.push(best.as_ref().map(|b| b.reward).unwrap_or(0.0));
+            trace
+                .best_rewards
+                .push(best.as_ref().map(|b| b.reward).unwrap_or(0.0));
 
             // Lines 11-14: keep parents, refill with mutated children.
-            let parents: Vec<Vec<usize>> =
-                scored.iter().take(n_parents).map(|(g, _, _)| g.clone()).collect();
+            let parents: Vec<Vec<usize>> = scored
+                .iter()
+                .take(n_parents)
+                .map(|(g, _, _)| g.clone())
+                .collect();
             population.extend(parents.iter().cloned());
             let mut pi = 0usize;
             while population.len() < self.cfg.population {
@@ -271,11 +296,7 @@ impl EvoSearch {
 
 /// Uniform random search over the same problem — the sanity baseline the
 /// evolution must beat (or match on tiny spaces).
-pub fn random_search(
-    search: &EvoSearch,
-    samples: usize,
-    seed: u64,
-) -> BestDesign {
+pub fn random_search(search: &EvoSearch, samples: usize, seed: u64) -> BestDesign {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut best: Option<BestDesign> = None;
     for _ in 0..samples.max(1) {
@@ -286,7 +307,11 @@ pub fn random_search(
             .collect();
         let (costs, reward) = search.evaluate(&genome);
         if best.as_ref().map(|b| reward > b.reward).unwrap_or(true) {
-            best = Some(BestDesign { genome, reward, costs });
+            best = Some(BestDesign {
+                genome,
+                reward,
+                costs,
+            });
         }
     }
     best.expect("samples >= 1")
@@ -323,10 +348,21 @@ mod tests {
         layers[0].candidates.clear();
         assert!(EvoSearch::new(layers, CostModel::default(), Precision::new(9, 9), cfg).is_err());
         let layers = problem(1);
-        let bad = SearchConfig { population: 0, ..cfg };
-        assert!(EvoSearch::new(layers.clone(), CostModel::default(), Precision::new(9, 9), bad)
-            .is_err());
-        let bad = SearchConfig { mutation_rate: 2.0, ..cfg };
+        let bad = SearchConfig {
+            population: 0,
+            ..cfg
+        };
+        assert!(EvoSearch::new(
+            layers.clone(),
+            CostModel::default(),
+            Precision::new(9, 9),
+            bad
+        )
+        .is_err());
+        let bad = SearchConfig {
+            mutation_rate: 2.0,
+            ..cfg
+        };
         assert!(EvoSearch::new(layers, CostModel::default(), Precision::new(9, 9), bad).is_err());
     }
 
@@ -340,15 +376,25 @@ mod tests {
             out_pixels: 10,
             candidates: d.candidates(conv_b).unwrap(),
         }];
-        assert!(
-            EvoSearch::new(layers, CostModel::default(), Precision::new(9, 9),
-                SearchConfig::default()).is_err()
-        );
+        assert!(EvoSearch::new(
+            layers,
+            CostModel::default(),
+            Precision::new(9, 9),
+            SearchConfig::default()
+        )
+        .is_err());
     }
 
     #[test]
     fn best_reward_non_decreasing() {
-        let s = search(problem(6), SearchConfig { iterations: 20, seed: 3, ..Default::default() });
+        let s = search(
+            problem(6),
+            SearchConfig {
+                iterations: 20,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let (_, trace) = s.run_traced();
         for w in trace.best_rewards.windows(2) {
             assert!(w[1] >= w[0], "elitism violated: {:?}", trace.best_rewards);
@@ -357,7 +403,11 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SearchConfig { iterations: 8, seed: 7, ..Default::default() };
+        let cfg = SearchConfig {
+            iterations: 8,
+            seed: 7,
+            ..Default::default()
+        };
         let a = search(problem(4), cfg).run();
         let b = search(problem(4), cfg).run();
         assert_eq!(a.genome, b.genome);
@@ -367,12 +417,20 @@ mod tests {
     #[test]
     fn budget_indicator_zeroes_reward() {
         // An impossible budget makes every design infeasible: reward 0.
-        let cfg = SearchConfig { crossbar_budget: 0, iterations: 3, ..Default::default() };
+        let cfg = SearchConfig {
+            crossbar_budget: 0,
+            iterations: 3,
+            ..Default::default()
+        };
         let s = search(problem(2), cfg);
         let best = s.run();
         assert_eq!(best.reward, 0.0);
         // A generous budget yields positive reward.
-        let cfg = SearchConfig { crossbar_budget: usize::MAX, iterations: 3, ..Default::default() };
+        let cfg = SearchConfig {
+            crossbar_budget: usize::MAX,
+            iterations: 3,
+            ..Default::default()
+        };
         let best = search(problem(2), cfg).run();
         assert!(best.reward > 0.0);
         assert!(best.costs.crossbars > 0);
@@ -384,7 +442,11 @@ mod tests {
         let s = search(problem(4), SearchConfig::default());
         let unconstrained = s.run();
         let budget = unconstrained.costs.crossbars + 50;
-        let cfg = SearchConfig { crossbar_budget: budget, iterations: 15, ..Default::default() };
+        let cfg = SearchConfig {
+            crossbar_budget: budget,
+            iterations: 15,
+            ..Default::default()
+        };
         let best = search(problem(4), cfg).run();
         assert!(best.costs.crossbars <= budget);
         assert!(best.reward > 0.0);
@@ -394,7 +456,11 @@ mod tests {
     fn evolution_beats_or_matches_its_own_first_generation() {
         let s = search(
             problem(8),
-            SearchConfig { iterations: 25, seed: 11, ..Default::default() },
+            SearchConfig {
+                iterations: 25,
+                seed: 11,
+                ..Default::default()
+            },
         );
         let (_, trace) = s.run_traced();
         let first = trace.best_rewards.first().unwrap();
@@ -406,13 +472,22 @@ mod tests {
 
     #[test]
     fn evolution_competitive_with_random_at_equal_evals() {
-        let cfg = SearchConfig { iterations: 20, population: 24, seed: 5, ..Default::default() };
+        let cfg = SearchConfig {
+            iterations: 20,
+            population: 24,
+            seed: 5,
+            ..Default::default()
+        };
         let s = search(problem(8), cfg);
         let evo = s.run();
         let rand_best = random_search(&s, 20 * 24, 5);
         // Evolution must be at least as good (allow tiny numerical slack).
-        assert!(evo.reward >= rand_best.reward * 0.98,
-            "evo {} rand {}", evo.reward, rand_best.reward);
+        assert!(
+            evo.reward >= rand_best.reward * 0.98,
+            "evo {} rand {}",
+            evo.reward,
+            rand_best.reward
+        );
     }
 
     #[test]
@@ -431,10 +506,18 @@ mod tests {
         };
         let lat = mk(Objective::Latency);
         let en = mk(Objective::Energy);
-        assert!(lat.costs.latency_ns <= en.costs.latency_ns * 1.10,
-            "lat-opt {} vs energy-opt {}", lat.costs.latency_ns, en.costs.latency_ns);
-        assert!(en.costs.energy_pj <= lat.costs.energy_pj * 1.10,
-            "energy-opt {} vs lat-opt {}", en.costs.energy_pj, lat.costs.energy_pj);
+        assert!(
+            lat.costs.latency_ns <= en.costs.latency_ns * 1.10,
+            "lat-opt {} vs energy-opt {}",
+            lat.costs.latency_ns,
+            en.costs.latency_ns
+        );
+        assert!(
+            en.costs.energy_pj <= lat.costs.energy_pj * 1.10,
+            "energy-opt {} vs lat-opt {}",
+            en.costs.energy_pj,
+            lat.costs.energy_pj
+        );
     }
 
     #[test]
@@ -451,7 +534,13 @@ mod tests {
 
     #[test]
     fn evaluate_consistent_with_run() {
-        let s = search(problem(3), SearchConfig { iterations: 5, ..Default::default() });
+        let s = search(
+            problem(3),
+            SearchConfig {
+                iterations: 5,
+                ..Default::default()
+            },
+        );
         let best = s.run();
         let (costs, reward) = s.evaluate(&best.genome);
         assert_eq!(costs, best.costs);

@@ -96,7 +96,11 @@ pub fn blobs(classes: usize, channels: usize, size: usize, per_class: u32, seed:
         }
     }
     shuffle_in_unison(&mut images, &mut labels, seed ^ 0x5eed);
-    Dataset { images, labels, classes }
+    Dataset {
+        images,
+        labels,
+        classes,
+    }
 }
 
 /// Striped-texture dataset: class `k` has stripes of period `k + 2` —
@@ -127,7 +131,11 @@ pub fn stripes(classes: usize, size: usize, per_class: u32, seed: u64) -> Datase
         }
     }
     shuffle_in_unison(&mut images, &mut labels, seed ^ 0x57121e);
-    Dataset { images, labels, classes }
+    Dataset {
+        images,
+        labels,
+        classes,
+    }
 }
 
 fn shuffle_in_unison(images: &mut Tensor, labels: &mut [usize], seed: u64) {

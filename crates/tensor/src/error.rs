@@ -42,11 +42,19 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeMismatch { expected, actual, op } => write!(
+            TensorError::ShapeMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
                 f,
                 "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
             ),
-            TensorError::RankMismatch { expected, actual, op } => write!(
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
                 f,
                 "rank mismatch in {op}: expected rank {expected}, got rank {actual}"
             ),
@@ -81,8 +89,15 @@ mod tests {
                 actual: vec![3, 2],
                 op: "matmul",
             },
-            TensorError::RankMismatch { expected: 4, actual: 2, op: "conv2d" },
-            TensorError::OutOfBounds { index: vec![9], shape: vec![3] },
+            TensorError::RankMismatch {
+                expected: 4,
+                actual: 2,
+                op: "conv2d",
+            },
+            TensorError::OutOfBounds {
+                index: vec![9],
+                shape: vec![3],
+            },
             TensorError::invalid("stride must be nonzero"),
         ];
         for e in errs {

@@ -67,6 +67,9 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = rng::seeded(9);
         let mut b = rng::seeded(9);
-        assert_eq!(kaiming_normal(&[4, 4], &mut a), kaiming_normal(&[4, 4], &mut b));
+        assert_eq!(
+            kaiming_normal(&[4, 4], &mut a),
+            kaiming_normal(&[4, 4], &mut b)
+        );
     }
 }

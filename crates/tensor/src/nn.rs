@@ -126,7 +126,10 @@ impl Conv2d {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shape changes.
     pub fn set_weight(&mut self, w: Tensor) -> Result<(), TensorError> {
-        self.weight.value.shape_obj().ensure_same(w.shape_obj(), "set_weight")?;
+        self.weight
+            .value
+            .shape_obj()
+            .ensure_same(w.shape_obj(), "set_weight")?;
         self.weight.value = w;
         Ok(())
     }
@@ -208,7 +211,10 @@ pub struct AvgPool {
 impl AvgPool {
     /// Creates an average-pooling layer.
     pub fn new(window: usize, stride: usize) -> Self {
-        AvgPool { cfg: PoolCfg::new(window, stride), cached_shape: None }
+        AvgPool {
+            cfg: PoolCfg::new(window, stride),
+            cached_shape: None,
+        }
     }
 }
 
@@ -227,7 +233,10 @@ impl Layer for AvgPool {
     }
 
     fn describe(&self) -> String {
-        format!("AvgPool(window {}, stride {})", self.cfg.window, self.cfg.stride)
+        format!(
+            "AvgPool(window {}, stride {})",
+            self.cfg.window, self.cfg.stride
+        )
     }
 }
 
@@ -306,7 +315,11 @@ impl Layer for Linear {
     }
 
     fn describe(&self) -> String {
-        format!("Linear({} -> {})", self.weight.value.shape()[1], self.weight.value.shape()[0])
+        format!(
+            "Linear({} -> {})",
+            self.weight.value.shape()[1],
+            self.weight.value.shape()[0]
+        )
     }
 }
 
@@ -397,7 +410,10 @@ impl Sequential {
 
     /// All trainable parameters across layers.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zeroes all parameter gradients.
@@ -409,7 +425,11 @@ impl Sequential {
 
     /// One-line summary of the stack.
     pub fn describe(&self) -> String {
-        self.layers.iter().map(|l| l.describe()).collect::<Vec<_>>().join(" -> ")
+        self.layers
+            .iter()
+            .map(|l| l.describe())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     }
 }
 
@@ -426,7 +446,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update step to `params`.
@@ -436,7 +460,10 @@ impl Sgd {
     /// Returns a shape error if a parameter changed shape between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) -> Result<(), TensorError> {
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
             if self.momentum > 0.0 {
@@ -497,8 +524,7 @@ pub fn train_epoch(
         let bsz = end - start;
         let mut shape = images.shape().to_vec();
         shape[0] = bsz;
-        let batch =
-            Tensor::from_vec(images.data()[start * per..end * per].to_vec(), &shape)?;
+        let batch = Tensor::from_vec(images.data()[start * per..end * per].to_vec(), &shape)?;
         let batch_labels = &labels[start..end];
 
         net.zero_grad();
@@ -512,7 +538,10 @@ pub fn train_epoch(
         batches += 1;
         start = end;
     }
-    Ok(EpochStats { loss: total_loss / batches as f32, accuracy: total_acc / batches as f32 })
+    Ok(EpochStats {
+        loss: total_loss / batches as f32,
+        accuracy: total_acc / batches as f32,
+    })
 }
 
 /// Evaluates `net` and returns `(loss, accuracy)` without updating weights.
@@ -527,7 +556,10 @@ pub fn evaluate(
 ) -> Result<EpochStats, TensorError> {
     let logits = net.forward(images)?;
     let out = cross_entropy(&logits, labels)?;
-    Ok(EpochStats { loss: out.loss, accuracy: out.accuracy })
+    Ok(EpochStats {
+        loss: out.loss,
+        accuracy: out.accuracy,
+    })
 }
 
 /// Builds a small CNN classifier: conv-relu-pool ×2, then linear head.
@@ -536,10 +568,28 @@ pub fn evaluate(
 pub fn small_cnn(c_in: usize, size: usize, classes: usize, seed: u64) -> Sequential {
     let mut r = rng::seeded(seed);
     let mut net = Sequential::new();
-    net.push(Conv2d::new(c_in, 8, 3, Conv2dCfg { stride: 1, padding: 1 }, &mut r));
+    net.push(Conv2d::new(
+        c_in,
+        8,
+        3,
+        Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        },
+        &mut r,
+    ));
     net.push(Relu::new());
     net.push(AvgPool::new(2, 2));
-    net.push(Conv2d::new(8, 16, 3, Conv2dCfg { stride: 1, padding: 1 }, &mut r));
+    net.push(Conv2d::new(
+        8,
+        16,
+        3,
+        Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        },
+        &mut r,
+    ));
     net.push(Relu::new());
     net.push(AvgPool::new(2, 2));
     net.push(Flatten::new());
@@ -599,7 +649,10 @@ mod tests {
         let ds = blobs(4, 1, 8, 40, 7);
         let mut net = small_cnn(1, 8, 4, 1);
         let mut opt = Sgd::new(0.05, 0.9);
-        let mut last = EpochStats { loss: f32::INFINITY, accuracy: 0.0 };
+        let mut last = EpochStats {
+            loss: f32::INFINITY,
+            accuracy: 0.0,
+        };
         for _ in 0..15 {
             last = train_epoch(&mut net, &mut opt, &ds.images, &ds.labels, 16).unwrap();
         }

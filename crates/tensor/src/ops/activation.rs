@@ -28,7 +28,11 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
 /// Returns a rank error for non-matrices.
 pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     if x.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: x.rank(), op: "softmax" });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: x.rank(),
+            op: "softmax",
+        });
     }
     let (n, k) = (x.shape()[0], x.shape()[1]);
     let mut out = x.clone();

@@ -23,7 +23,10 @@ pub struct Conv2dCfg {
 
 impl Default for Conv2dCfg {
     fn default() -> Self {
-        Conv2dCfg { stride: 1, padding: 0 }
+        Conv2dCfg {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
@@ -75,7 +78,11 @@ pub fn kx_run(ox: usize, kw: usize, w: usize, cfg: Conv2dCfg) -> (usize, usize, 
     let kx_end = (w + cfg.padding).saturating_sub(base).min(kw).max(kx_start);
     // ix0 is meaningless (and unused) for empty runs; saturate to avoid
     // underflow when the whole kernel row falls in the padding.
-    (kx_start, kx_end, (base + kx_start).saturating_sub(cfg.padding))
+    (
+        kx_start,
+        kx_end,
+        (base + kx_start).saturating_sub(cfg.padding),
+    )
 }
 
 /// Fills one output pixel's receptive field (`dst`, zeroing padding).
@@ -161,7 +168,11 @@ fn copy_receptive_runs(
 /// Propagates geometry errors from [`conv2d_out_dims`] and rank errors.
 pub fn im2col(x: &Tensor, kh: usize, kw: usize, cfg: Conv2dCfg) -> Result<Tensor, TensorError> {
     if x.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "im2col" });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.rank(),
+            op: "im2col",
+        });
     }
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
@@ -185,7 +196,11 @@ pub fn im2col(x: &Tensor, kh: usize, kw: usize, cfg: Conv2dCfg) -> Result<Tensor
     };
 
     // Below the copy floor, one chunk == fully serial (no thread dispatch).
-    let chunk_rows = if out.len() < PARALLEL_COPY_FLOOR { rows.max(1) } else { ow.max(1) };
+    let chunk_rows = if out.len() < PARALLEL_COPY_FLOOR {
+        rows.max(1)
+    } else {
+        ow.max(1)
+    };
     epim_parallel::for_each_chunk_mut(&mut out, chunk_rows * cols, |chunk_idx, chunk| {
         fill_rows(chunk_idx * chunk_rows, chunk);
     });
@@ -269,7 +284,11 @@ fn check_conv_operands(
     bias: Option<&Tensor>,
 ) -> Result<(), TensorError> {
     if x.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "conv2d" });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.rank(),
+            op: "conv2d",
+        });
     }
     if weight.rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -535,11 +554,50 @@ mod tests {
 
     #[test]
     fn out_dims_basic() {
-        assert_eq!(conv2d_out_dims(8, 8, 3, 3, Conv2dCfg { stride: 1, padding: 1 }).unwrap(), (8, 8));
-        assert_eq!(conv2d_out_dims(8, 8, 3, 3, Conv2dCfg { stride: 2, padding: 1 }).unwrap(), (4, 4));
-        assert_eq!(conv2d_out_dims(7, 7, 1, 1, Conv2dCfg::default()).unwrap(), (7, 7));
+        assert_eq!(
+            conv2d_out_dims(
+                8,
+                8,
+                3,
+                3,
+                Conv2dCfg {
+                    stride: 1,
+                    padding: 1
+                }
+            )
+            .unwrap(),
+            (8, 8)
+        );
+        assert_eq!(
+            conv2d_out_dims(
+                8,
+                8,
+                3,
+                3,
+                Conv2dCfg {
+                    stride: 2,
+                    padding: 1
+                }
+            )
+            .unwrap(),
+            (4, 4)
+        );
+        assert_eq!(
+            conv2d_out_dims(7, 7, 1, 1, Conv2dCfg::default()).unwrap(),
+            (7, 7)
+        );
         assert!(conv2d_out_dims(4, 4, 5, 5, Conv2dCfg::default()).is_err());
-        assert!(conv2d_out_dims(4, 4, 3, 3, Conv2dCfg { stride: 0, padding: 0 }).is_err());
+        assert!(conv2d_out_dims(
+            4,
+            4,
+            3,
+            3,
+            Conv2dCfg {
+                stride: 0,
+                padding: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -548,9 +606,18 @@ mod tests {
         let x = crate::init::uniform(&[2, 3, 7, 7], -1.0, 1.0, &mut r);
         let w = crate::init::uniform(&[4, 3, 3, 3], -1.0, 1.0, &mut r);
         for cfg in [
-            Conv2dCfg { stride: 1, padding: 0 },
-            Conv2dCfg { stride: 1, padding: 1 },
-            Conv2dCfg { stride: 2, padding: 1 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 0,
+            },
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
+            Conv2dCfg {
+                stride: 2,
+                padding: 1,
+            },
         ] {
             let got = conv2d(&x, &w, None, cfg).unwrap();
             let want = direct_conv(&x, &w, cfg);
@@ -565,10 +632,22 @@ mod tests {
         let w = crate::init::uniform(&[5, 3, 3, 3], -1.0, 1.0, &mut r);
         let b = crate::init::uniform(&[5], -1.0, 1.0, &mut r);
         for cfg in [
-            Conv2dCfg { stride: 1, padding: 0 },
-            Conv2dCfg { stride: 1, padding: 1 },
-            Conv2dCfg { stride: 2, padding: 1 },
-            Conv2dCfg { stride: 2, padding: 0 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 0,
+            },
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
+            Conv2dCfg {
+                stride: 2,
+                padding: 1,
+            },
+            Conv2dCfg {
+                stride: 2,
+                padding: 0,
+            },
         ] {
             let fused = conv2d(&x, &w, Some(&b), cfg).unwrap();
             let unfused = conv2d_ref(&x, &w, Some(&b), cfg).unwrap();
@@ -583,13 +662,18 @@ mod tests {
         // bitwise. This is what lets the network pipeline stack whole
         // request groups through dense stages.
         let mut r = crate::rng::seeded(51);
-        for &(n, c_in, c_out, hw) in
-            &[(2usize, 3usize, 4usize, 6usize), (16, 8, 16, 7), (5, 4, 32, 12)]
-        {
+        for &(n, c_in, c_out, hw) in &[
+            (2usize, 3usize, 4usize, 6usize),
+            (16, 8, 16, 7),
+            (5, 4, 32, 12),
+        ] {
             let x = crate::init::uniform(&[n, c_in, hw, hw], -1.0, 1.0, &mut r);
             let w = crate::init::uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, &mut r);
             let b = crate::init::uniform(&[c_out], -1.0, 1.0, &mut r);
-            let cfg = Conv2dCfg { stride: 1, padding: 1 };
+            let cfg = Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            };
             let stacked = conv2d(&x, &w, Some(&b), cfg).unwrap();
             let plane = c_in * hw * hw;
             for ni in 0..n {
@@ -636,7 +720,10 @@ mod tests {
     fn im2col_col2im_adjointness() {
         // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
         let mut r = crate::rng::seeded(21);
-        let cfg = Conv2dCfg { stride: 2, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 2,
+            padding: 1,
+        };
         let x = crate::init::uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut r);
         let cols = im2col(&x, 3, 3, cfg).unwrap();
         let y = crate::init::uniform(cols.shape(), -1.0, 1.0, &mut r);
@@ -649,7 +736,10 @@ mod tests {
     #[test]
     fn backward_matches_finite_difference() {
         let mut r = crate::rng::seeded(31);
-        let cfg = Conv2dCfg { stride: 1, padding: 1 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 1,
+        };
         let x = crate::init::uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut r);
         let w = crate::init::uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut r);
         let y = conv2d(&x, &w, None, cfg).unwrap();
@@ -657,9 +747,8 @@ mod tests {
         let grads = conv2d_backward(&x, &w, &y, cfg).unwrap();
 
         let eps = 1e-2f32;
-        let loss = |x: &Tensor, w: &Tensor| -> f32 {
-            conv2d(x, w, None, cfg).unwrap().norm_sq() / 2.0
-        };
+        let loss =
+            |x: &Tensor, w: &Tensor| -> f32 { conv2d(x, w, None, cfg).unwrap().norm_sq() / 2.0 };
         // Check several weight coordinates.
         for &flat in &[0usize, 7, 23, 53] {
             let mut wp = w.clone();
@@ -668,7 +757,10 @@ mod tests {
             wm.data_mut()[flat] -= eps;
             let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
             let an = grads.dw.data()[flat];
-            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dw[{flat}] fd {fd} an {an}");
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                "dw[{flat}] fd {fd} an {an}"
+            );
         }
         // Check input coordinates.
         for &flat in &[0usize, 11, 29, 49] {
@@ -678,7 +770,10 @@ mod tests {
             xm.data_mut()[flat] -= eps;
             let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
             let an = grads.dx.data()[flat];
-            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dx[{flat}] fd {fd} an {an}");
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                "dx[{flat}] fd {fd} an {an}"
+            );
         }
     }
 
@@ -686,7 +781,10 @@ mod tests {
     fn backward_bias_is_spatial_sum() {
         let x = Tensor::ones(&[1, 1, 4, 4]);
         let w = Tensor::ones(&[2, 1, 3, 3]);
-        let cfg = Conv2dCfg { stride: 1, padding: 0 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 0,
+        };
         let dy = Tensor::ones(&[1, 2, 2, 2]);
         let g = conv2d_backward(&x, &w, &dy, cfg).unwrap();
         assert_eq!(g.db.data(), &[4.0, 4.0]);
@@ -711,7 +809,10 @@ mod tests {
         let mut r = crate::rng::seeded(41);
         let x = crate::init::uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut r);
         let w = crate::init::uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut r);
-        let cfg = Conv2dCfg { stride: 1, padding: 3 };
+        let cfg = Conv2dCfg {
+            stride: 1,
+            padding: 3,
+        };
         let got = conv2d(&x, &w, None, cfg).unwrap();
         let want = direct_conv(&x, &w, cfg);
         assert!(got.allclose(&want, 1e-4).unwrap());

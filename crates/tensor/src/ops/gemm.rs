@@ -130,8 +130,16 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         m,
         n,
         k,
-        MatRef { data: a, rs: k, cs: 1 },
-        MatRef { data: b, rs: n, cs: 1 },
+        MatRef {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        MatRef {
+            data: b,
+            rs: n,
+            cs: 1,
+        },
         Bias::None,
         c,
     );
@@ -150,8 +158,16 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
         m,
         n,
         k,
-        MatRef { data: a, rs: 1, cs: m },
-        MatRef { data: b, rs: n, cs: 1 },
+        MatRef {
+            data: a,
+            rs: 1,
+            cs: m,
+        },
+        MatRef {
+            data: b,
+            rs: n,
+            cs: 1,
+        },
         Bias::None,
         c,
     );
@@ -169,8 +185,16 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
         m,
         n,
         k,
-        MatRef { data: a, rs: k, cs: 1 },
-        MatRef { data: b, rs: 1, cs: k },
+        MatRef {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        MatRef {
+            data: b,
+            rs: 1,
+            cs: k,
+        },
         Bias::None,
         c,
     );
@@ -196,8 +220,16 @@ pub fn gemm_nt_bias_row(
         m,
         n,
         k,
-        MatRef { data: a, rs: k, cs: 1 },
-        MatRef { data: b, rs: 1, cs: k },
+        MatRef {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        MatRef {
+            data: b,
+            rs: 1,
+            cs: k,
+        },
         Bias::PerRow(bias),
         c,
     );
@@ -223,8 +255,16 @@ pub fn gemm_nt_bias_col(
         m,
         n,
         k,
-        MatRef { data: a, rs: k, cs: 1 },
-        MatRef { data: b, rs: 1, cs: k },
+        MatRef {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        MatRef {
+            data: b,
+            rs: 1,
+            cs: k,
+        },
         Bias::PerCol(bias),
         c,
     );
@@ -265,8 +305,14 @@ pub fn gemm_nt_batch(
     bias: Option<&[f32]>,
     c: &mut [f32],
 ) {
-    assert!(c.len() >= batch * m * n, "output slice too short for {batch}x{m}x{n}");
-    assert!(b.len() >= batch * n * k, "B slice too short for {batch}x{n}x{k}");
+    assert!(
+        c.len() >= batch * m * n,
+        "output slice too short for {batch}x{m}x{n}"
+    );
+    assert!(
+        b.len() >= batch * n * k,
+        "B slice too short for {batch}x{n}x{k}"
+    );
     if let Some(bb) = bias {
         assert_eq!(bb.len(), m, "row bias length must equal m");
     }
@@ -634,7 +680,10 @@ mod tests {
     }
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     /// Reference computed with f64 accumulation through strided views.
@@ -762,9 +811,9 @@ mod tests {
         for &(batch, m, n, k) in &[
             (1usize, 4usize, 6usize, 5usize),
             (3, 8, 16, 9),
-            (5, 16, 49, 36),   // conv-like: c_out x pixels x ckk
-            (16, 32, 64, 72),  // crosses PARALLEL_FLOPS in aggregate
-            (2, 64, 70, 300),  // per-problem blocked path
+            (5, 16, 49, 36),  // conv-like: c_out x pixels x ckk
+            (16, 32, 64, 72), // crosses PARALLEL_FLOPS in aggregate
+            (2, 64, 70, 300), // per-problem blocked path
         ] {
             let a = dense(m, k, 21);
             let b = dense(batch * n, k, 22);
@@ -782,7 +831,10 @@ mod tests {
                 }
                 let mut got = vec![f32::NAN; batch * m * n];
                 gemm_nt_batch(batch, m, n, k, &a, &b, bias_opt, &mut got);
-                assert_eq!(got, want, "batch={batch} m={m} n={n} k={k} bias={with_bias}");
+                assert_eq!(
+                    got, want,
+                    "batch={batch} m={m} n={n} k={k} bias={with_bias}"
+                );
             }
         }
     }

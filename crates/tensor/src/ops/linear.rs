@@ -17,7 +17,11 @@ use crate::{Tensor, TensorError};
 /// Returns rank/shape errors when operands disagree.
 pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, TensorError> {
     if x.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: x.rank(), op: "linear" });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: x.rank(),
+            op: "linear",
+        });
     }
     if weight.rank() != 2 {
         return Err(TensorError::RankMismatch {
@@ -55,7 +59,14 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tens
             b.data(),
             &mut y,
         ),
-        None => gemm::gemm_nt(n, out_features, in_features, x.data(), weight.data(), &mut y),
+        None => gemm::gemm_nt(
+            n,
+            out_features,
+            in_features,
+            x.data(),
+            weight.data(),
+            &mut y,
+        ),
     }
     Tensor::from_vec(y, &[n, out_features])
 }

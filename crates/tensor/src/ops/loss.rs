@@ -39,7 +39,10 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<CrossEntropyOu
         });
     }
     if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
-        return Err(TensorError::OutOfBounds { index: vec![bad], shape: vec![k] });
+        return Err(TensorError::OutOfBounds {
+            index: vec![bad],
+            shape: vec![k],
+        });
     }
     let probs = softmax_rows(logits)?;
     let mut loss = 0.0f32;

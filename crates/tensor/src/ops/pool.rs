@@ -22,11 +22,18 @@ pub struct PoolCfg {
 impl PoolCfg {
     /// A pooling config without padding.
     pub fn new(window: usize, stride: usize) -> Self {
-        PoolCfg { window, stride, padding: 0 }
+        PoolCfg {
+            window,
+            stride,
+            padding: 0,
+        }
     }
 
     fn as_conv(&self) -> Conv2dCfg {
-        Conv2dCfg { stride: self.stride, padding: self.padding }
+        Conv2dCfg {
+            stride: self.stride,
+            padding: self.padding,
+        }
     }
 }
 
@@ -52,16 +59,18 @@ pub fn avg_pool2d(x: &Tensor, cfg: PoolCfg) -> Result<Tensor, TensorError> {
 ///
 /// Returns geometry errors if the window does not fit.
 pub fn max_pool2d(x: &Tensor, cfg: PoolCfg) -> Result<Tensor, TensorError> {
-    pool(x, cfg, |vals| vals.iter().copied().fold(f32::NEG_INFINITY, f32::max))
+    pool(x, cfg, |vals| {
+        vals.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    })
 }
 
-fn pool(
-    x: &Tensor,
-    cfg: PoolCfg,
-    reduce: impl Fn(&[f32]) -> f32,
-) -> Result<Tensor, TensorError> {
+fn pool(x: &Tensor, cfg: PoolCfg, reduce: impl Fn(&[f32]) -> f32) -> Result<Tensor, TensorError> {
     if x.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: x.rank(), op: "pool2d" });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.rank(),
+            op: "pool2d",
+        });
     }
     if cfg.window > 0 && cfg.padding >= cfg.window {
         // A window could then lie entirely in the padding, which has no
@@ -232,7 +241,11 @@ mod tests {
     fn padded_max_pool_matches_resnet_stem_geometry() {
         // The ResNet stem pool: 3x3/2 with padding 1 halves the map.
         let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i[2] * 8 + i[3]) as f32);
-        let cfg = PoolCfg { window: 3, stride: 2, padding: 1 };
+        let cfg = PoolCfg {
+            window: 3,
+            stride: 2,
+            padding: 1,
+        };
         let y = max_pool2d(&x, cfg).unwrap();
         assert_eq!(y.shape(), &[1, 1, 4, 4]);
         // Top-left window sees only the in-bounds 2x2 corner {0,1,8,9}.
@@ -244,7 +257,11 @@ mod tests {
     #[test]
     fn padded_avg_pool_counts_pads_as_zero() {
         let x = Tensor::ones(&[1, 1, 2, 2]);
-        let cfg = PoolCfg { window: 2, stride: 2, padding: 1 };
+        let cfg = PoolCfg {
+            window: 2,
+            stride: 2,
+            padding: 1,
+        };
         let y = avg_pool2d(&x, cfg).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         // Each window holds one real element and three pads: 1/4.
@@ -266,7 +283,11 @@ mod tests {
         assert!(max_pool2d(&x, PoolCfg::new(2, 0)).is_err());
         // Padding >= window would create windows entirely in the padding
         // (max over nothing); rejected rather than emitting -inf.
-        let fully_padded = PoolCfg { window: 1, stride: 1, padding: 1 };
+        let fully_padded = PoolCfg {
+            window: 1,
+            stride: 1,
+            padding: 1,
+        };
         assert!(max_pool2d(&x, fully_padded).is_err());
         assert!(avg_pool2d(&x, fully_padded).is_err());
         assert!(avg_pool2d_backward(&[1, 1, 3, 3], &x, fully_padded).is_err());

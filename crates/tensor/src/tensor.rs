@@ -53,7 +53,10 @@ impl Tensor {
 
     /// Creates a rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor from a flat `Vec` and a shape.
@@ -103,7 +106,10 @@ impl Tensor {
     /// Evenly spaced values `[0, 1, ..., n-1]` as a rank-1 tensor.
     pub fn arange(n: usize) -> Self {
         let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
-        Tensor { shape: Shape::from(vec![n]), data }
+        Tensor {
+            shape: Shape::from(vec![n]),
+            data,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -186,7 +192,10 @@ impl Tensor {
     /// Panics in debug builds if the index is out of bounds; in release
     /// builds an out-of-bounds index may panic on the flat access.
     pub fn at(&self, index: &[usize]) -> f32 {
-        debug_assert!(self.shape.flat_index(index).is_some(), "index out of bounds");
+        debug_assert!(
+            self.shape.flat_index(index).is_some(),
+            "index out of bounds"
+        );
         let mut flat = 0usize;
         let mut stride = 1usize;
         for (&i, &d) in index.iter().zip(self.shape.dims()).rev() {
@@ -214,7 +223,10 @@ impl Tensor {
                 op: "reshape",
             });
         }
-        Ok(Tensor { shape: new_shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Transposes a rank-2 tensor.
@@ -259,7 +271,9 @@ impl Tensor {
         let mut seen = vec![false; perm.len()];
         for &p in perm {
             if p >= perm.len() || seen[p] {
-                return Err(TensorError::invalid(format!("invalid permutation {perm:?}")));
+                return Err(TensorError::invalid(format!(
+                    "invalid permutation {perm:?}"
+                )));
             }
             seen[p] = true;
         }
@@ -285,7 +299,10 @@ impl Tensor {
                 idx[d] = 0;
             }
         }
-        Ok(Tensor { shape: new_shape, data })
+        Ok(Tensor {
+            shape: new_shape,
+            data,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -475,7 +492,10 @@ impl Tensor {
         // Cache-blocked, register-tiled kernel (see `ops::gemm`); replaces
         // the seed's serial ikj loop.
         crate::ops::gemm::gemm(m, n, k, &self.data, &other.data, &mut out);
-        Ok(Tensor { shape: Shape::from(vec![m, n]), data: out })
+        Ok(Tensor {
+            shape: Shape::from(vec![m, n]),
+            data: out,
+        })
     }
 
     /// Matrix–vector product: `self (m x k) * v (k) -> (m)`.
@@ -493,7 +513,11 @@ impl Tensor {
             });
         }
         if v.rank() != 1 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: v.rank(), op: "matvec" });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: v.rank(),
+                op: "matvec",
+            });
         }
         let (m, k) = (self.shape()[0], self.shape()[1]);
         if v.len() != k {
@@ -511,7 +535,10 @@ impl Tensor {
                 .map(|(&a, &b)| a * b)
                 .sum();
         }
-        Ok(Tensor { shape: Shape::from(vec![m]), data: out })
+        Ok(Tensor {
+            shape: Shape::from(vec![m]),
+            data: out,
+        })
     }
 }
 

@@ -81,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         layers.clone(),
         model,
         precision,
-        SearchConfig { iterations: 30, seed: 7, ..SearchConfig::default() },
+        SearchConfig {
+            iterations: 30,
+            seed: 7,
+            ..SearchConfig::default()
+        },
     )?
     .run();
     let budget = (free.costs.crossbars as f64 * 0.8) as usize;

@@ -20,13 +20,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
     let epitome = Epitome::from_tensor(spec, data)?;
 
-    println!("3-bit quantization of a {} epitome:", epitome.spec().shape());
-    println!("{:<40}{:>10}{:>14}{:>12}", "method", "groups", "weight MSE", "SQNR (dB)");
-    let xbar = QuantGranularity::PerCrossbar { rows: 128, cols: 128 };
+    println!(
+        "3-bit quantization of a {} epitome:",
+        epitome.spec().shape()
+    );
+    println!(
+        "{:<40}{:>10}{:>14}{:>12}",
+        "method", "groups", "weight MSE", "SQNR (dB)"
+    );
+    let xbar = QuantGranularity::PerCrossbar {
+        rows: 128,
+        cols: 128,
+    };
     let runs = [
-        ("naive (per-tensor min/max)", QuantGranularity::PerTensor, RangeEstimator::MinMax),
+        (
+            "naive (per-tensor min/max)",
+            QuantGranularity::PerTensor,
+            RangeEstimator::MinMax,
+        ),
         ("+ per-crossbar scales", xbar, RangeEstimator::MinMax),
-        ("+ overlap-weighted range (Eq. 4-5)", xbar, RangeEstimator::overlap_default()),
+        (
+            "+ overlap-weighted range (Eq. 4-5)",
+            xbar,
+            RangeEstimator::overlap_default(),
+        ),
     ];
     for (name, gran, range) in runs {
         let (_, report) = quantize_epitome(&epitome, 3, gran, &range)?;
@@ -71,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The genuine small-scale training experiment (ImageNet substitute).
     println!("\nsmall-scale training experiment (synthetic data, real SGD):");
     let results = run_small_scale_experiment(&SmallScaleConfig::default());
-    println!("  conv CNN accuracy:                 {:.1}%", 100.0 * results.conv_acc);
+    println!(
+        "  conv CNN accuracy:                 {:.1}%",
+        100.0 * results.conv_acc
+    );
     println!(
         "  epitome CNN ({:.1}x params) accuracy: {:.1}%",
         results.param_compression,

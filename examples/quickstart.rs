@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run a feature map through the EPIM data path (IFAT/IFRT/OFAT +
     //    joint module, §4.3) and check it matches a plain convolution.
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
     let x = init::uniform(&[1, 256, 7, 7], -1.0, 1.0, &mut r);
     let datapath = DataPath::new(&epitome, cfg, true)?;
     let (y_pim, stats) = datapath.execute(&x)?;
@@ -52,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.rounds,
         stats.wrapped_elements
     );
-    assert!(y_pim.allclose(&y_ref, 1e-3)?, "data path must match the convolution");
+    assert!(
+        y_pim.allclose(&y_ref, 1e-3)?,
+        "data path must match the convolution"
+    );
 
     // 5. Compare analytic hardware costs at W9A9.
     let prec = Precision::new(9, 9);
@@ -62,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c_conv = base.conv_layer(conv, pixels, prec);
     let c_epi = base.epitome_layer(&spec, pixels, prec);
     let c_epi_w = wrap.epitome_layer(&spec, pixels, prec);
-    println!("\n{:<28}{:>12}{:>14}{:>12}", "operator", "crossbars", "latency (ms)", "energy (mJ)");
+    println!(
+        "\n{:<28}{:>12}{:>14}{:>12}",
+        "operator", "crossbars", "latency (ms)", "energy (mJ)"
+    );
     for (name, c) in [
         ("convolution", &c_conv),
         ("epitome", &c_epi),

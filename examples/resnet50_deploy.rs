@@ -47,10 +47,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // EPIM rows across the precision ladder.
     let rows: &[(&str, Precision, WeightScheme)] = &[
         ("EPIM-ResNet50", Precision::fp32(), WeightScheme::Fp32),
-        ("EPIM-ResNet50 W9A9", Precision::new(9, 9), WeightScheme::Fixed { bits: 9 }),
-        ("EPIM-ResNet50 W7A9", Precision::new(7, 9), WeightScheme::Fixed { bits: 7 }),
-        ("EPIM-ResNet50 W5A9", Precision::new(5, 9), WeightScheme::Fixed { bits: 5 }),
-        ("EPIM-ResNet50 W3A9", Precision::new(3, 9), WeightScheme::Fixed { bits: 3 }),
+        (
+            "EPIM-ResNet50 W9A9",
+            Precision::new(9, 9),
+            WeightScheme::Fixed { bits: 9 },
+        ),
+        (
+            "EPIM-ResNet50 W7A9",
+            Precision::new(7, 9),
+            WeightScheme::Fixed { bits: 7 },
+        ),
+        (
+            "EPIM-ResNet50 W5A9",
+            Precision::new(5, 9),
+            WeightScheme::Fixed { bits: 5 },
+        ),
+        (
+            "EPIM-ResNet50 W3A9",
+            Precision::new(3, 9),
+            WeightScheme::Fixed { bits: 3 },
+        ),
     ];
     for (name, prec, scheme) in rows {
         let costs = epim.simulate(&model, *prec);

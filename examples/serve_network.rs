@@ -12,10 +12,8 @@
 //! Run with: `cargo run --release -p epim --example serve_network`
 //! Knobs: `EPIM_THREADS` pins the worker pool width.
 
-use epim::core::{ConvShape, EpitomeDesigner};
 use epim::models::lower::NetworkWeights;
-use epim::models::network::{Network, OperatorChoice};
-use epim::models::resnet::{Backbone, LayerInfo};
+use epim::models::zoo;
 use epim::pim::datapath::AnalogModel;
 use epim::runtime::{EngineConfig, FlowControl, NetworkEngine, PlanCache, RuntimeError};
 use epim::tensor::{init, rng, Tensor};
@@ -24,39 +22,17 @@ use std::time::{Duration, Instant};
 const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 8;
 
-fn layer(name: &str, conv: ConvShape, res: usize) -> LayerInfo {
-    LayerInfo { name: name.to_string(), conv, out_h: res, out_w: res }
-}
-
-/// A small ResNet-style backbone at 16×16 input: stem, pooled entry, a
-/// projection block and an identity block, classifier.
-fn backbone() -> Backbone {
-    Backbone {
-        name: "demo-resnet".to_string(),
-        layers: vec![
-            layer("stem.conv1", ConvShape::new(8, 3, 3, 3), 8),
-            layer("stage1.block0.conv1", ConvShape::new(8, 8, 1, 1), 4),
-            layer("stage1.block0.conv2", ConvShape::new(8, 8, 3, 3), 4),
-            layer("stage1.block0.conv3", ConvShape::new(32, 8, 1, 1), 4),
-            layer("stage1.block0.downsample", ConvShape::new(32, 8, 1, 1), 4),
-            layer("stage1.block1.conv1", ConvShape::new(8, 32, 1, 1), 4),
-            layer("stage1.block1.conv2", ConvShape::new(8, 8, 3, 3), 4),
-            layer("stage1.block1.conv3", ConvShape::new(32, 8, 1, 1), 4),
-            layer("fc", ConvShape::new(10, 32, 1, 1), 1),
-        ],
-    }
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Replace both 3x3 convolutions with one shared epitome spec — the
-    // repeat is what makes the plan cache pay off across layers.
-    let bb = backbone();
-    let spec = EpitomeDesigner::new(16, 16).design(bb.layers[2].conv, 36, 4)?;
-    let mut net = Network::baseline(bb);
-    net.set_choice(2, OperatorChoice::Epitome(spec.clone()))?;
-    net.set_choice(6, OperatorChoice::Epitome(spec))?;
+    // The zoo's tiny ResNet (stem 8, inner width 8, 10 classes) has both
+    // 3x3 convolutions replaced by one shared epitome spec — the repeat
+    // is what makes the plan cache pay off across layers.
+    let (net, _spec) = zoo::tiny_epitome_network(8, 8, 10)?;
     let weights = NetworkWeights::random(&net, 7)?;
-    let analog = AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
 
     // Lower: Network -> executable program.
     let program = net.lower(16, 16)?;
@@ -88,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..EngineConfig::default()
         },
     )?;
-    println!("plan cache after compile:      {:?} (warm path: no new misses)", cache.stats());
+    println!(
+        "plan cache after compile:      {:?} (warm path: no new misses)",
+        cache.stats()
+    );
 
     // Serve: concurrent clients through the pipelined engine.
     let mut r = rng::seeded(9);
@@ -100,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let reference: Vec<Tensor> = inputs
         .iter()
-        .map(|x| program.forward_reference(&weights, true, analog, x).map(|(y, _)| y))
+        .map(|x| {
+            program
+                .forward_reference(&weights, true, analog, x)
+                .map(|(y, _)| y)
+        })
         .collect::<Result<_, _>>()?;
     let sequential = t0.elapsed();
 
@@ -118,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
     });
     let pipelined = t0.elapsed();
 
@@ -143,7 +129,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "datapath counters:    {} rounds, {} word-line activations",
         stats.datapath.rounds, stats.datapath.word_line_activations
     );
-    println!("queue depth now:      {}, shed so far: {}", stats.queue_depth, stats.shed);
+    println!(
+        "queue depth now:      {}, shed so far: {}",
+        stats.queue_depth, stats.shed
+    );
     println!(
         "throughput:           sequential {:.0} req/s, served {:.0} req/s ({:.2}x)",
         n / sequential.as_secs_f64(),
@@ -164,7 +153,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_batch: 4,
             batch_window: Duration::from_millis(100),
             queue_capacity: 2,
-            flow: FlowControl::Shed { timeout: Duration::ZERO },
+            flow: FlowControl::Shed {
+                timeout: Duration::ZERO,
+            },
             workers: 1,
         },
     )?;

@@ -25,8 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = EpitomeSpec::new(ConvShape::new(32, 16, 3, 3), EpitomeShape::new(16, 8, 2, 2))?;
     let mut r = rng::seeded(7);
     let epi = Epitome::from_tensor(spec, init::kaiming_normal(&[16, 8, 2, 2], &mut r))?;
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
-    let analog = AnalogModel { adc_bits: Some(8), dac_bits: Some(9), ..AnalogModel::ideal() };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
 
     let cache = PlanCache::new();
     let engine = Engine::with_cache(
@@ -35,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg,
         true,
         analog,
-        EngineConfig { max_batch: 16, batch_window: Duration::from_micros(500), ..EngineConfig::default() },
+        EngineConfig {
+            max_batch: 16,
+            batch_window: Duration::from_micros(500),
+            ..EngineConfig::default()
+        },
     )?;
     println!(
         "engine up: {} worker threads, plan cache {:?}",
@@ -74,9 +85,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = engine.stats();
     let n = inputs.len() as f64;
     println!("\nrequests:               {}", stats.requests);
-    println!("batches executed:       {} (mean size {:.2})", stats.batches, stats.mean_batch_size());
+    println!(
+        "batches executed:       {} (mean size {:.2})",
+        stats.batches,
+        stats.mean_batch_size()
+    );
     println!("batch-size histogram:   {:?}", stats.batch_histogram);
-    println!("request latency:        p50 {} us, p99 {} us", stats.p50_latency_us, stats.p99_latency_us);
+    println!(
+        "request latency:        p50 {} us, p99 {} us",
+        stats.p50_latency_us, stats.p99_latency_us
+    );
     println!(
         "datapath counters:      {} rounds, {} word-line activations",
         stats.datapath.rounds, stats.datapath.word_line_activations

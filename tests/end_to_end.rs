@@ -42,7 +42,10 @@ fn figure2a_pipeline_single_layer() {
     assert!(qrep.sqnr_db > 10.0, "5-bit SQNR too low: {}", qrep.sqnr_db);
 
     // (4) Data path construction + channel wrapping.
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
     let dp = DataPath::new(&qepi, cfg, true).unwrap();
     assert_eq!(dp.ifat().entries.len(), spec.plan().patches().len());
 
@@ -64,11 +67,23 @@ fn small_scale_training_reproduces_paper_ordering() {
     //  - the epitome model is competitive with the conv model;
     //  - overlap-aware low-bit QAT >= naive low-bit QAT (on average the
     //    paper's Table 2 gap; here we accept ties since the task is easy).
-    let cfg = SmallScaleConfig { per_class: 40, epochs: 12, ..SmallScaleConfig::default() };
+    let cfg = SmallScaleConfig {
+        per_class: 40,
+        epochs: 12,
+        ..SmallScaleConfig::default()
+    };
     let res = run_small_scale_experiment(&cfg);
     let chance = 1.0 / cfg.classes as f32;
-    assert!(res.conv_acc > 2.0 * chance, "conv failed to learn: {}", res.conv_acc);
-    assert!(res.epitome_acc > 2.0 * chance, "epitome failed to learn: {}", res.epitome_acc);
+    assert!(
+        res.conv_acc > 2.0 * chance,
+        "conv failed to learn: {}",
+        res.conv_acc
+    );
+    assert!(
+        res.epitome_acc > 2.0 * chance,
+        "epitome failed to learn: {}",
+        res.epitome_acc
+    );
     // Epitome competitive with conv (within 15 points on this easy task).
     assert!(
         res.epitome_acc >= res.conv_acc - 0.15,
@@ -98,7 +113,10 @@ fn epitome_layer_trains_under_qat() {
         epim::core::EpitomeShape::new(4, 4, 2, 2),
     )
     .unwrap();
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
     let mut layer = EpitomeConv2d::new(spec, cfg, 1).with_qat(QatMode::FakeQuant {
         bits: 3,
         granularity: QuantGranularity::PerTensor,
@@ -136,7 +154,10 @@ fn table1_full_ladder_is_internally_consistent() {
     let mut prev_acc = f64::INFINITY;
     for bits in [9u8, 7, 5, 3] {
         let costs = epim.simulate(&model, Precision::new(bits, 9));
-        assert!(costs.crossbars() <= prev_xb, "crossbars not monotone at W{bits}");
+        assert!(
+            costs.crossbars() <= prev_xb,
+            "crossbars not monotone at W{bits}"
+        );
         prev_xb = costs.crossbars();
         let top1 = acc.epim_accuracy(
             cr,
@@ -167,8 +188,7 @@ fn table1_full_ladder_is_internally_consistent() {
         })
         .collect();
     let alloc = mp.allocate(&sens, &params).unwrap();
-    let precs: Vec<Precision> =
-        alloc.bits.iter().map(|&b| Precision::new(b, 9)).collect();
+    let precs: Vec<Precision> = alloc.bits.iter().map(|&b| Precision::new(b, 9)).collect();
     let mp_costs = epim.simulate_per_layer(&model, &precs);
     let w3 = epim.simulate(&model, Precision::new(3, 9));
     let w5 = epim.simulate(&model, Precision::new(5, 9));
@@ -176,11 +196,21 @@ fn table1_full_ladder_is_internally_consistent() {
     assert!(mp_costs.crossbars() <= w5.crossbars());
     let acc_mp = acc.epim_accuracy(
         cr,
-        WeightScheme::Mixed { avg_bits: alloc.avg_bits },
+        WeightScheme::Mixed {
+            avg_bits: alloc.avg_bits,
+        },
         QuantMethod::PerCrossbarOverlap,
     );
-    let acc_w3 = acc.epim_accuracy(cr, WeightScheme::Fixed { bits: 3 }, QuantMethod::PerCrossbarOverlap);
-    let acc_w5 = acc.epim_accuracy(cr, WeightScheme::Fixed { bits: 5 }, QuantMethod::PerCrossbarOverlap);
+    let acc_w3 = acc.epim_accuracy(
+        cr,
+        WeightScheme::Fixed { bits: 3 },
+        QuantMethod::PerCrossbarOverlap,
+    );
+    let acc_w5 = acc.epim_accuracy(
+        cr,
+        WeightScheme::Fixed { bits: 5 },
+        QuantMethod::PerCrossbarOverlap,
+    );
     assert!(acc_mp >= acc_w3 && acc_mp <= acc_w5);
 }
 
@@ -207,7 +237,10 @@ fn bottleneck_block_runs_functionally_on_pim() {
                 EpitomeShape::new(width, c_in, 1, 1),
             )
             .unwrap(),
-            Conv2dCfg { stride: 1, padding: 0 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 0,
+            },
         ),
         (
             epim::core::EpitomeSpec::new(
@@ -215,7 +248,10 @@ fn bottleneck_block_runs_functionally_on_pim() {
                 EpitomeShape::new(width / 2, width, 3, 3),
             )
             .unwrap(),
-            Conv2dCfg { stride: 1, padding: 1 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
         ),
         (
             epim::core::EpitomeSpec::new(
@@ -223,7 +259,10 @@ fn bottleneck_block_runs_functionally_on_pim() {
                 EpitomeShape::new(c_in, width, 1, 1),
             )
             .unwrap(),
-            Conv2dCfg { stride: 1, padding: 0 },
+            Conv2dCfg {
+                stride: 1,
+                padding: 0,
+            },
         ),
     ];
     let epitomes: Vec<Epitome> = specs
@@ -269,13 +308,22 @@ fn deterministic_end_to_end() {
     // Everything downstream of a seed is bit-reproducible.
     let run = || {
         let designer = EpitomeDesigner::new(64, 64);
-        let spec = designer.design(ConvShape::new(32, 16, 3, 3), 72, 16).unwrap();
+        let spec = designer
+            .design(ConvShape::new(32, 16, 3, 3), 72, 16)
+            .unwrap();
         let dims = spec.shape().dims();
         let mut r = rng::seeded(99);
-        let epi =
-            Epitome::from_tensor(spec, init::kaiming_normal(&dims, &mut r)).unwrap();
+        let epi = Epitome::from_tensor(spec, init::kaiming_normal(&dims, &mut r)).unwrap();
         let x = Tensor::ones(&[1, 16, 5, 5]);
-        let dp = DataPath::new(&epi, Conv2dCfg { stride: 1, padding: 1 }, true).unwrap();
+        let dp = DataPath::new(
+            &epi,
+            Conv2dCfg {
+                stride: 1,
+                padding: 1,
+            },
+            true,
+        )
+        .unwrap();
         let (y, _) = dp.execute(&x).unwrap();
         y
     };

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: epitome design → mapping → data path →
 //! quantization → cost model, exercised together through the facade crate.
 
-use epim::core::{
-    wrapping_factor, ConvShape, Epitome, EpitomeDesigner, EpitomeShape, EpitomeSpec,
-};
+use epim::core::{wrapping_factor, ConvShape, Epitome, EpitomeDesigner, EpitomeShape, EpitomeSpec};
 use epim::models::accuracy::{AccuracyModel, QuantMethod, WeightScheme};
 use epim::models::network::{Network, OperatorChoice};
 use epim::models::resnet::{resnet101, resnet50};
@@ -38,7 +36,10 @@ fn designed_epitome_runs_quantized_on_datapath() {
     .unwrap();
     assert!(report.mse > 0.0);
 
-    let cfg = Conv2dCfg { stride: 1, padding: 1 };
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
     let x = init::uniform(&[1, 32, 8, 8], -1.0, 1.0, &mut r);
     let dp = DataPath::new(&qepi, cfg, true).unwrap();
     let (y_pim, stats) = dp.execute(&x).unwrap();
@@ -61,7 +62,10 @@ fn uniform_epim_resnet50_reproduces_table1_shape() {
     let cr = base_fp.crossbars() as f64 / w3.crossbars() as f64;
     assert!(cr > 15.0, "W3A9 crossbar CR {cr} (paper: 30.65)");
     let energy_red = base_fp.energy_mj() / w3.energy_mj();
-    assert!(energy_red > 5.0, "energy reduction {energy_red} (paper: 23.01)");
+    assert!(
+        energy_red > 5.0,
+        "energy reduction {energy_red} (paper: 23.01)"
+    );
 
     let acc = AccuracyModel::resnet50();
     let top1 = acc.epim_accuracy(
@@ -69,7 +73,10 @@ fn uniform_epim_resnet50_reproduces_table1_shape() {
         WeightScheme::Fixed { bits: 3 },
         QuantMethod::PerCrossbarOverlap,
     );
-    assert!((acc.baseline() - top1) < 5.5, "accuracy drop too large: {top1}");
+    assert!(
+        (acc.baseline() - top1) < 5.5,
+        "accuracy drop too large: {top1}"
+    );
 }
 
 #[test]
@@ -116,7 +123,12 @@ fn search_improves_on_uniform_design_like_figure4() {
         layers.clone(),
         model,
         precision,
-        SearchConfig { iterations: 15, population: 24, seed: 1, ..Default::default() },
+        SearchConfig {
+            iterations: 15,
+            population: 24,
+            seed: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
     // Uniform mid-ladder reference.
@@ -144,7 +156,11 @@ fn epitome_crossbars_beat_pruning_crossbars_at_same_budget() {
     // PIM-Prune at 50% blocks.
     let res = prune_blocks(
         &matrix,
-        &BlockPruneConfig { block_rows: 128, block_cols: 128, ratio: 0.5 },
+        &BlockPruneConfig {
+            block_rows: 128,
+            block_cols: 128,
+            ratio: 0.5,
+        },
     )
     .unwrap();
     assert!(res.report.compression >= 1.9);
@@ -170,7 +186,11 @@ fn mixed_network_choices_simulate() {
     for layer in &backbone.layers {
         if layer.conv.params() > 1_000_000 {
             let spec = designer
-                .design(layer.conv, layer.conv.matrix_rows() / 2, layer.conv.cout / 2)
+                .design(
+                    layer.conv,
+                    layer.conv.matrix_rows() / 2,
+                    layer.conv.cout / 2,
+                )
                 .unwrap();
             choices.push(OperatorChoice::Epitome(spec));
         } else {
@@ -187,15 +207,12 @@ fn mixed_network_choices_simulate() {
 
 #[test]
 fn wrapping_factor_consistent_between_core_and_pim() {
-    let spec = EpitomeSpec::new(
-        ConvShape::new(24, 6, 3, 3),
-        EpitomeShape::new(8, 6, 3, 3),
-    )
-    .unwrap();
+    let spec =
+        EpitomeSpec::new(ConvShape::new(24, 6, 3, 3), EpitomeShape::new(8, 6, 3, 3)).unwrap();
     let wrap = wrapping_factor(spec.plan());
     assert_eq!(wrap.factor, 3);
-    let off = CostModel::new(AcceleratorConfig::default())
-        .epitome_layer(&spec, 49, Precision::new(9, 9));
+    let off =
+        CostModel::new(AcceleratorConfig::default()).epitome_layer(&spec, 49, Precision::new(9, 9));
     let on = CostModel::new(AcceleratorConfig::default().with_channel_wrapping(true))
         .epitome_layer(&spec, 49, Precision::new(9, 9));
     assert_eq!(on.rounds_per_pixel * wrap.factor, off.rounds_per_pixel);
@@ -221,7 +238,12 @@ fn objective_choice_changes_search_outcome_metrics() {
             layers.clone(),
             model,
             Precision::new(9, 9),
-            SearchConfig { iterations: 12, seed: 2, objective, ..Default::default() },
+            SearchConfig {
+                iterations: 12,
+                seed: 2,
+                objective,
+                ..Default::default()
+            },
         )
         .unwrap()
         .run()

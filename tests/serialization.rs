@@ -48,8 +48,7 @@ fn epitome_with_parameters_roundtrips() {
         .design(ConvShape::new(32, 16, 3, 3), 72, 16)
         .unwrap();
     let mut r = rng::seeded(5);
-    let epi =
-        Epitome::from_tensor(spec, init::kaiming_normal(&[16, 8, 3, 3], &mut r));
+    let epi = Epitome::from_tensor(spec, init::kaiming_normal(&[16, 8, 3, 3], &mut r));
     // Shape from the designer may differ; rebuild against the real dims.
     let epi = match epi {
         Ok(e) => e,
@@ -82,8 +81,7 @@ fn tensors_roundtrip() {
 
 #[test]
 fn accelerator_configuration_roundtrips() {
-    let cfg = AcceleratorConfig::new(CrossbarConfig::new(256, 64, 4))
-        .with_channel_wrapping(true);
+    let cfg = AcceleratorConfig::new(CrossbarConfig::new(256, 64, 4)).with_channel_wrapping(true);
     assert_eq!(roundtrip(&cfg), cfg);
     let lut = HardwareLut::calibrated();
     assert_eq!(roundtrip(&lut), lut);
@@ -108,17 +106,10 @@ fn cost_reports_roundtrip() {
 
 #[test]
 fn quant_report_roundtrips() {
-    let spec = EpitomeSpec::new(
-        ConvShape::new(16, 8, 3, 3),
-        EpitomeShape::new(8, 4, 2, 2),
-    )
-    .unwrap();
+    let spec =
+        EpitomeSpec::new(ConvShape::new(16, 8, 3, 3), EpitomeShape::new(8, 4, 2, 2)).unwrap();
     let mut r = rng::seeded(7);
-    let epi = Epitome::from_tensor(
-        spec,
-        init::uniform(&[8, 4, 2, 2], -1.0, 1.0, &mut r),
-    )
-    .unwrap();
+    let epi = Epitome::from_tensor(spec, init::uniform(&[8, 4, 2, 2], -1.0, 1.0, &mut r)).unwrap();
     let (_, report) = quantize_epitome(
         &epi,
         3,

@@ -32,7 +32,10 @@ impl Default for Criterion {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "--bench");
-        Criterion { sample_size: 20, filter }
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl Criterion {
                 return self;
             }
         }
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher);
         bencher.report(name);
         self
@@ -184,7 +190,10 @@ mod tests {
 
     #[test]
     fn iter_collects_samples() {
-        let mut b = Bencher { samples: Vec::new(), sample_size: 3 };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
         let mut acc = 0u64;
         b.iter(|| {
             acc = acc.wrapping_add(1);
@@ -196,7 +205,10 @@ mod tests {
 
     #[test]
     fn iter_batched_collects_samples() {
-        let mut b = Bencher { samples: Vec::new(), sample_size: 4 };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 4,
+        };
         b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
         assert_eq!(b.samples.len(), 4);
     }

@@ -93,7 +93,9 @@ pub fn variant_value(variant: &str, inner: Value) -> Value {
 pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
     match v {
         Value::Object(fields) => Ok(fields),
-        other => Err(Error::custom(format!("{ty}: expected object, found {other:?}"))),
+        other => Err(Error::custom(format!(
+            "{ty}: expected object, found {other:?}"
+        ))),
     }
 }
 
@@ -101,7 +103,9 @@ pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)]
 pub fn expect_array<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
     match v {
         Value::Array(items) => Ok(items),
-        other => Err(Error::custom(format!("{ty}: expected array, found {other:?}"))),
+        other => Err(Error::custom(format!(
+            "{ty}: expected array, found {other:?}"
+        ))),
     }
 }
 

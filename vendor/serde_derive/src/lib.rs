@@ -32,8 +32,14 @@ struct Variant {
 }
 
 enum Input {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize` for a struct or enum.
@@ -77,8 +83,14 @@ fn parse_input(input: TokenStream) -> Input {
         other => panic!("expected braced body for `{name}`, found {other:?}"),
     };
     match kw.as_str() {
-        "struct" => Input::Struct { name, fields: parse_named_fields(body) },
-        "enum" => Input::Enum { name, variants: parse_variants(body) },
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body),
+        },
         other => panic!("derive stand-in supports struct/enum only, found `{other}`"),
     }
 }
@@ -237,7 +249,9 @@ fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
 fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
     let mut gets = String::new();
     for f in fields {
-        gets.push_str(&format!("{f}: serde::get_field(__fields, \"{f}\", \"{name}\")?,\n"));
+        gets.push_str(&format!(
+            "{f}: serde::get_field(__fields, \"{f}\", \"{name}\")?,\n"
+        ));
     }
     format!(
         "#[automatically_derived]\n\

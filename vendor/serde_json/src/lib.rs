@@ -37,7 +37,10 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
 ///
 /// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
 pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
@@ -69,19 +72,23 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             }
         }
         Value::String(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), indent, depth, '[', ']', |o, it, ind, d| {
-            write_value(o, it, ind, d)
-        }),
-        Value::Object(fields) => {
-            write_seq(out, fields.iter(), indent, depth, '{', '}', |o, (k, val), ind, d| {
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, '[', ']', write_value),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |o, (k, val), ind, d| {
                 write_string(o, k);
                 o.push(':');
                 if ind.is_some() {
                     o.push(' ');
                 }
                 write_value(o, val, ind, d);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -200,7 +207,10 @@ impl Parser<'_> {
             self.pos += kw.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid keyword at offset {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid keyword at offset {}",
+                self.pos
+            )))
         }
     }
 
@@ -221,7 +231,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `]` at {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -248,7 +263,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Object(fields));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `}}` at {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -286,8 +306,9 @@ impl Parser<'_> {
                             )
                             .map_err(|_| Error::custom("invalid \\u escape".to_string()))?;
                             out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| Error::custom("invalid codepoint".to_string()))?,
+                                char::from_u32(code).ok_or_else(|| {
+                                    Error::custom("invalid codepoint".to_string())
+                                })?,
                             );
                             self.pos += 4;
                         }
