@@ -26,12 +26,17 @@
 //!   ops and dense tensor ops with inferred inter-stage shapes, plus
 //!   weight binding ([`lower::NetworkWeights`]) and the sequential
 //!   reference executor the serving runtime is verified against.
+//! - [`optimize`]: the graph-fusion pass over lowered programs — fused
+//!   ReLU epilogues, identity folds (all bit-identity-safe by
+//!   construction) — plus the liveness-planned activation arena
+//!   ([`optimize::ArenaPlan`]) the serving runtime executes into.
 
 #![deny(missing_docs)]
 
 pub mod accuracy;
 pub mod lower;
 pub mod network;
+pub mod optimize;
 pub mod resnet;
 pub mod training;
 pub mod zoo;

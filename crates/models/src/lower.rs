@@ -70,6 +70,9 @@ pub enum StageOp {
         layer: usize,
         /// Inferred stride/padding.
         cfg: Conv2dCfg,
+        /// Fused ReLU epilogue (set by [`NetworkProgram::optimize`];
+        /// lowering always emits `false`).
+        relu: bool,
     },
     /// An epitome crossbar op executed on the PIM data path; the plan is
     /// keyed by `spec`, which is what lets a serving runtime share one
@@ -81,6 +84,8 @@ pub enum StageOp {
         spec: EpitomeSpec,
         /// Inferred stride/padding.
         cfg: Conv2dCfg,
+        /// Fused ReLU epilogue (set by [`NetworkProgram::optimize`]).
+        relu: bool,
     },
     /// Elementwise ReLU.
     Relu,
@@ -96,12 +101,16 @@ pub enum StageOp {
     Linear {
         /// Backbone layer index supplying the weight.
         layer: usize,
+        /// Fused ReLU epilogue (set by [`NetworkProgram::optimize`]).
+        relu: bool,
     },
     /// Residual addition: this stage's primary input plus the output of
     /// stage `with`.
     Add {
         /// The other summand's stage index.
         with: usize,
+        /// Fused ReLU epilogue (set by [`NetworkProgram::optimize`]).
+        relu: bool,
     },
 }
 
@@ -111,7 +120,34 @@ impl StageOp {
         match self {
             StageOp::Conv { layer, .. }
             | StageOp::Epitome { layer, .. }
-            | StageOp::Linear { layer } => Some(*layer),
+            | StageOp::Linear { layer, .. } => Some(*layer),
+            _ => None,
+        }
+    }
+
+    /// Whether this op carries a fused ReLU epilogue.
+    pub fn fused_relu(&self) -> bool {
+        match self {
+            StageOp::Conv { relu, .. }
+            | StageOp::Epitome { relu, .. }
+            | StageOp::Linear { relu, .. }
+            | StageOp::Add { relu, .. } => *relu,
+            _ => false,
+        }
+    }
+
+    /// Returns a copy of this op with the fused-ReLU flag set, if the op
+    /// supports an epilogue.
+    pub(crate) fn with_fused_relu(&self) -> Option<StageOp> {
+        let mut op = self.clone();
+        match &mut op {
+            StageOp::Conv { relu, .. }
+            | StageOp::Epitome { relu, .. }
+            | StageOp::Linear { relu, .. }
+            | StageOp::Add { relu, .. } => {
+                *relu = true;
+                Some(op)
+            }
             _ => None,
         }
     }
@@ -138,8 +174,8 @@ pub struct Stage {
 /// the program. The final stage's output is the program output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkProgram {
-    input_shape: Vec<usize>,
-    stages: Vec<Stage>,
+    pub(crate) input_shape: Vec<usize>,
+    pub(crate) stages: Vec<Stage>,
 }
 
 impl NetworkProgram {
@@ -185,7 +221,7 @@ impl NetworkProgram {
             if let StageInput::Stage(j) = stage.input {
                 readers[j].push(i);
             }
-            if let StageOp::Add { with } = stage.op {
+            if let StageOp::Add { with, .. } = stage.op {
                 readers[with].push(i);
             }
         }
@@ -228,11 +264,13 @@ impl NetworkProgram {
                 StageInput::Stage(j) => outputs[j].as_ref().expect("stages execute in order"),
             };
             let y = match &stage.op {
-                StageOp::Conv { layer, cfg } => {
+                StageOp::Conv { layer, cfg, .. } => {
                     let (w, b) = weights.dense(*layer, &stage.name)?;
                     conv2d(x, w, b, *cfg)?
                 }
-                StageOp::Epitome { layer, spec, cfg } => {
+                StageOp::Epitome {
+                    layer, spec, cfg, ..
+                } => {
                     let epi = weights.epitome(*layer, spec, &stage.name)?;
                     let dp = DataPath::with_analog(epi, *cfg, wrapping_enabled, analog)?;
                     let (y, s) = dp.execute(x)?;
@@ -246,7 +284,7 @@ impl NetworkProgram {
                     let c = x.shape()[1];
                     global_avg_pool(x)?.reshape(&[n, c, 1, 1])?
                 }
-                StageOp::Linear { layer } => {
+                StageOp::Linear { layer, .. } => {
                     let (w, b) = weights.dense(*layer, &stage.name)?;
                     let n = x.shape()[0];
                     let feats = x.len() / n;
@@ -254,11 +292,14 @@ impl NetworkProgram {
                     let wmat = w.reshape(&[w.shape()[0], feats])?;
                     linear(&flat, &wmat, b)?
                 }
-                StageOp::Add { with } => {
+                StageOp::Add { with, .. } => {
                     let other = outputs[*with].as_ref().expect("stages execute in order");
                     x.add(other)?
                 }
             };
+            // The reference executes fused epilogues as a separate pass; the
+            // fused kernels are bit-identical to this by construction.
+            let y = if stage.op.fused_relu() { relu(&y) } else { y };
             outputs[i] = Some(y);
         }
         let out = outputs.pop().flatten().expect("last stage executed");
@@ -470,11 +511,16 @@ impl<'a> Lowerer<'a> {
         }
         let cfg = infer_conv_cfg(h, w, layer.conv.kh, layer.conv.kw, layer)?;
         let op = match &self.net.choices()[idx] {
-            OperatorChoice::Conv => StageOp::Conv { layer: idx, cfg },
+            OperatorChoice::Conv => StageOp::Conv {
+                layer: idx,
+                cfg,
+                relu: false,
+            },
             OperatorChoice::Epitome(spec) => StageOp::Epitome {
                 layer: idx,
                 spec: spec.clone(),
                 cfg,
+                relu: false,
             },
         };
         let out_shape = vec![layer.conv.cout, layer.out_h, layer.out_w];
@@ -504,7 +550,14 @@ impl<'a> Lowerer<'a> {
         match &self.net.choices()[idx] {
             OperatorChoice::Conv => {
                 let out = vec![layer.conv.cout];
-                self.push(layer.name.clone(), StageOp::Linear { layer: idx }, out);
+                self.push(
+                    layer.name.clone(),
+                    StageOp::Linear {
+                        layer: idx,
+                        relu: false,
+                    },
+                    out,
+                );
             }
             OperatorChoice::Epitome(spec) => {
                 let cfg = Conv2dCfg {
@@ -515,6 +568,7 @@ impl<'a> Lowerer<'a> {
                     layer: idx,
                     spec: spec.clone(),
                     cfg,
+                    relu: false,
                 };
                 let out = vec![layer.conv.cout, 1, 1];
                 self.push(layer.name.clone(), op, out);
@@ -700,7 +754,10 @@ fn lower_resnet(lw: &mut Lowerer, input_h: usize, input_w: usize) -> Result<(), 
         lw.push_from(
             StageInput::Stage(main),
             format!("{prefix}.add"),
-            StageOp::Add { with: shortcut_idx },
+            StageOp::Add {
+                with: shortcut_idx,
+                relu: false,
+            },
             main_shape.clone(),
         );
         lw.push(format!("{prefix}.relu3"), StageOp::Relu, main_shape);
@@ -772,7 +829,10 @@ mod tests {
             StageOp::Conv { layer: 0, .. }
         ));
         assert!(matches!(prog.stages()[4].op, StageOp::GlobalAvgPool));
-        assert!(matches!(prog.stages()[5].op, StageOp::Linear { layer: 2 }));
+        assert!(matches!(
+            prog.stages()[5].op,
+            StageOp::Linear { layer: 2, .. }
+        ));
         // l1 maps 8x8 -> 4x4: stride 2, padding 1 inferred.
         let StageOp::Conv { cfg, .. } = prog.stages()[2].op else {
             panic!("conv")
@@ -804,11 +864,11 @@ mod tests {
             .any(|s| matches!(s.op, StageOp::MaxPool(_))));
         // The identity block's add reads the previous block's post-ReLU
         // output; the projection block's add reads the downsample stage.
-        let StageOp::Add { with } = adds[0].op else {
+        let StageOp::Add { with, .. } = adds[0].op else {
             unreachable!()
         };
         assert_eq!(prog.stages()[with].name, "stage1.block0.downsample");
-        let StageOp::Add { with } = adds[1].op else {
+        let StageOp::Add { with, .. } = adds[1].op else {
             unreachable!()
         };
         assert_eq!(prog.stages()[with].name, "stage1.block0.relu3");

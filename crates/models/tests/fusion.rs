@@ -1,0 +1,162 @@
+//! Property tests for the graph-fusion pass: `NetworkProgram::optimize`
+//! must be **bitwise invisible** — outputs and `DataPathStats` rollups of
+//! the optimized program equal the unoptimized program exactly — across
+//! odd input resolutions, inferred strides/paddings, plain chains and
+//! ResNet topologies (projection + identity shortcuts), and
+//! noisy/quantized analog data paths.
+
+use epim_core::{ConvShape, EpitomeDesigner};
+use epim_models::lower::NetworkWeights;
+use epim_models::network::{Network, OperatorChoice};
+use epim_models::resnet::{Backbone, LayerInfo};
+use epim_pim::datapath::AnalogModel;
+use epim_tensor::{init, rng};
+use proptest::prelude::*;
+
+fn layer(name: &str, conv: ConvShape, res: usize) -> LayerInfo {
+    LayerInfo {
+        name: name.to_string(),
+        conv,
+        out_h: res,
+        out_w: res,
+    }
+}
+
+/// Lowers `net`, optimizes it, and checks the fused program reproduces
+/// the unfused reference bit for bit (outputs and stats) on a random
+/// batch, while folding at least `min_folded` stages away.
+fn assert_fusion_invisible(
+    net: &Network,
+    input_hw: (usize, usize),
+    seed: u64,
+    quantized: bool,
+    n: usize,
+    min_folded: usize,
+) {
+    let prog = net.lower(input_hw.0, input_hw.1).unwrap();
+    let fused = prog.optimize();
+    assert!(
+        prog.stages().len() - fused.stages().len() >= min_folded,
+        "expected >= {min_folded} stages folded, got {} -> {}",
+        prog.stages().len(),
+        fused.stages().len()
+    );
+    let weights = NetworkWeights::random(net, seed).unwrap();
+    let analog = if quantized {
+        AnalogModel {
+            weight_noise_std: 0.02,
+            adc_bits: Some(8),
+            dac_bits: Some(9),
+            noise_seed: seed,
+            ..AnalogModel::ideal()
+        }
+    } else {
+        AnalogModel::ideal()
+    };
+    let c_in = prog.input_shape()[0];
+    let mut r = rng::seeded(seed ^ 0x5bd1);
+    let x = init::uniform(&[n, c_in, input_hw.0, input_hw.1], -1.0, 1.0, &mut r);
+    let (y0, s0) = prog.forward_reference(&weights, true, analog, &x).unwrap();
+    let (y1, s1) = fused.forward_reference(&weights, true, analog, &x).unwrap();
+    assert_eq!(y0, y1, "fused program diverged from unfused reference");
+    assert_eq!(s0, s1, "fused stats rollup diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Plain chains at odd resolutions: a stride-1/pad-1 layer, a
+    /// stride-2 downsampling layer (both with inferred geometry), and a
+    /// pooled classifier head. Both convolutions may independently be
+    /// epitome stages.
+    #[test]
+    fn chain_fusion_is_bitwise_invisible(
+        ri in 0usize..4,
+        c0 in 2usize..=6,
+        c1 in 2usize..=6,
+        classes in 2usize..=8,
+        epi0 in any::<bool>(),
+        epi1 in any::<bool>(),
+        quantized in any::<bool>(),
+        n in 1usize..=2,
+        seed in 0u64..10_000,
+    ) {
+        let r = [5usize, 7, 9, 11][ri];
+        let half = r.div_ceil(2);
+        let bb = Backbone {
+            name: "odd-chain".to_string(),
+            layers: vec![
+                layer("l0", ConvShape::new(c0, 3, 3, 3), r),
+                layer("l1", ConvShape::new(c1, c0, 3, 3), half),
+                layer("head", ConvShape::new(classes, c1, 1, 1), 1),
+            ],
+        };
+        let designer = EpitomeDesigner::new(16, 16);
+        let mut net = Network::baseline(bb.clone());
+        if epi0 {
+            let conv = bb.layers[0].conv;
+            let spec = designer.design(conv, conv.matrix_rows() / 2, c0).unwrap();
+            net.set_choice(0, OperatorChoice::Epitome(spec)).unwrap();
+        }
+        if epi1 {
+            let conv = bb.layers[1].conv;
+            let spec =
+                designer.design(conv, conv.matrix_rows() / 2, (c1 / 2).max(1)).unwrap();
+            net.set_choice(1, OperatorChoice::Epitome(spec)).unwrap();
+        }
+        // Two inter-layer ReLUs fuse into their producing convolutions.
+        assert_fusion_invisible(&net, (r, r), seed, quantized, n, 2);
+    }
+
+    /// ResNet topologies at even and odd resolutions: stem + pooled
+    /// entry, one projection-shortcut block, one identity-shortcut
+    /// block, GAP + classifier. All strides/paddings are inferred from
+    /// the recorded resolutions.
+    #[test]
+    fn resnet_fusion_is_bitwise_invisible(
+        ri in 0usize..3,
+        stem in 4usize..=8,
+        mid in 2usize..=4,
+        classes in 2usize..=8,
+        epitomes in any::<bool>(),
+        quantized in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let r = [16usize, 17, 19][ri];
+        let rs = r.div_ceil(2); // stem output (3x3, stride 2)
+        let p = (rs - 1) / 2 + 1; // after the 3x3/2 pad-1 entry pool
+        let out = 4 * mid;
+        let bb = Backbone {
+            name: "odd-resnet".to_string(),
+            layers: vec![
+                layer("stem.conv1", ConvShape::new(stem, 3, 3, 3), rs),
+                layer("stage1.block0.conv1", ConvShape::new(mid, stem, 1, 1), p),
+                layer("stage1.block0.conv2", ConvShape::new(mid, mid, 3, 3), p),
+                layer("stage1.block0.conv3", ConvShape::new(out, mid, 1, 1), p),
+                layer(
+                    "stage1.block0.downsample",
+                    ConvShape::new(out, stem, 1, 1),
+                    p,
+                ),
+                layer("stage1.block1.conv1", ConvShape::new(mid, out, 1, 1), p),
+                layer("stage1.block1.conv2", ConvShape::new(mid, mid, 3, 3), p),
+                layer("stage1.block1.conv3", ConvShape::new(out, mid, 1, 1), p),
+                layer("fc", ConvShape::new(classes, out, 1, 1), 1),
+            ],
+        };
+        let mut net = Network::baseline(bb.clone());
+        if epitomes {
+            // Both 3x3 block convolutions share one epitome spec, like
+            // the zoo networks.
+            let conv = bb.layers[2].conv;
+            let spec = EpitomeDesigner::new(16, 16)
+                .design(conv, conv.matrix_rows() / 2, (conv.cout / 2).max(1))
+                .unwrap();
+            net.set_choice(2, OperatorChoice::Epitome(spec.clone())).unwrap();
+            net.set_choice(6, OperatorChoice::Epitome(spec)).unwrap();
+        }
+        // The stem ReLU, four in-block ReLUs and two post-add ReLUs all
+        // fuse (seven stages fold away).
+        assert_fusion_invisible(&net, (r, r), seed, quantized, 1, 7);
+    }
+}

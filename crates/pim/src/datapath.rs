@@ -699,7 +699,71 @@ impl DataPath {
             )));
         }
         let (n, h, w, oh, ow) = self.check_input(first)?;
+        let cout = self.plan.spec.conv().cout;
+        let mut outs: Vec<Tensor> = (0..inputs.len())
+            .map(|_| Tensor::zeros(&[n, cout, oh, ow]))
+            .collect();
+        let input_slices: Vec<&[f32]> = inputs.iter().map(|t| t.data()).collect();
+        let mut out_slices: Vec<&mut [f32]> = outs.iter_mut().map(|t| t.data_mut()).collect();
+        let stats = self.execute_batch_core(&input_slices, n, h, w, false, &mut out_slices)?;
+        Ok((outs, stats))
+    }
+
+    /// Executes the layer on one stacked `(n, c_in, h, w)` NCHW image block
+    /// held in a plain slice, writing the `(n, c_out, oh, ow)` result into
+    /// `out` — the arena-backed serving path's entry point. With `relu`
+    /// set, each output element is clamped with `v.max(0.0)` as it is
+    /// scattered, bit-identical to a separate ReLU pass over the unfused
+    /// output; the returned [`DataPathStats`] are unaffected by the fusion.
+    ///
+    /// # Errors
+    ///
+    /// Same geometry contract as [`DataPath::execute_batch`], plus slice
+    /// length checks.
+    pub fn execute_stacked_into(
+        &self,
+        xd: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        relu: bool,
+        out: &mut [f32],
+    ) -> Result<DataPathStats, PimError> {
+        let mut outs = [out];
+        self.execute_batch_core(&[xd], n, h, w, relu, &mut outs)
+    }
+
+    /// The shared body of [`DataPath::execute_batch`] and
+    /// [`DataPath::execute_stacked_into`]: every input is an `(n, c_in, h,
+    /// w)` NCHW block and every output slice receives the matching `(n,
+    /// c_out, oh, ow)` block.
+    fn execute_batch_core(
+        &self,
+        inputs: &[&[f32]],
+        n: usize,
+        h: usize,
+        w: usize,
+        relu: bool,
+        outs: &mut [&mut [f32]],
+    ) -> Result<DataPathStats, PimError> {
         let conv = self.plan.spec.conv();
+        let (oh, ow) = self.check_dims(conv.cin, h, w)?;
+        if outs.len() != inputs.len() {
+            return Err(PimError::geometry(format!(
+                "execute_batch_core: {} inputs but {} outputs",
+                inputs.len(),
+                outs.len()
+            )));
+        }
+        if inputs.iter().any(|x| x.len() < n * conv.cin * h * w) {
+            return Err(PimError::geometry("input slice too short".to_string()));
+        }
+        if outs.iter().any(|o| o.len() < n * conv.cout * oh * ow) {
+            return Err(PimError::geometry("output slice too short".to_string()));
+        }
+        if inputs.is_empty() {
+            return Ok(DataPathStats::default());
+        }
         let cout = conv.cout;
         let cout_e = self.plan.spec.shape().cout;
         let wrap_on = self.wrapping_enabled && self.wrapping.is_effective();
@@ -752,7 +816,7 @@ impl DataPath {
                 let oy = (row / ow) % oh;
                 let input = inputs[img / n];
                 epim_tensor::ops::fill_receptive_field(
-                    input.data(),
+                    input,
                     conv.cin,
                     h,
                     w,
@@ -845,28 +909,35 @@ impl DataPath {
             stats.accumulate(part);
         }
 
-        // Scatter pixel-major -> one NCHW tensor per request.
-        let mut outs = Vec::with_capacity(inputs.len());
-        for b in 0..inputs.len() {
-            let mut out = Tensor::zeros(&[n, cout, oh, ow]);
+        // Scatter pixel-major -> one NCHW block per request, clamping in
+        // the fused-ReLU case (elementwise `max`, bit-identical to a
+        // separate pass over the unfused scatter).
+        let out_len = n * cout * pixels;
+        for (b, od) in outs.iter_mut().enumerate() {
             let base = b * n * pixels;
             let scatter_plane = |plane_idx: usize, plane: &mut [f32]| {
                 let ni = plane_idx / cout;
                 let co = plane_idx % cout;
-                for (p, slot) in plane.iter_mut().enumerate() {
-                    *slot = pix[(base + ni * pixels + p) * cout + co];
+                if relu {
+                    for (p, slot) in plane.iter_mut().enumerate() {
+                        *slot = pix[(base + ni * pixels + p) * cout + co].max(0.0);
+                    }
+                } else {
+                    for (p, slot) in plane.iter_mut().enumerate() {
+                        *slot = pix[(base + ni * pixels + p) * cout + co];
+                    }
                 }
             };
-            if out.len() < 1 << 16 {
-                for (idx, plane) in out.data_mut().chunks_mut(pixels).enumerate() {
+            let od = &mut od[..out_len];
+            if out_len < 1 << 16 {
+                for (idx, plane) in od.chunks_mut(pixels).enumerate() {
                     scatter_plane(idx, plane);
                 }
             } else {
-                epim_parallel::for_each_chunk_mut(out.data_mut(), pixels, scatter_plane);
+                epim_parallel::for_each_chunk_mut(od, pixels, scatter_plane);
             }
-            outs.push(out);
         }
-        Ok((outs, stats))
+        Ok(stats)
     }
 
     /// `(step, limit)` of the DAC input quantizer, when finite-precision.
@@ -997,22 +1068,27 @@ impl DataPath {
                 input.rank()
             )));
         }
-        let conv = self.plan.spec.conv();
         let (n, c_in, h, w) = (
             input.shape()[0],
             input.shape()[1],
             input.shape()[2],
             input.shape()[3],
         );
+        let (oh, ow) = self.check_dims(c_in, h, w)?;
+        Ok((n, h, w, oh, ow))
+    }
+
+    /// Validates channel count and convolution geometry for an `h x w`
+    /// input with `c_in` channels, returning `(oh, ow)`.
+    fn check_dims(&self, c_in: usize, h: usize, w: usize) -> Result<(usize, usize), PimError> {
+        let conv = self.plan.spec.conv();
         if c_in != conv.cin {
             return Err(PimError::geometry(format!(
                 "input has {c_in} channels, layer expects {}",
                 conv.cin
             )));
         }
-        let (oh, ow) =
-            conv2d_out_dims(h, w, conv.kh, conv.kw, self.conv_cfg).map_err(PimError::Tensor)?;
-        Ok((n, h, w, oh, ow))
+        conv2d_out_dims(h, w, conv.kh, conv.kw, self.conv_cfg).map_err(PimError::Tensor)
     }
 
     /// Runs all activation rounds for one output pixel through the compiled

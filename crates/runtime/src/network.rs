@@ -2,35 +2,49 @@
 //! `epim_models` [`Network`] and the [`NetworkEngine`] that serves it
 //! behind one submission queue.
 //!
-//! The plan is the runtime half of the lowering story: `Network::lower`
-//! produces the weight-free [`NetworkProgram`]; [`NetworkPlan::compile`]
-//! binds weights to it, resolves **every epitome stage through the
-//! [`PlanCache`]** (one compiled plan per distinct spec, shared across
-//! layers, networks and engines — warming the cache first via
-//! [`PlanCache::warm_network`] makes compilation miss-free), precomputes
-//! per-stage activation shapes and the point where each activation dies,
-//! and keeps a reusable buffer pool so steady-state serving does not
-//! allocate per stage per group.
+//! The plan is the runtime half of the compile pipeline: `Network::lower`
+//! produces the weight-free [`NetworkProgram`],
+//! [`NetworkProgram::optimize`] fuses ReLU epilogues and folds identity
+//! stages, and [`NetworkPlan::compile`] binds weights to the result,
+//! resolves **every epitome stage through the [`PlanCache`]** (one
+//! compiled plan per distinct spec, shared across layers, networks and
+//! engines — warming the cache first via [`PlanCache::warm_network`]
+//! makes compilation miss-free), and computes the **liveness-planned
+//! activation arena** ([`ArenaPlan`]): one static layout assigning every
+//! activation (and the im2col scratch of every dense convolution) an
+//! offset in a single allocation, with lifetimes-disjoint activations
+//! sharing memory. Steady-state serving leases one whole arena per
+//! in-flight group — no per-stage allocation, no buffer-pool resize
+//! churn, and a peak footprint strictly below the old exact-size pool's
+//! high-water mark (both reported in
+//! [`RuntimeStats::arena_bytes`] / [`RuntimeStats::legacy_pool_bytes`]).
 //!
-//! Execution stacks a whole request group into one batch tensor and
-//! streams it through the stages: epitome stages run on the batched data
-//! path (packed round panels amortized over every image of every
-//! request), dense convolutions run the multi-image batched GEMM, and
-//! elementwise stages write into pooled buffers. The result is
-//! **bit-identical** to executing each request alone through
-//! `NetworkProgram::forward_reference` — every stage's per-image
-//! arithmetic is independent of the batch around it (the classifier GEMM,
-//! whose row dimension *is* the batch, is deliberately executed
-//! per-request to keep that true) — with the [`DataPathStats`] rollup
-//! equal to the per-request sum.
+//! Execution stacks a whole request group into the arena's source slot
+//! and streams it through the stages: epitome stages run on the batched
+//! data path (packed round panels amortized over every image of every
+//! request), dense convolutions run the multi-image batched GEMM with
+//! their fused ReLU epilogue, and elementwise stages run the vectorized
+//! slice kernels. The result is **bit-identical** to executing each
+//! request alone through `NetworkProgram::forward_reference` on the
+//! *unoptimized* program — every fused epilogue clamps the exact value
+//! the unfused kernel writes, and every stage's per-image arithmetic is
+//! independent of the batch around it (the classifier GEMM, whose row
+//! dimension *is* the batch, is deliberately executed per-request to
+//! keep that true) — with the [`DataPathStats`] rollup equal to the
+//! per-request sum.
 
 use crate::scheduler::{GroupExecutor, Scheduler};
 use crate::{EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats};
 use epim_models::lower::{NetworkProgram, NetworkWeights, StageInput, StageOp};
 use epim_models::network::Network;
+use epim_models::optimize::{ArenaPlan, ArenaSlot};
 use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
-use epim_tensor::ops::{gemm, global_avg_pool, max_pool2d, Conv2dCfg, PoolCfg};
-use epim_tensor::{ops, Tensor};
+use epim_tensor::ops::{
+    add_relu_slice, add_slice, conv2d_into, gemm, global_avg_pool_into, max_pool2d_into,
+    relu_slice, Conv2dCfg, PoolCfg,
+};
+use epim_tensor::Tensor;
+use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
 /// One executable stage: the program op with its weights bound.
@@ -39,9 +53,11 @@ enum PlannedOp {
         weight: Tensor,
         bias: Option<Tensor>,
         cfg: Conv2dCfg,
+        relu: bool,
     },
     Epitome {
         dp: DataPath,
+        relu: bool,
     },
     Relu,
     MaxPool(PoolCfg),
@@ -49,61 +65,41 @@ enum PlannedOp {
     Linear {
         weight: Tensor,
         bias: Option<Tensor>,
+        relu: bool,
     },
     Add {
         with: usize,
+        relu: bool,
     },
 }
 
-/// A pool of reusable activation buffers (leased per stage execution,
-/// returned when the activation dies).
-#[derive(Default)]
-struct BufferPool {
-    free: Mutex<Vec<Vec<f32>>>,
-}
+/// Whole arenas retained across groups; beyond this, returns are dropped.
+/// One arena serves one in-flight group, so this only needs to cover the
+/// scheduler's pipeline depth.
+const ARENA_RETAIN: usize = 8;
 
-/// Buffers retained across groups; beyond this, returns are dropped.
-const POOL_RETAIN: usize = 64;
-
-impl BufferPool {
-    /// Leases a buffer of exactly `len` elements (contents undefined; the
-    /// caller overwrites every element).
-    fn lease(&self, len: usize) -> Vec<f32> {
-        let mut v = self
-            .free
-            .lock()
-            .expect("buffer pool poisoned")
-            .pop()
-            .unwrap_or_default();
-        v.resize(len, 0.0);
-        v
-    }
-
-    /// Returns a buffer to the pool.
-    fn put(&self, v: Vec<f32>) {
-        let mut free = self.free.lock().expect("buffer pool poisoned");
-        if free.len() < POOL_RETAIN {
-            free.push(v);
-        }
-    }
-}
-
-/// A whole `Network` compiled for serving: program + bound weights +
-/// per-stage data paths, shareable (behind an [`Arc`]) across engines.
+/// A whole `Network` compiled for serving: optimized program + bound
+/// weights + per-stage data paths + the static activation arena,
+/// shareable (behind an [`Arc`]) across engines.
 pub struct NetworkPlan {
     program: NetworkProgram,
     ops: Vec<PlannedOp>,
-    /// `free_after[i]` = producer stages whose activations die once stage
-    /// `i` has executed.
-    free_after: Vec<Vec<usize>>,
-    buffers: BufferPool,
+    arena: ArenaPlan,
+    /// Whole activation arenas leased per group execution.
+    arenas: Mutex<Vec<Vec<f32>>>,
+    /// Per-image f32 units the pre-arena exact-size buffer pool kept live
+    /// (every unoptimized stage activation plus the stacked source) — the
+    /// "before" of the arena metric.
+    legacy_units: usize,
 }
 
 impl NetworkPlan {
-    /// Lowers `network` for `input_h × input_w` inputs and binds
-    /// `weights`, resolving every epitome stage through `cache` (layers
+    /// Lowers `network` for `input_h × input_w` inputs, runs the
+    /// graph-fusion pass when `optimize` is set (fused ReLU epilogues and
+    /// identity folds — bit-identity-safe by construction), binds
+    /// `weights`, resolves every epitome stage through `cache` (layers
     /// sharing a spec share one compiled plan; a pre-warmed cache
-    /// compiles nothing).
+    /// compiles nothing) and plans the activation arena.
     ///
     /// # Errors
     ///
@@ -116,30 +112,52 @@ impl NetworkPlan {
         (input_h, input_w): (usize, usize),
         wrapping_enabled: bool,
         analog: AnalogModel,
+        optimize: bool,
     ) -> Result<Self, RuntimeError> {
-        let program = network
+        let raw = network
             .lower(input_h, input_w)
             .map_err(|e| RuntimeError::config(format!("lowering failed: {e}")))?;
+        // What the old exact-size pool's high-water mark was: one buffer
+        // per (unoptimized) stage plus the stacked source, all resident.
+        let legacy_units = raw.input_shape().iter().product::<usize>()
+            + raw
+                .stages()
+                .iter()
+                .map(|s| s.out_shape.iter().product::<usize>())
+                .sum::<usize>();
+        let program = if optimize { raw.optimize() } else { raw };
+
         let mut ops = Vec::with_capacity(program.stages().len());
+        let mut scratch = Vec::with_capacity(program.stages().len());
         for stage in program.stages() {
+            let mut stage_scratch = 0usize;
             let op = match &stage.op {
-                StageOp::Conv { layer, cfg } => {
+                StageOp::Conv { layer, cfg, relu } => {
                     let (w, b) = weights.dense(*layer, &stage.name)?;
+                    // Per-image im2col columns: (OH * OW) x (C_in * KH * KW).
+                    let ckk = w.len() / w.shape()[0].max(1);
+                    stage_scratch = stage.out_shape[1] * stage.out_shape[2] * ckk;
                     PlannedOp::Conv {
                         weight: w.clone(),
                         bias: b.cloned(),
                         cfg: *cfg,
+                        relu: *relu,
                     }
                 }
-                StageOp::Epitome { layer, spec, cfg } => {
+                StageOp::Epitome {
+                    layer,
+                    spec,
+                    cfg,
+                    relu,
+                } => {
                     let epi = weights.epitome(*layer, spec, &stage.name)?;
                     let dp = cache.datapath(epi, *cfg, wrapping_enabled, analog)?;
-                    PlannedOp::Epitome { dp }
+                    PlannedOp::Epitome { dp, relu: *relu }
                 }
                 StageOp::Relu => PlannedOp::Relu,
                 StageOp::MaxPool(cfg) => PlannedOp::MaxPool(*cfg),
                 StageOp::GlobalAvgPool => PlannedOp::GlobalAvgPool,
-                StageOp::Linear { layer } => {
+                StageOp::Linear { layer, relu } => {
                     let (w, b) = weights.dense(*layer, &stage.name)?;
                     let wmat = w
                         .reshape(&[w.shape()[0], w.len() / w.shape()[0]])
@@ -147,62 +165,75 @@ impl NetworkPlan {
                     PlannedOp::Linear {
                         weight: wmat,
                         bias: b.cloned(),
+                        relu: *relu,
                     }
                 }
-                StageOp::Add { with } => PlannedOp::Add { with: *with },
+                StageOp::Add { with, relu } => PlannedOp::Add {
+                    with: *with,
+                    relu: *relu,
+                },
             };
             ops.push(op);
+            scratch.push(stage_scratch);
         }
-
-        // Death points: stage j's activation can be freed after its last
-        // consumer executes. The final stage is the program output and is
-        // never freed here.
-        let consumers = program.consumers();
-        let last = program.stages().len().saturating_sub(1);
-        let mut free_after = vec![Vec::new(); program.stages().len()];
-        for (j, readers) in consumers.iter().enumerate() {
-            if j == last {
-                continue;
-            }
-            if let Some(&die_at) = readers.iter().max() {
-                free_after[die_at].push(j);
-            }
-        }
+        let arena = program.plan_arena(&scratch);
 
         Ok(NetworkPlan {
             program,
             ops,
-            free_after,
-            buffers: BufferPool::default(),
+            arena,
+            arenas: Mutex::new(Vec::new()),
+            legacy_units,
         })
     }
 
-    /// The lowered program this plan executes.
+    /// The program this plan executes (post-optimization when the plan
+    /// was compiled with the pass enabled).
     pub fn program(&self) -> &NetworkProgram {
         &self.program
     }
 
-    /// Pre-allocates the activation buffer pool for groups of up to
-    /// `images` stacked images, so the first served groups do not pay the
-    /// allocations either. Called by [`NetworkEngine`] with its
-    /// `max_batch`.
-    pub fn preallocate(&self, images: usize) {
-        let mut lens: Vec<usize> = self
-            .program
-            .stages()
-            .iter()
-            .map(|s| images * s.out_shape.iter().product::<usize>())
-            .collect();
-        lens.push(images * self.program.input_shape().iter().product::<usize>());
-        // Lease everything first, then return: putting one back before
-        // leasing the next would just resize the same buffer over and
-        // over (the pool is a LIFO).
-        let bufs: Vec<Vec<f32>> = lens
-            .into_iter()
-            .map(|len| self.buffers.lease(len))
-            .collect();
-        for buf in bufs {
-            self.buffers.put(buf);
+    /// The static activation-arena layout this plan executes into.
+    pub fn arena_plan(&self) -> &ArenaPlan {
+        &self.arena
+    }
+
+    /// Peak activation-arena bytes for a group of `images` stacked images.
+    pub fn arena_bytes(&self, images: usize) -> u64 {
+        (self.arena.total * images * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// What the pre-arena exact-size buffer pool kept resident for the
+    /// same group — the "before" of the arena optimization.
+    pub fn legacy_pool_bytes(&self, images: usize) -> u64 {
+        (self.legacy_units * images * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Pre-allocates one arena for groups of up to `images` stacked
+    /// images, so the first served groups do not pay the allocation.
+    /// Called by the engines with their `max_batch`.
+    pub fn warm(&self, images: usize) {
+        let arena = self.lease_arena(self.arena.total * images);
+        self.return_arena(arena);
+    }
+
+    fn lease_arena(&self, len: usize) -> Vec<f32> {
+        let mut v = self
+            .arenas
+            .lock()
+            .expect("arena pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        // Contents may be stale: every op overwrites its whole output
+        // slot, and the im2col fill zeroes its scratch first.
+        v.resize(len, 0.0);
+        v
+    }
+
+    fn return_arena(&self, v: Vec<f32>) {
+        let mut pool = self.arenas.lock().expect("arena pool poisoned");
+        if pool.len() < ARENA_RETAIN {
+            pool.push(v);
         }
     }
 
@@ -210,9 +241,9 @@ impl NetworkPlan {
     /// returning one output per request plus the summed
     /// [`DataPathStats`] of every epitome stage.
     ///
-    /// Semantics are exactly `inputs.iter().map(forward_reference)`: the
-    /// outputs and stats are bit-identical to sequential per-request
-    /// reference execution.
+    /// Semantics are exactly `inputs.iter().map(forward_reference)` on
+    /// the unoptimized program: the outputs and stats are bit-identical
+    /// to sequential per-request reference execution.
     ///
     /// # Errors
     ///
@@ -245,62 +276,95 @@ impl NetworkPlan {
         let n_per = first.shape()[0];
         let images = inputs.len() * n_per;
 
-        // Stack the group into one (B, C, H, W) batch tensor (pooled
-        // buffer). Per-image results are independent of the stacking, so
-        // this is purely a dispatch-amortization move.
+        let mut arena_buf = self.lease_arena(self.arena.total * images);
+        let arena = &mut arena_buf[..];
+        let src = slot_range(self.arena.source, images);
+
+        // Stack the group into the source slot. Per-image results are
+        // independent of the stacking, so this is purely a
+        // dispatch-amortization move.
         let plane = first.len();
-        let mut stacked_buf = self.buffers.lease(inputs.len() * plane);
+        let dst = &mut arena[src.clone()];
         for (g, input) in inputs.iter().enumerate() {
-            stacked_buf[g * plane..(g + 1) * plane].copy_from_slice(input.data());
+            dst[g * plane..(g + 1) * plane].copy_from_slice(input.data());
         }
-        let mut shape = vec![images];
-        shape.extend_from_slice(in_shape);
-        let source = Tensor::from_vec(stacked_buf, &shape)
-            .map_err(|e| RuntimeError::config(format!("stacking failed: {e}")))?;
 
         let mut stats = DataPathStats::default();
-        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(self.ops.len());
         for (i, op) in self.ops.iter().enumerate() {
-            let x = match self.program.stages()[i].input {
-                StageInput::Source => &source,
-                StageInput::Stage(j) => outputs[j].as_ref().expect("stages execute in order"),
+            let stage = &self.program.stages()[i];
+            let (in_range, in_shape) = match stage.input {
+                StageInput::Source => (src.clone(), self.program.input_shape()),
+                StageInput::Stage(j) => (
+                    slot_range(self.arena.values[j], images),
+                    self.program.stages()[j].out_shape.as_slice(),
+                ),
             };
-            let y = match op {
-                PlannedOp::Conv { weight, bias, cfg } => {
-                    ops::conv2d(x, weight, bias.as_ref(), *cfg)
-                        .map_err(epim_pim::PimError::Tensor)?
+            let out_range = slot_range(self.arena.values[i], images);
+            let scratch_range = self.arena.scratch[i].map(|s| slot_range(s, images));
+            match op {
+                PlannedOp::Conv {
+                    weight,
+                    bias,
+                    cfg,
+                    relu,
+                } => {
+                    let (out, scratch, reads) =
+                        stage_views(arena, out_range, scratch_range, &[in_range]);
+                    conv2d_into(
+                        reads[0],
+                        (images, in_shape[0], in_shape[1], in_shape[2]),
+                        weight,
+                        bias.as_ref(),
+                        *cfg,
+                        *relu,
+                        scratch.expect("conv stages plan im2col scratch"),
+                        out,
+                    )
+                    .map_err(epim_pim::PimError::Tensor)?;
                 }
-                PlannedOp::Epitome { dp } => {
-                    let (mut outs, s) = dp.execute_batch(&[x])?;
+                PlannedOp::Epitome { dp, relu } => {
+                    let (out, _, reads) = stage_views(arena, out_range, None, &[in_range]);
+                    let s = dp.execute_stacked_into(
+                        reads[0],
+                        images,
+                        in_shape[1],
+                        in_shape[2],
+                        *relu,
+                        out,
+                    )?;
                     stats.accumulate(&s);
-                    outs.pop().expect("one output per batch input")
                 }
                 PlannedOp::Relu => {
-                    // Pooled elementwise; same scalar op as `ops::relu`.
-                    let mut buf = self.buffers.lease(x.len());
-                    for (o, &v) in buf.iter_mut().zip(x.data()) {
-                        *o = v.max(0.0);
-                    }
-                    Tensor::from_vec(buf, x.shape()).map_err(epim_pim::PimError::Tensor)?
+                    let (out, _, reads) = stage_views(arena, out_range, None, &[in_range]);
+                    relu_slice(reads[0], out);
                 }
                 PlannedOp::MaxPool(cfg) => {
-                    max_pool2d(x, *cfg).map_err(epim_pim::PimError::Tensor)?
+                    let (out, _, reads) = stage_views(arena, out_range, None, &[in_range]);
+                    max_pool2d_into(
+                        reads[0],
+                        (images, in_shape[0], in_shape[1], in_shape[2]),
+                        *cfg,
+                        out,
+                    )
+                    .map_err(epim_pim::PimError::Tensor)?;
                 }
                 PlannedOp::GlobalAvgPool => {
-                    let (n, c) = (x.shape()[0], x.shape()[1]);
-                    global_avg_pool(x)
-                        .and_then(|t| t.reshape(&[n, c, 1, 1]))
-                        .map_err(epim_pim::PimError::Tensor)?
+                    let (out, _, reads) = stage_views(arena, out_range, None, &[in_range]);
+                    global_avg_pool_into(
+                        reads[0],
+                        (images, in_shape[0], in_shape[1], in_shape[2]),
+                        out,
+                    )
+                    .map_err(epim_pim::PimError::Tensor)?;
                 }
-                PlannedOp::Linear { weight, bias } => {
+                PlannedOp::Linear { weight, bias, relu } => {
                     // Per-request GEMMs: the row dimension of this product
                     // is the batch itself, so folding requests together
                     // would change each row's kernel path. Request-sized
                     // row blocks run the exact calls `ops::linear` makes —
                     // bit-identical to per-request reference execution —
-                    // but read the input and write the pooled output
-                    // in place (no staging copies).
-                    let feats = x.len() / x.shape()[0].max(1);
+                    // reading and writing the arena in place.
+                    let feats: usize = in_shape.iter().product();
                     let out_f = weight.shape()[0];
                     if feats != weight.shape()[1] {
                         return Err(RuntimeError::config(format!(
@@ -308,62 +372,123 @@ impl NetworkPlan {
                             weight.shape()[1]
                         )));
                     }
-                    let mut buf = self.buffers.lease(images * out_f);
+                    let (out, _, reads) = stage_views(arena, out_range, None, &[in_range]);
                     for g in 0..inputs.len() {
-                        let rows = &x.data()[g * n_per * feats..(g + 1) * n_per * feats];
-                        let out = &mut buf[g * n_per * out_f..(g + 1) * n_per * out_f];
-                        match bias {
-                            Some(b) => gemm::gemm_nt_bias_col(
+                        let rows = &reads[0][g * n_per * feats..(g + 1) * n_per * feats];
+                        let dst = &mut out[g * n_per * out_f..(g + 1) * n_per * out_f];
+                        match (bias, relu) {
+                            (Some(b), false) => gemm::gemm_nt_bias_col(
                                 n_per,
                                 out_f,
                                 feats,
                                 rows,
                                 weight.data(),
                                 b.data(),
-                                out,
+                                dst,
                             ),
-                            None => gemm::gemm_nt(n_per, out_f, feats, rows, weight.data(), out),
+                            (Some(b), true) => gemm::gemm_nt_bias_col_relu(
+                                n_per,
+                                out_f,
+                                feats,
+                                rows,
+                                weight.data(),
+                                b.data(),
+                                dst,
+                            ),
+                            (None, false) => {
+                                gemm::gemm_nt(n_per, out_f, feats, rows, weight.data(), dst)
+                            }
+                            (None, true) => {
+                                gemm::gemm_nt_relu(n_per, out_f, feats, rows, weight.data(), dst)
+                            }
                         }
                     }
-                    Tensor::from_vec(buf, &[images, out_f]).map_err(epim_pim::PimError::Tensor)?
                 }
-                PlannedOp::Add { with } => {
-                    let other = outputs[*with].as_ref().expect("stages execute in order");
-                    // Pooled elementwise; same scalar op as `Tensor::add`.
-                    let mut buf = self.buffers.lease(x.len());
-                    for (o, (&a, &b)) in buf.iter_mut().zip(x.data().iter().zip(other.data())) {
-                        *o = a + b;
+                PlannedOp::Add { with, relu } => {
+                    let other = slot_range(self.arena.values[*with], images);
+                    let (out, _, reads) = stage_views(arena, out_range, None, &[in_range, other]);
+                    if *relu {
+                        add_relu_slice(reads[0], reads[1], out);
+                    } else {
+                        add_slice(reads[0], reads[1], out);
                     }
-                    Tensor::from_vec(buf, x.shape()).map_err(epim_pim::PimError::Tensor)?
-                }
-            };
-            outputs.push(Some(y));
-            // Return dead activations to the pool.
-            for &j in &self.free_after[i] {
-                if let Some(dead) = outputs[j].take() {
-                    self.buffers.put(dead.into_vec());
                 }
             }
         }
 
-        // The source dies with the first stage in a chain program, but a
-        // residual program may read it later; it is safe to recycle here
-        // in all cases because every stage has executed.
-        self.buffers.put(source.into_vec());
-
-        // Split the stacked output back into per-request tensors.
-        let out = outputs.pop().flatten().expect("last stage executed");
-        let mut req_shape = out.shape().to_vec();
-        req_shape[0] = n_per;
-        let req_len = out.len() / inputs.len();
-        let od = out.data();
+        // Split the final stage's slot back into per-request tensors.
+        let last = self.program.stages().len() - 1;
+        let out_slot = &arena[slot_range(self.arena.values[last], images)];
+        let mut req_shape = vec![n_per];
+        req_shape.extend_from_slice(&self.program.stages()[last].out_shape);
+        let req_len = out_slot.len() / inputs.len();
         let outs = (0..inputs.len())
             .map(|g| {
-                Tensor::from_vec(od[g * req_len..(g + 1) * req_len].to_vec(), &req_shape)
-                    .expect("request shape matches slice")
+                Tensor::from_vec(
+                    out_slot[g * req_len..(g + 1) * req_len].to_vec(),
+                    &req_shape,
+                )
+                .expect("request shape matches slice")
             })
             .collect();
+
+        self.return_arena(arena_buf);
         Ok((outs, stats))
+    }
+}
+
+/// The arena range of `slot` scaled to a group of `images` images
+/// (uniform scaling preserves the plan's disjointness).
+fn slot_range(slot: ArenaSlot, images: usize) -> Range<usize> {
+    slot.offset * images..(slot.offset + slot.len) * images
+}
+
+/// True when two ranges share no index.
+fn ranges_disjoint(a: &Range<usize>, b: &Range<usize>) -> bool {
+    a.end <= b.start || b.end <= a.start
+}
+
+/// Views into disjoint ranges of one arena: the stage's mutable output,
+/// its optional mutable scratch, and its shared read slices.
+///
+/// Reads may overlap each other (a residual add reading one producer
+/// twice) but never a mutable range; the [`ArenaPlan`] guarantees this by
+/// construction — live slots never share memory, and a stage's inputs
+/// are live while it writes its output. The assertions turn a planner
+/// bug into a loud panic instead of silent data corruption.
+fn stage_views<'a>(
+    arena: &'a mut [f32],
+    out: Range<usize>,
+    scratch: Option<Range<usize>>,
+    reads: &[Range<usize>],
+) -> (&'a mut [f32], Option<&'a mut [f32]>, Vec<&'a [f32]>) {
+    let len = arena.len();
+    let in_bounds = |r: &Range<usize>| r.start <= r.end && r.end <= len;
+    assert!(in_bounds(&out), "output slot in bounds");
+    if let Some(s) = &scratch {
+        assert!(in_bounds(s), "scratch slot in bounds");
+        assert!(ranges_disjoint(s, &out), "scratch and output disjoint");
+    }
+    for r in reads {
+        assert!(in_bounds(r), "read slot in bounds");
+        assert!(ranges_disjoint(r, &out), "reads and output disjoint");
+        if let Some(s) = &scratch {
+            assert!(ranges_disjoint(r, s), "reads and scratch disjoint");
+        }
+    }
+    let ptr = arena.as_mut_ptr();
+    // SAFETY: all ranges are in bounds of `arena`, and both mutable
+    // ranges are disjoint from each other and from every read range
+    // (asserted above), so no `&mut` aliases any other returned
+    // reference; read views alias only each other, as shared `&` may.
+    unsafe {
+        let o = std::slice::from_raw_parts_mut(ptr.add(out.start), out.end - out.start);
+        let s = scratch.map(|s| std::slice::from_raw_parts_mut(ptr.add(s.start), s.end - s.start));
+        let rs = reads
+            .iter()
+            .map(|r| std::slice::from_raw_parts(ptr.add(r.start).cast_const(), r.end - r.start))
+            .collect();
+        (o, s, rs)
     }
 }
 
@@ -415,12 +540,15 @@ impl GroupExecutor for PlanExecutor {
 pub struct NetworkEngine {
     scheduler: Scheduler<PlanExecutor>,
     cache: PlanCache,
+    /// The group size the arena metrics are reported for.
+    max_batch: usize,
 }
 
 impl NetworkEngine {
-    /// Compiles `network` (see [`NetworkPlan::compile`]) and spawns the
-    /// serving scheduler. The engine keeps a handle to `cache` and
-    /// reports its counters in [`RuntimeStats::plan_cache`].
+    /// Compiles `network` (see [`NetworkPlan::compile`]; the graph-fusion
+    /// pass runs unless [`EngineConfig::optimize_program`] is cleared)
+    /// and spawns the serving scheduler. The engine keeps a handle to
+    /// `cache` and reports its counters in [`RuntimeStats::plan_cache`].
     ///
     /// # Errors
     ///
@@ -442,6 +570,7 @@ impl NetworkEngine {
             input_hw,
             wrapping_enabled,
             analog,
+            config.optimize_program,
         )?);
         Self::from_plan(plan, cache, config)
     }
@@ -457,11 +586,13 @@ impl NetworkEngine {
         cache: &PlanCache,
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
-        plan.preallocate(config.max_batch.max(1));
+        let max_batch = config.max_batch.max(1);
+        plan.warm(max_batch);
         let scheduler = Scheduler::single(PlanExecutor { plan }, config)?;
         Ok(NetworkEngine {
             scheduler,
             cache: cache.clone(),
+            max_batch,
         })
     }
 
@@ -508,8 +639,13 @@ impl NetworkEngine {
     }
 
     /// A point-in-time snapshot of the serving statistics (including the
-    /// plan cache's counters).
+    /// plan cache's counters and the activation-arena footprint at this
+    /// engine's `max_batch`).
     pub fn stats(&self) -> RuntimeStats {
-        self.scheduler.fleet_stats(self.cache.stats())
+        let mut stats = self.scheduler.fleet_stats(self.cache.stats());
+        let plan = self.plan();
+        stats.arena_bytes = plan.arena_bytes(self.max_batch);
+        stats.legacy_pool_bytes = plan.legacy_pool_bytes(self.max_batch);
+        stats
     }
 }

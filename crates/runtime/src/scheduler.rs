@@ -111,6 +111,13 @@ pub struct EngineConfig {
     /// original engine; more lets a fresh group coalesce and execute while
     /// earlier ones are still in flight.
     pub workers: usize,
+    /// Whether network compilation runs the graph-fusion pass
+    /// (`NetworkProgram::optimize`: fused ReLU epilogues, identity
+    /// folds) before planning. On by default; the pass is
+    /// bit-identity-safe, so clearing this is a debugging/benchmarking
+    /// knob, not a correctness one. Ignored by the single-layer
+    /// [`crate::Engine`], which serves no lowered program.
+    pub optimize_program: bool,
 }
 
 impl Default for EngineConfig {
@@ -121,6 +128,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             flow: FlowControl::Block,
             workers: 1,
+            optimize_program: true,
         }
     }
 }

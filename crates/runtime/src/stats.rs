@@ -41,6 +41,14 @@ pub struct RuntimeStats {
     /// is visible here: a fully warmed engine compiles with zero
     /// additional misses.
     pub plan_cache: PlanCacheStats,
+    /// Peak activation-arena bytes for one full `max_batch` group under
+    /// the liveness-planned arena (zero for engines without a compiled
+    /// network plan).
+    pub arena_bytes: u64,
+    /// What the pre-arena exact-size buffer pool kept resident for the
+    /// same group (every stage activation plus the stacked source) — the
+    /// "before" of the arena optimization.
+    pub legacy_pool_bytes: u64,
 }
 
 impl RuntimeStats {
@@ -130,6 +138,8 @@ impl StatsInner {
             queue_depth,
             shed: self.shed,
             plan_cache,
+            arena_bytes: 0,
+            legacy_pool_bytes: 0,
         }
     }
 }

@@ -131,6 +131,8 @@ impl MultiEngineBuilder {
         // before the shared cache's counters record any of its work).
         let name = name.into();
         self.check_registration(&name, config)?;
+        // Tenants always serve the optimized program: the graph-fusion
+        // pass is bit-identity-safe, so there is nothing to opt out of.
         let plan = Arc::new(NetworkPlan::compile(
             &self.cache,
             network,
@@ -138,6 +140,7 @@ impl MultiEngineBuilder {
             input_hw,
             wrapping_enabled,
             analog,
+            true,
         )?);
         self.register_plan(name, plan, config)
     }
@@ -191,13 +194,16 @@ impl MultiEngineBuilder {
             ));
         }
         let mut names = Vec::with_capacity(self.tenants.len());
+        let mut max_batches = Vec::with_capacity(self.tenants.len());
         let tenants = self
             .tenants
             .into_iter()
             .map(|(name, plan, config)| {
-                // Pre-size each tenant's activation pool for its own
+                // Pre-size each tenant's activation arena for its own
                 // max_batch, as the dedicated engine would.
-                plan.preallocate(config.max_batch.max(1));
+                let max_batch = config.max_batch.max(1);
+                plan.warm(max_batch);
+                max_batches.push(max_batch);
                 names.push(name.clone());
                 (Some(name), PlanExecutor { plan }, config)
             })
@@ -207,6 +213,7 @@ impl MultiEngineBuilder {
             scheduler,
             fleet: self.fleet,
             names,
+            max_batches,
             cache: self.cache,
         })
     }
@@ -219,6 +226,8 @@ pub struct MultiEngine {
     scheduler: Scheduler<PlanExecutor>,
     fleet: u64,
     names: Vec<String>,
+    /// Per-tenant group size the arena metrics are reported for.
+    max_batches: Vec<usize>,
     cache: PlanCache,
 }
 
@@ -339,16 +348,26 @@ impl MultiEngine {
     /// Returns [`RuntimeError::UnknownTenant`] for an id this engine did
     /// not issue.
     pub fn tenant_stats(&self, id: TenantId) -> Result<RuntimeStats, RuntimeError> {
-        self.scheduler
-            .tenant_stats(self.index_of(id)?, self.cache.stats())
+        let index = self.index_of(id)?;
+        let mut stats = self.scheduler.tenant_stats(index, self.cache.stats())?;
+        let plan = &self.scheduler.executor(index).plan;
+        stats.arena_bytes = plan.arena_bytes(self.max_batches[index]);
+        stats.legacy_pool_bytes = plan.legacy_pool_bytes(self.max_batches[index]);
+        Ok(stats)
     }
 
     /// The fleet-level rollup across every tenant: counters and data-path
     /// rollups sum, histograms merge, latency percentiles cover the union
-    /// of every tenant's retained samples, and `queue_depth` is the total
-    /// backlog.
+    /// of every tenant's retained samples, `queue_depth` is the total
+    /// backlog, and the arena byte metrics sum across tenants.
     pub fn fleet_stats(&self) -> RuntimeStats {
-        self.scheduler.fleet_stats(self.cache.stats())
+        let mut stats = self.scheduler.fleet_stats(self.cache.stats());
+        for (index, &max_batch) in self.max_batches.iter().enumerate() {
+            let plan = &self.scheduler.executor(index).plan;
+            stats.arena_bytes += plan.arena_bytes(max_batch);
+            stats.legacy_pool_bytes += plan.legacy_pool_bytes(max_batch);
+        }
+        stats
     }
 }
 

@@ -137,6 +137,7 @@ proptest! {
         epi0 in any::<bool>(),
         epi1 in any::<bool>(),
         quantized in any::<bool>(),
+        workers in 1usize..=3,
         seed in 0u64..10_000,
     ) {
         let bb = Backbone {
@@ -183,6 +184,7 @@ proptest! {
             EngineConfig {
                 max_batch: 3,
                 batch_window: Duration::from_millis(10),
+                workers,
                 ..EngineConfig::default()
             },
             requests,
@@ -204,7 +206,16 @@ fn warmed_cache_compiles_with_zero_misses() {
     assert_eq!(misses_after_warm, 1);
 
     let plan = Arc::new(
-        NetworkPlan::compile(&cache, &net, &weights, (16, 16), true, AnalogModel::ideal()).unwrap(),
+        NetworkPlan::compile(
+            &cache,
+            &net,
+            &weights,
+            (16, 16),
+            true,
+            AnalogModel::ideal(),
+            true,
+        )
+        .unwrap(),
     );
     assert_eq!(
         cache.stats().misses,
@@ -244,6 +255,7 @@ fn shed_policy_rejects_under_load() {
                 timeout: Duration::from_millis(10),
             },
             workers: 1,
+            optimize_program: true,
         },
     )
     .unwrap();
@@ -309,6 +321,7 @@ fn block_policy_never_drops() {
             queue_capacity: 2,
             flow: FlowControl::Block,
             workers: 1,
+            optimize_program: true,
         },
     )
     .unwrap();
@@ -393,6 +406,68 @@ fn invalid_configs_rejected_with_typed_errors() {
     ));
     let good = init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r);
     assert!(engine.infer(good).is_ok());
+}
+
+/// The graph-fusion pass is invisible to callers: a fused engine and an
+/// unfused engine serve bitwise-identical outputs and stats, while the
+/// fused plan runs fewer stages and its liveness-planned arena stays
+/// strictly below the old exact-size pool's high-water mark.
+#[test]
+fn fused_engine_matches_unfused_and_shrinks_the_arena() {
+    let (net, _) = tiny_resnet_network();
+    let weights = NetworkWeights::random(&net, 81).unwrap();
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
+    let mut r = rng::seeded(82);
+    let requests: Vec<Tensor> = (0..8)
+        .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+        .collect();
+    let config = EngineConfig {
+        max_batch: 4,
+        batch_window: Duration::from_millis(10),
+        ..EngineConfig::default()
+    };
+    let serve = |optimize_program: bool| {
+        let cache = PlanCache::new();
+        let engine = NetworkEngine::new(
+            &cache,
+            &net,
+            &weights,
+            (16, 16),
+            true,
+            analog,
+            EngineConfig {
+                optimize_program,
+                ..config
+            },
+        )
+        .unwrap();
+        let outs: Vec<Tensor> = engine
+            .infer_many(requests.clone())
+            .unwrap()
+            .into_iter()
+            .map(|res| res.unwrap().output)
+            .collect();
+        let stages = engine.plan().program().stages().len();
+        (outs, engine.stats(), stages)
+    };
+    let (fused_outs, fused_stats, fused_stages) = serve(true);
+    let (raw_outs, raw_stats, raw_stages) = serve(false);
+    assert_eq!(fused_outs, raw_outs, "fusion must be bitwise invisible");
+    assert_eq!(fused_stats.datapath, raw_stats.datapath);
+    assert!(fused_stages < raw_stages, "relu stages must fold away");
+    // The arena metric: strictly below the old pool's high-water mark,
+    // for both the fused and the unfused program.
+    assert!(fused_stats.arena_bytes > 0);
+    assert!(fused_stats.arena_bytes < fused_stats.legacy_pool_bytes);
+    assert!(raw_stats.arena_bytes < raw_stats.legacy_pool_bytes);
+    assert!(
+        fused_stats.arena_bytes <= raw_stats.arena_bytes,
+        "fusion must never grow the arena"
+    );
 }
 
 /// `try_infer`'s `Pending` handle delivers the same result as `infer`.

@@ -1,10 +1,28 @@
-//! Activation functions.
+//! Activation functions and the vectorized elementwise kernels behind the
+//! fused serving stages.
+//!
+//! The serving pipeline's standalone `Relu`/`Add` stages and the fused
+//! `Add → Relu` kernel bottom out in the slice kernels here
+//! ([`relu_slice`], [`add_slice`], [`add_relu_slice`]), which dispatch at
+//! runtime to AVX-512F, AVX2 or scalar code — the same pattern as the GEMM
+//! micro-kernels in [`crate::ops::gemm`] and `epim_pim`'s quantizer.
+//!
+//! **Bit-exactness.** The graph-fusion invariant (fused programs bitwise
+//! equal to the unfused reference) requires every kernel to reproduce the
+//! scalar `v.max(0.0)` / `a + b` exactly. Addition is the same IEEE op in
+//! scalar and vector form; for the clamp, the vector kernels compute
+//! `max_ps(x, 0.0)` with the value in the **first** operand — x86 `maxps`
+//! returns the second operand on equal-or-NaN inputs, so `-0.0` maps to
+//! `+0.0` and `NaN` to `0.0`, exactly as the scalar `f32::max(x, 0.0)`
+//! lowering does.
 
 use crate::{Tensor, TensorError};
 
 /// Rectified linear unit, elementwise.
 pub fn relu(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    let mut out = Tensor::zeros(x.shape());
+    relu_slice(x.data(), out.data_mut());
+    out
 }
 
 /// Backward pass of [`relu`]: passes gradient where the input was positive.
@@ -19,6 +37,240 @@ pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Result<Tensor, TensorError> {
 /// Logistic sigmoid, elementwise.
 pub fn sigmoid(x: &Tensor) -> Tensor {
     x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Instruction-set variant for the elementwise kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// 16-wide AVX-512F.
+    Avx512,
+    /// 8-wide AVX2.
+    Avx2,
+    /// One lane at a time, autovectorizer permitting.
+    Scalar,
+}
+
+/// Detects the best available kernel once per process.
+fn kind() -> Kind {
+    static KIND: std::sync::OnceLock<Kind> = std::sync::OnceLock::new();
+    *KIND.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return Kind::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return Kind::Avx2;
+            }
+        }
+        Kind::Scalar
+    })
+}
+
+/// `dst[i] = max(src[i], 0.0)`, bit-exactly matching the scalar clamp.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` lengths differ.
+pub fn relu_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "relu_slice length mismatch");
+    match kind() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx512f feature at runtime.
+        Kind::Avx512 => unsafe { relu_avx512(src, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx2 feature at runtime.
+        Kind::Avx2 => unsafe { relu_avx2(src, dst) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kind::Avx512 | Kind::Avx2 => relu_scalar(src, dst),
+        Kind::Scalar => relu_scalar(src, dst),
+    }
+}
+
+/// `dst[i] = a[i] + b[i]` (the residual-shortcut add).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn add_slice(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    assert_eq!(a.len(), dst.len(), "add_slice length mismatch");
+    assert_eq!(b.len(), dst.len(), "add_slice length mismatch");
+    match kind() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx512f feature at runtime.
+        Kind::Avx512 => unsafe { add_avx512(a, b, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx2 feature at runtime.
+        Kind::Avx2 => unsafe { add_avx2(a, b, dst) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kind::Avx512 | Kind::Avx2 => add_scalar(a, b, dst),
+        Kind::Scalar => add_scalar(a, b, dst),
+    }
+}
+
+/// `dst[i] = max(a[i] + b[i], 0.0)` in one traversal — the fused
+/// `Add → Relu` stage. Bit-identical to [`add_slice`] followed by
+/// [`relu_slice`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn add_relu_slice(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    assert_eq!(a.len(), dst.len(), "add_relu_slice length mismatch");
+    assert_eq!(b.len(), dst.len(), "add_relu_slice length mismatch");
+    match kind() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx512f feature at runtime.
+        Kind::Avx512 => unsafe { add_relu_avx512(a, b, dst) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kind()` verified the avx2 feature at runtime.
+        Kind::Avx2 => unsafe { add_relu_avx2(a, b, dst) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kind::Avx512 | Kind::Avx2 => add_relu_scalar(a, b, dst),
+        Kind::Scalar => add_relu_scalar(a, b, dst),
+    }
+}
+
+fn relu_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = v.max(0.0);
+    }
+}
+
+fn add_scalar(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(b) {
+        *d = av + bv;
+    }
+}
+
+fn add_relu_scalar(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(b) {
+        *d = (av + bv).max(0.0);
+    }
+}
+
+/// 8-wide AVX2 clamp.
+///
+/// # Safety
+///
+/// Caller must verify the `avx2` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn relu_avx2(src: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let zero = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_max_ps(v, zero));
+        i += 8;
+    }
+    relu_scalar(&src[i..], &mut dst[i..]);
+}
+
+/// 16-wide AVX-512F clamp.
+///
+/// # Safety
+///
+/// Caller must verify the `avx512f` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn relu_avx512(src: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let zero = _mm512_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        let v = _mm512_loadu_ps(src.as_ptr().add(i));
+        _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_max_ps(v, zero));
+        i += 16;
+    }
+    relu_scalar(&src[i..], &mut dst[i..]);
+}
+
+/// 8-wide AVX2 add.
+///
+/// # Safety
+///
+/// Caller must verify the `avx2` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_avx2(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = _mm256_loadu_ps(a.as_ptr().add(i));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(av, bv));
+        i += 8;
+    }
+    add_scalar(&a[i..], &b[i..], &mut dst[i..]);
+}
+
+/// 16-wide AVX-512F add.
+///
+/// # Safety
+///
+/// Caller must verify the `avx512f` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn add_avx512(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 16 <= n {
+        let av = _mm512_loadu_ps(a.as_ptr().add(i));
+        let bv = _mm512_loadu_ps(b.as_ptr().add(i));
+        _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_add_ps(av, bv));
+        i += 16;
+    }
+    add_scalar(&a[i..], &b[i..], &mut dst[i..]);
+}
+
+/// 8-wide AVX2 fused add+clamp.
+///
+/// # Safety
+///
+/// Caller must verify the `avx2` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_relu_avx2(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let zero = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = _mm256_loadu_ps(a.as_ptr().add(i));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+        let s = _mm256_add_ps(av, bv);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_max_ps(s, zero));
+        i += 8;
+    }
+    add_relu_scalar(&a[i..], &b[i..], &mut dst[i..]);
+}
+
+/// 16-wide AVX-512F fused add+clamp.
+///
+/// # Safety
+///
+/// Caller must verify the `avx512f` feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn add_relu_avx512(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let zero = _mm512_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        let av = _mm512_loadu_ps(a.as_ptr().add(i));
+        let bv = _mm512_loadu_ps(b.as_ptr().add(i));
+        let s = _mm512_add_ps(av, bv);
+        _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_max_ps(s, zero));
+        i += 16;
+    }
+    add_relu_scalar(&a[i..], &b[i..], &mut dst[i..]);
 }
 
 /// Row-wise softmax of a `(N, K)` matrix, numerically stabilized.
@@ -67,6 +319,142 @@ mod tests {
         let x = Tensor::from_vec(vec![-1.0, 0.5], &[2]).unwrap();
         let dy = Tensor::from_vec(vec![3.0, 3.0], &[2]).unwrap();
         assert_eq!(relu_backward(&x, &dy).unwrap().data(), &[0.0, 3.0]);
+    }
+
+    /// Values chosen to stress the clamp semantics: signed zeros (the
+    /// vector `maxps` must normalize `-0.0` to `+0.0` exactly like the
+    /// scalar lowering), NaN (clamped to `0.0` by both), infinities,
+    /// denormals and a dense sweep crossing zero.
+    fn adversarial_values() -> Vec<f32> {
+        let mut vals = vec![
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1.0e-42,
+            -1.0e-42,
+            1.0e30,
+            -1.0e30,
+            3.3333333,
+            -7.7777777,
+        ];
+        for i in -2000i32..=2000 {
+            vals.push(i as f32 * 0.01);
+        }
+        vals
+    }
+
+    /// Second operand stream for the add kernels, misaligned in magnitude
+    /// so sums cross zero and produce `-0.0` (`-x + x`), `NaN`
+    /// (`inf + -inf`) and denormal results.
+    fn adversarial_partner() -> Vec<f32> {
+        adversarial_values()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| match i % 3 {
+                0 => -v,
+                1 => v * 0.5 - 1.0,
+                _ => 0.25,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slices_match_scalar_bitwise() {
+        let a = adversarial_values();
+        let b = adversarial_partner();
+
+        let mut want = vec![0.0f32; a.len()];
+        relu_scalar(&a, &mut want);
+        let mut got = vec![f32::NAN; a.len()];
+        relu_slice(&a, &mut got);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "relu element {i}: {g} vs {w}");
+        }
+
+        let mut want = vec![0.0f32; a.len()];
+        add_scalar(&a, &b, &mut want);
+        let mut got = vec![f32::NAN; a.len()];
+        add_slice(&a, &b, &mut got);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "add element {i}: {g} vs {w}");
+        }
+
+        // Fused add+relu == add then relu, bitwise.
+        let mut want = vec![0.0f32; a.len()];
+        add_slice(&a, &b, &mut want);
+        let want: Vec<f32> = {
+            let mut r = vec![0.0f32; a.len()];
+            relu_slice(&want, &mut r);
+            r
+        };
+        let mut got = vec![f32::NAN; a.len()];
+        add_relu_slice(&a, &b, &mut got);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "add_relu element {i}: {g} vs {w}");
+        }
+    }
+
+    /// Exercises each vector kernel the CPU supports directly, regardless
+    /// of which one the dispatchers pick.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn every_available_kernel_matches_scalar_bitwise() {
+        let a = adversarial_values();
+        let b = adversarial_partner();
+        let mut relu_want = vec![0.0f32; a.len()];
+        relu_scalar(&a, &mut relu_want);
+        let mut add_want = vec![0.0f32; a.len()];
+        add_scalar(&a, &b, &mut add_want);
+        let mut ar_want = vec![0.0f32; a.len()];
+        add_relu_scalar(&a, &b, &mut ar_want);
+
+        let check = |got: &[f32], want: &[f32], label: &str| {
+            for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "{label} element {i}: {g} vs {w}");
+            }
+        };
+
+        if is_x86_feature_detected!("avx2") {
+            let mut got = vec![f32::NAN; a.len()];
+            // SAFETY: feature checked on the line above.
+            unsafe { relu_avx2(&a, &mut got) };
+            check(&got, &relu_want, "relu avx2");
+            // SAFETY: feature checked above.
+            unsafe { add_avx2(&a, &b, &mut got) };
+            check(&got, &add_want, "add avx2");
+            // SAFETY: feature checked above.
+            unsafe { add_relu_avx2(&a, &b, &mut got) };
+            check(&got, &ar_want, "add_relu avx2");
+        }
+        if is_x86_feature_detected!("avx512f") {
+            let mut got = vec![f32::NAN; a.len()];
+            // SAFETY: feature checked on the line above.
+            unsafe { relu_avx512(&a, &mut got) };
+            check(&got, &relu_want, "relu avx512");
+            // SAFETY: feature checked above.
+            unsafe { add_avx512(&a, &b, &mut got) };
+            check(&got, &add_want, "add avx512");
+            // SAFETY: feature checked above.
+            unsafe { add_relu_avx512(&a, &b, &mut got) };
+            check(&got, &ar_want, "add_relu avx512");
+        }
+    }
+
+    #[test]
+    fn short_slices_hit_the_scalar_tail() {
+        for len in 0..24 {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 * 0.37 - 2.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| 1.5 - i as f32 * 0.21).collect();
+            let mut want = vec![0.0f32; len];
+            add_relu_scalar(&a, &b, &mut want);
+            let mut got = vec![f32::NAN; len];
+            add_relu_slice(&a, &b, &mut got);
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -179,32 +179,61 @@ pub fn im2col(x: &Tensor, kh: usize, kw: usize, cfg: Conv2dCfg) -> Result<Tensor
     let rows = n * oh * ow;
     let cols = c * kh * kw;
     let mut out = vec![0.0f32; rows * cols];
-    let xd = x.data();
+    // `out` is freshly zeroed, so the fill core can skip re-zeroing.
+    im2col_fill(
+        x.data(),
+        (n, c, h, w),
+        (kh, kw),
+        (oh, ow),
+        cfg,
+        false,
+        &mut out,
+    );
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// The fill core shared by [`im2col`] and [`conv2d_into`]: lowers patches
+/// into `out` (`n*oh*ow` rows of `c*kh*kw`). `zero_first` re-zeroes each
+/// chunk before filling, for reused (arena) destinations whose padded
+/// positions may hold stale values.
+fn im2col_fill(
+    xd: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    (kh, kw): (usize, usize),
+    (oh, ow): (usize, usize),
+    cfg: Conv2dCfg,
+    zero_first: bool,
+    out: &mut [f32],
+) {
+    let rows = n * oh * ow;
+    let cols = c * kh * kw;
 
     // One chunk = all rows of one output scanline (ni, oy): big enough to
     // amortize dispatch, small enough to balance.
     let fill_rows = |row0: usize, chunk: &mut [f32]| {
+        if zero_first {
+            chunk.fill(0.0);
+        }
         for (r, orow) in chunk.chunks_mut(cols).enumerate() {
             let row = row0 + r;
             let ox = row % ow;
             let oy = (row / ow) % oh;
             let ni = row / (oh * ow);
-            // Rows of `out` start zeroed and are written exactly once, so
-            // the copy core can skip the per-row zeroing.
+            // Rows start zeroed and are written exactly once, so the copy
+            // core can skip the per-row zeroing.
             copy_receptive_runs(xd, c, h, w, kh, kw, ni, oy, ox, cfg, orow);
         }
     };
 
     // Below the copy floor, one chunk == fully serial (no thread dispatch).
-    let chunk_rows = if out.len() < PARALLEL_COPY_FLOOR {
+    let chunk_rows = if rows * cols < PARALLEL_COPY_FLOOR {
         rows.max(1)
     } else {
         ow.max(1)
     };
-    epim_parallel::for_each_chunk_mut(&mut out, chunk_rows * cols, |chunk_idx, chunk| {
-        fill_rows(chunk_idx * chunk_rows, chunk);
+    epim_parallel::for_each_chunk_mut(&mut out[..rows * cols], chunk_rows * cols, |ci, chunk| {
+        fill_rows(ci * chunk_rows, chunk);
     });
-    Tensor::from_vec(out, &[rows, cols])
 }
 
 /// Accumulates an im2col matrix back into image space (`col2im`).
@@ -361,9 +390,101 @@ pub fn conv2d(
         weight.data(),
         cols.data(),
         bias.map(Tensor::data),
+        false,
         out.data_mut(),
     );
     Ok(out)
+}
+
+/// Slice-based [`conv2d`] with an optional fused ReLU epilogue, for
+/// arena-backed executors that own both the activation storage and the
+/// im2col scratch.
+///
+/// `xd` holds an `(n, c_in, h, w)` NCHW image block, `cols` is im2col
+/// scratch of at least `n*oh*ow * c_in*kh*kw` floats (stale contents are
+/// fine — it is re-zeroed), and `out` receives the `(n, c_out, oh, ow)`
+/// result. With `relu` set, every output element is clamped via the GEMM
+/// kernels' fused epilogue — bit-identical to [`conv2d`] followed by a
+/// separate elementwise ReLU.
+///
+/// # Errors
+///
+/// Returns rank/shape errors if operands disagree, the geometry is
+/// invalid, or a slice is too short.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    xd: &[f32],
+    (n, c_in, h, w): (usize, usize, usize, usize),
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+    relu: bool,
+    cols: &mut [f32],
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight.rank(),
+            op: "conv2d_into",
+        });
+    }
+    let (c_out, wc_in, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc_in != c_in {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c_in],
+            actual: vec![wc_in],
+            op: "conv2d_into (input channels)",
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [c_out] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![c_out],
+                actual: b.shape().to_vec(),
+                op: "conv2d_into (bias)",
+            });
+        }
+    }
+    let (oh, ow) = conv2d_out_dims(h, w, kh, kw, cfg)?;
+    if xd.len() < n * c_in * h * w {
+        return Err(TensorError::invalid("conv2d_into: input slice too short"));
+    }
+    let ckk = c_in * kh * kw;
+    let rows = n * oh * ow;
+    let pixels = oh * ow;
+    if cols.len() < rows * ckk {
+        return Err(TensorError::invalid("conv2d_into: scratch slice too short"));
+    }
+    if out.len() < n * c_out * pixels {
+        return Err(TensorError::invalid("conv2d_into: output slice too short"));
+    }
+    im2col_fill(
+        xd,
+        (n, c_in, h, w),
+        (kh, kw),
+        (oh, ow),
+        cfg,
+        true,
+        &mut cols[..rows * ckk],
+    );
+    gemm::gemm_nt_batch(
+        n,
+        c_out,
+        pixels,
+        ckk,
+        weight.data(),
+        &cols[..rows * ckk],
+        bias.map(Tensor::data),
+        relu,
+        &mut out[..n * c_out * pixels],
+    );
+    Ok(())
 }
 
 /// The seed's unfused convolution pipeline (im2col → matmul → rearrange),
@@ -690,6 +811,53 @@ mod tests {
                     "image {ni} of {n} diverged under batching"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn conv2d_into_bit_identical_and_fuses_relu() {
+        // The slice-based entry (stale scratch, stale output) must match
+        // the allocating path bitwise, and its fused ReLU must match a
+        // separate ReLU pass bitwise.
+        let mut r = crate::rng::seeded(61);
+        for &(n, c_in, c_out, hw, stride, padding) in &[
+            (1usize, 2usize, 3usize, 5usize, 1usize, 0usize),
+            (2, 3, 4, 7, 1, 1),
+            (3, 4, 8, 9, 2, 1),
+        ] {
+            let x = crate::init::uniform(&[n, c_in, hw, hw], -1.0, 1.0, &mut r);
+            let w = crate::init::uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, &mut r);
+            let b = crate::init::uniform(&[c_out], -1.0, 1.0, &mut r);
+            let cfg = Conv2dCfg { stride, padding };
+            let want = conv2d(&x, &w, Some(&b), cfg).unwrap();
+            let (oh, ow) = conv2d_out_dims(hw, hw, 3, 3, cfg).unwrap();
+            let scratch_len = n * oh * ow * c_in * 9;
+            let out_len = n * c_out * oh * ow;
+            let dims = (n, c_in, hw, hw);
+
+            let mut cols = vec![f32::NAN; scratch_len];
+            let mut out = vec![f32::NAN; out_len];
+            conv2d_into(
+                x.data(),
+                dims,
+                &w,
+                Some(&b),
+                cfg,
+                false,
+                &mut cols,
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(out, want.data(), "unfused into-path diverged");
+
+            let mut relu_want = want.clone();
+            for v in relu_want.data_mut() {
+                *v = v.max(0.0);
+            }
+            cols.fill(f32::NAN);
+            out.fill(f32::NAN);
+            conv2d_into(x.data(), dims, &w, Some(&b), cfg, true, &mut cols, &mut out).unwrap();
+            assert_eq!(out, relu_want.data(), "fused relu diverged");
         }
     }
 

@@ -20,7 +20,11 @@
 //! or B through transposed strides during packing, so callers never
 //! materialize an explicit `transpose()` copy. Bias addition is fused into
 //! the output prefill (per output row or per output column), which lets the
-//! convolution and linear layers skip their separate bias passes.
+//! convolution and linear layers skip their separate bias passes. A ReLU
+//! epilogue (`_relu` variants) clamps each output element with
+//! `v.max(0.0)` at its **final** writeback — the pre-clamp sum is the same
+//! arithmetic as the unfused GEMM, so the fused result is bit-identical to
+//! a GEMM followed by a separate ReLU pass.
 //!
 //! The binary stays portable (generic x86-64, same target the seed used):
 //! the micro-kernel is selected **at runtime** with
@@ -141,6 +145,7 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
             cs: 1,
         },
         Bias::None,
+        false,
         c,
     );
 }
@@ -169,6 +174,7 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             cs: 1,
         },
         Bias::None,
+        false,
         c,
     );
 }
@@ -181,6 +187,32 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
 ///
 /// Panics if a slice is shorter than its geometry implies.
 pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_opt(m, n, k, a, b, Bias::None, false, c);
+}
+
+/// [`gemm_nt`] with the fused ReLU epilogue: every output element is
+/// clamped with `v.max(0.0)` at its final writeback. Bit-identical to
+/// [`gemm_nt`] followed by a separate elementwise ReLU.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its geometry implies.
+pub fn gemm_nt_relu(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_opt(m, n, k, a, b, Bias::None, true, c);
+}
+
+/// Shared body of the `gemm_nt*` entry points.
+#[allow(clippy::too_many_arguments)]
+fn gemm_nt_opt(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Bias,
+    relu: bool,
+    c: &mut [f32],
+) {
     gemm_strided(
         m,
         n,
@@ -195,7 +227,8 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             rs: 1,
             cs: k,
         },
-        Bias::None,
+        bias,
+        relu,
         c,
     );
 }
@@ -216,23 +249,26 @@ pub fn gemm_nt_bias_row(
     c: &mut [f32],
 ) {
     assert_eq!(bias.len(), m, "row bias length must equal m");
-    gemm_strided(
-        m,
-        n,
-        k,
-        MatRef {
-            data: a,
-            rs: k,
-            cs: 1,
-        },
-        MatRef {
-            data: b,
-            rs: 1,
-            cs: k,
-        },
-        Bias::PerRow(bias),
-        c,
-    );
+    gemm_nt_opt(m, n, k, a, b, Bias::PerRow(bias), false, c);
+}
+
+/// [`gemm_nt_bias_row`] with the fused ReLU epilogue (bit-identical to the
+/// unfused call followed by a separate ReLU pass).
+///
+/// # Panics
+///
+/// Panics on geometry mismatch, including `bias.len() != m`.
+pub fn gemm_nt_bias_row_relu(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(bias.len(), m, "row bias length must equal m");
+    gemm_nt_opt(m, n, k, a, b, Bias::PerRow(bias), true, c);
 }
 
 /// [`gemm_nt`] with `bias[j]` added to every element of output column `j`
@@ -251,23 +287,26 @@ pub fn gemm_nt_bias_col(
     c: &mut [f32],
 ) {
     assert_eq!(bias.len(), n, "column bias length must equal n");
-    gemm_strided(
-        m,
-        n,
-        k,
-        MatRef {
-            data: a,
-            rs: k,
-            cs: 1,
-        },
-        MatRef {
-            data: b,
-            rs: 1,
-            cs: k,
-        },
-        Bias::PerCol(bias),
-        c,
-    );
+    gemm_nt_opt(m, n, k, a, b, Bias::PerCol(bias), false, c);
+}
+
+/// [`gemm_nt_bias_col`] with the fused ReLU epilogue (bit-identical to the
+/// unfused call followed by a separate ReLU pass).
+///
+/// # Panics
+///
+/// Panics on geometry mismatch, including `bias.len() != n`.
+pub fn gemm_nt_bias_col_relu(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(bias.len(), n, "column bias length must equal n");
+    gemm_nt_opt(m, n, k, a, b, Bias::PerCol(bias), true, c);
 }
 
 /// Batched [`gemm_nt`]: `C[g] = A · B[g]ᵀ (+ bias)` for `batch`
@@ -288,7 +327,8 @@ pub fn gemm_nt_bias_col(
 /// pay one dispatch, not N.
 ///
 /// `bias` (optional, length `m`) is added to every element of each output
-/// row, as in [`gemm_nt_bias_row`].
+/// row, as in [`gemm_nt_bias_row`]. `relu` requests the fused ReLU
+/// epilogue on every problem (bit-identical to a separate ReLU pass).
 ///
 /// # Panics
 ///
@@ -303,6 +343,7 @@ pub fn gemm_nt_batch(
     a: &[f32],
     b: &[f32],
     bias: Option<&[f32]>,
+    relu: bool,
     c: &mut [f32],
 ) {
     assert!(
@@ -323,10 +364,11 @@ pub fn gemm_nt_batch(
     }
     let run_one = |g: usize, c_g: &mut [f32]| {
         let b_g = &b[g * n * k..(g + 1) * n * k];
-        match bias {
-            Some(bb) => gemm_nt_bias_row(m, n, k, a, b_g, bb, c_g),
-            None => gemm_nt(m, n, k, a, b_g, c_g),
-        }
+        let bias_ref = match bias {
+            Some(bb) => Bias::PerRow(bb),
+            None => Bias::None,
+        };
+        gemm_nt_opt(m, n, k, a, b_g, bias_ref, relu, c_g);
     };
     let per = m * n * k;
     if batch > 1 && per < PARALLEL_FLOPS && batch * per >= PARALLEL_FLOPS {
@@ -372,7 +414,17 @@ pub fn reference_matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &
 // Core
 // ---------------------------------------------------------------------------
 
-fn gemm_strided(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, bias: Bias, c: &mut [f32]) {
+#[allow(clippy::too_many_arguments)]
+fn gemm_strided(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef,
+    b: MatRef,
+    bias: Bias,
+    relu: bool,
+    c: &mut [f32],
+) {
     assert!(c.len() >= m * n, "output slice too short for {m}x{n}");
     if m > 0 && k > 0 {
         assert!(
@@ -389,11 +441,22 @@ fn gemm_strided(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, bias: Bias, 
 
     prefill(m, n, bias, c);
     if m == 0 || n == 0 || k == 0 {
+        // Degenerate contraction: the output is the prefilled bias, and the
+        // epilogue (if any) clamps it in place.
+        if relu {
+            relu_pass(&mut c[..m * n]);
+        }
         return;
     }
 
     if m * n * k <= SMALL_FLOPS {
         gemm_small(m, n, k, a, b, c);
+        // The small path accumulates in place, so its final values are the
+        // same sums the epilogue-free call produces; clamping afterwards is
+        // bit-identical to a separate ReLU pass.
+        if relu {
+            relu_pass(&mut c[..m * n]);
+        }
         return;
     }
 
@@ -406,18 +469,32 @@ fn gemm_strided(m: usize, n: usize, k: usize, a: MatRef, b: MatRef, bias: Bias, 
         let kc = KC.min(k - pc);
         pack_b(&mut bpack, b, pc, kc, n, nr_k);
         let bpack_ref: &[f32] = &bpack;
+        // The ReLU epilogue fires only on the final K slice's writeback:
+        // earlier slices hold partial sums that must stay unclamped.
+        let relu_now = relu && pc + kc == k;
 
         let row_band = mr_k * n;
         if m * n * k >= PARALLEL_FLOPS {
             for_each_chunk_mut(&mut c[..m * n], row_band, |chunk_idx, c_chunk| {
-                update_row_band(chunk_idx, c_chunk, m, n, kc, pc, a, bpack_ref, kind);
+                update_row_band(
+                    chunk_idx, c_chunk, m, n, kc, pc, a, bpack_ref, kind, relu_now,
+                );
             });
         } else {
             for (chunk_idx, c_chunk) in c[..m * n].chunks_mut(row_band).enumerate() {
-                update_row_band(chunk_idx, c_chunk, m, n, kc, pc, a, bpack_ref, kind);
+                update_row_band(
+                    chunk_idx, c_chunk, m, n, kc, pc, a, bpack_ref, kind, relu_now,
+                );
             }
         }
         pc += kc;
+    }
+}
+
+/// Clamps every element with the same scalar `max` the unfused ReLU uses.
+fn relu_pass(c: &mut [f32]) {
+    for v in c {
+        *v = v.max(0.0);
     }
 }
 
@@ -434,6 +511,7 @@ fn update_row_band(
     a: MatRef,
     bpack: &[f32],
     kind: KernelKind,
+    relu: bool,
 ) {
     let (mr_k, nr_k) = (kind.mr(), kind.nr());
     let row0 = chunk_idx * mr_k;
@@ -469,8 +547,17 @@ fn update_row_band(
         for i in 0..mr {
             let crow = &mut c_chunk[i * n + col0..i * n + col0 + nr];
             let trow = &tile[i * nr_k..i * nr_k + nr];
-            for (co, &tv) in crow.iter_mut().zip(trow) {
-                *co += tv;
+            if relu {
+                // Final K slice: the sum `*co + tv` is the same arithmetic
+                // as the unfused writeback, so clamping here is
+                // bit-identical to a separate ReLU over the finished C.
+                for (co, &tv) in crow.iter_mut().zip(trow) {
+                    *co = (*co + tv).max(0.0);
+                }
+            } else {
+                for (co, &tv) in crow.iter_mut().zip(trow) {
+                    *co += tv;
+                }
             }
         }
     }
@@ -830,7 +917,7 @@ mod tests {
                     }
                 }
                 let mut got = vec![f32::NAN; batch * m * n];
-                gemm_nt_batch(batch, m, n, k, &a, &b, bias_opt, &mut got);
+                gemm_nt_batch(batch, m, n, k, &a, &b, bias_opt, false, &mut got);
                 assert_eq!(
                     got, want,
                     "batch={batch} m={m} n={n} k={k} bias={with_bias}"
@@ -842,13 +929,85 @@ mod tests {
     #[test]
     fn nt_batch_empty_batch_is_noop() {
         let mut c: Vec<f32> = vec![7.0; 4];
-        gemm_nt_batch(0, 2, 2, 3, &[], &[], None, &mut c);
+        gemm_nt_batch(0, 2, 2, 3, &[], &[], None, false, &mut c);
         assert_eq!(c, vec![7.0; 4]);
         // Degenerate problem shapes (m or n zero) are no-ops too, not
         // zero-sized-chunk panics.
-        gemm_nt_batch(3, 0, 2, 3, &[], &[0.0; 18], None, &mut c);
-        gemm_nt_batch(3, 2, 0, 3, &[0.0; 6], &[], None, &mut c);
+        gemm_nt_batch(3, 0, 2, 3, &[], &[0.0; 18], None, false, &mut c);
+        gemm_nt_batch(3, 2, 0, 3, &[0.0; 6], &[], None, false, &mut c);
         assert_eq!(c, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn relu_epilogue_bit_identical_to_post_pass() {
+        // Sizes straddling the small/blocked and serial/parallel
+        // thresholds, plus k crossing the KC boundary (the epilogue must
+        // fire only on the final K slice).
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (9, 17, 33),
+            (13, 70, 300),
+            (64, 64, 64),
+            (70, 64, 520),
+        ] {
+            let a = dense(m, k, 31 + m as u64);
+            let b_t = dense(n, k, 32 + n as u64);
+            let row_bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.5 - 1.0).collect();
+            let col_bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.25 - 2.0).collect();
+
+            let mut want = vec![f32::NAN; m * n];
+            gemm_nt(m, n, k, &a, &b_t, &mut want);
+            relu_pass(&mut want);
+            let mut got = vec![f32::NAN; m * n];
+            gemm_nt_relu(m, n, k, &a, &b_t, &mut got);
+            assert_eq!(got, want, "gemm_nt_relu {m}x{n}x{k}");
+
+            let mut want = vec![f32::NAN; m * n];
+            gemm_nt_bias_row(m, n, k, &a, &b_t, &row_bias, &mut want);
+            relu_pass(&mut want);
+            let mut got = vec![f32::NAN; m * n];
+            gemm_nt_bias_row_relu(m, n, k, &a, &b_t, &row_bias, &mut got);
+            assert_eq!(got, want, "gemm_nt_bias_row_relu {m}x{n}x{k}");
+
+            let mut want = vec![f32::NAN; m * n];
+            gemm_nt_bias_col(m, n, k, &a, &b_t, &col_bias, &mut want);
+            relu_pass(&mut want);
+            let mut got = vec![f32::NAN; m * n];
+            gemm_nt_bias_col_relu(m, n, k, &a, &b_t, &col_bias, &mut got);
+            assert_eq!(got, want, "gemm_nt_bias_col_relu {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn relu_epilogue_on_batch_and_degenerate_k() {
+        // Batched path (including the cross-problem parallel dispatch).
+        for &(batch, m, n, k) in &[(3usize, 8usize, 16usize, 9usize), (16, 32, 64, 72)] {
+            let a = dense(m, k, 41);
+            let b = dense(batch * n, k, 42);
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.125 - 1.0).collect();
+            let mut want = vec![f32::NAN; batch * m * n];
+            gemm_nt_batch(batch, m, n, k, &a, &b, Some(&bias), false, &mut want);
+            relu_pass(&mut want);
+            let mut got = vec![f32::NAN; batch * m * n];
+            gemm_nt_batch(batch, m, n, k, &a, &b, Some(&bias), true, &mut got);
+            assert_eq!(got, want, "batched relu {batch}x{m}x{n}x{k}");
+        }
+
+        // k == 0: output is pure (clamped) bias — including a negative-zero
+        // bias entry, which must clamp to the same bits as the post pass.
+        let (m, n) = (4, 6);
+        let mut bias: Vec<f32> = (0..n).map(|j| j as f32 - 2.0).collect();
+        bias[1] = -0.0;
+        let mut want = vec![f32::NAN; m * n];
+        gemm_nt_bias_col(m, n, 0, &[], &[], &bias, &mut want);
+        relu_pass(&mut want);
+        let mut got = vec![f32::NAN; m * n];
+        gemm_nt_bias_col_relu(m, n, 0, &[], &[], &bias, &mut got);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -13,11 +13,16 @@ mod linear;
 mod loss;
 mod pool;
 
-pub use activation::{relu, relu_backward, sigmoid, softmax_rows};
+pub use activation::{
+    add_relu_slice, add_slice, relu, relu_backward, relu_slice, sigmoid, softmax_rows,
+};
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_direct, conv2d_out_dims, conv2d_ref,
+    col2im, conv2d, conv2d_backward, conv2d_direct, conv2d_into, conv2d_out_dims, conv2d_ref,
     fill_receptive_field, im2col, kx_run, Conv2dCfg, Conv2dGrads,
 };
 pub use linear::{linear, linear_backward, LinearGrads};
 pub use loss::{cross_entropy, CrossEntropyOutput};
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, max_pool2d, PoolCfg};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_into, max_pool2d,
+    max_pool2d_into, PoolCfg,
+};

@@ -72,6 +72,15 @@ fn pool(x: &Tensor, cfg: PoolCfg, reduce: impl Fn(&[f32]) -> f32) -> Result<Tens
             op: "pool2d",
         });
     }
+    let dims = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = pool_out_dims(dims.2, dims.3, cfg)?;
+    let mut out = Tensor::zeros(&[dims.0, dims.1, oh, ow]);
+    pool_into_core(x.data(), dims, cfg, (oh, ow), out.data_mut(), reduce);
+    Ok(out)
+}
+
+/// Validates the pooling geometry and returns the output spatial dims.
+fn pool_out_dims(h: usize, w: usize, cfg: PoolCfg) -> Result<(usize, usize), TensorError> {
     if cfg.window > 0 && cfg.padding >= cfg.window {
         // A window could then lie entirely in the padding, which has no
         // well-defined max (and a silent -inf would poison downstream
@@ -81,28 +90,79 @@ fn pool(x: &Tensor, cfg: PoolCfg, reduce: impl Fn(&[f32]) -> f32) -> Result<Tens
             cfg.padding, cfg.window
         )));
     }
-    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    let (oh, ow) = conv2d_out_dims(h, w, cfg.window, cfg.window, cfg.as_conv())?;
+    conv2d_out_dims(h, w, cfg.window, cfg.window, cfg.as_conv())
+}
+
+/// The reduction core shared by the tensor and slice entry points: one
+/// output element per `(ni, ci, oy, ox)` in row-major order, windows
+/// gathered in `ky`-then-`kx` order (pads skipped), so every path reduces
+/// in the identical sequence.
+fn pool_into_core(
+    xd: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    cfg: PoolCfg,
+    (oh, ow): (usize, usize),
+    out: &mut [f32],
+    reduce: impl Fn(&[f32]) -> f32,
+) {
     let mut vals = Vec::with_capacity(cfg.window * cfg.window);
-    let out = Tensor::from_fn(&[n, c, oh, ow], |idx| {
-        let (ni, ci, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
-        vals.clear();
-        for ky in 0..cfg.window {
-            let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-            if iy < 0 || iy >= h as isize {
-                continue;
-            }
-            for kx in 0..cfg.window {
-                let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
-                if ix < 0 || ix >= w as isize {
-                    continue;
+    let mut idx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = &xd[(ni * c + ci) * h * w..][..h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    vals.clear();
+                    for ky in 0..cfg.window {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.window {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            vals.push(plane[iy as usize * w + ix as usize]);
+                        }
+                    }
+                    out[idx] = reduce(&vals);
+                    idx += 1;
                 }
-                vals.push(x.at(&[ni, ci, iy as usize, ix as usize]));
             }
         }
-        reduce(&vals)
+    }
+}
+
+/// Slice-based [`max_pool2d`] for arena-backed executors: pools the
+/// `(n, c, h, w)` NCHW block in `xd` into `out`. Bit-identical to the
+/// tensor entry point (same iteration and reduction order).
+///
+/// # Errors
+///
+/// Returns geometry errors if the window does not fit or a slice is too
+/// short.
+pub fn max_pool2d_into(
+    xd: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    cfg: PoolCfg,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    let (oh, ow) = pool_out_dims(h, w, cfg)?;
+    if xd.len() < n * c * h * w {
+        return Err(TensorError::invalid(
+            "max_pool2d_into: input slice too short",
+        ));
+    }
+    if out.len() < n * c * oh * ow {
+        return Err(TensorError::invalid(
+            "max_pool2d_into: output slice too short",
+        ));
+    }
+    pool_into_core(xd, (n, c, h, w), cfg, (oh, ow), out, |vals| {
+        vals.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Backward pass of [`avg_pool2d`]: distributes gradient uniformly over each
@@ -180,17 +240,43 @@ pub fn global_avg_pool(x: &Tensor) -> Result<Tensor, TensorError> {
         });
     }
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    let inv = 1.0 / (h * w) as f32;
-    let out = Tensor::from_fn(&[n, c], |idx| {
-        let mut s = 0.0;
-        for y in 0..h {
-            for x_ in 0..w {
-                s += x.at(&[idx[0], idx[1], y, x_]);
-            }
-        }
-        s * inv
-    });
+    let mut out = Tensor::zeros(&[n, c]);
+    global_avg_pool_into(x.data(), (n, c, h, w), out.data_mut())?;
     Ok(out)
+}
+
+/// Slice-based [`global_avg_pool`] for arena-backed executors: reduces the
+/// `(n, c, h, w)` NCHW block in `xd` to `n * c` channel means in `out`.
+/// Bit-identical to the tensor entry point (same accumulation order, same
+/// `sum * (1/(h*w))` scaling).
+///
+/// # Errors
+///
+/// Returns an error if a slice is too short.
+pub fn global_avg_pool_into(
+    xd: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    if xd.len() < n * c * h * w {
+        return Err(TensorError::invalid(
+            "global_avg_pool_into: input slice too short",
+        ));
+    }
+    if out.len() < n * c {
+        return Err(TensorError::invalid(
+            "global_avg_pool_into: output slice too short",
+        ));
+    }
+    let inv = 1.0 / (h * w) as f32;
+    for (slot, plane) in out[..n * c].iter_mut().zip(xd.chunks(h * w)) {
+        let mut s = 0.0;
+        for &v in plane {
+            s += v;
+        }
+        *slot = s * inv;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -274,6 +360,32 @@ mod tests {
         for v in dx.data() {
             assert_eq!(*v, 0.0625);
         }
+    }
+
+    #[test]
+    fn into_variants_bit_identical_to_tensor_paths() {
+        let mut r = crate::rng::seeded(71);
+        let x = crate::init::uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut r);
+        let dims = (2, 3, 8, 8);
+        let cfg = PoolCfg {
+            window: 3,
+            stride: 2,
+            padding: 1,
+        };
+
+        let want = max_pool2d(&x, cfg).unwrap();
+        let mut got = vec![f32::NAN; want.len()];
+        max_pool2d_into(x.data(), dims, cfg, &mut got).unwrap();
+        assert_eq!(got, want.data());
+
+        let want = global_avg_pool(&x).unwrap();
+        let mut got = vec![f32::NAN; want.len()];
+        global_avg_pool_into(x.data(), dims, &mut got).unwrap();
+        assert_eq!(got, want.data());
+
+        // Short slices are rejected, not silently truncated.
+        assert!(max_pool2d_into(&x.data()[1..], dims, cfg, &mut got).is_err());
+        assert!(global_avg_pool_into(x.data(), dims, &mut got[..1]).is_err());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Fused serving smoke: lower → optimize → plan → serve.
+//!
+//! Lowers the zoo's tiny ResNet, runs the graph-fusion pass
+//! (`NetworkProgram::optimize`: ReLUs folded into conv/epitome/linear/add
+//! epilogues, identity stages aliased away), plans its liveness-based
+//! activation arena, and serves the same burst through a fused and an
+//! unfused engine — asserting the two are **bitwise identical** in both
+//! outputs and data-path counter rollups, which is the house invariant
+//! the pass is built on.
+//!
+//! Run with: `cargo run --release -p epim --example serve_fused`
+//! Knobs: `EPIM_THREADS` pins the worker pool width.
+
+use epim::models::lower::NetworkWeights;
+use epim::models::zoo;
+use epim::pim::datapath::AnalogModel;
+use epim::runtime::{EngineConfig, NetworkEngine, PlanCache, RuntimeStats};
+use epim::tensor::{init, rng, Tensor};
+use std::time::{Duration, Instant};
+
+const BURST: usize = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (net, _spec) = zoo::tiny_epitome_network(8, 8, 10)?;
+    let weights = NetworkWeights::random(&net, 7)?;
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
+
+    // Lower, then optimize: the pass fuses epilogues and folds stages.
+    let program = net.lower(16, 16)?;
+    let fused = program.optimize();
+    println!(
+        "lowered {}: {} stages; after optimize: {} stages",
+        net.backbone().name,
+        program.stages().len(),
+        fused.stages().len(),
+    );
+    for stage in fused.stages() {
+        if stage.op.fused_relu() {
+            println!("  fused epilogue: {}", stage.name);
+        }
+    }
+
+    // Serve one burst through each engine (the fused one is the default).
+    let mut r = rng::seeded(9);
+    let inputs: Vec<Tensor> = (0..BURST)
+        .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+        .collect();
+    let serve = |optimize_program: bool| -> Result<(Vec<Tensor>, RuntimeStats, Duration), Box<dyn std::error::Error>> {
+        let cache = PlanCache::new();
+        cache.warm_network(&net)?;
+        let engine = NetworkEngine::new(
+            &cache,
+            &net,
+            &weights,
+            (16, 16),
+            true,
+            analog,
+            EngineConfig {
+                max_batch: BURST,
+                batch_window: Duration::ZERO,
+                optimize_program,
+                ..EngineConfig::default()
+            },
+        )?;
+        let t0 = Instant::now();
+        let outputs: Vec<Tensor> = engine
+            .infer_many(inputs.clone())?
+            .into_iter()
+            .map(|res| res.map(|inf| inf.output))
+            .collect::<Result<_, _>>()?;
+        let took = t0.elapsed();
+        Ok((outputs, engine.stats(), took))
+    };
+    let (fused_out, fused_stats, fused_took) = serve(true)?;
+    let (raw_out, raw_stats, raw_took) = serve(false)?;
+
+    let exact = fused_out == raw_out && fused_stats.datapath == raw_stats.datapath;
+    println!("\nfused == unfused (outputs and stats), bitwise: {exact}");
+    assert!(exact, "the graph-fusion pass must be bitwise invisible");
+
+    let mb = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "activation arena:     {:.3} MB (liveness-planned) vs {:.3} MB \
+         (old exact-size pool high-water) — {:.2}x smaller",
+        mb(fused_stats.arena_bytes),
+        mb(fused_stats.legacy_pool_bytes),
+        fused_stats.legacy_pool_bytes as f64 / fused_stats.arena_bytes as f64,
+    );
+    assert!(
+        fused_stats.arena_bytes < fused_stats.legacy_pool_bytes,
+        "the arena must stay below the old pool's high-water mark"
+    );
+    println!(
+        "burst of {BURST}:           fused {:.2} ms, unfused {:.2} ms",
+        fused_took.as_secs_f64() * 1e3,
+        raw_took.as_secs_f64() * 1e3,
+    );
+    Ok(())
+}

@@ -157,6 +157,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 timeout: Duration::ZERO,
             },
             workers: 1,
+            optimize_program: true,
         },
     )?;
     let mut accepted = 0usize;
