@@ -605,6 +605,97 @@ fn bench_fusion(entries: &mut Vec<Entry>, reps: usize) {
     });
 }
 
+/// Observability overhead: the fused serving burst with tracing disabled
+/// (one relaxed atomic load per hook) as the baseline vs the same burst
+/// with the trace ring recording every span. The "speedup" is the
+/// disabled/enabled wall-time ratio — expected within timing noise of
+/// 1.0x; it *dropping* means recording got more expensive, which is
+/// exactly what the CI gate's one-sided slowdown check catches. Both
+/// modes must stay bit-identical to sequential reference execution
+/// (`max_abs_diff` exactly 0 is the correctness gate: tracing must never
+/// perturb the arithmetic). The absolute perf of the disabled path is
+/// separately gated by `network_fused_resnet_burst8`, whose serve now
+/// runs through the same (disabled) hooks.
+fn bench_tracing(entries: &mut Vec<Entry>, reps: usize) {
+    let (net, _) = zoo::tiny_epitome_network(8, 8, 10).expect("legal spec");
+    let weights = NetworkWeights::random(&net, 7).expect("weights build");
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
+    let program = net.lower(16, 16).expect("lowers");
+
+    let mut r = rng::seeded(701);
+    let xs: Vec<Tensor> = (0..8)
+        .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+        .collect();
+    let seq: Vec<Tensor> = xs
+        .iter()
+        .map(|x| {
+            program
+                .forward_reference(&weights, true, analog, x)
+                .expect("reference executes")
+                .0
+        })
+        .collect();
+
+    let cache = PlanCache::new();
+    cache.warm_network(&net).expect("cache warms");
+    let engine = NetworkEngine::new(
+        &cache,
+        &net,
+        &weights,
+        (16, 16),
+        true,
+        analog,
+        EngineConfig {
+            max_batch: 8,
+            batch_window: std::time::Duration::ZERO,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine builds");
+    let serve = || {
+        engine
+            .infer_many(xs.clone())
+            .expect("engine accepts the burst")
+            .into_iter()
+            .map(|res| res.expect("inference succeeds").output)
+            .collect::<Vec<_>>()
+    };
+    // Alternate enabled/disabled serves in one loop so a load spike hits
+    // both modes the same way (same discipline as `bench_network`).
+    epim::obs::set_enabled(true);
+    let mut traced_out = serve();
+    epim::obs::set_enabled(false);
+    let mut plain_out = serve();
+    let (mut traced_ms, mut plain_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..25 * reps {
+        epim::obs::set_enabled(true);
+        let t0 = Instant::now();
+        traced_out = serve();
+        traced_ms = traced_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        epim::obs::set_enabled(false);
+        let t0 = Instant::now();
+        plain_out = serve();
+        plain_ms = plain_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let diff_vs_seq = |served: &[Tensor]| {
+        seq.iter()
+            .zip(served)
+            .map(|(a, b)| max_abs_diff(a.data(), b.data()))
+            .fold(0.0, f64::max)
+    };
+    entries.push(Entry {
+        name: "tracing_overhead_serve_burst8".to_string(),
+        baseline_ms: plain_ms,
+        optimized_ms: traced_ms,
+        speedup: plain_ms / traced_ms,
+        max_abs_diff: diff_vs_seq(&traced_out).max(diff_vs_seq(&plain_out)),
+    });
+}
+
 /// Multi-network tenancy: two epitome networks served as tenants of one
 /// `MultiEngine` (shared plan cache and scheduler threads, weighted-fair
 /// draining) vs sequential per-stage reference execution of both tenants'
@@ -807,6 +898,7 @@ fn run_sweep(reps: usize) -> Report {
     bench_network(&mut entries, reps);
     bench_tenancy(&mut entries, reps);
     bench_fusion(&mut entries, reps);
+    bench_tracing(&mut entries, reps);
     Report {
         schema_version: 1,
         generated_by: "epim-bench bench_kernels".to_string(),

@@ -15,6 +15,7 @@
 //! | [`models`] | `epim-models` | ResNet-50/101 inventories, network simulation, lowering to executable programs, accuracy surrogate, small-scale training |
 //! | [`prune`] | `epim-prune` | the PIM-Prune baseline |
 //! | [`runtime`] | `epim-runtime` | batched inference serving: scheduler core with bounded queues/flow control, single-layer and whole-network engines, plan cache, runtime stats |
+//! | [`obs`] | `epim-obs` | observability: lock-free trace ring with chrome://tracing export, log-linear latency histograms, Prometheus text exposition |
 //! | [`tensor`] | `epim-tensor` | the ND tensor / NN substrate everything is built on |
 //!
 //! ## Quickstart
@@ -74,6 +75,12 @@ pub mod prune {
 /// The batched inference serving runtime (re-export of `epim-runtime`).
 pub mod runtime {
     pub use epim_runtime::*;
+}
+
+/// Observability: tracing, histograms, exporters (re-export of
+/// `epim-obs`).
+pub mod obs {
+    pub use epim_obs::*;
 }
 
 /// The tensor/NN substrate (re-export of `epim-tensor`).

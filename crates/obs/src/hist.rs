@@ -1,0 +1,306 @@
+//! Log-linear (HDR-style) histograms for latency-like u64 samples.
+//!
+//! Values below 2^[`SUB_BITS`] get one bucket each (exact); every octave
+//! above is split into 2^[`SUB_BITS`] linear sub-buckets, so the bucket
+//! width is always at most `value / 2^SUB_BITS` — a bounded **relative**
+//! quantile error of ~3% across the full u64 range, with a fixed
+//! [`BUCKETS`]-slot footprint and O(1) recording.
+//!
+//! This replaces the runtime's old 64 KiB sorted-sample latency ring:
+//! recording never allocates, quantiles are an O(buckets) walk instead of
+//! an O(n log n) sort, and two histograms [`Histogram::merge`] **exactly**
+//! (element-wise bucket addition) — the fleet rollup loses nothing, where
+//! the old ring forgot everything past its wraparound window.
+
+use serde::Serialize;
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` linear
+/// buckets, bounding the relative quantile error at `2^-SUB_BITS` (~3%).
+pub const SUB_BITS: u32 = 5;
+
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full u64 range at [`SUB_BITS`]
+/// resolution.
+pub const BUCKETS: usize = (SUB_COUNT + (64 - SUB_BITS as u64) * SUB_COUNT) as usize;
+
+/// The bucket index of `v` (log-linear mapping, see module docs).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // v in [2^exp, 2^(exp+1)), exp >= SUB_BITS
+    let sub = (v >> (exp - SUB_BITS)) - SUB_COUNT; // 0..SUB_COUNT
+    (SUB_COUNT as usize) + ((exp - SUB_BITS) as usize) * SUB_COUNT as usize + sub as usize
+}
+
+/// The largest value mapping to bucket `idx` (the bucket's inclusive
+/// upper bound) — what quantile queries report.
+#[inline]
+fn bucket_bound(idx: usize) -> u64 {
+    if idx < SUB_COUNT as usize {
+        return idx as u64;
+    }
+    let rel = idx - SUB_COUNT as usize;
+    let exp = SUB_BITS + (rel / SUB_COUNT as usize) as u32;
+    let sub = (rel % SUB_COUNT as usize) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    let lower = (SUB_COUNT + sub) << (exp - SUB_BITS);
+    lower.saturating_add(width - 1)
+}
+
+/// A mergeable log-linear histogram of u64 samples (the runtime records
+/// nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (allocates the fixed bucket array once).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Merges `other` into `self` **exactly**: bucket counts add
+    /// element-wise, so any quantile of the merged histogram equals the
+    /// quantile over the union of both sample streams (at bucket
+    /// resolution). Nothing is sampled, windowed, or dropped.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the
+    /// matching bucket's upper bound clamped to the observed maximum —
+    /// within a `2^-SUB_BITS` relative error of the exact order
+    /// statistic. Returns 0 when empty. O(buckets), no sort.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// A compact point-in-time copy for reports: only non-empty buckets,
+    /// as `(upper_bound, count)` pairs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(idx, &c)| (bucket_bound(idx), c))
+                .collect(),
+        }
+    }
+}
+
+/// A sparse, serializable snapshot of a [`Histogram`]: `(upper_bound,
+/// count)` pairs for the non-empty buckets, in ascending bound order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// `(inclusive upper bound, count)` per non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank `q`-quantile over the snapshot (same contract as
+    /// [`Histogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bound, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Samples whose bucket upper bound is `<= v` — the cumulative count
+    /// Prometheus histogram buckets want.
+    pub fn count_le(&self, v: u64) -> u64 {
+        self.buckets
+            .iter()
+            .take_while(|&&(bound, _)| bound <= v)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_bound_are_consistent() {
+        // Every value maps into a bucket whose bound is >= the value and
+        // within the promised relative error.
+        for shift in 0..63 {
+            for off in [0u64, 1, 3] {
+                let v = (1u64 << shift) + off;
+                let idx = bucket_index(v);
+                let bound = bucket_bound(idx);
+                assert!(bound >= v, "bound {bound} < value {v}");
+                if v >= SUB_COUNT {
+                    let err = (bound - v) as f64 / v as f64;
+                    assert!(err <= 1.0 / SUB_COUNT as f64 + 1e-12, "err {err} at {v}");
+                } else {
+                    assert_eq!(bound, v, "small values are exact");
+                }
+                // Bounds are the largest value in their own bucket.
+                assert_eq!(bucket_index(bound), idx);
+            }
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000);
+        }
+        for (q, exact) in [(0.5, 5_000_000u64), (0.99, 9_900_000), (1.0, 10_000_000)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 1.0 / SUB_COUNT as f64, "q{q}: got {got}, err {err}");
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000_000);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..5000u64 {
+            let x = v * v % 77_777;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole, "merge must equal recording the union");
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_quantiles() {
+        let mut h = Histogram::new();
+        for v in [10u64, 10, 10, 20, 1000, 50_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(snap.quantile(q), h.quantile(q));
+        }
+        assert_eq!(snap.count_le(10), 3);
+        assert_eq!(snap.count_le(999), 4); // 20's bucket bound is 20
+        assert_eq!(snap.count_le(u64::MAX), 6);
+        assert!((snap.mean() - (10 + 10 + 10 + 20 + 1000 + 50_000) as f64 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot().quantile(0.99), 0);
+        assert_eq!(h.snapshot().count_le(u64::MAX), 0);
+    }
+
+    #[test]
+    fn equal_samples_report_exactly() {
+        // The observed-max clamp makes single-valued streams exact even
+        // though the bucket bound overshoots.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(10_000);
+        }
+        assert_eq!(h.quantile(0.5), 10_000);
+        assert_eq!(h.quantile(0.99), 10_000);
+    }
+}

@@ -1,0 +1,29 @@
+//! `epim-obs` — observability layer for the EPIM serving stack.
+//!
+//! Three pieces, usable independently and all free of network
+//! dependencies:
+//!
+//! - [`trace`]: a lock-free, bounded, multi-lane span ring
+//!   ([`TraceRing`]) with a process-global instance the runtime's
+//!   instrumentation sites record into, plus a chrome://tracing JSON
+//!   exporter ([`TraceRing::export_chrome_trace`]). Near-zero cost when
+//!   disabled (one relaxed atomic load per site); enable with
+//!   [`set_enabled`] or `EPIM_TRACE=1`.
+//! - [`hist`]: log-linear HDR-style [`Histogram`]s with exact merge and
+//!   O(buckets) quantiles — the storage behind the runtime's per-tenant
+//!   queue-wait / service / end-to-end latency distributions.
+//! - [`prom`]: a [`PromWriter`] that renders counters, gauges, and
+//!   histogram snapshots as Prometheus text exposition.
+
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod prom;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS, SUB_BITS};
+pub use prom::{PromWriter, LATENCY_BUCKETS_SECONDS};
+pub use trace::{
+    enabled, global, instant, now_ns, pack_stage_payload, set_enabled, span, start,
+    unpack_stage_payload, SpanKind, StageOpKind, TraceEvent, TraceRing, TENANT_NONE,
+};

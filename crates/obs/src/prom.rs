@@ -1,0 +1,264 @@
+//! Prometheus text-exposition rendering (no network dependency — callers
+//! decide how to serve or print the text).
+
+use crate::hist::HistogramSnapshot;
+
+/// Canonical latency bucket upper bounds, in seconds, used when rendering
+/// a [`HistogramSnapshot`] as a Prometheus histogram. The snapshot's
+/// log-linear buckets are finer than these; rendering folds them into this
+/// fixed ladder so dashboards across tenants and processes line up.
+pub const LATENCY_BUCKETS_SECONDS: [f64; 19] = [
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+];
+
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+struct Metric {
+    name: String,
+    help: &'static str,
+    kind: MetricKind,
+    /// Fully rendered sample lines (label set + value), without the name.
+    lines: Vec<String>,
+}
+
+/// Builds a Prometheus text exposition incrementally. Samples for the
+/// same metric name (e.g. one histogram per tenant) group under a single
+/// `# HELP`/`# TYPE` header, as the exposition format requires.
+#[derive(Default)]
+pub struct PromWriter {
+    metrics: Vec<Metric>,
+}
+
+impl PromWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    fn metric(&mut self, name: &str, help: &'static str, kind: MetricKind) -> &mut Metric {
+        if let Some(pos) = self.metrics.iter().position(|m| m.name == name) {
+            return &mut self.metrics[pos];
+        }
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help,
+            kind,
+            lines: Vec::new(),
+        });
+        self.metrics.last_mut().expect("just pushed")
+    }
+
+    /// Adds one counter sample.
+    pub fn counter(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], value: u64) {
+        let labels = fmt_labels(labels);
+        self.metric(name, help, MetricKind::Counter)
+            .lines
+            .push(format!("{labels} {value}"));
+    }
+
+    /// Adds one counter sample with a fractional value (Prometheus
+    /// counters may be floats — e.g. cumulative seconds).
+    pub fn counter_f64(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let labels = fmt_labels(labels);
+        self.metric(name, help, MetricKind::Counter)
+            .lines
+            .push(format!("{labels} {value}"));
+    }
+
+    /// Adds one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], value: f64) {
+        let labels = fmt_labels(labels);
+        self.metric(name, help, MetricKind::Gauge)
+            .lines
+            .push(format!("{labels} {value}"));
+    }
+
+    /// Adds one histogram sample set (cumulative `_bucket` lines over
+    /// [`LATENCY_BUCKETS_SECONDS`] plus `+Inf`, then `_sum` and
+    /// `_count`), converting the snapshot's integer samples to seconds
+    /// via `scale` (e.g. `1e-9` for nanosecond samples).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        let metric = self.metric(name, help, MetricKind::Histogram);
+        for le in LATENCY_BUCKETS_SECONDS {
+            let cutoff = (le / scale) as u64;
+            let mut with_le: Vec<(&str, String)> = Vec::with_capacity(labels.len() + 1);
+            for &(k, v) in labels {
+                with_le.push((k, v.to_string()));
+            }
+            with_le.push(("le", format!("{le}")));
+            let refs: Vec<(&str, &str)> = with_le.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            metric
+                .lines
+                .push(format!("{} {}", fmt_labels(&refs), snap.count_le(cutoff)));
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        metric
+            .lines
+            .push(format!("{} {}", fmt_labels(&with_inf), snap.count));
+        metric.lines.push(format!(
+            "_sum{} {}",
+            fmt_labels_suffix(labels),
+            snap.sum as f64 * scale
+        ));
+        metric.lines.push(format!(
+            "_count{} {}",
+            fmt_labels_suffix(labels),
+            snap.count
+        ));
+    }
+
+    /// Renders the accumulated samples as Prometheus text exposition
+    /// (format version 0.0.4).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for metric in &self.metrics {
+            out.push_str(&format!("# HELP {} {}\n", metric.name, metric.help));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                metric.name,
+                metric.kind.as_str()
+            ));
+            for line in &metric.lines {
+                match &metric.kind {
+                    // Histogram lines carry their own suffix markers.
+                    MetricKind::Histogram => {
+                        if let Some(rest) = line.strip_prefix("_sum") {
+                            out.push_str(&format!("{}_sum{rest}\n", metric.name));
+                        } else if let Some(rest) = line.strip_prefix("_count") {
+                            out.push_str(&format!("{}_count{rest}\n", metric.name));
+                        } else {
+                            out.push_str(&format!("{}_bucket{line}\n", metric.name));
+                        }
+                    }
+                    _ => out.push_str(&format!("{}{line}\n", metric.name)),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k="v",...}` with exposition-format escaping, or `""` when empty —
+/// followed by nothing (callers append ` value`).
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Same as [`fmt_labels`] — a readability alias for `_sum`/`_count`
+/// suffix lines.
+fn fmt_labels_suffix(labels: &[(&str, &str)]) -> String {
+    fmt_labels(labels)
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_group_under_one_header() {
+        let mut w = PromWriter::new();
+        w.counter(
+            "epim_requests_total",
+            "Requests admitted.",
+            &[("tenant", "a")],
+            5,
+        );
+        w.counter(
+            "epim_requests_total",
+            "Requests admitted.",
+            &[("tenant", "b")],
+            7,
+        );
+        w.gauge("epim_queue_depth", "Requests queued.", &[], 3.0);
+        let text = w.render();
+        assert_eq!(
+            text.matches("# TYPE epim_requests_total counter").count(),
+            1
+        );
+        assert!(text.contains("epim_requests_total{tenant=\"a\"} 5\n"));
+        assert!(text.contains("epim_requests_total{tenant=\"b\"} 7\n"));
+        assert!(text.contains("epim_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut h = Histogram::new();
+        // 3 samples at 20µs, 1 at 2ms (nanosecond units).
+        for _ in 0..3 {
+            h.record(20_000);
+        }
+        h.record(2_000_000);
+        let mut w = PromWriter::new();
+        w.histogram(
+            "epim_queue_wait_seconds",
+            "Queue wait.",
+            &[("tenant", "a")],
+            &h.snapshot(),
+            1e-9,
+        );
+        let text = w.render();
+        // 20µs lands in le=2.5e-5; 2ms in le=2.5e-3; buckets cumulative.
+        assert!(text.contains("epim_queue_wait_seconds_bucket{tenant=\"a\",le=\"0.00001\"} 0\n"));
+        assert!(text.contains("epim_queue_wait_seconds_bucket{tenant=\"a\",le=\"0.000025\"} 3\n"));
+        assert!(text.contains("epim_queue_wait_seconds_bucket{tenant=\"a\",le=\"0.001\"} 3\n"));
+        assert!(text.contains("epim_queue_wait_seconds_bucket{tenant=\"a\",le=\"0.0025\"} 4\n"));
+        assert!(text.contains("epim_queue_wait_seconds_bucket{tenant=\"a\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("epim_queue_wait_seconds_count{tenant=\"a\"} 4\n"));
+        assert!(text.contains("epim_queue_wait_seconds_sum{tenant=\"a\"} 0.00206"));
+        assert_eq!(
+            text.matches("# TYPE epim_queue_wait_seconds histogram")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut w = PromWriter::new();
+        w.counter("m", "h", &[("tenant", "a\"b\\c\nd")], 1);
+        assert!(w.render().contains("m{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+}

@@ -74,6 +74,13 @@ pub fn pool_workers() -> usize {
     num_threads().saturating_sub(1)
 }
 
+/// The calling thread's persistent pool-worker index (`1..num_threads()`),
+/// or `None` when called from any thread that is not a pool worker — the
+/// hook observability layers use to label per-worker trace lanes.
+pub fn current_worker() -> Option<usize> {
+    pool::current_worker()
+}
+
 /// Runs `f(chunk_index, chunk)` over `chunk_len`-sized mutable chunks of
 /// `data`, in parallel when worthwhile.
 ///

@@ -28,8 +28,22 @@
 //! thread instead of waiting, so the pool can never deadlock and outer-level
 //! parallelism is never serialized behind an inner region.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock, TryLockError};
+
+thread_local! {
+    /// The stable pool-worker index of the current thread (`None` on
+    /// threads that are not pool workers). Lets observability layers label
+    /// per-worker trace lanes without the pool passing its index around.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The current thread's pool-worker index (`1..num_threads()`), or `None`
+/// if this thread is not one of the pool's persistent workers.
+pub(crate) fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
 
 /// A type-erased job pointer. Stored as a raw fat pointer so the pool's
 /// shared state stays `'static`; validity is guaranteed by the completion
@@ -101,6 +115,7 @@ fn pool() -> Option<&'static Pool> {
 /// Body of a pool worker: park, run each published epoch exactly once with
 /// a stable worker index, repeat forever (workers die with the process).
 fn worker_loop(pool: &'static Pool, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
     let mut seen_epoch = 0u64;
     loop {
         let job = {

@@ -25,6 +25,7 @@
 use crate::quantize::{quantize_slice, quantize_value};
 use crate::PimError;
 use epim_core::{wrapping_factor, ChannelWrapping, Epitome, EpitomeSpec};
+use epim_obs::trace;
 use epim_tensor::ops::{conv2d_out_dims, Conv2dCfg};
 use epim_tensor::{rng, Tensor};
 use serde::{Deserialize, Serialize};
@@ -832,7 +833,16 @@ impl DataPath {
             // Stage 2: one DAC sweep for the whole tile (per-request
             // execution re-quantizes per round).
             if let Some((step, limit)) = dac {
+                let t_dac = trace::start();
                 quantize_slice(&mut rfq, step, limit);
+                trace::span(
+                    trace::SpanKind::DacSweep,
+                    trace::TENANT_NONE,
+                    tile_idx as u32,
+                    t_dac,
+                    rfq.len() as u64,
+                    0,
+                );
             }
 
             // Stage 3: rounds outer, pixel blocks inner — round metadata
@@ -841,6 +851,8 @@ impl DataPath {
             // `MVM_TB` pixels.
             let mut a_blk = vec![0.0f32; MVM_TB * self.plan.ifrt.word_lines];
             let mut blk_out = vec![0.0f32; MVM_TB * cout_e];
+            let mut adc_sweeps = 0u64;
+            let mut adc_elems = 0u64;
             for (round, panel) in self.plan.rounds.iter().zip(&panels) {
                 if wrap_on && round.range.start != 0 {
                     continue;
@@ -869,6 +881,8 @@ impl DataPath {
                         let accs = &mut blk_out[ti * width..(ti + 1) * width];
                         if let Some((step, limit)) = adc {
                             quantize_slice(accs, step, limit);
+                            adc_sweeps += 1;
+                            adc_elems += width as u64;
                         }
                         let t = t0 + ti;
                         let out_vec =
@@ -881,6 +895,14 @@ impl DataPath {
                 }
                 stats.joint_adds += width as u64 * tr;
                 stats.buffer_writes += width as u64 * tr;
+            }
+            if adc_sweeps > 0 {
+                trace::instant(
+                    trace::SpanKind::AdcSweep,
+                    trace::TENANT_NONE,
+                    adc_sweeps,
+                    adc_elems,
+                );
             }
 
             if wrap_on {

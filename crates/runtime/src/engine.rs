@@ -10,13 +10,18 @@
 //! module docs for the request flow.
 
 use crate::scheduler::{GroupExecutor, Scheduler};
+use crate::stats::StageMeta;
 use crate::{EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats};
 use epim_core::Epitome;
+use epim_obs::trace;
 use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
 use epim_tensor::ops::Conv2dCfg;
 use epim_tensor::Tensor;
+use std::time::Instant;
 
-/// Adapter: one epitome layer's data path as a scheduler executor.
+/// Adapter: one epitome layer's data path as a scheduler executor. The
+/// whole layer reports as a single "datapath" stage in the per-stage
+/// rollup and trace.
 pub(crate) struct DataPathExecutor {
     dp: DataPath,
 }
@@ -24,13 +29,37 @@ pub(crate) struct DataPathExecutor {
 impl GroupExecutor for DataPathExecutor {
     fn execute_batch(
         &self,
+        tenant: u32,
         inputs: &[&Tensor],
-    ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError> {
-        Ok(self.dp.execute_batch(inputs)?)
+    ) -> Result<(Vec<Tensor>, DataPathStats, Vec<u64>), RuntimeError> {
+        let started = Instant::now();
+        let t_stage = trace::start();
+        let (outs, stats) = self.dp.execute_batch(inputs)?;
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        trace::span(
+            trace::SpanKind::Stage,
+            tenant,
+            0,
+            t_stage,
+            trace::pack_stage_payload(trace::StageOpKind::DataPath, inputs.len() as u64),
+            0,
+        );
+        Ok((outs, stats, vec![ns]))
     }
 
-    fn execute_one(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), RuntimeError> {
+    fn execute_one(
+        &self,
+        _tenant: u32,
+        input: &Tensor,
+    ) -> Result<(Tensor, DataPathStats), RuntimeError> {
         Ok(self.dp.execute(input)?)
+    }
+
+    fn stage_meta(&self) -> Vec<StageMeta> {
+        vec![StageMeta {
+            name: "datapath".to_string(),
+            op: trace::StageOpKind::DataPath.as_str(),
+        }]
     }
 }
 

@@ -40,10 +40,17 @@
 //!    re-programmed weights ([`PlanCache::warm_network`] precompiles every
 //!    epitome choice of an `epim_models::Network`).
 //!
-//! Serving health is observable through [`RuntimeStats`]: p50/p99 request
-//! latency, the batch-size histogram, queue depth and shed counters, the
-//! plan cache's hit/miss counters, and a rollup of the data path's
-//! hardware counters.
+//! Serving health is observable through [`RuntimeStats`]: per-tenant
+//! queue-wait / service / end-to-end latency histograms (log-linear, exact
+//! merge — see `epim-obs`), per-stage time rollups ([`StageRollup`]), the
+//! batch-size histogram, queue depth with its high-water mark, shed
+//! counters, the plan cache's hit/miss counters, and a rollup of the data
+//! path's hardware counters — renderable as Prometheus text exposition
+//! ([`RuntimeStats::render_prometheus`],
+//! [`MultiEngine::render_prometheus`]). The scheduler and every network
+//! plan stage are additionally span-traced into `epim-obs`'s process-wide
+//! ring when tracing is enabled (`EPIM_TRACE=1` or
+//! `epim_obs::set_enabled(true)`), exportable as chrome://tracing JSON.
 //!
 //! ## Example
 //!
@@ -87,5 +94,5 @@ pub use engine::Engine;
 pub use error::RuntimeError;
 pub use network::{NetworkEngine, NetworkPlan};
 pub use scheduler::{EngineConfig, FlowControl, Inference, Pending, TenantConfig};
-pub use stats::RuntimeStats;
+pub use stats::{RuntimeStats, StageRollup};
 pub use tenancy::{MultiEngine, MultiEngineBuilder, TenantHandle, TenantId};

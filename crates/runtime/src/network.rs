@@ -34,10 +34,12 @@
 //! per-request sum.
 
 use crate::scheduler::{GroupExecutor, Scheduler};
+use crate::stats::StageMeta;
 use crate::{EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats};
 use epim_models::lower::{NetworkProgram, NetworkWeights, StageInput, StageOp};
 use epim_models::network::Network;
 use epim_models::optimize::{ArenaPlan, ArenaSlot};
+use epim_obs::trace;
 use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
 use epim_tensor::ops::{
     add_relu_slice, add_slice, conv2d_into, gemm, global_avg_pool_into, max_pool2d_into,
@@ -46,6 +48,7 @@ use epim_tensor::ops::{
 use epim_tensor::Tensor;
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One executable stage: the program op with its weights bound.
 enum PlannedOp {
@@ -71,6 +74,26 @@ enum PlannedOp {
         with: usize,
         relu: bool,
     },
+}
+
+impl PlannedOp {
+    /// The op kind packed into stage trace spans.
+    fn trace_kind(&self) -> trace::StageOpKind {
+        match self {
+            PlannedOp::Conv { .. } => trace::StageOpKind::Conv,
+            PlannedOp::Epitome { .. } => trace::StageOpKind::Epitome,
+            PlannedOp::Relu => trace::StageOpKind::Relu,
+            PlannedOp::MaxPool(_) => trace::StageOpKind::MaxPool,
+            PlannedOp::GlobalAvgPool => trace::StageOpKind::GlobalAvgPool,
+            PlannedOp::Linear { .. } => trace::StageOpKind::Linear,
+            PlannedOp::Add { .. } => trace::StageOpKind::Add,
+        }
+    }
+
+    /// The op name reported in per-stage metric rollups.
+    fn op_name(&self) -> &'static str {
+        self.trace_kind().as_str()
+    }
 }
 
 /// Whole arenas retained across groups; beyond this, returns are dropped.
@@ -253,8 +276,35 @@ impl NetworkPlan {
         &self,
         inputs: &[&Tensor],
     ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError> {
+        let (outs, stats, _) = self.run(inputs, trace::TENANT_NONE)?;
+        Ok((outs, stats))
+    }
+
+    /// Static stage descriptions (name + op kind), index-aligned with the
+    /// per-stage wall times [`NetworkPlan::run`] reports.
+    pub(crate) fn stage_meta(&self) -> Vec<StageMeta> {
+        self.program
+            .stages()
+            .iter()
+            .zip(&self.ops)
+            .map(|(stage, op)| StageMeta {
+                name: stage.name.clone(),
+                op: op.op_name(),
+            })
+            .collect()
+    }
+
+    /// [`NetworkPlan::execute_batch`] plus observability: also returns
+    /// each stage's wall time (nanoseconds, index-aligned with
+    /// [`NetworkPlan::stage_meta`]) and tags the per-stage trace spans
+    /// with `tenant` ([`trace::TENANT_NONE`] for direct calls).
+    pub(crate) fn run(
+        &self,
+        inputs: &[&Tensor],
+        tenant: u32,
+    ) -> Result<(Vec<Tensor>, DataPathStats, Vec<u64>), RuntimeError> {
         let Some(first) = inputs.first() else {
-            return Ok((Vec::new(), DataPathStats::default()));
+            return Ok((Vec::new(), DataPathStats::default(), Vec::new()));
         };
         let in_shape = self.program.input_shape();
         if first.rank() != 4 || first.shape()[1..] != in_shape[..] {
@@ -290,6 +340,7 @@ impl NetworkPlan {
         }
 
         let mut stats = DataPathStats::default();
+        let mut stage_ns = vec![0u64; self.ops.len()];
         for (i, op) in self.ops.iter().enumerate() {
             let stage = &self.program.stages()[i];
             let (in_range, in_shape) = match stage.input {
@@ -300,7 +351,10 @@ impl NetworkPlan {
                 ),
             };
             let out_range = slot_range(self.arena.values[i], images);
+            let out_bytes = ((out_range.end - out_range.start) * std::mem::size_of::<f32>()) as u64;
             let scratch_range = self.arena.scratch[i].map(|s| slot_range(s, images));
+            let started = Instant::now();
+            let t_stage = trace::start();
             match op {
                 PlannedOp::Conv {
                     weight,
@@ -414,6 +468,15 @@ impl NetworkPlan {
                     }
                 }
             }
+            stage_ns[i] = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            trace::span(
+                trace::SpanKind::Stage,
+                tenant,
+                i as u32,
+                t_stage,
+                trace::pack_stage_payload(op.trace_kind(), images as u64),
+                out_bytes,
+            );
         }
 
         // Split the final stage's slot back into per-request tensors.
@@ -433,7 +496,7 @@ impl NetworkPlan {
             .collect();
 
         self.return_arena(arena_buf);
-        Ok((outs, stats))
+        Ok((outs, stats, stage_ns))
     }
 }
 
@@ -500,14 +563,23 @@ pub(crate) struct PlanExecutor {
 impl GroupExecutor for PlanExecutor {
     fn execute_batch(
         &self,
+        tenant: u32,
         inputs: &[&Tensor],
-    ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError> {
-        self.plan.execute_batch(inputs)
+    ) -> Result<(Vec<Tensor>, DataPathStats, Vec<u64>), RuntimeError> {
+        self.plan.run(inputs, tenant)
     }
 
-    fn execute_one(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), RuntimeError> {
-        let (mut outs, stats) = self.plan.execute_batch(&[input])?;
+    fn execute_one(
+        &self,
+        tenant: u32,
+        input: &Tensor,
+    ) -> Result<(Tensor, DataPathStats), RuntimeError> {
+        let (mut outs, stats, _) = self.plan.run(&[input], tenant)?;
         Ok((outs.pop().expect("one output"), stats))
+    }
+
+    fn stage_meta(&self) -> Vec<StageMeta> {
+        self.plan.stage_meta()
     }
 }
 

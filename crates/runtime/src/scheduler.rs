@@ -47,8 +47,9 @@
 //!    [`RuntimeError::ExecutionPanicked`]), and a failing batch is retried
 //!    per-request so one bad request cannot poison its batchmates.
 
-use crate::stats::StatsInner;
+use crate::stats::{StageMeta, StatsInner};
 use crate::{PlanCacheStats, RuntimeError};
+use epim_obs::trace;
 use epim_pim::datapath::DataPathStats;
 use epim_tensor::Tensor;
 use std::collections::VecDeque;
@@ -62,16 +63,32 @@ use std::time::{Duration, Instant};
 /// outputs bit-identical to `execute_one` per input, with the stats equal
 /// to the per-input sum.
 pub(crate) trait GroupExecutor: Send + Sync + 'static {
-    /// Runs a group of same-shaped inputs, returning one output per input
-    /// and the summed execution statistics.
+    /// Runs a group of same-shaped inputs, returning one output per input,
+    /// the summed execution statistics, and the per-stage wall times
+    /// (nanoseconds, index-aligned with [`GroupExecutor::stage_meta`];
+    /// may be empty for executors without stage structure). `tenant` is
+    /// this group's tenant index, forwarded so per-stage trace spans can
+    /// be tenant-tagged ([`trace::TENANT_NONE`] outside a scheduler).
     fn execute_batch(
         &self,
+        tenant: u32,
         inputs: &[&Tensor],
-    ) -> Result<(Vec<Tensor>, DataPathStats), RuntimeError>;
+    ) -> Result<(Vec<Tensor>, DataPathStats, Vec<u64>), RuntimeError>;
 
     /// Runs a single input (the per-request fallback used to isolate a
     /// failing batch).
-    fn execute_one(&self, input: &Tensor) -> Result<(Tensor, DataPathStats), RuntimeError>;
+    fn execute_one(
+        &self,
+        tenant: u32,
+        input: &Tensor,
+    ) -> Result<(Tensor, DataPathStats), RuntimeError>;
+
+    /// Static stage descriptions for this executor's plan, index-aligned
+    /// with the `stage_ns` slice `execute_batch` returns (empty for
+    /// executors that report no per-stage times).
+    fn stage_meta(&self) -> Vec<StageMeta> {
+        Vec::new()
+    }
 }
 
 /// Flow-control policy applied when a bounded submission queue is full.
@@ -306,6 +323,11 @@ struct Shared<E: GroupExecutor> {
 struct QueueSet {
     /// `pending[t]` = tenant `t`'s FIFO backlog.
     pending: Vec<VecDeque<Request>>,
+    /// `high_water[t]` = most requests ever queued at once for tenant `t`
+    /// (the autoscaling signal surfaced via `RuntimeStats`).
+    high_water: Vec<usize>,
+    /// Most requests ever queued at once across all tenants together.
+    fleet_high_water: usize,
     /// The tenant whose turn it currently is.
     cursor: usize,
     /// Groups the cursor tenant may still drain this turn.
@@ -367,16 +389,21 @@ impl<E: GroupExecutor> Scheduler<E> {
         let first_weight = u64::from(tenants[0].2.weight);
         let tenants: Vec<Tenant<E>> = tenants
             .into_iter()
-            .map(|(label, exec, config)| Tenant {
-                label,
-                config,
-                exec,
-                stats: Mutex::new(StatsInner::default()),
+            .map(|(label, exec, config)| {
+                let stage_meta = exec.stage_meta();
+                Tenant {
+                    label,
+                    config,
+                    exec,
+                    stats: Mutex::new(StatsInner::with_stages(stage_meta)),
+                }
             })
             .collect();
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueSet {
                 pending: tenants.iter().map(|_| VecDeque::new()).collect(),
+                high_water: vec![0; tenants.len()],
+                fleet_high_water: 0,
                 cursor: 0,
                 budget: first_weight,
                 shutdown: false,
@@ -462,12 +489,15 @@ impl<E: GroupExecutor> Scheduler<E> {
         plan_cache: PlanCacheStats,
     ) -> Result<crate::RuntimeStats, RuntimeError> {
         let ten = self.tenant_ref(tenant)?;
-        let queue_depth = self.shared.queue.lock().expect("queue poisoned").pending[tenant].len();
+        let (queue_depth, high_water) = {
+            let queue = self.shared.queue.lock().expect("queue poisoned");
+            (queue.pending[tenant].len(), queue.high_water[tenant])
+        };
         Ok(ten
             .stats
             .lock()
             .expect("stats poisoned")
-            .snapshot(queue_depth, plan_cache))
+            .snapshot(queue_depth, high_water, plan_cache))
     }
 
     /// The fleet-level rollup across every tenant: counters and data-path
@@ -475,15 +505,18 @@ impl<E: GroupExecutor> Scheduler<E> {
     /// latency percentiles are computed over the union of every tenant's
     /// retained samples.
     pub fn fleet_stats(&self, plan_cache: PlanCacheStats) -> crate::RuntimeStats {
-        let queue_depth: usize = {
+        let (queue_depth, high_water) = {
             let queue = self.shared.queue.lock().expect("queue poisoned");
-            queue.pending.iter().map(VecDeque::len).sum()
+            (
+                queue.pending.iter().map(VecDeque::len).sum(),
+                queue.fleet_high_water,
+            )
         };
         let mut rollup = StatsInner::default();
         for tenant in &self.shared.tenants {
             rollup.absorb(&tenant.stats.lock().expect("stats poisoned"));
         }
-        rollup.snapshot(queue_depth, plan_cache)
+        rollup.snapshot(queue_depth, high_water, plan_cache)
     }
 
     fn tenant_ref(&self, tenant: usize) -> Result<&Tenant<E>, RuntimeError> {
@@ -528,6 +561,13 @@ impl<E: GroupExecutor> Scheduler<E> {
                         drop(queue);
                         let mut stats = ten.stats.lock().expect("stats poisoned");
                         stats.record_shed(inputs.len() as u64);
+                        drop(stats);
+                        trace::instant(
+                            trace::SpanKind::Shed,
+                            tenant as u32,
+                            inputs.len() as u64,
+                            capacity as u64,
+                        );
                         return Err(RuntimeError::Overloaded {
                             tenant: ten.label.clone(),
                             capacity,
@@ -556,7 +596,17 @@ impl<E: GroupExecutor> Scheduler<E> {
                 slot
             })
             .collect();
+        let depth = queue.pending[tenant].len();
+        queue.high_water[tenant] = queue.high_water[tenant].max(depth);
+        let total: usize = queue.pending.iter().map(VecDeque::len).sum();
+        queue.fleet_high_water = queue.fleet_high_water.max(total);
         drop(queue);
+        trace::instant(
+            trace::SpanKind::Enqueue,
+            tenant as u32,
+            slots.len() as u64,
+            depth as u64,
+        );
         shared.submitted.notify_all();
         Ok(slots)
     }
@@ -668,6 +718,7 @@ fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Reques
         // *other* tenant — one tenant's coalescing knob must not inflate
         // its neighbours' latency while they have runnable work.
         let tenant = pick_tenant(&mut queue, shared);
+        let t_coalesce = trace::start();
         let config = shared.tenants[tenant].config;
         let shape: Vec<usize> = queue.pending[tenant][0].input.shape().to_vec();
         let deadline = Instant::now() + config.batch_window;
@@ -720,6 +771,14 @@ fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Reques
             continue 'regroup;
         }
         drop(queue);
+        trace::span(
+            trace::SpanKind::Coalesce,
+            tenant as u32,
+            0,
+            t_coalesce,
+            group.len() as u64,
+            0,
+        );
         // Queue space freed: wake blocked submitters.
         shared.space.notify_all();
         return Some((tenant, group));
@@ -735,30 +794,53 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
     let ten = &shared.tenants[tenant];
     let batch_size = group.len();
     let inputs: Vec<&Tensor> = group.iter().map(|r| &r.input).collect();
+    let exec_started = Instant::now();
+    let t_group = trace::start();
     let batch_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        ten.exec.execute_batch(&inputs)
+        ten.exec.execute_batch(tenant as u32, &inputs)
     }));
     drop(inputs);
+    trace::span(
+        trace::SpanKind::Group,
+        tenant as u32,
+        0,
+        t_group,
+        batch_size as u64,
+        0,
+    );
     match batch_result {
         Err(_) => {
             for request in group {
                 request.slot.deliver(Err(RuntimeError::ExecutionPanicked));
             }
         }
-        Ok(Ok((outputs, dp_stats))) => {
-            record_and_deliver(ten, group, outputs, &dp_stats, batch_size);
+        Ok(Ok((outputs, dp_stats, stage_ns))) => {
+            let service = exec_started.elapsed();
+            record_and_deliver(
+                ten,
+                group,
+                outputs,
+                &dp_stats,
+                &stage_ns,
+                batch_size,
+                exec_started,
+                &[service],
+            );
         }
         Ok(Err(_)) => {
             // Defensive fallback: run the group per-request so one bad
             // request cannot poison its batchmates (each gets its own
             // error or result).
             let mut outputs = Vec::with_capacity(batch_size);
+            let mut services = Vec::with_capacity(batch_size);
             let mut dp_stats = DataPathStats::default();
             let mut failures: Vec<(usize, RuntimeError)> = Vec::new();
             for (i, request) in group.iter().enumerate() {
+                let started = Instant::now();
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    ten.exec.execute_one(&request.input)
+                    ten.exec.execute_one(tenant as u32, &request.input)
                 }));
+                services.push(started.elapsed());
                 match outcome {
                     Ok(Ok((out, s))) => {
                         dp_stats.accumulate(&s);
@@ -775,7 +857,16 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
                 }
             }
             if failures.is_empty() {
-                record_and_deliver(ten, group, outputs, &dp_stats, batch_size);
+                record_and_deliver(
+                    ten,
+                    group,
+                    outputs,
+                    &dp_stats,
+                    &[],
+                    batch_size,
+                    exec_started,
+                    &services,
+                );
             } else {
                 // Deliver successes as singletons, failures as errors.
                 for (i, request) in group.into_iter().enumerate() {
@@ -784,7 +875,11 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
                     } else {
                         let latency = request.submitted_at.elapsed();
                         let mut stats = ten.stats.lock().expect("stats poisoned");
-                        stats.record_latency(latency);
+                        stats.record_request(
+                            exec_started.saturating_duration_since(request.submitted_at),
+                            services[i],
+                            latency,
+                        );
                         drop(stats);
                         request.slot.deliver(Ok(Inference {
                             output: outputs[i].clone(),
@@ -799,19 +894,34 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
 }
 
 /// Records batch statistics into the tenant's accumulator and hands each
-/// request its output.
+/// request its output. `services` is either one duration shared by the
+/// whole batch or one per request (the fallback path), and `exec_started`
+/// marks the end of each request's queue wait.
+#[allow(clippy::too_many_arguments)]
 fn record_and_deliver<E>(
     tenant: &Tenant<E>,
     group: Vec<Request>,
     outputs: Vec<Tensor>,
     dp_stats: &DataPathStats,
+    stage_ns: &[u64],
     batch_size: usize,
+    exec_started: Instant,
+    services: &[Duration],
 ) {
     {
         let mut stats = tenant.stats.lock().expect("stats poisoned");
-        stats.record_batch(batch_size, dp_stats);
-        for request in &group {
-            stats.record_latency(request.submitted_at.elapsed());
+        stats.record_batch(batch_size, dp_stats, stage_ns);
+        for (i, request) in group.iter().enumerate() {
+            let service = if services.len() == 1 {
+                services[0]
+            } else {
+                services[i]
+            };
+            stats.record_request(
+                exec_started.saturating_duration_since(request.submitted_at),
+                service,
+                request.submitted_at.elapsed(),
+            );
         }
     }
     for (request, output) in group.into_iter().zip(outputs) {

@@ -339,9 +339,17 @@ impl MultiEngine {
     }
 
     /// A point-in-time snapshot of one tenant's serving statistics
-    /// (latencies, batch histogram, queue depth, shed counter, data-path
-    /// rollup). The `plan_cache` counters are those of the shared cache —
-    /// compilation work is a fleet-level resource.
+    /// (queue-wait / service / end-to-end latency histograms, per-stage
+    /// time rollups, batch histogram, queue depth with its high-water
+    /// mark, shed counter, data-path rollup). The `plan_cache` counters
+    /// are those of the shared cache — compilation work is a fleet-level
+    /// resource.
+    ///
+    /// [`RuntimeStats::queue_depth_high_water`] and
+    /// [`RuntimeStats::time_in_queue`] are the autoscaling input signal:
+    /// a tenant whose high-water mark rides its queue capacity while
+    /// queue-wait time grows needs more scheduler workers (or a bigger
+    /// share), independent of how its service time behaves.
     ///
     /// # Errors
     ///
@@ -368,6 +376,26 @@ impl MultiEngine {
             stats.legacy_pool_bytes += plan.legacy_pool_bytes(max_batch);
         }
         stats
+    }
+
+    /// Renders the whole fleet as Prometheus text exposition: every
+    /// serving metric once per tenant under a `tenant="<name>"` label
+    /// (samples grouped under one `# HELP`/`# TYPE` header per metric),
+    /// plus the shared plan cache's counters once, unlabeled. No network
+    /// dependency — print it, write it to a file, or serve it from any
+    /// HTTP handler.
+    pub fn render_prometheus(&self) -> String {
+        let mut w = epim_obs::PromWriter::new();
+        for index in 0..self.names.len() {
+            let id = TenantId {
+                fleet: self.fleet,
+                index,
+            };
+            let stats = self.tenant_stats(id).expect("own tenant id is valid");
+            stats.write_prometheus(&mut w, &[("tenant", self.names[index].as_str())]);
+        }
+        crate::stats::write_cache_prometheus(&mut w, &self.cache.stats());
+        w.render()
     }
 }
 

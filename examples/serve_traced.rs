@@ -1,0 +1,167 @@
+//! Observability demo: serve a traced burst, export chrome://tracing JSON
+//! and a Prometheus text exposition.
+//!
+//! Registers two tenants of the zoo's tiny epitome ResNet behind one
+//! `MultiEngine`, enables the process-wide trace ring, serves a burst of
+//! eight requests per tenant from concurrent clients, then:
+//!
+//! - writes `trace.json` (open in `chrome://tracing` or Perfetto: one
+//!   lane per scheduler/pool worker, tenant-colored coalesce/group/stage
+//!   spans, DAC/ADC sweep events from inside the data path),
+//! - re-parses the trace through the vendored `serde_json` and validates
+//!   its shape,
+//! - prints the per-tenant stage rollups and latency quantiles, and the
+//!   full Prometheus exposition from `MultiEngine::render_prometheus`.
+//!
+//! Run with: `cargo run --release -p epim --example serve_traced`
+//! Knobs: `EPIM_THREADS` pins the worker pool width; `EPIM_TRACE=1`
+//! enables tracing at startup (this example enables it explicitly).
+
+use epim::models::lower::NetworkWeights;
+use epim::models::zoo;
+use epim::obs::{self, SpanKind};
+use epim::pim::datapath::AnalogModel;
+use epim::runtime::{MultiEngine, PlanCache, TenantConfig};
+use epim::tensor::{init, rng, Tensor};
+use std::time::Duration;
+
+const BURST: usize = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (net, _spec) = zoo::tiny_epitome_network(8, 8, 10)?;
+    let weights_a = NetworkWeights::random(&net, 7)?;
+    let weights_b = NetworkWeights::random(&net, 8)?;
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
+
+    let cache = PlanCache::new();
+    let tenant_cfg = TenantConfig {
+        max_batch: 4,
+        batch_window: Duration::from_micros(500),
+        ..TenantConfig::default()
+    };
+    let mut builder = MultiEngine::builder(&cache).workers(2);
+    let alpha = builder.register(
+        "alpha",
+        &net,
+        &weights_a,
+        (16, 16),
+        true,
+        analog,
+        tenant_cfg,
+    )?;
+    let beta = builder.register("beta", &net, &weights_b, (16, 16), true, analog, tenant_cfg)?;
+    let engine = builder.build()?;
+
+    // Everything from here on lands in the process-wide trace ring.
+    obs::set_enabled(true);
+    obs::global().clear();
+
+    let mut r = rng::seeded(9);
+    let mut gen = |n: usize| -> Vec<Tensor> {
+        (0..n)
+            .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+            .collect()
+    };
+    let reqs_a = gen(BURST);
+    let reqs_b = gen(BURST);
+    std::thread::scope(|scope| {
+        let ea = &engine;
+        let ha = scope.spawn(move || ea.infer_many(alpha, reqs_a).expect("alpha burst"));
+        let hb = scope.spawn(move || ea.infer_many(beta, reqs_b).expect("beta burst"));
+        for res in ha.join().expect("alpha clients") {
+            res.expect("alpha inference succeeds");
+        }
+        for res in hb.join().expect("beta clients") {
+            res.expect("beta inference succeeds");
+        }
+    });
+    obs::set_enabled(false);
+
+    // --- Chrome trace export -------------------------------------------
+    let json = obs::global().export_chrome_trace();
+    std::fs::write("trace.json", &json)?;
+    let events = obs::global().all_events();
+    let lanes: std::collections::BTreeSet<usize> = events.iter().map(|e| e.lane).collect();
+    let stage_spans = events.iter().filter(|e| e.kind == SpanKind::Stage).count();
+    let sweeps = events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::DacSweep | SpanKind::AdcSweep))
+        .count();
+    println!(
+        "trace.json: {} bytes, {} events across {} worker lanes \
+         ({stage_spans} stage spans, {sweeps} DAC/ADC sweep events)",
+        json.len(),
+        events.len(),
+        lanes.len(),
+    );
+    assert!(stage_spans > 0, "stage spans must be traced");
+    assert!(
+        lanes.len() >= 2,
+        "scheduler workers must occupy distinct lanes"
+    );
+
+    // Round-trip the export through the vendored serde_json and check the
+    // chrome trace-event shape.
+    let doc: serde::Value = serde_json::from_str(&json)?;
+    let serde::Value::Object(fields) = &doc else {
+        panic!("chrome trace must be a JSON object");
+    };
+    let (_, trace_events) = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .expect("traceEvents present");
+    let serde::Value::Array(arr) = trace_events else {
+        panic!("traceEvents must be an array");
+    };
+    println!(
+        "chrome trace validates: {} traceEvents round-tripped",
+        arr.len()
+    );
+
+    // --- Per-tenant metrics --------------------------------------------
+    for (name, id) in [("alpha", alpha), ("beta", beta)] {
+        let s = engine.tenant_stats(id)?;
+        println!(
+            "\n{name}: {} requests in {} batches (mean {:.2}), queue high-water {}, \
+             time-in-queue {:.3} ms",
+            s.requests,
+            s.batches,
+            s.mean_batch_size(),
+            s.queue_depth_high_water,
+            s.time_in_queue().as_secs_f64() * 1e3,
+        );
+        println!(
+            "  latency us  p50 / p99:  wait {} / {}   service {} / {}   e2e {} / {}",
+            s.queue_wait.quantile(0.5) / 1000,
+            s.queue_wait.quantile(0.99) / 1000,
+            s.service.quantile(0.5) / 1000,
+            s.service.quantile(0.99) / 1000,
+            s.e2e.quantile(0.5) / 1000,
+            s.e2e.quantile(0.99) / 1000,
+        );
+        println!("  {:<36} {:>6} {:>12}", "stage", "calls", "total us");
+        for stage in &s.stages {
+            println!(
+                "  {:<36} {:>6} {:>12.1}",
+                format!("{} ({})", stage.name, stage.op),
+                stage.calls,
+                stage.total_ns as f64 / 1e3,
+            );
+        }
+    }
+
+    // --- Prometheus exposition -----------------------------------------
+    let exposition = engine.render_prometheus();
+    println!(
+        "\n--- Prometheus exposition ({} lines) ---",
+        exposition.lines().count()
+    );
+    print!("{exposition}");
+    assert!(exposition.contains("epim_requests_total{tenant=\"alpha\"}"));
+    assert!(exposition.contains("epim_request_seconds_bucket"));
+    Ok(())
+}

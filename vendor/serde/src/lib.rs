@@ -332,3 +332,17 @@ macro_rules! impl_tuple {
     )+};
 }
 impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+// `Value` round-trips through itself — lets callers build dynamic JSON
+// documents (e.g. trace exports) and serialize them like any other type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
