@@ -43,8 +43,8 @@ use epim::pim::datapath::{AnalogModel, DataPath};
 use epim::runtime::{Engine, EngineConfig, NetworkEngine, PlanCache};
 use epim::tensor::ops::gemm::reference_matmul;
 use epim::tensor::ops::{
-    add_relu_slice, add_slice, conv2d, conv2d_into, conv2d_out_dims, conv2d_ref, im2col, relu,
-    relu_slice, Conv2dCfg,
+    add_relu_slice, add_slice, conv2d, conv2d_into, conv2d_out_dims, conv2d_ref, global_avg_pool,
+    im2col, max_pool2d, relu, relu_slice, softmax_rows, softmax_rows_scalar, Conv2dCfg, PoolCfg,
 };
 use epim::tensor::{init, rng, Tensor};
 use serde::Serialize;
@@ -842,6 +842,167 @@ fn bench_pool(entries: &mut Vec<Entry>, reps: usize) {
     });
 }
 
+/// The epim-simd vectorized serving stages vs the scalar implementations
+/// they replaced (reproduced here verbatim as bench-local baselines). Every
+/// new SIMD path is pinned bitwise to its scalar reference — the house
+/// invariant is "vectorize across independent outputs, never change an
+/// output's FP op sequence" — so `max_abs_diff` is a hard `0` gate on all
+/// four entries.
+fn bench_simd_ops(entries: &mut Vec<Entry>, reps: usize) {
+    // Max pooling, ResNet-stem geometry (3x3 window, stride 2, padding 1).
+    // Baseline: the pre-SIMD core — gather each window into a Vec, fold
+    // with `f32::max`.
+    let seed_max_pool = |x: &Tensor, cfg: PoolCfg| {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let conv_cfg = Conv2dCfg {
+            stride: cfg.stride,
+            padding: cfg.padding,
+        };
+        let (oh, ow) = conv2d_out_dims(h, w, cfg.window, cfg.window, conv_cfg).expect("geometry");
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let od = out.data_mut();
+        let xd = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = &xd[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut vals = Vec::with_capacity(cfg.window * cfg.window);
+                        for ky in 0..cfg.window {
+                            let y = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                            if y < 0 || y >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..cfg.window {
+                                let xx = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                                if xx < 0 || xx >= w as isize {
+                                    continue;
+                                }
+                                vals.push(plane[y as usize * w + xx as usize]);
+                            }
+                        }
+                        od[((ni * c + ci) * oh + oy) * ow + ox] =
+                            vals.into_iter().fold(f32::NEG_INFINITY, f32::max);
+                    }
+                }
+            }
+        }
+        out
+    };
+    // The canonical user: a ResNet stem pool on an ImageNet-sized map
+    // (112x112 -> 56x56; wide enough rows for full vector interiors).
+    let mut r = rng::seeded(800);
+    let x = init::uniform(&[1, 64, 112, 112], -1.0, 1.0, &mut r);
+    let cfg = PoolCfg {
+        window: 3,
+        stride: 2,
+        padding: 1,
+    };
+    let (baseline_ms, y_base) = time_best(reps, || seed_max_pool(&x, cfg));
+    let (optimized_ms, y_opt) = time_best(reps, || max_pool2d(&x, cfg).expect("geometry"));
+    entries.push(Entry {
+        name: "maxpool_3x3s2".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_base.data(), y_opt.data()),
+    });
+
+    // Global average pooling: one latency-bound scalar sum chain per
+    // channel (the pre-SIMD loop) vs one channel per vector lane.
+    let x = init::uniform(&[8, 256, 16, 16], -1.0, 1.0, &mut r);
+    let seed_gap = |x: &Tensor| {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let mut out = Tensor::zeros(&[n, c]);
+        let od = out.data_mut();
+        let xd = x.data();
+        let inv = 1.0 / (h * w) as f32;
+        for (slot, plane) in od.iter_mut().zip(xd.chunks_exact(h * w)).take(n * c) {
+            let mut acc = 0.0f32;
+            for &v in plane {
+                acc += v;
+            }
+            *slot = acc * inv;
+        }
+        out
+    };
+    let (baseline_ms, y_base) = time_best(reps, || seed_gap(&x));
+    let (optimized_ms, y_opt) = time_best(reps, || global_avg_pool(&x).expect("geometry"));
+    entries.push(Entry {
+        name: "global_avg_pool".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_base.data(), y_opt.data()),
+    });
+
+    // Softmax over classifier logits: `softmax_rows_scalar` (the retained
+    // scalar reference, lanewise-identical exp) vs the vectorized passes.
+    let x = init::uniform(&[8, 1000], -5.0, 5.0, &mut r);
+    let (baseline_ms, y_base) = time_best(reps, || softmax_rows_scalar(&x).expect("rank 2"));
+    let (optimized_ms, y_opt) = time_best(reps, || softmax_rows(&x).expect("rank 2"));
+    entries.push(Entry {
+        name: "softmax_rows_8x1000".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_base.data(), y_opt.data()),
+    });
+
+    // Epitome replay: the pre-SIMD run loop (one `copy_from_slice` call
+    // per contiguous kx run — ~590k two-float memcpys for this spec) vs
+    // the dispatched run copies. Same spec as
+    // `epitome_reconstruct_512x256x3x3`, but that entry's baseline is the
+    // seed's element-at-a-time replay; this one isolates the SIMD step.
+    let spec = EpitomeSpec::new(
+        ConvShape::new(512, 256, 3, 3),
+        EpitomeShape::new(256, 256, 2, 2),
+    )
+    .expect("legal spec");
+    let data = init::kaiming_normal(&spec.shape().dims(), &mut r);
+    let epi = Epitome::from_tensor(spec, data).expect("shape matches");
+    let pre_pr_reconstruct = || {
+        let spec = epi.spec();
+        let conv = spec.conv();
+        let eshape = spec.shape();
+        let (e1, e2, e3) = (
+            eshape.cin * eshape.h * eshape.w,
+            eshape.h * eshape.w,
+            eshape.w,
+        );
+        let (c1, c2, c3) = (conv.cin * conv.kh * conv.kw, conv.kh * conv.kw, conv.kw);
+        let mut out = Tensor::zeros(&conv.dims());
+        let od = out.data_mut();
+        let ed = epi.tensor().data();
+        for patch in spec.plan().patches() {
+            for a in 0..patch.size[0] {
+                let src_a = (patch.src[0] + a) * e1;
+                let dst_a = (patch.dst[0] + a) * c1;
+                for b in 0..patch.size[1] {
+                    let src_b = src_a + (patch.src[1] + b) * e2;
+                    let dst_b = dst_a + (patch.dst[1] + b) * c2;
+                    for c in 0..patch.size[2] {
+                        let src_flat = src_b + (patch.src[2] + c) * e3 + patch.src[3];
+                        let dst_flat = dst_b + (patch.dst[2] + c) * c3 + patch.dst[3];
+                        od[dst_flat..dst_flat + patch.size[3]]
+                            .copy_from_slice(&ed[src_flat..src_flat + patch.size[3]]);
+                    }
+                }
+            }
+        }
+        out
+    };
+    let (baseline_ms, y_base) = time_best(reps, pre_pr_reconstruct);
+    let (optimized_ms, y_opt) = time_best(reps, || epi.reconstruct().expect("reconstructs"));
+    entries.push(Entry {
+        name: "epitome_reconstruct".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: max_abs_diff(y_base.data(), y_opt.data()),
+    });
+}
+
 /// A >25% relative slowdown (in speedup-over-seed terms) fails the gate.
 const SLOWDOWN_TOLERANCE: f64 = 1.25;
 
@@ -899,6 +1060,7 @@ fn run_sweep(reps: usize) -> Report {
     bench_tenancy(&mut entries, reps);
     bench_fusion(&mut entries, reps);
     bench_tracing(&mut entries, reps);
+    bench_simd_ops(&mut entries, reps);
     Report {
         schema_version: 1,
         generated_by: "epim-bench bench_kernels".to_string(),

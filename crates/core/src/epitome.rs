@@ -1,6 +1,7 @@
 //! The [`Epitome`] parameter tensor and its reconstruction machinery.
 
 use crate::{ConvShape, EpitomeError, EpitomeShape, SamplingPlan};
+use epim_simd::{dispatch, slice, Simd, SimdOp};
 use epim_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -144,20 +145,12 @@ impl Epitome {
         let dims = spec.shape().dims();
         let mut sums = Tensor::zeros(&dims);
         let mut counts = Tensor::zeros(&dims);
-        {
-            let sd = sums.data_mut();
-            let cd = counts.data_mut();
-            let wd = weight.data();
-            for_each_patch_run(&spec, |src_flat, dst_flat, run| {
-                let s = &mut sd[src_flat..src_flat + run];
-                let c = &mut cd[src_flat..src_flat + run];
-                let w = &wd[dst_flat..dst_flat + run];
-                for ((s, c), &w) in s.iter_mut().zip(c).zip(w) {
-                    *s += w;
-                    *c += 1.0;
-                }
-            });
-        }
+        dispatch(AverageInitOp {
+            spec: &spec,
+            sums: sums.data_mut(),
+            counts: counts.data_mut(),
+            weight: weight.data(),
+        });
         let data = sums
             .zip(&counts, |s, c| if c > 0.0 { s / c } else { 0.0 })
             .expect("same shape by construction");
@@ -227,36 +220,17 @@ impl Epitome {
 
     /// Copies every patch element whose destination channel lies in
     /// `[co_lo, co_hi)` into `band` (the corresponding slice of the output
-    /// weight), one contiguous kx run at a time.
+    /// weight), one contiguous kx run at a time. The run copies are
+    /// monomorphized per ISA by the `epim-simd` dispatcher; copies are
+    /// value-preserving, so every arm is trivially bitwise identical.
     fn replay_patches_into(&self, band: &mut [f32], co_lo: usize, co_hi: usize, ed: &[f32]) {
-        let conv = self.spec.conv();
-        let eshape = self.spec.shape();
-        let (e1, e2, e3) = (
-            eshape.cin * eshape.h * eshape.w,
-            eshape.h * eshape.w,
-            eshape.w,
-        );
-        let (c1, c2, c3) = (conv.cin * conv.kh * conv.kw, conv.kh * conv.kw, conv.kw);
-        for patch in self.spec.plan().patches() {
-            let a_lo = co_lo.max(patch.dst[0]).saturating_sub(patch.dst[0]);
-            let a_hi = co_hi
-                .min(patch.dst[0] + patch.size[0])
-                .saturating_sub(patch.dst[0]);
-            for a in a_lo..a_hi {
-                let src_a = (patch.src[0] + a) * e1;
-                let dst_a = (patch.dst[0] + a - co_lo) * c1;
-                for b in 0..patch.size[1] {
-                    let src_b = src_a + (patch.src[1] + b) * e2;
-                    let dst_b = dst_a + (patch.dst[1] + b) * c2;
-                    for c in 0..patch.size[2] {
-                        let src_flat = src_b + (patch.src[2] + c) * e3 + patch.src[3];
-                        let dst_flat = dst_b + (patch.dst[2] + c) * c3 + patch.dst[3];
-                        band[dst_flat..dst_flat + patch.size[3]]
-                            .copy_from_slice(&ed[src_flat..src_flat + patch.size[3]]);
-                    }
-                }
-            }
-        }
+        dispatch(ReplayOp {
+            spec: &self.spec,
+            band,
+            co_lo,
+            co_hi,
+            ed,
+        });
     }
 
     /// How many times each epitome element appears in the reconstructed
@@ -305,16 +279,138 @@ impl Epitome {
             ));
         }
         let mut grad = Tensor::zeros(&self.spec.shape().dims());
-        let gd = grad.data_mut();
-        let wd = dweight.data();
-        for_each_patch_run(&self.spec, |src_flat, dst_flat, run| {
-            let g = &mut gd[src_flat..src_flat + run];
-            let w = &wd[dst_flat..dst_flat + run];
-            for (g, &w) in g.iter_mut().zip(w) {
-                *g += w;
-            }
+        dispatch(AccumulateGradOp {
+            spec: &self.spec,
+            grad: grad.data_mut(),
+            dweight: dweight.data(),
         });
         Ok(grad)
+    }
+}
+
+/// [`Epitome::replay_patches_into`] as a dispatched op: the kx-run copies
+/// monomorphize per ISA through [`slice::copy`].
+struct ReplayOp<'a> {
+    spec: &'a EpitomeSpec,
+    band: &'a mut [f32],
+    co_lo: usize,
+    co_hi: usize,
+    ed: &'a [f32],
+}
+
+impl SimdOp for ReplayOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let conv = self.spec.conv();
+        let eshape = self.spec.shape();
+        let (e1, e2, e3) = (
+            eshape.cin * eshape.h * eshape.w,
+            eshape.h * eshape.w,
+            eshape.w,
+        );
+        let (c1, c2, c3) = (conv.cin * conv.kh * conv.kw, conv.kh * conv.kw, conv.kw);
+        let sp = self.ed.as_ptr();
+        let dp = self.band.as_mut_ptr();
+        for patch in self.spec.plan().patches() {
+            let a_lo = self.co_lo.max(patch.dst[0]).saturating_sub(patch.dst[0]);
+            let a_hi = self
+                .co_hi
+                .min(patch.dst[0] + patch.size[0])
+                .saturating_sub(patch.dst[0]);
+            if a_lo >= a_hi {
+                continue;
+            }
+            let run = patch.size[3];
+            // Bounds are proven once per patch, against the patch's last
+            // (largest-offset) run on each side; every stride is positive,
+            // so all inner offsets are dominated by these. The inner loops
+            // then replay ~hundreds of thousands of tiny runs with no
+            // per-run bounds checks.
+            let src_end = (patch.src[0] + a_hi - 1) * e1
+                + (patch.src[1] + patch.size[1] - 1) * e2
+                + (patch.src[2] + patch.size[2] - 1) * e3
+                + patch.src[3]
+                + run;
+            let dst_end = (patch.dst[0] + a_hi - 1 - self.co_lo) * c1
+                + (patch.dst[1] + patch.size[1] - 1) * c2
+                + (patch.dst[2] + patch.size[2] - 1) * c3
+                + patch.dst[3]
+                + run;
+            assert!(
+                src_end <= self.ed.len() && dst_end <= self.band.len(),
+                "patch exceeds epitome/band extents"
+            );
+            for a in a_lo..a_hi {
+                let src_a = (patch.src[0] + a) * e1;
+                let dst_a = (patch.dst[0] + a - self.co_lo) * c1;
+                for b in 0..patch.size[1] {
+                    let src_b = src_a + (patch.src[1] + b) * e2;
+                    let dst_b = dst_a + (patch.dst[1] + b) * c2;
+                    for c in 0..patch.size[2] {
+                        let src_flat = src_b + (patch.src[2] + c) * e3 + patch.src[3];
+                        let dst_flat = dst_b + (patch.dst[2] + c) * c3 + patch.dst[3];
+                        // SAFETY: within the per-patch bounds proven above;
+                        // src (epitome) and dst (conv band) are distinct
+                        // allocations.
+                        unsafe {
+                            slice::copy_raw(s, sp.add(src_flat), dp.add(dst_flat), run);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`Epitome::backprop_weight_grad`]'s accumulation as a dispatched op.
+/// Each epitome element's additions happen in the same patch order in every
+/// arm (lanes cover independent elements), so all arms are bitwise equal.
+struct AccumulateGradOp<'a> {
+    spec: &'a EpitomeSpec,
+    grad: &'a mut [f32],
+    dweight: &'a [f32],
+}
+
+impl SimdOp for AccumulateGradOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let grad = self.grad;
+        let dweight = self.dweight;
+        for_each_patch_run(self.spec, |src_flat, dst_flat, run| {
+            slice::add_assign(
+                s,
+                &mut grad[src_flat..src_flat + run],
+                &dweight[dst_flat..dst_flat + run],
+            );
+        });
+    }
+}
+
+/// [`Epitome::from_conv_weight`]'s sum/count sweep as a dispatched op.
+struct AverageInitOp<'a> {
+    spec: &'a EpitomeSpec,
+    sums: &'a mut [f32],
+    counts: &'a mut [f32],
+    weight: &'a [f32],
+}
+
+impl SimdOp for AverageInitOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let sums = self.sums;
+        let counts = self.counts;
+        let weight = self.weight;
+        for_each_patch_run(self.spec, |src_flat, dst_flat, run| {
+            slice::add_assign(
+                s,
+                &mut sums[src_flat..src_flat + run],
+                &weight[dst_flat..dst_flat + run],
+            );
+            slice::add_splat(s, &mut counts[src_flat..src_flat + run], 1.0);
+        });
     }
 }
 
@@ -491,6 +587,92 @@ mod tests {
         let mut epi = Epitome::zeros(s);
         assert!(epi.set_tensor(Tensor::zeros(&[9])).is_err());
         assert!(epi.backprop_weight_grad(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    /// Every ISA arm of the replay/accumulate ops must reproduce the
+    /// scalar arm bit-for-bit (exercised via the dispatcher's force hook,
+    /// independent of which arm the host picks by default).
+    #[test]
+    fn epitome_ops_arms_match_scalar_bitwise() {
+        use epim_simd::{dispatch_on, CpuFeatures, Isa};
+        // Odd, non-lane-multiple kx runs and overlapping tail windows.
+        let conv = ConvShape::new(24, 13, 3, 3);
+        let s = spec(conv, EpitomeShape::new(16, 8, 2, 2));
+        let mut r = rng::seeded(7);
+        let data = init::uniform(&s.shape().dims(), -1.0, 1.0, &mut r);
+        let dw = init::uniform(&conv.dims(), -1.0, 1.0, &mut r);
+        let epi = Epitome::from_tensor(s.clone(), data).unwrap();
+
+        let run_replay = |isa: Isa| {
+            let mut band = vec![0.0f32; conv.params()];
+            dispatch_on(
+                isa,
+                ReplayOp {
+                    spec: &s,
+                    band: &mut band,
+                    co_lo: 0,
+                    co_hi: conv.cout,
+                    ed: epi.tensor().data(),
+                },
+            );
+            band
+        };
+        let run_grad = |isa: Isa| {
+            let mut grad = vec![0.0f32; s.shape().params()];
+            dispatch_on(
+                isa,
+                AccumulateGradOp {
+                    spec: &s,
+                    grad: &mut grad,
+                    dweight: dw.data(),
+                },
+            );
+            grad
+        };
+        let run_avg = |isa: Isa| {
+            let n = s.shape().params();
+            let (mut sums, mut counts) = (vec![0.0f32; n], vec![0.0f32; n]);
+            dispatch_on(
+                isa,
+                AverageInitOp {
+                    spec: &s,
+                    sums: &mut sums,
+                    counts: &mut counts,
+                    weight: dw.data(),
+                },
+            );
+            (sums, counts)
+        };
+
+        let (want_w, want_g, want_sc) = (
+            run_replay(Isa::Scalar),
+            run_grad(Isa::Scalar),
+            run_avg(Isa::Scalar),
+        );
+        for isa in CpuFeatures::get().available() {
+            let (got_w, got_g, got_sc) = (run_replay(isa), run_grad(isa), run_avg(isa));
+            for (i, (a, b)) in got_w.iter().zip(&want_w).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{isa:?} replay elem {i}");
+            }
+            for (i, (a, b)) in got_g.iter().zip(&want_g).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{isa:?} grad elem {i}");
+            }
+            for (i, (a, b)) in got_sc.0.iter().zip(&want_sc.0).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{isa:?} sums elem {i}");
+            }
+            for (i, (a, b)) in got_sc.1.iter().zip(&want_sc.1).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{isa:?} counts elem {i}");
+            }
+        }
+        // The public entry points agree with the scalar reference too.
+        let w = epi.reconstruct().unwrap();
+        for (i, (a, b)) in w.data().iter().zip(&want_w).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "reconstruct elem {i}");
+        }
+        let g = epi.backprop_weight_grad(&dw).unwrap();
+        for (i, (a, b)) in g.data().iter().zip(&want_g).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "backprop elem {i}");
+        }
     }
 
     #[test]

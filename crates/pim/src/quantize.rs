@@ -4,20 +4,22 @@
 //! nearest level (ties away from zero, i.e. [`f32::round`]), clamp to the
 //! converter's range, multiply back. The per-round sweeps over gathered
 //! inputs and bit-line partial sums are hot enough in the batched data path
-//! to deserve vector code, so [`quantize_slice`] dispatches at runtime to
-//! an AVX-512F, AVX2 or scalar kernel — the same pattern as the GEMM
-//! micro-kernels in `epim_tensor::ops::gemm`.
+//! to deserve vector code, so [`quantize_slice`] is written once as a
+//! generic [`SimdOp`] body and monomorphized per ISA (AVX-512F, AVX2+FMA,
+//! scalar) by the shared `epim-simd` dispatcher.
 //!
 //! **Bit-exactness.** The data-path equivalence tests compare the batched,
-//! per-pixel and seed-reference execution paths bit-for-bit, so the vector
-//! kernels must reproduce `f32::round` exactly. SIMD rounding instructions
-//! round ties to even, and the folklore `trunc(x + 0.5)` trick is wrong
-//! near halves (e.g. `x = 0.49999997`: `x + 0.5` rounds up to `1.0`), so
-//! the kernels round via exact float steps instead: `r = trunc(|t|)` and
+//! per-pixel and seed-reference execution paths bit-for-bit, so every arm
+//! must reproduce `f32::round` exactly. SIMD rounding instructions round
+//! ties to even, and the folklore `trunc(x + 0.5)` trick is wrong near
+//! halves (e.g. `x = 0.49999997`: `x + 0.5` rounds up to `1.0`), so the
+//! kernel rounds via exact float steps instead: `r = trunc(|t|)` and
 //! `f = |t| - r` are both exact (Sterbenz), `f >= 0.5` decides the
 //! increment, and the sign is restored bitwise. Inputs are assumed finite
 //! (NaN propagation differs between `clamp` and SIMD min/max); the data
 //! path only produces finite values.
+
+use epim_simd::{dispatch, Simd, SimdOp};
 
 /// Quantizes one value: `round(v / step)` clamped to `[-limit, limit]`
 /// levels, times `step`. The scalar ground truth for the vector kernels.
@@ -26,129 +28,57 @@ pub fn quantize_value(v: f32, step: f32, limit: f32) -> f32 {
     (v / step).round().clamp(-limit, limit) * step
 }
 
-/// Instruction-set variant for the quantization sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kind {
-    /// 16-wide AVX-512F.
-    Avx512,
-    /// 8-wide AVX2.
-    Avx2,
-    /// One lane at a time, autovectorizer permitting.
-    Scalar,
+/// Quantizes every element of `vals` in place (DAC/ADC sweep), bit-exactly
+/// matching [`quantize_value`] per element in every ISA arm.
+pub fn quantize_slice(vals: &mut [f32], step: f32, limit: f32) {
+    dispatch(QuantizeOp { vals, step, limit });
 }
 
-/// Detects the best available kernel once per process.
-fn kind() -> Kind {
-    static KIND: std::sync::OnceLock<Kind> = std::sync::OnceLock::new();
-    *KIND.get_or_init(|| {
-        #[cfg(target_arch = "x86_64")]
-        {
-            if is_x86_feature_detected!("avx512f") {
-                return Kind::Avx512;
-            }
-            if is_x86_feature_detected!("avx2") {
-                return Kind::Avx2;
+struct QuantizeOp<'a> {
+    vals: &'a mut [f32],
+    step: f32,
+    limit: f32,
+}
+
+impl SimdOp for QuantizeOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let n = self.vals.len();
+        let ptr = self.vals.as_mut_ptr();
+        let vstep = s.splat(self.step);
+        let vhalf = s.splat(0.5);
+        let vone = s.splat(1.0);
+        let vlim = s.splat(self.limit);
+        let vneg = s.splat(-self.limit);
+        let mut i = 0;
+        // SAFETY: i + LANES <= n on every vector iteration.
+        unsafe {
+            while i + S::LANES <= n {
+                let t = s.div(s.load(ptr.add(i)), vstep);
+                let sign = s.sign_bits(t);
+                let a = s.abs(t);
+                let r = s.trunc(a);
+                // |t| - trunc(|t|) is exact, so the ties-away decision is too.
+                let frac = s.sub(a, r);
+                let r = s.select(s.ge(frac, vhalf), s.add(r, vone), r);
+                let r = s.or_bits(r, sign);
+                let r = s.min(s.max(r, vneg), vlim);
+                s.store(ptr.add(i), s.mul(r, vstep));
+                i += S::LANES;
             }
         }
-        Kind::Scalar
-    })
-}
-
-/// Quantizes every element of `vals` in place (DAC/ADC sweep), bit-exactly
-/// matching [`quantize_value`] per element.
-pub fn quantize_slice(vals: &mut [f32], step: f32, limit: f32) {
-    match kind() {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx512f feature at runtime.
-        Kind::Avx512 => unsafe { quantize_avx512(vals, step, limit) },
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx2 feature at runtime.
-        Kind::Avx2 => unsafe { quantize_avx2(vals, step, limit) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kind::Avx512 | Kind::Avx2 => quantize_scalar(vals, step, limit),
-        Kind::Scalar => quantize_scalar(vals, step, limit),
+        while i < n {
+            self.vals[i] = quantize_value(self.vals[i], self.step, self.limit);
+            i += 1;
+        }
     }
-}
-
-fn quantize_scalar(vals: &mut [f32], step: f32, limit: f32) {
-    for v in vals {
-        *v = quantize_value(*v, step, limit);
-    }
-}
-
-/// 8-wide AVX2 sweep.
-///
-/// # Safety
-///
-/// Caller must verify the `avx2` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn quantize_avx2(vals: &mut [f32], step: f32, limit: f32) {
-    use std::arch::x86_64::*;
-    let n = vals.len();
-    let ptr = vals.as_mut_ptr();
-    let vstep = _mm256_set1_ps(step);
-    let vhalf = _mm256_set1_ps(0.5);
-    let vone = _mm256_set1_ps(1.0);
-    let vlim = _mm256_set1_ps(limit);
-    let vneg = _mm256_set1_ps(-limit);
-    let sign_mask = _mm256_set1_ps(-0.0);
-    let mut i = 0;
-    while i + 8 <= n {
-        let t = _mm256_div_ps(_mm256_loadu_ps(ptr.add(i)), vstep);
-        let sign = _mm256_and_ps(t, sign_mask);
-        let a = _mm256_andnot_ps(sign_mask, t);
-        let r = _mm256_round_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(a);
-        // |t| - trunc(|t|) is exact, so the ties-away decision is too.
-        let frac = _mm256_sub_ps(a, r);
-        let bump = _mm256_and_ps(_mm256_cmp_ps::<_CMP_GE_OQ>(frac, vhalf), vone);
-        let r = _mm256_or_ps(_mm256_add_ps(r, bump), sign);
-        let r = _mm256_min_ps(_mm256_max_ps(r, vneg), vlim);
-        _mm256_storeu_ps(ptr.add(i), _mm256_mul_ps(r, vstep));
-        i += 8;
-    }
-    quantize_scalar(&mut vals[i..], step, limit);
-}
-
-/// 16-wide AVX-512F sweep. Bitwise float ops go through the integer domain
-/// (`or_ps`/`and_ps` would need AVX-512DQ).
-///
-/// # Safety
-///
-/// Caller must verify the `avx512f` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f")]
-unsafe fn quantize_avx512(vals: &mut [f32], step: f32, limit: f32) {
-    use std::arch::x86_64::*;
-    let n = vals.len();
-    let ptr = vals.as_mut_ptr();
-    let vstep = _mm512_set1_ps(step);
-    let vhalf = _mm512_set1_ps(0.5);
-    let vone = _mm512_set1_ps(1.0);
-    let vlim = _mm512_set1_ps(limit);
-    let vneg = _mm512_set1_ps(-limit);
-    let sign_bits = _mm512_set1_epi32(i32::MIN);
-    let mut i = 0;
-    while i + 16 <= n {
-        let t = _mm512_div_ps(_mm512_loadu_ps(ptr.add(i)), vstep);
-        let ti = _mm512_castps_si512(t);
-        let sign = _mm512_and_si512(ti, sign_bits);
-        let a = _mm512_castsi512_ps(_mm512_andnot_si512(sign_bits, ti));
-        let r = _mm512_roundscale_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(a);
-        let frac = _mm512_sub_ps(a, r);
-        let m = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(frac, vhalf);
-        let r = _mm512_mask_add_ps(r, m, r, vone);
-        let r = _mm512_castsi512_ps(_mm512_or_si512(_mm512_castps_si512(r), sign));
-        let r = _mm512_min_ps(_mm512_max_ps(r, vneg), vlim);
-        _mm512_storeu_ps(ptr.add(i), _mm512_mul_ps(r, vstep));
-        i += 16;
-    }
-    quantize_scalar(&mut vals[i..], step, limit);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epim_simd::{dispatch_on, CpuFeatures};
 
     /// Values chosen to break naive rounding emulations: just-below-half
     /// fractions (where `trunc(x + 0.5)` rounds up incorrectly), exact
@@ -208,30 +138,31 @@ mod tests {
         }
     }
 
-    /// Exercises each vector kernel the CPU supports directly, regardless
-    /// of which one `quantize_slice` dispatches to.
-    #[cfg(target_arch = "x86_64")]
+    /// Exercises every ISA arm the CPU supports via the dispatcher's
+    /// force hook, regardless of which one `quantize_slice` picks.
     #[test]
-    fn every_available_kernel_matches_scalar_bitwise() {
+    fn every_available_arm_matches_scalar_bitwise() {
         let (step, limit) = (0.0625f32, 512.0f32);
         let reference: Vec<f32> = adversarial_values()
             .iter()
             .map(|&v| quantize_value(v, step, limit))
             .collect();
-        if is_x86_feature_detected!("avx2") {
+        for isa in CpuFeatures::get().available() {
             let mut vals = adversarial_values();
-            // SAFETY: feature checked on the line above.
-            unsafe { quantize_avx2(&mut vals, step, limit) };
-            for (got, want) in vals.iter().zip(&reference) {
-                assert_eq!(got.to_bits(), want.to_bits(), "avx2: {got} vs {want}");
-            }
-        }
-        if is_x86_feature_detected!("avx512f") {
-            let mut vals = adversarial_values();
-            // SAFETY: feature checked on the line above.
-            unsafe { quantize_avx512(&mut vals, step, limit) };
-            for (got, want) in vals.iter().zip(&reference) {
-                assert_eq!(got.to_bits(), want.to_bits(), "avx512: {got} vs {want}");
+            dispatch_on(
+                isa,
+                QuantizeOp {
+                    vals: &mut vals,
+                    step,
+                    limit,
+                },
+            );
+            for (i, (got, want)) in vals.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{isa:?} elem {i}: {got} vs {want}"
+                );
             }
         }
     }

@@ -1,0 +1,147 @@
+//! One-time cached CPU-feature probe and ISA selection.
+//!
+//! The probe runs once per process (`OnceLock`) and is the *only* place in
+//! the workspace that is allowed to call `is_x86_feature_detected!`. The
+//! selected ISA can be overridden with the `EPIM_FORCE_ISA` environment
+//! variable (`scalar`, `avx2`, `avx512`); the override is read once at
+//! first use and clamped to what the host actually supports, so forcing
+//! `avx512` on an AVX2-only machine degrades to `avx2`, never to UB.
+
+use std::sync::OnceLock;
+
+/// Instruction-set tiers the dispatcher can select.
+///
+/// The tiers are cumulative capability levels, not raw feature bits:
+/// [`Isa::Avx2`] means AVX2 **and** FMA (the micro-kernels fuse
+/// multiply-adds), [`Isa::Avx512`] means AVX-512F. AArch64 NEON will be a
+/// new variant + match arm here, not a new dispatch stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Isa {
+    /// Portable one-lane arm; always available, and the bitwise reference
+    /// every vector arm is gated against.
+    Scalar,
+    /// AVX2 + FMA (8 × f32 lanes).
+    Avx2,
+    /// AVX-512F (16 × f32 lanes).
+    Avx512,
+}
+
+impl Isa {
+    /// Human-readable name, matching the `EPIM_FORCE_ISA` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Cached host capability snapshot plus the parsed `EPIM_FORCE_ISA`
+/// override. Obtain via [`CpuFeatures::get`]; constructing it any other
+/// way is deliberately impossible.
+#[derive(Debug)]
+pub struct CpuFeatures {
+    avx2_fma: bool,
+    avx512f: bool,
+    forced: Option<Isa>,
+}
+
+impl CpuFeatures {
+    /// The process-wide snapshot. Feature detection and the env-var read
+    /// both happen exactly once, on the first call.
+    pub fn get() -> &'static CpuFeatures {
+        static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+        FEATURES.get_or_init(|| {
+            #[cfg(target_arch = "x86_64")]
+            let (avx2_fma, avx512f) = (
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma"),
+                std::arch::is_x86_feature_detected!("avx512f"),
+            );
+            #[cfg(not(target_arch = "x86_64"))]
+            let (avx2_fma, avx512f) = (false, false);
+            CpuFeatures {
+                avx2_fma,
+                avx512f,
+                forced: parse_force_env(),
+            }
+        })
+    }
+
+    /// Whether the host can execute the given tier.
+    pub fn supports(&self, isa: Isa) -> bool {
+        match isa {
+            Isa::Scalar => true,
+            Isa::Avx2 => self.avx2_fma,
+            Isa::Avx512 => self.avx512f,
+        }
+    }
+
+    /// Step a requested tier down to the nearest one the host supports.
+    pub fn clamp(&self, isa: Isa) -> Isa {
+        match isa {
+            Isa::Avx512 if self.avx512f => Isa::Avx512,
+            Isa::Avx512 | Isa::Avx2 if self.avx2_fma => Isa::Avx2,
+            _ => Isa::Scalar,
+        }
+    }
+
+    /// Widest tier the host supports, ignoring any override.
+    pub fn best(&self) -> Isa {
+        if self.avx512f {
+            Isa::Avx512
+        } else if self.avx2_fma {
+            Isa::Avx2
+        } else {
+            Isa::Scalar
+        }
+    }
+
+    /// The tier [`crate::dispatch`] actually uses: the `EPIM_FORCE_ISA`
+    /// override clamped to host support, or [`CpuFeatures::best`].
+    pub fn effective(&self) -> Isa {
+        match self.forced {
+            Some(f) => self.clamp(f),
+            None => self.best(),
+        }
+    }
+
+    /// The parsed `EPIM_FORCE_ISA` override, if one was set (pre-clamp).
+    pub fn forced(&self) -> Option<Isa> {
+        self.forced
+    }
+
+    /// Every tier the host can execute, widest last. Tests iterate this to
+    /// pin each vector arm against the scalar arm regardless of overrides.
+    pub fn available(&self) -> Vec<Isa> {
+        let mut isas = vec![Isa::Scalar];
+        if self.avx2_fma {
+            isas.push(Isa::Avx2);
+        }
+        if self.avx512f {
+            isas.push(Isa::Avx512);
+        }
+        isas
+    }
+}
+
+/// The ISA every `dispatch` call selects (cached probe + clamped override).
+pub fn isa() -> Isa {
+    CpuFeatures::get().effective()
+}
+
+fn parse_force_env() -> Option<Isa> {
+    let raw = std::env::var("EPIM_FORCE_ISA").ok()?;
+    let v = raw.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" => None,
+        "scalar" => Some(Isa::Scalar),
+        "avx2" => Some(Isa::Avx2),
+        "avx512" | "avx512f" => Some(Isa::Avx512),
+        other => {
+            eprintln!("epim-simd: ignoring unknown EPIM_FORCE_ISA value {other:?} (expected scalar|avx2|avx512)");
+            None
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Small vectorized slice primitives for use *inside* [`SimdOp`] bodies.
+//!
+//! These are generic over the [`Simd`] token and therefore inherit the
+//! caller's ISA context; they are the building blocks the epitome
+//! replay/accumulate loops monomorphize per arm. Scalar tails use plain
+//! element ops, so every arm is bitwise identical (copies are copies and
+//! lanewise adds at the same index order are the same add).
+//!
+//! [`SimdOp`]: crate::SimdOp
+
+use crate::vec::Simd;
+
+/// `dst[i] = src[i]` for `n` elements through raw pointers: vector-width
+/// chunks, then two lanes at a time as raw `u64` moves, then one last lane.
+///
+/// The pair tail exists for the dominant caller (epitome patch replay),
+/// which issues hundreds of thousands of 1-3 element runs: a
+/// variable-length `copy_from_slice` pays a `memcpy` call per run and a
+/// per-element loop pays a bounds check per lane, while a `u64` move is a
+/// single instruction. Bit copies are value-preserving, so every arm stays
+/// trivially bitwise equal.
+///
+/// # Safety
+///
+/// `src` must be valid for reads and `dst` for writes of `n` elements,
+/// and the two ranges must not overlap. Callers that loop over many tiny
+/// runs should prove bounds once for the whole batch (the point of the
+/// raw-pointer form) rather than per run.
+#[inline(always)]
+pub unsafe fn copy_raw<S: Simd>(s: S, src: *const f32, dst: *mut f32, n: usize) {
+    let mut i = 0;
+    if S::LANES > 1 {
+        while i + S::LANES <= n {
+            s.store(dst.add(i), s.load(src.add(i)));
+            i += S::LANES;
+        }
+    }
+    while i + 2 <= n {
+        dst.add(i)
+            .cast::<u64>()
+            .write_unaligned(src.add(i).cast::<u64>().read_unaligned());
+        i += 2;
+    }
+    if i < n {
+        *dst.add(i) = *src.add(i);
+    }
+}
+
+/// `dst[i] = src[i]` over equal-length slices, vector-width chunks first.
+#[inline(always)]
+pub fn copy<S: Simd>(s: S, src: &[f32], dst: &mut [f32]) {
+    let n = dst.len();
+    assert_eq!(src.len(), n);
+    // SAFETY: both ranges are exactly the n elements of distinct slices
+    // (a &mut and a & slice cannot alias).
+    unsafe { copy_raw(s, src.as_ptr(), dst.as_mut_ptr(), n) }
+}
+
+/// `dst[i] += src[i]` over equal-length slices.
+#[inline(always)]
+pub fn add_assign<S: Simd>(s: S, dst: &mut [f32], src: &[f32]) {
+    let n = dst.len();
+    assert_eq!(src.len(), n);
+    let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+    let mut i = 0;
+    // SAFETY: i + LANES <= n and both slices are n long.
+    unsafe {
+        while i + S::LANES <= n {
+            s.store(dp.add(i), s.add(s.load(dp.add(i)), s.load(sp.add(i))));
+            i += S::LANES;
+        }
+    }
+    while i < n {
+        dst[i] += src[i];
+        i += 1;
+    }
+}
+
+/// `dst[i] += x` over the whole slice.
+#[inline(always)]
+pub fn add_splat<S: Simd>(s: S, dst: &mut [f32], x: f32) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let xv = s.splat(x);
+    let mut i = 0;
+    // SAFETY: i + LANES <= n.
+    unsafe {
+        while i + S::LANES <= n {
+            s.store(dp.add(i), s.add(s.load(dp.add(i)), xv));
+            i += S::LANES;
+        }
+    }
+    while i < n {
+        dst[i] += x;
+        i += 1;
+    }
+}

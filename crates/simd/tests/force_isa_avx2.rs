@@ -1,0 +1,25 @@
+//! `EPIM_FORCE_ISA=avx2` selects the AVX2 arm where supported and never
+//! widens past the request even on an AVX-512 host.
+
+use epim_simd::{dispatch, isa, CpuFeatures, Isa, Simd, SimdOp};
+
+struct LaneProbe;
+impl SimdOp for LaneProbe {
+    type Output = usize;
+    fn eval<S: Simd>(self, _s: S) -> usize {
+        S::LANES
+    }
+}
+
+#[test]
+fn forcing_avx2_clamps_to_host_support() {
+    std::env::set_var("EPIM_FORCE_ISA", "avx2");
+    let feats = CpuFeatures::get();
+    if feats.supports(Isa::Avx2) {
+        assert_eq!(isa(), Isa::Avx2);
+        assert_eq!(dispatch(LaneProbe), 8);
+    } else {
+        assert_eq!(isa(), Isa::Scalar);
+        assert_eq!(dispatch(LaneProbe), 1);
+    }
+}

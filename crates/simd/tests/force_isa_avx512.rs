@@ -1,0 +1,27 @@
+//! `EPIM_FORCE_ISA=avx512` selects the AVX-512 arm where supported and
+//! clamps down (never up, never UB) everywhere else.
+
+use epim_simd::{dispatch, isa, CpuFeatures, Isa, Simd, SimdOp};
+
+struct LaneProbe;
+impl SimdOp for LaneProbe {
+    type Output = usize;
+    fn eval<S: Simd>(self, _s: S) -> usize {
+        S::LANES
+    }
+}
+
+#[test]
+fn forcing_avx512_clamps_to_host_support() {
+    std::env::set_var("EPIM_FORCE_ISA", "avx512");
+    let feats = CpuFeatures::get();
+    let expect = feats.clamp(Isa::Avx512);
+    assert_eq!(isa(), expect);
+    let lanes = match expect {
+        Isa::Scalar => 1,
+        Isa::Avx2 => 8,
+        Isa::Avx512 => 16,
+    };
+    assert_eq!(dispatch(LaneProbe), lanes);
+    assert!(feats.supports(expect));
+}

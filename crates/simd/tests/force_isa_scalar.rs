@@ -1,0 +1,22 @@
+//! `EPIM_FORCE_ISA=scalar` must select the scalar arm on any host.
+//!
+//! Each force-ISA test lives in its own integration binary (own process):
+//! the override is read once at the first probe, so it has to be in the
+//! environment before anything touches the dispatcher.
+
+use epim_simd::{dispatch, isa, Isa, Simd, SimdOp};
+
+struct LaneProbe;
+impl SimdOp for LaneProbe {
+    type Output = usize;
+    fn eval<S: Simd>(self, _s: S) -> usize {
+        S::LANES
+    }
+}
+
+#[test]
+fn forcing_scalar_selects_the_scalar_arm() {
+    std::env::set_var("EPIM_FORCE_ISA", "scalar");
+    assert_eq!(isa(), Isa::Scalar);
+    assert_eq!(dispatch(LaneProbe), 1);
+}

@@ -1,22 +1,26 @@
 //! Activation functions and the vectorized elementwise kernels behind the
 //! fused serving stages.
 //!
-//! The serving pipeline's standalone `Relu`/`Add` stages and the fused
-//! `Add → Relu` kernel bottom out in the slice kernels here
-//! ([`relu_slice`], [`add_slice`], [`add_relu_slice`]), which dispatch at
-//! runtime to AVX-512F, AVX2 or scalar code — the same pattern as the GEMM
-//! micro-kernels in [`crate::ops::gemm`] and `epim_pim`'s quantizer.
+//! The serving pipeline's standalone `Relu`/`Add` stages, the fused
+//! `Add → Relu` kernel and the row-wise softmax bottom out in generic
+//! [`epim_simd::SimdOp`] bodies here, monomorphized per ISA (AVX-512F,
+//! AVX2+FMA, scalar) by the shared `epim-simd` dispatcher — the same
+//! framework behind the GEMM micro-kernel selection, the pooling kernels
+//! and `epim_pim`'s quantizer.
 //!
 //! **Bit-exactness.** The graph-fusion invariant (fused programs bitwise
-//! equal to the unfused reference) requires every kernel to reproduce the
-//! scalar `v.max(0.0)` / `a + b` exactly. Addition is the same IEEE op in
-//! scalar and vector form; for the clamp, the vector kernels compute
-//! `max_ps(x, 0.0)` with the value in the **first** operand — x86 `maxps`
-//! returns the second operand on equal-or-NaN inputs, so `-0.0` maps to
-//! `+0.0` and `NaN` to `0.0`, exactly as the scalar `f32::max(x, 0.0)`
-//! lowering does.
+//! equal to the unfused reference) requires every arm of a kernel to agree
+//! bitwise. Addition is the same IEEE op in scalar and vector form; the
+//! relu clamp uses [`Simd::max`]`(v, 0.0)`, whose tie/NaN semantics are
+//! pinned by the trait (`-0.0` maps to `+0.0` and `NaN` to `0.0` in every
+//! arm). Softmax keeps its reductions (row max, normalizer sum) scalar in
+//! index order — the house invariant vectorizes across independent
+//! outputs, never inside an FP reduction — while the exp and divide
+//! passes are elementwise and use the shared lanewise [`epim_simd::math::exp`],
+//! which is bitwise identical across arms by construction.
 
 use crate::{Tensor, TensorError};
+use epim_simd::{dispatch, math, ScalarSimd, Simd, SimdOp};
 
 /// Rectified linear unit, elementwise.
 pub fn relu(x: &Tensor) -> Tensor {
@@ -39,52 +43,14 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
     x.map(|v| 1.0 / (1.0 + (-v).exp()))
 }
 
-/// Instruction-set variant for the elementwise kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kind {
-    /// 16-wide AVX-512F.
-    Avx512,
-    /// 8-wide AVX2.
-    Avx2,
-    /// One lane at a time, autovectorizer permitting.
-    Scalar,
-}
-
-/// Detects the best available kernel once per process.
-fn kind() -> Kind {
-    static KIND: std::sync::OnceLock<Kind> = std::sync::OnceLock::new();
-    *KIND.get_or_init(|| {
-        #[cfg(target_arch = "x86_64")]
-        {
-            if is_x86_feature_detected!("avx512f") {
-                return Kind::Avx512;
-            }
-            if is_x86_feature_detected!("avx2") {
-                return Kind::Avx2;
-            }
-        }
-        Kind::Scalar
-    })
-}
-
-/// `dst[i] = max(src[i], 0.0)`, bit-exactly matching the scalar clamp.
+/// `dst[i] = max(src[i], 0.0)`; every ISA arm agrees bitwise.
 ///
 /// # Panics
 ///
 /// Panics if `src` and `dst` lengths differ.
 pub fn relu_slice(src: &[f32], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len(), "relu_slice length mismatch");
-    match kind() {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx512f feature at runtime.
-        Kind::Avx512 => unsafe { relu_avx512(src, dst) },
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx2 feature at runtime.
-        Kind::Avx2 => unsafe { relu_avx2(src, dst) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kind::Avx512 | Kind::Avx2 => relu_scalar(src, dst),
-        Kind::Scalar => relu_scalar(src, dst),
-    }
+    dispatch(ReluOp { src, dst });
 }
 
 /// `dst[i] = a[i] + b[i]` (the residual-shortcut add).
@@ -95,17 +61,7 @@ pub fn relu_slice(src: &[f32], dst: &mut [f32]) {
 pub fn add_slice(a: &[f32], b: &[f32], dst: &mut [f32]) {
     assert_eq!(a.len(), dst.len(), "add_slice length mismatch");
     assert_eq!(b.len(), dst.len(), "add_slice length mismatch");
-    match kind() {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx512f feature at runtime.
-        Kind::Avx512 => unsafe { add_avx512(a, b, dst) },
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx2 feature at runtime.
-        Kind::Avx2 => unsafe { add_avx2(a, b, dst) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kind::Avx512 | Kind::Avx2 => add_scalar(a, b, dst),
-        Kind::Scalar => add_scalar(a, b, dst),
-    }
+    dispatch(AddOp { a, b, dst });
 }
 
 /// `dst[i] = max(a[i] + b[i], 0.0)` in one traversal — the fused
@@ -118,167 +74,131 @@ pub fn add_slice(a: &[f32], b: &[f32], dst: &mut [f32]) {
 pub fn add_relu_slice(a: &[f32], b: &[f32], dst: &mut [f32]) {
     assert_eq!(a.len(), dst.len(), "add_relu_slice length mismatch");
     assert_eq!(b.len(), dst.len(), "add_relu_slice length mismatch");
-    match kind() {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx512f feature at runtime.
-        Kind::Avx512 => unsafe { add_relu_avx512(a, b, dst) },
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `kind()` verified the avx2 feature at runtime.
-        Kind::Avx2 => unsafe { add_relu_avx2(a, b, dst) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kind::Avx512 | Kind::Avx2 => add_relu_scalar(a, b, dst),
-        Kind::Scalar => add_relu_scalar(a, b, dst),
+    dispatch(AddReluOp { a, b, dst });
+}
+
+struct ReluOp<'a> {
+    src: &'a [f32],
+    dst: &'a mut [f32],
+}
+
+impl SimdOp for ReluOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let n = self.dst.len();
+        let (sp, dp) = (self.src.as_ptr(), self.dst.as_mut_ptr());
+        let zero = s.splat(0.0);
+        let mut i = 0;
+        // SAFETY: i + LANES <= n on every vector iteration; both slices
+        // are n long.
+        unsafe {
+            while i + S::LANES <= n {
+                s.store(dp.add(i), s.max(s.load(sp.add(i)), zero));
+                i += S::LANES;
+            }
+        }
+        let t = ScalarSimd;
+        while i < n {
+            self.dst[i] = t.max(self.src[i], 0.0);
+            i += 1;
+        }
     }
 }
 
-fn relu_scalar(src: &[f32], dst: &mut [f32]) {
-    for (d, &v) in dst.iter_mut().zip(src) {
-        *d = v.max(0.0);
+struct AddOp<'a> {
+    a: &'a [f32],
+    b: &'a [f32],
+    dst: &'a mut [f32],
+}
+
+impl SimdOp for AddOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let n = self.dst.len();
+        let (ap, bp, dp) = (self.a.as_ptr(), self.b.as_ptr(), self.dst.as_mut_ptr());
+        let mut i = 0;
+        // SAFETY: i + LANES <= n; all three slices are n long.
+        unsafe {
+            while i + S::LANES <= n {
+                s.store(dp.add(i), s.add(s.load(ap.add(i)), s.load(bp.add(i))));
+                i += S::LANES;
+            }
+        }
+        while i < n {
+            self.dst[i] = self.a[i] + self.b[i];
+            i += 1;
+        }
     }
 }
 
-fn add_scalar(a: &[f32], b: &[f32], dst: &mut [f32]) {
-    for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(b) {
-        *d = av + bv;
-    }
+struct AddReluOp<'a> {
+    a: &'a [f32],
+    b: &'a [f32],
+    dst: &'a mut [f32],
 }
 
-fn add_relu_scalar(a: &[f32], b: &[f32], dst: &mut [f32]) {
-    for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(b) {
-        *d = (av + bv).max(0.0);
+impl SimdOp for AddReluOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let n = self.dst.len();
+        let (ap, bp, dp) = (self.a.as_ptr(), self.b.as_ptr(), self.dst.as_mut_ptr());
+        let zero = s.splat(0.0);
+        let mut i = 0;
+        // SAFETY: i + LANES <= n; all three slices are n long.
+        unsafe {
+            while i + S::LANES <= n {
+                let sum = s.add(s.load(ap.add(i)), s.load(bp.add(i)));
+                s.store(dp.add(i), s.max(sum, zero));
+                i += S::LANES;
+            }
+        }
+        let t = ScalarSimd;
+        while i < n {
+            self.dst[i] = t.max(self.a[i] + self.b[i], 0.0);
+            i += 1;
+        }
     }
-}
-
-/// 8-wide AVX2 clamp.
-///
-/// # Safety
-///
-/// Caller must verify the `avx2` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn relu_avx2(src: &[f32], dst: &mut [f32]) {
-    use std::arch::x86_64::*;
-    let n = src.len();
-    let zero = _mm256_setzero_ps();
-    let mut i = 0;
-    while i + 8 <= n {
-        let v = _mm256_loadu_ps(src.as_ptr().add(i));
-        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_max_ps(v, zero));
-        i += 8;
-    }
-    relu_scalar(&src[i..], &mut dst[i..]);
-}
-
-/// 16-wide AVX-512F clamp.
-///
-/// # Safety
-///
-/// Caller must verify the `avx512f` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f")]
-unsafe fn relu_avx512(src: &[f32], dst: &mut [f32]) {
-    use std::arch::x86_64::*;
-    let n = src.len();
-    let zero = _mm512_setzero_ps();
-    let mut i = 0;
-    while i + 16 <= n {
-        let v = _mm512_loadu_ps(src.as_ptr().add(i));
-        _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_max_ps(v, zero));
-        i += 16;
-    }
-    relu_scalar(&src[i..], &mut dst[i..]);
-}
-
-/// 8-wide AVX2 add.
-///
-/// # Safety
-///
-/// Caller must verify the `avx2` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn add_avx2(a: &[f32], b: &[f32], dst: &mut [f32]) {
-    use std::arch::x86_64::*;
-    let n = dst.len();
-    let mut i = 0;
-    while i + 8 <= n {
-        let av = _mm256_loadu_ps(a.as_ptr().add(i));
-        let bv = _mm256_loadu_ps(b.as_ptr().add(i));
-        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(av, bv));
-        i += 8;
-    }
-    add_scalar(&a[i..], &b[i..], &mut dst[i..]);
-}
-
-/// 16-wide AVX-512F add.
-///
-/// # Safety
-///
-/// Caller must verify the `avx512f` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f")]
-unsafe fn add_avx512(a: &[f32], b: &[f32], dst: &mut [f32]) {
-    use std::arch::x86_64::*;
-    let n = dst.len();
-    let mut i = 0;
-    while i + 16 <= n {
-        let av = _mm512_loadu_ps(a.as_ptr().add(i));
-        let bv = _mm512_loadu_ps(b.as_ptr().add(i));
-        _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_add_ps(av, bv));
-        i += 16;
-    }
-    add_scalar(&a[i..], &b[i..], &mut dst[i..]);
-}
-
-/// 8-wide AVX2 fused add+clamp.
-///
-/// # Safety
-///
-/// Caller must verify the `avx2` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn add_relu_avx2(a: &[f32], b: &[f32], dst: &mut [f32]) {
-    use std::arch::x86_64::*;
-    let n = dst.len();
-    let zero = _mm256_setzero_ps();
-    let mut i = 0;
-    while i + 8 <= n {
-        let av = _mm256_loadu_ps(a.as_ptr().add(i));
-        let bv = _mm256_loadu_ps(b.as_ptr().add(i));
-        let s = _mm256_add_ps(av, bv);
-        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_max_ps(s, zero));
-        i += 8;
-    }
-    add_relu_scalar(&a[i..], &b[i..], &mut dst[i..]);
-}
-
-/// 16-wide AVX-512F fused add+clamp.
-///
-/// # Safety
-///
-/// Caller must verify the `avx512f` feature is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f")]
-unsafe fn add_relu_avx512(a: &[f32], b: &[f32], dst: &mut [f32]) {
-    use std::arch::x86_64::*;
-    let n = dst.len();
-    let zero = _mm512_setzero_ps();
-    let mut i = 0;
-    while i + 16 <= n {
-        let av = _mm512_loadu_ps(a.as_ptr().add(i));
-        let bv = _mm512_loadu_ps(b.as_ptr().add(i));
-        let s = _mm512_add_ps(av, bv);
-        _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_max_ps(s, zero));
-        i += 16;
-    }
-    add_relu_scalar(&a[i..], &b[i..], &mut dst[i..]);
 }
 
 /// Row-wise softmax of a `(N, K)` matrix, numerically stabilized.
+///
+/// The row max and the normalizer sum are computed scalar in index order
+/// (identical in every arm); the exp and divide passes vectorize
+/// elementwise, so the result is bitwise identical across ISAs. Logits
+/// are assumed finite.
 ///
 /// # Errors
 ///
 /// Returns a rank error for non-matrices.
 pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
+    let (mut out, k) = softmax_prepare(x)?;
+    dispatch(SoftmaxRowsOp {
+        data: out.data_mut(),
+        k,
+    });
+    Ok(out)
+}
+
+/// Scalar-arm reference for [`softmax_rows`]: same algorithm forced onto
+/// the one-lane arm. Benches and bit-gates diff the dispatched path
+/// against this (the difference must be exactly 0).
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrices.
+pub fn softmax_rows_scalar(x: &Tensor) -> Result<Tensor, TensorError> {
+    let (mut out, k) = softmax_prepare(x)?;
+    epim_simd::run_scalar(SoftmaxRowsOp {
+        data: out.data_mut(),
+        k,
+    });
+    Ok(out)
+}
+
+fn softmax_prepare(x: &Tensor) -> Result<(Tensor, usize), TensorError> {
     if x.rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
@@ -286,27 +206,67 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
             op: "softmax",
         });
     }
-    let (n, k) = (x.shape()[0], x.shape()[1]);
-    let mut out = x.clone();
-    let od = out.data_mut();
-    for i in 0..n {
-        let row = &mut od[i * k..(i + 1) * k];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut z = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - m).exp();
-            z += *v;
+    Ok((x.clone(), x.shape()[1]))
+}
+
+struct SoftmaxRowsOp<'a> {
+    data: &'a mut [f32],
+    k: usize,
+}
+
+impl SimdOp for SoftmaxRowsOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let k = self.k;
+        if k == 0 {
+            return;
         }
-        for v in row.iter_mut() {
-            *v /= z;
+        let t = ScalarSimd;
+        for row in self.data.chunks_exact_mut(k) {
+            let mut m = f32::NEG_INFINITY;
+            for &v in row.iter() {
+                m = t.max(v, m);
+            }
+            let p = row.as_mut_ptr();
+            let mv = s.splat(m);
+            let mut i = 0;
+            // SAFETY: i + LANES <= k inside the row.
+            unsafe {
+                while i + S::LANES <= k {
+                    s.store(p.add(i), math::exp(s, s.sub(s.load(p.add(i)), mv)));
+                    i += S::LANES;
+                }
+            }
+            while i < k {
+                row[i] = math::exp(t, row[i] - m);
+                i += 1;
+            }
+            let mut z = 0.0;
+            for &v in row.iter() {
+                z += v;
+            }
+            let zv = s.splat(z);
+            let mut i = 0;
+            // SAFETY: i + LANES <= k inside the row.
+            unsafe {
+                while i + S::LANES <= k {
+                    s.store(p.add(i), s.div(s.load(p.add(i)), zv));
+                    i += S::LANES;
+                }
+            }
+            while i < k {
+                row[i] /= z;
+                i += 1;
+            }
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epim_simd::{dispatch_on, run_scalar, CpuFeatures};
 
     #[test]
     fn relu_clamps_negative() {
@@ -322,9 +282,9 @@ mod tests {
     }
 
     /// Values chosen to stress the clamp semantics: signed zeros (the
-    /// vector `maxps` must normalize `-0.0` to `+0.0` exactly like the
-    /// scalar lowering), NaN (clamped to `0.0` by both), infinities,
-    /// denormals and a dense sweep crossing zero.
+    /// pinned `max` maps `-0.0` to `+0.0` in every arm), NaN (clamped to
+    /// `0.0` by every arm), infinities, denormals and a dense sweep
+    /// crossing zero.
     fn adversarial_values() -> Vec<f32> {
         let mut vals = vec![
             0.0,
@@ -363,12 +323,19 @@ mod tests {
     }
 
     #[test]
-    fn slices_match_scalar_bitwise() {
+    fn slices_match_scalar_reference_bitwise() {
         let a = adversarial_values();
         let b = adversarial_partner();
 
         let mut want = vec![0.0f32; a.len()];
-        relu_scalar(&a, &mut want);
+        run_scalar(ReluOp {
+            src: &a,
+            dst: &mut want,
+        });
+        // The scalar arm itself pins the documented clamp semantics.
+        assert_eq!(want[0].to_bits(), 0.0f32.to_bits()); // +0.0 -> +0.0
+        assert_eq!(want[1].to_bits(), 0.0f32.to_bits()); // -0.0 -> +0.0
+        assert_eq!(want[2].to_bits(), 0.0f32.to_bits()); // NaN  -> 0.0
         let mut got = vec![f32::NAN; a.len()];
         relu_slice(&a, &mut got);
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -376,7 +343,9 @@ mod tests {
         }
 
         let mut want = vec![0.0f32; a.len()];
-        add_scalar(&a, &b, &mut want);
+        for (w, (&av, &bv)) in want.iter_mut().zip(a.iter().zip(&b)) {
+            *w = av + bv;
+        }
         let mut got = vec![f32::NAN; a.len()];
         add_slice(&a, &b, &mut got);
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -398,19 +367,29 @@ mod tests {
         }
     }
 
-    /// Exercises each vector kernel the CPU supports directly, regardless
-    /// of which one the dispatchers pick.
-    #[cfg(target_arch = "x86_64")]
+    /// Exercises every ISA arm the CPU supports via the force-override
+    /// dispatcher hook, regardless of which one `dispatch` picks.
     #[test]
-    fn every_available_kernel_matches_scalar_bitwise() {
+    fn every_available_arm_matches_scalar_bitwise() {
         let a = adversarial_values();
         let b = adversarial_partner();
         let mut relu_want = vec![0.0f32; a.len()];
-        relu_scalar(&a, &mut relu_want);
+        run_scalar(ReluOp {
+            src: &a,
+            dst: &mut relu_want,
+        });
         let mut add_want = vec![0.0f32; a.len()];
-        add_scalar(&a, &b, &mut add_want);
+        run_scalar(AddOp {
+            a: &a,
+            b: &b,
+            dst: &mut add_want,
+        });
         let mut ar_want = vec![0.0f32; a.len()];
-        add_relu_scalar(&a, &b, &mut ar_want);
+        run_scalar(AddReluOp {
+            a: &a,
+            b: &b,
+            dst: &mut ar_want,
+        });
 
         let check = |got: &[f32], want: &[f32], label: &str| {
             for (i, (g, w)) in got.iter().zip(want).enumerate() {
@@ -418,29 +397,34 @@ mod tests {
             }
         };
 
-        if is_x86_feature_detected!("avx2") {
+        for isa in CpuFeatures::get().available() {
             let mut got = vec![f32::NAN; a.len()];
-            // SAFETY: feature checked on the line above.
-            unsafe { relu_avx2(&a, &mut got) };
-            check(&got, &relu_want, "relu avx2");
-            // SAFETY: feature checked above.
-            unsafe { add_avx2(&a, &b, &mut got) };
-            check(&got, &add_want, "add avx2");
-            // SAFETY: feature checked above.
-            unsafe { add_relu_avx2(&a, &b, &mut got) };
-            check(&got, &ar_want, "add_relu avx2");
-        }
-        if is_x86_feature_detected!("avx512f") {
-            let mut got = vec![f32::NAN; a.len()];
-            // SAFETY: feature checked on the line above.
-            unsafe { relu_avx512(&a, &mut got) };
-            check(&got, &relu_want, "relu avx512");
-            // SAFETY: feature checked above.
-            unsafe { add_avx512(&a, &b, &mut got) };
-            check(&got, &add_want, "add avx512");
-            // SAFETY: feature checked above.
-            unsafe { add_relu_avx512(&a, &b, &mut got) };
-            check(&got, &ar_want, "add_relu avx512");
+            dispatch_on(
+                isa,
+                ReluOp {
+                    src: &a,
+                    dst: &mut got,
+                },
+            );
+            check(&got, &relu_want, &format!("relu {isa:?}"));
+            dispatch_on(
+                isa,
+                AddOp {
+                    a: &a,
+                    b: &b,
+                    dst: &mut got,
+                },
+            );
+            check(&got, &add_want, &format!("add {isa:?}"));
+            dispatch_on(
+                isa,
+                AddReluOp {
+                    a: &a,
+                    b: &b,
+                    dst: &mut got,
+                },
+            );
+            check(&got, &ar_want, &format!("add_relu {isa:?}"));
         }
     }
 
@@ -450,7 +434,11 @@ mod tests {
             let a: Vec<f32> = (0..len).map(|i| i as f32 * 0.37 - 2.0).collect();
             let b: Vec<f32> = (0..len).map(|i| 1.5 - i as f32 * 0.21).collect();
             let mut want = vec![0.0f32; len];
-            add_relu_scalar(&a, &b, &mut want);
+            run_scalar(AddReluOp {
+                a: &a,
+                b: &b,
+                dst: &mut want,
+            });
             let mut got = vec![f32::NAN; len];
             add_relu_slice(&a, &b, &mut got);
             assert_eq!(got, want);
@@ -483,5 +471,64 @@ mod tests {
         let x = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]).unwrap();
         let y = softmax_rows(&x).unwrap();
         assert!(y.data()[0] < y.data()[1] && y.data()[1] < y.data()[2]);
+    }
+
+    /// Every ISA arm of the softmax matches the scalar arm bitwise, on
+    /// odd row widths (scalar tails), wide dynamic range and ±0 logits.
+    #[test]
+    fn softmax_arms_match_scalar_bitwise() {
+        for k in [1usize, 3, 7, 16, 33, 100] {
+            let n = 5;
+            let data: Vec<f32> = (0..n * k)
+                .map(|i| match i % 11 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => -50.0,
+                    3 => 30.0,
+                    _ => (i as f32 * 0.739).sin() * 8.0,
+                })
+                .collect();
+            let x = Tensor::from_vec(data, &[n, k]).unwrap();
+            let want = softmax_rows_scalar(&x).unwrap();
+            for isa in CpuFeatures::get().available() {
+                let mut got = x.clone();
+                dispatch_on(
+                    isa,
+                    SoftmaxRowsOp {
+                        data: got.data_mut(),
+                        k,
+                    },
+                );
+                for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "softmax {isa:?} k={k} elem {i}");
+                }
+            }
+        }
+    }
+
+    /// The polynomial exp keeps softmax within a tight tolerance of the
+    /// libm-based formula it replaced.
+    #[test]
+    fn softmax_close_to_libm_reference() {
+        let k = 97;
+        let data: Vec<f32> = (0..3 * k)
+            .map(|i| (i as f32 * 0.113).cos() * 20.0)
+            .collect();
+        let x = Tensor::from_vec(data.clone(), &[3, k]).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        for r in 0..3 {
+            let row = &data[r * k..(r + 1) * k];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            for (i, &e) in exps.iter().enumerate() {
+                let want = e / z;
+                let got = y.data()[r * k + i];
+                assert!(
+                    (got - want).abs() <= 1e-6 + want.abs() * 1e-5,
+                    "row {r} elem {i}: {got} vs libm {want}"
+                );
+            }
+        }
     }
 }

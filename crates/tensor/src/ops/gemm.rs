@@ -27,9 +27,10 @@
 //! a GEMM followed by a separate ReLU pass.
 //!
 //! The binary stays portable (generic x86-64, same target the seed used):
-//! the micro-kernel is selected **at runtime** with
-//! `is_x86_feature_detected!` — an 8x32 AVX-512F kernel, a 6x16 AVX2+FMA
-//! kernel, or a scalar-autovectorized 8x8 fallback. The `unsafe` surface is
+//! the micro-kernel is selected **at runtime** from the cached
+//! `epim-simd` CPU-feature probe — an 8x32 AVX-512F kernel, a 6x16
+//! AVX2+FMA kernel, or a scalar-autovectorized 8x8 fallback (the probe's
+//! `EPIM_FORCE_ISA` override applies here too). The `unsafe` surface is
 //! confined to the `#[target_feature]` kernel bodies, which only touch
 //! caller-validated panel/tile buffers.
 
@@ -74,21 +75,15 @@ impl KernelKind {
     }
 }
 
-/// Detects the best available kernel once per process.
+/// Maps the cached `epim-simd` ISA selection (feature probe plus the
+/// `EPIM_FORCE_ISA` override) onto a micro-kernel variant. The tier
+/// requirements line up exactly: `Isa::Avx2` already implies FMA.
 fn kernel_kind() -> KernelKind {
-    static KIND: std::sync::OnceLock<KernelKind> = std::sync::OnceLock::new();
-    *KIND.get_or_init(|| {
-        #[cfg(target_arch = "x86_64")]
-        {
-            if is_x86_feature_detected!("avx512f") {
-                return KernelKind::Avx512;
-            }
-            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
-                return KernelKind::Fma;
-            }
-        }
-        KernelKind::Generic
-    })
+    match epim_simd::isa() {
+        epim_simd::Isa::Avx512 => KernelKind::Avx512,
+        epim_simd::Isa::Avx2 => KernelKind::Fma,
+        epim_simd::Isa::Scalar => KernelKind::Generic,
+    }
 }
 
 /// Problems below this many multiply-adds run the plain serial loops:

@@ -1,6 +1,7 @@
 //! Spatial pooling operators.
 
 use crate::{Tensor, TensorError};
+use epim_simd::{dispatch, ScalarSimd, Simd, SimdOp};
 
 use super::conv::conv2d_out_dims;
 use super::Conv2dCfg;
@@ -48,23 +49,24 @@ impl PoolCfg {
 /// Returns geometry errors if the window does not fit.
 pub fn avg_pool2d(x: &Tensor, cfg: PoolCfg) -> Result<Tensor, TensorError> {
     let area = (cfg.window * cfg.window) as f32;
-    pool(x, cfg, move |vals| vals.iter().sum::<f32>() / area)
+    pool(x, cfg, AvgReduce { area })
 }
 
 /// Max pooling over `(N, C, H, W)`.
 ///
-/// Padded positions are skipped (a pad never wins the max).
+/// Padded positions are skipped (a pad never wins the max). Inputs are
+/// assumed finite; on a `-0.0`/`+0.0` tie the first value seen in window
+/// order wins (pinned by [`Simd::max`] — the old `f32::max` fold left
+/// that sign to the optimizer).
 ///
 /// # Errors
 ///
 /// Returns geometry errors if the window does not fit.
 pub fn max_pool2d(x: &Tensor, cfg: PoolCfg) -> Result<Tensor, TensorError> {
-    pool(x, cfg, |vals| {
-        vals.iter().copied().fold(f32::NEG_INFINITY, f32::max)
-    })
+    pool(x, cfg, MaxReduce)
 }
 
-fn pool(x: &Tensor, cfg: PoolCfg, reduce: impl Fn(&[f32]) -> f32) -> Result<Tensor, TensorError> {
+fn pool<R: PoolReduce>(x: &Tensor, cfg: PoolCfg, red: R) -> Result<Tensor, TensorError> {
     if x.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -75,7 +77,14 @@ fn pool(x: &Tensor, cfg: PoolCfg, reduce: impl Fn(&[f32]) -> f32) -> Result<Tens
     let dims = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (oh, ow) = pool_out_dims(dims.2, dims.3, cfg)?;
     let mut out = Tensor::zeros(&[dims.0, dims.1, oh, ow]);
-    pool_into_core(x.data(), dims, cfg, (oh, ow), out.data_mut(), reduce);
+    dispatch(Pool2dOp {
+        xd: x.data(),
+        dims,
+        cfg,
+        odims: (oh, ow),
+        out: out.data_mut(),
+        red,
+    });
     Ok(out)
 }
 
@@ -93,42 +102,193 @@ fn pool_out_dims(h: usize, w: usize, cfg: PoolCfg) -> Result<(usize, usize), Ten
     conv2d_out_dims(h, w, cfg.window, cfg.window, cfg.as_conv())
 }
 
-/// The reduction core shared by the tensor and slice entry points: one
-/// output element per `(ni, ci, oy, ox)` in row-major order, windows
-/// gathered in `ky`-then-`kx` order (pads skipped), so every path reduces
-/// in the identical sequence.
-fn pool_into_core(
+/// In-place window reduction: `init`, fold one value at a time, `finish`.
+/// The scalar and vector hooks are lane-for-lane the same FP sequence, so
+/// reducing one output per lane is bitwise equal to the scalar fold.
+trait PoolReduce: Copy {
+    fn init(&self) -> f32;
+    fn accum1(&self, acc: f32, v: f32) -> f32;
+    fn finish1(&self, acc: f32) -> f32;
+    fn vaccum<S: Simd>(&self, s: S, acc: S::V, v: S::V) -> S::V;
+    fn vfinish<S: Simd>(&self, s: S, acc: S::V) -> S::V;
+}
+
+#[derive(Clone, Copy)]
+struct MaxReduce;
+
+impl PoolReduce for MaxReduce {
+    #[inline(always)]
+    fn init(&self) -> f32 {
+        f32::NEG_INFINITY
+    }
+    #[inline(always)]
+    fn accum1(&self, acc: f32, v: f32) -> f32 {
+        // `if v > acc { v } else { acc }`: ties keep the accumulator,
+        // matching the vector `maxps(v, acc)` exactly.
+        ScalarSimd.max(v, acc)
+    }
+    #[inline(always)]
+    fn finish1(&self, acc: f32) -> f32 {
+        acc
+    }
+    #[inline(always)]
+    fn vaccum<S: Simd>(&self, s: S, acc: S::V, v: S::V) -> S::V {
+        s.max(v, acc)
+    }
+    #[inline(always)]
+    fn vfinish<S: Simd>(&self, _s: S, acc: S::V) -> S::V {
+        acc
+    }
+}
+
+#[derive(Clone, Copy)]
+struct AvgReduce {
+    /// Divisor: the full window area (pads included), per
+    /// `count_include_pad`.
+    area: f32,
+}
+
+impl PoolReduce for AvgReduce {
+    #[inline(always)]
+    fn init(&self) -> f32 {
+        0.0
+    }
+    #[inline(always)]
+    fn accum1(&self, acc: f32, v: f32) -> f32 {
+        acc + v
+    }
+    #[inline(always)]
+    fn finish1(&self, acc: f32) -> f32 {
+        acc / self.area
+    }
+    #[inline(always)]
+    fn vaccum<S: Simd>(&self, s: S, acc: S::V, v: S::V) -> S::V {
+        s.add(acc, v)
+    }
+    #[inline(always)]
+    fn vfinish<S: Simd>(&self, s: S, acc: S::V) -> S::V {
+        s.div(acc, s.splat(self.area))
+    }
+}
+
+/// One pooled output, reduced **in place** in the documented ky-then-kx
+/// pad-skipping order (no window gather buffer).
+#[inline(always)]
+fn pool_window_scalar<R: PoolReduce>(
+    plane: &[f32],
+    (h, w): (usize, usize),
+    cfg: PoolCfg,
+    (oy, ox): (usize, usize),
+    red: &R,
+) -> f32 {
+    let mut acc = red.init();
+    for ky in 0..cfg.window {
+        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+        if iy < 0 || iy >= h as isize {
+            continue;
+        }
+        for kx in 0..cfg.window {
+            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+            if ix < 0 || ix >= w as isize {
+                continue;
+            }
+            acc = red.accum1(acc, plane[iy as usize * w + ix as usize]);
+        }
+    }
+    red.finish1(acc)
+}
+
+/// The scalar reduction core: one output element per `(ni, ci, oy, ox)` in
+/// row-major order, each window reduced in place in `ky`-then-`kx` order
+/// with pads skipped — the bitwise reference for every vector arm.
+fn pool_into_core<R: PoolReduce>(
     xd: &[f32],
     (n, c, h, w): (usize, usize, usize, usize),
     cfg: PoolCfg,
     (oh, ow): (usize, usize),
     out: &mut [f32],
-    reduce: impl Fn(&[f32]) -> f32,
+    red: &R,
 ) {
-    let mut vals = Vec::with_capacity(cfg.window * cfg.window);
     let mut idx = 0usize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let plane = &xd[(ni * c + ci) * h * w..][..h * w];
+    for plane in xd[..n * c * h * w].chunks_exact(h * w) {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                out[idx] = pool_window_scalar(plane, (h, w), cfg, (oy, ox), red);
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// The dispatched pooling op: vectorizes across output columns (one output
+/// per lane, so each output's FP reduction sequence is unchanged) over the
+/// interior column range where the whole window is in-bounds; edge columns
+/// and sub-lane remainders fall back to [`pool_window_scalar`].
+struct Pool2dOp<'a, R> {
+    xd: &'a [f32],
+    dims: (usize, usize, usize, usize),
+    cfg: PoolCfg,
+    odims: (usize, usize),
+    out: &'a mut [f32],
+    red: R,
+}
+
+impl<R: PoolReduce> SimdOp for Pool2dOp<'_, R> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let (n, c, h, w) = self.dims;
+        let (oh, ow) = self.odims;
+        let cfg = self.cfg;
+        let red = self.red;
+        if S::LANES == 1 {
+            // The scalar arm IS the reference core.
+            pool_into_core(self.xd, self.dims, cfg, self.odims, self.out, &red);
+            return;
+        }
+        let (win, st, pad) = (cfg.window, cfg.stride, cfg.padding);
+        // Columns where every kx lands in-bounds: ox*st >= pad and
+        // ox*st + win - 1 - pad <= w - 1.
+        let ox_hi = if w + pad >= win {
+            ((w + pad - win) / st + 1).min(ow)
+        } else {
+            0
+        };
+        let ox_lo = pad.div_ceil(st).min(ox_hi);
+        let mut idx = 0usize;
+        for plane in self.xd[..n * c * h * w].chunks_exact(h * w) {
             for oy in 0..oh {
-                for ox in 0..ow {
-                    vals.clear();
-                    for ky in 0..cfg.window {
-                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..cfg.window {
-                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            vals.push(plane[iy as usize * w + ix as usize]);
+                // Rows of the window that are in-bounds for this oy; the
+                // range is uniform across ox.
+                let ky_lo = pad.saturating_sub(oy * st);
+                let ky_hi = win.min(h + pad - oy * st);
+                for ox in 0..ox_lo {
+                    self.out[idx + ox] = pool_window_scalar(plane, (h, w), cfg, (oy, ox), &red);
+                }
+                let mut ox = ox_lo;
+                while ox + S::LANES <= ox_hi {
+                    let mut acc = s.splat(red.init());
+                    for ky in ky_lo..ky_hi {
+                        let iy = oy * st + ky - pad;
+                        let row = plane[iy * w..(iy + 1) * w].as_ptr();
+                        for kx in 0..win {
+                            // SAFETY: interior columns: the last lane reads
+                            // iy*w + (ox + LANES - 1)*st + kx - pad, which is
+                            // < iy*w + w by the ox_hi bound.
+                            let v = unsafe { s.load_strided(row.add(ox * st + kx - pad), st) };
+                            acc = red.vaccum(s, acc, v);
                         }
                     }
-                    out[idx] = reduce(&vals);
-                    idx += 1;
+                    // SAFETY: idx + ox + LANES <= plane's output row end.
+                    unsafe {
+                        s.store(self.out.as_mut_ptr().add(idx + ox), red.vfinish(s, acc));
+                    }
+                    ox += S::LANES;
                 }
+                for ox in ox..ow {
+                    self.out[idx + ox] = pool_window_scalar(plane, (h, w), cfg, (oy, ox), &red);
+                }
+                idx += ow;
             }
         }
     }
@@ -159,8 +319,13 @@ pub fn max_pool2d_into(
             "max_pool2d_into: output slice too short",
         ));
     }
-    pool_into_core(xd, (n, c, h, w), cfg, (oh, ow), out, |vals| {
-        vals.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    dispatch(Pool2dOp {
+        xd,
+        dims: (n, c, h, w),
+        cfg,
+        odims: (oh, ow),
+        out,
+        red: MaxReduce,
     });
     Ok(())
 }
@@ -268,15 +433,63 @@ pub fn global_avg_pool_into(
             "global_avg_pool_into: output slice too short",
         ));
     }
-    let inv = 1.0 / (h * w) as f32;
-    for (slot, plane) in out[..n * c].iter_mut().zip(xd.chunks(h * w)) {
-        let mut s = 0.0;
-        for &v in plane {
-            s += v;
-        }
-        *slot = s * inv;
-    }
+    dispatch(GlobalAvgPoolOp {
+        xd,
+        nc: n * c,
+        hw: h * w,
+        out,
+    });
     Ok(())
+}
+
+/// The dispatched global-average-pool op: one output channel per lane,
+/// lanes gathered at stride `h*w`, so each channel's plane is summed in
+/// the exact element order of the scalar loop (then scaled by `1/(h*w)`).
+/// The scalar chain is latency-bound (one serial add per element); giving
+/// each lane its own chain is where the speedup comes from.
+struct GlobalAvgPoolOp<'a> {
+    xd: &'a [f32],
+    nc: usize,
+    hw: usize,
+    out: &'a mut [f32],
+}
+
+impl SimdOp for GlobalAvgPoolOp<'_> {
+    type Output = ();
+    #[inline(always)]
+    fn eval<S: Simd>(self, s: S) {
+        let (nc, hw) = (self.nc, self.hw);
+        if hw == 0 {
+            return;
+        }
+        let inv = 1.0 / (hw as f32);
+        let xp = self.xd.as_ptr();
+        let vinv = s.splat(inv);
+        let mut ci = 0;
+        // SAFETY: lane l of iteration (ci, i) reads (ci + l)*hw + i
+        // < nc*hw; stores cover out[ci..ci + LANES] with ci + LANES <= nc.
+        unsafe {
+            while ci + S::LANES <= nc {
+                let mut acc = s.splat(0.0);
+                let base = xp.add(ci * hw);
+                for i in 0..hw {
+                    acc = s.add(acc, s.load_strided(base.add(i), hw));
+                }
+                s.store(self.out.as_mut_ptr().add(ci), s.mul(acc, vinv));
+                ci += S::LANES;
+            }
+        }
+        for (slot, plane) in self.out[ci..nc]
+            .iter_mut()
+            .zip(self.xd[ci * hw..].chunks(hw))
+        {
+            let mut acc = 0.0;
+            for &v in plane {
+                acc += v;
+            }
+            *slot = acc * inv;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +599,210 @@ mod tests {
         // Short slices are rejected, not silently truncated.
         assert!(max_pool2d_into(&x.data()[1..], dims, cfg, &mut got).is_err());
         assert!(global_avg_pool_into(x.data(), dims, &mut got[..1]).is_err());
+    }
+
+    /// The pre-refactor reduction core: gathers each window into a Vec in
+    /// ky-then-kx pad-skipping order, then reduces the gather. Kept here
+    /// as ground truth that the in-place core is a pure refactor.
+    fn pool_into_vec_gather(
+        xd: &[f32],
+        (n, c, h, w): (usize, usize, usize, usize),
+        cfg: PoolCfg,
+        (oh, ow): (usize, usize),
+        out: &mut [f32],
+        reduce: impl Fn(&[f32]) -> f32,
+    ) {
+        let mut vals = Vec::with_capacity(cfg.window * cfg.window);
+        let mut idx = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = &xd[(ni * c + ci) * h * w..][..h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        vals.clear();
+                        for ky in 0..cfg.window {
+                            let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..cfg.window {
+                                let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                vals.push(plane[iy as usize * w + ix as usize]);
+                            }
+                        }
+                        out[idx] = reduce(&vals);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inputs stressing the bit gates: signed zeros, denormals, and a
+    /// value pattern with repeated window maxima.
+    fn pool_inputs(len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| match i % 13 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::MIN_POSITIVE,
+                3 => -1.0e-42,
+                _ => ((i as f32 * 0.739).sin() * 4.0).trunc() * 0.5,
+            })
+            .collect()
+    }
+
+    /// Every ISA arm of both pooling reductions matches the in-place
+    /// scalar core bitwise, and that core matches the old Vec-gather core
+    /// bitwise, across odd shapes, strides and paddings.
+    #[test]
+    fn pool_arms_match_scalar_core_bitwise() {
+        use epim_simd::{dispatch_on, CpuFeatures};
+        let shapes = [(1, 1, 5, 7), (2, 3, 9, 11), (1, 2, 8, 8), (1, 1, 4, 30)];
+        let cfgs = [
+            PoolCfg::new(2, 2),
+            PoolCfg::new(3, 1),
+            PoolCfg {
+                window: 3,
+                stride: 2,
+                padding: 1,
+            },
+            PoolCfg {
+                window: 4,
+                stride: 3,
+                padding: 2,
+            },
+        ];
+        for &(n, c, h, w) in &shapes {
+            let xd = pool_inputs(n * c * h * w);
+            for &cfg in &cfgs {
+                let Ok((oh, ow)) = pool_out_dims(h, w, cfg) else {
+                    continue;
+                };
+                let olen = n * c * oh * ow;
+                let area = (cfg.window * cfg.window) as f32;
+
+                let mut want_max = vec![f32::NAN; olen];
+                pool_into_core(&xd, (n, c, h, w), cfg, (oh, ow), &mut want_max, &MaxReduce);
+                let mut old_max = vec![f32::NAN; olen];
+                pool_into_vec_gather(&xd, (n, c, h, w), cfg, (oh, ow), &mut old_max, |vals| {
+                    vals.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+                });
+                let mut want_avg = vec![f32::NAN; olen];
+                pool_into_core(
+                    &xd,
+                    (n, c, h, w),
+                    cfg,
+                    (oh, ow),
+                    &mut want_avg,
+                    &AvgReduce { area },
+                );
+                let mut old_avg = vec![f32::NAN; olen];
+                pool_into_vec_gather(&xd, (n, c, h, w), cfg, (oh, ow), &mut old_avg, |vals| {
+                    vals.iter().sum::<f32>() / area
+                });
+                // `f32::max` documents the sign of a ±0 tie as
+                // non-deterministic, so the old gather core had no defined
+                // bit pattern there; the in-place core pins first-seen.
+                // Everywhere else the refactor must be bit-identical.
+                let zero_tie = |a: f32, b: f32| a == 0.0 && b == 0.0;
+                for i in 0..olen {
+                    assert!(
+                        want_max[i].to_bits() == old_max[i].to_bits()
+                            || zero_tie(want_max[i], old_max[i]),
+                        "max in-place vs gather {i}"
+                    );
+                    assert_eq!(
+                        want_avg[i].to_bits(),
+                        old_avg[i].to_bits(),
+                        "avg in-place vs gather {i}"
+                    );
+                }
+
+                for isa in CpuFeatures::get().available() {
+                    let mut got = vec![f32::NAN; olen];
+                    dispatch_on(
+                        isa,
+                        Pool2dOp {
+                            xd: &xd,
+                            dims: (n, c, h, w),
+                            cfg,
+                            odims: (oh, ow),
+                            out: &mut got,
+                            red: MaxReduce,
+                        },
+                    );
+                    for i in 0..olen {
+                        assert_eq!(
+                            got[i].to_bits(),
+                            want_max[i].to_bits(),
+                            "max {isa:?} ({n},{c},{h},{w}) {cfg:?} elem {i}"
+                        );
+                    }
+                    dispatch_on(
+                        isa,
+                        Pool2dOp {
+                            xd: &xd,
+                            dims: (n, c, h, w),
+                            cfg,
+                            odims: (oh, ow),
+                            out: &mut got,
+                            red: AvgReduce { area },
+                        },
+                    );
+                    for i in 0..olen {
+                        assert_eq!(
+                            got[i].to_bits(),
+                            want_avg[i].to_bits(),
+                            "avg {isa:?} ({n},{c},{h},{w}) {cfg:?} elem {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every ISA arm of the global average pool matches the scalar loop
+    /// bitwise, including channel counts that exercise the lane tail.
+    #[test]
+    fn global_avg_pool_arms_match_scalar_bitwise() {
+        use epim_simd::{dispatch_on, CpuFeatures};
+        for (nc, hw) in [(1usize, 9usize), (7, 16), (24, 5), (33, 64), (16, 1)] {
+            let xd = pool_inputs(nc * hw);
+            let inv = 1.0 / hw as f32;
+            let want: Vec<f32> = xd
+                .chunks(hw)
+                .map(|plane| {
+                    let mut s = 0.0;
+                    for &v in plane {
+                        s += v;
+                    }
+                    s * inv
+                })
+                .collect();
+            for isa in CpuFeatures::get().available() {
+                let mut got = vec![f32::NAN; nc];
+                dispatch_on(
+                    isa,
+                    GlobalAvgPoolOp {
+                        xd: &xd,
+                        nc,
+                        hw,
+                        out: &mut got,
+                    },
+                );
+                for i in 0..nc {
+                    assert_eq!(
+                        got[i].to_bits(),
+                        want[i].to_bits(),
+                        "gap {isa:?} nc={nc} hw={hw} chan {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
