@@ -1003,6 +1003,218 @@ fn bench_simd_ops(entries: &mut Vec<Entry>, reps: usize) {
     });
 }
 
+/// Sentinel `max_abs_diff` for informational entries that carry no numeric
+/// comparison (latency percentiles, throughput). Any nonzero value keeps the
+/// bit-identity clause of the gate disarmed; `f64::EPSILON` is small enough
+/// to read as "not a real diff" in the table.
+const INFORMATIONAL_DIFF: f64 = f64::EPSILON;
+
+/// Nearest-rank percentile of an unsorted latency sample, in the sample's
+/// own unit (milliseconds here).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Network serving over loopback TCP vs the same fleet driven in-process.
+///
+/// `serve_tcp_resnet_burst8` times an 8-request pipelined burst through the
+/// wire protocol against the identical burst submitted straight to the
+/// in-process `MultiEngine`, and pins the wire outputs bitwise to the
+/// in-process outputs (`max_abs_diff` exactly 0 is the gate: the network
+/// boundary must never perturb a single bit).
+///
+/// `serve_tcp_loadgen_qps` stores closed-loop throughput (requests/s, a
+/// deliberate unit abuse of the `*_ms` fields like
+/// `network_arena_peak_mb_burst8`): `baseline_ms` = in-process QPS,
+/// `optimized_ms` = TCP QPS, and `speedup` = the fraction of in-process
+/// throughput retained over the wire — the gate fires if the serving stack
+/// ever loses >25% of that fraction relative to the committed baseline.
+///
+/// `serve_tcp_p{50,99,999}_ms` are informational end-to-end latency
+/// percentiles from the same closed-loop run (`baseline_ms` = in-process,
+/// `optimized_ms` = over TCP). Tail ratios on a shared runner are too noisy
+/// to gate, so their `speedup` is pinned to exactly 1.0 and their
+/// `max_abs_diff` to the informational sentinel — neither gate clause can
+/// fire on them.
+fn bench_serve_tcp(entries: &mut Vec<Entry>, reps: usize) {
+    use epim::serve::fleet::{FleetConfig, INPUT_SHAPE};
+    use epim::serve::{Client, Server};
+    use std::sync::atomic::Ordering;
+
+    // One fleet config, two builds: deterministic weight seeds make the
+    // served fleet and the in-process reference bit-identical.
+    let cfg = FleetConfig::default_zoo();
+    let reference = cfg.build().expect("fleet builds");
+    let server =
+        Server::bind(cfg.build().expect("fleet builds"), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_flag();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // --- Pipelined burst: wire overhead + the bit-identity gate. ---
+    let tenant = &cfg.tenants[0].name;
+    let tid = reference.tenant_id(tenant).expect("tenant registered");
+    let mut r = rng::seeded(907);
+    let xs: Vec<Tensor> = (0..8)
+        .map(|_| init::uniform(&INPUT_SHAPE, -1.0, 1.0, &mut r))
+        .collect();
+
+    let (baseline_ms, inproc) = time_best(reps, || {
+        reference
+            .infer_many(tid, xs.clone())
+            .expect("burst accepted")
+            .into_iter()
+            .map(|res| res.expect("inference succeeds").output)
+            .collect::<Vec<_>>()
+    });
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (optimized_ms, wire_out) = time_best(reps, || {
+        let ids: Vec<u64> = xs
+            .iter()
+            .map(|x| client.submit(tenant, x.clone()).expect("submit"))
+            .collect();
+        let mut by_id = std::collections::HashMap::new();
+        for _ in &ids {
+            let resp = client.recv_reply().expect("recv").expect("no error frames");
+            by_id.insert(resp.id, resp.output);
+        }
+        ids.iter()
+            .map(|id| by_id.remove(id).expect("every id answered"))
+            .collect::<Vec<Tensor>>()
+    });
+    client.close().expect("orderly close");
+    let diff = inproc
+        .iter()
+        .zip(&wire_out)
+        .map(|(a, b)| max_abs_diff(a.data(), b.data()))
+        .fold(0.0, f64::max);
+    entries.push(Entry {
+        name: "serve_tcp_resnet_burst8".to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        max_abs_diff: diff,
+    });
+
+    // --- Closed-loop load: throughput retained + latency percentiles. ---
+    // Each connection replays a deterministic schedule round-robining the
+    // zoo's tenants; the in-process twin drives the identical schedule
+    // through `MultiEngine::infer` on plain threads.
+    const CONNS: usize = 3;
+    const REQS: usize = 40;
+    let tenant_names: Vec<String> = cfg.tenants.iter().map(|t| t.name.clone()).collect();
+    let workload: Vec<Vec<(usize, Tensor)>> = (0..CONNS)
+        .map(|c| {
+            let mut r = rng::seeded(2_000 + c as u64);
+            (0..REQS)
+                .map(|k| {
+                    (
+                        (c + k) % tenant_names.len(),
+                        init::uniform(&INPUT_SHAPE, -1.0, 1.0, &mut r),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let tids: Vec<_> = tenant_names
+        .iter()
+        .map(|name| reference.tenant_id(name).expect("tenant registered"))
+        .collect();
+
+    let (inproc_wall_ms, inproc_lat) = time_best(reps, || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workload
+                .iter()
+                .map(|conn| {
+                    let reference = &reference;
+                    let tids = &tids;
+                    scope.spawn(move || {
+                        conn.iter()
+                            .map(|(t, x)| {
+                                let t0 = Instant::now();
+                                reference
+                                    .infer(tids[*t], x.clone())
+                                    .expect("inference succeeds");
+                                t0.elapsed().as_secs_f64() * 1e3
+                            })
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect::<Vec<f64>>()
+        })
+    });
+    let (tcp_wall_ms, tcp_lat) = time_best(reps, || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workload
+                .iter()
+                .map(|conn| {
+                    let addr = addr.clone();
+                    let tenant_names = &tenant_names;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(&addr).expect("connect");
+                        let lat = conn
+                            .iter()
+                            .map(|(t, x)| {
+                                let t0 = Instant::now();
+                                client
+                                    .infer(&tenant_names[*t], x.clone())
+                                    .expect("round trip")
+                                    .expect("no error frames");
+                                t0.elapsed().as_secs_f64() * 1e3
+                            })
+                            .collect::<Vec<f64>>();
+                        client.close().expect("orderly close");
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect::<Vec<f64>>()
+        })
+    });
+
+    let total = (CONNS * REQS) as f64;
+    let qps_inproc = total / (inproc_wall_ms / 1e3);
+    let qps_tcp = total / (tcp_wall_ms / 1e3);
+    entries.push(Entry {
+        name: "serve_tcp_loadgen_qps".to_string(),
+        baseline_ms: qps_inproc,
+        optimized_ms: qps_tcp,
+        speedup: qps_tcp / qps_inproc,
+        max_abs_diff: INFORMATIONAL_DIFF,
+    });
+    for (name, p) in [
+        ("serve_tcp_p50_ms", 50.0),
+        ("serve_tcp_p99_ms", 99.0),
+        ("serve_tcp_p999_ms", 99.9),
+    ] {
+        entries.push(Entry {
+            name: name.to_string(),
+            baseline_ms: percentile(&inproc_lat, p),
+            optimized_ms: percentile(&tcp_lat, p),
+            speedup: 1.0,
+            max_abs_diff: INFORMATIONAL_DIFF,
+        });
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server drains cleanly");
+}
+
 /// A >25% relative slowdown (in speedup-over-seed terms) fails the gate.
 const SLOWDOWN_TOLERANCE: f64 = 1.25;
 
@@ -1061,6 +1273,7 @@ fn run_sweep(reps: usize) -> Report {
     bench_fusion(&mut entries, reps);
     bench_tracing(&mut entries, reps);
     bench_simd_ops(&mut entries, reps);
+    bench_serve_tcp(&mut entries, reps);
     Report {
         schema_version: 1,
         generated_by: "epim-bench bench_kernels".to_string(),

@@ -14,7 +14,8 @@
 //! | [`search`] | `epim-search` | Algorithm 1 evolutionary layer-wise design |
 //! | [`models`] | `epim-models` | ResNet-50/101 inventories, network simulation, lowering to executable programs, accuracy surrogate, small-scale training |
 //! | [`prune`] | `epim-prune` | the PIM-Prune baseline |
-//! | [`runtime`] | `epim-runtime` | batched inference serving: scheduler core with bounded queues/flow control, single-layer and whole-network engines, plan cache, runtime stats |
+//! | [`runtime`] | `epim-runtime` | batched inference serving: scheduler core with bounded queues/flow control, single-layer and whole-network engines, plan cache, runtime stats, the unified `InferService` surface |
+//! | [`serve`] | `epim-serve` | network serving: TCP wire protocol, session threads, fleet config, pipelining client, load generator |
 //! | [`obs`] | `epim-obs` | observability: lock-free trace ring with chrome://tracing export, log-linear latency histograms, Prometheus text exposition |
 //! | [`tensor`] | `epim-tensor` | the ND tensor / NN substrate everything is built on |
 //!
@@ -75,6 +76,15 @@ pub mod prune {
 /// The batched inference serving runtime (re-export of `epim-runtime`).
 pub mod runtime {
     pub use epim_runtime::*;
+}
+
+/// Network serving over TCP: wire protocol, server, client, fleet
+/// config (re-export of `epim-serve`), plus the runtime's unified
+/// submission surface ([`serve::InferService`], [`serve::InferRequest`],
+/// [`serve::Pending`]) so server-facing code imports one module.
+pub mod serve {
+    pub use epim_runtime::{InferRequest, InferService, Inference, Pending, CLIENT_NONE};
+    pub use epim_serve::*;
 }
 
 /// Observability: tracing, histograms, exporters (re-export of

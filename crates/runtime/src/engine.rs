@@ -11,7 +11,10 @@
 
 use crate::scheduler::{GroupExecutor, Scheduler};
 use crate::stats::StageMeta;
-use crate::{EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats};
+use crate::{
+    EngineConfig, InferRequest, InferService, Inference, Pending, PlanCache, RuntimeError,
+    RuntimeStats,
+};
 use epim_core::Epitome;
 use epim_obs::trace;
 use epim_pim::datapath::{AnalogModel, DataPath, DataPathStats};
@@ -139,28 +142,29 @@ impl Engine {
     /// completes. Safe to call from many threads at once — that is the
     /// point: concurrent submissions coalesce into batches. When the
     /// bounded queue is full the configured [`crate::FlowControl`]
-    /// applies.
+    /// applies. Accepts a bare [`Tensor`] or a tagged [`InferRequest`].
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::ShuttingDown`] if the engine is being
     /// dropped, [`RuntimeError::Overloaded`] if the request was shed, or
     /// the data path's execution error for this request.
-    pub fn infer(&self, input: Tensor) -> Result<Inference, RuntimeError> {
-        self.scheduler.submit_wait(0, input)
+    pub fn infer(&self, req: impl Into<InferRequest>) -> Result<Inference, RuntimeError> {
+        self.scheduler.submit_wait(0, req.into())
     }
 
     /// Submits one request without ever blocking on queue space: if the
     /// bounded queue is full the request is shed immediately (regardless
     /// of the configured policy). On success the returned [`Pending`]
-    /// waits for the result.
+    /// waits for the result. This is the [`InferService`] surface;
+    /// a bare [`Tensor`] converts.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Overloaded`] when the queue is full or
     /// [`RuntimeError::ShuttingDown`] during shutdown.
-    pub fn try_infer(&self, input: Tensor) -> Result<Pending, RuntimeError> {
-        self.scheduler.try_submit(0, input)
+    pub fn try_infer(&self, req: impl Into<InferRequest>) -> Result<Pending, RuntimeError> {
+        self.scheduler.try_submit(0, req.into())
     }
 
     /// Submits `inputs` together and waits for all results, in order.
@@ -190,5 +194,15 @@ impl Engine {
             .map(PlanCache::stats)
             .unwrap_or_default();
         self.scheduler.fleet_stats(cache_stats)
+    }
+}
+
+impl InferService for Engine {
+    fn try_infer(&self, req: InferRequest) -> Result<Pending, RuntimeError> {
+        Engine::try_infer(self, req)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        Engine::stats(self)
     }
 }

@@ -1,10 +1,11 @@
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use epim_pim::PimError;
 
-/// Error type for the serving runtime.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Error type for the serving runtime and its network front-end.
+#[derive(Debug, Clone)]
 pub enum RuntimeError {
     /// The engine is shutting down and no longer accepts requests.
     ShuttingDown,
@@ -33,9 +34,57 @@ pub enum RuntimeError {
         /// The unregistered tenant index.
         id: usize,
     },
+    /// A bounded wait on a [`crate::Pending`] expired before the request
+    /// completed. The request is still in flight: waiting again (or
+    /// polling the `Pending` as a future) can still deliver its result.
+    Timeout,
+    /// An I/O failure on the serving transport (socket read/write, bind,
+    /// accept). Wrapped in an [`Arc`] so the error type stays cheaply
+    /// cloneable across per-request delivery slots.
+    Io(Arc<std::io::Error>),
+    /// The peer violated the wire protocol (bad magic, unsupported
+    /// version, malformed or oversized frame). Protocol errors are
+    /// connection-fatal: the server replies with a typed error frame and
+    /// closes.
+    Protocol {
+        /// What was malformed.
+        reason: String,
+    },
     /// Error from the PIM simulation layer (plan compilation or execution).
     Pim(PimError),
 }
+
+/// Structural equality; [`RuntimeError::Io`] compares by
+/// [`std::io::ErrorKind`] (the payload `std::io::Error` itself is not
+/// comparable).
+impl PartialEq for RuntimeError {
+    fn eq(&self, other: &Self) -> bool {
+        use RuntimeError::*;
+        match (self, other) {
+            (ShuttingDown, ShuttingDown) => true,
+            (ExecutionPanicked, ExecutionPanicked) => true,
+            (Timeout, Timeout) => true,
+            (InvalidConfig { what: a }, InvalidConfig { what: b }) => a == b,
+            (
+                Overloaded {
+                    tenant: ta,
+                    capacity: ca,
+                },
+                Overloaded {
+                    tenant: tb,
+                    capacity: cb,
+                },
+            ) => ta == tb && ca == cb,
+            (UnknownTenant { id: a }, UnknownTenant { id: b }) => a == b,
+            (Io(a), Io(b)) => a.kind() == b.kind(),
+            (Protocol { reason: a }, Protocol { reason: b }) => a == b,
+            (Pim(a), Pim(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for RuntimeError {}
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -63,6 +112,13 @@ impl fmt::Display for RuntimeError {
                     "unknown tenant index {id}: not registered with this engine"
                 )
             }
+            RuntimeError::Timeout => {
+                write!(f, "timed out waiting for the inference to complete")
+            }
+            RuntimeError::Io(e) => write!(f, "serving i/o error: {e}"),
+            RuntimeError::Protocol { reason } => {
+                write!(f, "wire protocol violation: {reason}")
+            }
             RuntimeError::Pim(e) => write!(f, "pim error: {e}"),
         }
     }
@@ -72,6 +128,7 @@ impl Error for RuntimeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RuntimeError::Pim(e) => Some(e),
+            RuntimeError::Io(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -83,10 +140,23 @@ impl From<PimError> for RuntimeError {
     }
 }
 
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(Arc::new(e))
+    }
+}
+
 impl RuntimeError {
     /// Convenience constructor for [`RuntimeError::InvalidConfig`].
     pub fn config(what: impl Into<String>) -> Self {
         RuntimeError::InvalidConfig { what: what.into() }
+    }
+
+    /// Convenience constructor for [`RuntimeError::Protocol`].
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        RuntimeError::Protocol {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -117,5 +187,28 @@ mod tests {
         assert!(e.source().is_none());
         let e: RuntimeError = PimError::config("x").into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn io_and_protocol_variants() {
+        let e: RuntimeError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer gone").into();
+        assert!(e.to_string().contains("peer gone"));
+        assert!(e.source().is_some(), "Io exposes the underlying error");
+        // Io equality is by kind: the payload error is not comparable.
+        let same_kind: RuntimeError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "other text").into();
+        let other_kind: RuntimeError =
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone").into();
+        assert_eq!(e, same_kind);
+        assert_ne!(e, other_kind);
+
+        let p = RuntimeError::protocol("bad magic");
+        assert!(p.to_string().contains("bad magic"));
+        assert_eq!(p, RuntimeError::protocol("bad magic"));
+        assert_ne!(p, RuntimeError::protocol("bad version"));
+        assert!(RuntimeError::Timeout.to_string().contains("timed out"));
+        assert_eq!(RuntimeError::Timeout, RuntimeError::Timeout);
+        assert_ne!(RuntimeError::Timeout, RuntimeError::ShuttingDown);
     }
 }

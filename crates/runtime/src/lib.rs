@@ -39,6 +39,13 @@
 //!    they are compiled once and shared across engines, networks and
 //!    re-programmed weights ([`PlanCache::warm_network`] precompiles every
 //!    epitome choice of an `epim_models::Network`).
+//! 7. **Unified submission surface** ([`InferService`]): [`Engine`],
+//!    [`NetworkEngine`] and [`TenantHandle`] all accept the same typed
+//!    [`InferRequest`] and return a [`Pending`] that supports blocking
+//!    [`Pending::wait`], bounded [`Pending::wait_timeout`] and
+//!    `await` (it implements [`std::future::Future`]), so servers —
+//!    notably the `epim-serve` TCP front-end — and tests are generic
+//!    over engines.
 //!
 //! Serving health is observable through [`RuntimeStats`]: per-tenant
 //! queue-wait / service / end-to-end latency histograms (log-linear, exact
@@ -86,6 +93,7 @@ mod engine;
 mod error;
 mod network;
 mod scheduler;
+mod service;
 mod stats;
 mod tenancy;
 
@@ -94,5 +102,6 @@ pub use engine::Engine;
 pub use error::RuntimeError;
 pub use network::{NetworkEngine, NetworkPlan};
 pub use scheduler::{EngineConfig, FlowControl, Inference, Pending, TenantConfig};
+pub use service::{InferRequest, InferService, CLIENT_NONE};
 pub use stats::{RuntimeStats, StageRollup};
 pub use tenancy::{MultiEngine, MultiEngineBuilder, TenantHandle, TenantId};

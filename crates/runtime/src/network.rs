@@ -35,7 +35,10 @@
 
 use crate::scheduler::{GroupExecutor, Scheduler};
 use crate::stats::StageMeta;
-use crate::{EngineConfig, Inference, Pending, PlanCache, RuntimeError, RuntimeStats};
+use crate::{
+    EngineConfig, InferRequest, InferService, Inference, Pending, PlanCache, RuntimeError,
+    RuntimeStats,
+};
 use epim_models::lower::{NetworkProgram, NetworkWeights, StageInput, StageOp};
 use epim_models::network::Network;
 use epim_models::optimize::{ArenaPlan, ArenaSlot};
@@ -676,24 +679,26 @@ impl NetworkEngine {
     /// Runs one whole-network inference (input `(N, C, H, W)` matching the
     /// program input shape), blocking until the pipelined execution
     /// completes. Concurrent callers coalesce into stacked groups.
+    /// Accepts a bare [`Tensor`] or a tagged [`InferRequest`].
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::ShuttingDown`] during shutdown,
     /// [`RuntimeError::Overloaded`] if the request was shed, or this
     /// request's execution error.
-    pub fn infer(&self, input: Tensor) -> Result<Inference, RuntimeError> {
-        self.scheduler.submit_wait(0, input)
+    pub fn infer(&self, req: impl Into<InferRequest>) -> Result<Inference, RuntimeError> {
+        self.scheduler.submit_wait(0, req.into())
     }
 
     /// Submits without ever blocking on queue space (full queue → shed
-    /// immediately); the returned [`Pending`] waits for the result.
+    /// immediately); the returned [`Pending`] waits for the result. This
+    /// is the [`InferService`] surface; a bare [`Tensor`] converts.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Overloaded`] when the queue is full.
-    pub fn try_infer(&self, input: Tensor) -> Result<Pending, RuntimeError> {
-        self.scheduler.try_submit(0, input)
+    pub fn try_infer(&self, req: impl Into<InferRequest>) -> Result<Pending, RuntimeError> {
+        self.scheduler.try_submit(0, req.into())
     }
 
     /// Submits a burst atomically and waits for all results, in order.
@@ -719,5 +724,15 @@ impl NetworkEngine {
         stats.arena_bytes = plan.arena_bytes(self.max_batch);
         stats.legacy_pool_bytes = plan.legacy_pool_bytes(self.max_batch);
         stats
+    }
+}
+
+impl InferService for NetworkEngine {
+    fn try_infer(&self, req: InferRequest) -> Result<Pending, RuntimeError> {
+        NetworkEngine::try_infer(self, req)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        NetworkEngine::stats(self)
     }
 }

@@ -248,25 +248,81 @@ struct Request {
     slot: Arc<Slot>,
 }
 
-/// Rendezvous between a submitter and a scheduler thread.
+/// What a slot holds between submission and delivery: the eventual
+/// result plus the waker of whatever task is polling the [`Pending`] as a
+/// future. One mutex covers both so a completion racing a `poll` can
+/// never lose a waker (deliver either sees the stored waker, or the
+/// poller re-checks the stored result after registering).
+#[derive(Default)]
+struct SlotState {
+    result: Option<Result<Inference, RuntimeError>>,
+    waker: Option<std::task::Waker>,
+}
+
+/// Rendezvous between a submitter and a scheduler thread. Completion is
+/// broadcast two ways: the condvar (for the blocking `wait` /
+/// `wait_timeout` paths) and the registered [`std::task::Waker`] (for the
+/// future path) — a single slot supports both without busy-polling.
 #[derive(Default)]
 struct Slot {
-    result: Mutex<Option<Result<Inference, RuntimeError>>>,
+    state: Mutex<SlotState>,
     ready: Condvar,
 }
 
 impl Slot {
     fn deliver(&self, result: Result<Inference, RuntimeError>) {
-        *self.result.lock().expect("slot poisoned") = Some(result);
+        let waker = {
+            let mut state = self.state.lock().expect("slot poisoned");
+            state.result = Some(result);
+            state.waker.take()
+        };
         self.ready.notify_one();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
     }
 
     fn wait(&self) -> Result<Inference, RuntimeError> {
-        let mut guard = self.result.lock().expect("slot poisoned");
+        let mut guard = self.state.lock().expect("slot poisoned");
         loop {
-            match guard.take() {
+            match guard.result.take() {
                 Some(result) => return result,
                 None => guard = self.ready.wait(guard).expect("slot poisoned"),
+            }
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Result<Inference, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.state.lock().expect("slot poisoned");
+        loop {
+            if let Some(result) = guard.result.take() {
+                return result;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RuntimeError::Timeout);
+            }
+            guard = self
+                .ready
+                .wait_timeout(guard, left)
+                .expect("slot poisoned")
+                .0;
+        }
+    }
+
+    fn poll(
+        &self,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Result<Inference, RuntimeError>> {
+        let mut state = self.state.lock().expect("slot poisoned");
+        match state.result.take() {
+            Some(result) => std::task::Poll::Ready(result),
+            None => {
+                // Replace rather than clone_from: wakers from different
+                // executors must not be mixed up across polls.
+                state.waker = Some(cx.waker().clone());
+                std::task::Poll::Pending
             }
         }
     }
@@ -275,6 +331,18 @@ impl Slot {
 /// An accepted-but-unfinished submission (returned by the non-blocking
 /// submission paths). Dropping it abandons the result; the request still
 /// executes.
+///
+/// The result can be claimed three ways, all built on one condvar+waker
+/// slot filled at completion (never busy-polled):
+///
+/// - **blocking**: [`Pending::wait`] parks the calling thread;
+/// - **bounded**: [`Pending::wait_timeout`] parks up to a deadline and
+///   returns [`RuntimeError::Timeout`] if the request is still in flight
+///   (the `Pending` stays usable — wait again or poll);
+/// - **async**: `Pending` implements [`std::future::Future`], waking the
+///   registered [`std::task::Waker`] on completion, so any runtime-free
+///   executor (see `epim-serve`'s connection multiplexer) can drive many
+///   in-flight requests from one thread.
 pub struct Pending {
     slot: Arc<Slot>,
 }
@@ -295,6 +363,52 @@ impl Pending {
     /// it.
     pub fn wait(self) -> Result<Inference, RuntimeError> {
         self.slot.wait()
+    }
+
+    /// Blocks until the inference completes or `timeout` expires —
+    /// the bound that keeps a wire session from hanging forever on a
+    /// stuck plan.
+    ///
+    /// On [`RuntimeError::Timeout`] the request is **still in flight**
+    /// and this handle is still live: call `wait_timeout` again, upgrade
+    /// to a blocking [`Pending::wait`], or poll it as a future. Any other
+    /// return (success or error) consumes the result; a later call would
+    /// block on a slot that will never fill again, which is why this
+    /// takes `&mut self` and the result-claiming paths take `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] if the deadline passed, otherwise
+    /// exactly [`Pending::wait`]'s contract.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Inference, RuntimeError> {
+        self.slot.wait_timeout(timeout)
+    }
+
+    /// True once a result (or error) has been delivered and not yet
+    /// claimed. A `true` here means the next `wait`/poll returns
+    /// immediately.
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .state
+            .lock()
+            .expect("slot poisoned")
+            .result
+            .is_some()
+    }
+}
+
+impl std::future::Future for Pending {
+    type Output = Result<Inference, RuntimeError>;
+
+    /// Completes with the inference result; wakes the stored waker when
+    /// the scheduler delivers. After returning `Ready` the result is
+    /// claimed — polling again would pend forever, as for any future
+    /// polled after completion.
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        self.slot.poll(cx)
     }
 }
 
@@ -446,22 +560,31 @@ impl<E: GroupExecutor> Scheduler<E> {
 
     /// Submits one request to `tenant` under its configured flow control
     /// and waits for its result.
-    pub fn submit_wait(&self, tenant: usize, input: Tensor) -> Result<Inference, RuntimeError> {
+    pub fn submit_wait(
+        &self,
+        tenant: usize,
+        req: crate::InferRequest,
+    ) -> Result<Inference, RuntimeError> {
         let flow = self.tenant_ref(tenant)?.config.flow;
-        let slots = self.enqueue(tenant, vec![input], flow)?;
+        let slots = self.enqueue(tenant, vec![req.input], flow, req.client)?;
         slots.into_iter().next().expect("one slot per input").wait()
     }
 
     /// Submits one request to `tenant` without ever waiting for queue
     /// space.
-    pub fn try_submit(&self, tenant: usize, input: Tensor) -> Result<Pending, RuntimeError> {
+    pub fn try_submit(
+        &self,
+        tenant: usize,
+        req: crate::InferRequest,
+    ) -> Result<Pending, RuntimeError> {
         self.check_tenant(tenant)?;
         let slots = self.enqueue(
             tenant,
-            vec![input],
+            vec![req.input],
             FlowControl::Shed {
                 timeout: Duration::ZERO,
             },
+            req.client,
         )?;
         Ok(Pending {
             slot: slots.into_iter().next().expect("one slot per input"),
@@ -477,7 +600,7 @@ impl<E: GroupExecutor> Scheduler<E> {
         inputs: Vec<Tensor>,
     ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
         let flow = self.tenant_ref(tenant)?.config.flow;
-        let slots = self.enqueue(tenant, inputs, flow)?;
+        let slots = self.enqueue(tenant, inputs, flow, crate::CLIENT_NONE)?;
         Ok(slots.into_iter().map(|s| s.wait()).collect())
     }
 
@@ -528,11 +651,16 @@ impl<E: GroupExecutor> Scheduler<E> {
 
     /// Pushes requests onto `tenant`'s bounded queue under one lock (so a
     /// burst coalesces deterministically) and wakes the scheduler threads.
+    /// `client` is the submitting connection's tag
+    /// ([`crate::CLIENT_NONE`] in-process), packed into the `Enqueue`
+    /// trace span so exported traces attribute request flow per
+    /// connection.
     fn enqueue(
         &self,
         tenant: usize,
         inputs: Vec<Tensor>,
         flow: FlowControl,
+        client: u64,
     ) -> Result<Vec<Arc<Slot>>, RuntimeError> {
         let shared = &self.shared;
         let ten = self.tenant_ref(tenant)?;
@@ -601,11 +729,14 @@ impl<E: GroupExecutor> Scheduler<E> {
         let total: usize = queue.pending.iter().map(VecDeque::len).sum();
         queue.fleet_high_water = queue.fleet_high_water.max(total);
         drop(queue);
+        // Enqueue payload: `a` = requests admitted, `b` = the originating
+        // connection tag in the high 32 bits over the post-admission queue
+        // depth (depth is bounded by queue_capacity, well under 2^32).
         trace::instant(
             trace::SpanKind::Enqueue,
             tenant as u32,
             slots.len() as u64,
-            depth as u64,
+            ((client & 0xFFFF_FFFF) << 32) | depth as u64,
         );
         shared.submitted.notify_all();
         Ok(slots)

@@ -1,0 +1,114 @@
+//! The unified submission surface shared by every serving engine.
+//!
+//! Before this module, the three engines exposed three near-identical but
+//! incompatible submission APIs — [`crate::Engine::try_infer`] took a bare
+//! tensor, [`crate::MultiEngine::try_infer`] a `(TenantId, Tensor)` pair,
+//! and [`crate::TenantHandle::try_infer`] a tensor again — which made it
+//! impossible to write a server binary (or a test harness) generic over
+//! *what* is serving. [`InferService`] is that missing common surface:
+//! one typed request message ([`InferRequest`]), one non-blocking
+//! submission returning a [`Pending`], and one statistics snapshot.
+//!
+//! [`crate::Engine`], [`crate::NetworkEngine`] and [`crate::TenantHandle`]
+//! all implement it, so the TCP front-end (`epim-serve`), examples and
+//! tests can accept `&dyn InferService` (or be generic over
+//! `S: InferService`) and serve any engine. The engines' inherent
+//! methods now take `impl Into<InferRequest>` — a bare [`Tensor`] still
+//! works everywhere — so the old call sites compile unchanged while new
+//! code can attach request metadata (the client/connection tag that the
+//! wire path threads into enqueue trace spans).
+
+use crate::{Inference, Pending, RuntimeError, RuntimeStats};
+use epim_tensor::Tensor;
+
+/// A client tag meaning "not attributed to any connection".
+pub const CLIENT_NONE: u64 = 0;
+
+/// One typed inference request: the input tensor plus submission
+/// metadata. This is the message shared by the in-process path (where it
+/// is built from a bare [`Tensor`] via `From`) and the wire path (where
+/// `epim-serve` decodes it from a request frame and tags it with the
+/// originating connection).
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// The input tensor, shaped as the serving plan expects.
+    pub input: Tensor,
+    /// Originating client/connection tag ([`CLIENT_NONE`] when the
+    /// request was submitted in-process). Carried into the scheduler's
+    /// `Enqueue` trace span payload so per-connection request flow is
+    /// visible in exported traces; never affects execution.
+    pub client: u64,
+}
+
+impl InferRequest {
+    /// A request for `input` with no client attribution.
+    pub fn new(input: Tensor) -> Self {
+        InferRequest {
+            input,
+            client: CLIENT_NONE,
+        }
+    }
+
+    /// This request tagged as originating from `client` (builder-style).
+    pub fn with_client(mut self, client: u64) -> Self {
+        self.client = client;
+        self
+    }
+}
+
+impl From<Tensor> for InferRequest {
+    fn from(input: Tensor) -> Self {
+        InferRequest::new(input)
+    }
+}
+
+/// The unified serving surface: anything that can accept an
+/// [`InferRequest`] and report its serving statistics.
+///
+/// Implemented by [`crate::Engine`] (single epitome layer),
+/// [`crate::NetworkEngine`] (one compiled network) and
+/// [`crate::TenantHandle`] (one tenant of a [`crate::MultiEngine`]
+/// fleet), so servers, load generators, examples and tests can be written
+/// once, generic over engines:
+///
+/// ```ignore
+/// fn drive(svc: &impl InferService, xs: Vec<Tensor>) -> Vec<Tensor> {
+///     xs.into_iter()
+///         .map(|x| svc.try_infer(x.into()).unwrap().wait().unwrap().output)
+///         .collect()
+/// }
+/// ```
+pub trait InferService {
+    /// Submits `req` without ever blocking on queue space: a full
+    /// submission queue sheds immediately with
+    /// [`RuntimeError::Overloaded`] regardless of the configured flow
+    /// control. On success the returned [`Pending`] delivers the result —
+    /// via blocking [`Pending::wait`], bounded
+    /// [`Pending::wait_timeout`], or `await`/poll (it implements
+    /// [`std::future::Future`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Overloaded`] when the queue is full,
+    /// [`RuntimeError::ShuttingDown`] during shutdown, or the
+    /// implementation's validation errors (e.g.
+    /// [`RuntimeError::UnknownTenant`]).
+    fn try_infer(&self, req: InferRequest) -> Result<Pending, RuntimeError>;
+
+    /// Submits `req` and blocks for the result — the provided convenience
+    /// over [`InferService::try_infer`] + [`Pending::wait`]. Note the
+    /// queue-full behavior is the non-blocking path's: a full queue sheds
+    /// instead of applying the engine's configured backpressure (use the
+    /// engines' inherent `infer` for that).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`InferService::try_infer`], plus the request's
+    /// own execution error.
+    fn infer(&self, req: InferRequest) -> Result<Inference, RuntimeError> {
+        self.try_infer(req)?.wait()
+    }
+
+    /// A point-in-time snapshot of this service's serving statistics.
+    fn stats(&self) -> RuntimeStats;
+}

@@ -58,7 +58,10 @@
 
 use crate::network::{NetworkPlan, PlanExecutor};
 use crate::scheduler::Scheduler;
-use crate::{Inference, Pending, PlanCache, RuntimeError, RuntimeStats, TenantConfig};
+use crate::{
+    InferRequest, InferService, Inference, Pending, PlanCache, RuntimeError, RuntimeStats,
+    TenantConfig,
+};
 use epim_models::lower::NetworkWeights;
 use epim_models::network::Network;
 use epim_pim::datapath::AnalogModel;
@@ -305,20 +308,30 @@ impl MultiEngine {
     /// [`RuntimeError::ShuttingDown`] during shutdown,
     /// [`RuntimeError::Overloaded`] if this tenant's queue shed the
     /// request, or this request's execution error.
-    pub fn infer(&self, id: TenantId, input: Tensor) -> Result<Inference, RuntimeError> {
-        self.scheduler.submit_wait(self.index_of(id)?, input)
+    pub fn infer(
+        &self,
+        id: TenantId,
+        req: impl Into<InferRequest>,
+    ) -> Result<Inference, RuntimeError> {
+        self.scheduler.submit_wait(self.index_of(id)?, req.into())
     }
 
     /// Submits to tenant `id` without ever blocking on queue space (full
     /// queue → shed immediately); the returned [`Pending`] waits for the
-    /// result.
+    /// result. Accepts a bare [`Tensor`] or a tagged [`InferRequest`];
+    /// [`MultiEngine::tenant`] yields the per-tenant [`InferService`]
+    /// form of this call.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Overloaded`] when this tenant's queue is
     /// full, or [`RuntimeError::UnknownTenant`] for a foreign id.
-    pub fn try_infer(&self, id: TenantId, input: Tensor) -> Result<Pending, RuntimeError> {
-        self.scheduler.try_submit(self.index_of(id)?, input)
+    pub fn try_infer(
+        &self,
+        id: TenantId,
+        req: impl Into<InferRequest>,
+    ) -> Result<Pending, RuntimeError> {
+        self.scheduler.try_submit(self.index_of(id)?, req.into())
     }
 
     /// Submits a burst to tenant `id` atomically and waits for all
@@ -423,8 +436,8 @@ impl<'a> TenantHandle<'a> {
     /// # Errors
     ///
     /// Same contract as [`MultiEngine::infer`].
-    pub fn infer(self, input: Tensor) -> Result<Inference, RuntimeError> {
-        self.engine.infer(self.id, input)
+    pub fn infer(self, req: impl Into<InferRequest>) -> Result<Inference, RuntimeError> {
+        self.engine.infer(self.id, req)
     }
 
     /// See [`MultiEngine::try_infer`].
@@ -432,8 +445,8 @@ impl<'a> TenantHandle<'a> {
     /// # Errors
     ///
     /// Same contract as [`MultiEngine::try_infer`].
-    pub fn try_infer(self, input: Tensor) -> Result<Pending, RuntimeError> {
-        self.engine.try_infer(self.id, input)
+    pub fn try_infer(self, req: impl Into<InferRequest>) -> Result<Pending, RuntimeError> {
+        self.engine.try_infer(self.id, req)
     }
 
     /// See [`MultiEngine::infer_many`].
@@ -456,5 +469,18 @@ impl<'a> TenantHandle<'a> {
     /// Same contract as [`MultiEngine::tenant_stats`].
     pub fn stats(self) -> Result<RuntimeStats, RuntimeError> {
         self.engine.tenant_stats(self.id)
+    }
+}
+
+/// The per-tenant [`InferService`]: a handle is only constructed through
+/// [`MultiEngine::tenant`], which validates the id, so the trait's
+/// infallible `stats` cannot actually fail.
+impl InferService for TenantHandle<'_> {
+    fn try_infer(&self, req: InferRequest) -> Result<Pending, RuntimeError> {
+        TenantHandle::try_infer(*self, req)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        TenantHandle::stats(*self).expect("handle ids are validated at construction")
     }
 }

@@ -1,0 +1,285 @@
+//! Integration tests for the unified submission surface: the
+//! [`InferService`] trait must behave identically across all three engine
+//! kinds, and [`Pending`] must deliver results through every one of its
+//! three consumption modes — blocking `wait()`, bounded `wait_timeout()`
+//! and `await` under a runtime-free hand-rolled executor.
+
+use epim_core::{ConvShape, Epitome, EpitomeShape, EpitomeSpec};
+use epim_models::lower::NetworkWeights;
+use epim_models::zoo;
+use epim_pim::datapath::AnalogModel;
+use epim_runtime::{
+    Engine, EngineConfig, InferRequest, InferService, MultiEngine, NetworkEngine, Pending,
+    PlanCache, RuntimeError, TenantConfig,
+};
+use epim_tensor::ops::Conv2dCfg;
+use epim_tensor::{init, rng, Tensor};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+fn analog() -> AnalogModel {
+    AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    }
+}
+
+fn layer_engine(config: EngineConfig) -> Engine {
+    let spec = EpitomeSpec::new(ConvShape::new(8, 4, 3, 3), EpitomeShape::new(4, 4, 2, 2)).unwrap();
+    let mut r = rng::seeded(5);
+    let epi = Epitome::from_tensor(spec, init::uniform(&[4, 4, 2, 2], -1.0, 1.0, &mut r)).unwrap();
+    let cfg = Conv2dCfg {
+        stride: 1,
+        padding: 1,
+    };
+    Engine::new(&epi, cfg, true, analog(), config).unwrap()
+}
+
+/// A minimal single-future executor built only on std: parks on a
+/// condvar, woken by the `Waker` the future registers. This is the
+/// acceptance check that `Pending` integrates with *any* runtime, not
+/// that it happens to work with a specific one.
+struct Parker {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        let mut woken = self.woken.lock().unwrap();
+        *woken = true;
+        self.cv.notify_one();
+    }
+}
+
+fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let parker = Arc::new(Parker {
+        woken: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => {
+                let mut woken = parker.woken.lock().unwrap();
+                while !*woken {
+                    woken = parker.cv.wait(woken).unwrap();
+                }
+                *woken = false;
+            }
+        }
+    }
+}
+
+/// Generic driver: the point of `InferService` is that this compiles
+/// once and serves any engine.
+fn drive(svc: &dyn InferService, inputs: &[Tensor]) -> Vec<Tensor> {
+    let pendings: Vec<Pending> = inputs
+        .iter()
+        .map(|x| svc.try_infer(InferRequest::new(x.clone())).unwrap())
+        .collect();
+    pendings
+        .into_iter()
+        .map(|p| p.wait().unwrap().output)
+        .collect()
+}
+
+/// All three `InferService` implementations produce bit-identical
+/// outputs to their engine's inherent blocking path, through the same
+/// generic driver.
+#[test]
+fn infer_service_is_uniform_across_engines() {
+    // Single-layer engine.
+    let engine = layer_engine(EngineConfig::default());
+    let mut r = rng::seeded(6);
+    let layer_inputs: Vec<Tensor> = (0..3)
+        .map(|_| init::uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r))
+        .collect();
+    let want: Vec<Tensor> = layer_inputs
+        .iter()
+        .map(|x| engine.infer(x.clone()).unwrap().output)
+        .collect();
+    assert_eq!(drive(&engine, &layer_inputs), want);
+    assert!(InferService::stats(&engine).requests >= 3);
+
+    // Network engine and a tenant handle over the same network: all
+    // three must agree bitwise.
+    let (net, _) = zoo::tiny_epitome_network(8, 4, 10).unwrap();
+    let weights = NetworkWeights::random(&net, 11).unwrap();
+    let net_inputs: Vec<Tensor> = (0..3)
+        .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+        .collect();
+
+    let cache = PlanCache::new();
+    let net_engine = NetworkEngine::new(
+        &cache,
+        &net,
+        &weights,
+        (16, 16),
+        true,
+        analog(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let net_want: Vec<Tensor> = net_inputs
+        .iter()
+        .map(|x| net_engine.infer(x.clone()).unwrap().output)
+        .collect();
+    assert_eq!(drive(&net_engine, &net_inputs), net_want);
+
+    let mut builder = MultiEngine::builder(&cache);
+    let solo = builder
+        .register(
+            "solo",
+            &net,
+            &weights,
+            (16, 16),
+            true,
+            analog(),
+            TenantConfig::default(),
+        )
+        .unwrap();
+    let fleet = builder.build().unwrap();
+    let handle = fleet.tenant(solo).unwrap();
+    assert_eq!(drive(&handle, &net_inputs), net_want);
+    assert_eq!(InferService::stats(&handle).requests, 3);
+
+    // The provided blocking convenience agrees with try_infer + wait.
+    let one = InferService::infer(&handle, InferRequest::new(net_inputs[0].clone()))
+        .unwrap()
+        .output;
+    assert_eq!(one, net_want[0]);
+}
+
+/// `Pending` as a `Future`: awaiting results under a minimal hand-rolled
+/// executor (no async runtime anywhere in the workspace) matches the
+/// blocking path bitwise, and the waker fires without busy-polling.
+#[test]
+fn pending_resolves_as_future_under_handrolled_executor() {
+    let engine = layer_engine(EngineConfig {
+        max_batch: 4,
+        batch_window: Duration::from_millis(2),
+        ..EngineConfig::default()
+    });
+    let mut r = rng::seeded(7);
+    let inputs: Vec<Tensor> = (0..6)
+        .map(|_| init::uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r))
+        .collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| engine.infer(x.clone()).unwrap().output)
+        .collect();
+
+    // Await them one at a time (single-future executor), but submit all
+    // up front so the batcher still coalesces.
+    let pendings: Vec<Pending> = inputs
+        .iter()
+        .map(|x| engine.try_infer(x.clone()).unwrap())
+        .collect();
+    let got: Vec<Tensor> = pendings
+        .into_iter()
+        .map(|p| block_on(p).unwrap().output)
+        .collect();
+    assert_eq!(got, want);
+
+    // A joined pair through one future: poll-driven multiplexing.
+    let p1 = engine.try_infer(inputs[0].clone()).unwrap();
+    let p2 = engine.try_infer(inputs[1].clone()).unwrap();
+    let joined = block_on(Join2 {
+        a: Some(p1),
+        b: Some(p2),
+        out_a: None,
+        out_b: None,
+    });
+    assert_eq!(joined.0.unwrap().unwrap().output, want[0]);
+    assert_eq!(joined.1.unwrap().unwrap().output, want[1]);
+}
+
+/// A tiny join combinator so the executor test exercises re-polling with
+/// one result ready and the other still pending.
+struct Join2 {
+    a: Option<Pending>,
+    b: Option<Pending>,
+    out_a: Option<Result<epim_runtime::Inference, RuntimeError>>,
+    out_b: Option<Result<epim_runtime::Inference, RuntimeError>>,
+}
+
+impl Future for Join2 {
+    #[allow(clippy::type_complexity)]
+    type Output = (
+        Option<Result<epim_runtime::Inference, RuntimeError>>,
+        Option<Result<epim_runtime::Inference, RuntimeError>>,
+    );
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if this.out_a.is_none() {
+            if let Some(p) = this.a.as_mut() {
+                if let Poll::Ready(r) = Pin::new(p).poll(cx) {
+                    this.out_a = Some(r);
+                    this.a = None;
+                }
+            }
+        }
+        if this.out_b.is_none() {
+            if let Some(p) = this.b.as_mut() {
+                if let Poll::Ready(r) = Pin::new(p).poll(cx) {
+                    this.out_b = Some(r);
+                    this.b = None;
+                }
+            }
+        }
+        if this.out_a.is_some() && this.out_b.is_some() {
+            Poll::Ready((this.out_a.take(), this.out_b.take()))
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// `wait_timeout` against a deliberately stalled worker: a lone request
+/// held open by a long coalescing window times out with
+/// `RuntimeError::Timeout`, leaves the request in flight (the handle
+/// stays usable), and a later unbounded `wait` still delivers the result.
+#[test]
+fn wait_timeout_returns_timeout_then_result_survives() {
+    // max_batch 8 with a single submission: the batcher holds the
+    // request for the whole window hoping for peers, stalling delivery.
+    let engine = layer_engine(EngineConfig {
+        max_batch: 8,
+        batch_window: Duration::from_millis(400),
+        ..EngineConfig::default()
+    });
+    let mut r = rng::seeded(8);
+    let x = init::uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r);
+    let want = {
+        // Ground truth from a second engine with no stall window.
+        let fast = layer_engine(EngineConfig::default());
+        fast.infer(x.clone()).unwrap().output
+    };
+
+    let mut pending = engine.try_infer(x).unwrap();
+    assert!(!pending.is_ready());
+    let err = pending
+        .wait_timeout(Duration::from_millis(30))
+        .expect_err("stalled worker must not deliver within 30ms");
+    assert_eq!(err, RuntimeError::Timeout);
+
+    // The request is still in flight; an unbounded wait gets the result.
+    let out = pending.wait().unwrap().output;
+    assert_eq!(out, want);
+
+    // A fresh request against the same engine resolves within a bounded
+    // wait longer than the window: timeout is a deadline, not a poison.
+    let y = init::uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r);
+    let mut p2 = engine.try_infer(y).unwrap();
+    let inf = p2.wait_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(inf.output.shape(), &[1, 8, 8, 8]);
+}

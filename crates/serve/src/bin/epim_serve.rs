@@ -1,0 +1,180 @@
+//! The TCP inference server.
+//!
+//! ```text
+//! epim_serve [--listen ADDR] [--config FLEET.toml] [--workers N]
+//!            [--max-frame BYTES] [--watch-stdin]
+//! ```
+//!
+//! Serves the fleet (the default three-tenant zoo unless `--config`
+//! points at a fleet file — see `epim_serve::fleet::FleetConfig::parse`
+//! for the grammar) on `ADDR` (default `127.0.0.1:7878`). Prints one
+//! `listening on ...` line to stdout once ready, so scripts can wait for
+//! it. Drains gracefully on SIGTERM/SIGINT — and, with `--watch-stdin`,
+//! when stdin reaches EOF (opt-in because detached processes start with
+//! a closed stdin).
+
+use epim_serve::fleet::FleetConfig;
+use epim_serve::server::Server;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; bridged onto the server's drain flag by a
+/// watcher thread (only async-signal-safe work happens in the handler).
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // The workspace vendors no libc crate; SIGTERM/SIGINT numbers are
+    // POSIX-stable and `signal(2)` takes a bare function pointer.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+struct Args {
+    listen: String,
+    config: Option<String>,
+    workers: Option<usize>,
+    max_frame: Option<u32>,
+    watch_stdin: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7878".to_string(),
+        config: None,
+        workers: None,
+        max_frame: None,
+        watch_stdin: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} wants a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--config" => args.config = Some(value("--config")?),
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers wants an integer".to_string())?,
+                )
+            }
+            "--max-frame" => {
+                args.max_frame = Some(
+                    value("--max-frame")?
+                        .parse()
+                        .map_err(|_| "--max-frame wants an integer".to_string())?,
+                )
+            }
+            "--watch-stdin" => args.watch_stdin = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: epim_serve [--listen ADDR] [--config FLEET.toml] \
+                     [--workers N] [--max-frame BYTES] [--watch-stdin]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("epim_serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut fleet_cfg = match &args.config {
+        None => FleetConfig::default_zoo(),
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| FleetConfig::parse(&text).map_err(|e| e.to_string()))
+        {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("epim_serve: fleet config `{path}`: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Some(w) = args.workers {
+        fleet_cfg.workers = w.max(1);
+    }
+    let engine = match fleet_cfg.build() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("epim_serve: building fleet: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut server = match Server::bind(engine, &args.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("epim_serve: binding {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    if let Some(mf) = args.max_frame {
+        server = server.with_max_frame(mf);
+    }
+    let addr = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.listen.clone());
+    println!(
+        "epim_serve: listening on {addr} tenants=[{}] workers={}",
+        server.engine().tenant_names().join(", "),
+        fleet_cfg.workers,
+    );
+    // Make the readiness line visible to pipes immediately.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    install_signal_handlers();
+    let flag = server.shutdown_flag();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            flag.store(true, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+    if args.watch_stdin {
+        let flag = server.shutdown_flag();
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            flag.store(true, Ordering::SeqCst);
+        });
+    }
+
+    match server.serve() {
+        Ok(report) => {
+            println!(
+                "epim_serve: drained cleanly connections={} requests={} error_frames={}",
+                report.connections, report.requests, report.error_frames
+            );
+        }
+        Err(e) => {
+            eprintln!("epim_serve: serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The TCP serving front-end: accept loop, per-connection session
+//! threads and graceful drain.
+//!
+//! Each accepted connection gets two threads. The **reader** decodes
+//! request frames, resolves the wire tenant name against the fleet and
+//! submits through the non-blocking [`InferService`] path — tagging every
+//! submission with the connection id, which the scheduler threads into
+//! its `Enqueue` trace spans — then hands the in-flight [`Pending`] to
+//! the **writer**. The writer multiplexes all of the connection's
+//! in-flight requests through a [`Mux`] (waker-parked, never
+//! busy-polling) and streams responses back in completion order; request
+//! ids, not arrival order, correlate replies. A full tenant queue turns
+//! into a typed `overloaded` error frame; a malformed frame turns into a
+//! `protocol` error frame and a close.
+//!
+//! Drain: setting the shutdown flag (SIGTERM in the binary, or
+//! [`Server::shutdown_flag`] in-process) stops the accept loop, shuts
+//! down the read half of every live connection (the reader sees EOF and
+//! stops taking new work), lets every in-flight request finish and be
+//! answered, sends `Goodbye` frames and joins every session thread
+//! before [`Server::serve`] returns.
+
+use crate::mux::Mux;
+use crate::wire::{self, Message, WireError, WireResponse};
+use epim_runtime::{InferRequest, MultiEngine, RuntimeError, TenantId};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a finished [`Server::serve`] saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request frames decoded.
+    pub requests: u64,
+    /// Error frames sent (overload, unknown tenant, protocol, ...).
+    pub error_frames: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    error_frames: AtomicU64,
+}
+
+/// A bound TCP serving front-end over one [`MultiEngine`] fleet.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<MultiEngine>,
+    shutdown: Arc<AtomicBool>,
+    max_frame: u32,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port — read it back with
+    /// [`Server::local_addr`]) over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures as [`RuntimeError::Io`].
+    pub fn bind(engine: MultiEngine, addr: &str) -> Result<Self, RuntimeError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine: Arc::new(engine),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            max_frame: wire::MAX_FRAME,
+        })
+    }
+
+    /// Caps accepted frame bodies at `max_frame` bytes.
+    pub fn with_max_frame(mut self, max_frame: u32) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Socket introspection failures as [`RuntimeError::Io`].
+    pub fn local_addr(&self) -> Result<SocketAddr, RuntimeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The fleet this server fronts.
+    pub fn engine(&self) -> &Arc<MultiEngine> {
+        &self.engine
+    }
+
+    /// The drain flag: store `true` to make [`Server::serve`] stop
+    /// accepting, drain in-flight work and return.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the accept loop until the shutdown flag is set, then drains:
+    /// read halves are shut down, in-flight requests finish and are
+    /// answered, `Goodbye` frames go out, and every session thread is
+    /// joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Only setup failures (making the listener non-blocking) error;
+    /// per-connection failures are absorbed into the report.
+    pub fn serve(self) -> Result<ServeReport, RuntimeError> {
+        self.listener.set_nonblocking(true)?;
+        let counters = Arc::new(Counters::default());
+        // Tenant names resolve per request; snapshot the map once.
+        let tenants: Arc<HashMap<String, TenantId>> = Arc::new(
+            self.engine
+                .tenant_names()
+                .iter()
+                .filter_map(|n| self.engine.tenant_id(n).map(|id| (n.clone(), id)))
+                .collect(),
+        );
+        let mut sessions: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
+        let mut conn_seq: u64 = 0;
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    conn_seq += 1;
+                    counters.connections.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_nodelay(true);
+                    match stream.try_clone() {
+                        Ok(keep) => {
+                            let engine = Arc::clone(&self.engine);
+                            let tenants = Arc::clone(&tenants);
+                            let counters = Arc::clone(&counters);
+                            let shutdown = Arc::clone(&self.shutdown);
+                            let max_frame = self.max_frame;
+                            let conn_id = conn_seq;
+                            let handle = std::thread::spawn(move || {
+                                session(
+                                    engine, tenants, counters, shutdown, stream, conn_id, max_frame,
+                                );
+                            });
+                            sessions.push((keep, handle));
+                        }
+                        Err(_) => drop(stream),
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    sessions.retain(|(_, h)| !h.is_finished());
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        // Drain: closing the read half makes each session's reader see a
+        // clean EOF — it stops taking requests while the writer still
+        // answers everything in flight and says goodbye.
+        for (stream, _) in &sessions {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for (_, handle) in sessions {
+            let _ = handle.join();
+        }
+        Ok(ServeReport {
+            connections: counters.connections.load(Ordering::Relaxed),
+            requests: counters.requests.load(Ordering::Relaxed),
+            error_frames: counters.error_frames.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Reader-to-writer handoff for one connection.
+enum SessionMsg {
+    /// A submitted request whose completion the writer multiplexes.
+    InFlight(u64, epim_runtime::Pending),
+    /// A request that failed at submission: reply immediately.
+    Immediate(u64, u16, String),
+    /// A protocol violation: reply with the error frame, then close
+    /// without a goodbye.
+    Fatal(u64, u16, String),
+    /// Orderly end of requests: answer what is in flight, say goodbye.
+    Bye,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn session(
+    engine: Arc<MultiEngine>,
+    tenants: Arc<HashMap<String, TenantId>>,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+    stream: TcpStream,
+    conn_id: u64,
+    max_frame: u32,
+) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    // Handshake: expect the client hello, answer with ours.
+    if wire::read_hello(&mut reader).is_err() {
+        counters.error_frames.fetch_add(1, Ordering::Relaxed);
+        let _ = Message::Error(WireError {
+            id: wire::NO_REQUEST,
+            code: wire::code::PROTOCOL,
+            message: "bad hello".to_string(),
+        })
+        .write(&mut writer);
+        let _ = writer.flush();
+        return;
+    }
+    if wire::write_hello(&mut writer).is_err() {
+        return;
+    }
+
+    let (tx, rx) = std::sync::mpsc::channel::<SessionMsg>();
+    let writer_counters = Arc::clone(&counters);
+    let writer_handle = std::thread::spawn(move || writer_loop(writer, rx, writer_counters));
+    reader_loop(
+        &engine,
+        &tenants,
+        &counters,
+        &shutdown,
+        &mut reader,
+        &tx,
+        conn_id,
+        max_frame,
+    );
+    drop(tx);
+    let _ = writer_handle.join();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    engine: &MultiEngine,
+    tenants: &HashMap<String, TenantId>,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+    reader: &mut impl std::io::Read,
+    tx: &Sender<SessionMsg>,
+    conn_id: u64,
+    max_frame: u32,
+) {
+    loop {
+        match Message::read(reader, max_frame) {
+            // Clean close — from the client, or from the server's drain
+            // shutting the read half down.
+            Ok(None) => {
+                let _ = tx.send(SessionMsg::Bye);
+                return;
+            }
+            Ok(Some(Message::Request(req))) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                if shutdown.load(Ordering::SeqCst) {
+                    let err = RuntimeError::ShuttingDown;
+                    let _ = tx.send(SessionMsg::Immediate(
+                        req.id,
+                        wire::error_code(&err),
+                        err.to_string(),
+                    ));
+                    continue;
+                }
+                let Some(&tid) = tenants.get(&req.tenant) else {
+                    let _ = tx.send(SessionMsg::Immediate(
+                        req.id,
+                        wire::code::UNKNOWN_TENANT,
+                        format!("unknown tenant `{}`", req.tenant),
+                    ));
+                    continue;
+                };
+                let infer_req = InferRequest::new(req.input).with_client(conn_id);
+                match engine.try_infer(tid, infer_req) {
+                    Ok(pending) => {
+                        let _ = tx.send(SessionMsg::InFlight(req.id, pending));
+                    }
+                    Err(e) => {
+                        let _ = tx.send(SessionMsg::Immediate(
+                            req.id,
+                            wire::error_code(&e),
+                            e.to_string(),
+                        ));
+                    }
+                }
+            }
+            Ok(Some(Message::Goodbye)) => {
+                let _ = tx.send(SessionMsg::Bye);
+                return;
+            }
+            Ok(Some(_)) => {
+                let _ = tx.send(SessionMsg::Fatal(
+                    wire::NO_REQUEST,
+                    wire::code::PROTOCOL,
+                    "unexpected frame type from client".to_string(),
+                ));
+                return;
+            }
+            Err(RuntimeError::Protocol { reason }) => {
+                let _ = tx.send(SessionMsg::Fatal(
+                    wire::NO_REQUEST,
+                    wire::code::PROTOCOL,
+                    reason,
+                ));
+                return;
+            }
+            // Transport failure: the peer is gone, nothing to answer.
+            Err(_) => {
+                let _ = tx.send(SessionMsg::Bye);
+                return;
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    mut writer: BufWriter<TcpStream>,
+    rx: Receiver<SessionMsg>,
+    counters: Arc<Counters>,
+) {
+    let mut mux = Mux::new();
+    let mut saw_bye = false;
+    let mut disconnected = false;
+
+    let write_result =
+        |writer: &mut BufWriter<TcpStream>,
+         counters: &Counters,
+         id: u64,
+         result: Result<epim_runtime::Inference, RuntimeError>| {
+            let msg = match result {
+                Ok(inference) => Message::Response(WireResponse {
+                    id,
+                    batch_size: inference.batch_size as u32,
+                    latency_ns: inference.latency.as_nanos().min(u64::MAX as u128) as u64,
+                    output: inference.output,
+                }),
+                Err(e) => {
+                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
+                    Message::Error(WireError {
+                        id,
+                        code: wire::error_code(&e),
+                        message: e.to_string(),
+                    })
+                }
+            };
+            msg.write(writer)
+        };
+
+    'outer: loop {
+        // Take everything the reader has handed over so far.
+        loop {
+            match rx.try_recv() {
+                Ok(SessionMsg::InFlight(id, pending)) => mux.push(id, pending),
+                Ok(SessionMsg::Immediate(id, code, message)) => {
+                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
+                    if Message::Error(WireError { id, code, message })
+                        .write(&mut writer)
+                        .is_err()
+                    {
+                        break 'outer;
+                    }
+                }
+                Ok(SessionMsg::Fatal(id, code, message)) => {
+                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
+                    let _ = Message::Error(WireError { id, code, message }).write(&mut writer);
+                    let _ = writer.flush();
+                    break 'outer;
+                }
+                Ok(SessionMsg::Bye) => saw_bye = true,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        // Answer everything that has completed.
+        for (id, result) in mux.poll_ready() {
+            if write_result(&mut writer, &counters, id, result).is_err() {
+                break 'outer;
+            }
+        }
+        if writer.flush().is_err() {
+            break 'outer;
+        }
+        if (saw_bye || disconnected) && mux.is_empty() {
+            if saw_bye {
+                let _ = Message::Goodbye.write(&mut writer);
+                let _ = writer.flush();
+            }
+            break 'outer;
+        }
+        // Park until the next event: a completion (waker-driven, wakes
+        // immediately) or a new handoff from the reader (bounded nap —
+        // the common closed-loop path parks directly on the channel).
+        if mux.is_empty() {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(SessionMsg::InFlight(id, pending)) => mux.push(id, pending),
+                Ok(SessionMsg::Immediate(id, code, message)) => {
+                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
+                    if Message::Error(WireError { id, code, message })
+                        .write(&mut writer)
+                        .is_err()
+                    {
+                        break 'outer;
+                    }
+                    if writer.flush().is_err() {
+                        break 'outer;
+                    }
+                }
+                Ok(SessionMsg::Fatal(id, code, message)) => {
+                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
+                    let _ = Message::Error(WireError { id, code, message }).write(&mut writer);
+                    let _ = writer.flush();
+                    break 'outer;
+                }
+                Ok(SessionMsg::Bye) => saw_bye = true,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        } else {
+            for (id, result) in mux.wait_ready(Some(Duration::from_millis(10))) {
+                if write_result(&mut writer, &counters, id, result).is_err() {
+                    break 'outer;
+                }
+            }
+            if writer.flush().is_err() {
+                break 'outer;
+            }
+        }
+    }
+}
