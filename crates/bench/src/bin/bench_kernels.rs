@@ -696,6 +696,104 @@ fn bench_tracing(entries: &mut Vec<Entry>, reps: usize) {
     });
 }
 
+/// Fault-harness overhead: the fused serving burst with no fault plan
+/// installed (one relaxed atomic load per injection point) as the
+/// baseline vs the same burst with a plan installed whose rules never
+/// fire — the "armed but silent" worst case of the always-on cost, since
+/// every hook now takes the slow path through per-point hit accounting.
+/// The "speedup" is the disabled/armed wall-time ratio — expected within
+/// timing noise of 1.0x. Both modes must stay bit-identical to
+/// sequential reference execution (`max_abs_diff` exactly 0 is the
+/// correctness gate: an armed harness must never perturb the
+/// arithmetic).
+fn bench_faults(entries: &mut Vec<Entry>, reps: usize) {
+    use epim::faults::{FaultPlan, FaultRule, ALL_POINTS};
+    let (net, _) = zoo::tiny_epitome_network(8, 8, 10).expect("legal spec");
+    let weights = NetworkWeights::random(&net, 7).expect("weights build");
+    let analog = AnalogModel {
+        adc_bits: Some(8),
+        dac_bits: Some(9),
+        ..AnalogModel::ideal()
+    };
+    let program = net.lower(16, 16).expect("lowers");
+
+    let mut r = rng::seeded(901);
+    let xs: Vec<Tensor> = (0..8)
+        .map(|_| init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut r))
+        .collect();
+    let seq: Vec<Tensor> = xs
+        .iter()
+        .map(|x| {
+            program
+                .forward_reference(&weights, true, analog, x)
+                .expect("reference executes")
+                .0
+        })
+        .collect();
+
+    let cache = PlanCache::new();
+    cache.warm_network(&net).expect("cache warms");
+    let engine = NetworkEngine::new(
+        &cache,
+        &net,
+        &weights,
+        (16, 16),
+        true,
+        analog,
+        EngineConfig {
+            max_batch: 8,
+            batch_window: std::time::Duration::ZERO,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine builds");
+    let serve = || {
+        engine
+            .infer_many(xs.clone())
+            .expect("engine accepts the burst")
+            .into_iter()
+            .map(|res| res.expect("inference succeeds").output)
+            .collect::<Vec<_>>()
+    };
+    let arm = || {
+        let mut plan = FaultPlan::new(42);
+        for point in ALL_POINTS {
+            plan = plan.with_rule(point, FaultRule::never());
+        }
+        epim::faults::install(plan);
+    };
+    // Alternate armed/disabled serves in one loop so a load spike hits
+    // both modes the same way (same discipline as `bench_tracing`).
+    arm();
+    let mut armed_out = serve();
+    epim::faults::clear();
+    let mut plain_out = serve();
+    let (mut armed_ms, mut plain_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..25 * reps {
+        arm();
+        let t0 = Instant::now();
+        armed_out = serve();
+        armed_ms = armed_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        epim::faults::clear();
+        let t0 = Instant::now();
+        plain_out = serve();
+        plain_ms = plain_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let diff_vs_seq = |served: &[Tensor]| {
+        seq.iter()
+            .zip(served)
+            .map(|(a, b)| max_abs_diff(a.data(), b.data()))
+            .fold(0.0, f64::max)
+    };
+    entries.push(Entry {
+        name: "faults_overhead_serve_burst8".to_string(),
+        baseline_ms: plain_ms,
+        optimized_ms: armed_ms,
+        speedup: plain_ms / armed_ms,
+        max_abs_diff: diff_vs_seq(&armed_out).max(diff_vs_seq(&plain_out)),
+    });
+}
+
 /// Multi-network tenancy: two epitome networks served as tenants of one
 /// `MultiEngine` (shared plan cache and scheduler threads, weighted-fair
 /// draining) vs sequential per-stage reference execution of both tenants'
@@ -1272,6 +1370,7 @@ fn run_sweep(reps: usize) -> Report {
     bench_tenancy(&mut entries, reps);
     bench_fusion(&mut entries, reps);
     bench_tracing(&mut entries, reps);
+    bench_faults(&mut entries, reps);
     bench_simd_ops(&mut entries, reps);
     bench_serve_tcp(&mut entries, reps);
     Report {

@@ -93,6 +93,12 @@ pub mod obs {
     pub use epim_obs::*;
 }
 
+/// Deterministic fault injection for chaos testing (re-export of
+/// `epim-faults`).
+pub mod faults {
+    pub use epim_faults::*;
+}
+
 /// The tensor/NN substrate (re-export of `epim-tensor`).
 pub mod tensor {
     pub use epim_tensor::*;

@@ -38,6 +38,18 @@ pub enum RuntimeError {
     /// completed. The request is still in flight: waiting again (or
     /// polling the `Pending` as a future) can still deliver its result.
     Timeout,
+    /// The request's own deadline ([`crate::InferRequest::deadline`])
+    /// passed before execution started. Unlike [`RuntimeError::Timeout`]
+    /// this is terminal: the scheduler shed the request instead of
+    /// spending a batch slot on an answer nobody is waiting for.
+    DeadlineExceeded,
+    /// Scheduler workers crashed more times than the restart budget
+    /// allows; the fleet shut itself down rather than limp on with a
+    /// panic loop. Every queued request is failed with this error.
+    CrashLoop {
+        /// Worker restarts performed before giving up.
+        restarts: u32,
+    },
     /// An I/O failure on the serving transport (socket read/write, bind,
     /// accept). Wrapped in an [`Arc`] so the error type stays cheaply
     /// cloneable across per-request delivery slots.
@@ -64,6 +76,8 @@ impl PartialEq for RuntimeError {
             (ShuttingDown, ShuttingDown) => true,
             (ExecutionPanicked, ExecutionPanicked) => true,
             (Timeout, Timeout) => true,
+            (DeadlineExceeded, DeadlineExceeded) => true,
+            (CrashLoop { restarts: a }, CrashLoop { restarts: b }) => a == b,
             (InvalidConfig { what: a }, InvalidConfig { what: b }) => a == b,
             (
                 Overloaded {
@@ -114,6 +128,15 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Timeout => {
                 write!(f, "timed out waiting for the inference to complete")
+            }
+            RuntimeError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before execution started")
+            }
+            RuntimeError::CrashLoop { restarts } => {
+                write!(
+                    f,
+                    "scheduler workers crash-looped ({restarts} restarts used); fleet shut down"
+                )
             }
             RuntimeError::Io(e) => write!(f, "serving i/o error: {e}"),
             RuntimeError::Protocol { reason } => {
@@ -210,5 +233,23 @@ mod tests {
         assert!(RuntimeError::Timeout.to_string().contains("timed out"));
         assert_eq!(RuntimeError::Timeout, RuntimeError::Timeout);
         assert_ne!(RuntimeError::Timeout, RuntimeError::ShuttingDown);
+    }
+
+    #[test]
+    fn deadline_and_crash_loop_variants() {
+        let d = RuntimeError::DeadlineExceeded;
+        assert!(d.to_string().contains("deadline"));
+        assert_eq!(d, RuntimeError::DeadlineExceeded);
+        assert_ne!(
+            d,
+            RuntimeError::Timeout,
+            "deadline expiry is terminal, a wait timeout is not"
+        );
+
+        let c = RuntimeError::CrashLoop { restarts: 8 };
+        assert!(c.to_string().contains("8 restarts"));
+        assert_eq!(c, RuntimeError::CrashLoop { restarts: 8 });
+        assert_ne!(c, RuntimeError::CrashLoop { restarts: 7 });
+        assert!(c.source().is_none());
     }
 }

@@ -95,13 +95,16 @@ mod network;
 mod scheduler;
 mod service;
 mod stats;
+mod sync;
 mod tenancy;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use engine::Engine;
 pub use error::RuntimeError;
 pub use network::{NetworkEngine, NetworkPlan};
-pub use scheduler::{EngineConfig, FlowControl, Inference, Pending, TenantConfig};
+pub use scheduler::{
+    EngineConfig, FlowControl, Inference, Pending, TenantConfig, DEFAULT_RESTART_BUDGET,
+};
 pub use service::{InferRequest, InferService, CLIENT_NONE};
 pub use stats::{RuntimeStats, StageRollup};
 pub use tenancy::{MultiEngine, MultiEngineBuilder, TenantHandle, TenantId};

@@ -345,6 +345,12 @@ impl NetworkPlan {
         let mut stats = DataPathStats::default();
         let mut stage_ns = vec![0u64; self.ops.len()];
         for (i, op) in self.ops.iter().enumerate() {
+            // Fault-injection point: slow this stage down (chaos testing
+            // of deadline shedding and batch-window behavior). Disabled
+            // (the default) this is one relaxed atomic load.
+            if let Some(delay) = epim_faults::fire_delay(epim_faults::FaultPoint::StageDelay) {
+                std::thread::sleep(delay);
+            }
             let stage = &self.program.stages()[i];
             let (in_range, in_shape) = match stage.input {
                 StageInput::Source => (src.clone(), self.program.input_shape()),

@@ -48,12 +48,15 @@
 //!    per-request so one bad request cannot poison its batchmates.
 
 use crate::stats::{StageMeta, StatsInner};
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use crate::{PlanCacheStats, RuntimeError};
+use epim_faults as faults;
 use epim_obs::trace;
 use epim_pim::datapath::DataPathStats;
 use epim_tensor::Tensor;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// What a scheduler executes: one shape-uniform request group at a time.
@@ -135,7 +138,18 @@ pub struct EngineConfig {
     /// knob, not a correctness one. Ignored by the single-layer
     /// [`crate::Engine`], which serves no lowered program.
     pub optimize_program: bool,
+    /// How many crashed scheduler worker threads the supervisor may
+    /// respawn (with exponential backoff) before declaring a crash loop
+    /// and failing the fleet with [`RuntimeError::CrashLoop`]. `0`
+    /// disables supervision: the first worker crash shuts the fleet
+    /// down.
+    pub restart_budget: u32,
 }
+
+/// Default [`EngineConfig::restart_budget`]: generous enough to ride out
+/// a burst of poisonous requests, small enough that a deterministic
+/// crash loop fails fast.
+pub const DEFAULT_RESTART_BUDGET: u32 = 8;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -146,6 +160,7 @@ impl Default for EngineConfig {
             flow: FlowControl::Block,
             workers: 1,
             optimize_program: true,
+            restart_budget: DEFAULT_RESTART_BUDGET,
         }
     }
 }
@@ -245,6 +260,11 @@ pub struct Inference {
 struct Request {
     input: Tensor,
     submitted_at: Instant,
+    /// Completion deadline, if the submitter set one. Expired requests
+    /// are shed from the drain loop with
+    /// [`RuntimeError::DeadlineExceeded`] instead of occupying a batch
+    /// slot.
+    deadline: Option<Instant>,
     slot: Arc<Slot>,
 }
 
@@ -272,7 +292,7 @@ struct Slot {
 impl Slot {
     fn deliver(&self, result: Result<Inference, RuntimeError>) {
         let waker = {
-            let mut state = self.state.lock().expect("slot poisoned");
+            let mut state = lock_recover(&self.state);
             state.result = Some(result);
             state.waker.take()
         };
@@ -283,18 +303,18 @@ impl Slot {
     }
 
     fn wait(&self) -> Result<Inference, RuntimeError> {
-        let mut guard = self.state.lock().expect("slot poisoned");
+        let mut guard = lock_recover(&self.state);
         loop {
             match guard.result.take() {
                 Some(result) => return result,
-                None => guard = self.ready.wait(guard).expect("slot poisoned"),
+                None => guard = wait_recover(&self.ready, guard),
             }
         }
     }
 
     fn wait_timeout(&self, timeout: Duration) -> Result<Inference, RuntimeError> {
         let deadline = Instant::now() + timeout;
-        let mut guard = self.state.lock().expect("slot poisoned");
+        let mut guard = lock_recover(&self.state);
         loop {
             if let Some(result) = guard.result.take() {
                 return result;
@@ -303,11 +323,7 @@ impl Slot {
             if left.is_zero() {
                 return Err(RuntimeError::Timeout);
             }
-            guard = self
-                .ready
-                .wait_timeout(guard, left)
-                .expect("slot poisoned")
-                .0;
+            guard = wait_timeout_recover(&self.ready, guard, left).0;
         }
     }
 
@@ -315,7 +331,7 @@ impl Slot {
         &self,
         cx: &mut std::task::Context<'_>,
     ) -> std::task::Poll<Result<Inference, RuntimeError>> {
-        let mut state = self.state.lock().expect("slot poisoned");
+        let mut state = lock_recover(&self.state);
         match state.result.take() {
             Some(result) => std::task::Poll::Ready(result),
             None => {
@@ -388,12 +404,7 @@ impl Pending {
     /// claimed. A `true` here means the next `wait`/poll returns
     /// immediately.
     pub fn is_ready(&self) -> bool {
-        self.slot
-            .state
-            .lock()
-            .expect("slot poisoned")
-            .result
-            .is_some()
+        lock_recover(&self.slot.state).result.is_some()
     }
 }
 
@@ -430,6 +441,9 @@ struct Shared<E: GroupExecutor> {
     submitted: Condvar,
     /// Signals blocked submitters that queue space freed up.
     space: Condvar,
+    /// Crashed worker threads respawned by the supervisor (fleet-wide;
+    /// surfaced as `RuntimeStats::worker_restarts`).
+    restarts: AtomicU64,
 }
 
 /// Every tenant's pending queue plus the weighted-round-robin drain state,
@@ -468,11 +482,22 @@ impl QueueSet {
 }
 
 /// The scheduler core: per-tenant bounded queues, weighted-fair draining,
-/// shape-grouped micro-batching worker threads, per-request delivery.
-/// Engines wrap this around their executor(s).
+/// shape-grouped micro-batching worker threads under a supervisor that
+/// respawns crashed workers, per-request delivery. Engines wrap this
+/// around their executor(s).
 pub(crate) struct Scheduler<E: GroupExecutor> {
     shared: Arc<Shared<E>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One worker thread's exit report to the supervisor. Every spawned
+/// worker sends exactly one of these as its last act.
+enum WorkerExit {
+    /// Clean return (shutdown drain finished).
+    Clean(usize),
+    /// The worker's loop unwound — a panic escaped the per-batch guards
+    /// (injected worker kill, poisoned-lock cascade, executor bug).
+    Crashed(usize),
 }
 
 impl<E: GroupExecutor> Scheduler<E> {
@@ -480,14 +505,21 @@ impl<E: GroupExecutor> Scheduler<E> {
     /// single-network engines' configuration.
     pub fn single(exec: E, config: EngineConfig) -> Result<Self, RuntimeError> {
         config.validate()?;
-        Self::multi(vec![(None, exec, config.tenant())], config.workers)
+        Self::multi(
+            vec![(None, exec, config.tenant())],
+            config.workers,
+            config.restart_budget,
+        )
     }
 
     /// Validates every tenant's config and spawns `workers` scheduler
-    /// threads draining all of them under the weighted-fair policy.
+    /// threads draining all of them under the weighted-fair policy, plus
+    /// a supervisor thread that respawns crashed workers until
+    /// `restart_budget` is exhausted.
     pub fn multi(
         tenants: Vec<(Option<String>, E, TenantConfig)>,
         workers: usize,
+        restart_budget: u32,
     ) -> Result<Self, RuntimeError> {
         if tenants.is_empty() {
             return Err(RuntimeError::config(
@@ -524,18 +556,24 @@ impl<E: GroupExecutor> Scheduler<E> {
             }),
             submitted: Condvar::new(),
             space: Condvar::new(),
+            restarts: AtomicU64::new(0),
             tenants,
         });
-        let workers = (0..workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("epim-sched-{i}"))
-                    .spawn(move || worker_main(&shared))
-                    .expect("spawning scheduler thread")
-            })
+        let (exit_tx, exit_rx) = mpsc::channel();
+        let handles: Vec<Option<std::thread::JoinHandle<()>>> = (0..workers)
+            .map(|i| Some(spawn_worker(shared.clone(), i, exit_tx.clone())))
             .collect();
-        Ok(Scheduler { shared, workers })
+        let supervisor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("epim-supervisor".to_string())
+                .spawn(move || supervisor_main(&shared, exit_rx, exit_tx, handles, restart_budget))
+                .expect("spawning supervisor thread")
+        };
+        Ok(Scheduler {
+            shared,
+            supervisor: Some(supervisor),
+        })
     }
 
     /// The executor of tenant `tenant`.
@@ -566,7 +604,7 @@ impl<E: GroupExecutor> Scheduler<E> {
         req: crate::InferRequest,
     ) -> Result<Inference, RuntimeError> {
         let flow = self.tenant_ref(tenant)?.config.flow;
-        let slots = self.enqueue(tenant, vec![req.input], flow, req.client)?;
+        let slots = self.enqueue(tenant, vec![req.input], flow, req.client, req.deadline)?;
         slots.into_iter().next().expect("one slot per input").wait()
     }
 
@@ -585,6 +623,7 @@ impl<E: GroupExecutor> Scheduler<E> {
                 timeout: Duration::ZERO,
             },
             req.client,
+            req.deadline,
         )?;
         Ok(Pending {
             slot: slots.into_iter().next().expect("one slot per input"),
@@ -600,7 +639,7 @@ impl<E: GroupExecutor> Scheduler<E> {
         inputs: Vec<Tensor>,
     ) -> Result<Vec<Result<Inference, RuntimeError>>, RuntimeError> {
         let flow = self.tenant_ref(tenant)?.config.flow;
-        let slots = self.enqueue(tenant, inputs, flow, crate::CLIENT_NONE)?;
+        let slots = self.enqueue(tenant, inputs, flow, crate::CLIENT_NONE, None)?;
         Ok(slots.into_iter().map(|s| s.wait()).collect())
     }
 
@@ -613,14 +652,12 @@ impl<E: GroupExecutor> Scheduler<E> {
     ) -> Result<crate::RuntimeStats, RuntimeError> {
         let ten = self.tenant_ref(tenant)?;
         let (queue_depth, high_water) = {
-            let queue = self.shared.queue.lock().expect("queue poisoned");
+            let queue = lock_recover(&self.shared.queue);
             (queue.pending[tenant].len(), queue.high_water[tenant])
         };
-        Ok(ten
-            .stats
-            .lock()
-            .expect("stats poisoned")
-            .snapshot(queue_depth, high_water, plan_cache))
+        let mut stats = lock_recover(&ten.stats).snapshot(queue_depth, high_water, plan_cache);
+        stats.worker_restarts = self.shared.restarts.load(Ordering::Relaxed);
+        Ok(stats)
     }
 
     /// The fleet-level rollup across every tenant: counters and data-path
@@ -629,7 +666,7 @@ impl<E: GroupExecutor> Scheduler<E> {
     /// retained samples.
     pub fn fleet_stats(&self, plan_cache: PlanCacheStats) -> crate::RuntimeStats {
         let (queue_depth, high_water) = {
-            let queue = self.shared.queue.lock().expect("queue poisoned");
+            let queue = lock_recover(&self.shared.queue);
             (
                 queue.pending.iter().map(VecDeque::len).sum(),
                 queue.fleet_high_water,
@@ -637,9 +674,11 @@ impl<E: GroupExecutor> Scheduler<E> {
         };
         let mut rollup = StatsInner::default();
         for tenant in &self.shared.tenants {
-            rollup.absorb(&tenant.stats.lock().expect("stats poisoned"));
+            rollup.absorb(&lock_recover(&tenant.stats));
         }
-        rollup.snapshot(queue_depth, high_water, plan_cache)
+        let mut stats = rollup.snapshot(queue_depth, high_water, plan_cache);
+        stats.worker_restarts = self.shared.restarts.load(Ordering::Relaxed);
+        stats
     }
 
     fn tenant_ref(&self, tenant: usize) -> Result<&Tenant<E>, RuntimeError> {
@@ -654,13 +693,17 @@ impl<E: GroupExecutor> Scheduler<E> {
     /// `client` is the submitting connection's tag
     /// ([`crate::CLIENT_NONE`] in-process), packed into the `Enqueue`
     /// trace span so exported traces attribute request flow per
-    /// connection.
+    /// connection. `request_deadline` (uniform across the submission)
+    /// bounds the admission wait — under *either* flow policy — and
+    /// rides along on every queued request so the drain loop can shed it
+    /// if it expires before execution.
     fn enqueue(
         &self,
         tenant: usize,
         inputs: Vec<Tensor>,
         flow: FlowControl,
         client: u64,
+        request_deadline: Option<Instant>,
     ) -> Result<Vec<Arc<Slot>>, RuntimeError> {
         let shared = &self.shared;
         let ten = self.tenant_ref(tenant)?;
@@ -672,24 +715,41 @@ impl<E: GroupExecutor> Scheduler<E> {
             )));
         }
         let now = Instant::now();
-        let mut queue = shared.queue.lock().expect("queue poisoned");
+        let deadline_shed = |count: u64| {
+            lock_recover(&ten.stats).record_deadline_exceeded(count);
+            RuntimeError::DeadlineExceeded
+        };
+        if request_deadline.is_some_and(|d| d <= now) {
+            return Err(deadline_shed(inputs.len() as u64));
+        }
+        let mut queue = lock_recover(&shared.queue);
         // Backpressure: wait (or shed) until the whole submission fits in
         // this tenant's queue. Other tenants' backlogs are invisible here —
-        // flow control is strictly per-tenant.
-        let deadline = match flow {
+        // flow control is strictly per-tenant. The wait is bounded by the
+        // shed timeout (if any) and the request deadline (if any),
+        // whichever is tighter.
+        let flow_deadline = match flow {
             FlowControl::Block => None,
             FlowControl::Shed { timeout } => Some(now + timeout),
         };
         while !queue.shutdown && queue.pending[tenant].len() + inputs.len() > capacity {
-            match deadline {
-                None => queue = shared.space.wait(queue).expect("queue poisoned"),
-                Some(deadline) => {
-                    let left = deadline.saturating_duration_since(Instant::now());
-                    if left.is_zero() {
+            let now = Instant::now();
+            if request_deadline.is_some_and(|d| d <= now) {
+                drop(queue);
+                return Err(deadline_shed(inputs.len() as u64));
+            }
+            let bound = match (flow_deadline, request_deadline) {
+                (Some(f), Some(r)) => Some(f.min(r)),
+                (f, r) => f.or(r),
+            };
+            match bound {
+                None => queue = wait_recover(&shared.space, queue),
+                Some(bound) => {
+                    // The request deadline was checked above, so an
+                    // expired bound here is the flow-control timeout.
+                    if bound <= now {
                         drop(queue);
-                        let mut stats = ten.stats.lock().expect("stats poisoned");
-                        stats.record_shed(inputs.len() as u64);
-                        drop(stats);
+                        lock_recover(&ten.stats).record_shed(inputs.len() as u64);
                         trace::instant(
                             trace::SpanKind::Shed,
                             tenant as u32,
@@ -701,11 +761,7 @@ impl<E: GroupExecutor> Scheduler<E> {
                             capacity,
                         });
                     }
-                    let (q, _) = shared
-                        .space
-                        .wait_timeout(queue, left)
-                        .expect("queue poisoned");
-                    queue = q;
+                    queue = wait_timeout_recover(&shared.space, queue, bound - now).0;
                 }
             }
         }
@@ -719,6 +775,7 @@ impl<E: GroupExecutor> Scheduler<E> {
                 queue.pending[tenant].push_back(Request {
                     input,
                     submitted_at: now,
+                    deadline: request_deadline,
                     slot: slot.clone(),
                 });
                 slot
@@ -746,40 +803,141 @@ impl<E: GroupExecutor> Scheduler<E> {
 impl<E: GroupExecutor> Drop for Scheduler<E> {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            let mut queue = lock_recover(&self.shared.queue);
             queue.shutdown = true;
         }
         self.shared.submitted.notify_all();
         self.shared.space.notify_all();
-        for handle in self.workers.drain(..) {
-            // Workers drain every queued request before exiting, so no
-            // submitter is left parked.
-            let _ = handle.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            // The supervisor joins every worker (workers drain every
+            // queued request before exiting), so no submitter is left
+            // parked.
+            let _ = supervisor.join();
         }
     }
 }
 
+/// Spawns one scheduler worker thread for lane `lane`. The worker's last
+/// act — clean exit or unwinding panic — is reporting to the supervisor
+/// over `exit_tx`.
+fn spawn_worker<E: GroupExecutor>(
+    shared: Arc<Shared<E>>,
+    lane: usize,
+    exit_tx: mpsc::Sender<WorkerExit>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("epim-sched-{lane}"))
+        .spawn(move || {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_main(&shared)));
+            let _ = exit_tx.send(match outcome {
+                Ok(()) => WorkerExit::Clean(lane),
+                Err(_) => WorkerExit::Crashed(lane),
+            });
+        })
+        .expect("spawning scheduler thread")
+}
+
 /// One scheduler thread: pick a tenant, coalesce, execute, deliver, until
 /// shut down.
+///
+/// Per-batch panics are caught inside [`execute_group`] and delivered as
+/// [`RuntimeError::ExecutionPanicked`]; anything that escapes (an
+/// injected worker kill, a panic inside the stats critical section)
+/// unwinds this function — every in-hand request still gets a delivery
+/// via [`DeliveryGuard`], and the supervisor respawns the thread.
 fn worker_main<E: GroupExecutor>(shared: &Shared<E>) {
-    // The loop contains per-batch panic guards; this outer guard covers
-    // everything else (e.g. a poisoned stats lock) so an unwinding worker
-    // can never strand parked submitters or accept work it will never
-    // serve.
-    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+    loop {
         let Some((tenant, group)) = next_group(shared) else {
             return;
         };
         execute_group(shared, tenant, group);
-    }));
-    let mut queue = shared
-        .queue
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Injected worker kill: fires *after* the group delivered, so the
+        // crash costs a thread (exercising the supervisor), never an
+        // answer.
+        if faults::fires(faults::FaultPoint::WorkerPanic) {
+            panic!("injected fault: worker panic after batch");
+        }
+    }
+}
+
+/// The supervisor loop: joins cleanly-exiting workers, respawns crashed
+/// ones (exponential backoff, bounded by `restart_budget`), and fails the
+/// whole fleet with [`RuntimeError::CrashLoop`] once the budget is
+/// exhausted. Returns when every worker lane has exited.
+fn supervisor_main<E: GroupExecutor>(
+    shared: &Arc<Shared<E>>,
+    exit_rx: mpsc::Receiver<WorkerExit>,
+    exit_tx: mpsc::Sender<WorkerExit>,
+    mut handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    restart_budget: u32,
+) {
+    let mut alive = handles.len();
+    let mut restarts_used: u32 = 0;
+    while alive > 0 {
+        // Every live worker sends exactly one exit report, and the
+        // supervisor holds a sender too, so recv can only fail if the
+        // channel logic itself is broken — treat that as fleet failure
+        // rather than spinning.
+        let Ok(exit) = exit_rx.recv() else {
+            fail_fleet(shared, restarts_used);
+            return;
+        };
+        match exit {
+            WorkerExit::Clean(lane) => {
+                if let Some(handle) = handles[lane].take() {
+                    let _ = handle.join();
+                }
+                alive -= 1;
+            }
+            WorkerExit::Crashed(lane) => {
+                if let Some(handle) = handles[lane].take() {
+                    let _ = handle.join();
+                }
+                if lock_recover(&shared.queue).shutdown {
+                    // A crash during shutdown is not worth a respawn: the
+                    // remaining workers (or the fail-safe drain on the
+                    // way out) finish the drain.
+                    alive -= 1;
+                    continue;
+                }
+                if restarts_used >= restart_budget {
+                    fail_fleet(shared, restarts_used);
+                    alive -= 1;
+                    continue;
+                }
+                restarts_used += 1;
+                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                // Exponential backoff (2ms, 4ms, … capped at 128ms): a
+                // deterministic crash loop burns its budget in well under
+                // a second instead of hammering the executor.
+                let backoff = Duration::from_millis(1u64 << restarts_used.min(7));
+                std::thread::sleep(backoff);
+                handles[lane] = Some(spawn_worker(shared.clone(), lane, exit_tx.clone()));
+            }
+        }
+    }
+    // Fail-safe: with no worker lanes left, anything still queued (e.g. a
+    // submission that raced the shutdown flag) would hang forever. Usually
+    // a no-op — clean-exiting workers only return with every queue empty.
+    drain_all(shared, RuntimeError::ShuttingDown);
+}
+
+/// Marks the fleet shut down and fails every queued request with a typed
+/// [`RuntimeError::CrashLoop`] — the crash-loop terminal state: no new
+/// work is accepted, nothing hangs.
+fn fail_fleet<E: GroupExecutor>(shared: &Shared<E>, restarts: u32) {
+    drain_all(shared, RuntimeError::CrashLoop { restarts });
+}
+
+/// Sets shutdown and delivers `error` to every queued request, waking all
+/// parked submitters and workers.
+fn drain_all<E: GroupExecutor>(shared: &Shared<E>, error: RuntimeError) {
+    let mut queue = lock_recover(&shared.queue);
     queue.shutdown = true;
     for pending in &mut queue.pending {
         for request in pending.drain(..) {
-            request.slot.deliver(Err(RuntimeError::ShuttingDown));
+            request.slot.deliver(Err(error.clone()));
         }
     }
     drop(queue);
@@ -822,11 +980,38 @@ fn others_pending(queue: &QueueSet, tenant: usize) -> bool {
         .any(|(t, q)| t != tenant && !q.is_empty())
 }
 
+/// Sheds every queued request whose deadline has already passed,
+/// delivering the typed [`RuntimeError::DeadlineExceeded`] and recording
+/// per-tenant counters. Returns whether anything was shed (queue space
+/// freed). The caller holds the queue lock; slot delivery and the stats
+/// mutex are leaf locks (nothing takes the queue lock while holding
+/// either), so taking them underneath cannot deadlock.
+fn shed_expired<E: GroupExecutor>(queue: &mut QueueSet, shared: &Shared<E>) -> bool {
+    let now = Instant::now();
+    let mut any = false;
+    for (t, pending) in queue.pending.iter_mut().enumerate() {
+        let mut expired = 0u64;
+        pending.retain(|request| match request.deadline {
+            Some(d) if d <= now => {
+                request.slot.deliver(Err(RuntimeError::DeadlineExceeded));
+                expired += 1;
+                false
+            }
+            _ => true,
+        });
+        if expired > 0 {
+            lock_recover(&shared.tenants[t].stats).record_deadline_exceeded(expired);
+            any = true;
+        }
+    }
+    any
+}
+
 /// Blocks for the next same-shape request group of some tenant, honoring
 /// the fair-drain policy and the tenant's batch window. Returns `None`
 /// when shut down with every queue empty.
 fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Request>)> {
-    let mut queue = shared.queue.lock().expect("queue poisoned");
+    let mut queue = lock_recover(&shared.queue);
     // With several workers a queue head can change (or vanish) under us
     // while we wait; every such race restarts this loop — iteration, not
     // recursion, so sustained churn cannot grow the stack.
@@ -839,7 +1024,15 @@ fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Reques
             if queue.shutdown {
                 return None;
             }
-            queue = shared.submitted.wait(queue).expect("queue poisoned");
+            queue = wait_recover(&shared.submitted, queue);
+        }
+
+        // Expired requests are shed before a tenant is picked: a batch
+        // slot must never be spent on an answer nobody is waiting for.
+        // Shedding may empty every queue, so re-enter the park loop.
+        if shed_expired(&mut queue, shared) {
+            shared.space.notify_all();
+            continue 'regroup;
         }
 
         // Weighted-fair tenant selection, then coalesce within that
@@ -865,10 +1058,7 @@ fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Reques
             if now >= deadline {
                 break;
             }
-            let (q, timeout) = shared
-                .submitted
-                .wait_timeout(queue, deadline - now)
-                .expect("queue poisoned");
+            let (q, timeout) = wait_timeout_recover(&shared.submitted, queue, deadline - now);
             queue = q;
             if timeout.timed_out() {
                 break;
@@ -880,6 +1070,11 @@ fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Reques
                 queue.refund(tenant, config.weight);
                 continue 'regroup;
             }
+        }
+        // Requests may have expired while the batch window held them
+        // open; shed them now rather than batching them.
+        if shed_expired(&mut queue, shared) {
+            shared.space.notify_all();
         }
         if queue.pending[tenant].is_empty() {
             queue.refund(tenant, config.weight);
@@ -916,15 +1111,60 @@ fn next_group<E: GroupExecutor>(shared: &Shared<E>) -> Option<(usize, Vec<Reques
     }
 }
 
+/// Owns a drained group for the duration of its execution. Requests leave
+/// the guard one by one as they are delivered; if the executing thread
+/// unwinds first — an injected lock-holder panic, a panic escaping the
+/// per-batch guard — `Drop` fails every still-undelivered request with
+/// [`RuntimeError::ExecutionPanicked`]. The panic still propagates (and
+/// kills the worker, exercising the supervisor), but it can never strand
+/// a parked submitter.
+struct DeliveryGuard {
+    requests: Vec<Option<Request>>,
+}
+
+impl DeliveryGuard {
+    fn new(group: Vec<Request>) -> Self {
+        DeliveryGuard {
+            requests: group.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// The `i`th request (must not have been delivered yet).
+    fn get(&self, i: usize) -> &Request {
+        self.requests[i]
+            .as_ref()
+            .expect("request already delivered")
+    }
+
+    /// Delivers `result` to the `i`th request, removing it from the
+    /// guard's custody.
+    fn deliver(&mut self, i: usize, result: Result<Inference, RuntimeError>) {
+        if let Some(request) = self.requests[i].take() {
+            request.slot.deliver(result);
+        }
+    }
+}
+
+impl Drop for DeliveryGuard {
+    fn drop(&mut self) {
+        for request in self.requests.iter_mut().filter_map(Option::take) {
+            request.slot.deliver(Err(RuntimeError::ExecutionPanicked));
+        }
+    }
+}
+
 /// Runs one group through its tenant's executor and delivers results.
 ///
 /// Every request in the group is guaranteed a delivery: success, its own
 /// error, or [`RuntimeError::ExecutionPanicked`] if the executor panicked
-/// — a panicking batch must never strand its submitters.
+/// — a panicking batch must never strand its submitters. The guarantee
+/// holds even if this function itself unwinds: the [`DeliveryGuard`]
+/// fails whatever it still holds.
 fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec<Request>) {
     let ten = &shared.tenants[tenant];
     let batch_size = group.len();
-    let inputs: Vec<&Tensor> = group.iter().map(|r| &r.input).collect();
+    let mut guard = DeliveryGuard::new(group);
+    let inputs: Vec<&Tensor> = (0..batch_size).map(|i| &guard.get(i).input).collect();
     let exec_started = Instant::now();
     let t_group = trace::start();
     let batch_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -941,15 +1181,15 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
     );
     match batch_result {
         Err(_) => {
-            for request in group {
-                request.slot.deliver(Err(RuntimeError::ExecutionPanicked));
+            for i in 0..batch_size {
+                guard.deliver(i, Err(RuntimeError::ExecutionPanicked));
             }
         }
         Ok(Ok((outputs, dp_stats, stage_ns))) => {
             let service = exec_started.elapsed();
             record_and_deliver(
                 ten,
-                group,
+                &mut guard,
                 outputs,
                 &dp_stats,
                 &stage_ns,
@@ -966,10 +1206,11 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
             let mut services = Vec::with_capacity(batch_size);
             let mut dp_stats = DataPathStats::default();
             let mut failures: Vec<(usize, RuntimeError)> = Vec::new();
-            for (i, request) in group.iter().enumerate() {
+            for i in 0..batch_size {
                 let started = Instant::now();
+                let input = &guard.get(i).input;
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    ten.exec.execute_one(tenant as u32, &request.input)
+                    ten.exec.execute_one(tenant as u32, input)
                 }));
                 services.push(started.elapsed());
                 match outcome {
@@ -990,7 +1231,7 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
             if failures.is_empty() {
                 record_and_deliver(
                     ten,
-                    group,
+                    &mut guard,
                     outputs,
                     &dp_stats,
                     &[],
@@ -1000,23 +1241,27 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
                 );
             } else {
                 // Deliver successes as singletons, failures as errors.
-                for (i, request) in group.into_iter().enumerate() {
+                for i in 0..batch_size {
                     if let Some((_, e)) = failures.iter().find(|(fi, _)| *fi == i) {
-                        request.slot.deliver(Err(e.clone()));
+                        guard.deliver(i, Err(e.clone()));
                     } else {
-                        let latency = request.submitted_at.elapsed();
-                        let mut stats = ten.stats.lock().expect("stats poisoned");
+                        let submitted_at = guard.get(i).submitted_at;
+                        let latency = submitted_at.elapsed();
+                        let mut stats = lock_recover(&ten.stats);
                         stats.record_request(
-                            exec_started.saturating_duration_since(request.submitted_at),
+                            exec_started.saturating_duration_since(submitted_at),
                             services[i],
                             latency,
                         );
                         drop(stats);
-                        request.slot.deliver(Ok(Inference {
-                            output: outputs[i].clone(),
-                            batch_size: 1,
-                            latency,
-                        }));
+                        guard.deliver(
+                            i,
+                            Ok(Inference {
+                                output: outputs[i].clone(),
+                                batch_size: 1,
+                                latency,
+                            }),
+                        );
                     }
                 }
             }
@@ -1031,7 +1276,7 @@ fn execute_group<E: GroupExecutor>(shared: &Shared<E>, tenant: usize, group: Vec
 #[allow(clippy::too_many_arguments)]
 fn record_and_deliver<E>(
     tenant: &Tenant<E>,
-    group: Vec<Request>,
+    guard: &mut DeliveryGuard,
     outputs: Vec<Tensor>,
     dp_stats: &DataPathStats,
     stage_ns: &[u64],
@@ -1040,9 +1285,17 @@ fn record_and_deliver<E>(
     services: &[Duration],
 ) {
     {
-        let mut stats = tenant.stats.lock().expect("stats poisoned");
+        let mut stats = lock_recover(&tenant.stats);
+        // Injected lock-holder panic: unwinds while holding the stats
+        // mutex (poisoning it) with the batch outputs in hand — the
+        // delivery guard fails the requests, lock recovery un-poisons the
+        // mutex for the respawned worker.
+        if faults::fires(faults::FaultPoint::LockPanic) {
+            panic!("injected fault: panic while holding the stats lock");
+        }
         stats.record_batch(batch_size, dp_stats, stage_ns);
-        for (i, request) in group.iter().enumerate() {
+        for i in 0..batch_size {
+            let request = guard.get(i);
             let service = if services.len() == 1 {
                 services[0]
             } else {
@@ -1055,12 +1308,15 @@ fn record_and_deliver<E>(
             );
         }
     }
-    for (request, output) in group.into_iter().zip(outputs) {
-        let latency = request.submitted_at.elapsed();
-        request.slot.deliver(Ok(Inference {
-            output,
-            batch_size,
-            latency,
-        }));
+    for (i, output) in outputs.into_iter().enumerate() {
+        let latency = guard.get(i).submitted_at.elapsed();
+        guard.deliver(
+            i,
+            Ok(Inference {
+                output,
+                batch_size,
+                latency,
+            }),
+        );
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::{Inference, Pending, RuntimeError, RuntimeStats};
 use epim_tensor::Tensor;
+use std::time::Instant;
 
 /// A client tag meaning "not attributed to any connection".
 pub const CLIENT_NONE: u64 = 0;
@@ -38,6 +39,14 @@ pub struct InferRequest {
     /// `Enqueue` trace span payload so per-connection request flow is
     /// visible in exported traces; never affects execution.
     pub client: u64,
+    /// Optional completion deadline. A request whose deadline passes
+    /// before its batch starts executing is shed with
+    /// [`RuntimeError::DeadlineExceeded`] instead of wasting a batch
+    /// slot; admission waits under [`crate::FlowControl::Shed`] and
+    /// [`crate::FlowControl::Block`] are bounded by it too. `None` (the
+    /// default) keeps the pre-deadline behavior: requests wait as long
+    /// as flow control allows.
+    pub deadline: Option<Instant>,
 }
 
 impl InferRequest {
@@ -46,12 +55,20 @@ impl InferRequest {
         InferRequest {
             input,
             client: CLIENT_NONE,
+            deadline: None,
         }
     }
 
     /// This request tagged as originating from `client` (builder-style).
     pub fn with_client(mut self, client: u64) -> Self {
         self.client = client;
+        self
+    }
+
+    /// This request bounded by an absolute completion `deadline`
+    /// (builder-style). See [`InferRequest::deadline`].
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }

@@ -90,6 +90,14 @@ pub struct RuntimeStats {
     /// Requests rejected by flow control (`Shed` timeouts and full-queue
     /// `try_infer` calls) since engine construction.
     pub shed: u64,
+    /// Requests shed because their own deadline passed before execution
+    /// started (at admission or in the drain loop) — the
+    /// [`crate::RuntimeError::DeadlineExceeded`] count.
+    pub deadline_exceeded: u64,
+    /// Crashed scheduler worker threads respawned by the supervisor.
+    /// Fleet-wide (workers are shared by all tenants), so per-tenant
+    /// snapshots of a multi-tenant engine all report the same value.
+    pub worker_restarts: u64,
     /// Counters of the plan cache this engine was built from (all zero for
     /// engines constructed without a cache). `warm_network` effectiveness
     /// is visible here: a fully warmed engine compiles with zero
@@ -145,6 +153,12 @@ impl RuntimeStats {
             "Requests rejected by flow control.",
             labels,
             self.shed,
+        );
+        w.counter(
+            "epim_deadline_exceeded_total",
+            "Requests shed because their deadline passed before execution.",
+            labels,
+            self.deadline_exceeded,
         );
         w.gauge(
             "epim_queue_depth",
@@ -263,8 +277,20 @@ impl RuntimeStats {
         let mut w = PromWriter::new();
         self.write_prometheus(&mut w, &[]);
         write_cache_prometheus(&mut w, &self.plan_cache);
+        write_supervision_prometheus(&mut w, self.worker_restarts);
         w.render()
     }
+}
+
+/// Writes fleet-level supervision counters (once per exposition — worker
+/// threads are shared by every tenant, so this is never labeled).
+pub(crate) fn write_supervision_prometheus(w: &mut PromWriter, worker_restarts: u64) {
+    w.counter(
+        "epim_worker_restarts_total",
+        "Crashed scheduler workers respawned by the supervisor.",
+        &[],
+        worker_restarts,
+    );
 }
 
 /// Writes engine-level plan-cache counters (once per exposition, never
@@ -302,6 +328,7 @@ pub(crate) struct StatsInner {
     stages: Vec<StageAgg>,
     datapath: DataPathStats,
     shed: u64,
+    deadline_exceeded: u64,
 }
 
 /// Saturating nanoseconds of a `Duration` (latencies never realistically
@@ -331,6 +358,12 @@ impl StatsInner {
     /// Records requests rejected by flow control.
     pub fn record_shed(&mut self, count: u64) {
         self.shed += count;
+    }
+
+    /// Records requests shed because their deadline expired before
+    /// execution started.
+    pub fn record_deadline_exceeded(&mut self, count: u64) {
+        self.deadline_exceeded += count;
     }
 
     /// Records one executed batch: size histogram, data-path rollup, and
@@ -393,6 +426,7 @@ impl StatsInner {
             }
         }
         self.shed += other.shed;
+        self.deadline_exceeded += other.deadline_exceeded;
         self.datapath.accumulate(&other.datapath);
     }
 
@@ -428,6 +462,10 @@ impl StatsInner {
             queue_depth,
             queue_depth_high_water,
             shed: self.shed,
+            deadline_exceeded: self.deadline_exceeded,
+            // Fleet-wide, sampled outside the stats mutex: the owning
+            // scheduler fills it in (like the engines do arena_bytes).
+            worker_restarts: 0,
             plan_cache,
             arena_bytes: 0,
             legacy_pool_bytes: 0,
@@ -636,5 +674,38 @@ mod tests {
         assert!(labeled.contains("epim_requests_total{tenant=\"resnet\"} 2"));
         assert!(labeled
             .contains("epim_stage_calls_total{tenant=\"resnet\",stage=\"conv1\",op=\"conv2d\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_failure_counters() {
+        let mut inner = StatsInner::default();
+        inner.record_shed(2);
+        inner.record_deadline_exceeded(5);
+        let mut snap = inner.snapshot(0, 0, PlanCacheStats::default());
+        snap.worker_restarts = 3;
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE epim_deadline_exceeded_total counter"));
+        assert!(text.contains("epim_deadline_exceeded_total 5"));
+        assert!(text.contains("# TYPE epim_worker_restarts_total counter"));
+        assert!(text.contains("epim_worker_restarts_total 3"));
+        // The restart counter is engine-level: never written per tenant.
+        let mut w = PromWriter::new();
+        snap.write_prometheus(&mut w, &[("tenant", "resnet")]);
+        let labeled = w.render();
+        assert!(labeled.contains("epim_deadline_exceeded_total{tenant=\"resnet\"} 5"));
+        assert!(!labeled.contains("epim_worker_restarts_total"));
+    }
+
+    #[test]
+    fn deadline_counter_absorbs_into_fleet_rollup() {
+        let mut a = StatsInner::default();
+        a.record_deadline_exceeded(1);
+        let mut b = StatsInner::default();
+        b.record_deadline_exceeded(4);
+        let mut fleet = StatsInner::default();
+        fleet.absorb(&a);
+        fleet.absorb(&b);
+        let snap = fleet.snapshot(0, 0, PlanCacheStats::default());
+        assert_eq!(snap.deadline_exceeded, 5);
     }
 }

@@ -100,6 +100,7 @@ pub struct MultiEngineBuilder {
     cache: PlanCache,
     fleet: u64,
     workers: usize,
+    restart_budget: u32,
     tenants: Vec<(String, Arc<NetworkPlan>, TenantConfig)>,
 }
 
@@ -108,6 +109,15 @@ impl MultiEngineBuilder {
     /// pipeline depth; defaults to 1).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets how many crashed scheduler workers the supervisor may respawn
+    /// over the fleet's lifetime before giving up and shutting the fleet
+    /// down (defaults to [`crate::DEFAULT_RESTART_BUDGET`]; `0` disables
+    /// supervision entirely — the first crash fails the fleet).
+    pub fn restart_budget(mut self, budget: u32) -> Self {
+        self.restart_budget = budget;
         self
     }
 
@@ -211,7 +221,7 @@ impl MultiEngineBuilder {
                 (Some(name), PlanExecutor { plan }, config)
             })
             .collect();
-        let scheduler = Scheduler::multi(tenants, self.workers)?;
+        let scheduler = Scheduler::multi(tenants, self.workers, self.restart_budget)?;
         Ok(MultiEngine {
             scheduler,
             fleet: self.fleet,
@@ -242,6 +252,7 @@ impl MultiEngine {
             cache: cache.clone(),
             fleet: next_fleet(),
             workers: 1,
+            restart_budget: crate::DEFAULT_RESTART_BUDGET,
             tenants: Vec::new(),
         }
     }
@@ -408,6 +419,9 @@ impl MultiEngine {
             stats.write_prometheus(&mut w, &[("tenant", self.names[index].as_str())]);
         }
         crate::stats::write_cache_prometheus(&mut w, &self.cache.stats());
+        // Worker restarts are a fleet-level resource (the worker pool is
+        // shared), so the counter is written once, unlabeled.
+        crate::stats::write_supervision_prometheus(&mut w, self.fleet_stats().worker_restarts);
         w.render()
     }
 }

@@ -255,7 +255,7 @@ fn shed_policy_rejects_under_load() {
                 timeout: Duration::from_millis(10),
             },
             workers: 1,
-            optimize_program: true,
+            ..EngineConfig::default()
         },
     )
     .unwrap();
@@ -321,7 +321,7 @@ fn block_policy_never_drops() {
             queue_capacity: 2,
             flow: FlowControl::Block,
             workers: 1,
-            optimize_program: true,
+            ..EngineConfig::default()
         },
     )
     .unwrap();

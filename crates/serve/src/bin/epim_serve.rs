@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! epim_serve [--listen ADDR] [--config FLEET.toml] [--workers N]
-//!            [--max-frame BYTES] [--watch-stdin]
+//!            [--max-frame BYTES] [--max-conns N] [--idle-ms MS]
+//!            [--watch-stdin]
 //! ```
 //!
 //! Serves the fleet (the default three-tenant zoo unless `--config`
@@ -47,6 +48,8 @@ struct Args {
     config: Option<String>,
     workers: Option<usize>,
     max_frame: Option<u32>,
+    max_conns: Option<usize>,
+    idle_ms: Option<u64>,
     watch_stdin: bool,
 }
 
@@ -56,6 +59,8 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         workers: None,
         max_frame: None,
+        max_conns: None,
+        idle_ms: None,
         watch_stdin: false,
     };
     let mut it = std::env::args().skip(1);
@@ -78,11 +83,26 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--max-frame wants an integer".to_string())?,
                 )
             }
+            "--max-conns" => {
+                args.max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|_| "--max-conns wants an integer".to_string())?,
+                )
+            }
+            "--idle-ms" => {
+                args.idle_ms = Some(
+                    value("--idle-ms")?
+                        .parse()
+                        .map_err(|_| "--idle-ms wants an integer".to_string())?,
+                )
+            }
             "--watch-stdin" => args.watch_stdin = true,
             "--help" | "-h" => {
                 println!(
                     "usage: epim_serve [--listen ADDR] [--config FLEET.toml] \
-                     [--workers N] [--max-frame BYTES] [--watch-stdin]"
+                     [--workers N] [--max-frame BYTES] [--max-conns N] \
+                     [--idle-ms MS] [--watch-stdin]"
                 );
                 std::process::exit(0);
             }
@@ -133,6 +153,12 @@ fn main() {
     if let Some(mf) = args.max_frame {
         server = server.with_max_frame(mf);
     }
+    if let Some(mc) = args.max_conns {
+        server = server.with_max_connections(mc);
+    }
+    if let Some(ms) = args.idle_ms {
+        server = server.with_idle_timeout(Duration::from_millis(ms));
+    }
     let addr = server
         .local_addr()
         .map(|a| a.to_string())
@@ -168,8 +194,13 @@ fn main() {
     match server.serve() {
         Ok(report) => {
             println!(
-                "epim_serve: drained cleanly connections={} requests={} error_frames={}",
-                report.connections, report.requests, report.error_frames
+                "epim_serve: drained cleanly connections={} requests={} error_frames={} \
+                 rejected={} idle_disconnects={}",
+                report.connections,
+                report.requests,
+                report.error_frames,
+                report.connections_rejected,
+                report.idle_disconnects
             );
         }
         Err(e) => {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! load_gen [--connect ADDR] [--connections N] [--requests M]
-//!          [--rate QPS] [--config FLEET.toml] [--seed S] [--check]
+//!          [--rate QPS] [--config FLEET.toml] [--seed S]
+//!          [--deadline-ms MS] [--check]
 //! ```
 //!
 //! Opens `N` connections and drives `M` requests over each — closed-loop
@@ -13,6 +14,12 @@
 //! seeded inputs. Reports sustained QPS and p50/p99/p999 end-to-end
 //! latency, as a human summary plus one machine-readable JSON line.
 //!
+//! `--deadline-ms` attaches a relative completion deadline to every
+//! request; replies shed server-side come back as typed `deadline` error
+//! frames. Typed error frames are counted per class (`overloaded`,
+//! `deadline`, `protocol`, `other`) separately from transport failures
+//! in both the human summary and the JSON line.
+//!
 //! `--check` rebuilds the same fleet in-process (the weights are
 //! deterministically seeded, so server and checker agree bit-for-bit)
 //! and asserts every wire output equals the in-process output exactly;
@@ -20,6 +27,7 @@
 
 use epim_serve::client::Client;
 use epim_serve::fleet::{FleetConfig, INPUT_SHAPE};
+use epim_serve::wire;
 use epim_tensor::{init, rng, Tensor};
 use std::time::{Duration, Instant};
 
@@ -30,6 +38,7 @@ struct Args {
     rate: f64,
     config: Option<String>,
     seed: u64,
+    deadline_ms: u32,
     check: bool,
 }
 
@@ -41,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         rate: 0.0,
         config: None,
         seed: 1000,
+        deadline_ms: 0,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -69,11 +79,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--seed wants an integer".to_string())?
             }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms wants an integer".to_string())?
+            }
             "--check" => args.check = true,
             "--help" | "-h" => {
                 println!(
                     "usage: load_gen [--connect ADDR] [--connections N] [--requests M] \
-                     [--rate QPS] [--config FLEET.toml] [--seed S] [--check]"
+                     [--rate QPS] [--config FLEET.toml] [--seed S] \
+                     [--deadline-ms MS] [--check]"
                 );
                 std::process::exit(0);
             }
@@ -112,13 +128,20 @@ fn connection_workload(
         .collect()
 }
 
-fn drive_closed_loop(addr: &str, workload: &[(String, Tensor)]) -> Result<Vec<Sample>, String> {
+fn drive_closed_loop(
+    addr: &str,
+    workload: &[(String, Tensor)],
+    deadline_ms: u32,
+) -> Result<Vec<Sample>, String> {
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut samples = Vec::with_capacity(workload.len());
     for (k, (tenant, input)) in workload.iter().enumerate() {
         let started = Instant::now();
+        client
+            .submit_with_deadline(tenant, input.clone(), deadline_ms)
+            .map_err(|e| format!("request {k}: {e}"))?;
         let reply = client
-            .infer(tenant, input.clone())
+            .recv_reply()
             .map_err(|e| format!("request {k}: {e}"))?;
         let latency = started.elapsed();
         samples.push(match reply {
@@ -144,6 +167,7 @@ fn drive_open_loop(
     addr: &str,
     workload: Vec<(String, Tensor)>,
     interval: Duration,
+    deadline_ms: u32,
 ) -> Result<Vec<Sample>, String> {
     let client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let (mut sender, mut receiver) = client.split();
@@ -163,7 +187,7 @@ fn drive_open_loop(
                 }
                 times_tx.lock().unwrap()[k] = Some(Instant::now());
                 sender
-                    .submit(&tenant, input)
+                    .submit_with_deadline(&tenant, input, deadline_ms)
                     .map_err(|e| format!("submit {k}: {e}"))?;
             }
             Ok(sender)
@@ -246,9 +270,10 @@ fn main() {
             .map(|conn| {
                 let addr = args.connect.clone();
                 let workload = connection_workload(&tenants, args.requests, args.seed, conn);
+                let deadline_ms = args.deadline_ms;
                 scope.spawn(move || match interval {
-                    None => drive_closed_loop(&addr, &workload),
-                    Some(iv) => drive_open_loop(&addr, workload, iv),
+                    None => drive_closed_loop(&addr, &workload, deadline_ms),
+                    Some(iv) => drive_open_loop(&addr, workload, iv, deadline_ms),
                 })
             })
             .collect();
@@ -260,24 +285,44 @@ fn main() {
     let elapsed = started.elapsed();
 
     let mut samples_by_conn: Vec<Vec<Sample>> = Vec::with_capacity(per_conn.len());
+    let mut transport_failures = 0u64;
     for (conn, result) in per_conn.into_iter().enumerate() {
         match result {
             Ok(samples) => samples_by_conn.push(samples),
             Err(e) => {
-                eprintln!("load_gen: connection {conn}: {e}");
-                std::process::exit(1);
+                // A transport failure (reset, refused, mid-frame EOF) is
+                // a different failure class than a typed error frame:
+                // the server never answered. Count it; an empty sample
+                // list keeps `--check` indexing consistent.
+                eprintln!("load_gen: connection {conn}: transport failure: {e}");
+                transport_failures += 1;
+                samples_by_conn.push(Vec::new());
             }
         }
+    }
+    if transport_failures > 0 && args.check {
+        eprintln!(
+            "load_gen: check FAILED: {transport_failures} connection(s) lost to transport failures"
+        );
+        std::process::exit(1);
     }
 
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut completed = 0u64;
     let mut errors = 0u64;
+    let (mut err_overloaded, mut err_deadline, mut err_protocol, mut err_other) =
+        (0u64, 0u64, 0u64, 0u64);
     for samples in &samples_by_conn {
         for s in samples {
             completed += 1;
             if let Some((code, message)) = &s.error {
                 errors += 1;
+                match *code {
+                    wire::code::OVERLOADED => err_overloaded += 1,
+                    wire::code::DEADLINE => err_deadline += 1,
+                    wire::code::PROTOCOL => err_protocol += 1,
+                    _ => err_other += 1,
+                }
                 eprintln!("load_gen: error frame code={code}: {message}");
             }
             latencies_ms.push(s.latency.as_secs_f64() * 1e3);
@@ -335,13 +380,19 @@ fn main() {
 
     println!(
         "load_gen: {completed} requests over {} connection(s) in {:.3}s — \
-         {qps:.1} QPS, latency p50={p50:.3}ms p99={p99:.3}ms p999={p999:.3}ms, {errors} errors",
+         {qps:.1} QPS, latency p50={p50:.3}ms p99={p99:.3}ms p999={p999:.3}ms, \
+         {errors} error frames (overloaded={err_overloaded} deadline={err_deadline} \
+         protocol={err_protocol} other={err_other}), {transport_failures} transport failures",
         args.connections,
         elapsed.as_secs_f64(),
     );
     println!(
         "{{\"qps\":{qps:.3},\"p50_ms\":{p50:.4},\"p99_ms\":{p99:.4},\"p999_ms\":{p999:.4},\
-         \"requests\":{completed},\"errors\":{errors},\"elapsed_s\":{:.3},\"check\":\"{check_status}\"}}",
+         \"requests\":{completed},\"errors\":{errors},\
+         \"errors_overloaded\":{err_overloaded},\"errors_deadline\":{err_deadline},\
+         \"errors_protocol\":{err_protocol},\"errors_other\":{err_other},\
+         \"transport_failures\":{transport_failures},\
+         \"elapsed_s\":{:.3},\"check\":\"{check_status}\"}}",
         elapsed.as_secs_f64(),
     );
     if errors > 0 && args.check {

@@ -24,7 +24,10 @@
 //!   [`epim_runtime::InferService`] surface, and graceful drain (stop
 //!   accepting, answer in-flight, goodbye, join).
 //! - [`client`] — a blocking pipelining client, splittable into
-//!   sender/receiver halves for open-loop load generation.
+//!   sender/receiver halves for open-loop load generation, plus
+//!   [`client::ResilientClient`]: automatic reconnection with jittered
+//!   exponential backoff and id-stable resubmission of unanswered
+//!   requests.
 //!
 //! Binaries: `epim_serve` (the server) and `load_gen` (closed- or
 //! open-loop load with QPS + p50/p99/p999 reporting and a `--check` mode
@@ -38,8 +41,8 @@ pub mod mux;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientReceiver, ClientSender, Reply};
+pub use client::{Client, ClientReceiver, ClientSender, Reply, ResilientClient};
 pub use fleet::{FleetConfig, TenantSpec};
 pub use mux::Mux;
 pub use server::{ServeReport, Server};
-pub use wire::{Message, WireError, WireRequest, WireResponse};
+pub use wire::{Message, WireError, WireHealth, WireRequest, WireResponse};

@@ -13,15 +13,37 @@
 //! into a typed `overloaded` error frame; a malformed frame turns into a
 //! `protocol` error frame and a close.
 //!
+//! Resilience controls:
+//!
+//! - [`Server::with_max_connections`] caps concurrent sessions; a
+//!   connection over the cap is answered with its hello plus a typed
+//!   `overloaded` error frame and closed (counted in
+//!   [`ServeReport::connections_rejected`]).
+//! - [`Server::with_idle_timeout`] disconnects sessions that go silent
+//!   (counted in [`ServeReport::idle_disconnects`]), so abandoned peers
+//!   cannot pin session threads forever.
+//! - A request frame may carry a relative deadline; the server converts
+//!   it to an absolute [`std::time::Instant`] at decode and the
+//!   scheduler sheds it with a typed `deadline` error frame if it
+//!   expires before execution starts.
+//! - A `HealthReq` frame is answered with the fleet's tenant list and
+//!   the draining flag, without touching any tenant queue.
+//!
 //! Drain: setting the shutdown flag (SIGTERM in the binary, or
 //! [`Server::shutdown_flag`] in-process) stops the accept loop, shuts
 //! down the read half of every live connection (the reader sees EOF and
 //! stops taking new work), lets every in-flight request finish and be
 //! answered, sends `Goodbye` frames and joins every session thread
 //! before [`Server::serve`] returns.
+//!
+//! Fault injection (`epim-faults`, disabled at one relaxed atomic load
+//! per site): `conn_reset` severs a connection instead of writing a
+//! response, `torn_frame` writes half a response frame then severs, and
+//! `accept_stall` delays the accept loop.
 
 use crate::mux::Mux;
-use crate::wire::{self, Message, WireError, WireResponse};
+use crate::wire::{self, Message, WireError, WireHealth, WireResponse};
+use epim_faults as faults;
 use epim_runtime::{InferRequest, MultiEngine, RuntimeError, TenantId};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -30,7 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a finished [`Server::serve`] saw.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,6 +63,12 @@ pub struct ServeReport {
     pub requests: u64,
     /// Error frames sent (overload, unknown tenant, protocol, ...).
     pub error_frames: u64,
+    /// Connections turned away at the [`Server::with_max_connections`]
+    /// cap (answered with a typed error frame, never counted in
+    /// [`ServeReport::connections`]).
+    pub connections_rejected: u64,
+    /// Sessions closed by the [`Server::with_idle_timeout`] watchdog.
+    pub idle_disconnects: u64,
 }
 
 #[derive(Default)]
@@ -48,6 +76,8 @@ struct Counters {
     connections: AtomicU64,
     requests: AtomicU64,
     error_frames: AtomicU64,
+    connections_rejected: AtomicU64,
+    idle_disconnects: AtomicU64,
 }
 
 /// A bound TCP serving front-end over one [`MultiEngine`] fleet.
@@ -55,7 +85,10 @@ pub struct Server {
     listener: TcpListener,
     engine: Arc<MultiEngine>,
     shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
     max_frame: u32,
+    max_connections: usize,
+    idle_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -71,13 +104,35 @@ impl Server {
             listener,
             engine: Arc::new(engine),
             shutdown: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(Counters::default()),
             max_frame: wire::MAX_FRAME,
+            max_connections: 0,
+            idle_timeout: None,
         })
     }
 
     /// Caps accepted frame bodies at `max_frame` bytes.
     pub fn with_max_frame(mut self, max_frame: u32) -> Self {
         self.max_frame = max_frame;
+        self
+    }
+
+    /// Caps concurrent sessions at `max_connections` (`0`, the default,
+    /// means unlimited). A connection over the cap gets the hello
+    /// exchange plus one typed `overloaded` error frame and is closed —
+    /// a load balancer sees a fast, diagnosable rejection instead of a
+    /// thread-exhausted hang.
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Disconnects a session whose peer sends nothing for `timeout`
+    /// (default: never). In-flight requests still complete and are
+    /// answered before the close; the timer only bounds silence on the
+    /// read half.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
         self
     }
 
@@ -101,6 +156,47 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
+    /// The fleet's Prometheus exposition plus the server's own
+    /// transport counters (`epim_serve_connections_rejected_total`,
+    /// `epim_serve_idle_disconnects_total`, accepted connections,
+    /// request and error frames). Callable while [`Server::serve`] runs
+    /// on another thread.
+    pub fn render_prometheus(&self) -> String {
+        let mut text = self.engine.render_prometheus();
+        let mut w = epim_obs::PromWriter::new();
+        let c = &self.counters;
+        let mut counter = |name: &str, help: &'static str, value: u64| {
+            w.counter(name, help, &[], value);
+        };
+        counter(
+            "epim_serve_connections_total",
+            "Connections accepted over the server's lifetime",
+            c.connections.load(Ordering::Relaxed),
+        );
+        counter(
+            "epim_serve_requests_total",
+            "Request frames decoded",
+            c.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "epim_serve_error_frames_total",
+            "Typed error frames sent to clients",
+            c.error_frames.load(Ordering::Relaxed),
+        );
+        counter(
+            "epim_serve_connections_rejected_total",
+            "Connections turned away at the connection cap",
+            c.connections_rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            "epim_serve_idle_disconnects_total",
+            "Sessions closed by the idle timeout watchdog",
+            c.idle_disconnects.load(Ordering::Relaxed),
+        );
+        text.push_str(&w.render());
+        text
+    }
+
     /// Runs the accept loop until the shutdown flag is set, then drains:
     /// read halves are shut down, in-flight requests finish and are
     /// answered, `Goodbye` frames go out, and every session thread is
@@ -110,9 +206,9 @@ impl Server {
     ///
     /// Only setup failures (making the listener non-blocking) error;
     /// per-connection failures are absorbed into the report.
-    pub fn serve(self) -> Result<ServeReport, RuntimeError> {
+    pub fn serve(&self) -> Result<ServeReport, RuntimeError> {
         self.listener.set_nonblocking(true)?;
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::clone(&self.counters);
         // Tenant names resolve per request; snapshot the map once.
         let tenants: Arc<HashMap<String, TenantId>> = Arc::new(
             self.engine
@@ -121,26 +217,44 @@ impl Server {
                 .filter_map(|n| self.engine.tenant_id(n).map(|id| (n.clone(), id)))
                 .collect(),
         );
+        let names: Arc<Vec<String>> = Arc::new(self.engine.tenant_names().to_vec());
         let mut sessions: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
         let mut conn_seq: u64 = 0;
         while !self.shutdown.load(Ordering::SeqCst) {
+            // Fault-injection point: stall the accept loop (simulates a
+            // wedged acceptor; live sessions keep serving).
+            if let Some(delay) = faults::fire_delay(faults::FaultPoint::AcceptStall) {
+                std::thread::sleep(delay);
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    sessions.retain(|(_, h)| !h.is_finished());
+                    if self.max_connections > 0 && sessions.len() >= self.max_connections {
+                        counters
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        reject_connection(stream);
+                        continue;
+                    }
                     conn_seq += 1;
                     counters.connections.fetch_add(1, Ordering::Relaxed);
                     let _ = stream.set_nodelay(true);
+                    if let Some(timeout) = self.idle_timeout {
+                        let _ = stream.set_read_timeout(Some(timeout));
+                    }
                     match stream.try_clone() {
                         Ok(keep) => {
-                            let engine = Arc::clone(&self.engine);
-                            let tenants = Arc::clone(&tenants);
-                            let counters = Arc::clone(&counters);
-                            let shutdown = Arc::clone(&self.shutdown);
-                            let max_frame = self.max_frame;
+                            let ctx = SessionCtx {
+                                engine: Arc::clone(&self.engine),
+                                tenants: Arc::clone(&tenants),
+                                names: Arc::clone(&names),
+                                counters: Arc::clone(&counters),
+                                shutdown: Arc::clone(&self.shutdown),
+                                max_frame: self.max_frame,
+                            };
                             let conn_id = conn_seq;
                             let handle = std::thread::spawn(move || {
-                                session(
-                                    engine, tenants, counters, shutdown, stream, conn_id, max_frame,
-                                );
+                                session(ctx, stream, conn_id);
                             });
                             sessions.push((keep, handle));
                         }
@@ -167,8 +281,51 @@ impl Server {
             connections: counters.connections.load(Ordering::Relaxed),
             requests: counters.requests.load(Ordering::Relaxed),
             error_frames: counters.error_frames.load(Ordering::Relaxed),
+            connections_rejected: counters.connections_rejected.load(Ordering::Relaxed),
+            idle_disconnects: counters.idle_disconnects.load(Ordering::Relaxed),
         })
     }
+}
+
+/// Answers an over-cap connection with its hello and one typed
+/// `overloaded` error frame, then closes. Runs on a detached thread so a
+/// slow (or silent) peer cannot stall the accept loop; the short read
+/// timeout bounds how long the thread lives.
+fn reject_connection(stream: TcpStream) {
+    std::thread::spawn(move || {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut writer = BufWriter::new(write_half);
+        if wire::read_hello(&mut reader).is_err() {
+            return;
+        }
+        if wire::write_hello(&mut writer).is_err() {
+            return;
+        }
+        let _ = Message::Error(WireError {
+            id: wire::NO_REQUEST,
+            code: wire::code::OVERLOADED,
+            message: "connection limit reached; try another replica".to_string(),
+        })
+        .write(&mut writer);
+        let _ = writer.flush();
+    });
+}
+
+/// The shared state one session needs, bundled so the accept loop clones
+/// one struct per connection.
+#[derive(Clone)]
+struct SessionCtx {
+    engine: Arc<MultiEngine>,
+    tenants: Arc<HashMap<String, TenantId>>,
+    names: Arc<Vec<String>>,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+    max_frame: u32,
 }
 
 /// Reader-to-writer handoff for one connection.
@@ -177,6 +334,8 @@ enum SessionMsg {
     InFlight(u64, epim_runtime::Pending),
     /// A request that failed at submission: reply immediately.
     Immediate(u64, u16, String),
+    /// A health probe: reply with the fleet snapshot.
+    Health(WireHealth),
     /// A protocol violation: reply with the error frame, then close
     /// without a goodbye.
     Fatal(u64, u16, String),
@@ -184,16 +343,7 @@ enum SessionMsg {
     Bye,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn session(
-    engine: Arc<MultiEngine>,
-    tenants: Arc<HashMap<String, TenantId>>,
-    counters: Arc<Counters>,
-    shutdown: Arc<AtomicBool>,
-    stream: TcpStream,
-    conn_id: u64,
-    max_frame: u32,
-) {
+fn session(ctx: SessionCtx, stream: TcpStream, conn_id: u64) {
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -203,7 +353,7 @@ fn session(
 
     // Handshake: expect the client hello, answer with ours.
     if wire::read_hello(&mut reader).is_err() {
-        counters.error_frames.fetch_add(1, Ordering::Relaxed);
+        ctx.counters.error_frames.fetch_add(1, Ordering::Relaxed);
         let _ = Message::Error(WireError {
             id: wire::NO_REQUEST,
             code: wire::code::PROTOCOL,
@@ -218,35 +368,21 @@ fn session(
     }
 
     let (tx, rx) = std::sync::mpsc::channel::<SessionMsg>();
-    let writer_counters = Arc::clone(&counters);
+    let writer_counters = Arc::clone(&ctx.counters);
     let writer_handle = std::thread::spawn(move || writer_loop(writer, rx, writer_counters));
-    reader_loop(
-        &engine,
-        &tenants,
-        &counters,
-        &shutdown,
-        &mut reader,
-        &tx,
-        conn_id,
-        max_frame,
-    );
+    reader_loop(&ctx, &mut reader, &tx, conn_id);
     drop(tx);
     let _ = writer_handle.join();
 }
 
-#[allow(clippy::too_many_arguments)]
 fn reader_loop(
-    engine: &MultiEngine,
-    tenants: &HashMap<String, TenantId>,
-    counters: &Counters,
-    shutdown: &AtomicBool,
+    ctx: &SessionCtx,
     reader: &mut impl std::io::Read,
     tx: &Sender<SessionMsg>,
     conn_id: u64,
-    max_frame: u32,
 ) {
     loop {
-        match Message::read(reader, max_frame) {
+        match Message::read(reader, ctx.max_frame) {
             // Clean close — from the client, or from the server's drain
             // shutting the read half down.
             Ok(None) => {
@@ -254,8 +390,8 @@ fn reader_loop(
                 return;
             }
             Ok(Some(Message::Request(req))) => {
-                counters.requests.fetch_add(1, Ordering::Relaxed);
-                if shutdown.load(Ordering::SeqCst) {
+                ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+                if ctx.shutdown.load(Ordering::SeqCst) {
                     let err = RuntimeError::ShuttingDown;
                     let _ = tx.send(SessionMsg::Immediate(
                         req.id,
@@ -264,7 +400,7 @@ fn reader_loop(
                     ));
                     continue;
                 }
-                let Some(&tid) = tenants.get(&req.tenant) else {
+                let Some(&tid) = ctx.tenants.get(&req.tenant) else {
                     let _ = tx.send(SessionMsg::Immediate(
                         req.id,
                         wire::code::UNKNOWN_TENANT,
@@ -272,8 +408,15 @@ fn reader_loop(
                     ));
                     continue;
                 };
-                let infer_req = InferRequest::new(req.input).with_client(conn_id);
-                match engine.try_infer(tid, infer_req) {
+                let mut infer_req = InferRequest::new(req.input).with_client(conn_id);
+                if req.deadline_ms > 0 {
+                    // The wire carries the deadline relative to decode so
+                    // client/server clock skew cannot expire it.
+                    infer_req = infer_req.with_deadline(
+                        Instant::now() + Duration::from_millis(req.deadline_ms.into()),
+                    );
+                }
+                match ctx.engine.try_infer(tid, infer_req) {
                     Ok(pending) => {
                         let _ = tx.send(SessionMsg::InFlight(req.id, pending));
                     }
@@ -285,6 +428,12 @@ fn reader_loop(
                         ));
                     }
                 }
+            }
+            Ok(Some(Message::HealthReq)) => {
+                let _ = tx.send(SessionMsg::Health(WireHealth {
+                    draining: ctx.shutdown.load(Ordering::SeqCst),
+                    tenants: ctx.names.as_ref().clone(),
+                }));
             }
             Ok(Some(Message::Goodbye)) => {
                 let _ = tx.send(SessionMsg::Bye);
@@ -306,6 +455,25 @@ fn reader_loop(
                 ));
                 return;
             }
+            // The idle watchdog: a read timeout means the peer has sent
+            // nothing for the configured window. Answer with a typed
+            // error frame and close.
+            Err(RuntimeError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                ctx.counters
+                    .idle_disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(SessionMsg::Fatal(
+                    wire::NO_REQUEST,
+                    wire::code::IO,
+                    "idle timeout: no frames received within the configured window".to_string(),
+                ));
+                return;
+            }
             // Transport failure: the peer is gone, nothing to answer.
             Err(_) => {
                 let _ = tx.send(SessionMsg::Bye);
@@ -313,6 +481,83 @@ fn reader_loop(
             }
         }
     }
+}
+
+/// Writes `msg`, honoring the `conn_reset` / `torn_frame` fault points:
+/// `conn_reset` severs the socket instead of writing; `torn_frame`
+/// writes the length prefix and half the body, then severs. Both return
+/// an error so the writer loop tears the session down.
+fn write_msg(writer: &mut BufWriter<TcpStream>, msg: &Message) -> Result<(), RuntimeError> {
+    if faults::fires(faults::FaultPoint::ConnReset) {
+        let _ = writer.get_ref().shutdown(Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "injected fault: connection reset before response",
+        )
+        .into());
+    }
+    if faults::fires(faults::FaultPoint::TornFrame) {
+        let body = msg.encode()?;
+        let torn = &body[..body.len() / 2];
+        let _ = writer.write_all(&(body.len() as u32).to_le_bytes());
+        let _ = writer.write_all(torn);
+        let _ = writer.flush();
+        let _ = writer.get_ref().shutdown(Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "injected fault: frame torn mid-body",
+        )
+        .into());
+    }
+    msg.write(writer)
+}
+
+/// What [`handle_msg`] decided about the session.
+enum Handled {
+    /// Keep going.
+    Continue,
+    /// The reader reported an orderly end of requests.
+    SawBye,
+    /// The session is over (fatal frame sent or transport failure).
+    Close,
+}
+
+/// Processes one reader handoff inside [`writer_loop`].
+fn handle_msg(
+    writer: &mut BufWriter<TcpStream>,
+    counters: &Counters,
+    mux: &mut Mux,
+    msg: SessionMsg,
+    flush_immediate: bool,
+) -> Handled {
+    match msg {
+        SessionMsg::InFlight(id, pending) => mux.push(id, pending),
+        SessionMsg::Immediate(id, code, message) => {
+            counters.error_frames.fetch_add(1, Ordering::Relaxed);
+            if write_msg(writer, &Message::Error(WireError { id, code, message })).is_err() {
+                return Handled::Close;
+            }
+            if flush_immediate && writer.flush().is_err() {
+                return Handled::Close;
+            }
+        }
+        SessionMsg::Health(health) => {
+            if write_msg(writer, &Message::Health(health)).is_err() {
+                return Handled::Close;
+            }
+            if flush_immediate && writer.flush().is_err() {
+                return Handled::Close;
+            }
+        }
+        SessionMsg::Fatal(id, code, message) => {
+            counters.error_frames.fetch_add(1, Ordering::Relaxed);
+            let _ = write_msg(writer, &Message::Error(WireError { id, code, message }));
+            let _ = writer.flush();
+            return Handled::Close;
+        }
+        SessionMsg::Bye => return Handled::SawBye,
+    }
+    Handled::Continue
 }
 
 fn writer_loop(
@@ -345,30 +590,18 @@ fn writer_loop(
                     })
                 }
             };
-            msg.write(writer)
+            write_msg(writer, &msg)
         };
 
     'outer: loop {
         // Take everything the reader has handed over so far.
         loop {
             match rx.try_recv() {
-                Ok(SessionMsg::InFlight(id, pending)) => mux.push(id, pending),
-                Ok(SessionMsg::Immediate(id, code, message)) => {
-                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
-                    if Message::Error(WireError { id, code, message })
-                        .write(&mut writer)
-                        .is_err()
-                    {
-                        break 'outer;
-                    }
-                }
-                Ok(SessionMsg::Fatal(id, code, message)) => {
-                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
-                    let _ = Message::Error(WireError { id, code, message }).write(&mut writer);
-                    let _ = writer.flush();
-                    break 'outer;
-                }
-                Ok(SessionMsg::Bye) => saw_bye = true,
+                Ok(msg) => match handle_msg(&mut writer, &counters, &mut mux, msg, false) {
+                    Handled::Continue => {}
+                    Handled::SawBye => saw_bye = true,
+                    Handled::Close => break 'outer,
+                },
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     disconnected = true;
@@ -397,26 +630,11 @@ fn writer_loop(
         // the common closed-loop path parks directly on the channel).
         if mux.is_empty() {
             match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(SessionMsg::InFlight(id, pending)) => mux.push(id, pending),
-                Ok(SessionMsg::Immediate(id, code, message)) => {
-                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
-                    if Message::Error(WireError { id, code, message })
-                        .write(&mut writer)
-                        .is_err()
-                    {
-                        break 'outer;
-                    }
-                    if writer.flush().is_err() {
-                        break 'outer;
-                    }
-                }
-                Ok(SessionMsg::Fatal(id, code, message)) => {
-                    counters.error_frames.fetch_add(1, Ordering::Relaxed);
-                    let _ = Message::Error(WireError { id, code, message }).write(&mut writer);
-                    let _ = writer.flush();
-                    break 'outer;
-                }
-                Ok(SessionMsg::Bye) => saw_bye = true,
+                Ok(msg) => match handle_msg(&mut writer, &counters, &mut mux, msg, true) {
+                    Handled::Continue => {}
+                    Handled::SawBye => saw_bye = true,
+                    Handled::Close => break 'outer,
+                },
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => disconnected = true,
             }

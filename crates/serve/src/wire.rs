@@ -6,12 +6,14 @@
 //! little-endian body length followed by the body; the first body byte is
 //! the frame type:
 //!
-//! | type | frame    | body after the type byte                                   |
-//! |------|----------|------------------------------------------------------------|
-//! | 0x01 | Request  | `u64` id, `u16` name len + tenant name, `u8` rank, rank × `u32` dims, `f32` payload |
-//! | 0x02 | Response | `u64` id, `u32` batch size, `u64` latency ns, `u8` rank, rank × `u32` dims, `f32` payload |
-//! | 0x03 | Error    | `u64` id ([`NO_REQUEST`] when connection-level), `u16` code, `u16` message len + message |
-//! | 0x04 | Goodbye  | empty                                                      |
+//! | type | frame     | body after the type byte                                   |
+//! |------|-----------|------------------------------------------------------------|
+//! | 0x01 | Request   | `u64` id, `u16` name len + tenant name, `u32` deadline ms (`0` = none), `u8` rank, rank × `u32` dims, `f32` payload |
+//! | 0x02 | Response  | `u64` id, `u32` batch size, `u64` latency ns, `u8` rank, rank × `u32` dims, `f32` payload |
+//! | 0x03 | Error     | `u64` id ([`NO_REQUEST`] when connection-level), `u16` code, `u16` message len + message |
+//! | 0x04 | Goodbye   | empty                                                      |
+//! | 0x05 | HealthReq | empty (client → server probe)                              |
+//! | 0x06 | Health    | `u8` draining, `u16` tenant count, count × (`u16` len + name) |
 //!
 //! All integers and floats are little-endian. Request ids are chosen by
 //! the client and echoed verbatim; the server never interprets them
@@ -27,8 +29,9 @@ use std::io::{Read, Write};
 
 /// The 4-byte connection preamble.
 pub const MAGIC: [u8; 4] = *b"EPIM";
-/// Protocol version carried in the hello exchange.
-pub const VERSION: u16 = 1;
+/// Protocol version carried in the hello exchange. Version 2 added the
+/// request deadline field and the health probe frames.
+pub const VERSION: u16 = 2;
 /// Default upper bound on a frame body. Large enough for any zoo-model
 /// tensor, small enough that a hostile length prefix cannot make the
 /// server allocate gigabytes.
@@ -45,6 +48,10 @@ pub const TYPE_RESPONSE: u8 = 0x02;
 pub const TYPE_ERROR: u8 = 0x03;
 /// See [`TYPE_REQUEST`].
 pub const TYPE_GOODBYE: u8 = 0x04;
+/// See [`TYPE_REQUEST`].
+pub const TYPE_HEALTH_REQ: u8 = 0x05;
+/// See [`TYPE_REQUEST`].
+pub const TYPE_HEALTH: u8 = 0x06;
 
 /// Typed error codes carried by error frames, mapped from
 /// [`RuntimeError`] by [`error_code`].
@@ -63,6 +70,10 @@ pub mod code {
     pub const EXECUTION: u16 = 6;
     /// A transport-level I/O failure.
     pub const IO: u16 = 7;
+    /// The request's deadline passed before execution started; the
+    /// scheduler shed it instead of computing an answer nobody waits
+    /// for.
+    pub const DEADLINE: u16 = 8;
 }
 
 /// Maps a runtime error onto its wire error code.
@@ -73,6 +84,7 @@ pub fn error_code(err: &RuntimeError) -> u16 {
         RuntimeError::ShuttingDown => code::SHUTTING_DOWN,
         RuntimeError::Protocol { .. } => code::PROTOCOL,
         RuntimeError::Timeout => code::TIMEOUT,
+        RuntimeError::DeadlineExceeded => code::DEADLINE,
         RuntimeError::Io(_) => code::IO,
         _ => code::EXECUTION,
     }
@@ -89,6 +101,11 @@ pub enum Message {
     Error(WireError),
     /// Orderly end-of-stream marker (sent by both sides).
     Goodbye,
+    /// A client health probe; the server answers with
+    /// [`Message::Health`] without touching any tenant queue.
+    HealthReq,
+    /// The server's health snapshot.
+    Health(WireHealth),
 }
 
 /// The request frame payload.
@@ -98,6 +115,11 @@ pub struct WireRequest {
     pub id: u64,
     /// Which fleet tenant serves this request.
     pub tenant: String,
+    /// Relative completion deadline in milliseconds, measured from
+    /// server-side decode; `0` means "no deadline". Carried relative
+    /// (not as a wall-clock instant) so client/server clock skew cannot
+    /// spuriously expire requests.
+    pub deadline_ms: u32,
     /// The input tensor.
     pub input: Tensor,
 }
@@ -113,6 +135,17 @@ pub struct WireResponse {
     pub latency_ns: u64,
     /// The output tensor.
     pub output: Tensor,
+}
+
+/// The health frame payload: enough for a load balancer (or an
+/// operator's probe) to decide whether to keep routing traffic here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHealth {
+    /// `true` once the server has begun draining: in-flight requests
+    /// still complete but new connections should go elsewhere.
+    pub draining: bool,
+    /// The tenant names this fleet serves, in registration order.
+    pub tenants: Vec<String>,
 }
 
 /// The error frame payload.
@@ -347,6 +380,7 @@ impl Message {
                     .map_err(|_| proto("tenant name over 64 KiB"))?;
                 e.u16(name_len);
                 e.buf.extend_from_slice(req.tenant.as_bytes());
+                e.u32(req.deadline_ms);
                 e.tensor(&req.input)?;
             }
             Message::Response(resp) => {
@@ -366,6 +400,20 @@ impl Message {
                 e.buf.extend_from_slice(&msg[..take]);
             }
             Message::Goodbye => e.u8(TYPE_GOODBYE),
+            Message::HealthReq => e.u8(TYPE_HEALTH_REQ),
+            Message::Health(h) => {
+                e.u8(TYPE_HEALTH);
+                e.u8(u8::from(h.draining));
+                let count = u16::try_from(h.tenants.len())
+                    .map_err(|_| proto("over 65535 tenants in health frame"))?;
+                e.u16(count);
+                for name in &h.tenants {
+                    let len =
+                        u16::try_from(name.len()).map_err(|_| proto("tenant name over 64 KiB"))?;
+                    e.u16(len);
+                    e.buf.extend_from_slice(name.as_bytes());
+                }
+            }
         }
         Ok(e.buf)
     }
@@ -384,8 +432,14 @@ impl Message {
                 let id = d.u64()?;
                 let name_len = d.u16()? as usize;
                 let tenant = d.string(name_len)?;
+                let deadline_ms = d.u32()?;
                 let input = d.tensor()?;
-                Message::Request(WireRequest { id, tenant, input })
+                Message::Request(WireRequest {
+                    id,
+                    tenant,
+                    deadline_ms,
+                    input,
+                })
             }
             TYPE_RESPONSE => {
                 let id = d.u64()?;
@@ -407,6 +461,17 @@ impl Message {
                 Message::Error(WireError { id, code, message })
             }
             TYPE_GOODBYE => Message::Goodbye,
+            TYPE_HEALTH_REQ => Message::HealthReq,
+            TYPE_HEALTH => {
+                let draining = d.u8()? != 0;
+                let count = d.u16()? as usize;
+                let mut tenants = Vec::with_capacity(count.min(256));
+                for _ in 0..count {
+                    let len = d.u16()? as usize;
+                    tenants.push(d.string(len)?);
+                }
+                Message::Health(WireHealth { draining, tenants })
+            }
             t => return Err(proto(format!("unknown frame type 0x{t:02x}"))),
         };
         d.finish()?;
@@ -453,6 +518,15 @@ mod tests {
         let req = Message::Request(WireRequest {
             id: 42,
             tenant: "resnet-a".into(),
+            deadline_ms: 0,
+            input: t.clone(),
+        });
+        assert_eq!(roundtrip(&req), req);
+
+        let req = Message::Request(WireRequest {
+            id: 43,
+            tenant: "resnet-a".into(),
+            deadline_ms: 250,
             input: t.clone(),
         });
         assert_eq!(roundtrip(&req), req);
@@ -472,6 +546,18 @@ mod tests {
         });
         assert_eq!(roundtrip(&err), err);
         assert_eq!(roundtrip(&Message::Goodbye), Message::Goodbye);
+        assert_eq!(roundtrip(&Message::HealthReq), Message::HealthReq);
+
+        let health = Message::Health(WireHealth {
+            draining: true,
+            tenants: vec!["resnet-a".into(), "vgg-b".into()],
+        });
+        assert_eq!(roundtrip(&health), health);
+        let health = Message::Health(WireHealth {
+            draining: false,
+            tenants: Vec::new(),
+        });
+        assert_eq!(roundtrip(&health), health);
     }
 
     #[test]
@@ -562,5 +648,22 @@ mod tests {
             error_code(&RuntimeError::ExecutionPanicked),
             code::EXECUTION
         );
+        assert_eq!(error_code(&RuntimeError::DeadlineExceeded), code::DEADLINE);
+        assert_eq!(
+            error_code(&RuntimeError::CrashLoop { restarts: 3 }),
+            code::EXECUTION,
+            "a crash-looped fleet reports the execution failure class"
+        );
+    }
+
+    #[test]
+    fn truncated_health_frame_is_a_protocol_error() {
+        // Claims two tenants but carries only one.
+        let mut body = vec![TYPE_HEALTH, 1];
+        body.extend_from_slice(&2u16.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.push(b'a');
+        let r = Message::decode(&body);
+        assert!(matches!(r, Err(RuntimeError::Protocol { .. })), "{r:?}");
     }
 }

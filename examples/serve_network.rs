@@ -158,6 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             workers: 1,
             optimize_program: true,
+            ..EngineConfig::default()
         },
     )?;
     let mut accepted = 0usize;
